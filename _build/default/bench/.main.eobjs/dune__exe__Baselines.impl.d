@@ -1,0 +1,1 @@
+bench/baselines.ml: Apps Bench_config Dataset Homunculus_alchemy Homunculus_backends Homunculus_ml Homunculus_util Mlp Model_ir Model_spec Optimizer Scaler Train

@@ -1,0 +1,1 @@
+bench/bench_config.ml: Compiler Homunculus_bo Homunculus_core Printf String Sys

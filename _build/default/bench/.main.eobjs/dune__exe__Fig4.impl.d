@@ -1,0 +1,1 @@
+bench/fig4.ml: Array Bench_config Float Homunculus_bo Homunculus_core List Printf Report Stdlib Table2

@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_config Botnet Float Flow Flowsim Homunculus_netdata Homunculus_util List Printf Stdlib String

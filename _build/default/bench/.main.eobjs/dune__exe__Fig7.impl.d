@@ -1,0 +1,1 @@
+bench/fig7.ml: Apps Array Bench_config Compiler Evaluator Homunculus_alchemy Homunculus_backends Homunculus_bo Homunculus_core List Platform Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Bench_config Fig4 Fig6 Fig7 List Micro Printf Reaction_bench String Sys Table2 Table3 Table4 Table5 Unix

@@ -1,0 +1,1 @@
+bench/reaction_bench.ml: Bench_config Botnet Flow_table Flowsim Format Homunculus_backends Homunculus_netdata Homunculus_util Inference List Printf Reaction Stdlib Table2

@@ -1,0 +1,1 @@
+bench/table2.ml: Apps Baselines Bench_config Compiler Evaluator Homunculus_alchemy Homunculus_backends Homunculus_bo Homunculus_core List Model_ir Platform Printf Taurus

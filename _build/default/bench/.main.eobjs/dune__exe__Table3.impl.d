@@ -1,0 +1,1 @@
+bench/table3.ml: Apps Bench_config Compiler Evaluator Homunculus_alchemy Homunculus_backends Homunculus_core List Platform Printf Resource Schedule Taurus

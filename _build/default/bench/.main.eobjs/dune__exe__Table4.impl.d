@@ -1,0 +1,1 @@
+bench/table4.ml: Apps Array Bench_config Compiler Evaluator Fusion Homunculus_alchemy Homunculus_backends Homunculus_core Homunculus_ml Homunculus_util List Model_spec Platform Printf Taurus

@@ -1,0 +1,1 @@
+bench/table5.ml: Bench_config Fpga Homunculus_backends List Printf Table2

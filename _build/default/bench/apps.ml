@@ -1,0 +1,71 @@
+(* The three evaluation applications (paper §5): anomaly detection (AD),
+   traffic classification (TC), botnet detection (BD) — shared across the
+   table/figure reproductions, computed once and memoized. *)
+
+open Homunculus_alchemy
+module Rng = Homunculus_util.Rng
+module Nslkdd = Homunculus_netdata.Nslkdd
+module Iot = Homunculus_netdata.Iot
+module Botnet = Homunculus_netdata.Botnet
+
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        cache := Some v;
+        v
+
+let ad_spec =
+  memo (fun () ->
+      Model_spec.make ~name:"AD" ~metric:Model_spec.F1
+        ~algorithms:[ Model_spec.Dnn ]
+        ~loader:(fun () ->
+          let rng = Rng.create Bench_config.seed in
+          let train, test =
+            Nslkdd.generate_split rng ~n_train:Bench_config.ad_train
+              ~n_test:Bench_config.ad_test ()
+          in
+          Model_spec.data ~train ~test)
+        ())
+
+let tc_spec =
+  memo (fun () ->
+      Model_spec.make ~name:"TC" ~metric:Model_spec.F1
+        ~algorithms:[ Model_spec.Dnn ]
+        ~loader:(fun () ->
+          let rng = Rng.create (Bench_config.seed + 1) in
+          let train, test =
+            Iot.generate_split rng ~n_train:Bench_config.tc_train
+              ~n_test:Bench_config.tc_test ()
+          in
+          Model_spec.data ~train ~test)
+        ())
+
+let bd_spec =
+  memo (fun () ->
+      Model_spec.make ~name:"BD" ~metric:Model_spec.F1
+        ~algorithms:[ Model_spec.Dnn ]
+        ~loader:(fun () ->
+          let rng = Rng.create (Bench_config.seed + 2) in
+          let train, test =
+            Botnet.generate rng ~n_train_flows:Bench_config.bd_train_flows
+              ~n_test_flows:Bench_config.bd_test_flows ()
+          in
+          Model_spec.data ~train ~test)
+        ())
+
+let tc_cluster_spec =
+  memo (fun () ->
+      Model_spec.make ~name:"TC-kmeans" ~metric:Model_spec.V_measure
+        ~algorithms:[ Model_spec.Kmeans ]
+        ~loader:(fun () ->
+          let rng = Rng.create (Bench_config.seed + 3) in
+          let train, test =
+            Iot.generate_split rng ~n_train:Bench_config.tc_train
+              ~n_test:Bench_config.tc_test ()
+          in
+          Model_spec.data ~train ~test)
+        ())

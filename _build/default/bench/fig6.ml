@@ -1,0 +1,62 @@
+(* Figure 6: botnet vs benign flow-level packet-length (PL) and
+   inter-arrival-time (IPT) histograms, averaged across all flows. The
+   paper's observation: the two classes' histograms diverge with very few
+   packets seen — certain bins simply never fill for botnet traffic — which
+   is the evidence motivating per-packet ML. *)
+
+open Homunculus_netdata
+module Rng = Homunculus_util.Rng
+module Stats = Homunculus_util.Stats
+
+let spark values =
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let hi = Array.fold_left Stdlib.max 1e-9 values in
+  String.init (Array.length values) (fun i ->
+      let level =
+        int_of_float (values.(i) /. hi *. float_of_int (Array.length glyphs - 1))
+      in
+      glyphs.(Stdlib.max 0 (Stdlib.min 7 level)))
+
+let print_series name values =
+  Printf.printf "%-18s [%s]\n%18s  %s\n" name (spark values) ""
+    (String.concat " " (List.map (Printf.sprintf "%.3f") (Array.to_list values)))
+
+let run () =
+  Bench_config.section "Figure 6: botnet vs benign flowmarker histograms";
+  let rng = Rng.create (Bench_config.seed + 6) in
+  let flows =
+    Flowsim.generate rng
+      ~mix:{ Flowsim.n_flows = 600; botnet_frac = 0.5; max_packets = 400 }
+      ()
+  in
+  let benign_pl, benign_ipt =
+    Flowsim.average_flowmarker flows ~label:Flow.Benign
+      ~pl_spec:Botnet.pl_spec_fused ~ipt_spec:Botnet.ipt_spec_fused
+  in
+  let botnet_pl, botnet_ipt =
+    Flowsim.average_flowmarker flows ~label:Flow.Botnet
+      ~pl_spec:Botnet.pl_spec_fused ~ipt_spec:Botnet.ipt_spec_fused
+  in
+  Printf.printf "packet-length histogram (23 bins x 64 B):\n";
+  print_series "  benign PL" benign_pl;
+  print_series "  botnet PL" botnet_pl;
+  Printf.printf "\ninter-arrival-time histogram (7 bins x 34 s):\n";
+  print_series "  benign IPT" benign_ipt;
+  print_series "  botnet IPT" botnet_ipt;
+  (* Shape checks mirroring the paper's reading of the figure. *)
+  let l1 a b =
+    Stats.sum (Array.mapi (fun i v -> Float.abs (v -. b.(i))) a)
+  in
+  Printf.printf "\nL1 distance between class-average histograms: PL %.3f, IPT %.3f\n"
+    (l1 benign_pl botnet_pl) (l1 benign_ipt botnet_ipt);
+  let mtu_mass = Stats.sum (Array.sub benign_pl 19 4) in
+  let botnet_mtu_mass = Stats.sum (Array.sub botnet_pl 19 4) in
+  Printf.printf
+    "near-MTU bins hold %.1f%% of benign mass vs %.1f%% of botnet mass\n\
+     (the bins botnets never fill — the paper's early-detection signal)\n"
+    (100. *. mtu_mass)
+    (100. *. botnet_mtu_mass);
+  let botnet_tail = Stats.sum (Array.sub botnet_ipt 1 6) in
+  let benign_tail = Stats.sum (Array.sub benign_ipt 1 6) in
+  Printf.printf "IPT mass beyond the first bin: botnet %.1f%%, benign %.1f%%\n"
+    (100. *. botnet_tail) (100. *. benign_tail)

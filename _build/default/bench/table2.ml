@@ -1,0 +1,120 @@
+(* Table 2: hand-tuned baselines vs Homunculus-generated models for AD, TC,
+   and BD on the Taurus backend — #params, F1 score, CU and MU usage.
+
+   Paper's rows (features / params / F1 / CUs / MUs):
+     Base-AD 7/203/71.10/24/48     Hom-AD 7/254/83.10/41/67
+     Base-TC 7/275/61.04/31/59     Hom-TC 7/370/68.75/54/97
+     Base-BD 30/662/77.0/167/45    Hom-BD 30/501/79.8/53/151 *)
+
+open Homunculus_alchemy
+open Homunculus_backends
+open Homunculus_core
+
+type row = {
+  label : string;
+  features : int;
+  params : int;
+  f1 : float;
+  cus : int;
+  mus : int;
+}
+
+type artifacts = {
+  rows : row list;
+  baseline_models : Model_ir.t list;
+  generated_models : Model_ir.t list;
+  histories : (string * Homunculus_bo.History.t) list;
+}
+
+let platform = Platform.taurus ()
+
+let baseline_row (b : Baselines.result) =
+  let verdict = Platform.estimate platform b.Baselines.model_ir in
+  {
+    label = b.Baselines.name;
+    features = Model_ir.input_dim b.Baselines.model_ir;
+    params = b.Baselines.params;
+    f1 = 100. *. b.Baselines.f1;
+    cus = Taurus.cus_used verdict;
+    mus = Taurus.mus_used verdict;
+  }
+
+let generated_row name (r : Compiler.model_result) =
+  let a = r.Compiler.artifact in
+  {
+    label = name;
+    features = Model_ir.input_dim a.Evaluator.model_ir;
+    params = Model_ir.param_count a.Evaluator.model_ir;
+    f1 = 100. *. a.Evaluator.objective;
+    cus = Taurus.cus_used a.Evaluator.verdict;
+    mus = Taurus.mus_used a.Evaluator.verdict;
+  }
+
+let compute =
+  Apps.memo (fun () ->
+      let specs =
+        [
+          ("Hom-AD", Apps.ad_spec (), Baselines.ad);
+          ("Hom-TC", Apps.tc_spec (), Baselines.tc);
+          ("Hom-BD", Apps.bd_spec (), Baselines.bd);
+        ]
+      in
+      let results =
+        List.map
+          (fun (label, spec, baseline) ->
+            let b = baseline () in
+            let r =
+              Compiler.search_model ~options:Bench_config.search_options
+                platform spec
+            in
+            (label, b, r))
+          specs
+      in
+      let rows =
+        List.concat_map
+          (fun (label, b, r) -> [ baseline_row b; generated_row label r ])
+          results
+      in
+      {
+        rows;
+        baseline_models = List.map (fun (_, b, _) -> b.Baselines.model_ir) results;
+        generated_models =
+          List.map
+            (fun (_, _, (r : Compiler.model_result)) ->
+              r.Compiler.artifact.Evaluator.model_ir)
+            results;
+        histories =
+          List.map (fun (label, _, r) -> (label, r.Compiler.history)) results;
+      })
+
+let paper_reference =
+  [
+    ("Base-AD", 71.10); ("Hom-AD", 83.10); ("Base-TC", 61.04);
+    ("Hom-TC", 68.75); ("Base-BD", 77.0); ("Hom-BD", 79.8);
+  ]
+
+let run () =
+  Bench_config.section "Table 2: baselines vs Homunculus-generated models";
+  let a = compute () in
+  Printf.printf "%-10s %9s %8s %8s %6s %6s %10s\n" "Model" "Features" "Params"
+    "F1" "CUs" "MUs" "(paper F1)";
+  List.iter
+    (fun r ->
+      let paper =
+        match List.assoc_opt r.label paper_reference with
+        | Some v -> Printf.sprintf "%10.2f" v
+        | None -> "         -"
+      in
+      Printf.printf "%-10s %9d %8d %8.2f %6d %6d %s\n" r.label r.features
+        r.params r.f1 r.cus r.mus paper)
+    a.rows;
+  (* The claims that must hold: Homunculus beats each baseline's F1 while
+     remaining feasible. *)
+  let pairs = [ ("Base-AD", "Hom-AD"); ("Base-TC", "Hom-TC"); ("Base-BD", "Hom-BD") ] in
+  List.iter
+    (fun (b, h) ->
+      let find l = List.find (fun r -> r.label = l) a.rows in
+      let rb = find b and rh = find h in
+      Printf.printf "  %s %+.2f F1 vs %s %s\n" h (rh.f1 -. rb.f1) b
+        (if rh.f1 > rb.f1 then "[improves, as in paper]" else "[NO IMPROVEMENT]"))
+    pairs

@@ -1,0 +1,56 @@
+(* Table 3: resource scaling of app-chaining strategies on a Taurus switch.
+
+   The paper chains four copies of the anomaly-detection DNN in three
+   topologies and shows the total resource usage is identical regardless of
+   strategy (24 CUs / 24 MUs for all three in the paper):
+
+     DNN > DNN > DNN > DNN      24 / 24
+     DNN | DNN | DNN | DNN      24 / 24
+     DNN > (DNN | DNN) > DNN    24 / 24 *)
+
+open Homunculus_alchemy
+open Homunculus_backends
+open Homunculus_core
+
+let run () =
+  Bench_config.section "Table 3: multi-application chaining strategies";
+  let platform = Platform.taurus () in
+  let spec = Apps.ad_spec () in
+  (* Four virtualized models share one switch, so each is searched under a
+     quarter-grid resource slice (paper: "emulate virtualization of user
+     models on a single Taurus switch"), then accounted on the full grid. *)
+  let slice = Platform.with_resources platform ~rows:8 ~cols:8 in
+  let result =
+    Compiler.search_model ~options:Bench_config.search_options slice spec
+  in
+  let verdict =
+    Platform.estimate platform result.Compiler.artifact.Evaluator.model_ir
+  in
+  let estimate _ = verdict in
+  let m = Schedule.model spec in
+  let strategies =
+    [
+      ("DNN > DNN > DNN > DNN", Schedule.(m >>> m >>> m >>> m));
+      ("DNN | DNN | DNN | DNN", Schedule.(m ||| m ||| m ||| m));
+      ("DNN > (DNN | DNN) > DNN", Schedule.(m >>> (m ||| m) >>> m));
+    ]
+  in
+  Printf.printf "%-26s %6s %6s %12s %12s\n" "Strategy" "CUs" "MUs" "latency(ns)"
+    "Gpkt/s";
+  let totals =
+    List.map
+      (fun (name, schedule) ->
+        let c = Schedule.combine schedule ~perf:(Platform.perf platform) ~estimate in
+        let v = c.Schedule.verdict in
+        Printf.printf "%-26s %6d %6d %12.1f %12.3f\n" name (Taurus.cus_used v)
+          (Taurus.mus_used v) v.Resource.latency_ns v.Resource.throughput_gpps;
+        (Taurus.cus_used v, Taurus.mus_used v))
+      strategies
+  in
+  let all_equal = List.for_all (fun t -> t = List.hd totals) totals in
+  Printf.printf
+    "  resource usage identical across strategies: %b [paper: constant]\n"
+    all_equal;
+  let cu, mu = List.hd totals in
+  Printf.printf "  four instances fit the 128-CU/128-MU switch: %b (%d/%d)\n"
+    (cu <= 128 && mu <= 128) cu mu

@@ -1,0 +1,69 @@
+(* Table 4: model fusion (paper §3.2.5, §5.1.3).
+
+   The AD dataset is split into two halves, each given to its own model;
+   mapped separately they would each claim half the switch. Because the two
+   halves share the feature schema, Homunculus fuses them into one model
+   that serves both datasets with roughly the resources of a single part —
+   cutting usage by ~2x versus deploying both.
+
+   Paper's rows (PCUs / PMUs): Part 1 44/81, Part 2 51/96, Fused 48/83. *)
+
+open Homunculus_alchemy
+open Homunculus_backends
+open Homunculus_core
+module Rng = Homunculus_util.Rng
+module Dataset = Homunculus_ml.Dataset
+
+let half_spec name which =
+  Model_spec.make ~name ~metric:Model_spec.F1 ~algorithms:[ Model_spec.Dnn ]
+    ~loader:(fun () ->
+      let data = Model_spec.load (Apps.ad_spec ()) in
+      let split (d : Dataset.t) =
+        let n = Dataset.n_samples d in
+        let idx =
+          Array.init (n / 2) (fun i -> if which = `First then i else (n / 2) + i)
+        in
+        Dataset.subset d idx
+      in
+      Model_spec.data
+        ~train:(split data.Model_spec.train)
+        ~test:(split data.Model_spec.test))
+    ()
+
+let row label (result : Compiler.model_result) =
+  let a = result.Compiler.artifact in
+  (label, Taurus.cus_used a.Evaluator.verdict, Taurus.mus_used a.Evaluator.verdict,
+   100. *. a.Evaluator.objective)
+
+let run () =
+  Bench_config.section "Table 4: model fusion resource usage";
+  let part1 = half_spec "AD_part1" `First in
+  let part2 = half_spec "AD_part2" `Second in
+  (* Each split model gets half the switch (paper: "they are each allocated
+     half of the switch's resources"); the fused model gets the whole. *)
+  let half_platform = Platform.with_resources (Platform.taurus ()) ~rows:16 ~cols:8 in
+  let r1 = Compiler.search_model ~options:Bench_config.search_options half_platform part1 in
+  let r2 = Compiler.search_model ~options:Bench_config.search_options half_platform part2 in
+  (* The fused model replaces one part in its half-switch slot and simply
+     also serves the other dataset — that is the whole point of fusion. *)
+  let fused_spec = Fusion.fuse ~name:"AD_fused" part1 part2 in
+  let rf =
+    Compiler.search_model ~options:Bench_config.search_options half_platform fused_spec
+  in
+  let rows =
+    [ row "AD: Part 1" r1; row "AD: Part 2" r2; row "AD: Fused" rf ]
+  in
+  Printf.printf "%-12s %6s %6s %8s\n" "Application" "PCUs" "PMUs" "F1";
+  List.iter
+    (fun (l, cu, mu, f1) -> Printf.printf "%-12s %6d %6d %8.2f\n" l cu mu f1)
+    rows;
+  let get i = List.nth rows i in
+  let _, cu1, mu1, _ = get 0 and _, cu2, mu2, _ = get 1 and _, cuf, muf, _ = get 2 in
+  let sum_parts = cu1 + cu2 + mu1 + mu2 in
+  let fused_total = cuf + muf in
+  Printf.printf
+    "  fused model uses %d units vs %d for both parts (%.0f%% saving)\n"
+    fused_total sum_parts
+    (100. *. (1. -. (float_of_int fused_total /. float_of_int sum_parts)));
+  Printf.printf
+    "  [paper: fused ~= a single part, i.e. ~50%% of deploying both]\n"

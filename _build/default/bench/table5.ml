@@ -1,0 +1,61 @@
+(* Table 5: FPGA testbed resource consumption and power (paper §5.2.1).
+
+   The six Table 2 models are mapped onto the Alveo U250 model; the shell
+   (loopback) row anchors the calibration. Paper's rows:
+
+     Loopback  5.36 / 3.64 / 4.15 / 15.131 W
+     Base-AD   6.55 / 4.30 / 4.15 / 16.969     Hom-AD  6.61 / 4.43 / 4.15 / 17.440
+     Base-TC   6.69 / 4.48 / 4.15 / 17.553     Hom-TC  7.48 / 4.77 / 4.15 / 18.405
+     Base-BD   7.29 / 4.68 / 4.15 / 17.807     Hom-BD  6.72 / 4.49 / 4.15 / 17.309 *)
+
+open Homunculus_backends
+
+let paper_rows =
+  [
+    ("Loopback", (5.36, 3.64, 4.15, 15.131));
+    ("Base-AD", (6.55, 4.30, 4.15, 16.969));
+    ("Hom-AD", (6.61, 4.43, 4.15, 17.440));
+    ("Base-TC", (6.69, 4.48, 4.15, 17.553));
+    ("Hom-TC", (7.48, 4.77, 4.15, 18.405));
+    ("Base-BD", (7.29, 4.68, 4.15, 17.807));
+    ("Hom-BD", (6.72, 4.49, 4.15, 17.309));
+  ]
+
+let run () =
+  Bench_config.section "Table 5: FPGA resource utilization and power";
+  let device = Fpga.alveo_u250 in
+  let a = Table2.compute () in
+  let labeled_models =
+    List.combine [ "Base-AD"; "Base-TC"; "Base-BD" ] a.Table2.baseline_models
+    @ List.combine [ "Hom-AD"; "Hom-TC"; "Hom-BD" ] a.Table2.generated_models
+  in
+  let order = [ "Base-AD"; "Hom-AD"; "Base-TC"; "Hom-TC"; "Base-BD"; "Hom-BD" ] in
+  Printf.printf "%-10s %7s %7s %7s %10s   %s\n" "Model" "LUT%" "FF%" "BRAM%"
+    "Power(W)" "(paper LUT% / W)";
+  let print label (r : Fpga.report) =
+    let paper =
+      match List.assoc_opt label paper_rows with
+      | Some (lut, _, _, w) -> Printf.sprintf "(%.2f / %.3f)" lut w
+      | None -> ""
+    in
+    Printf.printf "%-10s %7.2f %7.2f %7.2f %10.3f   %s\n" label r.Fpga.lut_pct
+      r.Fpga.ff_pct r.Fpga.bram_pct r.Fpga.power_w paper
+  in
+  print "Loopback" (Fpga.loopback_report device);
+  List.iter
+    (fun label ->
+      let model = List.assoc label labeled_models in
+      print label (Fpga.report device model))
+    order;
+  (* Shape checks the paper highlights. *)
+  let report label = Fpga.report device (List.assoc label labeled_models) in
+  let loopback = Fpga.loopback_report device in
+  let all_above_shell =
+    List.for_all (fun l -> (report l).Fpga.power_w > loopback.Fpga.power_w) order
+  in
+  Printf.printf "  every model burns more power than loopback: %b\n" all_above_shell;
+  let bram_constant =
+    List.for_all (fun l -> (report l).Fpga.bram_pct = loopback.Fpga.bram_pct) order
+  in
+  Printf.printf "  BRAM%% constant across models (weights live in LUTs): %b\n"
+    bram_constant

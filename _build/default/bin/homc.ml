@@ -1,0 +1,317 @@
+(* homc — the Homunculus command-line compiler driver.
+
+   Subcommands:
+     compile   search + train + map one built-in application to a target and
+               dump the generated backend code
+     inspect   print a platform's resource model
+     datasets  summarize the synthetic dataset generators
+     sweep     Fig. 7-style table-budget sweep for the KMeans classifier *)
+
+open Cmdliner
+open Homunculus_alchemy
+open Homunculus_core
+module Rng = Homunculus_util.Rng
+module Nslkdd = Homunculus_netdata.Nslkdd
+module Iot = Homunculus_netdata.Iot
+module Botnet = Homunculus_netdata.Botnet
+module Dataset = Homunculus_ml.Dataset
+module Bo = Homunculus_bo
+
+let spec_of_app app seed =
+  match app with
+  | "ad" ->
+      Model_spec.make ~name:"anomaly_detection" ~metric:Model_spec.F1
+        ~algorithms:[ Model_spec.Dnn ]
+        ~loader:(fun () ->
+          let rng = Rng.create seed in
+          let train, test = Nslkdd.generate_split rng () in
+          Model_spec.data ~train ~test)
+        ()
+  | "tc" ->
+      Model_spec.make ~name:"traffic_classification" ~metric:Model_spec.F1
+        ~algorithms:[ Model_spec.Dnn; Model_spec.Svm; Model_spec.Tree ]
+        ~loader:(fun () ->
+          let rng = Rng.create seed in
+          let train, test = Iot.generate_split rng () in
+          Model_spec.data ~train ~test)
+        ()
+  | "tc-kmeans" ->
+      Model_spec.make ~name:"traffic_classification" ~metric:Model_spec.V_measure
+        ~algorithms:[ Model_spec.Kmeans ]
+        ~loader:(fun () ->
+          let rng = Rng.create seed in
+          let train, test = Iot.generate_split rng () in
+          Model_spec.data ~train ~test)
+        ()
+  | "bd" ->
+      Model_spec.make ~name:"botnet_detection" ~metric:Model_spec.F1
+        ~algorithms:[ Model_spec.Dnn ]
+        ~loader:(fun () ->
+          let rng = Rng.create seed in
+          let train, test = Botnet.generate rng () in
+          Model_spec.data ~train ~test)
+        ()
+  | other -> failwith (Printf.sprintf "unknown app %s (use ad|tc|tc-kmeans|bd)" other)
+
+let platform_of_name = function
+  | "taurus" -> Platform.taurus ()
+  | "tofino" -> Platform.tofino ()
+  | "fpga" -> Platform.fpga ()
+  | other -> failwith (Printf.sprintf "unknown target %s (use taurus|tofino|fpga)" other)
+
+(* Arguments *)
+
+let app_arg =
+  let doc = "Application: ad, tc, tc-kmeans, or bd." in
+  Arg.(value & pos 0 string "ad" & info [] ~docv:"APP" ~doc)
+
+let target_arg =
+  let doc = "Backend target: taurus, tofino, or fpga." in
+  Arg.(value & opt string "taurus" & info [ "t"; "target" ] ~docv:"TARGET" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for data generation and search." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let budget_arg =
+  let doc = "Total optimization evaluations (warm-up + guided)." in
+  Arg.(value & opt int 25 & info [ "budget" ] ~docv:"N" ~doc)
+
+let output_arg =
+  let doc = "Write generated backend code to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let options_of ~seed ~budget =
+  let n_init = Stdlib.max 3 (budget / 4) in
+  {
+    Compiler.default_options with
+    Compiler.seed;
+    bo_settings =
+      {
+        Bo.Optimizer.default_settings with
+        Bo.Optimizer.n_init;
+        n_iter = Stdlib.max 1 (budget - n_init);
+      };
+  }
+
+(* compile *)
+
+let compile app target seed budget output =
+  let spec = spec_of_app app seed in
+  let platform = platform_of_name target in
+  let options = options_of ~seed ~budget in
+  let result = Compiler.generate ~options platform (Schedule.model spec) in
+  print_string (Report.result_summary result);
+  (match result.Compiler.models with
+  | [ m ] -> (
+      Printf.printf "\nwinning configuration: %s\n"
+        (Report.config_summary m.Compiler.artifact.Evaluator.config);
+      Printf.printf "\n%s\n" (Report.render_regret m.Compiler.history);
+      match (m.Compiler.code, output) with
+      | Some code, Some path ->
+          Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc code);
+          Printf.printf "wrote %d bytes of %s code to %s\n" (String.length code)
+            (if target = "tofino" then "P4" else "Spatial")
+            path
+      | Some code, None ->
+          Printf.printf "generated %d lines of backend code (use -o to save)\n"
+            (List.length (String.split_on_char '\n' code))
+      | None, _ -> ())
+  | _ -> ());
+  0
+
+(* inspect *)
+
+let inspect target =
+  let platform = platform_of_name target in
+  Printf.printf "platform: %s\n" (Platform.name platform);
+  let perf = Platform.perf platform in
+  Printf.printf "constraints: %.3f Gpkt/s minimum, %.0f ns latency budget\n"
+    perf.Homunculus_backends.Resource.min_throughput_gpps
+    perf.Homunculus_backends.Resource.max_latency_ns;
+  (match platform.Platform.target with
+  | Platform.Taurus g ->
+      Printf.printf
+        "grid: %dx%d (%d CUs + %d MUs), %d-wide SIMD, %d params/MU, %.1f GHz\n"
+        g.Homunculus_backends.Taurus.rows g.Homunculus_backends.Taurus.cols
+        (Homunculus_backends.Taurus.available_cus g)
+        (Homunculus_backends.Taurus.available_mus g)
+        g.Homunculus_backends.Taurus.vec_width
+        g.Homunculus_backends.Taurus.mu_words
+        g.Homunculus_backends.Taurus.clock_ghz
+  | Platform.Tofino d ->
+      Printf.printf "pipeline: %d MATs, %d entries/table, %d stages\n"
+        d.Homunculus_backends.Tofino.n_tables
+        d.Homunculus_backends.Tofino.entries_per_table
+        d.Homunculus_backends.Tofino.n_stages
+  | Platform.Fpga d ->
+      let r = Homunculus_backends.Fpga.loopback_report d in
+      Printf.printf "shell (loopback): %.2f%% LUT, %.2f%% FF, %.2f%% BRAM, %.3f W\n"
+        r.Homunculus_backends.Fpga.lut_pct r.Homunculus_backends.Fpga.ff_pct
+        r.Homunculus_backends.Fpga.bram_pct r.Homunculus_backends.Fpga.power_w);
+  List.iter
+    (fun algo ->
+      Printf.printf "  %-8s %s\n"
+        (Model_spec.algorithm_to_string algo)
+        (if Platform.supports platform algo then "supported" else "unsupported"))
+    Model_spec.all_algorithms;
+  0
+
+(* datasets *)
+
+let datasets seed =
+  let rng = Rng.create seed in
+  let show name (d : Dataset.t) =
+    Printf.printf "%-22s %6d samples, %3d features, %d classes, counts [%s]\n"
+      name (Dataset.n_samples d) (Dataset.n_features d) d.Dataset.n_classes
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int (Dataset.class_counts d))))
+  in
+  show "nslkdd (AD)" (Nslkdd.generate rng ());
+  show "iot (TC)" (Iot.generate rng ());
+  let train, test = Botnet.generate rng () in
+  show "botnet train (flows)" train;
+  show "botnet test (packets)" test;
+  0
+
+(* sweep *)
+
+let sweep seed budget =
+  let spec = spec_of_app "tc-kmeans" seed in
+  let options = options_of ~seed ~budget in
+  Printf.printf "%-4s %10s %6s\n" "K" "V-measure" "MATs";
+  List.iter
+    (fun tables ->
+      let platform = Platform.with_tables (Platform.tofino ()) tables in
+      let r = Compiler.search_model ~options platform spec in
+      let a = r.Compiler.artifact in
+      Printf.printf "K%-3d %10.2f %6d\n" tables
+        (100. *. a.Evaluator.objective)
+        (Homunculus_backends.Tofino.mats_used a.Evaluator.verdict))
+    [ 5; 4; 3; 2; 1 ];
+  0
+
+(* place: search a model and show its grid floor plan *)
+
+let place app seed budget =
+  let spec = spec_of_app app seed in
+  let options = options_of ~seed ~budget in
+  let result = Compiler.search_model ~options (Platform.taurus ()) spec in
+  let model = result.Compiler.artifact.Evaluator.model_ir in
+  let grid = Homunculus_backends.Taurus.default_grid in
+  Printf.printf "model: %s (%d params)\n"
+    (Homunculus_backends.Model_ir.algorithm model)
+    (Homunculus_backends.Model_ir.param_count model);
+  (match Homunculus_backends.Placement.place_model grid model with
+  | Ok p ->
+      Printf.printf "utilization %.0f%%, wirelength %.1f\n\n%s"
+        (100. *. Homunculus_backends.Placement.utilization p)
+        (Homunculus_backends.Placement.wirelength p)
+        (Homunculus_backends.Placement.render p)
+  | Error e -> Printf.printf "placement failed: %s\n" e);
+  0
+
+(* simulate: drive the mapped model with packet load *)
+
+let simulate app seed budget rate packets =
+  let spec = spec_of_app app seed in
+  let options = options_of ~seed ~budget in
+  let result = Compiler.search_model ~options (Platform.taurus ()) spec in
+  let model = result.Compiler.artifact.Evaluator.model_ir in
+  let grid = Homunculus_backends.Taurus.default_grid in
+  let mapping = Homunculus_backends.Taurus.map_model grid model in
+  let config = Homunculus_backends.Pipeline_sim.config_of_mapping grid mapping in
+  let arrivals =
+    Homunculus_backends.Pipeline_sim.poisson_arrivals (Rng.create seed)
+      ~rate_gpps:rate ~n:packets
+  in
+  let s = Homunculus_backends.Pipeline_sim.simulate config ~arrivals_ns:arrivals in
+  Printf.printf
+    "II=%d, depth %d cycles; %d packets at %.2f Gpkt/s Poisson:\n\
+     delivered %.3f Gpkt/s, mean %.1f ns, p99 %.1f ns, %d drops, max queue %d\n"
+    mapping.Homunculus_backends.Taurus.ii
+    config.Homunculus_backends.Pipeline_sim.pipeline_cycles packets rate
+    s.Homunculus_backends.Pipeline_sim.achieved_gpps
+    s.Homunculus_backends.Pipeline_sim.mean_latency_ns
+    s.Homunculus_backends.Pipeline_sim.p99_latency_ns
+    s.Homunculus_backends.Pipeline_sim.packets_dropped
+    s.Homunculus_backends.Pipeline_sim.max_queue_depth;
+  0
+
+(* export-trace: freeze a synthetic flow population to disk *)
+
+let export_trace seed flows output =
+  let rng = Rng.create seed in
+  let population =
+    Homunculus_netdata.Flowsim.generate rng
+      ~mix:{ Homunculus_netdata.Flowsim.n_flows = flows; botnet_frac = 0.5; max_packets = 400 }
+      ()
+  in
+  (match output with
+  | Some path ->
+      Homunculus_netdata.Trace.save ~path population;
+      Printf.printf "wrote %d flows to %s\n" flows path
+  | None -> print_string (Homunculus_netdata.Trace.to_string population));
+  0
+
+let flows_arg =
+  let doc = "Number of flows to synthesize." in
+  Arg.(value & opt int 200 & info [ "flows" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "Offered load in Gpkt/s for the pipeline simulation." in
+  Arg.(value & opt float 0.9 & info [ "rate" ] ~docv:"GPPS" ~doc)
+
+let packets_arg =
+  let doc = "Number of packets to simulate." in
+  Arg.(value & opt int 20000 & info [ "packets" ] ~docv:"N" ~doc)
+
+(* Command wiring *)
+
+let compile_cmd =
+  let doc = "Search, train, and compile an application for a data-plane target." in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const compile $ app_arg $ target_arg $ seed_arg $ budget_arg $ output_arg)
+
+let inspect_cmd =
+  let doc = "Print a target platform's resource model and capabilities." in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ target_arg)
+
+let datasets_cmd =
+  let doc = "Summarize the synthetic dataset generators." in
+  Cmd.v (Cmd.info "datasets" ~doc) Term.(const datasets $ seed_arg)
+
+let sweep_cmd =
+  let doc = "Sweep the KMeans classifier across MAT budgets (Fig. 7)." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const sweep $ seed_arg $ budget_arg)
+
+let place_cmd =
+  let doc = "Show a searched model's floor plan on the Taurus grid." in
+  Cmd.v (Cmd.info "place" ~doc) Term.(const place $ app_arg $ seed_arg $ budget_arg)
+
+let simulate_cmd =
+  let doc = "Drive a searched model's pipeline with packet load." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const simulate $ app_arg $ seed_arg $ budget_arg $ rate_arg $ packets_arg)
+
+let export_trace_cmd =
+  let doc = "Synthesize a P2P flow population and write it as a trace file." in
+  Cmd.v (Cmd.info "export-trace" ~doc)
+    Term.(const export_trace $ seed_arg $ flows_arg $ output_arg)
+
+let main_cmd =
+  let doc = "Homunculus: auto-generating data-plane ML pipelines" in
+  Cmd.group (Cmd.info "homc" ~version:"1.0.0" ~doc)
+    [
+      compile_cmd; inspect_cmd; datasets_cmd; sweep_cmd; place_cmd;
+      simulate_cmd; export_trace_cmd;
+    ]
+
+let () =
+  (* HOMUNCULUS_VERBOSE=1 turns on compiler progress logging. *)
+  (match Sys.getenv_opt "HOMUNCULUS_VERBOSE" with
+  | Some ("1" | "true" | "yes") ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+  | Some _ | None -> ());
+  exit (Cmd.eval' main_cmd)

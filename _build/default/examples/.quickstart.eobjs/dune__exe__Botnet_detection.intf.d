@@ -1,0 +1,1 @@
+examples/botnet_detection.mli:

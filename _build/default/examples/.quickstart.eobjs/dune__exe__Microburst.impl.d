@@ -1,0 +1,1 @@
+examples/microburst.ml: Array Homunculus_backends Homunculus_util List Model_ir Pipeline_sim Printf Taurus

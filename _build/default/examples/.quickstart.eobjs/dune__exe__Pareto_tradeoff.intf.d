@@ -1,0 +1,1 @@
+examples/pareto_tradeoff.mli:

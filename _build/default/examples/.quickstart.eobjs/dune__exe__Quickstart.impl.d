@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Evaluator Filename Homunculus_alchemy Homunculus_core Homunculus_ml Homunculus_netdata Homunculus_util List Model_spec Platform Printf Report Schedule String Sys

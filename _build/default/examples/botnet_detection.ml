@@ -1,0 +1,106 @@
+(* Botnet detection with per-packet partial flowmarkers (paper §5.1.1).
+
+   FlowLens-style detectors aggregate packet-size and inter-arrival-time
+   histograms for up to an hour before classifying a flow. This example
+   reproduces the paper's headline reaction-time result: a model trained on
+   full-flow histograms still detects botnets from *partial* histograms a
+   few packets into the flow — shrinking reaction time from 3,600 s to the
+   switch's pipeline latency.
+
+   Run with: dune exec examples/botnet_detection.exe *)
+
+open Homunculus_alchemy
+open Homunculus_core
+open Homunculus_netdata
+module Rng = Homunculus_util.Rng
+module Dataset = Homunculus_ml.Dataset
+
+let () =
+  let rng = Rng.create 33 in
+  (* Show the Fig. 6 contrast first: average class histograms diverge. *)
+  let flows = Flowsim.generate rng () in
+  let show label =
+    let pl, ipt =
+      Flowsim.average_flowmarker flows ~label ~pl_spec:Botnet.pl_spec_fused
+        ~ipt_spec:Botnet.ipt_spec_fused
+    in
+    Printf.printf "%-7s PL bins (64 B):  %s\n" (Flow.label_to_string label)
+      (String.concat " " (List.map (Printf.sprintf "%.2f") (Array.to_list pl)));
+    Printf.printf "        IPT bins (34 s): %s\n"
+      (String.concat " " (List.map (Printf.sprintf "%.2f") (Array.to_list ipt)))
+  in
+  show Flow.Benign;
+  show Flow.Botnet;
+
+  (* Train on full-flow markers, evaluate on per-packet partial markers. *)
+  let loader () =
+    let rng = Rng.create 34 in
+    let train, test =
+      Botnet.generate rng ~n_train_flows:250 ~n_test_flows:100 ()
+    in
+    Model_spec.data ~train ~test
+  in
+  let bd =
+    Model_spec.make ~name:"botnet_detection" ~metric:Model_spec.F1
+      ~algorithms:[ Model_spec.Dnn ] ~loader ()
+  in
+  let result =
+    Compiler.generate ~options:Compiler.quick_options (Platform.taurus ())
+      (Schedule.model bd)
+  in
+  print_newline ();
+  print_string (Report.result_summary result);
+  (match result.Compiler.models with
+  | [ m ] ->
+      let a = m.Compiler.artifact in
+      Printf.printf
+        "\nper-packet F1 of %.1f means a verdict every packet, ~%.0f ns after\n\
+         arrival — versus waiting 3,600 s for a full flowmarker.\n"
+        (100. *. a.Evaluator.objective)
+        a.Evaluator.verdict.Homunculus_backends.Resource.latency_ns
+  | _ -> assert false);
+  (* Reaction-time curve: F1 as a function of packets seen so far. *)
+  let data = Model_spec.load bd in
+  let scaler, train_s = Homunculus_ml.Scaler.fit_dataset data.Model_spec.train in
+  ignore train_s;
+  let test_flows = Flowsim.generate (Rng.create 35) () in
+  match result.Compiler.models with
+  | [ m ] -> (
+      match m.Compiler.artifact.Evaluator.model_ir with
+      | Homunculus_backends.Model_ir.Dnn _ ->
+          Printf.printf "\nreaction-time curve (packets seen -> F1%%):\n";
+          (* One fixed MLP trained on full-flow markers, probed at growing
+             prefix lengths. *)
+          let mlp =
+            Homunculus_ml.Mlp.create (Rng.create 36) ~input_dim:30
+              ~hidden:[| 12; 8 |] ~output_dim:2 ()
+          in
+          let train_scaled =
+            Homunculus_ml.Scaler.apply_dataset scaler data.Model_spec.train
+          in
+          let _ =
+            Homunculus_ml.Train.fit (Rng.create 37) mlp
+              {
+                Homunculus_ml.Train.default_config with
+                Homunculus_ml.Train.epochs = 25;
+              }
+              train_scaled
+          in
+          List.iter
+            (fun k ->
+              let samples =
+                Array.to_list test_flows
+                |> List.filter (fun f -> Flow.n_packets f >= 2)
+                |> List.map (fun f ->
+                       ( Botnet.flow_features Botnet.Fused f ~first_packets:k (),
+                         Flow.label_to_int f.Flow.label ))
+              in
+              let x = Array.of_list (List.map fst samples) in
+              let y = Array.of_list (List.map snd samples) in
+              let x = Homunculus_ml.Scaler.transform scaler x in
+              let pred = Homunculus_ml.Mlp.predict_all mlp x in
+              let f1 = Homunculus_ml.Metrics.f1 ~pred ~truth:y () in
+              Printf.printf "  %3d packets: F1 = %.1f\n" k (100. *. f1))
+            [ 2; 4; 8; 16; 32; 64 ]
+      | _ -> ())
+  | _ -> ()

@@ -1,0 +1,1 @@
+lib/alchemy/iomap.ml: List Model_spec Printf Schedule

@@ -1,0 +1,1 @@
+lib/alchemy/iomap.mli: Schedule

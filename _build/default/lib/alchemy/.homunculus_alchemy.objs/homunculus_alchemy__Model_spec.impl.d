@@ -1,0 +1,1 @@
+lib/alchemy/model_spec.ml: Homunculus_ml

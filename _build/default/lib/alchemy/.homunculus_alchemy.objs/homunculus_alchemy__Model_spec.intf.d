@@ -1,0 +1,1 @@
+lib/alchemy/model_spec.mli: Homunculus_ml

@@ -1,0 +1,1 @@
+lib/alchemy/platform.ml: Fpga Homunculus_backends Model_spec Option Printf Resource Taurus Tofino

@@ -1,0 +1,1 @@
+lib/alchemy/platform.mli: Fpga Homunculus_backends Model_ir Model_spec Resource Taurus Tofino

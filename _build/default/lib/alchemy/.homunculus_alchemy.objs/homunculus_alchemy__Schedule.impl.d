@@ -1,0 +1,1 @@
+lib/alchemy/schedule.ml: Hashtbl Homunculus_backends List Model_spec Printf Stdlib

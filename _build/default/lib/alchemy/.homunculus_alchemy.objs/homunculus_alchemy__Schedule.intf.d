@@ -1,0 +1,1 @@
+lib/alchemy/schedule.mli: Homunculus_backends Model_spec

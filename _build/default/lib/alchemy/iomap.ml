@@ -1,0 +1,95 @@
+type endpoint =
+  | External of string
+  | Model_port of { model : string; port : string }
+
+let endpoint_to_string = function
+  | External name -> name
+  | Model_port { model; port } -> model ^ "." ^ port
+
+type t = { connections : (endpoint * endpoint) list }
+
+let empty = { connections = [] }
+
+let connect t ~src ~dst =
+  if src = dst then invalid_arg "Iomap.connect: self-wire";
+  { connections = t.connections @ [ (src, dst) ] }
+
+let connections t = t.connections
+
+let in_port model = Model_port { model; port = "in" }
+let out_port model = Model_port { model; port = "out" }
+
+let passthrough schedule =
+  (* Wire the schedule structurally: heads get packet_in, Seq edges chain
+     tails to heads, and final tails drive verdict_out. *)
+  let rec heads = function
+    | Schedule.Model spec -> [ Model_spec.name spec ]
+    | Schedule.Seq (a, _) -> heads a
+    | Schedule.Par (a, b) -> heads a @ heads b
+  in
+  let rec tails = function
+    | Schedule.Model spec -> [ Model_spec.name spec ]
+    | Schedule.Seq (_, b) -> tails b
+    | Schedule.Par (a, b) -> tails a @ tails b
+  in
+  let rec internal_edges = function
+    | Schedule.Model _ -> []
+    | Schedule.Seq (a, b) ->
+        internal_edges a @ internal_edges b
+        @ List.concat_map
+            (fun ta -> List.map (fun hb -> (out_port ta, in_port hb)) (heads b))
+            (tails a)
+    | Schedule.Par (a, b) -> internal_edges a @ internal_edges b
+  in
+  let entry =
+    List.map (fun h -> (External "packet_in", in_port h)) (heads schedule)
+  in
+  let exits =
+    List.map (fun t -> (out_port t, External "verdict_out")) (tails schedule)
+  in
+  { connections = entry @ internal_edges schedule @ exits }
+
+let validate t schedule =
+  let model_names = List.map Model_spec.name (Schedule.models schedule) in
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let check_endpoint = function
+    | External _ -> ()
+    | Model_port { model; port } ->
+        if not (List.mem model model_names) then
+          problem "unknown model '%s' referenced by port '%s'" model port
+  in
+  List.iter
+    (fun (src, dst) ->
+      check_endpoint src;
+      check_endpoint dst;
+      match (src, dst) with
+      | Model_port { model = m1; _ }, Model_port { model = m2; _ } when m1 = m2
+        ->
+          problem "model '%s' feeds itself" m1
+      | (External _ | Model_port _), (External _ | Model_port _) -> ())
+    t.connections;
+  (* Fan-in is legal — a model may merge several upstreams, as in
+     (a | b) > c — but the exact same wire appearing twice is a bug. *)
+  let rec find_duplicate = function
+    | [] -> None
+    | wire :: rest -> if List.mem wire rest then Some wire else find_duplicate rest
+  in
+  (match find_duplicate t.connections with
+  | Some (src, dst) ->
+      problem "duplicate wire %s -> %s" (endpoint_to_string src)
+        (endpoint_to_string dst)
+  | None -> ());
+  List.iter
+    (fun name ->
+      let drivers =
+        List.filter
+          (fun (_, dst) ->
+            match dst with
+            | Model_port { model; port } -> model = name && port = "in"
+            | External _ -> false)
+          t.connections
+      in
+      if drivers = [] then problem "model '%s' input is not driven" name)
+    model_names;
+  match List.rev !problems with [] -> Ok () | ps -> Error ps

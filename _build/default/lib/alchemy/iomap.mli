@@ -1,0 +1,33 @@
+(** Alchemy's [IOMap] construct (paper §3.1, Table 1): declares how model
+    inputs/outputs connect to each other and to the outside world (packet
+    headers in, classification verdicts out).
+
+    A connection is a directed wire [source -> sink]. Endpoints are either
+    external ports or named model ports. Validation checks the wiring
+    against a schedule: every model input driven exactly once, drivers exist,
+    and no model feeds itself. *)
+
+type endpoint =
+  | External of string  (** e.g. "packet_in", "verdict_out" *)
+  | Model_port of { model : string; port : string }
+
+val endpoint_to_string : endpoint -> string
+
+type t
+
+val empty : t
+val connect : t -> src:endpoint -> dst:endpoint -> t
+(** @raise Invalid_argument when [src = dst]. *)
+
+val connections : t -> (endpoint * endpoint) list
+
+val passthrough : Schedule.t -> t
+(** The default wiring the compiler synthesizes when the user gives no
+    mapper: packet features feed every chain head, sequential edges wire
+    output to input, and chain tails drive the external verdict. *)
+
+val validate : t -> Schedule.t -> (unit, string list) result
+(** All model endpoints reference schedule models; every model's "in" port
+    has at least one driver (fan-in from several upstreams is legal, as in
+    [(a | b) > c]); no self-loops; no duplicated wires. Returns all problems
+    found. *)

@@ -1,0 +1,54 @@
+module Dataset = Homunculus_ml.Dataset
+
+type metric = F1 | Accuracy | V_measure
+
+let metric_to_string = function
+  | F1 -> "f1"
+  | Accuracy -> "accuracy"
+  | V_measure -> "v_measure"
+
+type algorithm = Dnn | Kmeans | Svm | Tree
+
+let algorithm_to_string = function
+  | Dnn -> "dnn"
+  | Kmeans -> "kmeans"
+  | Svm -> "svm"
+  | Tree -> "tree"
+
+let all_algorithms = [ Dnn; Kmeans; Svm; Tree ]
+
+type data = { train : Dataset.t; test : Dataset.t }
+
+let data ~train ~test =
+  if train.Dataset.feature_names <> test.Dataset.feature_names then
+    invalid_arg "Model_spec.data: train/test feature schema mismatch";
+  if train.Dataset.n_classes <> test.Dataset.n_classes then
+    invalid_arg "Model_spec.data: train/test class count mismatch";
+  { train; test }
+
+type t = {
+  name : string;
+  metric : metric;
+  algorithms : algorithm list;
+  loader : unit -> data;
+  mutable cache : data option;
+}
+
+let make ~name ?(metric = F1) ?(algorithms = all_algorithms) ~loader () =
+  if name = "" then invalid_arg "Model_spec.make: empty name";
+  if algorithms = [] then invalid_arg "Model_spec.make: empty algorithm list";
+  { name; metric; algorithms; loader; cache = None }
+
+let name t = t.name
+let metric t = t.metric
+let algorithms t = t.algorithms
+
+let load t =
+  match t.cache with
+  | Some d -> d
+  | None ->
+      let d = t.loader () in
+      t.cache <- Some d;
+      d
+
+let feature_names t = (load t).train.Dataset.feature_names

@@ -1,0 +1,67 @@
+open Homunculus_backends
+
+type target =
+  | Taurus of Taurus.grid
+  | Tofino of Tofino.device
+  | Fpga of Fpga.device
+
+type t = { target : target; perf : Resource.perf }
+
+let taurus ?(grid = Taurus.default_grid) ?(perf = Resource.line_rate) () =
+  { target = Taurus grid; perf }
+
+let tofino ?(device = Tofino.default_device) ?(perf = Resource.line_rate) () =
+  { target = Tofino device; perf }
+
+let fpga ?(device = Fpga.alveo_u250) ?perf () =
+  let perf =
+    match perf with
+    | Some p -> p
+    | None ->
+        Resource.perf ~min_throughput_gpps:device.Fpga.clock_ghz
+          ~max_latency_ns:1500.
+  in
+  { target = Fpga device; perf }
+
+let constrain t ?min_throughput_gpps ?max_latency_ns () =
+  let p = t.perf in
+  let p =
+    Resource.perf
+      ~min_throughput_gpps:
+        (Option.value min_throughput_gpps ~default:p.Resource.min_throughput_gpps)
+      ~max_latency_ns:
+        (Option.value max_latency_ns ~default:p.Resource.max_latency_ns)
+  in
+  { t with perf = p }
+
+let with_resources t ~rows ~cols =
+  match t.target with
+  | Taurus _ -> { t with target = Taurus (Taurus.grid_with_size ~rows ~cols) }
+  | Tofino _ | Fpga _ ->
+      invalid_arg "Platform.with_resources: only Taurus grids have rows/cols"
+
+let with_tables t n =
+  match t.target with
+  | Tofino _ -> { t with target = Tofino (Tofino.device_with_tables n) }
+  | Taurus _ | Fpga _ ->
+      invalid_arg "Platform.with_tables: only Tofino targets have MAT budgets"
+
+let name t =
+  match t.target with
+  | Taurus g -> Printf.sprintf "taurus-%dx%d" g.Taurus.rows g.Taurus.cols
+  | Tofino d -> Printf.sprintf "tofino-%dmat" d.Tofino.n_tables
+  | Fpga d -> d.Fpga.name
+
+let perf t = t.perf
+
+let supports t (algo : Model_spec.algorithm) =
+  match (t.target, algo) with
+  | (Taurus _ | Fpga _), (Model_spec.Dnn | Kmeans | Svm | Tree) -> true
+  | Tofino _, (Model_spec.Kmeans | Svm | Tree) -> true
+  | Tofino _, Model_spec.Dnn -> false
+
+let estimate t model =
+  match t.target with
+  | Taurus grid -> Taurus.estimate grid t.perf model
+  | Tofino device -> Tofino.estimate_model device t.perf model
+  | Fpga device -> Fpga.estimate device t.perf model

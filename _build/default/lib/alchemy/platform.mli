@@ -1,0 +1,50 @@
+(** Alchemy's [Platforms] construct: a physical target plus its performance
+    and resource constraints (paper §3.1, Table 1: [Platforms < (performance,
+    resources)]). *)
+
+open Homunculus_backends
+
+type target =
+  | Taurus of Taurus.grid
+  | Tofino of Tofino.device
+  | Fpga of Fpga.device
+
+type t = { target : target; perf : Resource.perf }
+
+val taurus : ?grid:Taurus.grid -> ?perf:Resource.perf -> unit -> t
+(** Defaults: 16x16 grid, 1 Gpkt/s @ 500 ns (the paper's evaluation
+    constraint). *)
+
+val tofino : ?device:Tofino.device -> ?perf:Resource.perf -> unit -> t
+(** Defaults: 32 tables, 1 Gpkt/s @ 500 ns. *)
+
+val fpga : ?device:Fpga.device -> ?perf:Resource.perf -> unit -> t
+(** Defaults: Alveo U250 at its own clock rate (0.322 Gpkt/s @ 1500 ns). *)
+
+val constrain :
+  t ->
+  ?min_throughput_gpps:float ->
+  ?max_latency_ns:float ->
+  unit ->
+  t
+(** The [<] operator: tighten performance constraints. *)
+
+val with_resources : t -> rows:int -> cols:int -> t
+(** Resize a Taurus grid ("resources": rows 16, cols 16 in the running
+    example, Fig. 3). @raise Invalid_argument for non-Taurus targets. *)
+
+val with_tables : t -> int -> t
+(** Shrink/grow a Tofino table budget (Fig. 7's K5..K1).
+    @raise Invalid_argument for non-Tofino targets. *)
+
+val name : t -> string
+val perf : t -> Resource.perf
+
+val supports : t -> Model_spec.algorithm -> bool
+(** Structural capability filter (paper §3.2.1, candidate selection): MAT
+    switches support the table-mappable algorithms (KMeans/SVM/Tree) plus
+    only severely size-limited binarized DNNs; Taurus and FPGAs run all
+    four. The fine-grained size check is [estimate]. *)
+
+val estimate : t -> Model_ir.t -> Resource.verdict
+(** Ask the backend for resources/latency/throughput/feasibility. *)

@@ -1,0 +1,93 @@
+module Resource = Homunculus_backends.Resource
+
+type t = Model of Model_spec.t | Seq of t * t | Par of t * t
+
+let model spec = Model spec
+let seq a b = Seq (a, b)
+let par a b = Par (a, b)
+let ( >>> ) = seq
+let ( ||| ) = par
+
+let rec models = function
+  | Model spec -> [ spec ]
+  | Seq (a, b) | Par (a, b) -> models a @ models b
+
+let n_models t = List.length (models t)
+
+let rec depth = function
+  | Model _ -> 1
+  | Seq (a, b) -> depth a + depth b
+  | Par (a, b) -> Stdlib.max (depth a) (depth b)
+
+let rec width = function
+  | Model _ -> 1
+  | Seq (a, b) -> Stdlib.max (width a) (width b)
+  | Par (a, b) -> width a + width b
+
+let rec to_string = function
+  | Model spec -> Model_spec.name spec
+  | Seq (a, b) -> Printf.sprintf "(%s > %s)" (to_string a) (to_string b)
+  | Par (a, b) -> Printf.sprintf "(%s | %s)" (to_string a) (to_string b)
+
+type combined = {
+  verdict : Resource.verdict;
+  per_model : (string * Resource.verdict) list;
+}
+
+(* Usage lists add component-wise; the resources are shared hardware so the
+   availability stays constant per name. *)
+let add_usages a b =
+  let merged = Hashtbl.create 8 in
+  let order = ref [] in
+  let absorb u =
+    match Hashtbl.find_opt merged u.Resource.resource with
+    | Some prev ->
+        Hashtbl.replace merged u.Resource.resource
+          { prev with Resource.used = prev.Resource.used +. u.Resource.used }
+    | None ->
+        Hashtbl.add merged u.Resource.resource u;
+        order := u.Resource.resource :: !order
+  in
+  List.iter absorb a;
+  List.iter absorb b;
+  List.rev_map (Hashtbl.find merged) !order
+
+type folded = {
+  usages : Resource.usage list;
+  latency_ns : float;
+  throughput_gpps : float;
+}
+
+let combine t ~perf ~estimate =
+  let per_model = ref [] in
+  let rec fold node =
+    match node with
+    | Model spec ->
+        let v = estimate spec in
+        per_model := (Model_spec.name spec, v) :: !per_model;
+        {
+          usages = v.Resource.usages;
+          latency_ns = v.Resource.latency_ns;
+          throughput_gpps = v.Resource.throughput_gpps;
+        }
+    | Seq (a, b) ->
+        let fa = fold a and fb = fold b in
+        {
+          usages = add_usages fa.usages fb.usages;
+          latency_ns = fa.latency_ns +. fb.latency_ns;
+          throughput_gpps = Stdlib.min fa.throughput_gpps fb.throughput_gpps;
+        }
+    | Par (a, b) ->
+        let fa = fold a and fb = fold b in
+        {
+          usages = add_usages fa.usages fb.usages;
+          latency_ns = Stdlib.max fa.latency_ns fb.latency_ns;
+          throughput_gpps = Stdlib.min fa.throughput_gpps fb.throughput_gpps;
+        }
+  in
+  let f = fold t in
+  let verdict =
+    Resource.check perf ~usages:f.usages ~latency_ns:f.latency_ns
+      ~throughput_gpps:f.throughput_gpps
+  in
+  { verdict; per_model = List.rev !per_model }

@@ -1,0 +1,47 @@
+(** Alchemy's compositional operators (paper §3.1, Table 1): models combine
+    sequentially ([>], here {!seq}) or in parallel ([|], here {!par}) into a
+    DAG of any depth, as long as the resources permit. *)
+
+type t =
+  | Model of Model_spec.t
+  | Seq of t * t  (** left feeds right *)
+  | Par of t * t  (** both run on the same packet stream *)
+
+val model : Model_spec.t -> t
+val seq : t -> t -> t
+val par : t -> t -> t
+
+val ( >>> ) : t -> t -> t
+(** Infix [seq] — the paper's [mdl1 > mdl2]. *)
+
+val ( ||| ) : t -> t -> t
+(** Infix [par] — the paper's [mdl1 | mdl2]. *)
+
+val models : t -> Model_spec.t list
+(** Left-to-right leaf order. *)
+
+val n_models : t -> int
+val depth : t -> int
+(** Longest sequential chain length (pipeline stages). *)
+
+val width : t -> int
+(** Maximum number of models active in parallel. *)
+
+val to_string : t -> string
+(** Paper notation, e.g. ["(ad > (ad | ad)) > ad"]. *)
+
+type combined = {
+  verdict : Homunculus_backends.Resource.verdict;
+  per_model : (string * Homunculus_backends.Resource.verdict) list;
+}
+
+val combine :
+  t ->
+  perf:Homunculus_backends.Resource.perf ->
+  estimate:(Model_spec.t -> Homunculus_backends.Resource.verdict) ->
+  combined
+(** Fold per-model verdicts into a schedule-level verdict: resource usages
+    add (shared availability), sequential latencies add, parallel latencies
+    take the max, and throughput is the minimum over all models — the
+    consistency rule of §3.2.1 (a 1 Gpkt/s model feeding a 0.5 Gpkt/s model
+    runs at 0.5 Gpkt/s). *)

@@ -1,0 +1,1 @@
+lib/backends/bnn.ml: Array Float Iisy Inference Model_ir Stdlib

@@ -1,0 +1,1 @@
+lib/backends/bnn.mli: Model_ir

@@ -1,0 +1,1 @@
+lib/backends/feature_binding.mli:

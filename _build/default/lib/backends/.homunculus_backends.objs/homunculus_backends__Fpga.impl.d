@@ -1,0 +1,1 @@
+lib/backends/fpga.ml: Array Homunculus_ml Model_ir Resource Taurus

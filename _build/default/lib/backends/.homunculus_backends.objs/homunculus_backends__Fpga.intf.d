@@ -1,0 +1,1 @@
+lib/backends/fpga.mli: Model_ir Resource

@@ -1,0 +1,1 @@
+lib/backends/grid_sim.ml: Array Float List Stdlib Taurus

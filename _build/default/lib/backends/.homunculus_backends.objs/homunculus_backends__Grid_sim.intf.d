@@ -1,0 +1,1 @@
+lib/backends/grid_sim.mli: Model_ir Taurus

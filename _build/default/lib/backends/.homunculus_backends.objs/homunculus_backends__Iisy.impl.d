@@ -1,0 +1,1 @@
+lib/backends/iisy.ml: Array Float Homunculus_ml Homunculus_util List Model_ir Printf Stage_alloc Stdlib

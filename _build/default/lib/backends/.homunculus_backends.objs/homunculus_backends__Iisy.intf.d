@@ -1,0 +1,1 @@
+lib/backends/iisy.mli: Homunculus_ml Model_ir Stage_alloc

@@ -1,0 +1,1 @@
+lib/backends/inference.ml: Array Float Homunculus_ml Homunculus_util Model_ir

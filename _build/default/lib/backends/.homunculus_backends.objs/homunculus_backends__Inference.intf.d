@@ -1,0 +1,1 @@
+lib/backends/inference.mli: Model_ir

@@ -1,0 +1,1 @@
+lib/backends/ir_io.ml: Array Homunculus_ml Homunculus_util In_channel List Model_ir Out_channel Printf

@@ -1,0 +1,1 @@
+lib/backends/ir_io.mli: Homunculus_util Model_ir

@@ -1,0 +1,1 @@
+lib/backends/model_ir.ml: Activation Array Decision_tree Homunculus_ml Homunculus_tensor Kmeans Layer Mat Mlp Printf Svm

@@ -1,0 +1,1 @@
+lib/backends/model_ir.mli: Homunculus_ml

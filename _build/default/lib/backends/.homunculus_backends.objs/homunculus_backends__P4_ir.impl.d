@@ -1,0 +1,1 @@
+lib/backends/p4_ir.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/backends/p4_ir.mli:

@@ -1,0 +1,1 @@
+lib/backends/p4gen.ml: Array Buffer Float Homunculus_ml Homunculus_util List Model_ir P4_ir Printf Range_match Stdlib String

@@ -1,0 +1,1 @@
+lib/backends/p4gen.mli: Model_ir P4_ir

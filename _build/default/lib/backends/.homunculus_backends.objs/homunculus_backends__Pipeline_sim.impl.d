@@ -1,0 +1,1 @@
+lib/backends/pipeline_sim.ml: Array Homunculus_util Queue Stdlib Taurus

@@ -1,0 +1,1 @@
+lib/backends/pipeline_sim.mli: Homunculus_util Taurus

@@ -1,0 +1,1 @@
+lib/backends/placement.ml: Array Buffer Char Float List Printf Taurus

@@ -1,0 +1,1 @@
+lib/backends/placement.mli: Model_ir Taurus

@@ -1,0 +1,1 @@
+lib/backends/range_match.ml: List String

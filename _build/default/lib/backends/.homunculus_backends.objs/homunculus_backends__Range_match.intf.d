@@ -1,0 +1,1 @@
+lib/backends/range_match.mli:

@@ -1,0 +1,1 @@
+lib/backends/resource.ml: Format List Printf String

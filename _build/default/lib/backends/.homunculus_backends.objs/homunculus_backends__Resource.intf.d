@@ -1,0 +1,1 @@
+lib/backends/resource.mli: Format

@@ -1,0 +1,1 @@
+lib/backends/runtime.ml: Array Float Homunculus_ml Homunculus_util Inference Model_ir

@@ -1,0 +1,1 @@
+lib/backends/runtime.mli: Model_ir

@@ -1,0 +1,1 @@
+lib/backends/spatial.ml: Array Format Hashtbl Homunculus_ml Homunculus_util List Model_ir Option Printf Spatial_ir Stdlib String

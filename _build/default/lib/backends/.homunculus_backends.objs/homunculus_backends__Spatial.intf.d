@@ -1,0 +1,1 @@
+lib/backends/spatial.mli: Model_ir Spatial_ir

@@ -1,0 +1,1 @@
+lib/backends/spatial_ir.ml: Array Buffer Format List Printf Stdlib String

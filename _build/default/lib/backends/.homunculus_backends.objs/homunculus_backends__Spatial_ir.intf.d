@@ -1,0 +1,1 @@
+lib/backends/spatial_ir.mli: Format

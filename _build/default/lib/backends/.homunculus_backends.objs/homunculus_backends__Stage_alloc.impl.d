@@ -1,0 +1,1 @@
+lib/backends/stage_alloc.ml: Array Hashtbl List Printf Stdlib String

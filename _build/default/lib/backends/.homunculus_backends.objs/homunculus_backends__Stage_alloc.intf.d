@@ -1,0 +1,1 @@
+lib/backends/stage_alloc.mli:

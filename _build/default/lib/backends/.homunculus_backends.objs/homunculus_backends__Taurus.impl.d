@@ -1,0 +1,1 @@
+lib/backends/taurus.ml: Array Homunculus_ml Homunculus_util List Model_ir Printf Resource Stdlib

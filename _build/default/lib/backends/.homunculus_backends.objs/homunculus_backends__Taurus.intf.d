@@ -1,0 +1,1 @@
+lib/backends/taurus.mli: Model_ir Resource

@@ -1,0 +1,1 @@
+lib/backends/tofino.ml: Homunculus_util Iisy List Resource Stage_alloc Stdlib String

@@ -1,0 +1,1 @@
+lib/backends/tofino.mli: Iisy Model_ir Resource

@@ -1,0 +1,1 @@
+lib/backends/verilog.ml: Array Buffer Float Homunculus_util Int32 List Model_ir Printf String

@@ -1,0 +1,1 @@
+lib/backends/verilog.mli: Model_ir

@@ -1,0 +1,52 @@
+let binarize_layer (l : Model_ir.dnn_layer) =
+  let weights =
+    Array.map
+      (fun row ->
+        let n = Array.length row in
+        let alpha =
+          Array.fold_left (fun acc w -> acc +. Float.abs w) 0. row
+          /. float_of_int (Stdlib.max 1 n)
+        in
+        Array.map (fun w -> if w >= 0. then alpha else -.alpha) row)
+      l.Model_ir.weights
+  in
+  { l with Model_ir.weights }
+
+let binarize_dnn = function
+  | Model_ir.Dnn { name; layers } ->
+      Model_ir.Dnn { name; layers = Array.map binarize_layer layers }
+  | Model_ir.Kmeans _ | Model_ir.Svm _ | Model_ir.Tree _ ->
+      invalid_arg "Bnn.binarize_dnn: not a DNN"
+
+let binary_fraction = function
+  | Model_ir.Dnn { layers; _ } ->
+      let total = ref 0 and binary = ref 0 in
+      Array.iter
+        (fun (l : Model_ir.dnn_layer) ->
+          Array.iter
+            (fun row ->
+              let n = Array.length row in
+              let alpha =
+                Array.fold_left (fun acc w -> acc +. Float.abs w) 0. row
+                /. float_of_int (Stdlib.max 1 n)
+              in
+              Array.iter
+                (fun w ->
+                  incr total;
+                  if Float.abs (Float.abs w -. alpha) < 1e-12 then incr binary)
+                row)
+            l.Model_ir.weights)
+        layers;
+      if !total = 0 then 0. else float_of_int !binary /. float_of_int !total
+  | Model_ir.Kmeans _ | Model_ir.Svm _ | Model_ir.Tree _ -> 0.
+
+let mats_for_binarized model = Iisy.n_tables (Iisy.map_model (binarize_dnn model))
+
+let accuracy_of model ~x ~y =
+  let pred = Inference.predict_all model x in
+  let correct = ref 0 in
+  Array.iteri (fun i p -> if p = y.(i) then incr correct) pred;
+  float_of_int !correct /. float_of_int (Array.length y)
+
+let accuracy_cost model ~x ~y =
+  (accuracy_of model ~x ~y, accuracy_of (binarize_dnn model) ~x ~y)

@@ -1,0 +1,28 @@
+(** N2Net-style weight binarization (Siracusano & Bifulco; paper §2).
+
+    N2Net runs neural networks on MAT switches by "truncating model weights
+    to a single bit value. Doing so impacts achievable model accuracy; but,
+    the models can now run at line speed." This pass performs the standard
+    XNOR-Net-style transformation at the IR level: each weight row becomes
+    sign bits times one per-neuron scale (alpha = mean |w|), so a dot product
+    reduces to popcount logic that MATs can host. Pair with
+    {!Inference.predict} to quantify the accuracy cost before deploying. *)
+
+val binarize_dnn : Model_ir.t -> Model_ir.t
+(** Replace every weight by [sign(w) * alpha_neuron]; biases are kept at full
+    precision (they live in action data, not in the crossbar).
+    @raise Invalid_argument on non-DNN models. *)
+
+val binary_fraction : Model_ir.t -> float
+(** Fraction of weights whose magnitude already equals their row's scale —
+    1.0 after {!binarize_dnn}, used to detect binarized models. *)
+
+val mats_for_binarized : Model_ir.t -> int
+(** MAT cost of the binarized network under the IIsy/N2Net rule (one table
+    per 8 binary MACs per layer) — equals
+    [Iisy.n_tables (Iisy.map_model (binarize_dnn m))]. *)
+
+val accuracy_cost :
+  Model_ir.t -> x:float array array -> y:int array -> float * float
+(** [(full_precision_accuracy, binarized_accuracy)] on the given labeled
+    set. *)

@@ -1,0 +1,164 @@
+type source =
+  | Header_field of { header : string; field : string; width : int }
+  | Register of { name : string; update : string; width : int }
+  | Computed of { expr : string; width : int }
+
+type binding = { feature : string; source : source; scale : float }
+
+type t = binding list
+
+let header header field width = Header_field { header; field; width }
+
+let builtin feature =
+  let b source scale = Some { feature; source; scale } in
+  match feature with
+  (* IoT traffic classification (Iot.feature_names). *)
+  | "frame_size" -> b (header "ipv4" "totalLen" 16) 1.
+  | "ip_proto" -> b (header "ipv4" "protocol" 8) 1.
+  | "ttl" -> b (header "ipv4" "ttl" 8) 1.
+  | "src_port_bucket" ->
+      b (Computed { expr = "hdr.l4.srcPort >> 12"; width = 4 }) 1.
+  | "dst_port_bucket" ->
+      b (Computed { expr = "hdr.l4.dstPort >> 12"; width = 4 }) 1.
+  | "inter_arrival_ms" ->
+      b
+        (Register
+           {
+             name = "last_seen_us";
+             update = "delta = now_us - last_seen_us[flow]; last_seen_us[flow] = now_us";
+             width = 32;
+           })
+        1e-3
+  | "payload_entropy" ->
+      b (Computed { expr = "entropy_estimate(pkt.payload)"; width = 8 }) (1. /. 32.)
+  (* NSL-KDD anomaly detection (Nslkdd.feature_names). *)
+  | "duration" ->
+      b
+        (Register
+           {
+             name = "conn_start_us";
+             update = "duration = now_us - conn_start_us[flow]";
+             width = 32;
+           })
+        1e-6
+  | "log_src_bytes" ->
+      b (Computed { expr = "log2(conn_src_bytes[flow])"; width = 8 }) (1. /. 1.4427)
+  | "log_dst_bytes" ->
+      b (Computed { expr = "log2(conn_dst_bytes[flow])"; width = 8 }) (1. /. 1.4427)
+  | "protocol" -> b (header "ipv4" "protocol" 8) 1.
+  | "host_count" ->
+      b
+        (Register
+           { name = "host_conn_count"; update = "host_conn_count[dst] += 1"; width = 16 })
+        1.
+  | "srv_count" ->
+      b
+        (Register
+           { name = "srv_conn_count"; update = "srv_conn_count[dst_port] += 1"; width = 16 })
+        1.
+  | "serror_rate" ->
+      b
+        (Computed { expr = "syn_err_count[dst] / host_conn_count[dst]"; width = 8 })
+        (1. /. 256.)
+  | _ ->
+      (* Botnet flowmarker bins: pl_bin<i> / ipt_bin<i> register arrays. *)
+      let try_prefix prefix register =
+        if
+          String.length feature > String.length prefix
+          && String.sub feature 0 (String.length prefix) = prefix
+        then
+          match
+            int_of_string_opt
+              (String.sub feature (String.length prefix)
+                 (String.length feature - String.length prefix))
+          with
+          | Some i ->
+              Some
+                {
+                  feature;
+                  source =
+                    Register
+                      {
+                        name = register;
+                        update = Printf.sprintf "%s[flow][%d] += 1" register i;
+                        width = 16;
+                      };
+                  scale = 1.;
+                }
+          | None -> None
+        else None
+      in
+      (match try_prefix "pl_bin" "pl_hist" with
+      | Some _ as r -> r
+      | None -> try_prefix "ipt_bin" "ipt_hist")
+
+let placeholder feature =
+  {
+    feature;
+    source = Computed { expr = "/* UNBOUND: " ^ feature ^ " */ 0"; width = 16 };
+    scale = 1.;
+  }
+
+let for_features names =
+  Array.to_list names
+  |> List.map (fun feature ->
+         match builtin feature with
+         | Some b -> b
+         | None -> placeholder feature)
+
+let lookup t feature =
+  List.find_opt (fun b -> String.equal b.feature feature) t
+
+let is_placeholder b =
+  match b.source with
+  | Computed { expr; _ } ->
+      String.length expr >= 11 && String.sub expr 0 11 = "/* UNBOUND:"
+  | Header_field _ | Register _ -> false
+
+let validate t ~feature_names =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  Array.iter
+    (fun name ->
+      match List.filter (fun b -> String.equal b.feature name) t with
+      | [] -> problem "feature '%s' has no binding" name
+      | [ b ] -> if is_placeholder b then problem "feature '%s' is unbound" name
+      | multiple -> problem "feature '%s' bound %d times" name (List.length multiple))
+    feature_names;
+  match List.rev !problems with [] -> Ok () | ps -> Error ps
+
+let emit_p4_metadata t =
+  let buf = Buffer.create 1024 in
+  let registers =
+    List.filter_map
+      (fun b ->
+        match b.source with
+        | Register { name; width; _ } -> Some (name, width)
+        | Header_field _ | Computed _ -> None)
+      t
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun (name, width) ->
+      Printf.bprintf buf "register<bit<%d>>(65536) %s;\n" width name)
+    registers;
+  if registers <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "action extract_features() {\n";
+  List.iteri
+    (fun i b ->
+      let rhs =
+        match b.source with
+        | Header_field { header; field; _ } -> Printf.sprintf "hdr.%s.%s" header field
+        | Register { name; update; _ } ->
+            Printf.bprintf buf "  // %s\n" update;
+            Printf.sprintf "%s.read(flow_hash)" name
+        | Computed { expr; _ } -> expr
+      in
+      if b.scale = 1. then
+        Printf.bprintf buf "  meta.feature%d_key = (bit<16>) (%s);\n" i rhs
+      else
+        Printf.bprintf buf "  meta.feature%d_key = (bit<16>) ((%s) * %g);\n" i rhs
+          b.scale)
+    t;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Binding dataset features to packet header fields.
+
+    A model consumes named features ("frame_size", "ttl", "serror_rate");
+    the data plane parses headers. This module records where each feature
+    comes from — a parsed header field, a stateful register (inter-arrival
+    times need a per-flow timestamp), or a computed expression — and emits
+    the P4 metadata-extraction fragment that bridges the two. Bindings for
+    the three evaluation datasets' schemas are built in. *)
+
+type source =
+  | Header_field of { header : string; field : string; width : int }
+      (** e.g. ipv4.ttl, 8 bits *)
+  | Register of { name : string; update : string; width : int }
+      (** per-flow state, e.g. last-seen timestamp for inter-arrival *)
+  | Computed of { expr : string; width : int }
+      (** arithmetic over already-extracted values *)
+
+type binding = { feature : string; source : source; scale : float }
+(** [scale]: multiply the raw wire value by this to get the feature's unit
+    (e.g. 1e-3 when the model was trained on milliseconds but the register
+    holds microseconds). *)
+
+type t = binding list
+
+val builtin : string -> binding option
+(** The standard catalog: every feature name used by the Nslkdd, Iot, and
+    Botnet generators (histogram bins bind to register arrays). *)
+
+val for_features : string array -> t
+(** Catalog bindings for each name; unknown features fall back to a
+    [Computed] placeholder flagged by {!validate}. *)
+
+val lookup : t -> string -> binding option
+
+val validate : t -> feature_names:string array -> (unit, string list) result
+(** Every feature bound exactly once, no placeholder fallbacks left. *)
+
+val emit_p4_metadata : t -> string
+(** The P4 action body assigning [meta.featureN_key] for each binding, plus
+    register declarations for stateful sources. *)

@@ -1,0 +1,78 @@
+type device = {
+  name : string;
+  loopback_lut_pct : float;
+  loopback_ff_pct : float;
+  loopback_bram_pct : float;
+  loopback_power_w : float;
+  lut_pct_per_param : float;
+  lut_pct_per_layer : float;
+  ff_per_lut : float;
+  watt_per_lut_pct : float;
+  clock_ghz : float;
+}
+
+let alveo_u250 =
+  {
+    name = "alveo-u250";
+    loopback_lut_pct = 5.36;
+    loopback_ff_pct = 3.64;
+    loopback_bram_pct = 4.15;
+    loopback_power_w = 15.131;
+    lut_pct_per_param = 0.004;
+    lut_pct_per_layer = 0.08;
+    ff_per_lut = 0.55;
+    watt_per_lut_pct = 1.54;
+    clock_ghz = 0.322;
+  }
+
+type report = {
+  lut_pct : float;
+  ff_pct : float;
+  bram_pct : float;
+  power_w : float;
+}
+
+let loopback_report d =
+  {
+    lut_pct = d.loopback_lut_pct;
+    ff_pct = d.loopback_ff_pct;
+    bram_pct = d.loopback_bram_pct;
+    power_w = d.loopback_power_w;
+  }
+
+let n_stages model =
+  match model with
+  | Model_ir.Dnn { layers; _ } -> Array.length layers
+  | Model_ir.Kmeans _ | Model_ir.Svm _ -> 1
+  | Model_ir.Tree { root; _ } -> Homunculus_ml.Decision_tree.depth root
+
+let report d model =
+  let params = float_of_int (Model_ir.param_count model) in
+  let stages = float_of_int (n_stages model) in
+  let delta_lut =
+    (d.lut_pct_per_param *. params) +. (d.lut_pct_per_layer *. stages)
+  in
+  {
+    lut_pct = d.loopback_lut_pct +. delta_lut;
+    ff_pct = d.loopback_ff_pct +. (d.ff_per_lut *. delta_lut);
+    bram_pct = d.loopback_bram_pct;
+    power_w = d.loopback_power_w +. (d.watt_per_lut_pct *. delta_lut);
+  }
+
+let estimate d perf model =
+  let r = report d model in
+  let usages =
+    [
+      Resource.usage ~resource:"LUT" ~used:r.lut_pct ~available:100.;
+      Resource.usage ~resource:"FF" ~used:r.ff_pct ~available:100.;
+      Resource.usage ~resource:"BRAM" ~used:r.bram_pct ~available:100.;
+    ]
+  in
+  (* Pipeline depth: reuse the Taurus per-layer timing at the FPGA clock. *)
+  let taurus_grid = { Taurus.default_grid with Taurus.clock_ghz = d.clock_ghz } in
+  let m = Taurus.map_model taurus_grid model in
+  let latency_ns =
+    float_of_int (m.Taurus.pipeline_cycles + taurus_grid.Taurus.overhead_cycles)
+    /. d.clock_ghz
+  in
+  Resource.check perf ~usages ~latency_ns ~throughput_gpps:d.clock_ghz

@@ -1,0 +1,40 @@
+(** Analytical resource/power model of the FPGA testbed (Xilinx Alveo U250
+    bump-in-the-wire, paper §5.2 Table 5).
+
+    Calibrated once against Table 5's loopback row and slopes: LUTs grow
+    linearly with model parameters (the paper notes "LUTs store the
+    parameters of a model in FPGA"), flip-flops track LUTs at a fixed ratio,
+    BRAM stays at the loopback shell's 4.15%, and power follows LUT
+    utilization at ~1.5 W per LUT percentage point. *)
+
+type device = {
+  name : string;
+  loopback_lut_pct : float;
+  loopback_ff_pct : float;
+  loopback_bram_pct : float;
+  loopback_power_w : float;
+  lut_pct_per_param : float;
+  lut_pct_per_layer : float;  (** control/datapath overhead per stage *)
+  ff_per_lut : float;
+  watt_per_lut_pct : float;
+  clock_ghz : float;
+}
+
+val alveo_u250 : device
+
+type report = {
+  lut_pct : float;
+  ff_pct : float;
+  bram_pct : float;
+  power_w : float;
+}
+
+val loopback_report : device -> report
+(** The shell alone (Table 5 row 1). *)
+
+val report : device -> Model_ir.t -> report
+
+val estimate : device -> Resource.perf -> Model_ir.t -> Resource.verdict
+(** Usages carry "LUT", "FF", "BRAM" as percentages of the device (available
+    = 100). Latency follows the same pipeline-depth logic as Taurus at the
+    FPGA clock; throughput is one packet per cycle at that clock. *)

@@ -1,0 +1,83 @@
+type stage = { label : string; latency_cycles : int; ii_cycles : int }
+
+let stages_of_model grid model =
+  let mapping = Taurus.map_model grid model in
+  List.map
+    (fun (label, cycles) ->
+      { label; latency_cycles = cycles; ii_cycles = mapping.Taurus.ii })
+    (Taurus.stage_timings grid model)
+
+type trace = {
+  stages : stage array;
+  enter : int array array;  (** [packet][stage] *)
+  leave : int array array;
+}
+
+let run stages ~n_packets =
+  if stages = [] then invalid_arg "Grid_sim.run: no stages";
+  if n_packets <= 0 then invalid_arg "Grid_sim.run: n_packets <= 0";
+  List.iter
+    (fun s ->
+      if s.latency_cycles <= 0 || s.ii_cycles <= 0 then
+        invalid_arg "Grid_sim.run: non-positive stage parameters")
+    stages;
+  let stages = Array.of_list stages in
+  let n_stages = Array.length stages in
+  let enter = Array.make_matrix n_packets n_stages 0 in
+  let leave = Array.make_matrix n_packets n_stages 0 in
+  for p = 0 to n_packets - 1 do
+    for s = 0 to n_stages - 1 do
+      (* Double buffering: a stage admits packet p once (a) the packet has
+         left the previous stage and (b) one II has elapsed since it
+         admitted packet p-1. *)
+      let ready_input = if s = 0 then p (* offered once per cycle *) else leave.(p).(s - 1) in
+      let stage_free =
+        if p = 0 then 0 else enter.(p - 1).(s) + stages.(s).ii_cycles
+      in
+      enter.(p).(s) <- Stdlib.max ready_input stage_free;
+      leave.(p).(s) <- enter.(p).(s) + stages.(s).latency_cycles
+    done
+  done;
+  { stages; enter; leave }
+
+let n_packets t = Array.length t.enter
+let n_stages t = Array.length t.stages
+
+let total_cycles t = t.leave.(n_packets t - 1).(n_stages t - 1)
+
+let packet_latency t i =
+  if i < 0 || i >= n_packets t then invalid_arg "Grid_sim.packet_latency: out of range";
+  t.leave.(i).(n_stages t - 1) - t.enter.(i).(0)
+
+let steady_state_interval t =
+  let n = n_packets t in
+  if n < 2 then float_of_int (total_cycles t)
+  else begin
+    (* Average departure gap over the second half of the run. *)
+    let last = n_stages t - 1 in
+    let from = n / 2 in
+    let span = t.leave.(n - 1).(last) - t.leave.(from).(last) in
+    float_of_int span /. float_of_int (n - 1 - from)
+  end
+
+let stage_occupancy t =
+  let total = Stdlib.max 1 (total_cycles t) in
+  Array.to_list
+    (Array.mapi
+       (fun s stage ->
+         let busy = ref 0 in
+         for p = 0 to n_packets t - 1 do
+           busy := !busy + (t.leave.(p).(s) - t.enter.(p).(s))
+         done;
+         (* A pipelined stage overlaps packets; occupancy is capped at 1. *)
+         (stage.label, Stdlib.min 1. (float_of_int !busy /. float_of_int total)))
+       t.stages)
+
+let agrees_with_analytical grid model =
+  let mapping = Taurus.map_model grid model in
+  let stages = stages_of_model grid model in
+  let trace = run stages ~n_packets:64 in
+  let first_latency = packet_latency trace 0 in
+  let interval = steady_state_interval trace in
+  first_latency = mapping.Taurus.pipeline_cycles
+  && Float.abs (interval -. float_of_int mapping.Taurus.ii) < 0.01

@@ -1,0 +1,46 @@
+(** Cycle-accurate simulation of a model's stage pipeline on the MapReduce
+    grid — the per-stage view the Tungsten simulator provides on the
+    authors' testbed, complementing {!Pipeline_sim}'s queue-level model.
+
+    Each pipeline stage (one DNN layer, or the single compute block of a
+    classical model) is a unit with an initiation interval and a latency;
+    double-buffered SRAM between stages lets stage [s] start packet [p+1]
+    while stage [s+1] still holds packet [p]. The simulator computes exact
+    enter/leave cycles per (packet, stage) with the classic pipeline
+    recurrence and reports end-to-end latency, steady-state throughput, and
+    per-stage occupancy — validating the analytical model in {!Taurus}. *)
+
+type stage = {
+  label : string;
+  latency_cycles : int;  (** time in the stage *)
+  ii_cycles : int;  (** min cycles between successive packets entering *)
+}
+
+val stages_of_model : Taurus.grid -> Model_ir.t -> stage list
+(** One stage per {!Taurus.stage_timings} entry, II = the mapping's II. *)
+
+type trace
+
+val run : stage list -> n_packets:int -> trace
+(** Drive [n_packets] back-to-back packets (one offered per cycle).
+    @raise Invalid_argument on empty stages, non-positive packets, or
+    non-positive stage parameters. *)
+
+val total_cycles : trace -> int
+(** Cycle at which the last packet leaves the last stage. *)
+
+val packet_latency : trace -> int -> int
+(** End-to-end cycles for packet [i] (0-based). @raise Invalid_argument
+    when out of range. *)
+
+val steady_state_interval : trace -> float
+(** Average cycles between consecutive departures once the pipeline is
+    full — equals the bottleneck stage's II. *)
+
+val stage_occupancy : trace -> (string * float) list
+(** Fraction of simulated cycles each stage spent busy. *)
+
+val agrees_with_analytical : Taurus.grid -> Model_ir.t -> bool
+(** Cross-check: first-packet latency equals the analytical
+    [pipeline_cycles] and the steady-state interval equals the mapping's
+    II. The test suite pins this for all model families. *)

@@ -1,0 +1,192 @@
+module Mathx = Homunculus_util.Mathx
+module Decision_tree = Homunculus_ml.Decision_tree
+module Kmeans = Homunculus_ml.Kmeans
+
+type table = { name : string; entries : int; purpose : string }
+
+type mapping = { tables : table list }
+
+let n_tables m = List.length m.tables
+
+let max_entries m =
+  List.fold_left (fun acc t -> Stdlib.max acc t.entries) 0 m.tables
+
+let rec level_widths node =
+  (* Number of split nodes per depth level. *)
+  match node with
+  | Decision_tree.Leaf _ -> []
+  | Decision_tree.Split { left; right; _ } ->
+      let rec merge a b =
+        match (a, b) with
+        | [], rest | rest, [] -> rest
+        | x :: xs, y :: ys -> (x + y) :: merge xs ys
+      in
+      1 :: merge (level_widths left) (level_widths right)
+
+let map_model ?(entries_per_feature = 64) model =
+  let tables =
+    match model with
+    | Model_ir.Kmeans { name; centroids } ->
+        let dim =
+          if Array.length centroids = 0 then 0 else Array.length centroids.(0)
+        in
+        List.init (Array.length centroids) (fun c ->
+            {
+              name = Printf.sprintf "%s_cluster%d" name c;
+              entries = entries_per_feature * Stdlib.max 1 dim;
+              purpose = "range-match one cluster's cell";
+            })
+    | Model_ir.Svm { name; class_weights; _ } ->
+        let dim =
+          if Array.length class_weights = 0 then 0
+          else Array.length class_weights.(0)
+        in
+        (* Features zeroed out by [drop_svm_features] need no table. *)
+        let active f =
+          Array.exists (fun w -> w.(f) <> 0.) class_weights
+        in
+        let feature_tables =
+          List.init dim (fun f -> f)
+          |> List.filter active
+          |> List.map (fun f ->
+                 {
+                   name = Printf.sprintf "%s_feature%d" name f;
+                   entries = entries_per_feature;
+                   purpose = "per-feature partial vote";
+                 })
+        in
+        feature_tables
+        @ [
+            {
+              name = name ^ "_decision";
+              entries = Array.length class_weights;
+              purpose = "combine votes into a class";
+            };
+          ]
+    | Model_ir.Tree { name; root; _ } ->
+        let widths = level_widths root in
+        let level_tables =
+          List.mapi
+            (fun level width ->
+              {
+                name = Printf.sprintf "%s_level%d" name level;
+                entries = width * entries_per_feature;
+                purpose = "evaluate one tree level";
+              })
+            widths
+        in
+        level_tables
+        @ [
+            {
+              name = name ^ "_leaves";
+              entries = Decision_tree.n_leaves root;
+              purpose = "map leaf id to class";
+            };
+          ]
+    | Model_ir.Dnn { name; layers } ->
+        (* N2Net-style binarized mapping: roughly one MAT per 8 MACs. *)
+        Array.to_list layers
+        |> List.concat_map (fun l ->
+               let macs = l.Model_ir.n_in * l.Model_ir.n_out in
+               let count = Stdlib.max 1 (Mathx.ceil_div macs 8) in
+               List.init count (fun i ->
+                   {
+                     name =
+                       Printf.sprintf "%s_bnn_%dx%d_part%d" name
+                         l.Model_ir.n_in l.Model_ir.n_out i;
+                     entries = 256;
+                     purpose = "binarized dot-product slice";
+                   }))
+  in
+  { tables }
+
+let table_graph ?entries_per_feature model =
+  let mapping = map_model ?entries_per_feature model in
+  let names = List.map (fun t -> t.name) mapping.tables in
+  match model with
+  | Model_ir.Kmeans _ -> Stage_alloc.independent names
+  | Model_ir.Svm _ -> (
+      (* Everything except the decision table is an independent vote; the
+         decision reads them all. *)
+      match List.rev names with
+      | decision :: votes_rev ->
+          let votes = List.rev votes_rev in
+          Stage_alloc.independent votes
+          @ [ { Stage_alloc.name = decision; depends_on = votes } ]
+      | [] -> [])
+  | Model_ir.Tree _ -> Stage_alloc.chain names
+  | Model_ir.Dnn { layers; _ } ->
+      (* Slices within a layer are parallel; each layer waits on the whole
+         previous layer. Names were generated per layer in order. *)
+      let counts =
+        Array.to_list layers
+        |> List.map (fun l ->
+               let macs = l.Model_ir.n_in * l.Model_ir.n_out in
+               Stdlib.max 1 (Mathx.ceil_div macs 8))
+      in
+      let rec split names = function
+        | [] -> []
+        | count :: rest ->
+            let rec take k = function
+              | names when k = 0 -> ([], names)
+              | [] -> ([], [])
+              | n :: ns ->
+                  let taken, left = take (k - 1) ns in
+                  (n :: taken, left)
+            in
+            let layer_names, remaining = take count names in
+            layer_names :: split remaining rest
+      in
+      let groups = split names counts in
+      let _, tables =
+        List.fold_left
+          (fun (prev, acc) group ->
+            let deps = prev in
+            ( group,
+              acc
+              @ List.map
+                  (fun name -> { Stage_alloc.name; depends_on = deps })
+                  group ))
+          ([], []) groups
+      in
+      tables
+
+let conform_kmeans km ~table_budget =
+  if table_budget < 1 then invalid_arg "Iisy.conform_kmeans: budget < 1";
+  if Kmeans.k km <= table_budget then km
+  else Kmeans.merge_clusters km ~into:table_budget
+
+let drop_svm_features model ~table_budget =
+  if table_budget < 2 then invalid_arg "Iisy.drop_svm_features: budget < 2";
+  match model with
+  | Model_ir.Svm { name; class_weights; biases } ->
+      let dim =
+        if Array.length class_weights = 0 then 0
+        else Array.length class_weights.(0)
+      in
+      let keep_budget = table_budget - 1 in
+      if dim <= keep_budget then (model, [||])
+      else begin
+        (* Impact of a feature = summed |weight| across classes. *)
+        let impact =
+          Array.init dim (fun f ->
+              Array.fold_left
+                (fun acc w -> acc +. Float.abs w.(f))
+                0. class_weights)
+        in
+        let order = Array.init dim (fun f -> f) in
+        Array.sort (fun a b -> compare impact.(a) impact.(b)) order;
+        let n_drop = dim - keep_budget in
+        let dropped = Array.sub order 0 n_drop in
+        let is_dropped = Array.make dim false in
+        Array.iter (fun f -> is_dropped.(f) <- true) dropped;
+        let conformed =
+          Array.map
+            (fun w -> Array.mapi (fun f v -> if is_dropped.(f) then 0. else v) w)
+            class_weights
+        in
+        Array.sort compare dropped;
+        (Model_ir.Svm { name; class_weights = conformed; biases }, dropped)
+      end
+  | Model_ir.Dnn _ | Model_ir.Kmeans _ | Model_ir.Tree _ ->
+      invalid_arg "Iisy.drop_svm_features: not an SVM"

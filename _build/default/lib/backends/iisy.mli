@@ -1,0 +1,48 @@
+(** IIsy-style mappings of classical ML models onto match-action tables
+    (Xiong & Zilberman, HotNets'19), used by Homunculus as the Tofino-class
+    backend (paper §4, §5.2.2).
+
+    Mapping rules quoted from the paper:
+    - KMeans: one MAT per cluster; fewer tables force coarser clusterings.
+    - SVM: one MAT per feature plus a decision table; when tables run out,
+      the least impactful features are dropped until the model fits.
+    - Decision trees: one MAT per tree level plus a leaf table.
+    - DNNs: binarized N2Net-style mapping, ~one MAT per 8 MACs per layer —
+      feasible only for very small networks (a single hand-built AD layer
+      costs ~12 MATs). *)
+
+type table = {
+  name : string;
+  entries : int;  (** TCAM/SRAM entries required *)
+  purpose : string;
+}
+
+type mapping = { tables : table list }
+
+val n_tables : mapping -> int
+val max_entries : mapping -> int
+(** Largest single table; 0 for empty mappings. *)
+
+val map_model : ?entries_per_feature:int -> Model_ir.t -> mapping
+(** Apply the per-algorithm rule above. [entries_per_feature] controls the
+    quantization granularity of range-match tables (default 64). *)
+
+val table_graph : ?entries_per_feature:int -> Model_ir.t -> Stage_alloc.table list
+(** The same tables as {!map_model} (same names, same order) annotated with
+    their match-after-action dependencies: KMeans cluster tables are
+    independent; SVM feature tables are independent but the decision table
+    reads every vote; each tree level waits on the previous one; binarized
+    DNN slices wait on the whole previous layer. *)
+
+val conform_kmeans :
+  Homunculus_ml.Kmeans.t -> table_budget:int -> Homunculus_ml.Kmeans.t
+(** Coarsen a KMeans model by merging closest clusters until one MAT per
+    cluster fits in [table_budget] (Fig. 7's K5...K1 sweep).
+    @raise Invalid_argument if [table_budget < 1]. *)
+
+val drop_svm_features :
+  Model_ir.t -> table_budget:int -> Model_ir.t * int array
+(** For an SVM whose per-feature tables exceed the budget, zero out the
+    smallest-magnitude features until [n_features + 1 <= budget]; returns the
+    conformed model and the indices of the dropped features.
+    @raise Invalid_argument on non-SVM models or budgets < 2. *)

@@ -1,0 +1,68 @@
+module Decision_tree = Homunculus_ml.Decision_tree
+module Mathx = Homunculus_util.Mathx
+
+let apply_activation name z =
+  match name with
+  | "relu" -> if z > 0. then z else 0.
+  | "sigmoid" -> Mathx.sigmoid z
+  | "tanh" -> tanh z
+  | "linear" -> z
+  | other -> invalid_arg ("Inference.apply_activation: unknown " ^ other)
+
+let dense_forward (l : Model_ir.dnn_layer) input =
+  if Array.length input <> l.Model_ir.n_in then
+    invalid_arg "Inference: layer input dimension mismatch";
+  Array.init l.Model_ir.n_out (fun i ->
+      let acc = ref l.Model_ir.biases.(i) in
+      let row = l.Model_ir.weights.(i) in
+      for j = 0 to l.Model_ir.n_in - 1 do
+        acc := !acc +. (row.(j) *. input.(j))
+      done;
+      apply_activation l.Model_ir.activation !acc)
+
+let scores model x =
+  match model with
+  | Model_ir.Dnn { layers; _ } ->
+      Array.fold_left (fun input l -> dense_forward l input) x layers
+  | Model_ir.Kmeans { centroids; _ } ->
+      Array.map
+        (fun c ->
+          if Array.length c <> Array.length x then
+            invalid_arg "Inference: centroid dimension mismatch";
+          let acc = ref 0. in
+          Array.iteri
+            (fun j cj ->
+              let d = x.(j) -. cj in
+              acc := !acc +. (d *. d))
+            c;
+          -. !acc)
+        centroids
+  | Model_ir.Svm { class_weights; biases; _ } ->
+      Array.mapi
+        (fun c w ->
+          if Array.length w <> Array.length x then
+            invalid_arg "Inference: svm dimension mismatch";
+          let acc = ref biases.(c) in
+          Array.iteri (fun j wj -> acc := !acc +. (wj *. x.(j))) w;
+          !acc)
+        class_weights
+  | Model_ir.Tree { root; n_features; _ } ->
+      if Array.length x <> n_features then
+        invalid_arg "Inference: tree dimension mismatch";
+      let rec walk = function
+        | Decision_tree.Leaf { distribution } -> distribution
+        | Decision_tree.Split { feature; threshold; left; right } ->
+            if x.(feature) <= threshold then walk left else walk right
+      in
+      walk root
+
+let predict model x = Homunculus_util.Stats.argmax (scores model x)
+
+let predict_all model xs = Array.map (predict model) xs
+
+let quantize_weights model ~bits =
+  if bits < 1 || bits > 52 then
+    invalid_arg "Inference.quantize_weights: bits outside [1, 52]";
+  let scale = Float.of_int (1 lsl bits) in
+  let q v = Float.round (v *. scale) /. scale in
+  Model_ir.map_parameters q model

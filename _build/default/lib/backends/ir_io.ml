@@ -1,0 +1,145 @@
+module Json = Homunculus_util.Json
+module Decision_tree = Homunculus_ml.Decision_tree
+
+(* Hexadecimal float literals keep full precision through the text format. *)
+let float_to_json v = Json.String (Printf.sprintf "%h" v)
+
+let float_of_json = function
+  | Json.String s -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> invalid_arg ("Ir_io: bad float literal " ^ s))
+  | Json.Number v -> v
+  | Json.Null | Json.Bool _ | Json.List _ | Json.Object _ ->
+      invalid_arg "Ir_io: expected a float"
+
+let vector_to_json v = Json.List (Array.to_list (Array.map float_to_json v))
+
+let vector_of_json j =
+  Array.of_list (List.map float_of_json (Json.to_list j))
+
+let matrix_to_json m = Json.List (Array.to_list (Array.map vector_to_json m))
+
+let matrix_of_json j =
+  Array.of_list (List.map vector_of_json (Json.to_list j))
+
+let layer_to_json (l : Model_ir.dnn_layer) =
+  Json.Object
+    [
+      ("n_in", Json.Number (float_of_int l.Model_ir.n_in));
+      ("n_out", Json.Number (float_of_int l.Model_ir.n_out));
+      ("activation", Json.String l.Model_ir.activation);
+      ("weights", matrix_to_json l.Model_ir.weights);
+      ("biases", vector_to_json l.Model_ir.biases);
+    ]
+
+let layer_of_json j =
+  {
+    Model_ir.n_in = Json.to_int (Json.member j "n_in");
+    n_out = Json.to_int (Json.member j "n_out");
+    activation = Json.get_string (Json.member j "activation");
+    weights = matrix_of_json (Json.member j "weights");
+    biases = vector_of_json (Json.member j "biases");
+  }
+
+let rec node_to_json = function
+  | Decision_tree.Leaf { distribution } ->
+      Json.Object [ ("leaf", vector_to_json distribution) ]
+  | Decision_tree.Split { feature; threshold; left; right } ->
+      Json.Object
+        [
+          ("feature", Json.Number (float_of_int feature));
+          ("threshold", float_to_json threshold);
+          ("left", node_to_json left);
+          ("right", node_to_json right);
+        ]
+
+let rec node_of_json j =
+  match Json.member_opt j "leaf" with
+  | Some dist -> Decision_tree.Leaf { distribution = vector_of_json dist }
+  | None ->
+      Decision_tree.Split
+        {
+          feature = Json.to_int (Json.member j "feature");
+          threshold = float_of_json (Json.member j "threshold");
+          left = node_of_json (Json.member j "left");
+          right = node_of_json (Json.member j "right");
+        }
+
+let to_json model =
+  match model with
+  | Model_ir.Dnn { name; layers } ->
+      Json.Object
+        [
+          ("algorithm", Json.String "dnn");
+          ("name", Json.String name);
+          ("layers", Json.List (Array.to_list (Array.map layer_to_json layers)));
+        ]
+  | Model_ir.Kmeans { name; centroids } ->
+      Json.Object
+        [
+          ("algorithm", Json.String "kmeans");
+          ("name", Json.String name);
+          ("centroids", matrix_to_json centroids);
+        ]
+  | Model_ir.Svm { name; class_weights; biases } ->
+      Json.Object
+        [
+          ("algorithm", Json.String "svm");
+          ("name", Json.String name);
+          ("class_weights", matrix_to_json class_weights);
+          ("biases", vector_to_json biases);
+        ]
+  | Model_ir.Tree { name; root; n_features; n_classes } ->
+      Json.Object
+        [
+          ("algorithm", Json.String "tree");
+          ("name", Json.String name);
+          ("n_features", Json.Number (float_of_int n_features));
+          ("n_classes", Json.Number (float_of_int n_classes));
+          ("root", node_to_json root);
+        ]
+
+let of_json j =
+  let name = Json.get_string (Json.member j "name") in
+  let model =
+    match Json.get_string (Json.member j "algorithm") with
+    | "dnn" ->
+        Model_ir.Dnn
+          {
+            name;
+            layers =
+              Array.of_list
+                (List.map layer_of_json (Json.to_list (Json.member j "layers")));
+          }
+    | "kmeans" ->
+        Model_ir.Kmeans { name; centroids = matrix_of_json (Json.member j "centroids") }
+    | "svm" ->
+        Model_ir.Svm
+          {
+            name;
+            class_weights = matrix_of_json (Json.member j "class_weights");
+            biases = vector_of_json (Json.member j "biases");
+          }
+    | "tree" ->
+        Model_ir.Tree
+          {
+            name;
+            root = node_of_json (Json.member j "root");
+            n_features = Json.to_int (Json.member j "n_features");
+            n_classes = Json.to_int (Json.member j "n_classes");
+          }
+    | other -> invalid_arg ("Ir_io: unknown algorithm " ^ other)
+  in
+  match Model_ir.validate model with
+  | Ok () -> model
+  | Error msg -> invalid_arg ("Ir_io: invalid model: " ^ msg)
+
+let save ~path model =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_json model));
+      Out_channel.output_char oc '\n')
+
+let load ~path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  of_json (Json.of_string text)

@@ -1,0 +1,17 @@
+(** JSON persistence for trained models.
+
+    A production compiler separates search from deployment: the optimization
+    core emits a model artifact once, and the backend generators (or a later
+    [homc] invocation) consume it. Weights are serialized in full double
+    precision via hexadecimal float literals, so save/load is bit-exact. *)
+
+module Json = Homunculus_util.Json
+
+val to_json : Model_ir.t -> Json.t
+val of_json : Json.t -> Model_ir.t
+(** @raise Invalid_argument on malformed documents; the result additionally
+    passes {!Model_ir.validate}. *)
+
+val save : path:string -> Model_ir.t -> unit
+val load : path:string -> Model_ir.t
+(** @raise Sys_error on I/O failure. *)

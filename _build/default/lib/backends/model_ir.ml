@@ -1,0 +1,262 @@
+open Homunculus_ml
+open Homunculus_tensor
+
+type dnn_layer = {
+  n_in : int;
+  n_out : int;
+  activation : string;
+  weights : float array array;
+  biases : float array;
+}
+
+type t =
+  | Dnn of { name : string; layers : dnn_layer array }
+  | Kmeans of { name : string; centroids : float array array }
+  | Svm of {
+      name : string;
+      class_weights : float array array;
+      biases : float array;
+    }
+  | Tree of {
+      name : string;
+      root : Decision_tree.node;
+      n_features : int;
+      n_classes : int;
+    }
+
+let name = function
+  | Dnn { name; _ } | Kmeans { name; _ } | Svm { name; _ } | Tree { name; _ } ->
+      name
+
+let with_name t name =
+  match t with
+  | Dnn d -> Dnn { d with name }
+  | Kmeans k -> Kmeans { k with name }
+  | Svm s -> Svm { s with name }
+  | Tree tr -> Tree { tr with name }
+
+let map_parameters f t =
+  let map_matrix = Array.map (Array.map f) in
+  match t with
+  | Dnn d ->
+      let map_layer l =
+        { l with weights = map_matrix l.weights; biases = Array.map f l.biases }
+      in
+      Dnn { d with layers = Array.map map_layer d.layers }
+  | Kmeans k -> Kmeans { k with centroids = map_matrix k.centroids }
+  | Svm s ->
+      Svm
+        {
+          s with
+          class_weights = map_matrix s.class_weights;
+          biases = Array.map f s.biases;
+        }
+  | Tree tr ->
+      let rec map_node = function
+        | Decision_tree.Leaf _ as leaf -> leaf
+        | Decision_tree.Split { feature; threshold; left; right } ->
+            Decision_tree.Split
+              {
+                feature;
+                threshold = f threshold;
+                left = map_node left;
+                right = map_node right;
+              }
+      in
+      Tree { tr with root = map_node tr.root }
+
+(* Fold x' = (x - mu) / sigma into the model's first linear stage:
+   sum_j w_ij (x_j - mu_j) / sigma_j + b_i
+   = sum_j (w_ij / sigma_j) x_j + (b_i - sum_j w_ij mu_j / sigma_j). *)
+let fold_standardization ~mean ~stddev t =
+  let d =
+    match t with
+    | Dnn { layers; _ } -> if Array.length layers = 0 then 0 else layers.(0).n_in
+    | Kmeans { centroids; _ } ->
+        if Array.length centroids = 0 then 0 else Array.length centroids.(0)
+    | Svm { class_weights; _ } ->
+        if Array.length class_weights = 0 then 0
+        else Array.length class_weights.(0)
+    | Tree { n_features; _ } -> n_features
+  in
+  if Array.length mean <> d || Array.length stddev <> d then
+    invalid_arg "Model_ir.fold_standardization: dimension mismatch";
+  Array.iter
+    (fun s ->
+      if s <= 0. then
+        invalid_arg "Model_ir.fold_standardization: non-positive stddev")
+    stddev;
+  let fold_linear weights biases =
+    let weights' =
+      Array.map (fun row -> Array.mapi (fun j w -> w /. stddev.(j)) row) weights
+    in
+    let biases' =
+      Array.mapi
+        (fun i b ->
+          let shift = ref 0. in
+          Array.iteri
+            (fun j w -> shift := !shift +. (w *. mean.(j) /. stddev.(j)))
+            weights.(i);
+          b -. !shift)
+        biases
+    in
+    (weights', biases')
+  in
+  match t with
+  | Dnn { name; layers } ->
+      if Array.length layers = 0 then t
+      else
+        let first = layers.(0) in
+        let weights, biases = fold_linear first.weights first.biases in
+        let layers = Array.copy layers in
+        layers.(0) <- { first with weights; biases };
+        Dnn { name; layers }
+  | Svm { name; class_weights; biases } ->
+      let class_weights, biases = fold_linear class_weights biases in
+      Svm { name; class_weights; biases }
+  | Kmeans { name; centroids } ->
+      Kmeans
+        {
+          name;
+          centroids =
+            Array.map
+              (Array.mapi (fun j c -> (c *. stddev.(j)) +. mean.(j)))
+              centroids;
+        }
+  | Tree { name; root; n_features; n_classes } ->
+      let rec unfold = function
+        | Decision_tree.Leaf _ as leaf -> leaf
+        | Decision_tree.Split { feature; threshold; left; right } ->
+            Decision_tree.Split
+              {
+                feature;
+                threshold = (threshold *. stddev.(feature)) +. mean.(feature);
+                left = unfold left;
+                right = unfold right;
+              }
+      in
+      Tree { name; root = unfold root; n_features; n_classes }
+
+let algorithm = function
+  | Dnn _ -> "dnn"
+  | Kmeans _ -> "kmeans"
+  | Svm _ -> "svm"
+  | Tree _ -> "tree"
+
+let input_dim = function
+  | Dnn { layers; _ } ->
+      if Array.length layers = 0 then 0 else layers.(0).n_in
+  | Kmeans { centroids; _ } ->
+      if Array.length centroids = 0 then 0 else Array.length centroids.(0)
+  | Svm { class_weights; _ } ->
+      if Array.length class_weights = 0 then 0
+      else Array.length class_weights.(0)
+  | Tree { n_features; _ } -> n_features
+
+let output_dim = function
+  | Dnn { layers; _ } ->
+      let n = Array.length layers in
+      if n = 0 then 0 else layers.(n - 1).n_out
+  | Kmeans { centroids; _ } -> Array.length centroids
+  | Svm { class_weights; _ } -> Array.length class_weights
+  | Tree { n_classes; _ } -> n_classes
+
+let param_count = function
+  | Dnn { layers; _ } ->
+      Array.fold_left
+        (fun acc l -> acc + (l.n_in * l.n_out) + l.n_out)
+        0 layers
+  | Kmeans { centroids; _ } ->
+      Array.fold_left (fun acc c -> acc + Array.length c) 0 centroids
+  | Svm { class_weights; biases; _ } ->
+      Array.fold_left (fun acc w -> acc + Array.length w) 0 class_weights
+      + Array.length biases
+  | Tree { root; n_classes; _ } ->
+      (* One threshold per split, one distribution per leaf. *)
+      let splits = Decision_tree.n_nodes root - Decision_tree.n_leaves root in
+      splits + (Decision_tree.n_leaves root * n_classes)
+
+let dnn_layer_dims = function
+  | Dnn { layers; _ } ->
+      if Array.length layers = 0 then [||]
+      else
+        Array.append [| layers.(0).n_in |] (Array.map (fun l -> l.n_out) layers)
+  | Kmeans _ | Svm _ | Tree _ ->
+      invalid_arg "Model_ir.dnn_layer_dims: not a DNN"
+
+let of_mlp ~name mlp =
+  let layers =
+    Array.map
+      (fun l ->
+        let w = l.Layer.w in
+        {
+          n_in = Layer.n_in l;
+          n_out = Layer.n_out l;
+          activation = Activation.name l.Layer.act;
+          weights = Array.init w.Mat.rows (fun i -> Mat.row w i);
+          biases = Array.copy l.Layer.b;
+        })
+      (Mlp.layers mlp)
+  in
+  Dnn { name; layers }
+
+let of_kmeans ~name km = Kmeans { name; centroids = Kmeans.centroids km }
+
+let of_svm ~name svm =
+  Svm
+    {
+      name;
+      class_weights = Svm.class_weights svm;
+      biases = Svm.class_biases svm;
+    }
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match t with
+  | Dnn { layers; _ } ->
+      if Array.length layers = 0 then fail "dnn has no layers"
+      else begin
+        let problem = ref None in
+        Array.iteri
+          (fun i l ->
+            if !problem = None then begin
+              if l.n_in <= 0 || l.n_out <= 0 then
+                problem := Some (Printf.sprintf "layer %d has empty shape" i);
+              if Array.length l.weights <> l.n_out then
+                problem := Some (Printf.sprintf "layer %d weight rows" i);
+              Array.iter
+                (fun row ->
+                  if Array.length row <> l.n_in then
+                    problem := Some (Printf.sprintf "layer %d ragged weights" i))
+                l.weights;
+              if Array.length l.biases <> l.n_out then
+                problem := Some (Printf.sprintf "layer %d bias length" i);
+              if i > 0 && layers.(i - 1).n_out <> l.n_in then
+                problem :=
+                  Some (Printf.sprintf "layer %d input mismatches layer %d" i (i - 1))
+            end)
+          layers;
+        match !problem with None -> Ok () | Some p -> Error p
+      end
+  | Kmeans { centroids; _ } ->
+      if Array.length centroids = 0 then fail "kmeans has no centroids"
+      else
+        let d = Array.length centroids.(0) in
+        if d = 0 then fail "kmeans centroids are empty"
+        else if Array.exists (fun c -> Array.length c <> d) centroids then
+          fail "kmeans ragged centroids"
+        else Ok ()
+  | Svm { class_weights; biases; _ } ->
+      if Array.length class_weights = 0 then fail "svm has no classes"
+      else
+        let d = Array.length class_weights.(0) in
+        if d = 0 then fail "svm weight vectors are empty"
+        else if Array.exists (fun w -> Array.length w <> d) class_weights then
+          fail "svm ragged weights"
+        else if Array.length biases <> Array.length class_weights then
+          fail "svm bias count mismatches class count"
+        else Ok ()
+  | Tree { n_features; n_classes; _ } ->
+      if n_features <= 0 then fail "tree has no features"
+      else if n_classes <= 0 then fail "tree has no classes"
+      else Ok ()

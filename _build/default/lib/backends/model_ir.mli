@@ -1,0 +1,69 @@
+(** Backend-independent description of a trained model — the contract between
+    the optimization core (which trains) and the backend generators (which
+    map, estimate, and emit code). *)
+
+type dnn_layer = {
+  n_in : int;
+  n_out : int;
+  activation : string;  (** "relu", "sigmoid", "tanh", "linear" *)
+  weights : float array array;  (** [n_out x n_in] *)
+  biases : float array;  (** length [n_out] *)
+}
+
+type t =
+  | Dnn of { name : string; layers : dnn_layer array }
+  | Kmeans of { name : string; centroids : float array array }
+  | Svm of {
+      name : string;
+      class_weights : float array array;  (** one weight vector per class *)
+      biases : float array;
+    }
+  | Tree of {
+      name : string;
+      root : Homunculus_ml.Decision_tree.node;
+      n_features : int;
+      n_classes : int;
+    }
+
+val name : t -> string
+val with_name : t -> string -> t
+(** Rename a model (generated code carries the application name). *)
+
+val map_parameters : (float -> float) -> t -> t
+(** Apply a function to every trained scalar (weights, biases, centroid
+    coordinates, split thresholds) — e.g. fixed-point quantization. Tree leaf
+    distributions are left untouched (they index classes, not magnitudes). *)
+
+val fold_standardization : mean:float array -> stddev:float array -> t -> t
+(** Absorb a feature-standardization preprocessing step
+    [x' = (x - mean) / stddev] into the model so it consumes *raw* features —
+    what the data plane actually parses out of packets. Exact for DNNs and
+    SVMs (the affine map folds into the first linear layer) and for trees
+    (thresholds map back to raw units). KMeans centroids are mapped to raw
+    coordinates; axis-aligned cluster cells remain exact, but raw-space
+    nearest-centroid distances are no longer variance-weighted.
+    @raise Invalid_argument when the arrays do not match the input
+    dimension or any [stddev] entry is not positive. *)
+
+val algorithm : t -> string
+(** "dnn" | "kmeans" | "svm" | "tree". *)
+
+val input_dim : t -> int
+val output_dim : t -> int
+(** Classes for classifiers, clusters for KMeans. *)
+
+val param_count : t -> int
+(** Trainable scalars (weights + biases, centroid coordinates, tree
+    thresholds + leaf distributions). *)
+
+val dnn_layer_dims : t -> int array
+(** [input; hidden...; output] for DNNs. @raise Invalid_argument on other
+    algorithms. *)
+
+val of_mlp : name:string -> Homunculus_ml.Mlp.t -> t
+val of_kmeans : name:string -> Homunculus_ml.Kmeans.t -> t
+val of_svm : name:string -> Homunculus_ml.Svm.t -> t
+
+val validate : t -> (unit, string) result
+(** Structural sanity: consistent layer chaining, non-empty weights, ragged
+    shapes rejected. *)

@@ -1,0 +1,67 @@
+(** An abstract syntax for the P4-16 programs the MAT backend emits.
+
+    Like {!Spatial_ir} for the Taurus path, representing the generated
+    switch program as an AST lets the backend analyze it (table count, key
+    widths, worst-case entry budget) and lets multi-model schedules compose
+    programs before printing, instead of concatenating strings. The printer
+    targets the v1model architecture. *)
+
+type field = { field_name : string; width : int }
+
+type header = { header_name : string; fields : field list }
+
+type match_kind = Exact | Ternary | Range | Lpm
+
+val match_kind_to_string : match_kind -> string
+
+type key = { target : string; kind : match_kind }
+(** e.g. [{ target = "meta.feature0_key"; kind = Range }]. *)
+
+type action = {
+  action_name : string;
+  params : (string * int) list;  (** (name, bit width) *)
+  body : string list;  (** statements, printed verbatim *)
+}
+
+type table = {
+  table_name : string;
+  keys : key list;
+  action_refs : string list;
+  size : int;  (** requested entries *)
+}
+
+type apply_stmt =
+  | Apply of string  (** table.apply() *)
+  | Call of string  (** action or extern invocation *)
+  | If_hit of { table : string; then_ : apply_stmt list; else_ : apply_stmt list }
+
+type control = {
+  control_name : string;
+  actions : action list;
+  tables : table list;
+  apply : apply_stmt list;
+}
+
+type program = {
+  program_name : string;
+  headers : header list;
+  metadata : field list;
+  ingress : control;
+}
+
+val print : program -> string
+(** The complete P4-16 source: includes, header/struct declarations, parser,
+    the ingress control, deparser, and the V1Switch instantiation. *)
+
+(** Analyses: *)
+
+val table_count : program -> int
+val total_requested_entries : program -> int
+val key_bits : table -> program -> int
+(** Summed width of a table's match keys (metadata fields and header fields
+    are looked up; unknown references count 16 bits). *)
+
+val merge : name:string -> program list -> program
+(** One program hosting several models: headers/metadata are unioned by
+    name, ingress actions/tables concatenated, apply blocks run in order.
+    @raise Invalid_argument on [] or on duplicate table names. *)

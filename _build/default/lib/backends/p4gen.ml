@@ -1,0 +1,210 @@
+(* The MAT backend: build a P4_ir program from the model IR using the IIsy
+   mapping rules, then pretty-print it. Table entries (the control-plane
+   half) are emitted separately by [emit_entries]. *)
+
+module Decision_tree = Homunculus_ml.Decision_tree
+
+let standard_headers =
+  [
+    {
+      P4_ir.header_name = "ethernet_t";
+      fields =
+        [
+          { P4_ir.field_name = "dst"; width = 48 };
+          { P4_ir.field_name = "src"; width = 48 };
+          { P4_ir.field_name = "etherType"; width = 16 };
+        ];
+    };
+    {
+      P4_ir.header_name = "ipv4_t";
+      fields =
+        [
+          { P4_ir.field_name = "ttl"; width = 8 };
+          { P4_ir.field_name = "protocol"; width = 8 };
+          { P4_ir.field_name = "totalLen"; width = 16 };
+          { P4_ir.field_name = "src"; width = 32 };
+          { P4_ir.field_name = "dst"; width = 32 };
+        ];
+    };
+  ]
+
+let metadata ~n_features ~n_components =
+  List.init n_features (fun f ->
+      { P4_ir.field_name = Printf.sprintf "feature%d_key" f; width = 16 })
+  @ List.init n_components (fun c ->
+        { P4_ir.field_name = Printf.sprintf "vote%d" c; width = 16 })
+  @ [ { P4_ir.field_name = "class_result"; width = 8 } ]
+
+let set_class =
+  {
+    P4_ir.action_name = "set_class";
+    params = [ ("cls", 8) ];
+    body = [ "meta.class_result = cls" ];
+  }
+
+let set_vote =
+  { P4_ir.action_name = "set_vote"; params = [ ("v", 16) ]; body = [] }
+
+let feature_key f = Printf.sprintf "meta.feature%d_key" f
+
+let range_keys dim =
+  List.init dim (fun f -> { P4_ir.target = feature_key f; kind = P4_ir.Range })
+
+let entries_per_feature_default = 64
+
+let ingress ~actions ~tables =
+  {
+    P4_ir.control_name = "Ingress";
+    actions;
+    tables;
+    apply = List.map (fun t -> P4_ir.Apply t.P4_ir.table_name) tables;
+  }
+
+let kmeans_program name centroids =
+  let k = Array.length centroids in
+  let dim = if k = 0 then 0 else Array.length centroids.(0) in
+  let tables =
+    List.init k (fun c ->
+        {
+          P4_ir.table_name = Printf.sprintf "%s_cluster%d" name c;
+          keys = range_keys dim;
+          action_refs = [ "set_class" ];
+          size = entries_per_feature_default * Stdlib.max 1 dim;
+        })
+  in
+  {
+    P4_ir.program_name = name;
+    headers = standard_headers;
+    metadata = metadata ~n_features:dim ~n_components:k;
+    ingress = ingress ~actions:[ set_class; set_vote ] ~tables;
+  }
+
+let svm_program name class_weights =
+  let classes = Array.length class_weights in
+  let dim = if classes = 0 then 0 else Array.length class_weights.(0) in
+  let feature_tables =
+    List.init dim (fun f ->
+        {
+          P4_ir.table_name = Printf.sprintf "%s_feature%d" name f;
+          keys = [ { P4_ir.target = feature_key f; kind = P4_ir.Range } ];
+          action_refs = [ "set_vote" ];
+          size = entries_per_feature_default;
+        })
+  in
+  let decision =
+    {
+      P4_ir.table_name = name ^ "_decision";
+      keys = [ { P4_ir.target = "meta.vote0"; kind = P4_ir.Exact } ];
+      action_refs = [ "set_class" ];
+      size = Stdlib.max 1 classes;
+    }
+  in
+  {
+    P4_ir.program_name = name;
+    headers = standard_headers;
+    metadata = metadata ~n_features:dim ~n_components:classes;
+    ingress =
+      ingress ~actions:[ set_class; set_vote ] ~tables:(feature_tables @ [ decision ]);
+  }
+
+let tree_program name root n_features =
+  let depth = Decision_tree.depth root in
+  let level_tables =
+    List.init depth (fun level ->
+        {
+          P4_ir.table_name = Printf.sprintf "%s_level%d" name level;
+          keys = range_keys n_features;
+          action_refs = [ "set_vote" ];
+          size = (1 lsl Stdlib.min level 12) * 2;
+        })
+  in
+  let leaves =
+    {
+      P4_ir.table_name = name ^ "_leaves";
+      keys = [ { P4_ir.target = "meta.vote0"; kind = P4_ir.Exact } ];
+      action_refs = [ "set_class" ];
+      size = Decision_tree.n_leaves root;
+    }
+  in
+  {
+    P4_ir.program_name = name;
+    headers = standard_headers;
+    metadata = metadata ~n_features ~n_components:(Stdlib.max 1 depth);
+    ingress =
+      ingress ~actions:[ set_class; set_vote ] ~tables:(level_tables @ [ leaves ]);
+  }
+
+let program_of model =
+  match model with
+  | Model_ir.Kmeans { name; centroids } -> kmeans_program name centroids
+  | Model_ir.Svm { name; class_weights; _ } -> svm_program name class_weights
+  | Model_ir.Tree { name; root; n_features; _ } -> tree_program name root n_features
+  | Model_ir.Dnn _ ->
+      invalid_arg "P4gen.emit: DNNs are not mappable to MATs (use Taurus/FPGA)"
+
+let emit model = P4_ir.print (program_of model)
+
+(* Control-plane entries: quantize trained parameters into match rows.
+   16-bit keys; range matches expand into ternary TCAM rows. *)
+let quantize v = int_of_float (Float.round (v *. 256.)) land 0xFFFF
+
+let emit_entries ?(entries_per_feature = entries_per_feature_default) model =
+  let buf = Buffer.create 4096 in
+  let bpf = Printf.bprintf in
+  bpf buf "# table entries for %s\n" (Model_ir.name model);
+  (match model with
+  | Model_ir.Kmeans { name; centroids } ->
+      (* Each cluster cell is a per-feature range; ranges expand to ternary
+         TCAM rows (value/mask pairs), as the hardware actually stores them. *)
+      Array.iteri
+        (fun c centroid ->
+          Array.iteri
+            (fun f coord ->
+              let center = quantize coord in
+              let half = 65536 / (2 * entries_per_feature) in
+              let lo = Stdlib.max 0 (center - half) in
+              let hi = Stdlib.min 65535 (center + half) in
+              List.iter
+                (fun row ->
+                  bpf buf
+                    "table_add %s_cluster%d set_class %d => f%d ternary %s\n"
+                    name c c f
+                    (Range_match.to_string ~width:16 row))
+                (Range_match.expand_range ~width:16 ~lo ~hi))
+            centroid)
+        centroids
+  | Model_ir.Svm { name; class_weights; biases } ->
+      Array.iteri
+        (fun cls w ->
+          Array.iteri
+            (fun f wf ->
+              if wf <> 0. then
+                bpf buf "table_add %s_feature%d set_vote %d => weight %d\n" name
+                  f cls (quantize wf))
+            w;
+          bpf buf "table_add %s_decision set_class %d => bias %d\n" name cls
+            (quantize biases.(cls)))
+        class_weights
+  | Model_ir.Tree { name; root; _ } ->
+      let rec walk node level idx =
+        match node with
+        | Decision_tree.Leaf { distribution } ->
+            bpf buf "table_add %s_leaves set_class %d => leaf %d\n" name
+              (Homunculus_util.Stats.argmax distribution)
+              idx
+        | Decision_tree.Split { feature; threshold; left; right } ->
+            bpf buf
+              "table_add %s_level%d set_vote %d => feature %d le %d\n" name
+              level idx feature (quantize threshold);
+            walk left (level + 1) (2 * idx);
+            walk right (level + 1) ((2 * idx) + 1)
+      in
+      walk root 0 0
+  | Model_ir.Dnn _ ->
+      invalid_arg "P4gen.emit_entries: DNNs are not mappable to MATs");
+  Buffer.contents buf
+
+let line_count code =
+  String.split_on_char '\n' code
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

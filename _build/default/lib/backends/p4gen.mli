@@ -1,0 +1,27 @@
+(** P4-16 code generation for MAT-based switches, following the IIsy mapping
+    (paper §4: "we use IIsy as a backend for mapping ML algorithms ... to
+    MATs").
+
+    Feature values are quantized into range keys; each model component
+    becomes a table whose entries are computed from the trained parameters
+    at control-plane install time. The emitted program contains the full
+    ingress control flow; table entries themselves ship separately via
+    {!emit_entries} (as a P4Runtime-style text dump), matching how IIsy
+    splits data plane and control plane. *)
+
+val program_of : Model_ir.t -> P4_ir.program
+(** Build the P4 AST for a model under the IIsy mapping rules. Supported:
+    KMeans, SVM, Tree (the algorithms IIsy maps); DNNs raise
+    [Invalid_argument] — the MAT backend rejects them during candidate
+    filtering instead. *)
+
+val emit : Model_ir.t -> string
+(** [P4_ir.print (program_of model)] — the P4-16 program: headers, parser,
+    per-component tables, ingress apply chain, deparser. *)
+
+val emit_entries : ?entries_per_feature:int -> Model_ir.t -> string
+(** Control-plane table entries derived from the trained parameters:
+    per-cluster range cells for KMeans, per-feature vote entries for SVMs,
+    per-level branch entries for trees. *)
+
+val line_count : string -> int

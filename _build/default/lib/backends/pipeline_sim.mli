@@ -1,0 +1,43 @@
+(** Cycle-level simulation of a mapped pipeline under packet load — the role
+    the Tungsten/SARA cycle-accurate simulators play in the paper's
+    feasibility-testing loop (§3.3).
+
+    The analytical Taurus model gives a mapping's initiation interval (II)
+    and pipeline depth; this module drives that pipeline with an arrival
+    process and reports what the wire would see: achieved throughput,
+    queueing latency percentiles, and drops when the ingress queue overflows
+    — i.e. it distinguishes "II = 2 means 0.5 Gpkt/s sustained" from the
+    paper's 1 Gpkt/s requirement empirically rather than analytically. *)
+
+type config = {
+  ii_cycles : int;  (** one packet accepted every [ii_cycles] *)
+  pipeline_cycles : int;  (** depth: cycles from ingress to verdict *)
+  clock_ghz : float;
+  queue_capacity : int;  (** ingress buffer, in packets *)
+}
+
+val config_of_mapping : Taurus.grid -> Taurus.mapping -> config
+(** Derive the pipeline parameters of a mapped model (queue capacity 64). *)
+
+type stats = {
+  packets_offered : int;
+  packets_delivered : int;
+  packets_dropped : int;
+  mean_latency_ns : float;  (** over delivered packets; 0 when none *)
+  p99_latency_ns : float;
+  max_queue_depth : int;
+  achieved_gpps : float;
+      (** delivered packets over the busy interval (first arrival to last
+          departure) *)
+}
+
+val simulate : config -> arrivals_ns:float array -> stats
+(** Deterministic discrete-event run over ascending arrival times.
+    @raise Invalid_argument on unsorted arrivals or empty input. *)
+
+val poisson_arrivals :
+  Homunculus_util.Rng.t -> rate_gpps:float -> n:int -> float array
+(** Memoryless arrival process at the given offered load. *)
+
+val uniform_arrivals : rate_gpps:float -> n:int -> float array
+(** Back-to-back line-rate arrivals (the paper's MoonGen full-rate test). *)

@@ -1,0 +1,107 @@
+type tile_kind = Cu | Mu
+
+type tile = { row : int; col : int; kind : tile_kind }
+
+let tile_kind_at ~row ~col = if (row + col) mod 2 = 0 then Cu else Mu
+
+type placement = {
+  grid : Taurus.grid;
+  assignments : (string * tile list) list;
+}
+
+(* Free tiles in column-sweep order (all of column 0 top to bottom, then
+   column 1, ...), so a stage's claim forms a vertical band and the next
+   stage starts where the previous one ended. *)
+let place (grid : Taurus.grid) demands =
+  let rows = grid.Taurus.rows and cols = grid.Taurus.cols in
+  let order = ref [] in
+  for col = cols - 1 downto 0 do
+    for row = rows - 1 downto 0 do
+      order := { row; col; kind = tile_kind_at ~row ~col } :: !order
+    done
+  done;
+  let free = ref !order in
+  let take label kind count =
+    let rec go taken remaining n = function
+      | [] ->
+          if n = 0 then Ok (List.rev taken, List.rev remaining)
+          else
+            Error
+              (Printf.sprintf "stage %s: out of %s tiles (%d more needed)" label
+                 (match kind with Cu -> "CU" | Mu -> "MU")
+                 n)
+      | tile :: rest ->
+          if n > 0 && tile.kind = kind then go (tile :: taken) remaining (n - 1) rest
+          else go taken (tile :: remaining) n rest
+    in
+    match go [] [] count !free with
+    | Ok (taken, remaining) ->
+        free := remaining;
+        Ok taken
+    | Error _ as e -> e
+  in
+  let rec place_all acc = function
+    | [] -> Ok { grid; assignments = List.rev acc }
+    | (label, cus, mus) :: rest -> (
+        if cus < 0 || mus < 0 then
+          invalid_arg "Placement.place: negative demand"
+        else
+          match take label Cu cus with
+          | Error e -> Error e
+          | Ok cu_tiles -> (
+              match take label Mu mus with
+              | Error e -> Error e
+              | Ok mu_tiles -> place_all ((label, cu_tiles @ mu_tiles) :: acc) rest))
+  in
+  place_all [] demands
+
+let place_model grid model = place grid (Taurus.layer_demands grid model)
+
+let centroid tiles =
+  let n = float_of_int (List.length tiles) in
+  if n = 0. then (0., 0.)
+  else
+    let sr, sc =
+      List.fold_left
+        (fun (sr, sc) t -> (sr +. float_of_int t.row, sc +. float_of_int t.col))
+        (0., 0.) tiles
+    in
+    (sr /. n, sc /. n)
+
+let wirelength p =
+  let rec go acc = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        let ra, ca = centroid a and rb, cb = centroid b in
+        go (acc +. Float.abs (ra -. rb) +. Float.abs (ca -. cb)) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0. p.assignments
+
+let utilization p =
+  let total = p.grid.Taurus.rows * p.grid.Taurus.cols in
+  let used =
+    List.fold_left (fun acc (_, tiles) -> acc + List.length tiles) 0 p.assignments
+  in
+  float_of_int used /. float_of_int total
+
+let render p =
+  let rows = p.grid.Taurus.rows and cols = p.grid.Taurus.cols in
+  let canvas = Array.make_matrix rows cols ' ' in
+  for row = 0 to rows - 1 do
+    for col = 0 to cols - 1 do
+      canvas.(row).(col) <-
+        (match tile_kind_at ~row ~col with Cu -> '.' | Mu -> ',')
+    done
+  done;
+  List.iteri
+    (fun i (_, tiles) ->
+      let c = Char.chr (Char.code '0' + (i mod 10)) in
+      List.iter (fun t -> canvas.(t.row).(t.col) <- c) tiles)
+    p.assignments;
+  let buf = Buffer.create (rows * (cols + 1)) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    canvas;
+  Buffer.contents buf

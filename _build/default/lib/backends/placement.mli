@@ -1,0 +1,40 @@
+(** Place-and-route-lite for the Taurus MapReduce grid.
+
+    The grid is a checkerboard of compute units (CUs) and memory units (MUs).
+    Each pipeline stage demands some of each; this pass assigns concrete
+    tiles, keeping a stage's units contiguous and consecutive stages adjacent
+    (the job SARA's placer does before Spatial bitstream generation). The
+    wirelength metric and the ASCII rendering make placement quality
+    inspectable. *)
+
+type tile_kind = Cu | Mu
+
+type tile = { row : int; col : int; kind : tile_kind }
+
+val tile_kind_at : row:int -> col:int -> tile_kind
+(** The checkerboard pattern: CU where [(row + col)] is even. *)
+
+type placement = {
+  grid : Taurus.grid;
+  assignments : (string * tile list) list;
+      (** per stage label, in pipeline order *)
+}
+
+val place : Taurus.grid -> (string * int * int) list -> (placement, string) result
+(** [place grid demands] with demands as [(label, cus, mus)] from
+    {!Taurus.layer_demands}. Tiles are claimed in column-sweep order so each
+    stage occupies a band and successive stages touch. Fails with a message
+    when the grid runs out of either tile kind. *)
+
+val place_model : Taurus.grid -> Model_ir.t -> (placement, string) result
+
+val wirelength : placement -> float
+(** Sum over consecutive stages of the Manhattan distance between their
+    tile centroids — lower is better. 0 for a single stage. *)
+
+val utilization : placement -> float
+(** Fraction of the grid's tiles claimed. *)
+
+val render : placement -> string
+(** ASCII floor plan: one character per tile, stage index (mod 10) for
+    claimed tiles, '.' for free CUs, ',' for free MUs. *)

@@ -1,0 +1,50 @@
+type ternary = { value : int; mask : int }
+
+let matches t key = key land t.mask = t.value
+
+let check_args ~width ~lo ~hi =
+  if width < 1 || width > 30 then invalid_arg "Range_match: width outside [1, 30]";
+  let limit = 1 lsl width in
+  if lo < 0 || hi < lo || hi >= limit then
+    invalid_arg "Range_match: range outside the key space"
+
+(* Greedy aligned-block decomposition: repeatedly take the largest
+   power-of-two block that starts at [lo] (alignment) and fits below [hi].
+   Each block is one prefix = one TCAM row; the cover is minimal. *)
+let fold_blocks ~width ~lo ~hi ~init ~f =
+  check_args ~width ~lo ~hi;
+  let rec go acc lo =
+    if lo > hi then acc
+    else begin
+      let rec block_bits k =
+        if k >= width then k
+        else
+          let size = 1 lsl (k + 1) in
+          if lo land (size - 1) <> 0 then k
+          else if lo + size - 1 > hi then k
+          else block_bits (k + 1)
+      in
+      let k = block_bits 0 in
+      go (f acc ~lo ~bits:k) (lo + (1 lsl k))
+    end
+  in
+  go init lo
+
+let expand_range ~width ~lo ~hi =
+  let full = (1 lsl width) - 1 in
+  fold_blocks ~width ~lo ~hi ~init:[] ~f:(fun acc ~lo ~bits ->
+      let mask = full land lnot ((1 lsl bits) - 1) in
+      { value = lo land mask; mask } :: acc)
+  |> List.rev
+
+let entry_count ~width ~lo ~hi =
+  fold_blocks ~width ~lo ~hi ~init:0 ~f:(fun acc ~lo:_ ~bits:_ -> acc + 1)
+
+let worst_case ~width = if width <= 1 then 1 else (2 * width) - 2
+
+let to_string ~width t =
+  String.init width (fun i ->
+      let bit = width - 1 - i in
+      if t.mask land (1 lsl bit) = 0 then '*'
+      else if t.value land (1 lsl bit) <> 0 then '1'
+      else '0')

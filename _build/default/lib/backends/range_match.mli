@@ -1,0 +1,29 @@
+(** Range-to-ternary expansion for TCAM match-action tables.
+
+    MAT hardware matches ternary (value/mask) keys; a range match like
+    [100 <= key <= 1200] must be decomposed into aligned power-of-two blocks,
+    each one TCAM row. This prefix-expansion pass determines the real entry
+    cost of the range tables the IIsy mapping declares — a W-bit range costs
+    at most [2W - 2] rows. *)
+
+type ternary = {
+  value : int;  (** the cared-about bits, already masked *)
+  mask : int;  (** 1 bits participate in the match *)
+}
+
+val matches : ternary -> int -> bool
+(** [matches t key] — does the TCAM row fire for this key? *)
+
+val expand_range : width:int -> lo:int -> hi:int -> ternary list
+(** Minimal prefix cover of the inclusive range [lo, hi] over [width]-bit
+    keys, in ascending order of covered values. @raise Invalid_argument
+    unless [0 <= lo <= hi < 2^width] and [1 <= width <= 30]. *)
+
+val entry_count : width:int -> lo:int -> hi:int -> int
+(** [List.length (expand_range ...)] without building the list. *)
+
+val worst_case : width:int -> int
+(** The classic [2 * width - 2] bound ([1] when [width = 1]). *)
+
+val to_string : width:int -> ternary -> string
+(** Bit pattern with don't-cares, e.g. ["0110**"]. *)

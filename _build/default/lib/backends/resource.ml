@@ -1,0 +1,68 @@
+type perf = { min_throughput_gpps : float; max_latency_ns : float }
+
+let perf ~min_throughput_gpps ~max_latency_ns =
+  if min_throughput_gpps <= 0. then invalid_arg "Resource.perf: throughput <= 0";
+  if max_latency_ns <= 0. then invalid_arg "Resource.perf: latency <= 0";
+  { min_throughput_gpps; max_latency_ns }
+
+let line_rate = { min_throughput_gpps = 1.; max_latency_ns = 500. }
+
+type usage = { resource : string; used : float; available : float }
+
+let usage ~resource ~used ~available =
+  if available <= 0. then invalid_arg "Resource.usage: available <= 0";
+  if used < 0. then invalid_arg "Resource.usage: used < 0";
+  { resource; used; available }
+
+let percent u = 100. *. u.used /. u.available
+let fits u = u.used <= u.available
+let all_fit = List.for_all fits
+
+type verdict = {
+  usages : usage list;
+  latency_ns : float;
+  throughput_gpps : float;
+  feasible : bool;
+  rejection : string option;
+}
+
+let check perf ~usages ~latency_ns ~throughput_gpps =
+  let rejection =
+    match List.find_opt (fun u -> not (fits u)) usages with
+    | Some u ->
+        Some
+          (Printf.sprintf "%s exceeded: %.0f > %.0f" u.resource u.used
+             u.available)
+    | None ->
+        if throughput_gpps < perf.min_throughput_gpps then
+          Some
+            (Printf.sprintf "throughput %.3f Gpkt/s below target %.3f"
+               throughput_gpps perf.min_throughput_gpps)
+        else if latency_ns > perf.max_latency_ns then
+          Some
+            (Printf.sprintf "latency %.1f ns above budget %.1f" latency_ns
+               perf.max_latency_ns)
+        else None
+  in
+  {
+    usages;
+    latency_ns;
+    throughput_gpps;
+    feasible = rejection = None;
+    rejection;
+  }
+
+let find_usage verdict name =
+  List.find_opt (fun u -> String.equal u.resource name) verdict.usages
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun u ->
+      Format.fprintf fmt "%-8s %6.0f / %6.0f (%5.1f%%)@," u.resource u.used
+        u.available (percent u))
+    v.usages;
+  Format.fprintf fmt "latency  %.1f ns@,throughput %.3f Gpkt/s@,%s%s@]"
+    v.latency_ns v.throughput_gpps
+    (if v.feasible then "FEASIBLE" else "INFEASIBLE")
+    (match v.rejection with Some r -> ": " ^ r | None -> "")

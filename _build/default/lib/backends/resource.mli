@@ -1,0 +1,45 @@
+(** Shared resource-accounting vocabulary across backends.
+
+    Every backend answers the optimization core with the same three kinds of
+    facts (paper §3.3, "Feasibility Constraint Testing"): how much of each
+    physical resource the mapped model uses, what latency/throughput the
+    mapping achieves, and whether the whole thing is feasible. *)
+
+type perf = {
+  min_throughput_gpps : float;  (** giga-packets per second to sustain *)
+  max_latency_ns : float;
+}
+
+val line_rate : perf
+(** The paper's evaluation constraint: 1 Gpkt/s, 500 ns. *)
+
+val perf : min_throughput_gpps:float -> max_latency_ns:float -> perf
+(** @raise Invalid_argument on non-positive values. *)
+
+type usage = { resource : string; used : float; available : float }
+
+val usage : resource:string -> used:float -> available:float -> usage
+val percent : usage -> float
+(** [100 * used / available]. *)
+
+val fits : usage -> bool
+(** [used <= available]. *)
+
+val all_fit : usage list -> bool
+
+type verdict = {
+  usages : usage list;
+  latency_ns : float;
+  throughput_gpps : float;
+  feasible : bool;
+  rejection : string option;  (** first violated constraint, when infeasible *)
+}
+
+val check : perf -> usages:usage list -> latency_ns:float ->
+  throughput_gpps:float -> verdict
+(** Assemble a verdict: feasible iff every usage fits and both performance
+    targets are met; [rejection] names the first failure. *)
+
+val find_usage : verdict -> string -> usage option
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,233 @@
+module Decision_tree = Homunculus_ml.Decision_tree
+module Mathx = Homunculus_util.Mathx
+
+let clamp16 v = Mathx.clamp_int ~lo:(-32768) ~hi:32767 v
+
+let quantize v = clamp16 (int_of_float (Float.round (v *. 256.)))
+
+let quantize_scaled scale v = clamp16 (int_of_float (Float.round (v *. scale)))
+
+type kmeans_pipeline = {
+  (* Per cluster: per-feature inclusive [lo, hi] ranges in key space, plus
+     the quantized centroid for the default action. *)
+  cells : (int * int) array array;
+  centroids_q : int array array;
+  mutable misses : int;
+}
+
+type svm_pipeline = {
+  weights_q : int array array;
+      (** per class, per feature, scaled so [w_q * x_q ~ 65536 * w * x] *)
+  biases_q : int array;  (** 16.16 fixed *)
+}
+
+type pipeline =
+  | Kmeans_tables of kmeans_pipeline
+  | Svm_tables of svm_pipeline
+  | Tree_tables of Decision_tree.node  (** thresholds pre-quantized *)
+
+type t = { pipeline : pipeline; n_features : int; scales : float array }
+
+let model_dimension = function
+  | Model_ir.Dnn _ ->
+      invalid_arg "Runtime.load: DNNs do not map to MATs (binarize first)"
+  | Model_ir.Kmeans { centroids; _ } ->
+      if Array.length centroids = 0 then 0 else Array.length centroids.(0)
+  | Model_ir.Svm { class_weights; _ } ->
+      if Array.length class_weights = 0 then 0
+      else Array.length class_weights.(0)
+  | Model_ir.Tree { n_features; _ } -> n_features
+
+(* Per-feature key scale: cover the calibration sample's range (with 2x
+   headroom) across the 16-bit key space; fall back to 8.8 fixed point. *)
+let choose_scales ~calibration ~n_features =
+  match calibration with
+  | None -> Array.make n_features 256.
+  | Some samples ->
+      if Array.exists (fun row -> Array.length row <> n_features) samples then
+        invalid_arg "Runtime.load: calibration dimension mismatch";
+      Array.init n_features (fun f ->
+          let max_abs = ref 1e-9 in
+          Array.iter
+            (fun row ->
+              let v = Float.abs row.(f) in
+              if v > !max_abs then max_abs := v)
+            samples;
+          32767. /. (2. *. !max_abs))
+
+let load ?(entries_per_feature = 64) ?calibration model =
+  let n_features = model_dimension model in
+  let scales = choose_scales ~calibration ~n_features in
+  match model with
+  | Model_ir.Dnn _ -> assert false (* model_dimension already rejected *)
+  | Model_ir.Kmeans { centroids; _ } as km ->
+      let cells =
+        match calibration with
+        | Some samples when Array.length samples > 0 ->
+            (* IIsy-style: derive each cluster's cell from the training
+               points it wins, with a 10% span margin. *)
+            let k = Array.length centroids in
+            let lo = Array.make_matrix k n_features infinity in
+            let hi = Array.make_matrix k n_features neg_infinity in
+            Array.iter
+              (fun row ->
+                let c = Inference.predict km row in
+                Array.iteri
+                  (fun f v ->
+                    if v < lo.(c).(f) then lo.(c).(f) <- v;
+                    if v > hi.(c).(f) then hi.(c).(f) <- v)
+                  row)
+              samples;
+            Array.mapi
+              (fun c centroid ->
+                Array.mapi
+                  (fun f coord ->
+                    if lo.(c).(f) > hi.(c).(f) then begin
+                      (* Cluster won no calibration point: degenerate cell
+                         around the centroid. *)
+                      let center = quantize_scaled scales.(f) coord in
+                      (center, center)
+                    end
+                    else
+                      let margin = 0.1 *. (hi.(c).(f) -. lo.(c).(f)) in
+                      ( quantize_scaled scales.(f) (lo.(c).(f) -. margin),
+                        quantize_scaled scales.(f) (hi.(c).(f) +. margin) ))
+                  centroid)
+              centroids
+        | Some _ | None ->
+            (* No calibration: fixed-width cells around each centroid. *)
+            let half = 65536 / (2 * entries_per_feature) in
+            Array.map
+              (fun centroid ->
+                Array.mapi
+                  (fun f coord ->
+                    let center = quantize_scaled scales.(f) coord in
+                    (center - half, center + half))
+                  centroid)
+              centroids
+      in
+      let centroids_q =
+        Array.map
+          (fun centroid ->
+            Array.mapi (fun f c -> quantize_scaled scales.(f) c) centroid)
+          centroids
+      in
+      {
+        pipeline = Kmeans_tables { cells; centroids_q; misses = 0 };
+        n_features;
+        scales;
+      }
+  | Model_ir.Svm { class_weights; biases; _ } ->
+      {
+        pipeline =
+          Svm_tables
+            {
+              weights_q =
+                Array.map
+                  (fun w ->
+                    Array.mapi
+                      (fun f wf ->
+                        int_of_float (Float.round (wf *. 65536. /. scales.(f))))
+                      w)
+                  class_weights;
+              biases_q =
+                Array.map (fun b -> int_of_float (Float.round (b *. 65536.))) biases;
+            };
+        n_features;
+        scales;
+      }
+  | Model_ir.Tree { root; _ } ->
+      let rec q_node = function
+        | Decision_tree.Leaf _ as leaf -> leaf
+        | Decision_tree.Split { feature; threshold; left; right } ->
+            Decision_tree.Split
+              {
+                feature;
+                threshold = float_of_int (quantize_scaled scales.(feature) threshold);
+                left = q_node left;
+                right = q_node right;
+              }
+      in
+      { pipeline = Tree_tables (q_node root); n_features; scales }
+
+let feature_scales t = Array.copy t.scales
+
+let check_input t x =
+  if Array.length x <> t.n_features then
+    invalid_arg "Runtime.classify: feature dimension mismatch"
+
+let classify t x =
+  check_input t x;
+  let keys = Array.mapi (fun f v -> quantize_scaled t.scales.(f) v) x in
+  match t.pipeline with
+  | Kmeans_tables p -> (
+      (* TCAM priority semantics: the first cluster whose every per-feature
+         range matches wins. *)
+      let n = Array.length p.cells in
+      let rec first_match c =
+        if c >= n then None
+        else
+          let hit =
+            Array.for_all2
+              (fun (lo, hi) key -> key >= lo && key <= hi)
+              p.cells.(c) keys
+          in
+          if hit then Some c else first_match (c + 1)
+      in
+      match first_match 0 with
+      | Some c -> c
+      | None ->
+          (* Default action: nearest quantized centroid. *)
+          p.misses <- p.misses + 1;
+          let best = ref 0 and best_d = ref max_int in
+          Array.iteri
+            (fun c centroid ->
+              let d = ref 0 in
+              Array.iteri
+                (fun f cf ->
+                  let delta = keys.(f) - cf in
+                  d := !d + (delta * delta))
+                centroid;
+              if !d < !best_d then begin
+                best := c;
+                best_d := !d
+              end)
+            p.centroids_q;
+          !best)
+  | Svm_tables p ->
+      let scores =
+        Array.mapi
+          (fun c w ->
+            let acc = ref p.biases_q.(c) in
+            Array.iteri (fun f wf -> acc := !acc + (wf * keys.(f))) w;
+            !acc)
+          p.weights_q
+      in
+      let best = ref 0 in
+      Array.iteri (fun c s -> if s > scores.(!best) then best := c) scores;
+      !best
+  | Tree_tables root ->
+      let rec walk = function
+        | Decision_tree.Leaf { distribution } ->
+            Homunculus_util.Stats.argmax distribution
+        | Decision_tree.Split { feature; threshold; left; right } ->
+            if float_of_int keys.(feature) <= threshold then walk left
+            else walk right
+      in
+      walk root
+
+let classify_all t xs = Array.map (classify t) xs
+
+let miss_count t =
+  match t.pipeline with
+  | Kmeans_tables p -> p.misses
+  | Svm_tables _ | Tree_tables _ -> 0
+
+let fidelity t model ~x =
+  if Array.length x = 0 then invalid_arg "Runtime.fidelity: empty input";
+  let agree = ref 0 in
+  Array.iter
+    (fun sample ->
+      if classify t sample = Inference.predict model sample then incr agree)
+    x;
+  float_of_int !agree /. float_of_int (Array.length x)

@@ -1,0 +1,46 @@
+(** A software switch runtime for MAT-mapped models — the deployment-side
+    twin of {!P4gen.emit_entries}.
+
+    Where {!Inference} evaluates the IR in floating point (what the model
+    means), this module executes it the way a Tofino-class pipeline
+    actually would: features quantized to 16-bit fixed-point keys, cluster
+    cells as per-feature range tables with TCAM priority semantics (first
+    match wins, a default action on miss), SVM votes and tree thresholds in
+    integer arithmetic. The gap between the two is the fidelity the
+    deployment loses to quantization and cell-shaped decision regions. *)
+
+type t
+
+val load :
+  ?entries_per_feature:int ->
+  ?calibration:float array array ->
+  Model_ir.t ->
+  t
+(** Build the quantized tables (default granularity 64 cells/feature, the
+    {!Iisy} default). [calibration] — a sample of representative raw inputs —
+    sets each feature's fixed-point scale so the 16-bit key space covers the
+    observed range plus headroom (how real deployments pick quantization
+    parameters); without it, keys use the plain 8.8 encoding, which
+    saturates beyond |x| = 128. @raise Invalid_argument for DNNs — they do
+    not map to MATs; binarize first ({!Bnn.binarize_dnn}) and treat the
+    result as its own model. *)
+
+val feature_scales : t -> float array
+(** The per-feature key scale chosen at load time. *)
+
+val classify : t -> float array -> int
+(** Push one feature vector through the table pipeline. *)
+
+val classify_all : t -> float array array -> int array
+
+val miss_count : t -> int
+(** KMeans pipelines only: how many packets missed every cluster cell since
+    [load] (they fall back to the default action: nearest quantized
+    centroid). 0 for SVM/tree pipelines. *)
+
+val fidelity : t -> Model_ir.t -> x:float array array -> float
+(** Agreement rate between the table pipeline and the floating-point
+    reference {!Inference.predict} on the given inputs. *)
+
+val quantize : float -> int
+(** The shared 8.8 fixed-point key encoding (signed, clamped to 16 bits). *)

@@ -1,0 +1,274 @@
+(* The Spatial backend: build a Spatial_ir program from the model IR (the
+   template composition of Fig. 5), then pretty-print it. *)
+
+open Spatial_ir
+module Decision_tree = Homunculus_ml.Decision_tree
+
+let weight_decls ~prefix layers =
+  Array.to_list layers
+  |> List.concat_map (fun (i, (l : Model_ir.dnn_layer)) ->
+         [
+           Comment
+             (Printf.sprintf "Layer %d weights (%d x %d), trained offline" i
+                l.Model_ir.n_out l.Model_ir.n_in);
+           Lut_decl
+             {
+               name = Printf.sprintf "%s_W%d" prefix i;
+               rows = l.Model_ir.n_out;
+               cols = l.Model_ir.n_in;
+               values = l.Model_ir.weights;
+             };
+           Lut_decl
+             {
+               name = Printf.sprintf "%s_B%d" prefix i;
+               rows = 1;
+               cols = l.Model_ir.n_out;
+               values = [| l.Model_ir.biases |];
+             };
+         ])
+
+let indexed layers = Array.mapi (fun i l -> (i, l)) layers
+
+let dnn_program name (layers : Model_ir.dnn_layer array) =
+  let n = Array.length layers in
+  let buffers =
+    Sram_alloc { name = "buf0"; size = layers.(0).Model_ir.n_in; buffered = true }
+    :: (Array.to_list (indexed layers)
+       |> List.map (fun (i, (l : Model_ir.dnn_layer)) ->
+              Sram_alloc
+                {
+                  name = Printf.sprintf "buf%d" (i + 1);
+                  size = l.Model_ir.n_out;
+                  buffered = true;
+                }))
+  in
+  let stages =
+    Array.to_list (indexed layers)
+    |> List.map (fun (i, (l : Model_ir.dnn_layer)) ->
+           dense_layer ~layer_idx:i ~prefix:name
+             ~src:(Printf.sprintf "buf%d" i)
+             ~dst:(Printf.sprintf "buf%d" (i + 1))
+             ~n_in:l.Model_ir.n_in ~n_out:l.Model_ir.n_out
+             ~activation:l.Model_ir.activation)
+  in
+  {
+    name;
+    fixpt = "FixPt[TRUE, _16, _16]";
+    decls = weight_decls ~prefix:name (indexed layers);
+    accel =
+      [
+        Comment "Double-buffered SRAM between pipeline stages";
+      ]
+      @ buffers
+      @ [
+          Stream_loop
+            ([ Pipe [ Raw "loadFeatures(packetIn, buf0)" ] ]
+            @ stages
+            @ [
+                Pipe
+                  [
+                    Raw (Printf.sprintf "writeClass(argmax(buf%d), packetOut)" n);
+                  ];
+              ]);
+        ];
+  }
+
+let single_block_program ~name ~decls ~dim ~compute =
+  {
+    name;
+    fixpt = "FixPt[TRUE, _16, _16]";
+    decls;
+    accel =
+      [
+        Sram_alloc { name = "features"; size = dim; buffered = true };
+        Stream_loop
+          ([ Pipe [ Raw "loadFeatures(packetIn, features)" ] ] @ [ Pipe compute ]);
+      ];
+  }
+
+let kmeans_program name centroids =
+  let k = Array.length centroids in
+  let dim = if k = 0 then 1 else Array.length centroids.(0) in
+  let decls =
+    [ Lut_decl { name = name ^ "_C"; rows = k; cols = dim; values = centroids } ]
+  in
+  let compute =
+    [
+      Sram_alloc { name = "dists"; size = k; buffered = false };
+      Foreach
+        {
+          var = "c";
+          bound = k;
+          par = 1;
+          body =
+            [
+              Val
+                {
+                  name = "d";
+                  value =
+                    Binop
+                      {
+                        op = "-";
+                        lhs = Index { base = "features"; indices = [ Var "j" ] };
+                        rhs = Index { base = name ^ "_C"; indices = [ Var "c"; Var "j" ] };
+                      };
+                };
+              Reduce
+                {
+                  target = "dist";
+                  var = "j";
+                  bound = dim;
+                  par = Stdlib.min 8 dim;
+                  body = Binop { op = "*"; lhs = Var "d"; rhs = Var "d" };
+                  combine = "+";
+                };
+              Assign
+                {
+                  target = Index { base = "dists"; indices = [ Var "c" ] };
+                  value = Var "dist";
+                };
+            ];
+        };
+      Raw "writeClass(argmin(dists), packetOut)";
+    ]
+  in
+  single_block_program ~name ~decls ~dim ~compute
+
+let svm_program name class_weights biases =
+  let classes = Array.length class_weights in
+  let dim = if classes = 0 then 1 else Array.length class_weights.(0) in
+  let decls =
+    [
+      Lut_decl { name = name ^ "_W"; rows = classes; cols = dim; values = class_weights };
+      Lut_decl { name = name ^ "_B"; rows = 1; cols = classes; values = [| biases |] };
+    ]
+  in
+  let compute =
+    [
+      Sram_alloc { name = "margins"; size = classes; buffered = false };
+      Foreach
+        {
+          var = "c";
+          bound = classes;
+          par = 1;
+          body =
+            [
+              dot_product ~target:"m" ~weights:(name ^ "_W") ~input:"features"
+                ~row:(Var "c") ~n:dim;
+              Assign
+                {
+                  target = Index { base = "margins"; indices = [ Var "c" ] };
+                  value =
+                    Binop
+                      {
+                        op = "+";
+                        lhs = Var "m";
+                        rhs = Index { base = name ^ "_B"; indices = [ Var "c" ] };
+                      };
+                };
+            ];
+        };
+      Raw "writeClass(argmax(margins), packetOut)";
+    ]
+  in
+  single_block_program ~name ~decls ~dim ~compute
+
+let rec tree_expr = function
+  | Decision_tree.Leaf { distribution } ->
+      Var (Printf.sprintf "%d.to[T]" (Homunculus_util.Stats.argmax distribution))
+  | Decision_tree.Split { feature; threshold; left; right } ->
+      Call
+        {
+          fn = "mux";
+          args =
+            [
+              Binop
+                {
+                  op = "<=";
+                  lhs = Index { base = "features"; indices = [ Int_const feature ] };
+                  rhs = Var (Printf.sprintf "%.6f.to[T]" threshold);
+                };
+              tree_expr left;
+              tree_expr right;
+            ];
+        }
+
+let tree_program name root n_features =
+  single_block_program ~name ~decls:[] ~dim:n_features
+    ~compute:
+      [
+        Val { name = "cls"; value = tree_expr root };
+        Raw "writeClass(cls, packetOut)";
+      ]
+
+let program_of model =
+  match model with
+  | Model_ir.Dnn { name; layers } -> dnn_program name layers
+  | Model_ir.Kmeans { name; centroids } -> kmeans_program name centroids
+  | Model_ir.Svm { name; class_weights; biases } ->
+      svm_program name class_weights biases
+  | Model_ir.Tree { name; root; n_features; _ } -> tree_program name root n_features
+
+let emit model = Spatial_ir.print (program_of model)
+
+(* Namespacing for bundles: duplicate model names get an index suffix. *)
+let unique_names models =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun model ->
+      let base = Model_ir.name model in
+      let n = Option.value (Hashtbl.find_opt seen base) ~default:0 in
+      Hashtbl.replace seen base (n + 1);
+      let name = if n = 0 then base else Printf.sprintf "%s_%d" base n in
+      (name, Model_ir.with_name model name))
+    models
+
+let emit_bundle ~name models =
+  if models = [] then invalid_arg "Spatial.emit_bundle: no models";
+  let named = unique_names models in
+  (* Each model contributes its declarations plus one compute section; the
+     shared streaming loop feeds every instance the packet's features and
+     collects one verdict register per instance. *)
+  let programs = List.map (fun (_, m) -> program_of m) named in
+  let decls = List.concat_map (fun p -> p.Spatial_ir.decls) programs in
+  let instance_sections =
+    List.map
+      (fun (instance, model) ->
+        let inner = program_of model in
+        (* Reuse the instance's Accel body minus its own stream loop: pull
+           the stages out of the Stream_loop and rename its feature buffer. *)
+        let stages =
+          List.concat_map
+            (function
+              | Spatial_ir.Stream_loop body -> body
+              | Spatial_ir.Comment _ -> []
+              | other -> [ other ])
+            inner.Spatial_ir.accel
+        in
+        Spatial_ir.Comment (Printf.sprintf "=== instance %s ===" instance)
+        :: stages
+        @ [
+            Spatial_ir.Raw
+              (Printf.sprintf "verdict_%s := classOut" instance);
+          ])
+      named
+  in
+  let program =
+    {
+      Spatial_ir.name;
+      fixpt = "FixPt[TRUE, _16, _16]";
+      decls;
+      accel = [ Spatial_ir.Stream_loop (List.concat instance_sections) ];
+    }
+  in
+  Spatial_ir.print program
+
+let emit_dot_product_template ~n =
+  if n <= 0 then invalid_arg "Spatial.emit_dot_product_template: n <= 0";
+  let stmt = dot_product ~target:"dot" ~weights:"a_matrix" ~input:"b" ~row:(Var "i") ~n in
+  Format.asprintf "%a@." Spatial_ir.pp_stmt stmt
+
+let line_count code =
+  String.split_on_char '\n' code
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

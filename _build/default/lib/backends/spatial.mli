@@ -1,0 +1,30 @@
+(** Template-based Spatial code generation (paper §3.3, Fig. 5).
+
+    Mirrors the paper's methodology: parameterized templates for dot
+    products (a [Reduce] over element-wise [map] multiplication) are nested
+    inside a [Foreach] over output neurons to form a dense layer; layers are
+    stitched together through double-buffered SRAM blocks; trained weights
+    are burned into on-chip LUT initializers. The emitted text targets the
+    Spatial dialect used by Taurus (Koeplinger et al., PLDI'18). *)
+
+val program_of : Model_ir.t -> Spatial_ir.program
+(** Build the Spatial AST for a model: DNNs use the layer template;
+    KMeans/SVM reuse it for distance/margin computation; trees unroll into
+    nested mux chains. *)
+
+val emit : Model_ir.t -> string
+(** [Spatial_ir.print (program_of model)] — the full source file (imports,
+    Accel block, per-layer pipelines). *)
+
+val emit_bundle : name:string -> Model_ir.t list -> string
+(** One Spatial program hosting several models on the same switch (the
+    app-chaining of Table 3): weight tables are namespaced per instance
+    (duplicate model names get an index suffix), and the streaming loop runs
+    each model's pipeline in sequence on the packet's features, writing one
+    verdict register per instance. @raise Invalid_argument on []. *)
+
+val emit_dot_product_template : n:int -> string
+(** The primitive building block on its own, for documentation and tests. *)
+
+val line_count : string -> int
+(** Number of non-empty lines in generated code (used by size assertions). *)

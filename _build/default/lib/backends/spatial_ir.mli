@@ -1,0 +1,71 @@
+(** An abstract syntax for the Spatial dialect the Taurus backend emits.
+
+    The template-based generator (paper §3.3, Fig. 5) composes dot products
+    into layers and layers into pipelines; representing those templates as an
+    AST instead of raw strings lets the backend build, transform, and analyze
+    programs before printing them — e.g. counting parallel lanes, re-rolling
+    loops, or fusing pipelines for multi-model schedules. {!Spatial} prints
+    this IR. *)
+
+type expr =
+  | Var of string
+  | Const of float
+  | Int_const of int
+  | Index of { base : string; indices : expr list }  (** m(i, j) *)
+  | Binop of { op : string; lhs : expr; rhs : expr }  (** infix: +, *, - *)
+  | Call of { fn : string; args : expr list }  (** max(x, 0.to[T]) *)
+
+type stmt =
+  | Comment of string
+  | Val of { name : string; value : expr }  (** val name = expr *)
+  | Assign of { target : expr; value : expr }
+  | Foreach of { var : string; bound : int; par : int; body : stmt list }
+  | Reduce of {
+      target : string;  (** accumulator register name *)
+      var : string;
+      bound : int;
+      par : int;
+      body : expr;  (** per-lane value *)
+      combine : string;  (** combining operator, e.g. "+" *)
+    }
+  | Pipe of stmt list
+  | Stream_loop of stmt list  (** the streaming outer loop over packets *)
+  | Sram_alloc of { name : string; size : int; buffered : bool }
+  | Lut_decl of { name : string; rows : int; cols : int; values : float array array }
+  | Raw of string  (** escape hatch for host-interface boilerplate *)
+
+type program = {
+  name : string;  (** Spatial object name *)
+  fixpt : string;  (** numeric type, e.g. "FixPt[TRUE, _16, _16]" *)
+  decls : stmt list;  (** LUTs and other Accel-level declarations *)
+  accel : stmt list;  (** the Accel { } body *)
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val print : program -> string
+(** The complete Spatial source file. *)
+
+(** Template library (Fig. 5's building blocks): *)
+
+val dot_product :
+  target:string -> weights:string -> input:string -> row:expr -> n:int -> stmt
+(** [Reduce] of [weights(row, j) * input(j)] over [j < n], 8-wide. *)
+
+val dense_layer :
+  layer_idx:int ->
+  prefix:string ->
+  src:string ->
+  dst:string ->
+  n_in:int ->
+  n_out:int ->
+  activation:string ->
+  stmt
+(** [Foreach] over output neurons, each a {!dot_product} plus bias and
+    activation — the nesting the paper describes. *)
+
+val count_parallel_lanes : program -> int
+(** Total SIMD lanes across every [par] annotation — an IR-level analysis
+    the resource estimator can cross-check. *)
+
+val count_statements : program -> int

@@ -1,0 +1,125 @@
+type table = { name : string; depends_on : string list }
+
+type allocation = {
+  stage_of : (string * int) list;
+  stages_used : int;
+  occupancy : int array;
+}
+
+type error =
+  | Cycle of string list
+  | Capacity_exceeded of { needed_stages : int; available : int }
+  | Unknown_dependency of { table : string; dependency : string }
+
+let error_to_string = function
+  | Cycle names -> "dependency cycle through: " ^ String.concat ", " names
+  | Capacity_exceeded { needed_stages; available } ->
+      Printf.sprintf "needs %d stages but the pipeline has %d" needed_stages
+        available
+  | Unknown_dependency { table; dependency } ->
+      Printf.sprintf "table %s depends on unknown table %s" table dependency
+
+let check_tables tables =
+  let names = List.map (fun t -> t.name) tables in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Stage_alloc: duplicate table names"
+
+(* Levelize: level(t) = 1 + max level of dependencies (0 for roots).
+   Memoized DFS with cycle detection. *)
+let levelize tables =
+  check_tables tables;
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace by_name t.name t) tables;
+  let levels = Hashtbl.create 16 in
+  let in_progress = Hashtbl.create 16 in
+  let exception Found_error of error in
+  let rec level_of t =
+    match Hashtbl.find_opt levels t.name with
+    | Some l -> l
+    | None ->
+        if Hashtbl.mem in_progress t.name then
+          raise
+            (Found_error
+               (Cycle (Hashtbl.fold (fun n () acc -> n :: acc) in_progress [])));
+        Hashtbl.replace in_progress t.name ();
+        let l =
+          List.fold_left
+            (fun acc dep_name ->
+              match Hashtbl.find_opt by_name dep_name with
+              | Some dep -> Stdlib.max acc (1 + level_of dep)
+              | None ->
+                  raise
+                    (Found_error
+                       (Unknown_dependency { table = t.name; dependency = dep_name })))
+            0 t.depends_on
+        in
+        Hashtbl.remove in_progress t.name;
+        Hashtbl.replace levels t.name l;
+        l
+  in
+  match List.map (fun t -> (t, level_of t)) tables with
+  | leveled -> Ok leveled
+  | exception Found_error e -> Error e
+
+let allocate ~n_stages ~tables_per_stage tables =
+  if n_stages <= 0 || tables_per_stage <= 0 then
+    invalid_arg "Stage_alloc.allocate: non-positive limits";
+  match levelize tables with
+  | Error e -> Error e
+  | Ok leveled ->
+      (* Process in level order; place each table in the earliest stage that
+         is after all dependencies and still has room. *)
+      let sorted =
+        List.stable_sort (fun (_, l1) (_, l2) -> compare l1 l2) leveled
+      in
+      let stage_of_table = Hashtbl.create 16 in
+      let occupancy = Array.make n_stages 0 in
+      let exception Out_of_stages of int in
+      let place (t, _level) =
+        let earliest =
+          List.fold_left
+            (fun acc dep -> Stdlib.max acc (1 + Hashtbl.find stage_of_table dep))
+            0 t.depends_on
+        in
+        let rec find stage =
+          if stage >= n_stages then raise (Out_of_stages (stage + 1))
+          else if occupancy.(stage) < tables_per_stage then stage
+          else find (stage + 1)
+        in
+        let stage = find earliest in
+        occupancy.(stage) <- occupancy.(stage) + 1;
+        Hashtbl.replace stage_of_table t.name stage
+      in
+      (match List.iter place sorted with
+      | () ->
+          let stages_used =
+            1
+            + Hashtbl.fold (fun _ s acc -> Stdlib.max acc s) stage_of_table (-1)
+          in
+          let stages_used = Stdlib.max 0 stages_used in
+          Ok
+            {
+              stage_of =
+                List.map (fun t -> (t.name, Hashtbl.find stage_of_table t.name)) tables;
+              stages_used;
+              occupancy = Array.sub occupancy 0 stages_used;
+            }
+      | exception Out_of_stages needed ->
+          Error (Capacity_exceeded { needed_stages = needed; available = n_stages }))
+
+let critical_path tables =
+  match levelize tables with
+  | Ok [] -> 0
+  | Ok leveled -> 1 + List.fold_left (fun acc (_, l) -> Stdlib.max acc l) 0 leveled
+  | Error e -> invalid_arg ("Stage_alloc.critical_path: " ^ error_to_string e)
+
+let independent names = List.map (fun name -> { name; depends_on = [] }) names
+
+let chain names =
+  let rec go prev = function
+    | [] -> []
+    | name :: rest ->
+        { name; depends_on = (match prev with None -> [] | Some p -> [ p ]) }
+        :: go (Some name) rest
+  in
+  go None names

@@ -1,0 +1,43 @@
+(** Match-action table placement onto pipeline stages.
+
+    RMT-style switches execute tables in a fixed number of physical stages;
+    tables in the same stage run in parallel, so a table must be placed in a
+    strictly later stage than every table it depends on (match-after-action
+    dependencies). This allocator levelizes the dependency DAG and packs
+    levels greedily — the pass a P4 compiler runs to decide whether a
+    program fits the pipeline. *)
+
+type table = {
+  name : string;
+  depends_on : string list;  (** names of tables that must execute earlier *)
+}
+
+type allocation = {
+  stage_of : (string * int) list;  (** 0-based stage per table *)
+  stages_used : int;
+  occupancy : int array;  (** tables placed per stage, length [stages_used] *)
+}
+
+type error =
+  | Cycle of string list  (** tables trapped in a dependency cycle *)
+  | Capacity_exceeded of { needed_stages : int; available : int }
+  | Unknown_dependency of { table : string; dependency : string }
+
+val error_to_string : error -> string
+
+val allocate :
+  n_stages:int -> tables_per_stage:int -> table list -> (allocation, error) result
+(** Place every table in the earliest stage compatible with its dependencies
+    and stage capacity. @raise Invalid_argument on non-positive limits or
+    duplicate table names. *)
+
+val critical_path : table list -> int
+(** Length (in stages) of the longest dependency chain — the minimum stage
+    count any allocator needs. 0 for an empty program.
+    @raise Invalid_argument on cycles or unknown dependencies. *)
+
+val independent : string list -> table list
+(** Convenience: tables with no ordering constraints. *)
+
+val chain : string list -> table list
+(** Convenience: each table depends on the previous one. *)

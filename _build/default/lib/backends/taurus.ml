@@ -1,0 +1,124 @@
+module Mathx = Homunculus_util.Mathx
+module Decision_tree = Homunculus_ml.Decision_tree
+
+type grid = {
+  rows : int;
+  cols : int;
+  vec_width : int;
+  lanes : int;
+  mu_words : int;
+  buffers_per_layer : int;
+  clock_ghz : float;
+  overhead_cycles : int;
+}
+
+let default_grid =
+  {
+    rows = 16;
+    cols = 16;
+    vec_width = 8;
+    lanes = 2;
+    mu_words = 48;
+    buffers_per_layer = 4;
+    clock_ghz = 1.0;
+    overhead_cycles = 20;
+  }
+
+let grid_with_size ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Taurus.grid_with_size: bad dims";
+  { default_grid with rows; cols }
+
+(* Checkerboard: half the tiles are CUs, half MUs. *)
+let available_cus g = g.rows * g.cols / 2
+let available_mus g = g.rows * g.cols / 2
+
+type mapping = { cus : int; mus : int; pipeline_cycles : int; ii : int }
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+(* One dense layer: SIMD dot products across vec_width lanes, a reduction
+   tree, activation, and a double-buffered SRAM boundary. *)
+let dense_layer_cost g ~n_in ~n_out =
+  let cu = Mathx.ceil_div n_in g.vec_width * Mathx.ceil_div n_out g.lanes in
+  let params = (n_in * n_out) + n_out in
+  let mu = Mathx.ceil_div params g.mu_words + g.buffers_per_layer in
+  let cycles = Mathx.ceil_div n_in g.vec_width + log2_ceil (Stdlib.max 2 n_in) + 2 in
+  (cu, mu, cycles)
+
+let stage_costs g model =
+  match model with
+  | Model_ir.Dnn { layers; _ } ->
+      Array.to_list layers
+      |> List.mapi (fun i l ->
+             let cu, mu, cy =
+               dense_layer_cost g ~n_in:l.Model_ir.n_in ~n_out:l.Model_ir.n_out
+             in
+             (Printf.sprintf "layer%d" i, cu, mu, cy))
+  | Model_ir.Kmeans { centroids; _ } ->
+      (* k parallel distance computations then an argmin tree: the same
+         structure as a single dense layer with k outputs. *)
+      let k = Array.length centroids in
+      let dim = if k = 0 then 0 else Array.length centroids.(0) in
+      let cu, mu, cy =
+        dense_layer_cost g ~n_in:(Stdlib.max 1 dim) ~n_out:(Stdlib.max 1 k)
+      in
+      [ ("distances", cu, mu, cy + log2_ceil (Stdlib.max 2 k)) ]
+  | Model_ir.Svm { class_weights; _ } ->
+      let classes = Array.length class_weights in
+      let dim = if classes = 0 then 0 else Array.length class_weights.(0) in
+      let cu, mu, cy =
+        dense_layer_cost g ~n_in:(Stdlib.max 1 dim) ~n_out:(Stdlib.max 1 classes)
+      in
+      [ ("margins", cu, mu, cy + log2_ceil (Stdlib.max 2 classes)) ]
+  | Model_ir.Tree { root; _ } ->
+      (* Comparisons parallelize per level; storage holds thresholds and
+         leaf distributions. *)
+      let splits = Decision_tree.n_nodes root - Decision_tree.n_leaves root in
+      let cu = Stdlib.max 1 (Mathx.ceil_div splits g.vec_width) in
+      let mu =
+        Mathx.ceil_div (Stdlib.max 1 (Model_ir.param_count model)) g.mu_words + 2
+      in
+      [ ("comparisons", cu, mu, Decision_tree.depth root + 2) ]
+
+let layer_demands g model =
+  List.map (fun (label, cu, mu, _) -> (label, cu, mu)) (stage_costs g model)
+
+let stage_timings g model =
+  List.map (fun (label, _, _, cycles) -> (label, cycles)) (stage_costs g model)
+
+let map_model g model =
+  let cus, mus, cycles =
+    List.fold_left
+      (fun (cus, mus, cycles) (_, cu, mu, cy) -> (cus + cu, mus + mu, cycles + cy))
+      (0, 0, 0) (stage_costs g model)
+  in
+  let avail = available_cus g in
+  let ii = if cus <= avail then 1 else Mathx.ceil_div cus avail in
+  let cus = Stdlib.min cus avail in
+  { cus; mus; pipeline_cycles = cycles; ii }
+
+let estimate g perf model =
+  let m = map_model g model in
+  let usages =
+    [
+      Resource.usage ~resource:"CU" ~used:(float_of_int m.cus)
+        ~available:(float_of_int (available_cus g));
+      Resource.usage ~resource:"MU" ~used:(float_of_int m.mus)
+        ~available:(float_of_int (available_mus g));
+    ]
+  in
+  let throughput_gpps = g.clock_ghz /. float_of_int m.ii in
+  let latency_ns =
+    float_of_int ((m.pipeline_cycles * m.ii) + g.overhead_cycles) /. g.clock_ghz
+  in
+  Resource.check perf ~usages ~latency_ns ~throughput_gpps
+
+let usage_amount verdict name =
+  match Resource.find_usage verdict name with
+  | Some u -> int_of_float u.Resource.used
+  | None -> 0
+
+let cus_used v = usage_amount v "CU"
+let mus_used v = usage_amount v "MU"

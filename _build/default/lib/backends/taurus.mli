@@ -1,0 +1,67 @@
+(** Analytical model of the Taurus MapReduce block (Swamy et al., ASPLOS'22):
+    a Plasticine-style CGRA of compute units (CUs) and memory units (MUs)
+    laid out as a [rows x cols] checkerboard, programmed through Spatial.
+
+    This module answers the three questions the optimization core asks of a
+    backend (paper §3.3): resource usage, latency/throughput, feasibility —
+    the role played by the SARA/Tungsten cycle-accurate simulators on the
+    authors' testbed.
+
+    Cost model (constants fixed once in {!default_grid}, see DESIGN.md):
+    a dense layer (n_in -> n_out) running at initiation interval II = 1
+    occupies [ceil(n_in / vec_width) * ceil(n_out / lanes)] CUs (a SIMD
+    dot-product tree per pair of output neurons) and
+    [ceil(params / mu_words) + buffers_per_layer] MUs (weight storage plus
+    double-buffered input/output SRAM). Wide layers are CU-bound; deep
+    narrow stacks pay the per-layer buffer tax and become MU-bound — the
+    contrast the paper highlights between the two BD models (Table 2). *)
+
+type grid = {
+  rows : int;
+  cols : int;
+  vec_width : int;  (** MAC lanes per CU *)
+  lanes : int;  (** output neurons sharing one CU column *)
+  mu_words : int;  (** parameters stored per MU *)
+  buffers_per_layer : int;  (** double-buffered SRAM blocks between layers *)
+  clock_ghz : float;
+  overhead_cycles : int;  (** parse/deparse + grid ingress/egress *)
+}
+
+val default_grid : grid
+(** 16 x 16 grid at 1 GHz: 128 CUs + 128 MUs. *)
+
+val grid_with_size : rows:int -> cols:int -> grid
+(** [default_grid] rescaled; @raise Invalid_argument on non-positive dims. *)
+
+val available_cus : grid -> int
+val available_mus : grid -> int
+
+type mapping = {
+  cus : int;
+  mus : int;
+  pipeline_cycles : int;  (** end-to-end depth at II = 1 *)
+  ii : int;  (** initiation interval after time-multiplexing onto the grid *)
+}
+
+val stage_timings : grid -> Model_ir.t -> (string * int) list
+(** Per-pipeline-stage latency in cycles [(label, cycles)]; sums to
+    {!map_model}'s [pipeline_cycles]. *)
+
+val layer_demands : grid -> Model_ir.t -> (string * int * int) list
+(** Per-pipeline-stage resource demands [(label, cus, mus)] before any
+    time-multiplexing — one entry per DNN layer, or a single entry for the
+    classical algorithms. Sums match {!map_model} at II = 1. *)
+
+val map_model : grid -> Model_ir.t -> mapping
+(** Pure resource/timing mapping, before feasibility checks. Models that do
+    not fit the grid at II = 1 are time-multiplexed: CU usage is capped at
+    the grid size and II grows by the same factor. *)
+
+val estimate : grid -> Resource.perf -> Model_ir.t -> Resource.verdict
+(** Full feasibility verdict: usages carry resources "CU" and "MU";
+    throughput is [clock / II]; latency is
+    [(pipeline_cycles * II + overhead) / clock]. *)
+
+val cus_used : Resource.verdict -> int
+val mus_used : Resource.verdict -> int
+(** Convenience accessors over the verdict's usage list (0 when absent). *)

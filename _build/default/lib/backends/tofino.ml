@@ -1,0 +1,80 @@
+module Mathx = Homunculus_util.Mathx
+
+type device = {
+  n_tables : int;
+  entries_per_table : int;
+  n_stages : int;
+  base_latency_ns : float;
+  per_stage_latency_ns : float;
+  line_rate_gpps : float;
+}
+
+let default_device =
+  {
+    n_tables = 32;
+    entries_per_table = 4096;
+    n_stages = 12;
+    base_latency_ns = 300.;
+    per_stage_latency_ns = 10.;
+    line_rate_gpps = 1.;
+  }
+
+let device_with_tables n =
+  if n <= 0 then invalid_arg "Tofino.device_with_tables: n <= 0";
+  { default_device with n_tables = n }
+
+let tables_per_stage = 4
+
+let estimate device perf (mapping : Iisy.mapping) =
+  let tables = Iisy.n_tables mapping in
+  let stages = Mathx.ceil_div (Stdlib.max 1 tables) tables_per_stage in
+  let usages =
+    [
+      Resource.usage ~resource:"MAT" ~used:(float_of_int tables)
+        ~available:(float_of_int device.n_tables);
+      Resource.usage ~resource:"entries"
+        ~used:(float_of_int (Iisy.max_entries mapping))
+        ~available:(float_of_int device.entries_per_table);
+      Resource.usage ~resource:"stages" ~used:(float_of_int stages)
+        ~available:(float_of_int device.n_stages);
+    ]
+  in
+  let latency_ns =
+    device.base_latency_ns +. (float_of_int stages *. device.per_stage_latency_ns)
+  in
+  Resource.check perf ~usages ~latency_ns ~throughput_gpps:device.line_rate_gpps
+
+let estimate_model device perf model =
+  (* With the model in hand we can run real stage allocation over the table
+     dependency graph instead of the flat tables/4 approximation. *)
+  let mapping = Iisy.map_model model in
+  let base = estimate device perf mapping in
+  let graph = Iisy.table_graph model in
+  let stages_needed =
+    match
+      Stage_alloc.allocate ~n_stages:device.n_stages ~tables_per_stage graph
+    with
+    | Ok allocation -> allocation.Stage_alloc.stages_used
+    | Error (Stage_alloc.Capacity_exceeded { needed_stages; _ }) -> needed_stages
+    | Error _ -> device.n_stages + 1 (* malformed graphs never fit *)
+  in
+  let usages =
+    List.map
+      (fun u ->
+        if String.equal u.Resource.resource "stages" then
+          Resource.usage ~resource:"stages" ~used:(float_of_int stages_needed)
+            ~available:(float_of_int device.n_stages)
+        else u)
+      base.Resource.usages
+  in
+  let latency_ns =
+    device.base_latency_ns
+    +. (float_of_int stages_needed *. device.per_stage_latency_ns)
+  in
+  Resource.check perf ~usages ~latency_ns
+    ~throughput_gpps:device.line_rate_gpps
+
+let mats_used verdict =
+  match Resource.find_usage verdict "MAT" with
+  | Some u -> int_of_float u.Resource.used
+  | None -> 0

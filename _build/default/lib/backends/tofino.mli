@@ -1,0 +1,35 @@
+(** Resource model of a Tofino-class PISA switch: a fixed pipeline of
+    match-action tables (RMT, Bosshart et al. 2013).
+
+    The paper's data points: an IIsy SVM consumes 8 MATs, "25% of switch
+    tables", so the default device exposes 32 tables; Fig. 7 sweeps KMeans
+    over budgets of 5 down to 1 tables. MAT-based switches always forward at
+    line rate once a program fits, so feasibility is about tables, entries,
+    and stage depth rather than throughput. *)
+
+type device = {
+  n_tables : int;
+  entries_per_table : int;
+  n_stages : int;  (** dependent tables must fit the stage budget *)
+  base_latency_ns : float;  (** parser + deparser + queuing *)
+  per_stage_latency_ns : float;
+  line_rate_gpps : float;
+}
+
+val default_device : device
+(** 32 tables, 4096 entries, 12 stages, ~400 ns end-to-end, 1 Gpkt/s. *)
+
+val device_with_tables : int -> device
+(** [default_device] with a reduced/extended table budget (Fig. 7's K5..K1
+    sweep uses 5..1). @raise Invalid_argument on non-positive counts. *)
+
+val estimate :
+  device -> Resource.perf -> Iisy.mapping -> Resource.verdict
+(** Usages carry "MAT" (tables), "entries" (largest table), and "stages"
+    (ceil(tables / tables-per-stage), assuming 4 parallel tables/stage). *)
+
+val estimate_model :
+  device -> Resource.perf -> Model_ir.t -> Resource.verdict
+(** [estimate] composed with {!Iisy.map_model}. *)
+
+val mats_used : Resource.verdict -> int

@@ -1,0 +1,27 @@
+(** Verilog emission for the FPGA path.
+
+    On the authors' testbed, generated Spatial is compiled to Verilog and
+    downloaded to the Alveo U250 (paper §5.2: "compiled to Verilog using the
+    Spatial compiler"). This backend emits the equivalent RTL directly: one
+    pipelined module per dense layer (a MAC array with registered outputs,
+    weights as fixed-point localparam ROMs) plus a top module chaining the
+    stages, with valid-bit handshaking matching the II = 1 streaming
+    design. *)
+
+val fixed_point_bits : int
+(** 32-bit Q16.16, matching the Spatial backend's [FixPt] type. *)
+
+val quantize : float -> int
+(** Value to Q16.16 two's complement (clamped). *)
+
+val emit_layer : name:string -> Model_ir.dnn_layer -> string
+(** One layer module: input/output buses, weight/bias ROMs, MAC generate
+    block, activation, output register. *)
+
+val emit : Model_ir.t -> string
+(** The full design: all layer modules plus the top-level pipeline module.
+    DNNs only — classical models deploy through the MAT path.
+    @raise Invalid_argument on non-DNN models. *)
+
+val module_count : string -> int
+(** Number of [module] declarations in emitted RTL (sanity checks). *)

@@ -1,0 +1,1 @@
+lib/bo/acquisition.mli:

@@ -1,0 +1,1 @@
+lib/bo/config.ml: Char List Param Printf String

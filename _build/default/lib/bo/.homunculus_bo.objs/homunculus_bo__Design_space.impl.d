@@ -1,0 +1,1 @@
+lib/bo/design_space.ml: Array Config Homunculus_util List Param String

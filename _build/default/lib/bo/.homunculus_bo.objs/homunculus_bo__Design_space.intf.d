@@ -1,0 +1,1 @@
+lib/bo/design_space.mli: Config Homunculus_util Param

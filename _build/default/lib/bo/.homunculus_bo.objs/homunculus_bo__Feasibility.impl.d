@@ -1,0 +1,1 @@
+lib/bo/feasibility.ml: Array Homunculus_ml

@@ -1,0 +1,1 @@
+lib/bo/feasibility.mli: Homunculus_util

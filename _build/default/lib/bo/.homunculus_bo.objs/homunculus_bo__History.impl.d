@@ -1,0 +1,1 @@
+lib/bo/history.ml: Array Config List

@@ -1,0 +1,1 @@
+lib/bo/hyperband.ml: Design_space History Homunculus_util List Stdlib

@@ -1,0 +1,1 @@
+lib/bo/hyperband.mli: Config Design_space History Homunculus_util

@@ -1,0 +1,1 @@
+lib/bo/optimizer.ml: Acquisition Array Design_space Feasibility History Homunculus_util List Surrogate

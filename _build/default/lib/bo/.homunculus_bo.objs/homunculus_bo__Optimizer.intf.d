@@ -1,0 +1,1 @@
+lib/bo/optimizer.mli: Config Design_space History Homunculus_util

@@ -1,0 +1,1 @@
+lib/bo/param.ml: Array Homunculus_util Printf

@@ -1,0 +1,1 @@
+lib/bo/param.mli: Homunculus_util

@@ -1,0 +1,1 @@
+lib/bo/pareto.ml: Array List

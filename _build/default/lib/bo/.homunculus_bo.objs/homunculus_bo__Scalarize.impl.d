@@ -1,0 +1,1 @@
+lib/bo/scalarize.ml: Array Homunculus_util

@@ -1,0 +1,1 @@
+lib/bo/scalarize.mli: Homunculus_util

@@ -1,0 +1,1 @@
+lib/bo/serialize.ml: Array Config Design_space History Homunculus_util List Param Printf String

@@ -1,0 +1,1 @@
+lib/bo/serialize.mli: Config Design_space History Homunculus_util

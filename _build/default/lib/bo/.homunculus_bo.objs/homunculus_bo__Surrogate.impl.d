@@ -1,0 +1,1 @@
+lib/bo/surrogate.ml: Homunculus_ml

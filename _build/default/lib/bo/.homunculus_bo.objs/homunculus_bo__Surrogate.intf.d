@@ -1,0 +1,1 @@
+lib/bo/surrogate.mli: Homunculus_util

@@ -1,0 +1,10 @@
+module Mathx = Homunculus_util.Mathx
+
+let expected_improvement ~mean ~std ~best =
+  if best = neg_infinity then infinity
+  else if std <= 0. then Stdlib.max 0. (mean -. best)
+  else
+    let z = (mean -. best) /. std in
+    ((mean -. best) *. Mathx.normal_cdf z) +. (std *. Mathx.normal_pdf z)
+
+let upper_confidence_bound ~mean ~std ~kappa = mean +. (kappa *. std)

@@ -1,0 +1,11 @@
+(** Acquisition functions ranking candidate configurations. The paper uses
+    Expected Improvement (Mockus et al. 1978) over the RF surrogate. *)
+
+val expected_improvement : mean:float -> std:float -> best:float -> float
+(** EI for maximization: [E max(0, f(x) - best)] under a Gaussian posterior.
+    With [std = 0.] degrades to [max 0 (mean - best)]. When no feasible
+    incumbent exists yet, pass [best = neg_infinity]; the result is then
+    [infinity] (any point improves). *)
+
+val upper_confidence_bound : mean:float -> std:float -> kappa:float -> float
+(** Alternative exploratory criterion, used by the ablation bench. *)

@@ -1,0 +1,64 @@
+type t = (string * Param.value) list
+
+let make bindings =
+  let names = List.map fst bindings in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Config.make: duplicate parameter names";
+  bindings
+
+let bindings t = t
+
+let find t name = List.assoc name t
+let find_opt t name = List.assoc_opt name t
+
+let get_int t name =
+  match find t name with
+  | Param.Int_value v -> v
+  | Param.Real_value _ | Param.Index_value _ ->
+      invalid_arg (Printf.sprintf "Config.get_int: %s is not an int" name)
+
+let get_float t name =
+  match find t name with
+  | Param.Real_value v -> v
+  | Param.Int_value _ | Param.Index_value _ ->
+      invalid_arg (Printf.sprintf "Config.get_float: %s is not a real" name)
+
+let get_index t name =
+  match find t name with
+  | Param.Index_value v -> v
+  | Param.Real_value _ | Param.Int_value _ ->
+      invalid_arg (Printf.sprintf "Config.get_index: %s is not an index" name)
+
+let equal a b =
+  let norm t = List.sort (fun (x, _) (y, _) -> String.compare x y) t in
+  norm a = norm b
+
+let hash t =
+  let canonical = List.sort (fun (a, _) (b, _) -> String.compare a b) t in
+  (* FNV-1a over a canonical rendering: stable across runs and processes
+     (unlike Hashtbl.hash on floats boxed differently). *)
+  let render (name, v) =
+    name ^ "="
+    ^ (match v with
+      | Param.Real_value x -> Printf.sprintf "r%h" x
+      | Param.Int_value x -> Printf.sprintf "i%d" x
+      | Param.Index_value x -> Printf.sprintf "x%d" x)
+  in
+  let text = String.concat ";" (List.map render canonical) in
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    text;
+  !h land max_int
+
+let value_to_raw_string = function
+  | Param.Real_value v -> Printf.sprintf "%g" v
+  | Param.Int_value v -> string_of_int v
+  | Param.Index_value v -> Printf.sprintf "#%d" v
+
+let to_string t =
+  String.concat ", "
+    (List.map (fun (name, v) -> name ^ "=" ^ value_to_raw_string v) t)

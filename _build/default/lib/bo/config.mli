@@ -1,0 +1,33 @@
+(** A point in a design space: one value per parameter, addressed by name. *)
+
+type t
+
+val make : (string * Param.value) list -> t
+(** @raise Invalid_argument on duplicate names. *)
+
+val bindings : t -> (string * Param.value) list
+(** In insertion order. *)
+
+val find : t -> string -> Param.value
+(** @raise Not_found. *)
+
+val find_opt : t -> string -> Param.value option
+
+val get_int : t -> string -> int
+(** @raise Invalid_argument if present with a different shape,
+    @raise Not_found if absent. *)
+
+val get_float : t -> string -> float
+val get_index : t -> string -> int
+
+val equal : t -> t -> bool
+(** Structural equality up to binding order. *)
+
+val hash : t -> int
+(** Order-insensitive structural hash, stable across runs. Evaluators use it
+    to derive a per-configuration seed so the black box is deterministic —
+    re-proposing a configuration yields the same measurement. *)
+
+val to_string : t -> string
+(** Compact [name=value] rendering for logs (raw values, without parameter
+    domain information). *)

@@ -1,0 +1,69 @@
+module Rng = Homunculus_util.Rng
+
+type t = { params : Param.t list }
+
+let create params =
+  if params = [] then invalid_arg "Design_space.create: no parameters";
+  let names = List.map (fun p -> p.Param.name) params in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Design_space.create: duplicate parameter names";
+  { params }
+
+let params t = t.params
+let dim t = List.length t.params
+
+let find_param t name =
+  List.find_opt (fun p -> String.equal p.Param.name name) t.params
+
+let sample rng t =
+  Config.make
+    (List.map (fun p -> (p.Param.name, Param.sample rng p)) t.params)
+
+let neighbor rng t config =
+  let n = dim t in
+  (* Perturb each coordinate with probability 1/n, at least one overall. *)
+  let any = ref false in
+  let perturbed =
+    List.map
+      (fun p ->
+        let v = Config.find config p.Param.name in
+        if Rng.bernoulli rng (1. /. float_of_int n) then begin
+          any := true;
+          (p.Param.name, Param.neighbor rng p v)
+        end
+        else (p.Param.name, v))
+      t.params
+  in
+  if !any then Config.make perturbed
+  else
+    let idx = Rng.int rng n in
+    Config.make
+      (List.mapi
+         (fun i (name, v) ->
+           if i = idx then
+             let p = List.nth t.params i in
+             (name, Param.neighbor rng p v)
+           else (name, v))
+         perturbed)
+
+let encode t config =
+  Array.of_list
+    (List.map (fun p -> Param.encode p (Config.find config p.Param.name)) t.params)
+
+let validate t config =
+  List.length (Config.bindings config) = dim t
+  && List.for_all
+       (fun p ->
+         match Config.find_opt config p.Param.name with
+         | Some v -> Param.validate p v
+         | None -> false)
+       t.params
+
+let log_cardinality t =
+  List.fold_left
+    (fun acc p ->
+      acc
+      +. log
+           (float_of_int
+              (match Param.cardinality p with Some n -> n | None -> 1000)))
+    0. t.params

@@ -1,0 +1,29 @@
+(** Ordered collection of parameters defining a finite-bound search space
+    (paper §3.2.2: hyperparameters + resource and network constraint
+    variables, each with explicit lower/upper bounds). *)
+
+type t
+
+val create : Param.t list -> t
+(** @raise Invalid_argument on duplicate parameter names or empty lists. *)
+
+val params : t -> Param.t list
+val dim : t -> int
+val find_param : t -> string -> Param.t option
+
+val sample : Homunculus_util.Rng.t -> t -> Config.t
+(** One independent uniform draw per parameter. *)
+
+val neighbor : Homunculus_util.Rng.t -> t -> Config.t -> Config.t
+(** Perturb a random non-empty subset of the parameters of [config]. *)
+
+val encode : t -> Config.t -> float array
+(** Feature vector for the surrogate model, one entry per parameter in
+    declaration order. @raise Not_found if the config misses a parameter. *)
+
+val validate : t -> Config.t -> bool
+(** The config has exactly the space's parameters, all in-domain. *)
+
+val log_cardinality : t -> float
+(** Natural log of the number of discrete configurations; counts reals as one
+    dimension of size 1000 (for reporting only). *)

@@ -1,0 +1,20 @@
+(** Probability-of-feasibility model.
+
+    Homunculus encodes data-plane resources and network constraints as
+    feasibility requirements (paper §3.2.2); the optimizer learns which
+    regions of the space violate them and discounts candidates there, as in
+    constrained Bayesian optimization (Gardner et al. 2014). *)
+
+type t
+
+val fit :
+  Homunculus_util.Rng.t ->
+  ?n_trees:int ->
+  x:float array array ->
+  feasible:bool array ->
+  unit ->
+  t
+(** Random-forest classifier on the encoded configurations. Degenerate
+    histories (all feasible or all infeasible) yield constant predictors. *)
+
+val prob_feasible : t -> float array -> float

@@ -1,0 +1,52 @@
+type entry = {
+  iteration : int;
+  config : Config.t;
+  objective : float;
+  feasible : bool;
+  metadata : (string * float) list;
+}
+
+type t = { mutable rev_entries : entry list; mutable count : int }
+
+let create () = { rev_entries = []; count = 0 }
+
+let add t ~config ~objective ~feasible ?(metadata = []) () =
+  t.count <- t.count + 1;
+  t.rev_entries <-
+    { iteration = t.count; config; objective; feasible; metadata }
+    :: t.rev_entries
+
+let entries t = List.rev t.rev_entries
+let length t = t.count
+
+let last t = match t.rev_entries with [] -> None | e :: _ -> Some e
+
+let best t =
+  List.fold_left
+    (fun acc e ->
+      if not e.feasible then acc
+      else
+        match acc with
+        | Some b when b.objective >= e.objective -> acc
+        | Some _ | None -> Some e)
+    None t.rev_entries
+
+let best_so_far t =
+  let es = entries t in
+  let out = Array.make (List.length es) neg_infinity in
+  let best = ref neg_infinity in
+  List.iteri
+    (fun i e ->
+      if e.feasible && e.objective > !best then best := e.objective;
+      out.(i) <- !best)
+    es;
+  out
+
+let feasible_fraction t =
+  if t.count = 0 then 0.
+  else
+    let k = List.length (List.filter (fun e -> e.feasible) t.rev_entries) in
+    float_of_int k /. float_of_int t.count
+
+let mem_config t config =
+  List.exists (fun e -> Config.equal e.config config) t.rev_entries

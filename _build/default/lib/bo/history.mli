@@ -1,0 +1,39 @@
+(** Evaluation log of an optimization run; the source of the paper's regret
+    plots (Figs. 4 and 7: best objective so far per iteration). *)
+
+type entry = {
+  iteration : int;  (** 1-based evaluation index *)
+  config : Config.t;
+  objective : float;
+  feasible : bool;
+  metadata : (string * float) list;
+      (** backend measurements: resource counts, latency, throughput *)
+}
+
+type t
+
+val create : unit -> t
+val add : t -> config:Config.t -> objective:float -> feasible:bool ->
+  ?metadata:(string * float) list -> unit -> unit
+
+val entries : t -> entry list
+(** In evaluation order. *)
+
+val length : t -> int
+
+val last : t -> entry option
+(** Most recently added entry. *)
+
+val best : t -> entry option
+(** Highest-objective feasible entry; [None] if nothing feasible yet. *)
+
+val best_so_far : t -> float array
+(** [best_so_far t].(i) is the best feasible objective seen in evaluations
+    [0..i]; [neg_infinity] before the first feasible one. This is the regret
+    curve. *)
+
+val feasible_fraction : t -> float
+(** [0.] on an empty history. *)
+
+val mem_config : t -> Config.t -> bool
+(** Has this exact configuration already been evaluated? *)

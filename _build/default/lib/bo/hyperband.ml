@@ -1,0 +1,73 @@
+module Rng = Homunculus_util.Rng
+
+type settings = { initial_candidates : int; eta : int; min_fidelity : float }
+
+let default_settings = { initial_candidates = 27; eta = 3; min_fidelity = 1. /. 9. }
+
+type evaluation = { objective : float; feasible : bool }
+
+let validate settings =
+  if settings.initial_candidates <= 0 then
+    invalid_arg "Hyperband: initial_candidates <= 0";
+  if settings.eta < 2 then invalid_arg "Hyperband: eta < 2";
+  if settings.min_fidelity <= 0. || settings.min_fidelity > 1. then
+    invalid_arg "Hyperband: min_fidelity outside (0, 1]"
+
+let n_rungs settings =
+  validate settings;
+  let rec go rung population =
+    if population <= 1 then rung + 1
+    else go (rung + 1) (population / settings.eta)
+  in
+  go 0 settings.initial_candidates
+
+let total_evaluations settings =
+  validate settings;
+  let rec go acc population =
+    if population <= 1 then acc + population
+    else go (acc + population) (population / settings.eta)
+  in
+  go 0 settings.initial_candidates
+
+let search rng ?(settings = default_settings) space ~f =
+  validate settings;
+  let history = History.create () in
+  let rungs = n_rungs settings in
+  (* Fidelity grows geometrically from min_fidelity to 1 across rungs. *)
+  let fidelity_at rung =
+    if rungs = 1 then 1.
+    else
+      let ratio = float_of_int rung /. float_of_int (rungs - 1) in
+      Homunculus_util.Mathx.clamp ~lo:0. ~hi:1.
+        (settings.min_fidelity ** (1. -. ratio))
+  in
+  let evaluate rung config =
+    let fidelity = fidelity_at rung in
+    let { objective; feasible } = f config ~fidelity in
+    History.add history ~config ~objective ~feasible
+      ~metadata:[ ("fidelity", fidelity); ("rung", float_of_int rung) ]
+      ();
+    (config, objective, feasible)
+  in
+  let rec run rung population =
+    let scored = List.map (evaluate rung) population in
+    let survivors =
+      scored
+      |> List.filter (fun (_, _, feasible) -> feasible)
+      |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+    in
+    let next_count = List.length population / settings.eta in
+    if next_count >= 1 && rung + 1 < rungs then
+      let kept =
+        List.filteri (fun i _ -> i < Stdlib.max 1 next_count) survivors
+        |> List.map (fun (c, _, _) -> c)
+      in
+      if kept = [] then () (* everything infeasible: stop early *)
+      else run (rung + 1) kept
+    else ()
+  in
+  let initial =
+    List.init settings.initial_candidates (fun _ -> Design_space.sample rng space)
+  in
+  run 0 initial;
+  history

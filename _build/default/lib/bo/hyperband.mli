@@ -1,0 +1,38 @@
+(** Successive-halving / Hyperband-style search, the strategy mainstream
+    AutoML frameworks (AutoKeras, Auto-sklearn — paper §2) use instead of
+    Bayesian optimization.
+
+    Candidates are sampled uniformly, evaluated at a small fidelity (e.g. few
+    training epochs), and the best fraction survives to the next rung at
+    higher fidelity. Provided as an ablation counterpart to
+    {!Optimizer.maximize}: it needs a fidelity knob and spends budget on
+    throwaway low-fidelity runs, but parallelizes trivially. *)
+
+type settings = {
+  initial_candidates : int;  (** rung-0 population *)
+  eta : int;  (** keep top 1/eta per rung (classic Hyperband uses 3) *)
+  min_fidelity : float;  (** in (0, 1]; rung-0 evaluation fidelity *)
+}
+
+val default_settings : settings
+(** 27 candidates, eta 3, fidelity 1/9 — three rungs. *)
+
+type evaluation = { objective : float; feasible : bool }
+
+val n_rungs : settings -> int
+(** Number of halving rounds until one candidate remains. *)
+
+val total_evaluations : settings -> int
+(** Black-box calls across all rungs (each survivor re-evaluates). *)
+
+val search :
+  Homunculus_util.Rng.t ->
+  ?settings:settings ->
+  Design_space.t ->
+  f:(Config.t -> fidelity:float -> evaluation) ->
+  History.t
+(** Run successive halving; [f] receives the rung's fidelity in (0, 1]
+    (implementations typically scale epochs by it). The history records
+    every evaluation with its rung fidelity in the metadata key
+    ["fidelity"]; the final-rung winner is [History.best] among entries at
+    fidelity 1 (infeasible candidates are dropped at every rung). *)

@@ -1,0 +1,124 @@
+module Rng = Homunculus_util.Rng
+
+type settings = {
+  n_init : int;
+  n_iter : int;
+  pool_size : int;
+  local_search_frac : float;
+  surrogate_trees : int;
+}
+
+let default_settings =
+  {
+    n_init = 10;
+    n_iter = 40;
+    pool_size = 200;
+    local_search_frac = 0.5;
+    surrogate_trees = 30;
+  }
+
+type evaluation = {
+  objective : float;
+  feasible : bool;
+  metadata : (string * float) list;
+}
+
+let evaluate_and_record history f config ~on_iteration =
+  let { objective; feasible; metadata } = f config in
+  History.add history ~config ~objective ~feasible ~metadata ();
+  match (on_iteration, History.last history) with
+  | Some callback, Some latest -> callback (History.length history) latest
+  | (None, _ | _, None) -> ()
+
+let random_search rng ~n space ~f =
+  let history = History.create () in
+  for _ = 1 to n do
+    evaluate_and_record history f (Design_space.sample rng space)
+      ~on_iteration:None
+  done;
+  history
+
+let fresh_candidate rng space history =
+  (* Avoid re-evaluating an exact duplicate; give up after a few tries for
+     small discrete spaces. *)
+  let rec go attempts =
+    let c = Design_space.sample rng space in
+    if attempts <= 0 || not (History.mem_config history c) then c
+    else go (attempts - 1)
+  in
+  go 8
+
+let maximize rng ?(settings = default_settings) ?on_iteration space ~f =
+  if settings.n_init <= 0 then invalid_arg "Bo.Optimizer.maximize: n_init <= 0";
+  let history = History.create () in
+  (* Phase 1: uniform random initialization. *)
+  for _ = 1 to settings.n_init do
+    evaluate_and_record history f (fresh_candidate rng space history)
+      ~on_iteration
+  done;
+  (* Phase 2: surrogate-guided iterations. *)
+  for _ = 1 to settings.n_iter do
+    let entries = History.entries history in
+    let encoded =
+      Array.of_list
+        (List.map (fun e -> Design_space.encode space e.History.config) entries)
+    in
+    let objectives =
+      Array.of_list (List.map (fun e -> e.History.objective) entries)
+    in
+    let feasible_flags =
+      Array.of_list (List.map (fun e -> e.History.feasible) entries)
+    in
+    let surrogate =
+      Surrogate.fit rng ~n_trees:settings.surrogate_trees ~x:encoded
+        ~y:objectives ()
+    in
+    let feas_model =
+      Feasibility.fit rng ~n_trees:settings.surrogate_trees ~x:encoded
+        ~feasible:feasible_flags ()
+    in
+    let incumbent = History.best history in
+    let best_value =
+      match incumbent with
+      | Some e -> e.History.objective
+      | None -> neg_infinity
+    in
+    (* Candidate pool: uniform samples plus neighbors of the incumbent. *)
+    let n_local =
+      match incumbent with
+      | None -> 0
+      | Some _ ->
+          int_of_float
+            (settings.local_search_frac *. float_of_int settings.pool_size)
+    in
+    let make_candidate i =
+      match incumbent with
+      | Some e when i < n_local ->
+          Design_space.neighbor rng space e.History.config
+      | Some _ | None -> Design_space.sample rng space
+    in
+    let best_candidate = ref None in
+    for i = 0 to settings.pool_size - 1 do
+      let candidate = make_candidate i in
+      if not (History.mem_config history candidate) then begin
+        let point = Design_space.encode space candidate in
+        let mean, std = Surrogate.predict surrogate point in
+        let ei = Acquisition.expected_improvement ~mean ~std ~best:best_value in
+        let p_feas = Feasibility.prob_feasible feas_model point in
+        let score =
+          if ei = infinity then p_feas (* no incumbent: chase feasibility *)
+          else ei *. p_feas
+        in
+        match !best_candidate with
+        | Some (_, s) when s >= score -> ()
+        | Some _ | None -> best_candidate := Some (candidate, score)
+      end
+    done;
+    let chosen =
+      match !best_candidate with
+      | Some (c, _) -> c
+      | None -> fresh_candidate rng space history
+    in
+    evaluate_and_record history f chosen ~on_iteration
+  done;
+  history

@@ -1,0 +1,41 @@
+(** The constrained Bayesian-optimization loop (HyperMapper's core algorithm
+    as configured by the paper: uniform random warm-up, random-forest
+    surrogate, Expected Improvement weighted by probability of feasibility). *)
+
+type settings = {
+  n_init : int;  (** uniform random warm-up evaluations *)
+  n_iter : int;  (** model-guided evaluations after warm-up *)
+  pool_size : int;  (** candidates scored per BO iteration *)
+  local_search_frac : float;
+      (** fraction of the pool drawn as neighbors of the incumbent rather
+          than uniformly (exploitation vs exploration) *)
+  surrogate_trees : int;
+}
+
+val default_settings : settings
+(** 10 warm-up, 40 guided, pool 200, 0.5 local, 30 trees. *)
+
+type evaluation = {
+  objective : float;  (** value to maximize, e.g. F1 *)
+  feasible : bool;
+  metadata : (string * float) list;
+}
+
+val maximize :
+  Homunculus_util.Rng.t ->
+  ?settings:settings ->
+  ?on_iteration:(int -> History.entry -> unit) ->
+  Design_space.t ->
+  f:(Config.t -> evaluation) ->
+  History.t
+(** Run the full loop and return the evaluation history. The black box [f] is
+    called exactly [n_init + n_iter] times (duplicate candidates are replaced
+    by fresh uniform samples before evaluation when possible). *)
+
+val random_search :
+  Homunculus_util.Rng.t ->
+  n:int ->
+  Design_space.t ->
+  f:(Config.t -> evaluation) ->
+  History.t
+(** Pure random search baseline for the DSE ablation bench. *)

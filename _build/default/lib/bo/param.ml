@@ -1,0 +1,102 @@
+module Rng = Homunculus_util.Rng
+module Mathx = Homunculus_util.Mathx
+
+type kind =
+  | Real of { lo : float; hi : float; log_scale : bool }
+  | Int of { lo : int; hi : int }
+  | Ordinal of float array
+  | Categorical of string array
+
+type t = { name : string; kind : kind }
+
+type value = Real_value of float | Int_value of int | Index_value of int
+
+let real ?(log_scale = false) name ~lo ~hi =
+  if not (lo < hi) then invalid_arg "Param.real: lo >= hi";
+  if log_scale && lo <= 0. then invalid_arg "Param.real: log scale needs lo > 0";
+  { name; kind = Real { lo; hi; log_scale } }
+
+let int name ~lo ~hi =
+  if lo > hi then invalid_arg "Param.int: lo > hi";
+  { name; kind = Int { lo; hi } }
+
+let ordinal name values =
+  if Array.length values = 0 then invalid_arg "Param.ordinal: empty domain";
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  if sorted <> values then invalid_arg "Param.ordinal: values must be increasing";
+  { name; kind = Ordinal values }
+
+let categorical name values =
+  if Array.length values = 0 then invalid_arg "Param.categorical: empty domain";
+  { name; kind = Categorical values }
+
+let validate t value =
+  match (t.kind, value) with
+  | Real { lo; hi; _ }, Real_value v -> v >= lo && v <= hi
+  | Int { lo; hi }, Int_value v -> v >= lo && v <= hi
+  | Ordinal vs, Index_value i -> i >= 0 && i < Array.length vs
+  | Categorical vs, Index_value i -> i >= 0 && i < Array.length vs
+  | (Real _ | Int _ | Ordinal _ | Categorical _), _ -> false
+
+let sample rng t =
+  match t.kind with
+  | Real { lo; hi; log_scale } ->
+      if log_scale then
+        (* Clamp after exp: the exp/log roundtrip can overshoot by an ulp. *)
+        Real_value
+          (Mathx.clamp ~lo ~hi (exp (Rng.uniform rng (log lo) (log hi))))
+      else Real_value (Rng.uniform rng lo hi)
+  | Int { lo; hi } -> Int_value (lo + Rng.int rng (hi - lo + 1))
+  | Ordinal vs -> Index_value (Rng.int rng (Array.length vs))
+  | Categorical vs -> Index_value (Rng.int rng (Array.length vs))
+
+let neighbor rng t value =
+  if not (validate t value) then invalid_arg "Param.neighbor: invalid value";
+  match (t.kind, value) with
+  | Real { lo; hi; log_scale }, Real_value v ->
+      if log_scale then
+        let lv = log v +. Rng.gaussian rng ~sigma:(0.1 *. (log hi -. log lo)) () in
+        Real_value
+          (Mathx.clamp ~lo ~hi (exp (Mathx.clamp ~lo:(log lo) ~hi:(log hi) lv)))
+      else
+        let v' = v +. Rng.gaussian rng ~sigma:(0.1 *. (hi -. lo)) () in
+        Real_value (Mathx.clamp ~lo ~hi v')
+  | Int { lo; hi }, Int_value v ->
+      let delta = if Rng.bool rng then 1 else -1 in
+      Int_value (Mathx.clamp_int ~lo ~hi (v + delta))
+  | Ordinal vs, Index_value i ->
+      let delta = if Rng.bool rng then 1 else -1 in
+      Index_value (Mathx.clamp_int ~lo:0 ~hi:(Array.length vs - 1) (i + delta))
+  | Categorical vs, Index_value _ -> Index_value (Rng.int rng (Array.length vs))
+  | (Real _ | Int _ | Ordinal _ | Categorical _), _ ->
+      assert false (* excluded by validate *)
+
+let encode t value =
+  match (t.kind, value) with
+  | Real { lo; hi; log_scale }, Real_value v ->
+      if log_scale then (log v -. log lo) /. (log hi -. log lo)
+      else (v -. lo) /. (hi -. lo)
+  | Int { lo; hi }, Int_value v ->
+      if lo = hi then 0. else float_of_int (v - lo) /. float_of_int (hi - lo)
+  | Ordinal vs, Index_value i ->
+      if Array.length vs = 1 then 0.
+      else float_of_int i /. float_of_int (Array.length vs - 1)
+  | Categorical _, Index_value i -> float_of_int i
+  | (Real _ | Int _ | Ordinal _ | Categorical _), _ ->
+      invalid_arg "Param.encode: value shape mismatch"
+
+let cardinality t =
+  match t.kind with
+  | Real _ -> None
+  | Int { lo; hi } -> Some (hi - lo + 1)
+  | Ordinal vs -> Some (Array.length vs)
+  | Categorical vs -> Some (Array.length vs)
+
+let value_to_string t value =
+  match (t.kind, value) with
+  | Real _, Real_value v -> Printf.sprintf "%g" v
+  | Int _, Int_value v -> string_of_int v
+  | Ordinal vs, Index_value i -> Printf.sprintf "%g" vs.(i)
+  | Categorical vs, Index_value i -> vs.(i)
+  | (Real _ | Int _ | Ordinal _ | Categorical _), _ -> "<invalid>"

@@ -1,0 +1,45 @@
+(** Search-space parameters.
+
+    HyperMapper's design spaces mix real, integer, ordinal, and categorical
+    variables (paper §3.2.3); all four are supported. Each parameter also
+    defines its numeric encoding for the surrogate model and a local
+    neighborhood for candidate generation. *)
+
+type kind =
+  | Real of { lo : float; hi : float; log_scale : bool }
+  | Int of { lo : int; hi : int }
+  | Ordinal of float array  (** increasing admissible values *)
+  | Categorical of string array
+
+type t = { name : string; kind : kind }
+
+type value =
+  | Real_value of float
+  | Int_value of int
+  | Index_value of int  (** index into an ordinal/categorical domain *)
+
+val real : ?log_scale:bool -> string -> lo:float -> hi:float -> t
+val int : string -> lo:int -> hi:int -> t
+val ordinal : string -> float array -> t
+val categorical : string -> string array -> t
+(** Constructors validate their bounds and raise [Invalid_argument]. *)
+
+val validate : t -> value -> bool
+(** Value is of the right shape and inside the domain. *)
+
+val sample : Homunculus_util.Rng.t -> t -> value
+(** Uniform over the domain (log-uniform for log-scaled reals). *)
+
+val neighbor : Homunculus_util.Rng.t -> t -> value -> value
+(** Local perturbation used to refine promising configurations: reals move by
+    ~10% of the range, integers/ordinals by +-1 step, categoricals resample.
+    @raise Invalid_argument if the value does not validate. *)
+
+val encode : t -> value -> float
+(** Numeric feature for the surrogate, scaled into [0, 1] for reals/ints and
+    index-based for ordinals/categoricals. *)
+
+val cardinality : t -> int option
+(** Number of distinct values for discrete parameters, [None] for reals. *)
+
+val value_to_string : t -> value -> string

@@ -1,0 +1,66 @@
+let dominates a b =
+  let ge = ref true and gt = ref false in
+  Array.iteri
+    (fun i ai ->
+      if ai < b.(i) then ge := false;
+      if ai > b.(i) then gt := true)
+    a;
+  !ge && !gt
+
+type 'a t = {
+  n_objectives : int;
+  mutable front : (float array * 'a) list;
+}
+
+let create ~n_objectives =
+  if n_objectives < 1 then invalid_arg "Pareto.create: n_objectives < 1";
+  { n_objectives; front = [] }
+
+let add t ~objectives payload =
+  if Array.length objectives <> t.n_objectives then
+    invalid_arg "Pareto.add: dimension mismatch";
+  let dominated_or_equal =
+    List.exists
+      (fun (existing, _) -> existing = objectives || dominates existing objectives)
+      t.front
+  in
+  if dominated_or_equal then false
+  else begin
+    t.front <-
+      (objectives, payload)
+      :: List.filter (fun (existing, _) -> not (dominates objectives existing)) t.front;
+    true
+  end
+
+let points t =
+  List.sort (fun (a, _) (b, _) -> compare b.(0) a.(0)) t.front
+
+let size t = List.length t.front
+
+let hypervolume2 ~reference front =
+  if Array.length reference <> 2 then
+    invalid_arg "Pareto.hypervolume2: 2 objectives required";
+  List.iter
+    (fun (p, _) ->
+      if Array.length p <> 2 then
+        invalid_arg "Pareto.hypervolume2: 2 objectives required";
+      if p.(0) < reference.(0) || p.(1) < reference.(1) then
+        invalid_arg "Pareto.hypervolume2: point below the reference")
+    front;
+  (* Sweep points by descending first objective; each contributes a slab of
+     width (x - ref_x) over the gain in y beyond the best y seen so far. *)
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare b.(0) a.(0)) front
+  in
+  let area = ref 0. in
+  let best_y = ref reference.(1) in
+  List.iter
+    (fun (p, _) ->
+      if p.(1) > !best_y then begin
+        area := !area +. ((p.(0) -. reference.(0)) *. (p.(1) -. !best_y));
+        best_y := p.(1)
+      end)
+    sorted;
+  !area
+
+let hypervolume t ~reference = hypervolume2 ~reference t.front

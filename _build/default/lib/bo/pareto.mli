@@ -1,0 +1,34 @@
+(** Pareto archives and quality indicators for multi-objective optimization
+    (all objectives maximized).
+
+    {!Scalarize} turns objective vectors into scalars for individual runs;
+    this module maintains the cross-run archive of non-dominated points and
+    scores it with the standard 2-D hypervolume indicator, so ablations can
+    compare multi-objective strategies quantitatively. *)
+
+type 'a t
+(** An archive of non-dominated [(objectives, payload)] pairs. *)
+
+val create : n_objectives:int -> 'a t
+(** @raise Invalid_argument unless [n_objectives >= 1]. *)
+
+val add : 'a t -> objectives:float array -> 'a -> bool
+(** Insert a point; dominated incumbents are evicted. Returns [false] (and
+    leaves the archive unchanged) when the point is dominated by or equal to
+    an existing one. @raise Invalid_argument on dimension mismatch. *)
+
+val points : 'a t -> (float array * 'a) list
+(** Current front, sorted by descending first objective. *)
+
+val size : 'a t -> int
+
+val dominates : float array -> float array -> bool
+(** [a] weakly better everywhere and strictly better somewhere. *)
+
+val hypervolume2 : reference:float array -> (float array * 'a) list -> float
+(** Area dominated by a 2-objective front relative to a reference point that
+    every front point must dominate. @raise Invalid_argument on non-2D
+    input or when a point does not dominate the reference. *)
+
+val hypervolume : 'a t -> reference:float array -> float
+(** {!hypervolume2} over the archive (2-objective archives only). *)

@@ -1,0 +1,62 @@
+module Rng = Homunculus_util.Rng
+
+type t = { weights : float array }
+
+let of_weights raw =
+  if Array.length raw = 0 then invalid_arg "Scalarize.of_weights: empty";
+  if Array.exists (fun w -> w < 0.) raw then
+    invalid_arg "Scalarize.of_weights: negative weight";
+  let total = Array.fold_left ( +. ) 0. raw in
+  if total <= 0. then invalid_arg "Scalarize.of_weights: weights sum to zero";
+  { weights = Array.map (fun w -> w /. total) raw }
+
+let draw rng ~n_objectives =
+  if n_objectives <= 0 then invalid_arg "Scalarize.draw: n_objectives <= 0";
+  (* Dirichlet(1,..,1) via normalized exponentials. *)
+  of_weights (Array.init n_objectives (fun _ -> Rng.exponential rng 1.))
+
+let weights t = Array.copy t.weights
+
+let check_dim t ys =
+  if Array.length ys <> Array.length t.weights then
+    invalid_arg "Scalarize.apply: objective dimension mismatch"
+
+let apply t ys =
+  check_dim t ys;
+  let acc = ref 0. in
+  Array.iteri (fun i y -> acc := !acc +. (t.weights.(i) *. y)) ys;
+  !acc
+
+let apply_chebyshev t ~reference ys =
+  check_dim t ys;
+  if Array.length reference <> Array.length ys then
+    invalid_arg "Scalarize.apply_chebyshev: reference dimension mismatch";
+  let worst = ref neg_infinity in
+  Array.iteri
+    (fun i y ->
+      let v = t.weights.(i) *. (reference.(i) -. y) in
+      if v > !worst then worst := v)
+    ys;
+  let rho = 0.05 in
+  -.(!worst +. (rho *. apply t (Array.mapi (fun i y -> reference.(i) -. y) ys)))
+
+let dominates a b =
+  let ge = ref true and gt = ref false in
+  Array.iteri
+    (fun i ai ->
+      if ai < b.(i) then ge := false;
+      if ai > b.(i) then gt := true)
+    a;
+  !ge && !gt
+
+let pareto_front points =
+  let n = Array.length points in
+  let keep = ref [] in
+  for i = n - 1 downto 0 do
+    let dominated = ref false in
+    for j = 0 to n - 1 do
+      if j <> i && dominates points.(j) points.(i) then dominated := true
+    done;
+    if not !dominated then keep := i :: !keep
+  done;
+  Array.of_list !keep

@@ -1,0 +1,27 @@
+(** Random-scalarization support for multi-objective optimization
+    (Paria et al. 2019, cited by the paper for multi-objective BO).
+
+    Each scalarization draws a weight vector from the simplex and reduces an
+    objective vector to a single value; running several scalarized
+    optimizations approximates the Pareto front. *)
+
+type t
+
+val draw : Homunculus_util.Rng.t -> n_objectives:int -> t
+(** Uniform Dirichlet(1,...,1) weights. *)
+
+val of_weights : float array -> t
+(** @raise Invalid_argument on negative or all-zero weights (they are
+    normalized to sum to 1). *)
+
+val weights : t -> float array
+
+val apply : t -> float array -> float
+(** Weighted Chebyshev-free linear scalarization: [sum_i w_i * y_i]. *)
+
+val apply_chebyshev : t -> reference:float array -> float array -> float
+(** Augmented Chebyshev scalarization against a reference (ideal) point; more
+    robust for non-convex fronts: [- max_i w_i (ref_i - y_i)]. *)
+
+val pareto_front : float array array -> int array
+(** Indices of non-dominated points (maximization in every coordinate). *)

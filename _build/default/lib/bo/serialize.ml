@@ -1,0 +1,170 @@
+module Json = Homunculus_util.Json
+
+let param_to_json (p : Param.t) =
+  match p.Param.kind with
+  | Param.Real { lo; hi; log_scale } ->
+      Json.Object
+        ([
+           ("parameter_type", Json.String "real");
+           ("values", Json.List [ Json.Number lo; Json.Number hi ]);
+         ]
+        @ if log_scale then [ ("transform", Json.String "log") ] else [])
+  | Param.Int { lo; hi } ->
+      Json.Object
+        [
+          ("parameter_type", Json.String "integer");
+          ("values",
+           Json.List [ Json.Number (float_of_int lo); Json.Number (float_of_int hi) ]);
+        ]
+  | Param.Ordinal values ->
+      Json.Object
+        [
+          ("parameter_type", Json.String "ordinal");
+          ("values", Json.List (Array.to_list (Array.map (fun v -> Json.Number v) values)));
+        ]
+  | Param.Categorical values ->
+      Json.Object
+        [
+          ("parameter_type", Json.String "categorical");
+          ("values", Json.List (Array.to_list (Array.map (fun v -> Json.String v) values)));
+        ]
+
+let design_space_to_json space =
+  Json.Object
+    (List.map
+       (fun p -> (p.Param.name, param_to_json p))
+       (Design_space.params space))
+
+let scenario_to_json ~application_name ~objectives ?(iterations = 40)
+    ?(doe_samples = 10) space =
+  Json.Object
+    [
+      ("application_name", Json.String application_name);
+      ("optimization_objectives",
+       Json.List (List.map (fun o -> Json.String o) objectives));
+      ("optimization_iterations", Json.Number (float_of_int iterations));
+      ("design_of_experiment",
+       Json.Object
+         [
+           ("doe_type", Json.String "random sampling");
+           ("number_of_samples", Json.Number (float_of_int doe_samples));
+         ]);
+      ("models", Json.Object [ ("model", Json.String "random_forest") ]);
+      ("input_parameters", design_space_to_json space);
+    ]
+
+let param_of_json name json =
+  let kind = Json.get_string (Json.member json "parameter_type") in
+  let values = Json.to_list (Json.member json "values") in
+  match kind with
+  | "real" -> (
+      match values with
+      | [ lo; hi ] ->
+          let log_scale =
+            match Json.member_opt json "transform" with
+            | Some t -> String.equal (Json.get_string t) "log"
+            | None -> false
+          in
+          Param.real ~log_scale name ~lo:(Json.to_float lo) ~hi:(Json.to_float hi)
+      | _ -> invalid_arg "Serialize: real parameter needs [lo, hi]")
+  | "integer" -> (
+      match values with
+      | [ lo; hi ] -> Param.int name ~lo:(Json.to_int lo) ~hi:(Json.to_int hi)
+      | _ -> invalid_arg "Serialize: integer parameter needs [lo, hi]")
+  | "ordinal" ->
+      Param.ordinal name (Array.of_list (List.map Json.to_float values))
+  | "categorical" ->
+      Param.categorical name (Array.of_list (List.map Json.get_string values))
+  | other -> invalid_arg ("Serialize: unknown parameter_type " ^ other)
+
+let design_space_of_json json =
+  let params_json =
+    match Json.member_opt json "input_parameters" with
+    | Some inner -> inner
+    | None -> json
+  in
+  match params_json with
+  | Json.Object members ->
+      Design_space.create (List.map (fun (name, pj) -> param_of_json name pj) members)
+  | Json.Null | Json.Bool _ | Json.Number _ | Json.String _ | Json.List _ ->
+      invalid_arg "Serialize: input_parameters must be an object"
+
+let value_to_json (p : Param.t) value =
+  match (p.Param.kind, value) with
+  | Param.Real _, Param.Real_value v -> Json.Number v
+  | Param.Int _, Param.Int_value v -> Json.Number (float_of_int v)
+  | Param.Ordinal values, Param.Index_value i -> Json.Number values.(i)
+  | Param.Categorical values, Param.Index_value i -> Json.String values.(i)
+  | (Param.Real _ | Param.Int _ | Param.Ordinal _ | Param.Categorical _), _ ->
+      invalid_arg "Serialize: value shape mismatch"
+
+let value_of_json (p : Param.t) json =
+  match p.Param.kind with
+  | Param.Real _ -> Param.Real_value (Json.to_float json)
+  | Param.Int _ -> Param.Int_value (Json.to_int json)
+  | Param.Ordinal values -> (
+      let v = Json.to_float json in
+      let found = ref None in
+      Array.iteri (fun i x -> if x = v && !found = None then found := Some i) values;
+      match !found with
+      | Some i -> Param.Index_value i
+      | None -> invalid_arg (Printf.sprintf "Serialize: %g not in ordinal domain" v))
+  | Param.Categorical values -> (
+      let s = Json.get_string json in
+      let found = ref None in
+      Array.iteri
+        (fun i x -> if String.equal x s && !found = None then found := Some i)
+        values;
+      match !found with
+      | Some i -> Param.Index_value i
+      | None -> invalid_arg ("Serialize: " ^ s ^ " not in categorical domain"))
+
+let config_to_json space config =
+  Json.Object
+    (List.map
+       (fun p ->
+         (p.Param.name, value_to_json p (Config.find config p.Param.name)))
+       (Design_space.params space))
+
+let config_of_json space json =
+  let config =
+    Config.make
+      (List.map
+         (fun p ->
+           match Json.member_opt json p.Param.name with
+           | Some vj -> (p.Param.name, value_of_json p vj)
+           | None ->
+               invalid_arg ("Serialize: missing parameter " ^ p.Param.name))
+         (Design_space.params space))
+  in
+  if not (Design_space.validate space config) then
+    invalid_arg "Serialize: configuration outside the design space";
+  config
+
+let history_to_json space history =
+  Json.List
+    (List.map
+       (fun e ->
+         match config_to_json space e.History.config with
+         | Json.Object members ->
+             Json.Object
+               (members
+               @ [
+                   ("iteration", Json.Number (float_of_int e.History.iteration));
+                   ("objective", Json.Number e.History.objective);
+                   ("feasible", Json.Bool e.History.feasible);
+                 ])
+         | _ -> assert false (* config_to_json always returns an object *))
+       (History.entries history))
+
+let history_of_json space json =
+  let history = History.create () in
+  List.iter
+    (fun entry ->
+      let config = config_of_json space entry in
+      History.add history ~config
+        ~objective:(Json.to_float (Json.member entry "objective"))
+        ~feasible:(Json.to_bool (Json.member entry "feasible"))
+        ())
+    (Json.to_list json);
+  history

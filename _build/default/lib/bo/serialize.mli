@@ -1,0 +1,42 @@
+(** JSON interchange in HyperMapper's configuration schema.
+
+    The paper's implementation writes the Alchemy-derived design space to "a
+    JSON configuration file describing searchable parameters. This JSON file
+    is fed to HyperMapper to start the optimization process" (§4). This
+    module emits and reads that same schema, so spaces and evaluation logs
+    round-trip through files. *)
+
+module Json = Homunculus_util.Json
+
+val scenario_to_json :
+  application_name:string ->
+  objectives:string list ->
+  ?iterations:int ->
+  ?doe_samples:int ->
+  Design_space.t ->
+  Json.t
+(** The full HyperMapper scenario document: application name, optimization
+    objectives, iteration budget, design-of-experiment warm-up size, and
+    one ["input_parameters"] member per parameter with its
+    ["parameter_type"] ("real" | "integer" | "ordinal" | "categorical"),
+    ["values"] (bounds or domain), and optional ["transform": "log"]. *)
+
+val design_space_to_json : Design_space.t -> Json.t
+(** Just the ["input_parameters"] object. *)
+
+val design_space_of_json : Json.t -> Design_space.t
+(** Inverse of {!design_space_to_json} (accepts a full scenario too).
+    @raise Invalid_argument on malformed documents. *)
+
+val config_to_json : Design_space.t -> Config.t -> Json.t
+(** Raw values keyed by parameter name (ordinals by value, categoricals by
+    label — HyperMapper's CSV/JSON convention). *)
+
+val config_of_json : Design_space.t -> Json.t -> Config.t
+(** @raise Invalid_argument when a member is missing or out of domain. *)
+
+val history_to_json : Design_space.t -> History.t -> Json.t
+(** Evaluation log: a list of objects with the configuration's raw values
+    plus ["objective"], ["feasible"], and ["iteration"]. *)
+
+val history_of_json : Design_space.t -> Json.t -> History.t

@@ -1,0 +1,7 @@
+module Rf = Homunculus_ml.Random_forest.Regressor
+
+type t = Rf.t
+
+let fit rng ?(n_trees = 30) ~x ~y () = Rf.fit rng ~n_trees ~x ~y ()
+
+let predict t point = Rf.predict_with_std t point

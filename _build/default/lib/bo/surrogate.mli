@@ -1,0 +1,19 @@
+(** Probabilistic surrogate of the black-box objective.
+
+    A random-forest regressor over encoded configurations; the cross-tree
+    spread doubles as the predictive uncertainty, exactly as in HyperMapper's
+    RF mode (paper §5). *)
+
+type t
+
+val fit :
+  Homunculus_util.Rng.t ->
+  ?n_trees:int ->
+  x:float array array ->
+  y:float array ->
+  unit ->
+  t
+(** Default 30 trees. @raise Invalid_argument on empty input. *)
+
+val predict : t -> float array -> float * float
+(** Mean and standard deviation of the objective at an encoded point. *)

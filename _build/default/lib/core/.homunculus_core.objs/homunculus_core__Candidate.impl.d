@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Array Homunculus_alchemy Homunculus_backends Homunculus_ml List Model_ir Model_spec Platform Resource

@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Homunculus_alchemy Model_spec Platform

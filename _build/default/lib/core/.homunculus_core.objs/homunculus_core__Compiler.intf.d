@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Evaluator Homunculus_alchemy Homunculus_backends Homunculus_bo Model_spec Platform Schedule

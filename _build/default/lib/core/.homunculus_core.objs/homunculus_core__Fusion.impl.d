@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Array Homunculus_alchemy Homunculus_ml List Model_spec Set String

@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Homunculus_alchemy Model_spec

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Compiler Evaluator Homunculus_alchemy Homunculus_backends Homunculus_bo Homunculus_util List Model_ir Model_spec Platform Printf Resource Schedule Stdlib String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Compiler Homunculus_backends Homunculus_bo

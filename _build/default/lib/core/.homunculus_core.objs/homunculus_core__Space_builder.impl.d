@@ -1,0 +1,1 @@
+lib/core/space_builder.ml: Array Homunculus_alchemy Homunculus_backends Homunculus_bo Homunculus_util List Model_spec Platform Printf Stdlib Taurus Tofino

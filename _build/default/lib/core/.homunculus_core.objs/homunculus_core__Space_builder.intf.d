@@ -1,0 +1,1 @@
+lib/core/space_builder.mli: Homunculus_alchemy Homunculus_bo Model_spec Platform

@@ -1,0 +1,82 @@
+open Homunculus_alchemy
+open Homunculus_backends
+module Dataset = Homunculus_ml.Dataset
+
+let metric_compatible metric algo =
+  match (metric, algo) with
+  | Model_spec.V_measure, Model_spec.Kmeans -> true
+  | Model_spec.V_measure, (Model_spec.Dnn | Svm | Tree) -> false
+  | (Model_spec.F1 | Accuracy), Model_spec.Kmeans -> false
+  | (Model_spec.F1 | Accuracy), (Model_spec.Dnn | Svm | Tree) -> true
+
+(* The smallest model of each family anyone would deploy; if this does not
+   fit, no member of the family will. *)
+let minimal_model algo ~input_dim ~n_classes =
+  let zeros_matrix rows cols = Array.make_matrix rows cols 0. in
+  match algo with
+  | Model_spec.Dnn ->
+      Model_ir.Dnn
+        {
+          name = "probe";
+          layers =
+            [|
+              {
+                Model_ir.n_in = input_dim;
+                n_out = 2;
+                activation = "relu";
+                weights = zeros_matrix 2 input_dim;
+                biases = Array.make 2 0.;
+              };
+              {
+                Model_ir.n_in = 2;
+                n_out = n_classes;
+                activation = "linear";
+                weights = zeros_matrix n_classes 2;
+                biases = Array.make n_classes 0.;
+              };
+            |];
+        }
+  | Model_spec.Kmeans ->
+      Model_ir.Kmeans { name = "probe"; centroids = zeros_matrix 1 input_dim }
+  | Model_spec.Svm ->
+      Model_ir.Svm
+        {
+          name = "probe";
+          class_weights = zeros_matrix n_classes input_dim;
+          biases = Array.make n_classes 0.;
+        }
+  | Model_spec.Tree ->
+      Model_ir.Tree
+        {
+          name = "probe";
+          root =
+            Homunculus_ml.Decision_tree.Split
+              {
+                feature = 0;
+                threshold = 0.;
+                left = Leaf { distribution = Array.make n_classes 0. };
+                right = Leaf { distribution = Array.make n_classes 0. };
+              };
+          n_features = input_dim;
+          n_classes;
+        }
+
+let platform_compatible_dims platform algo ~input_dim ~n_classes =
+  Platform.supports platform algo
+  &&
+  let probe = minimal_model algo ~input_dim ~n_classes in
+  (Platform.estimate platform probe).Resource.feasible
+
+let platform_compatible platform algo =
+  (* Without data in hand, probe with a generic small shape. *)
+  platform_compatible_dims platform algo ~input_dim:4 ~n_classes:2
+
+let filter platform spec =
+  let data = Model_spec.load spec in
+  let input_dim = Dataset.n_features data.Model_spec.train in
+  let n_classes = data.Model_spec.train.Dataset.n_classes in
+  List.filter
+    (fun algo ->
+      metric_compatible (Model_spec.metric spec) algo
+      && platform_compatible_dims platform algo ~input_dim ~n_classes)
+    (Model_spec.algorithms spec)

@@ -1,0 +1,19 @@
+(** Candidate algorithm selection (paper §3.2.1): before any training, rule
+    out algorithms that cannot possibly satisfy the platform and metric. *)
+
+open Homunculus_alchemy
+
+val metric_compatible : Model_spec.metric -> Model_spec.algorithm -> bool
+(** V-measure is a clustering metric (KMeans only); F1/accuracy need
+    supervised algorithms (DNN/SVM/Tree). *)
+
+val platform_compatible : Platform.t -> Model_spec.algorithm -> bool
+(** Structural support ({!Platform.supports}) plus a cheap minimal-footprint
+    probe: if even the smallest sensible model of this algorithm is
+    infeasible on the target, drop the whole algorithm — "the core tries to
+    rule out as many algorithms as possible based on the data-plane platform
+    and network constraints". *)
+
+val filter : Platform.t -> Model_spec.t -> Model_spec.algorithm list
+(** Intersection of the spec's shortlist with both compatibility checks,
+    preserving the spec's order. *)

@@ -1,0 +1,328 @@
+open Homunculus_alchemy
+open Homunculus_backends
+module Bo = Homunculus_bo
+module Rng = Homunculus_util.Rng
+
+exception No_feasible_model of string
+
+let log_src = Logs.Src.create "homunculus.compiler" ~doc:"Homunculus compiler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type options = {
+  seed : int;
+  bo_settings : Bo.Optimizer.settings;
+  emit_code : bool;
+  fusion_threshold : float option;
+}
+
+let default_options =
+  {
+    seed = 42;
+    bo_settings = Bo.Optimizer.default_settings;
+    emit_code = true;
+    fusion_threshold = None;
+  }
+
+let quick_options =
+  {
+    default_options with
+    bo_settings =
+      {
+        Bo.Optimizer.default_settings with
+        Bo.Optimizer.n_init = 5;
+        n_iter = 10;
+        pool_size = 64;
+      };
+  }
+
+type model_result = {
+  spec : Model_spec.t;
+  artifact : Evaluator.artifact;
+  history : Bo.History.t;
+  histories : (Model_spec.algorithm * Bo.History.t) list;
+  code : string option;
+}
+
+type result = {
+  platform : Platform.t;
+  schedule : Schedule.t;
+  models : model_result list;
+  combined : Schedule.combined;
+  bundle_code : string option;
+}
+
+let emit_code platform model_ir =
+  match platform.Platform.target with
+  | Platform.Taurus _ -> Spatial.emit model_ir
+  | Platform.Fpga _ -> (
+      (* The FPGA flow compiles Spatial down to RTL (paper §5.2); ship both
+         artifacts. Classical models stay at the Spatial level. *)
+      match model_ir with
+      | Model_ir.Dnn _ -> Spatial.emit model_ir ^ "\n" ^ Verilog.emit model_ir
+      | Model_ir.Kmeans _ | Model_ir.Svm _ | Model_ir.Tree _ ->
+          Spatial.emit model_ir)
+  | Platform.Tofino _ ->
+      P4gen.emit model_ir ^ "\n" ^ P4gen.emit_entries model_ir
+
+let better_artifact current candidate =
+  (* Feasible always beats infeasible; ties break on objective. *)
+  match current with
+  | None -> Some candidate
+  | Some best ->
+      let bf = best.Evaluator.verdict.Resource.feasible in
+      let cf = candidate.Evaluator.verdict.Resource.feasible in
+      if cf && not bf then Some candidate
+      else if bf && not cf then Some best
+      else if candidate.Evaluator.objective > best.Evaluator.objective then
+        Some candidate
+      else Some best
+
+let search_algorithm rng ~seed ~settings platform spec algorithm =
+  let data = Model_spec.load spec in
+  let input_dim =
+    Homunculus_ml.Dataset.n_features data.Model_spec.train
+  in
+  let space = Space_builder.build platform algorithm ~input_dim in
+  let best = ref None in
+  let eval config =
+    (* A per-configuration seed makes the black box deterministic: the same
+       suggestion always measures the same, which stabilizes the search. *)
+    let eval_rng = Rng.create (seed lxor Bo.Config.hash config) in
+    let artifact = Evaluator.evaluate eval_rng platform spec algorithm config in
+    best := better_artifact !best artifact;
+    Evaluator.to_bo_evaluation artifact
+  in
+  let history = Bo.Optimizer.maximize rng ~settings space ~f:eval in
+  (!best, history)
+
+let search_model ?(options = default_options) platform spec =
+  let candidates = Candidate.filter platform spec in
+  if candidates = [] then
+    raise
+      (No_feasible_model
+         (Printf.sprintf
+            "%s: no candidate algorithm survives filtering on %s"
+            (Model_spec.name spec) (Platform.name platform)));
+  Log.info (fun m ->
+      m "%s on %s: candidates [%s]" (Model_spec.name spec) (Platform.name platform)
+        (String.concat "; " (List.map Model_spec.algorithm_to_string candidates)));
+  (* Split the evaluation budget across the parallel per-algorithm runs. *)
+  let n = List.length candidates in
+  let settings =
+    {
+      options.bo_settings with
+      Bo.Optimizer.n_iter =
+        Stdlib.max 1 (options.bo_settings.Bo.Optimizer.n_iter / n);
+    }
+  in
+  let master = Rng.create options.seed in
+  let runs =
+    List.map
+      (fun algorithm ->
+        let rng = Rng.split master in
+        let best, history =
+          search_algorithm rng ~seed:options.seed ~settings platform spec
+            algorithm
+        in
+        (algorithm, best, history))
+      candidates
+  in
+  let best =
+    List.fold_left
+      (fun acc (_, candidate, _) ->
+        match candidate with
+        | Some c -> better_artifact acc c
+        | None -> acc)
+      None runs
+  in
+  match best with
+  | None ->
+      raise
+        (No_feasible_model
+           (Printf.sprintf "%s: search produced no models" (Model_spec.name spec)))
+  | Some artifact when not artifact.Evaluator.verdict.Resource.feasible ->
+      raise
+        (No_feasible_model
+           (Printf.sprintf "%s: no configuration met the constraints (best %s)"
+              (Model_spec.name spec)
+              (Option.value artifact.Evaluator.verdict.Resource.rejection
+                 ~default:"unknown rejection")))
+  | Some artifact ->
+      Log.info (fun m ->
+          m "%s: best %s, objective %.4f, %s" (Model_spec.name spec)
+            (Model_spec.algorithm_to_string artifact.Evaluator.algorithm)
+            artifact.Evaluator.objective
+            (if artifact.Evaluator.verdict.Resource.feasible then "feasible"
+             else "INFEASIBLE"));
+      let winning_history =
+        List.find_map
+          (fun (algorithm, _, history) ->
+            if algorithm = artifact.Evaluator.algorithm then Some history
+            else None)
+          runs
+        |> Option.get
+      in
+      {
+        spec;
+        artifact;
+        history = winning_history;
+        histories = List.map (fun (a, _, h) -> (a, h)) runs;
+        code =
+          (if options.emit_code then
+             Some (emit_code platform artifact.Evaluator.model_ir)
+           else None);
+      }
+
+type tradeoff_point = {
+  artifact : Evaluator.artifact;
+  resource_fraction : float;
+  weight : float;
+}
+
+let resource_fraction (verdict : Resource.verdict) =
+  List.fold_left
+    (fun acc u -> Stdlib.max acc (u.Resource.used /. u.Resource.available))
+    0. verdict.Resource.usages
+
+let search_tradeoff ?(options = default_options) ?(n_scalarizations = 5)
+    platform spec =
+  if n_scalarizations <= 0 then
+    invalid_arg "Compiler.search_tradeoff: n_scalarizations <= 0";
+  let candidates = Candidate.filter platform spec in
+  if candidates = [] then
+    raise
+      (No_feasible_model
+         (Printf.sprintf "%s: no candidate algorithm survives filtering"
+            (Model_spec.name spec)));
+  let algorithm = List.hd candidates in
+  let data = Model_spec.load spec in
+  let input_dim = Homunculus_ml.Dataset.n_features data.Model_spec.train in
+  let space = Space_builder.build platform algorithm ~input_dim in
+  let master = Rng.create options.seed in
+  let points = ref [] in
+  for _ = 1 to n_scalarizations do
+    let run_rng = Rng.split master in
+    let weight = Rng.uniform run_rng 0.3 1.0 in
+    let best = ref None in
+    let eval config =
+      let eval_rng = Rng.create (options.seed lxor Bo.Config.hash config) in
+      let artifact = Evaluator.evaluate eval_rng platform spec algorithm config in
+      let fraction = resource_fraction artifact.Evaluator.verdict in
+      (match !best with
+      | Some (b, _) when b.Evaluator.verdict.Resource.feasible
+                         && not artifact.Evaluator.verdict.Resource.feasible -> ()
+      | _ ->
+          let better =
+            match !best with
+            | None -> true
+            | Some (b, bf) ->
+                let score a f = (weight *. a.Evaluator.objective) -. ((1. -. weight) *. f) in
+                (artifact.Evaluator.verdict.Resource.feasible
+                 && not b.Evaluator.verdict.Resource.feasible)
+                || score artifact fraction > score b bf
+          in
+          if better then best := Some (artifact, fraction));
+      {
+        Bo.Optimizer.objective =
+          (weight *. artifact.Evaluator.objective) -. ((1. -. weight) *. fraction);
+        feasible = artifact.Evaluator.verdict.Resource.feasible;
+        metadata = [];
+      }
+    in
+    let (_ : Bo.History.t) =
+      Bo.Optimizer.maximize run_rng ~settings:options.bo_settings space ~f:eval
+    in
+    match !best with
+    | Some (artifact, fraction) when artifact.Evaluator.verdict.Resource.feasible ->
+        points := { artifact; resource_fraction = fraction; weight } :: !points
+    | Some _ | None -> ()
+  done;
+  if !points = [] then
+    raise
+      (No_feasible_model
+         (Printf.sprintf "%s: no scalarization found a feasible model"
+            (Model_spec.name spec)));
+  (* Keep the non-dominated set over (objective, -resource_fraction). *)
+  let arr = Array.of_list !points in
+  let coords =
+    Array.map
+      (fun p -> [| p.artifact.Evaluator.objective; -.p.resource_fraction |])
+      arr
+  in
+  let front = Bo.Scalarize.pareto_front coords in
+  Array.to_list (Array.map (fun i -> arr.(i)) front)
+  |> List.sort (fun a b ->
+         compare b.artifact.Evaluator.objective a.artifact.Evaluator.objective)
+
+(* Fusion pass: fold parallel compositions of fusable specs into one spec
+   (paper §3.2.5). Only Par nodes fuse — sequential models see different
+   upstream data by construction. *)
+let rec apply_fusion ~threshold schedule =
+  match schedule with
+  | Schedule.Model _ -> schedule
+  | Schedule.Seq (a, b) ->
+      Schedule.Seq (apply_fusion ~threshold a, apply_fusion ~threshold b)
+  | Schedule.Par (a, b) -> (
+      let a = apply_fusion ~threshold a and b = apply_fusion ~threshold b in
+      match (a, b) with
+      | Schedule.Model sa, Schedule.Model sb
+        when Model_spec.name sa <> Model_spec.name sb
+             && Fusion.can_fuse ~threshold sa sb ->
+          Schedule.Model
+            (Fusion.fuse
+               ~name:(Model_spec.name sa ^ "+" ^ Model_spec.name sb)
+               sa sb)
+      | _ -> Schedule.Par (a, b))
+
+let generate ?(options = default_options) platform schedule =
+  let schedule =
+    match options.fusion_threshold with
+    | Some threshold -> apply_fusion ~threshold schedule
+    | None -> schedule
+  in
+  (* Search each distinct spec once; chained copies share the result. *)
+  let specs = Schedule.models schedule in
+  let distinct =
+    List.fold_left
+      (fun acc spec ->
+        if List.exists (fun s -> Model_spec.name s = Model_spec.name spec) acc
+        then acc
+        else spec :: acc)
+      [] specs
+    |> List.rev
+  in
+  let models = List.map (search_model ~options platform) distinct in
+  let result_for name =
+    List.find (fun r -> Model_spec.name r.spec = name) models
+  in
+  let combined =
+    Schedule.combine schedule ~perf:(Platform.perf platform)
+      ~estimate:(fun spec ->
+        (result_for (Model_spec.name spec)).artifact.Evaluator.verdict)
+  in
+  let bundle_code =
+    let bundle_models () =
+      List.map
+        (fun spec ->
+          (result_for (Model_spec.name spec)).artifact.Evaluator.model_ir)
+        specs
+    in
+    match (options.emit_code, platform.Platform.target, specs) with
+    | true, (Platform.Taurus _ | Platform.Fpga _), _ :: _ :: _ ->
+        Some (Spatial.emit_bundle ~name:"pipeline" (bundle_models ()))
+    | true, Platform.Tofino _, _ :: _ :: _ -> (
+        (* Duplicate specs produce duplicate table names; namespace them. *)
+        let models =
+          List.mapi
+            (fun i m -> Model_ir.with_name m (Printf.sprintf "m%d_%s" i (Model_ir.name m)))
+            (bundle_models ())
+        in
+        try
+          Some
+            (P4_ir.print
+               (P4_ir.merge ~name:"pipeline" (List.map P4gen.program_of models)))
+        with Invalid_argument _ -> None (* e.g. a DNN slipped in *))
+    | _ -> None
+  in
+  { platform; schedule; models; combined; bundle_code }

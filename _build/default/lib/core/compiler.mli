@@ -1,0 +1,82 @@
+(** The Homunculus driver: Alchemy program in, searched + trained + mapped
+    models and backend code out (paper Fig. 2, the [homunculus.generate]
+    call of Fig. 3). *)
+
+open Homunculus_alchemy
+module Bo = Homunculus_bo
+
+exception No_feasible_model of string
+(** Raised when candidate filtering leaves no algorithm, or the whole search
+    finishes without one feasible configuration ("... until the final output
+    meets the constraints, or no feasible solution exists"). *)
+
+type options = {
+  seed : int;
+  bo_settings : Bo.Optimizer.settings;
+  emit_code : bool;
+  fusion_threshold : float option;
+      (** when set, adjacent parallel models with enough feature overlap are
+          fused before search (paper §3.2.5); [None] disables the pass *)
+}
+
+val default_options : options
+(** seed 42, default BO settings, code emission on, fusion off. *)
+
+val quick_options : options
+(** A small-budget variant (5 warm-up + 10 guided) for tests and examples. *)
+
+type model_result = {
+  spec : Model_spec.t;
+  artifact : Evaluator.artifact;  (** the winning configuration *)
+  history : Bo.History.t;  (** full log of the winning algorithm's search *)
+  histories : (Model_spec.algorithm * Bo.History.t) list;
+      (** one search per surviving candidate algorithm *)
+  code : string option;  (** backend source for the winner *)
+}
+
+type result = {
+  platform : Platform.t;
+  schedule : Schedule.t;
+  models : model_result list;  (** one per distinct spec name *)
+  combined : Schedule.combined;  (** whole-pipeline feasibility *)
+  bundle_code : string option;
+      (** for multi-model schedules on Spatial targets: one program hosting
+          every instance in schedule order (repeated specs become namespaced
+          instances) *)
+}
+
+val search_model :
+  ?options:options -> Platform.t -> Model_spec.t -> model_result
+(** Optimize a single spec: filter candidates, run one BO search per
+    surviving algorithm, keep the best feasible artifact.
+    @raise No_feasible_model when nothing feasible is found. *)
+
+val generate : ?options:options -> Platform.t -> Schedule.t -> result
+(** The full pipeline: search every distinct model of the schedule (repeated
+    specs are searched once and instantiated per occurrence), then fold the
+    schedule-level resource verdict. *)
+
+val emit_code : Platform.t -> Homunculus_backends.Model_ir.t -> string
+(** Spatial for Taurus/FPGA targets, P4 (+ table entries) for Tofino. *)
+
+type tradeoff_point = {
+  artifact : Evaluator.artifact;
+  resource_fraction : float;
+      (** max over resources of used/available, in [0, 1] for feasible
+          points *)
+  weight : float;  (** the scalarization weight that produced this point *)
+}
+
+val search_tradeoff :
+  ?options:options ->
+  ?n_scalarizations:int ->
+  Platform.t ->
+  Model_spec.t ->
+  tradeoff_point list
+(** Multi-objective search (HyperMapper's random-scalarization mode,
+    Paria et al. 2019): run [n_scalarizations] (default 5) searches, each
+    maximizing [w * objective - (1 - w) * resource_fraction] for a random
+    simplex weight [w], and return the non-dominated feasible artifacts
+    sorted by descending objective. Exposes the accuracy-vs-footprint
+    trade-off the paper discusses (bigger models score higher but burn more
+    CUs/power). @raise No_feasible_model when nothing feasible is found. *)

@@ -1,0 +1,134 @@
+open Homunculus_alchemy
+open Homunculus_backends
+open Homunculus_ml
+module Bo = Homunculus_bo
+module Rng = Homunculus_util.Rng
+
+type artifact = {
+  algorithm : Model_spec.algorithm;
+  config : Bo.Config.t;
+  model_ir : Model_ir.t;
+  verdict : Resource.verdict;
+  objective : float;
+}
+
+let metric_value metric ~n_classes ~pred ~truth =
+  match metric with
+  | Model_spec.F1 ->
+      if n_classes = 2 then Metrics.f1 ~pred ~truth ()
+      else Metrics.macro_f1 ~n_classes ~pred ~truth
+  | Model_spec.Accuracy -> Metrics.accuracy ~pred ~truth
+  | Model_spec.V_measure -> Metrics.v_measure ~pred ~truth ()
+
+let train_dnn rng config ~train ~test =
+  let hidden = Space_builder.hidden_layers_of_config config in
+  let lr = Bo.Config.get_float config "learning_rate" in
+  let batch_idx = Bo.Config.get_index config "batch_size" in
+  let batch_size = int_of_float Space_builder.batch_sizes.(batch_idx) in
+  let epochs = Bo.Config.get_int config "epochs" in
+  let act_idx = Bo.Config.get_index config "activation" in
+  let weight_decay = Bo.Config.get_float config "weight_decay" in
+  let lr_decay = [| 0.9; 0.97; 1.0 |].(Bo.Config.get_index config "lr_decay") in
+  let hidden_act =
+    match act_idx with 0 -> Activation.Relu | _ -> Activation.Tanh
+  in
+  let input_dim = Dataset.n_features train in
+  let mlp =
+    Mlp.create rng ~input_dim ~hidden
+      ~output_dim:train.Dataset.n_classes ~hidden_act ()
+  in
+  let fit_set, val_set = Dataset.split rng ~train_frac:0.8 train in
+  let train_config =
+    {
+      Train.default_config with
+      Train.epochs;
+      batch_size;
+      optimizer = Optimizer.adam ~lr ~weight_decay ();
+      lr_decay_per_epoch = lr_decay;
+    }
+  in
+  let (_ : Train.history) =
+    Train.fit rng mlp train_config ~validation:val_set fit_set
+  in
+  let pred = Mlp.predict_all mlp test.Dataset.x in
+  (Model_ir.of_mlp ~name:"model" mlp, pred)
+
+let train_kmeans rng config ~train ~test =
+  let k = Bo.Config.get_int config "k" in
+  let km = Kmeans.fit rng ~k ~max_iter:100 ~n_init:8 train.Dataset.x in
+  let pred = Kmeans.predict_all km test.Dataset.x in
+  (Model_ir.of_kmeans ~name:"model" km, pred)
+
+let train_svm rng config ~train ~test =
+  let lambda = Bo.Config.get_float config "lambda" in
+  let epochs = Bo.Config.get_int config "epochs" in
+  let svm = Svm.fit rng ~lambda ~epochs train in
+  let pred = Svm.predict_all svm test.Dataset.x in
+  (Model_ir.of_svm ~name:"model" svm, pred)
+
+let train_tree rng config ~train ~test =
+  let params =
+    {
+      Decision_tree.max_depth = Bo.Config.get_int config "max_depth";
+      min_samples_leaf = Bo.Config.get_int config "min_samples_leaf";
+      m_try = None;
+    }
+  in
+  let tree =
+    Decision_tree.Classifier.fit ~rng ~params ~x:train.Dataset.x
+      ~y:train.Dataset.y ~n_classes:train.Dataset.n_classes ()
+  in
+  let pred = Decision_tree.Classifier.predict_all tree test.Dataset.x in
+  let ir =
+    Model_ir.Tree
+      {
+        name = "model";
+        root = Decision_tree.Classifier.root tree;
+        n_features = Dataset.n_features train;
+        n_classes = train.Dataset.n_classes;
+      }
+  in
+  (ir, pred)
+
+let evaluate rng platform spec algorithm config =
+  let data = Model_spec.load spec in
+  let scaler, train = Scaler.fit_dataset data.Model_spec.train in
+  let test = Scaler.apply_dataset scaler data.Model_spec.test in
+  let model_ir, pred =
+    match algorithm with
+    | Model_spec.Dnn -> train_dnn rng config ~train ~test
+    | Model_spec.Kmeans -> train_kmeans rng config ~train ~test
+    | Model_spec.Svm -> train_svm rng config ~train ~test
+    | Model_spec.Tree -> train_tree rng config ~train ~test
+  in
+  let model_ir = Model_ir.with_name model_ir (Model_spec.name spec) in
+  (* Deployed pipelines parse raw packet features; absorb the training-time
+     standardization into the model so the artifact is self-contained. *)
+  let model_ir =
+    Model_ir.fold_standardization ~mean:(Scaler.mean scaler)
+      ~stddev:(Scaler.stddev scaler) model_ir
+  in
+  let objective =
+    metric_value (Model_spec.metric spec) ~n_classes:test.Dataset.n_classes
+      ~pred ~truth:test.Dataset.y
+  in
+  let verdict = Platform.estimate platform model_ir in
+  { algorithm; config; model_ir; verdict; objective }
+
+let to_bo_evaluation artifact =
+  let usage_meta =
+    List.map
+      (fun u -> (u.Resource.resource, u.Resource.used))
+      artifact.verdict.Resource.usages
+  in
+  {
+    Bo.Optimizer.objective = artifact.objective;
+    feasible = artifact.verdict.Resource.feasible;
+    metadata =
+      [
+        ("params", float_of_int (Model_ir.param_count artifact.model_ir));
+        ("latency_ns", artifact.verdict.Resource.latency_ns);
+        ("throughput_gpps", artifact.verdict.Resource.throughput_gpps);
+      ]
+      @ usage_meta;
+  }

@@ -1,0 +1,31 @@
+(** The black box the Bayesian optimizer probes (paper §3.2.4): take one
+    suggested configuration, train the corresponding model with the ML
+    framework, measure the user's objective on held-out data, then generate
+    the hardware mapping and query the backend for feasibility. *)
+
+open Homunculus_alchemy
+open Homunculus_backends
+
+type artifact = {
+  algorithm : Model_spec.algorithm;
+  config : Homunculus_bo.Config.t;
+  model_ir : Model_ir.t;
+  verdict : Resource.verdict;
+  objective : float;  (** the spec's metric on its test split, in [0, 1] *)
+}
+
+val evaluate :
+  Homunculus_util.Rng.t ->
+  Platform.t ->
+  Model_spec.t ->
+  Model_spec.algorithm ->
+  Homunculus_bo.Config.t ->
+  artifact
+(** Train + map + judge one configuration. Features are standardized with a
+    scaler fitted on the training split; DNNs hold out 20% of the training
+    data for early stopping so the test split stays untouched during
+    training. *)
+
+val to_bo_evaluation : artifact -> Homunculus_bo.Optimizer.evaluation
+(** Objective + feasibility + backend measurements as metadata
+    ("params", "latency_ns", "throughput_gpps", plus per-resource usage). *)

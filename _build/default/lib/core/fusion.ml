@@ -1,0 +1,78 @@
+open Homunculus_alchemy
+module Dataset = Homunculus_ml.Dataset
+
+module StringSet = Set.Make (String)
+
+let feature_set spec = StringSet.of_list (Array.to_list (Model_spec.feature_names spec))
+
+let feature_overlap a b =
+  let fa = feature_set a and fb = feature_set b in
+  let union = StringSet.union fa fb in
+  if StringSet.is_empty union then 0.
+  else
+    float_of_int (StringSet.cardinal (StringSet.inter fa fb))
+    /. float_of_int (StringSet.cardinal union)
+
+let default_threshold = 0.5
+
+let can_fuse ?(threshold = default_threshold) a b =
+  let da = Model_spec.load a and db = Model_spec.load b in
+  feature_overlap a b >= threshold
+  && Model_spec.metric a = Model_spec.metric b
+  && da.Model_spec.train.Dataset.n_classes = db.Model_spec.train.Dataset.n_classes
+
+(* Project a dataset into a wider feature schema; absent features become 0. *)
+let project (d : Dataset.t) union_names =
+  let position name =
+    let rec go i =
+      if i >= Array.length d.Dataset.feature_names then None
+      else if String.equal d.Dataset.feature_names.(i) name then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let columns = Array.map position union_names in
+  let x =
+    Array.map
+      (fun row ->
+        Array.map (function Some c -> row.(c) | None -> 0.) columns)
+      d.Dataset.x
+  in
+  Dataset.create ~feature_names:union_names ~x ~y:(Array.copy d.Dataset.y)
+    ~n_classes:d.Dataset.n_classes ()
+
+let fuse ~name a b =
+  let da = Model_spec.load a and db = Model_spec.load b in
+  if da.Model_spec.train.Dataset.n_classes <> db.Model_spec.train.Dataset.n_classes
+  then invalid_arg "Fusion.fuse: label spaces disagree";
+  if Model_spec.metric a <> Model_spec.metric b then
+    invalid_arg "Fusion.fuse: metrics disagree";
+  let union_names =
+    let fa = Array.to_list (Model_spec.feature_names a) in
+    let fb = Array.to_list (Model_spec.feature_names b) in
+    Array.of_list (fa @ List.filter (fun n -> not (List.mem n fa)) fb)
+  in
+  let algorithms =
+    let inter =
+      List.filter
+        (fun x -> List.mem x (Model_spec.algorithms b))
+        (Model_spec.algorithms a)
+    in
+    if inter = [] then
+      Model_spec.algorithms a @ Model_spec.algorithms b
+    else inter
+  in
+  let loader () =
+    let train =
+      Dataset.concat_samples
+        (project da.Model_spec.train union_names)
+        (project db.Model_spec.train union_names)
+    in
+    let test =
+      Dataset.concat_samples
+        (project da.Model_spec.test union_names)
+        (project db.Model_spec.test union_names)
+    in
+    Model_spec.data ~train ~test
+  in
+  Model_spec.make ~name ~metric:(Model_spec.metric a) ~algorithms ~loader ()

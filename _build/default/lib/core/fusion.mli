@@ -1,0 +1,24 @@
+(** Model fusion (paper §3.2.5): models learning from similar datasets are
+    likely learning similar characteristics, so when two specs share enough
+    features Homunculus builds a single model serving both — eliminating
+    inter-model communication and redundant weights (Table 4 shows fusion
+    cutting resource usage roughly in half). *)
+
+open Homunculus_alchemy
+
+val feature_overlap : Model_spec.t -> Model_spec.t -> float
+(** Jaccard similarity of the two specs' feature-name sets, in [0, 1]. *)
+
+val default_threshold : float
+(** 0.5 — fuse when at least half the combined feature set is shared. *)
+
+val can_fuse : ?threshold:float -> Model_spec.t -> Model_spec.t -> bool
+(** Overlap above threshold, same metric, same label space. *)
+
+val fuse : name:string -> Model_spec.t -> Model_spec.t -> Model_spec.t
+(** A new spec over the union of the feature sets: samples from either
+    source are projected into the union schema (missing features filled with
+    0) and pooled, for both train and test splits. The fused spec's
+    algorithm shortlist is the intersection of the sources' (falling back to
+    the union if disjoint). @raise Invalid_argument if label spaces or
+    metrics disagree. *)

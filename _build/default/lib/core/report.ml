@@ -1,0 +1,106 @@
+open Homunculus_alchemy
+open Homunculus_backends
+module Bo = Homunculus_bo
+
+let verdict_summary (v : Resource.verdict) =
+  let usage_part =
+    String.concat ", "
+      (List.map
+         (fun u -> Printf.sprintf "%.0f %s" u.Resource.used u.Resource.resource)
+         v.Resource.usages)
+  in
+  Printf.sprintf "%s, %.1f ns, %.3f Gpkt/s, %s" usage_part v.Resource.latency_ns
+    v.Resource.throughput_gpps
+    (if v.Resource.feasible then "FEASIBLE" else "INFEASIBLE")
+
+let model_row (r : Compiler.model_result) =
+  let a = r.Compiler.artifact in
+  let usage_cols =
+    String.concat " "
+      (List.map
+         (fun u -> Printf.sprintf "%6.0f" u.Resource.used)
+         a.Evaluator.verdict.Resource.usages)
+  in
+  Printf.sprintf "%-24s %-7s %6d %7.2f  %s"
+    (Model_spec.name r.Compiler.spec)
+    (Model_spec.algorithm_to_string a.Evaluator.algorithm)
+    (Model_ir.param_count a.Evaluator.model_ir)
+    (100. *. a.Evaluator.objective)
+    usage_cols
+
+let model_table ~header rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length header) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (model_row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let regret_series history =
+  let curve = Bo.History.best_so_far history in
+  let out = ref [] in
+  Array.iteri
+    (fun i v -> if v > neg_infinity then out := (i + 1, v) :: !out)
+    curve;
+  Array.of_list (List.rev !out)
+
+let render_regret ?(width = 60) ?(height = 12) history =
+  let series = regret_series history in
+  if Array.length series = 0 then "(no feasible evaluations)"
+  else begin
+    let values = Array.map snd series in
+    let lo = Homunculus_util.Stats.min values in
+    let hi = Homunculus_util.Stats.max values in
+    let span = if hi -. lo < 1e-9 then 1. else hi -. lo in
+    let n = Array.length series in
+    let grid = Array.make_matrix height width ' ' in
+    for col = 0 to width - 1 do
+      let idx = col * (n - 1) / Stdlib.max 1 (width - 1) in
+      let _, v = series.(Stdlib.min idx (n - 1)) in
+      let row =
+        int_of_float ((v -. lo) /. span *. float_of_int (height - 1))
+      in
+      let row = height - 1 - row in
+      grid.(row).(col) <- '*'
+    done;
+    let buf = Buffer.create 1024 in
+    Array.iteri
+      (fun i row ->
+        let label =
+          if i = 0 then Printf.sprintf "%6.2f |" (100. *. hi)
+          else if i = height - 1 then Printf.sprintf "%6.2f |" (100. *. lo)
+          else "       |"
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> row.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf "       +";
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_string buf "\n        iteration 1 .. ";
+    Buffer.add_string buf (string_of_int (Bo.History.length history));
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end
+
+let config_summary = Bo.Config.to_string
+
+let result_summary (r : Compiler.result) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "platform: %s\nschedule: %s\n\n"
+    (Platform.name r.Compiler.platform)
+    (Schedule.to_string r.Compiler.schedule);
+  Buffer.add_string buf
+    (model_table
+       ~header:
+         (Printf.sprintf "%-24s %-7s %6s %7s  %s" "model" "algo" "params"
+            "score" "resources")
+       r.Compiler.models);
+  Printf.bprintf buf "\npipeline: %s\n"
+    (verdict_summary r.Compiler.combined.Schedule.verdict);
+  Buffer.contents buf

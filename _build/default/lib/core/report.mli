@@ -1,0 +1,23 @@
+(** Human-readable reporting of compiler results: the paper-style tables and
+    regret curves the bench harness prints. *)
+
+val model_row : Compiler.model_result -> string
+(** One Table-2-style row: name, algorithm, #params, objective (percent),
+    and the platform's resource columns. *)
+
+val model_table : header:string -> Compiler.model_result list -> string
+
+val verdict_summary : Homunculus_backends.Resource.verdict -> string
+(** "24 CU, 48 MU, 40.0 ns, 1.000 Gpkt/s, FEASIBLE"-style line. *)
+
+val regret_series : Homunculus_bo.History.t -> (int * float) array
+(** (iteration, best-so-far) pairs with the [neg_infinity] prefix removed. *)
+
+val render_regret :
+  ?width:int -> ?height:int -> Homunculus_bo.History.t -> string
+(** ASCII plot of the regret curve (Figs. 4 and 7). *)
+
+val config_summary : Homunculus_bo.Config.t -> string
+
+val result_summary : Compiler.result -> string
+(** Multi-line overview: per-model rows plus the schedule-level verdict. *)

@@ -1,0 +1,83 @@
+open Homunculus_alchemy
+open Homunculus_backends
+module Bo = Homunculus_bo
+module Mathx = Homunculus_util.Mathx
+
+let max_dnn_layers = 10
+
+let dnn_width_bound platform ~input_dim =
+  let raw =
+    match platform.Platform.target with
+    | Platform.Taurus grid ->
+        (* Widest single layer at II=1:
+           ceil(input/vec) * ceil(w/lanes) <= available CUs. *)
+        let in_cols = Mathx.ceil_div input_dim grid.Taurus.vec_width in
+        let max_pairs = Taurus.available_cus grid / Stdlib.max 1 in_cols in
+        max_pairs * grid.Taurus.lanes
+    | Platform.Fpga _ -> 64
+    | Platform.Tofino _ -> 8 (* binarized slices explode past this *)
+  in
+  Mathx.clamp_int ~lo:4 ~hi:64 raw
+
+let batch_sizes = [| 16.; 32.; 64.; 128. |]
+
+let dnn_space platform ~input_dim =
+  let width_hi = dnn_width_bound platform ~input_dim in
+  let width_params =
+    List.init max_dnn_layers (fun i ->
+        Bo.Param.int (Printf.sprintf "width%d" i) ~lo:2 ~hi:width_hi)
+  in
+  Bo.Design_space.create
+    ([
+       Bo.Param.int "n_layers" ~lo:1 ~hi:max_dnn_layers;
+       Bo.Param.real "learning_rate" ~log_scale:true ~lo:1e-4 ~hi:1e-1;
+       Bo.Param.ordinal "batch_size" batch_sizes;
+       Bo.Param.int "epochs" ~lo:8 ~hi:40;
+       Bo.Param.categorical "activation" [| "relu"; "tanh" |];
+       Bo.Param.real "weight_decay" ~log_scale:true ~lo:1e-7 ~hi:1e-2;
+       Bo.Param.ordinal "lr_decay" [| 0.9; 0.97; 1.0 |];
+     ]
+    @ width_params)
+
+let kmeans_space platform =
+  let k_hi =
+    match platform.Platform.target with
+    | Platform.Tofino device -> Stdlib.max 1 device.Tofino.n_tables
+    | Platform.Taurus _ | Platform.Fpga _ -> 16
+  in
+  (* The search is over the cluster count only (the quantity MATs pay for);
+     Lloyd restarts and iteration caps are fixed robust values inside the
+     evaluator so the objective is a stable function of k.
+     k = 1 is the degenerate single-table fallback of Fig. 7's K1. *)
+  Bo.Design_space.create [ Bo.Param.int "k" ~lo:1 ~hi:k_hi ]
+
+let svm_space =
+  Bo.Design_space.create
+    [
+      Bo.Param.real "lambda" ~log_scale:true ~lo:1e-6 ~hi:1e-2;
+      Bo.Param.int "epochs" ~lo:5 ~hi:40;
+    ]
+
+let tree_space platform =
+  let depth_hi =
+    match platform.Platform.target with
+    | Platform.Tofino device -> Stdlib.max 2 (device.Tofino.n_stages - 2)
+    | Platform.Taurus _ | Platform.Fpga _ -> 14
+  in
+  Bo.Design_space.create
+    [
+      Bo.Param.int "max_depth" ~lo:2 ~hi:depth_hi;
+      Bo.Param.int "min_samples_leaf" ~lo:1 ~hi:16;
+    ]
+
+let build platform algo ~input_dim =
+  match algo with
+  | Model_spec.Dnn -> dnn_space platform ~input_dim
+  | Model_spec.Kmeans -> kmeans_space platform
+  | Model_spec.Svm -> svm_space
+  | Model_spec.Tree -> tree_space platform
+
+let hidden_layers_of_config config =
+  let n = Bo.Config.get_int config "n_layers" in
+  Array.init n (fun i ->
+      Bo.Config.get_int config (Printf.sprintf "width%d" i))

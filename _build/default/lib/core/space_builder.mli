@@ -1,0 +1,34 @@
+(** Automated design-space creation (paper §3.2.2): derive bounded search
+    spaces for each candidate algorithm, with bounds informed by the target
+    platform's resources.
+
+    For DNNs the space covers both neural architecture (depth, per-layer
+    widths, activation) and training hyperparameters (learning rate, batch
+    size, epochs). The per-layer width parameters are fixed-arity: widths
+    beyond the sampled depth are simply unused by the evaluator, keeping the
+    space rectangular as HyperMapper requires. *)
+
+open Homunculus_alchemy
+
+val max_dnn_layers : int
+(** Upper bound on searched hidden-layer count (10, matching the deepest
+    model the paper reports in Table 2). *)
+
+val dnn_width_bound : Platform.t -> input_dim:int -> int
+(** Largest hidden-layer width worth trying on this platform: the widest
+    layer that can still meet II = 1 on a Taurus grid (or a generous default
+    elsewhere), clamped to [4, 64]. This is how platform resources shrink
+    the space before any search happens. *)
+
+val batch_sizes : float array
+(** Ordinal batch-size domain shared with the evaluator. *)
+
+val build :
+  Platform.t ->
+  Model_spec.algorithm ->
+  input_dim:int ->
+  Homunculus_bo.Design_space.t
+(** The search space for one (platform, algorithm) pair. *)
+
+val hidden_layers_of_config : Homunculus_bo.Config.t -> int array
+(** Decode a DNN config's depth + active widths. *)

@@ -1,0 +1,1 @@
+lib/ml/activation.ml: Array Homunculus_util

@@ -1,0 +1,1 @@
+lib/ml/dataset.ml: Array Float Homunculus_util Printf String

@@ -1,0 +1,1 @@
+lib/ml/dataset_io.ml: Array Buffer Dataset In_channel List Option Out_channel Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ml/dataset_io.mli: Dataset

@@ -1,0 +1,1 @@
+lib/ml/decision_tree.ml: Array Homunculus_util List Stdlib

@@ -1,0 +1,1 @@
+lib/ml/decision_tree.mli: Homunculus_util

@@ -1,0 +1,1 @@
+lib/ml/kmeans.ml: Array Homunculus_tensor Homunculus_util Option Stdlib Vec

@@ -1,0 +1,1 @@
+lib/ml/layer.ml: Activation Array Homunculus_tensor Homunculus_util Mat Vec

@@ -1,0 +1,1 @@
+lib/ml/layer.mli: Activation Homunculus_tensor Homunculus_util Mat Vec

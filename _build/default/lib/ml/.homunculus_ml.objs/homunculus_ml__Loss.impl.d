@@ -1,0 +1,1 @@
+lib/ml/loss.ml: Array Homunculus_util

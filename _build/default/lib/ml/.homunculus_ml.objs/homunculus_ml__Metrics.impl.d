@@ -1,0 +1,1 @@
+lib/ml/metrics.ml: Array Homunculus_util Stdlib

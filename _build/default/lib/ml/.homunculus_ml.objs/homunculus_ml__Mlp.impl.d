@@ -1,0 +1,1 @@
+lib/ml/mlp.ml: Activation Array Homunculus_tensor Layer Loss Mat Vec

@@ -1,0 +1,1 @@
+lib/ml/mlp.mli: Activation Homunculus_tensor Homunculus_util Layer Loss Vec

@@ -1,0 +1,1 @@
+lib/ml/random_forest.ml: Array Decision_tree Homunculus_util Stdlib

@@ -1,0 +1,1 @@
+lib/ml/random_forest.mli: Decision_tree Homunculus_util

@@ -1,0 +1,1 @@
+lib/ml/svm.ml: Array Dataset Homunculus_util

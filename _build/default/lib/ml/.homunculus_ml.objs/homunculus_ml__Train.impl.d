@@ -1,0 +1,1 @@
+lib/ml/train.ml: Array Dataset Homunculus_util List Metrics Mlp Optimizer

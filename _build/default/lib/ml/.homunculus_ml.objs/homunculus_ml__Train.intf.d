@@ -1,0 +1,1 @@
+lib/ml/train.mli: Dataset Homunculus_util Mlp Optimizer

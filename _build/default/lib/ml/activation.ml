@@ -1,0 +1,32 @@
+type t = Relu | Sigmoid | Tanh | Linear
+
+let apply t x =
+  match t with
+  | Relu -> if x > 0. then x else 0.
+  | Sigmoid -> Homunculus_util.Mathx.sigmoid x
+  | Tanh -> tanh x
+  | Linear -> x
+
+let derivative t ~z ~a =
+  match t with
+  | Relu -> if z > 0. then 1. else 0.
+  | Sigmoid -> a *. (1. -. a)
+  | Tanh -> 1. -. (a *. a)
+  | Linear -> 1.
+
+let apply_vec t v = Array.map (apply t) v
+
+let name = function
+  | Relu -> "relu"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Linear -> "linear"
+
+let of_name = function
+  | "relu" -> Relu
+  | "sigmoid" -> Sigmoid
+  | "tanh" -> Tanh
+  | "linear" -> Linear
+  | other -> invalid_arg ("Activation.of_name: unknown activation " ^ other)
+
+let all = [| Relu; Sigmoid; Tanh; Linear |]

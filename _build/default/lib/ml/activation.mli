@@ -1,0 +1,17 @@
+(** Element-wise activation functions for dense layers. *)
+
+type t = Relu | Sigmoid | Tanh | Linear
+
+val apply : t -> float -> float
+
+val derivative : t -> z:float -> a:float -> float
+(** Derivative with respect to the pre-activation [z], given both [z] and the
+    already-computed activation [a] (avoids recomputing exp for sigmoid and
+    tanh). *)
+
+val apply_vec : t -> float array -> float array
+val name : t -> string
+val of_name : string -> t
+(** @raise Invalid_argument on unknown names. *)
+
+val all : t array

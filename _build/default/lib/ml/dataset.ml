@@ -1,0 +1,92 @@
+module Rng = Homunculus_util.Rng
+
+type t = {
+  x : float array array;
+  y : int array;
+  n_classes : int;
+  feature_names : string array;
+}
+
+let create ?feature_names ~x ~y ~n_classes () =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Dataset.create: |x| <> |y|";
+  if n_classes <= 0 then invalid_arg "Dataset.create: n_classes <= 0";
+  let d = if n = 0 then 0 else Array.length x.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> d then invalid_arg "Dataset.create: ragged features")
+    x;
+  Array.iter
+    (fun label ->
+      if label < 0 || label >= n_classes then
+        invalid_arg "Dataset.create: label out of range")
+    y;
+  let feature_names =
+    match feature_names with
+    | Some names ->
+        if Array.length names <> d then
+          invalid_arg "Dataset.create: feature_names length mismatch";
+        names
+    | None -> Array.init d (fun i -> Printf.sprintf "f%d" i)
+  in
+  { x; y; n_classes; feature_names }
+
+let n_samples t = Array.length t.x
+let n_features t = Array.length t.feature_names
+
+let subset t indices =
+  {
+    t with
+    x = Array.map (fun i -> Array.copy t.x.(i)) indices;
+    y = Array.map (fun i -> t.y.(i)) indices;
+  }
+
+let shuffle rng t = subset t (Rng.permutation rng (n_samples t))
+
+let split rng ~train_frac t =
+  if train_frac <= 0. || train_frac >= 1. then
+    invalid_arg "Dataset.split: train_frac outside (0, 1)";
+  let n = n_samples t in
+  let perm = Rng.permutation rng n in
+  let n_train = int_of_float (Float.round (train_frac *. float_of_int n)) in
+  let n_train = Homunculus_util.Mathx.clamp_int ~lo:1 ~hi:(n - 1) n_train in
+  let train_idx = Array.sub perm 0 n_train in
+  let test_idx = Array.sub perm n_train (n - n_train) in
+  (subset t train_idx, subset t test_idx)
+
+let class_counts t =
+  let counts = Array.make t.n_classes 0 in
+  Array.iter (fun label -> counts.(label) <- counts.(label) + 1) t.y;
+  counts
+
+let select_features t cols =
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= n_features t then
+        invalid_arg "Dataset.select_features: column out of range")
+    cols;
+  {
+    t with
+    x = Array.map (fun row -> Array.map (fun c -> row.(c)) cols) t.x;
+    feature_names = Array.map (fun c -> t.feature_names.(c)) cols;
+  }
+
+let feature_index t name =
+  let rec go i =
+    if i >= Array.length t.feature_names then None
+    else if String.equal t.feature_names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let concat_samples a b =
+  if a.n_classes <> b.n_classes then
+    invalid_arg "Dataset.concat_samples: n_classes mismatch";
+  if a.feature_names <> b.feature_names then
+    invalid_arg "Dataset.concat_samples: feature schema mismatch";
+  { a with x = Array.append a.x b.x; y = Array.append a.y b.y }
+
+let one_hot ~n_classes label =
+  let v = Array.make n_classes 0. in
+  v.(label) <- 1.;
+  v

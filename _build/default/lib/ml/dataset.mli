@@ -1,0 +1,50 @@
+(** Labeled datasets for supervised training.
+
+    A dataset is a feature matrix plus integer class labels in
+    [0 .. n_classes - 1]. Feature names travel with the data because the
+    model-fusion pass (paper §3.2.5) reasons about feature-set overlap by
+    name. *)
+
+type t = {
+  x : float array array;  (** [x.(i)] is the feature vector of sample [i] *)
+  y : int array;  (** class labels, same length as [x] *)
+  n_classes : int;
+  feature_names : string array;  (** length = feature count *)
+}
+
+val create :
+  ?feature_names:string array ->
+  x:float array array ->
+  y:int array ->
+  n_classes:int ->
+  unit ->
+  t
+(** @raise Invalid_argument on length mismatches, ragged features, or labels
+    outside [0, n_classes). Default feature names are ["f0"; "f1"; ...]. *)
+
+val n_samples : t -> int
+val n_features : t -> int
+
+val shuffle : Homunculus_util.Rng.t -> t -> t
+(** Fresh dataset with rows permuted uniformly. *)
+
+val split : Homunculus_util.Rng.t -> train_frac:float -> t -> t * t
+(** Shuffled train/test split. @raise Invalid_argument unless
+    [0. < train_frac < 1.]. *)
+
+val subset : t -> int array -> t
+(** Select rows by index. *)
+
+val class_counts : t -> int array
+
+val select_features : t -> int array -> t
+(** Project onto a subset of feature columns (by index). *)
+
+val feature_index : t -> string -> int option
+(** Look up a feature column by name. *)
+
+val concat_samples : t -> t -> t
+(** Stack the rows of two datasets with identical schemas.
+    @raise Invalid_argument on schema mismatch. *)
+
+val one_hot : n_classes:int -> int -> float array

@@ -1,0 +1,86 @@
+let to_csv (d : Dataset.t) =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf ',')
+    d.Dataset.feature_names;
+  Buffer.add_string buf "label\n";
+  Array.iteri
+    (fun i row ->
+      Array.iter
+        (fun v ->
+          Buffer.add_string buf (Printf.sprintf "%.17g" v);
+          Buffer.add_char buf ',')
+        row;
+      Buffer.add_string buf (string_of_int d.Dataset.y.(i));
+      Buffer.add_char buf '\n')
+    d.Dataset.x;
+  Buffer.contents buf
+
+let split_line line = String.split_on_char ',' line |> List.map String.trim
+
+let fail_at line_no fmt =
+  Printf.ksprintf
+    (fun msg -> invalid_arg (Printf.sprintf "Dataset_io: line %d: %s" line_no msg))
+    fmt
+
+let of_csv ?(label_column = "label") text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> invalid_arg "Dataset_io: empty document"
+  | header :: rows ->
+      let columns = split_line header in
+      let n_columns = List.length columns in
+      let label_index =
+        let rec find i = function
+          | [] -> invalid_arg ("Dataset_io: no column named " ^ label_column)
+          | c :: _ when String.equal c label_column -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 columns
+      in
+      let feature_names =
+        columns
+        |> List.filteri (fun i _ -> i <> label_index)
+        |> Array.of_list
+      in
+      let parse_row line_no line =
+        let cells = split_line line in
+        if List.length cells <> n_columns then
+          fail_at line_no "expected %d columns, found %d" n_columns
+            (List.length cells);
+        let label = ref None in
+        let features = ref [] in
+        List.iteri
+          (fun i cell ->
+            if i = label_index then begin
+              match int_of_string_opt cell with
+              | Some v when v >= 0 -> label := Some v
+              | Some _ -> fail_at line_no "negative label %s" cell
+              | None -> fail_at line_no "label %S is not an integer" cell
+            end
+            else
+              match float_of_string_opt cell with
+              | Some v -> features := v :: !features
+              | None -> fail_at line_no "cell %S is not numeric" cell)
+          cells;
+        (Array.of_list (List.rev !features), Option.get !label)
+      in
+      let parsed = List.mapi (fun i line -> parse_row (i + 2) line) rows in
+      if parsed = [] then invalid_arg "Dataset_io: no data rows";
+      let x = Array.of_list (List.map fst parsed) in
+      let y = Array.of_list (List.map snd parsed) in
+      let n_classes = 1 + Array.fold_left Stdlib.max 0 y in
+      Dataset.create ~feature_names ~x ~y ~n_classes ()
+
+let save ~path d =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_csv d))
+
+let load ?label_column path =
+  of_csv ?label_column (In_channel.with_open_text path In_channel.input_all)

@@ -1,0 +1,22 @@
+(** CSV import/export for datasets.
+
+    The paper's Alchemy example loads "train_ad.csv" through its @DataLoader
+    (Fig. 3); this module provides that file format. The dialect is plain
+    RFC-4180-without-quoting: comma-separated numeric columns, one header
+    row naming the features, and the label in a designated column (default:
+    last, named "label"). *)
+
+val to_csv : Dataset.t -> string
+(** Header row of feature names plus "label"; one row per sample. Floats
+    print via [%.17g] so a round-trip is value-exact. *)
+
+val of_csv : ?label_column:string -> string -> Dataset.t
+(** Parse a document produced by {!to_csv} (or hand-written in the same
+    dialect). [label_column] defaults to ["label"]; labels must be
+    non-negative integers, and [n_classes] is inferred as [max label + 1].
+    @raise Invalid_argument on ragged rows, missing label column,
+    non-numeric cells, or fractional labels (with a line number). *)
+
+val save : path:string -> Dataset.t -> unit
+val load : ?label_column:string -> string -> Dataset.t
+(** [load path] reads a CSV file. @raise Sys_error on I/O failure. *)

@@ -1,0 +1,224 @@
+module Rng = Homunculus_util.Rng
+
+type node =
+  | Leaf of { distribution : float array }
+  | Split of { feature : int; threshold : float; left : node; right : node }
+
+type params = { max_depth : int; min_samples_leaf : int; m_try : int option }
+
+let default_params = { max_depth = 12; min_samples_leaf = 2; m_try = None }
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Split { left; right; _ } -> 1 + Stdlib.max (depth left) (depth right)
+
+let rec n_leaves = function
+  | Leaf _ -> 1
+  | Split { left; right; _ } -> n_leaves left + n_leaves right
+
+let rec n_nodes = function
+  | Leaf _ -> 1
+  | Split { left; right; _ } -> 1 + n_nodes left + n_nodes right
+
+let candidate_features rng ~n_features ~m_try =
+  match (rng, m_try) with
+  | Some rng, Some m when m < n_features -> Rng.sample_indices rng ~n:n_features ~k:m
+  | _, _ -> Array.init n_features (fun j -> j)
+
+(* Shared split search: [stat] abstracts the impurity bookkeeping.
+   Values are sorted per feature; we sweep the boundary left-to-right and
+   evaluate the weighted impurity at each distinct-value boundary. *)
+
+let gini counts total =
+  if total = 0. then 0.
+  else
+    let acc = ref 1. in
+    Array.iter
+      (fun c ->
+        let p = c /. total in
+        acc := !acc -. (p *. p))
+      counts;
+    !acc
+
+type split_result = { feature : int; threshold : float; score : float }
+
+let best_split_classification ~x ~y ~n_classes ~indices ~features ~min_leaf =
+  let n = Array.length indices in
+  let best = ref None in
+  Array.iter
+    (fun f ->
+      let pairs =
+        Array.map (fun i -> (x.(i).(f), y.(i))) indices
+      in
+      Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+      let left = Array.make n_classes 0. in
+      let right = Array.make n_classes 0. in
+      Array.iter (fun (_, label) -> right.(label) <- right.(label) +. 1.) pairs;
+      for cut = 1 to n - 1 do
+        let _, label = pairs.(cut - 1) in
+        left.(label) <- left.(label) +. 1.;
+        right.(label) <- right.(label) -. 1.;
+        let v_prev = fst pairs.(cut - 1) and v_next = fst pairs.(cut) in
+        if v_prev < v_next && cut >= min_leaf && n - cut >= min_leaf then begin
+          let nl = float_of_int cut and nr = float_of_int (n - cut) in
+          let score =
+            ((nl *. gini left nl) +. (nr *. gini right nr)) /. float_of_int n
+          in
+          match !best with
+          | Some b when b.score <= score -> ()
+          | Some _ | None ->
+              best :=
+                Some { feature = f; threshold = (v_prev +. v_next) /. 2.; score }
+        end
+      done)
+    features;
+  !best
+
+let best_split_regression ~x ~y ~indices ~features ~min_leaf =
+  let n = Array.length indices in
+  let best = ref None in
+  Array.iter
+    (fun f ->
+      let pairs = Array.map (fun i -> (x.(i).(f), y.(i))) indices in
+      Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+      let sum_r = ref 0. and sq_r = ref 0. in
+      Array.iter
+        (fun (_, v) ->
+          sum_r := !sum_r +. v;
+          sq_r := !sq_r +. (v *. v))
+        pairs;
+      let sum_l = ref 0. and sq_l = ref 0. in
+      for cut = 1 to n - 1 do
+        let _, v = pairs.(cut - 1) in
+        sum_l := !sum_l +. v;
+        sq_l := !sq_l +. (v *. v);
+        sum_r := !sum_r -. v;
+        sq_r := !sq_r -. (v *. v);
+        let v_prev = fst pairs.(cut - 1) and v_next = fst pairs.(cut) in
+        if v_prev < v_next && cut >= min_leaf && n - cut >= min_leaf then begin
+          let nl = float_of_int cut and nr = float_of_int (n - cut) in
+          (* Sum of squared errors on each side. *)
+          let sse_l = !sq_l -. (!sum_l *. !sum_l /. nl) in
+          let sse_r = !sq_r -. (!sum_r *. !sum_r /. nr) in
+          let score = sse_l +. sse_r in
+          match !best with
+          | Some b when b.score <= score -> ()
+          | Some _ | None ->
+              best :=
+                Some { feature = f; threshold = (v_prev +. v_next) /. 2.; score }
+        end
+      done)
+    features;
+  !best
+
+let partition ~x ~indices ~feature ~threshold =
+  let left = ref [] and right = ref [] in
+  Array.iter
+    (fun i ->
+      if x.(i).(feature) <= threshold then left := i :: !left
+      else right := i :: !right)
+    indices;
+  (Array.of_list (List.rev !left), Array.of_list (List.rev !right))
+
+let rec predict_node node sample =
+  match node with
+  | Leaf { distribution } -> distribution
+  | Split { feature; threshold; left; right } ->
+      if sample.(feature) <= threshold then predict_node left sample
+      else predict_node right sample
+
+module Classifier = struct
+  type t = { root : node; n_classes : int }
+
+  let class_distribution ~y ~n_classes indices =
+    let counts = Array.make n_classes 0. in
+    Array.iter (fun i -> counts.(y.(i)) <- counts.(y.(i)) +. 1.) indices;
+    Homunculus_util.Stats.normalize counts
+
+  let fit ?rng ?(params = default_params) ~x ~y ~n_classes () =
+    let n = Array.length x in
+    if n = 0 then invalid_arg "Decision_tree.Classifier.fit: empty input";
+    if Array.length y <> n then
+      invalid_arg "Decision_tree.Classifier.fit: |x| <> |y|";
+    let n_features = Array.length x.(0) in
+    let rec build indices d =
+      let leaf () = Leaf { distribution = class_distribution ~y ~n_classes indices } in
+      let pure =
+        let first = y.(indices.(0)) in
+        Array.for_all (fun i -> y.(i) = first) indices
+      in
+      if
+        d >= params.max_depth || pure
+        || Array.length indices < 2 * params.min_samples_leaf
+      then leaf ()
+      else
+        let features = candidate_features rng ~n_features ~m_try:params.m_try in
+        match
+          best_split_classification ~x ~y ~n_classes ~indices ~features
+            ~min_leaf:params.min_samples_leaf
+        with
+        | None -> leaf ()
+        | Some { feature; threshold; _ } ->
+            let li, ri = partition ~x ~indices ~feature ~threshold in
+            if Array.length li = 0 || Array.length ri = 0 then leaf ()
+            else
+              Split
+                {
+                  feature;
+                  threshold;
+                  left = build li (d + 1);
+                  right = build ri (d + 1);
+                }
+    in
+    let root = build (Array.init n (fun i -> i)) 0 in
+    { root; n_classes }
+
+  let root t = t.root
+  let n_classes t = t.n_classes
+  let predict_proba t sample = predict_node t.root sample
+  let predict t sample = Homunculus_util.Stats.argmax (predict_proba t sample)
+  let predict_all t samples = Array.map (predict t) samples
+end
+
+module Regressor = struct
+  type t = { root : node }
+
+  let mean_of ~y indices =
+    let acc = ref 0. in
+    Array.iter (fun i -> acc := !acc +. y.(i)) indices;
+    !acc /. float_of_int (Array.length indices)
+
+  let fit ?rng ?(params = default_params) ~x ~y () =
+    let n = Array.length x in
+    if n = 0 then invalid_arg "Decision_tree.Regressor.fit: empty input";
+    if Array.length y <> n then
+      invalid_arg "Decision_tree.Regressor.fit: |x| <> |y|";
+    let n_features = Array.length x.(0) in
+    let rec build indices d =
+      let leaf () = Leaf { distribution = [| mean_of ~y indices |] } in
+      if d >= params.max_depth || Array.length indices < 2 * params.min_samples_leaf
+      then leaf ()
+      else
+        let features = candidate_features rng ~n_features ~m_try:params.m_try in
+        match
+          best_split_regression ~x ~y ~indices ~features
+            ~min_leaf:params.min_samples_leaf
+        with
+        | None -> leaf ()
+        | Some { feature; threshold; _ } ->
+            let li, ri = partition ~x ~indices ~feature ~threshold in
+            if Array.length li = 0 || Array.length ri = 0 then leaf ()
+            else
+              Split
+                {
+                  feature;
+                  threshold;
+                  left = build li (d + 1);
+                  right = build ri (d + 1);
+                }
+    in
+    { root = build (Array.init n (fun i -> i)) 0 }
+
+  let root t = t.root
+  let predict t sample = (predict_node t.root sample).(0)
+end

@@ -1,0 +1,148 @@
+open Homunculus_tensor
+module Rng = Homunculus_util.Rng
+
+type t = {
+  centroids : float array array;
+  inertia : float;
+  weights : float array;  (** fraction of training mass per cluster *)
+}
+
+let nearest centroids x =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun c mu ->
+      let d = Vec.sq_dist x mu in
+      if d < !best_d then begin
+        best := c;
+        best_d := d
+      end)
+    centroids;
+  (!best, !best_d)
+
+let plus_plus_init rng ~k x =
+  let n = Array.length x in
+  let centroids = Array.make k x.(Rng.int rng n) in
+  let dist2 = Array.make n infinity in
+  for c = 1 to k - 1 do
+    let prev = centroids.(c - 1) in
+    for i = 0 to n - 1 do
+      dist2.(i) <- Stdlib.min dist2.(i) (Vec.sq_dist x.(i) prev)
+    done;
+    let total = Array.fold_left ( +. ) 0. dist2 in
+    if total <= 0. then centroids.(c) <- x.(Rng.int rng n)
+    else begin
+      let target = Rng.float rng total in
+      let acc = ref 0. and chosen = ref (n - 1) in
+      (try
+         for i = 0 to n - 1 do
+           acc := !acc +. dist2.(i);
+           if target < !acc then begin
+             chosen := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      centroids.(c) <- x.(!chosen)
+    end
+  done;
+  Array.map Array.copy centroids
+
+let lloyd ~max_iter ~k x centroids =
+  let n = Array.length x in
+  let d = Array.length x.(0) in
+  let assign = Array.make n 0 in
+  let changed = ref true in
+  let iter = ref 0 in
+  while !changed && !iter < max_iter do
+    incr iter;
+    changed := false;
+    for i = 0 to n - 1 do
+      let c, _ = nearest centroids x.(i) in
+      if c <> assign.(i) then begin
+        assign.(i) <- c;
+        changed := true
+      end
+    done;
+    let sums = Array.make_matrix k d 0. in
+    let counts = Array.make k 0 in
+    for i = 0 to n - 1 do
+      let c = assign.(i) in
+      counts.(c) <- counts.(c) + 1;
+      for j = 0 to d - 1 do
+        sums.(c).(j) <- sums.(c).(j) +. x.(i).(j)
+      done
+    done;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then
+        centroids.(c) <-
+          Array.map (fun s -> s /. float_of_int counts.(c)) sums.(c)
+      (* Empty clusters keep their previous centroid. *)
+    done
+  done;
+  let inertia = ref 0. in
+  let counts = Array.make k 0 in
+  for i = 0 to n - 1 do
+    let c, dist = nearest centroids x.(i) in
+    counts.(c) <- counts.(c) + 1;
+    inertia := !inertia +. dist
+  done;
+  let weights =
+    Array.map (fun c -> float_of_int c /. float_of_int n) counts
+  in
+  { centroids; inertia = !inertia; weights }
+
+let fit rng ~k ?(max_iter = 100) ?(n_init = 3) x =
+  if k <= 0 then invalid_arg "Kmeans.fit: k <= 0";
+  if Array.length x < k then invalid_arg "Kmeans.fit: fewer samples than clusters";
+  let best = ref None in
+  for _ = 1 to Stdlib.max 1 n_init do
+    let model = lloyd ~max_iter ~k x (plus_plus_init rng ~k x) in
+    match !best with
+    | Some b when b.inertia <= model.inertia -> ()
+    | Some _ | None -> best := Some model
+  done;
+  Option.get !best
+
+let k t = Array.length t.centroids
+let centroids t = Array.map Array.copy t.centroids
+let inertia t = t.inertia
+
+let predict t x = fst (nearest t.centroids x)
+let predict_all t xs = Array.map (predict t) xs
+
+let merge_clusters t ~into =
+  if into < 1 || into > k t then invalid_arg "Kmeans.merge_clusters: bad target";
+  let centroids = ref (Array.map Array.copy t.centroids) in
+  let weights = ref (Array.copy t.weights) in
+  while Array.length !centroids > into do
+    let cs = !centroids and ws = !weights in
+    let m = Array.length cs in
+    (* Find the closest pair of centroids. *)
+    let bi = ref 0 and bj = ref 1 and best = ref infinity in
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        let d = Vec.sq_dist cs.(i) cs.(j) in
+        if d < !best then begin
+          best := d;
+          bi := i;
+          bj := j
+        end
+      done
+    done;
+    let wi = ws.(!bi) and wj = ws.(!bj) in
+    let wsum = if wi +. wj > 0. then wi +. wj else 1. in
+    let merged =
+      Array.init (Array.length cs.(0)) (fun idx ->
+          ((wi *. cs.(!bi).(idx)) +. (wj *. cs.(!bj).(idx))) /. wsum)
+    in
+    let next_c = ref [] and next_w = ref [] in
+    for i = m - 1 downto 0 do
+      if i <> !bi && i <> !bj then begin
+        next_c := cs.(i) :: !next_c;
+        next_w := ws.(i) :: !next_w
+      end
+    done;
+    centroids := Array.of_list (merged :: !next_c);
+    weights := Array.of_list ((wi +. wj) :: !next_w)
+  done;
+  { centroids = !centroids; weights = !weights; inertia = t.inertia }

@@ -1,0 +1,31 @@
+(** Lloyd's KMeans with kmeans++ initialization.
+
+    Used by the IIsy/MAT backend path (Fig. 7), where the cluster count is
+    bounded by the available match-action tables. *)
+
+type t
+
+val fit :
+  Homunculus_util.Rng.t ->
+  k:int ->
+  ?max_iter:int ->
+  ?n_init:int ->
+  float array array ->
+  t
+(** [n_init] independent restarts keep the best inertia (default 3,
+    [max_iter] default 100). @raise Invalid_argument if [k <= 0] or there are
+    fewer samples than clusters. *)
+
+val k : t -> int
+val centroids : t -> float array array
+val inertia : t -> float
+(** Sum of squared distances of samples to their assigned centroid. *)
+
+val predict : t -> float array -> int
+val predict_all : t -> float array array -> int array
+
+val merge_clusters : t -> into:int -> t
+(** Coarsen the model to [into] clusters by greedily merging the closest
+    centroid pairs (weighted by assigned mass). This is how Homunculus fits a
+    KMeans into fewer MATs at the cost of fidelity (paper §5.2.2).
+    @raise Invalid_argument unless [1 <= into <= k]. *)

@@ -1,0 +1,62 @@
+open Homunculus_tensor
+module Rng = Homunculus_util.Rng
+
+type t = {
+  w : Mat.t;
+  b : Vec.t;
+  act : Activation.t;
+  grad_w : Mat.t;
+  grad_b : Vec.t;
+}
+
+let create rng ~n_in ~n_out ~act =
+  let scale = sqrt (2. /. float_of_int n_in) in
+  {
+    w = Mat.init n_out n_in (fun _ _ -> Rng.gaussian rng ~sigma:scale ());
+    b = Vec.create n_out;
+    act;
+    grad_w = Mat.create n_out n_in;
+    grad_b = Vec.create n_out;
+  }
+
+let n_in t = t.w.Mat.cols
+let n_out t = t.w.Mat.rows
+let param_count t = Mat.n_elements t.w + Vec.dim t.b
+
+let forward t x =
+  let z = Mat.matvec t.w x in
+  Vec.add_in_place z t.b;
+  let a = Activation.apply_vec t.act z in
+  (z, a)
+
+let backward t ~x ~z ~a ~upstream =
+  (* delta = dL/dz = upstream (dL/da) * act'(z). *)
+  let delta =
+    Array.init (Vec.dim upstream) (fun i ->
+        upstream.(i) *. Activation.derivative t.act ~z:z.(i) ~a:a.(i))
+  in
+  Mat.outer_accum ~alpha:1. ~u:delta ~v:x ~acc:t.grad_w;
+  Vec.add_in_place t.grad_b delta;
+  Mat.matvec_t t.w delta
+
+let zero_grads t =
+  Array.fill t.grad_w.Mat.data 0 (Array.length t.grad_w.Mat.data) 0.;
+  Vec.fill t.grad_b 0.
+
+let scale_grads t alpha =
+  let d = t.grad_w.Mat.data in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- d.(i) *. alpha
+  done;
+  for i = 0 to Vec.dim t.grad_b - 1 do
+    t.grad_b.(i) <- t.grad_b.(i) *. alpha
+  done
+
+let copy t =
+  {
+    w = Mat.copy t.w;
+    b = Vec.copy t.b;
+    act = t.act;
+    grad_w = Mat.copy t.grad_w;
+    grad_b = Vec.copy t.grad_b;
+  }

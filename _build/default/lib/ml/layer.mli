@@ -1,0 +1,38 @@
+(** A fully connected (dense) layer: [a = act (W x + b)].
+
+    Weights are stored as an [n_out x n_in] matrix so a forward pass is a
+    single [Mat.matvec]. Gradient buffers live alongside the parameters and
+    are accumulated across a mini-batch, then consumed by the optimizer. *)
+
+open Homunculus_tensor
+
+type t = {
+  w : Mat.t;
+  b : Vec.t;
+  act : Activation.t;
+  grad_w : Mat.t;
+  grad_b : Vec.t;
+}
+
+val create :
+  Homunculus_util.Rng.t -> n_in:int -> n_out:int -> act:Activation.t -> t
+(** He-style initialization scaled by fan-in; biases start at zero. *)
+
+val n_in : t -> int
+val n_out : t -> int
+val param_count : t -> int
+
+val forward : t -> Vec.t -> Vec.t * Vec.t
+(** [forward layer x] is [(z, a)]: pre-activation and activation. *)
+
+val backward :
+  t -> x:Vec.t -> z:Vec.t -> a:Vec.t -> upstream:Vec.t -> Vec.t
+(** Accumulate parameter gradients for one sample and return dL/dx for the
+    layer below. [upstream] is dL/da. *)
+
+val zero_grads : t -> unit
+val scale_grads : t -> float -> unit
+(** Divide accumulated gradients, e.g. by the batch size. *)
+
+val copy : t -> t
+(** Deep copy (fresh parameter and gradient buffers). *)

@@ -1,0 +1,39 @@
+module Mathx = Homunculus_util.Mathx
+
+type t = Softmax_cross_entropy | Mse
+
+let value t ~logits ~target =
+  match t with
+  | Softmax_cross_entropy ->
+      let lse = Mathx.log_sum_exp logits in
+      let acc = ref 0. in
+      Array.iteri
+        (fun i ti -> if ti > 0. then acc := !acc -. (ti *. (logits.(i) -. lse)))
+        target;
+      !acc
+  | Mse ->
+      let acc = ref 0. in
+      Array.iteri
+        (fun i ti ->
+          let d = logits.(i) -. ti in
+          acc := !acc +. (d *. d))
+        target;
+      !acc /. float_of_int (Array.length logits)
+
+let gradient t ~logits ~target =
+  match t with
+  | Softmax_cross_entropy ->
+      let p = Mathx.softmax logits in
+      Array.mapi (fun i pi -> pi -. target.(i)) p
+  | Mse ->
+      let n = float_of_int (Array.length logits) in
+      Array.mapi (fun i li -> 2. *. (li -. target.(i)) /. n) logits
+
+let probabilities t logits =
+  match t with
+  | Softmax_cross_entropy -> Mathx.softmax logits
+  | Mse -> Array.copy logits
+
+let name = function
+  | Softmax_cross_entropy -> "softmax_cross_entropy"
+  | Mse -> "mse"

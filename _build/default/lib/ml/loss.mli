@@ -1,0 +1,18 @@
+(** Output losses. The MLP's final layer emits raw logits; the loss couples
+    the link function (softmax) with the error so the gradient with respect to
+    the logits stays numerically simple. *)
+
+type t =
+  | Softmax_cross_entropy  (** multi-class; also used for binary with 2 logits *)
+  | Mse  (** regression / auxiliary heads *)
+
+val value : t -> logits:float array -> target:float array -> float
+(** [target] is one-hot for cross-entropy, raw values for MSE. *)
+
+val gradient : t -> logits:float array -> target:float array -> float array
+(** dL/dlogits. For softmax cross-entropy this is [softmax logits - target]. *)
+
+val probabilities : t -> float array -> float array
+(** Decision-time link: softmax for cross-entropy, identity for MSE. *)
+
+val name : t -> string

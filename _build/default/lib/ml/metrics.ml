@@ -1,0 +1,95 @@
+module Stats = Homunculus_util.Stats
+
+let check_lengths pred truth =
+  if Array.length pred <> Array.length truth then
+    invalid_arg "Metrics: pred/truth length mismatch";
+  if Array.length pred = 0 then invalid_arg "Metrics: empty input"
+
+let confusion ~n_classes ~pred ~truth =
+  check_lengths pred truth;
+  let m = Array.make_matrix n_classes n_classes 0 in
+  Array.iteri
+    (fun i t ->
+      let p = pred.(i) in
+      if t < 0 || t >= n_classes || p < 0 || p >= n_classes then
+        invalid_arg "Metrics.confusion: label out of range";
+      m.(t).(p) <- m.(t).(p) + 1)
+    truth;
+  m
+
+let accuracy ~pred ~truth =
+  check_lengths pred truth;
+  let correct = ref 0 in
+  Array.iteri (fun i p -> if p = truth.(i) then incr correct) pred;
+  float_of_int !correct /. float_of_int (Array.length pred)
+
+let binary_counts ~positive ~pred ~truth =
+  check_lengths pred truth;
+  let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let t = truth.(i) in
+      if p = positive && t = positive then incr tp
+      else if p = positive && t <> positive then incr fp
+      else if p <> positive && t = positive then incr fn)
+    pred;
+  (!tp, !fp, !fn)
+
+let precision ?(positive = 1) ~pred ~truth () =
+  let tp, fp, _ = binary_counts ~positive ~pred ~truth in
+  if tp + fp = 0 then 0. else float_of_int tp /. float_of_int (tp + fp)
+
+let recall ?(positive = 1) ~pred ~truth () =
+  let tp, _, fn = binary_counts ~positive ~pred ~truth in
+  if tp + fn = 0 then 0. else float_of_int tp /. float_of_int (tp + fn)
+
+let f1 ?(positive = 1) ~pred ~truth () =
+  let p = precision ~positive ~pred ~truth () in
+  let r = recall ~positive ~pred ~truth () in
+  if p +. r = 0. then 0. else 2. *. p *. r /. (p +. r)
+
+let macro_f1 ~n_classes ~pred ~truth =
+  let acc = ref 0. in
+  for c = 0 to n_classes - 1 do
+    acc := !acc +. f1 ~positive:c ~pred ~truth ()
+  done;
+  !acc /. float_of_int n_classes
+
+(* Entropy-based clustering metrics over the cluster/class contingency
+   table. [pred] are cluster assignments, [truth] the ground-truth classes. *)
+let contingency ~pred ~truth =
+  check_lengths pred truth;
+  let k_pred = 1 + Array.fold_left Stdlib.max 0 pred in
+  let k_truth = 1 + Array.fold_left Stdlib.max 0 truth in
+  let table = Array.make_matrix k_truth k_pred 0. in
+  Array.iteri (fun i t -> table.(t).(pred.(i)) <- table.(t).(pred.(i)) +. 1.) truth;
+  table
+
+let class_entropy ~labels =
+  let k = 1 + Array.fold_left Stdlib.max 0 labels in
+  let counts = Array.make k 0. in
+  Array.iter (fun l -> counts.(l) <- counts.(l) +. 1.) labels;
+  Stats.entropy counts
+
+let conditional_entropy_truth_given_pred ~pred ~truth =
+  (* H(C|K) = H(C,K) - H(K). *)
+  let table = contingency ~pred ~truth in
+  let joint = Array.concat (Array.to_list (Array.map Array.copy table)) in
+  let h_joint = Stats.entropy joint in
+  let h_pred = class_entropy ~labels:pred in
+  h_joint -. h_pred
+
+let homogeneity ~pred ~truth =
+  let h_c = class_entropy ~labels:truth in
+  if h_c = 0. then 1.
+  else 1. -. (conditional_entropy_truth_given_pred ~pred ~truth /. h_c)
+
+let completeness ~pred ~truth = homogeneity ~pred:truth ~truth:pred
+
+let v_measure ?(beta = 1.) ~pred ~truth () =
+  let h = homogeneity ~pred ~truth in
+  let c = completeness ~pred ~truth in
+  if h +. c = 0. then 0.
+  else (1. +. beta) *. h *. c /. ((beta *. h) +. c)
+
+let f1_percent ?positive ~pred ~truth () = 100. *. f1 ?positive ~pred ~truth ()

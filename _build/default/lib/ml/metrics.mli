@@ -1,0 +1,36 @@
+(** Classification and clustering quality metrics.
+
+    The paper's objective metrics are the F1 score (Tables 2, Fig. 4) and the
+    V-measure for clustering on match-action tables (Fig. 7). *)
+
+val confusion :
+  n_classes:int -> pred:int array -> truth:int array -> int array array
+(** [m.(truth).(pred)] counts. @raise Invalid_argument on length mismatch or
+    out-of-range labels. *)
+
+val accuracy : pred:int array -> truth:int array -> float
+
+val precision : ?positive:int -> pred:int array -> truth:int array -> unit -> float
+(** Binary precision for the given positive class (default [1]); [0.] when no
+    positive predictions exist. *)
+
+val recall : ?positive:int -> pred:int array -> truth:int array -> unit -> float
+val f1 : ?positive:int -> pred:int array -> truth:int array -> unit -> float
+(** Harmonic mean of precision and recall; [0.] when both are zero. *)
+
+val macro_f1 : n_classes:int -> pred:int array -> truth:int array -> float
+(** Unweighted mean of per-class F1 scores. *)
+
+val homogeneity : pred:int array -> truth:int array -> float
+(** Clustering homogeneity in [0, 1]: 1 when each cluster contains members of
+    a single class. *)
+
+val completeness : pred:int array -> truth:int array -> float
+(** 1 when all members of a class land in the same cluster. *)
+
+val v_measure : ?beta:float -> pred:int array -> truth:int array -> unit -> float
+(** Weighted harmonic mean of homogeneity and completeness
+    (Rosenberg & Hirschberg 2007); default [beta = 1.]. *)
+
+val f1_percent : ?positive:int -> pred:int array -> truth:int array -> unit -> float
+(** [100 *. f1], matching how the paper reports scores (e.g. 83.10). *)

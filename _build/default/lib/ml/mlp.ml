@@ -1,0 +1,84 @@
+open Homunculus_tensor
+
+type t = {
+  layers : Layer.t array;
+  hidden_act : Activation.t;
+  loss : Loss.t;
+  input_dim : int;
+}
+
+let create rng ~input_dim ~hidden ~output_dim ?(hidden_act = Activation.Relu) () =
+  if input_dim <= 0 || output_dim <= 0 then
+    invalid_arg "Mlp.create: non-positive dimension";
+  Array.iter
+    (fun h -> if h <= 0 then invalid_arg "Mlp.create: non-positive hidden size")
+    hidden;
+  let dims = Array.concat [ [| input_dim |]; hidden; [| output_dim |] ] in
+  let n_layers = Array.length dims - 1 in
+  let layers =
+    Array.init n_layers (fun i ->
+        let act = if i = n_layers - 1 then Activation.Linear else hidden_act in
+        Layer.create rng ~n_in:dims.(i) ~n_out:dims.(i + 1) ~act)
+  in
+  { layers; hidden_act; loss = Loss.Softmax_cross_entropy; input_dim }
+
+let layers t = t.layers
+
+let layer_sizes t =
+  Array.append [| t.input_dim |] (Array.map Layer.n_out t.layers)
+
+let hidden_activation t = t.hidden_act
+
+let param_count t =
+  Array.fold_left (fun acc l -> acc + Layer.param_count l) 0 t.layers
+
+let loss t = t.loss
+
+let logits t x =
+  Array.fold_left (fun input l -> snd (Layer.forward l input)) x t.layers
+
+let predict_proba t x = Loss.probabilities t.loss (logits t x)
+
+let predict t x = Vec.argmax (predict_proba t x)
+
+let predict_all t samples = Array.map (fun x -> predict t x) samples
+
+let train_sample t ~x ~target =
+  (* Forward with caches, then backward through the layer stack. *)
+  let n = Array.length t.layers in
+  let inputs = Array.make n x in
+  let zs = Array.make n [||] in
+  let activations = Array.make n [||] in
+  let current = ref x in
+  for i = 0 to n - 1 do
+    inputs.(i) <- !current;
+    let z, a = Layer.forward t.layers.(i) !current in
+    zs.(i) <- z;
+    activations.(i) <- a;
+    current := a
+  done;
+  let out = !current in
+  let loss_value = Loss.value t.loss ~logits:out ~target in
+  let upstream = ref (Loss.gradient t.loss ~logits:out ~target) in
+  for i = n - 1 downto 0 do
+    upstream :=
+      Layer.backward t.layers.(i) ~x:inputs.(i) ~z:zs.(i) ~a:activations.(i)
+        ~upstream:!upstream
+  done;
+  loss_value
+
+let zero_grads t = Array.iter Layer.zero_grads t.layers
+
+let scale_grads t alpha = Array.iter (fun l -> Layer.scale_grads l alpha) t.layers
+
+let parameter_buffers t =
+  Array.concat
+    (Array.to_list
+       (Array.map (fun l -> [| l.Layer.w.Mat.data; l.Layer.b |]) t.layers))
+
+let gradient_buffers t =
+  Array.concat
+    (Array.to_list
+       (Array.map (fun l -> [| l.Layer.grad_w.Mat.data; l.Layer.grad_b |]) t.layers))
+
+let copy t = { t with layers = Array.map Layer.copy t.layers }

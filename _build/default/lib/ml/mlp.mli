@@ -1,0 +1,49 @@
+(** Multi-layer perceptron (the model family Homunculus searches over for the
+    Taurus backend).
+
+    Hidden layers use a configurable activation (ReLU by default); the output
+    layer is linear and coupled to a softmax cross-entropy loss, so
+    [predict_proba] returns class probabilities. *)
+
+open Homunculus_tensor
+
+type t
+
+val create :
+  Homunculus_util.Rng.t ->
+  input_dim:int ->
+  hidden:int array ->
+  output_dim:int ->
+  ?hidden_act:Activation.t ->
+  unit ->
+  t
+(** @raise Invalid_argument on non-positive dimensions. *)
+
+val layers : t -> Layer.t array
+val layer_sizes : t -> int array
+(** [input_dim; hidden...; output_dim]. *)
+
+val hidden_activation : t -> Activation.t
+val param_count : t -> int
+val loss : t -> Loss.t
+
+val logits : t -> Vec.t -> Vec.t
+val predict_proba : t -> Vec.t -> Vec.t
+val predict : t -> Vec.t -> int
+val predict_all : t -> float array array -> int array
+
+val train_sample : t -> x:Vec.t -> target:Vec.t -> float
+(** Run forward + backward for one sample, accumulating gradients into the
+    layers; returns the per-sample loss. Call [zero_grads] before a batch and
+    feed the layers' gradient buffers to an optimizer afterwards. *)
+
+val zero_grads : t -> unit
+val scale_grads : t -> float -> unit
+
+val parameter_buffers : t -> float array array
+(** Flat views of all trainable parameters, ordered [w0; b0; w1; b1; ...]. *)
+
+val gradient_buffers : t -> float array array
+(** Flat views of the matching gradient accumulators. *)
+
+val copy : t -> t

@@ -1,0 +1,89 @@
+type algo =
+  | Sgd of { lr : float; momentum : float; weight_decay : float }
+  | Adam of {
+      lr : float;
+      beta1 : float;
+      beta2 : float;
+      eps : float;
+      weight_decay : float;
+    }
+
+let sgd ?(momentum = 0.) ?(weight_decay = 0.) ~lr () =
+  Sgd { lr; momentum; weight_decay }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ?(weight_decay = 0.)
+    ~lr () =
+  Adam { lr; beta1; beta2; eps; weight_decay }
+
+type state =
+  | Sgd_state of float array array  (* velocity per buffer *)
+  | Adam_state of { m : float array array; v : float array array; mutable t : int }
+
+type t = {
+  algo : algo;
+  state : state;
+  sizes : int array;
+  mutable live_lr : float;
+}
+
+let learning_rate = function Sgd { lr; _ } -> lr | Adam { lr; _ } -> lr
+
+let create algo sizes =
+  let buffers () = Array.map (fun n -> Array.make n 0.) sizes in
+  let state =
+    match algo with
+    | Sgd _ -> Sgd_state (buffers ())
+    | Adam _ -> Adam_state { m = buffers (); v = buffers (); t = 0 }
+  in
+  { algo; state; sizes; live_lr = learning_rate algo }
+
+let check t params grads =
+  if
+    Array.length params <> Array.length t.sizes
+    || Array.length grads <> Array.length t.sizes
+  then invalid_arg "Optimizer.step: buffer count mismatch";
+  Array.iteri
+    (fun i n ->
+      if Array.length params.(i) <> n || Array.length grads.(i) <> n then
+        invalid_arg "Optimizer.step: buffer size mismatch")
+    t.sizes
+
+let step t ~params ~grads =
+  check t params grads;
+  let lr = t.live_lr in
+  match (t.algo, t.state) with
+  | Sgd { momentum; weight_decay; _ }, Sgd_state velocity ->
+      Array.iteri
+        (fun b p ->
+          let g = grads.(b) and v = velocity.(b) in
+          for i = 0 to Array.length p - 1 do
+            if weight_decay > 0. then p.(i) <- p.(i) *. (1. -. (lr *. weight_decay));
+            v.(i) <- (momentum *. v.(i)) -. (lr *. g.(i));
+            p.(i) <- p.(i) +. v.(i)
+          done)
+        params
+  | Adam { beta1; beta2; eps; weight_decay; _ }, Adam_state st ->
+      st.t <- st.t + 1;
+      let bc1 = 1. -. (beta1 ** float_of_int st.t) in
+      let bc2 = 1. -. (beta2 ** float_of_int st.t) in
+      Array.iteri
+        (fun b p ->
+          let g = grads.(b) and m = st.m.(b) and v = st.v.(b) in
+          for i = 0 to Array.length p - 1 do
+            if weight_decay > 0. then p.(i) <- p.(i) *. (1. -. (lr *. weight_decay));
+            m.(i) <- (beta1 *. m.(i)) +. ((1. -. beta1) *. g.(i));
+            v.(i) <- (beta2 *. v.(i)) +. ((1. -. beta2) *. g.(i) *. g.(i));
+            let m_hat = m.(i) /. bc1 and v_hat = v.(i) /. bc2 in
+            p.(i) <- p.(i) -. (lr *. m_hat /. (sqrt v_hat +. eps))
+          done)
+        params
+  | Sgd _, Adam_state _ | Adam _, Sgd_state _ ->
+      assert false (* create ties algo and state together *)
+
+let algo t = t.algo
+
+let set_learning_rate t lr =
+  if lr <= 0. then invalid_arg "Optimizer.set_learning_rate: non-positive rate";
+  t.live_lr <- lr
+
+let current_learning_rate t = t.live_lr

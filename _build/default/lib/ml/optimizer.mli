@@ -1,0 +1,42 @@
+(** First-order parameter-update rules.
+
+    An optimizer instance owns per-buffer auxiliary state (momentum velocity,
+    Adam moments) for a fixed set of flat parameter buffers, registered once
+    at creation. *)
+
+type algo =
+  | Sgd of { lr : float; momentum : float; weight_decay : float }
+  | Adam of {
+      lr : float;
+      beta1 : float;
+      beta2 : float;
+      eps : float;
+      weight_decay : float;
+    }
+
+val sgd : ?momentum:float -> ?weight_decay:float -> lr:float -> unit -> algo
+(** [weight_decay] (default 0.) applies decoupled L2 shrinkage before each
+    update. *)
+
+val adam :
+  ?beta1:float -> ?beta2:float -> ?eps:float -> ?weight_decay:float ->
+  lr:float -> unit -> algo
+(** AdamW-style decoupled weight decay (default 0.). *)
+
+type t
+
+val create : algo -> int array -> t
+(** [create algo sizes] registers one buffer per entry of [sizes]. *)
+
+val step : t -> params:float array array -> grads:float array array -> unit
+(** Apply one update in place. [params] and [grads] must match the registered
+    buffer count and sizes. @raise Invalid_argument otherwise. *)
+
+val algo : t -> algo
+val learning_rate : algo -> float
+
+val set_learning_rate : t -> float -> unit
+(** Override the live learning rate (used by schedules); auxiliary state is
+    preserved. @raise Invalid_argument on non-positive rates. *)
+
+val current_learning_rate : t -> float

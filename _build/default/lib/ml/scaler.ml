@@ -1,0 +1,45 @@
+type t = { mu : float array; sigma : float array }
+
+let fit x =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Scaler.fit: empty input";
+  let d = Array.length x.(0) in
+  let mu = Array.make d 0. in
+  Array.iter (fun row -> Array.iteri (fun j v -> mu.(j) <- mu.(j) +. v) row) x;
+  for j = 0 to d - 1 do
+    mu.(j) <- mu.(j) /. float_of_int n
+  done;
+  let var = Array.make d 0. in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j v ->
+          let delta = v -. mu.(j) in
+          var.(j) <- var.(j) +. (delta *. delta))
+        row)
+    x;
+  let sigma =
+    Array.map
+      (fun s ->
+        let sd = sqrt (s /. float_of_int n) in
+        if sd < 1e-12 then 1. else sd)
+      var
+  in
+  { mu; sigma }
+
+let transform_row t row =
+  Array.mapi (fun j v -> (v -. t.mu.(j)) /. t.sigma.(j)) row
+
+let inverse_transform_row t row =
+  Array.mapi (fun j v -> (v *. t.sigma.(j)) +. t.mu.(j)) row
+
+let transform t x = Array.map (transform_row t) x
+
+let apply_dataset t (d : Dataset.t) = { d with Dataset.x = transform t d.Dataset.x }
+
+let fit_dataset (d : Dataset.t) =
+  let t = fit d.Dataset.x in
+  (t, apply_dataset t d)
+
+let mean t = Array.copy t.mu
+let stddev t = Array.copy t.sigma

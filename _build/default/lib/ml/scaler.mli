@@ -1,0 +1,22 @@
+(** Feature standardization (zero mean, unit variance per column).
+
+    Fitted on training data only and then applied to both splits, mirroring
+    standard preprocessing in a Keras/DataLoader pipeline (paper §3.1). *)
+
+type t
+
+val fit : float array array -> t
+(** @raise Invalid_argument on empty input. Constant columns get
+    [sigma = 1.] so transformation is the identity shift. *)
+
+val transform : t -> float array array -> float array array
+val transform_row : t -> float array -> float array
+val inverse_transform_row : t -> float array -> float array
+
+val fit_dataset : Dataset.t -> t * Dataset.t
+(** Fit on the dataset and return it standardized. *)
+
+val apply_dataset : t -> Dataset.t -> Dataset.t
+
+val mean : t -> float array
+val stddev : t -> float array

@@ -1,0 +1,68 @@
+module Rng = Homunculus_util.Rng
+
+type binary = { w : float array; b : float }
+
+let fit_binary rng ?(lambda = 1e-4) ?(epochs = 20) ~x ~y () =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Svm.fit_binary: empty input";
+  if Array.length y <> n then invalid_arg "Svm.fit_binary: |x| <> |y|";
+  let d = Array.length x.(0) in
+  let w = Array.make d 0. in
+  let b = ref 0. in
+  let t = ref 0 in
+  for _epoch = 1 to epochs do
+    for _step = 1 to n do
+      incr t;
+      let i = Rng.int rng n in
+      let eta = 1. /. (lambda *. float_of_int !t) in
+      let label = if y.(i) = 1 then 1. else -1. in
+      let margin =
+        let acc = ref !b in
+        Array.iteri (fun j xj -> acc := !acc +. (w.(j) *. xj)) x.(i);
+        label *. !acc
+      in
+      (* Regularization shrink, then hinge sub-gradient step when violated. *)
+      let shrink = 1. -. (eta *. lambda) in
+      for j = 0 to d - 1 do
+        w.(j) <- w.(j) *. shrink
+      done;
+      if margin < 1. then begin
+        for j = 0 to d - 1 do
+          w.(j) <- w.(j) +. (eta *. label *. x.(i).(j))
+        done;
+        b := !b +. (eta *. label)
+      end
+    done
+  done;
+  { w; b = !b }
+
+let decision m x =
+  let acc = ref m.b in
+  Array.iteri (fun j xj -> acc := !acc +. (m.w.(j) *. xj)) x;
+  !acc
+
+let predict_binary m x = if decision m x >= 0. then 1 else 0
+let weights m = Array.copy m.w
+let bias m = m.b
+
+type t = { machines : binary array; features : int }
+
+let fit rng ?lambda ?epochs (d : Dataset.t) =
+  let n_classes = d.Dataset.n_classes in
+  let machines =
+    Array.init n_classes (fun c ->
+        let y = Array.map (fun label -> if label = c then 1 else 0) d.Dataset.y in
+        fit_binary rng ?lambda ?epochs ~x:d.Dataset.x ~y ())
+  in
+  { machines; features = Dataset.n_features d }
+
+let predict t x =
+  let scores = Array.map (fun m -> decision m x) t.machines in
+  Homunculus_util.Stats.argmax scores
+
+let predict_all t xs = Array.map (predict t) xs
+
+let n_classes t = Array.length t.machines
+let n_features t = t.features
+let class_weights t = Array.map (fun m -> Array.copy m.w) t.machines
+let class_biases t = Array.map (fun m -> m.b) t.machines

@@ -1,0 +1,45 @@
+(** Linear support-vector machines trained with the Pegasos stochastic
+    sub-gradient algorithm (Shalev-Shwartz et al. 2011).
+
+    IIsy maps one match-action table per SVM feature (paper §4), so the
+    Tofino backend cares about [n_features] and the weight vector layout. *)
+
+type binary
+
+val fit_binary :
+  Homunculus_util.Rng.t ->
+  ?lambda:float ->
+  ?epochs:int ->
+  x:float array array ->
+  y:int array ->
+  unit ->
+  binary
+(** Labels must be 0/1; internally mapped to -1/+1. Defaults:
+    [lambda = 1e-4], [epochs = 20]. *)
+
+val decision : binary -> float array -> float
+(** Signed margin [w . x + b]. *)
+
+val predict_binary : binary -> float array -> int
+val weights : binary -> float array
+val bias : binary -> float
+
+type t
+(** One-vs-rest multi-class wrapper (also handles the binary case). *)
+
+val fit :
+  Homunculus_util.Rng.t ->
+  ?lambda:float ->
+  ?epochs:int ->
+  Dataset.t ->
+  t
+
+val predict : t -> float array -> int
+val predict_all : t -> float array array -> int array
+val n_classes : t -> int
+val n_features : t -> int
+val class_weights : t -> float array array
+(** Per-class weight vectors, shape [n_classes x n_features]. *)
+
+val class_biases : t -> float array
+(** Per-class bias terms, length [n_classes]. *)

@@ -1,0 +1,109 @@
+module Rng = Homunculus_util.Rng
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  optimizer : Optimizer.algo;
+  patience : int option;
+  shuffle_each_epoch : bool;
+  lr_decay_per_epoch : float;
+}
+
+let default_config =
+  {
+    epochs = 30;
+    batch_size = 32;
+    optimizer = Optimizer.adam ~lr:1e-3 ();
+    patience = Some 5;
+    shuffle_each_epoch = true;
+    lr_decay_per_epoch = 1.;
+  }
+
+type history = {
+  train_loss : float array;
+  val_metric : float array;
+  epochs_run : int;
+}
+
+let evaluate_f1 model (d : Dataset.t) =
+  let pred = Mlp.predict_all model d.Dataset.x in
+  if d.Dataset.n_classes = 2 then Metrics.f1 ~pred ~truth:d.Dataset.y ()
+  else Metrics.macro_f1 ~n_classes:d.Dataset.n_classes ~pred ~truth:d.Dataset.y
+
+let evaluate_accuracy model (d : Dataset.t) =
+  let pred = Mlp.predict_all model d.Dataset.x in
+  Metrics.accuracy ~pred ~truth:d.Dataset.y
+
+let fit rng model config ?validation (train : Dataset.t) =
+  if config.epochs <= 0 then invalid_arg "Train.fit: epochs <= 0";
+  if config.batch_size <= 0 then invalid_arg "Train.fit: batch_size <= 0";
+  let n = Dataset.n_samples train in
+  if n = 0 then invalid_arg "Train.fit: empty training set";
+  let params = Mlp.parameter_buffers model in
+  let grads = Mlp.gradient_buffers model in
+  let sizes = Array.map Array.length params in
+  let opt = Optimizer.create config.optimizer sizes in
+  let targets =
+    Array.map (Dataset.one_hot ~n_classes:train.Dataset.n_classes) train.Dataset.y
+  in
+  let order = Array.init n (fun i -> i) in
+  let train_losses = ref [] in
+  let val_metrics = ref [] in
+  let best_val = ref neg_infinity in
+  let best_params = ref None in
+  let stale = ref 0 in
+  let epochs_run = ref 0 in
+  (try
+     for _epoch = 1 to config.epochs do
+       incr epochs_run;
+       if config.shuffle_each_epoch then Rng.shuffle_in_place rng order;
+       let epoch_loss = ref 0. in
+       let pos = ref 0 in
+       while !pos < n do
+         let batch_end = min n (!pos + config.batch_size) in
+         let batch_n = batch_end - !pos in
+         Mlp.zero_grads model;
+         for k = !pos to batch_end - 1 do
+           let i = order.(k) in
+           epoch_loss :=
+             !epoch_loss
+             +. Mlp.train_sample model ~x:train.Dataset.x.(i) ~target:targets.(i)
+         done;
+         Mlp.scale_grads model (1. /. float_of_int batch_n);
+         Optimizer.step opt ~params ~grads;
+         pos := batch_end
+       done;
+       train_losses := (!epoch_loss /. float_of_int n) :: !train_losses;
+       if config.lr_decay_per_epoch <> 1. then
+         Optimizer.set_learning_rate opt
+           (Optimizer.current_learning_rate opt *. config.lr_decay_per_epoch);
+       match validation with
+       | None -> ()
+       | Some v ->
+           let metric = evaluate_f1 model v in
+           val_metrics := metric :: !val_metrics;
+           if metric > !best_val then begin
+             best_val := metric;
+             best_params := Some (Array.map Array.copy params);
+             stale := 0
+           end
+           else begin
+             incr stale;
+             match config.patience with
+             | Some p when !stale >= p -> raise Exit
+             | Some _ | None -> ()
+           end
+     done
+   with Exit -> ());
+  (* Restore the best validation checkpoint, if we tracked one. *)
+  (match !best_params with
+  | Some saved ->
+      Array.iteri
+        (fun b src -> Array.blit src 0 params.(b) 0 (Array.length src))
+        saved
+  | None -> ());
+  {
+    train_loss = Array.of_list (List.rev !train_losses);
+    val_metric = Array.of_list (List.rev !val_metrics);
+    epochs_run = !epochs_run;
+  }

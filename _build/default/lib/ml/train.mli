@@ -1,0 +1,38 @@
+(** Mini-batch training loop with optional early stopping, playing the role
+    Keras plays in the paper's optimization core (§3.2.4). *)
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  optimizer : Optimizer.algo;
+  patience : int option;
+      (** stop after this many epochs without validation improvement *)
+  shuffle_each_epoch : bool;
+  lr_decay_per_epoch : float;
+      (** multiply the learning rate by this after each epoch (1. = constant) *)
+}
+
+val default_config : config
+(** 30 epochs, batch 32, Adam(1e-3), patience 5, constant learning rate. *)
+
+type history = {
+  train_loss : float array;  (** mean per-sample loss per epoch *)
+  val_metric : float array;  (** empty when no validation set was given *)
+  epochs_run : int;
+}
+
+val fit :
+  Homunculus_util.Rng.t ->
+  Mlp.t ->
+  config ->
+  ?validation:Dataset.t ->
+  Dataset.t ->
+  history
+(** Trains in place. The validation metric is macro-F1 (binary F1 for
+    two-class problems), which is also what early stopping monitors. *)
+
+val evaluate_f1 : Mlp.t -> Dataset.t -> float
+(** F1 in [0, 1]: binary F1 (positive class 1) for two-class datasets, macro
+    F1 otherwise. *)
+
+val evaluate_accuracy : Mlp.t -> Dataset.t -> float

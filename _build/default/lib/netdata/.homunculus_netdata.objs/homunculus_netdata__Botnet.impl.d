@@ -1,0 +1,1 @@
+lib/netdata/botnet.ml: Array Float Flow Flowsim Histogram Homunculus_ml Homunculus_util List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/netdata/botnet.mli: Flow Histogram Homunculus_ml Homunculus_util

@@ -1,0 +1,1 @@
+lib/netdata/flow.ml: Array Histogram Homunculus_util Packet Stdlib

@@ -1,0 +1,1 @@
+lib/netdata/flow.mli: Histogram Packet

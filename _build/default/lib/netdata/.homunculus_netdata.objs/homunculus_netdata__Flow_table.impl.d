@@ -1,0 +1,1 @@
+lib/netdata/flow_table.ml: Array List

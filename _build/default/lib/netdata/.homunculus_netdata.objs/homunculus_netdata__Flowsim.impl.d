@@ -1,0 +1,1 @@
+lib/netdata/flowsim.ml: Array Flow Histogram Homunculus_util List Packet Stdlib

@@ -1,0 +1,1 @@
+lib/netdata/flowsim.mli: Flow Histogram Homunculus_util

@@ -1,0 +1,1 @@
+lib/netdata/histogram.ml: Array Float Homunculus_util

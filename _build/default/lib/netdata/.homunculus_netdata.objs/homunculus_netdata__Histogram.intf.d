@@ -1,0 +1,1 @@
+lib/netdata/histogram.mli:

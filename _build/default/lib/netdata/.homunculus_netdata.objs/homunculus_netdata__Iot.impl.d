@@ -1,0 +1,1 @@
+lib/netdata/iot.ml: Array Float Homunculus_ml Homunculus_util Stdlib

@@ -1,0 +1,1 @@
+lib/netdata/iot.mli: Homunculus_ml Homunculus_util

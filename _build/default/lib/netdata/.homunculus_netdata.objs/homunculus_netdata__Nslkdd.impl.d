@@ -1,0 +1,1 @@
+lib/netdata/nslkdd.ml: Array Homunculus_ml Homunculus_util Stdlib

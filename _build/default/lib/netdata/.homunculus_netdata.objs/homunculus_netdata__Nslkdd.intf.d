@@ -1,0 +1,1 @@
+lib/netdata/nslkdd.mli: Homunculus_ml Homunculus_util

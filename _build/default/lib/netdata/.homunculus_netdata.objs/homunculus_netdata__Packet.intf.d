@@ -1,0 +1,1 @@
+lib/netdata/packet.mli:

@@ -1,0 +1,1 @@
+lib/netdata/reaction.ml: Array Botnet Flow Format Homunculus_ml Homunculus_util List Packet

@@ -1,0 +1,1 @@
+lib/netdata/reaction.mli: Botnet Flow Format

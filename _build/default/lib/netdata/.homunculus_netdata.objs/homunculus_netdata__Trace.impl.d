@@ -1,0 +1,1 @@
+lib/netdata/trace.ml: Array Buffer Flow In_channel List Out_channel Packet Printf String

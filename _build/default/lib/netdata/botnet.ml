@@ -1,0 +1,76 @@
+module Rng = Homunculus_util.Rng
+module Dataset = Homunculus_ml.Dataset
+
+let pl_spec_full = Histogram.spec ~n_bins:92 ~bin_width:16.
+let ipt_spec_full = Histogram.spec ~n_bins:59 ~bin_width:4.
+let pl_spec_fused = Histogram.spec ~n_bins:23 ~bin_width:64.
+let ipt_spec_fused = Histogram.spec ~n_bins:7 ~bin_width:34.
+
+type bins = Full | Fused
+
+let specs = function
+  | Full -> (pl_spec_full, ipt_spec_full)
+  | Fused -> (pl_spec_fused, ipt_spec_fused)
+
+let n_features bins =
+  let pl, ipt = specs bins in
+  pl.Histogram.n_bins + ipt.Histogram.n_bins
+
+let feature_names bins =
+  let pl, ipt = specs bins in
+  Array.append
+    (Array.init pl.Histogram.n_bins (fun i -> Printf.sprintf "pl_bin%d" i))
+    (Array.init ipt.Histogram.n_bins (fun i -> Printf.sprintf "ipt_bin%d" i))
+
+let flow_features bins flow ?first_packets () =
+  let pl_spec, ipt_spec = specs bins in
+  Flow.flowmarker flow ~pl_spec ~ipt_spec ?first_packets ()
+
+(* Log-spaced prefix lengths from 2 packets up to the full flow, so early
+   reaction times are well represented in the test set. *)
+let prefix_lengths ~n_packets ~count =
+  if n_packets <= 2 then [ n_packets ]
+  else begin
+    let lo = log 2. and hi = log (float_of_int n_packets) in
+    let raw =
+      List.init count (fun i ->
+          let f = float_of_int i /. float_of_int (Stdlib.max 1 (count - 1)) in
+          int_of_float (Float.round (exp (lo +. (f *. (hi -. lo))))))
+    in
+    List.sort_uniq compare raw
+  end
+
+let generate rng ?(n_train_flows = 300) ?(n_test_flows = 120) ?(bins = Fused)
+    ?(prefixes_per_flow = 12) () =
+  if n_train_flows <= 0 || n_test_flows <= 0 then
+    invalid_arg "Botnet.generate: non-positive flow counts";
+  let mix total = { Flowsim.default_mix with Flowsim.n_flows = total } in
+  let train_flows = Flowsim.generate rng ~mix:(mix n_train_flows) () in
+  let test_flows = Flowsim.generate rng ~mix:(mix n_test_flows) () in
+  let names = feature_names bins in
+  let train_x = Array.map (fun f -> flow_features bins f ()) train_flows in
+  let train_y =
+    Array.map (fun f -> Flow.label_to_int f.Flow.label) train_flows
+  in
+  let test_samples =
+    Array.to_list test_flows
+    |> List.concat_map (fun f ->
+           let lengths =
+             prefix_lengths ~n_packets:(Flow.n_packets f) ~count:prefixes_per_flow
+           in
+           List.map
+             (fun k ->
+               ( flow_features bins f ~first_packets:k (),
+                 Flow.label_to_int f.Flow.label ))
+             lengths)
+  in
+  let train =
+    Dataset.create ~feature_names:names ~x:train_x ~y:train_y ~n_classes:2 ()
+  in
+  let test =
+    Dataset.create ~feature_names:names
+      ~x:(Array.of_list (List.map fst test_samples))
+      ~y:(Array.of_list (List.map snd test_samples))
+      ~n_classes:2 ()
+  in
+  (train, test)

@@ -1,0 +1,42 @@
+(** Botnet-detection datasets built from the flow simulator (the paper's BD
+    application, after FlowLens/PeerRush).
+
+    Training samples are *full-flow* flowmarker histograms; test samples are
+    *per-packet partial* flowmarkers (prefixes of the packet train), exactly
+    the protocol of §5.1: "training was done on full flow-level histograms,
+    while the F1 scores are reported on the per-packet-level partial
+    histograms". Labels: 0 = benign, 1 = botnet. *)
+
+val pl_spec_full : Histogram.spec
+(** 92 bins x 16 B — the fine-grained FlowLens packet-length marker. *)
+
+val ipt_spec_full : Histogram.spec
+(** 59 bins x 4 s. Together with [pl_spec_full]: 151 features, the original
+    FlowLens flowmarker size quoted by the paper. *)
+
+val pl_spec_fused : Histogram.spec
+(** 23 bins x 64 B — the paper's reduced marker. *)
+
+val ipt_spec_fused : Histogram.spec
+(** 7 bins x ~34 s. Together with [pl_spec_fused]: 30 features. *)
+
+type bins = Full | Fused
+
+val n_features : bins -> int
+(** 151 for [Full], 30 for [Fused]. *)
+
+val feature_names : bins -> string array
+
+val flow_features : bins -> Flow.t -> ?first_packets:int -> unit -> float array
+(** Flowmarker of (a prefix of) one flow under the chosen binning. *)
+
+val generate :
+  Homunculus_util.Rng.t ->
+  ?n_train_flows:int ->
+  ?n_test_flows:int ->
+  ?bins:bins ->
+  ?prefixes_per_flow:int ->
+  unit ->
+  Homunculus_ml.Dataset.t * Homunculus_ml.Dataset.t
+(** Defaults: 300 train flows, 120 test flows, [Fused] bins, 12 prefix
+    lengths per test flow (log-spaced from 2 packets to the full train). *)

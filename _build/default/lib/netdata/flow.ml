@@ -1,0 +1,43 @@
+type label = Benign | Botnet
+
+let label_to_int = function Benign -> 0 | Botnet -> 1
+let label_to_string = function Benign -> "benign" | Botnet -> "botnet"
+
+type t = {
+  id : int;
+  label : label;
+  app : string;
+  packets : Packet.t array;
+}
+
+let make ~id ~label ~app ~packets =
+  if Array.length packets = 0 then invalid_arg "Flow.make: empty packet train";
+  let packets = Array.copy packets in
+  Array.sort (fun a b -> compare a.Packet.ts b.Packet.ts) packets;
+  { id; label; app; packets }
+
+let n_packets t = Array.length t.packets
+let duration t = Packet.duration t.packets
+let total_bytes t = Packet.total_bytes t.packets
+
+let mean_packet_size t =
+  float_of_int (total_bytes t) /. float_of_int (n_packets t)
+
+let mean_inter_arrival t =
+  let gaps = Packet.inter_arrival_times t.packets in
+  if Array.length gaps = 0 then 0. else Homunculus_util.Stats.mean gaps
+
+let flowmarker t ~pl_spec ~ipt_spec ?first_packets () =
+  let k =
+    match first_packets with
+    | None -> n_packets t
+    | Some k ->
+        if k <= 0 then invalid_arg "Flow.flowmarker: first_packets <= 0";
+        Stdlib.min k (n_packets t)
+  in
+  let prefix = Array.sub t.packets 0 k in
+  let pl = Histogram.create pl_spec in
+  Array.iter (fun p -> Histogram.add pl (float_of_int p.Packet.size)) prefix;
+  let ipt = Histogram.create ipt_spec in
+  Histogram.add_all ipt (Packet.inter_arrival_times prefix);
+  Array.append (Histogram.normalized pl) (Histogram.normalized ipt)

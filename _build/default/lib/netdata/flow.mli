@@ -1,0 +1,38 @@
+(** A network flow: an ordered packet train with a class label. *)
+
+type label = Benign | Botnet
+
+val label_to_int : label -> int
+(** [Benign -> 0], [Botnet -> 1]. *)
+
+val label_to_string : label -> string
+
+type t = {
+  id : int;
+  label : label;
+  app : string;  (** generating application, e.g. "storm" or "utorrent" *)
+  packets : Packet.t array;  (** sorted by timestamp *)
+}
+
+val make : id:int -> label:label -> app:string -> packets:Packet.t array -> t
+(** Sorts the packets by timestamp. @raise Invalid_argument on empty
+    trains. *)
+
+val n_packets : t -> int
+val duration : t -> float
+val total_bytes : t -> int
+val mean_packet_size : t -> float
+val mean_inter_arrival : t -> float
+(** [0.] for single-packet flows. *)
+
+val flowmarker :
+  t ->
+  pl_spec:Histogram.spec ->
+  ipt_spec:Histogram.spec ->
+  ?first_packets:int ->
+  unit ->
+  float array
+(** FlowLens-style feature vector: the normalized packet-length histogram
+    concatenated with the normalized inter-arrival-time histogram. With
+    [first_packets = k], only the first [k] packets contribute — the paper's
+    per-packet *partial* flowmarker (§5.1.1). *)

@@ -1,0 +1,41 @@
+(** Fixed-capacity per-flow state on a switch.
+
+    Flowmarkers live in register arrays; a switch has a fixed SRAM budget,
+    so marker width trades directly against how many concurrent flows can be
+    tracked — the paper's §5.1.2 point that shrinking the flowmarker 5x
+    (151 -> 30 bins) grows flow capacity proportionally. The table is
+    direct-mapped by flow hash, the eviction policy of real data-plane
+    register files: a colliding new flow overwrites the old entry. *)
+
+type key = { src : int; dst : int; src_port : int; dst_port : int; proto : int }
+
+val key_of_ints : int -> int -> key
+(** Convenience conversation-level key (src, dst only — the paper's BD
+    tracking ignores ports). *)
+
+type t
+
+val create : sram_bytes:int -> marker_bins:int -> ?bytes_per_bin:int -> unit -> t
+(** Capacity = [sram_bytes / (marker_bins * bytes_per_bin)] slots
+    (default 2 bytes per bin — 16-bit counters).
+    @raise Invalid_argument when no slot fits. *)
+
+val capacity : t -> int
+(** Number of flows trackable simultaneously. *)
+
+val record : t -> key -> value:float -> bin:int -> unit
+(** Add [value] to [bin] of the flow's marker, claiming (and possibly
+    evicting) a slot on first touch. @raise Invalid_argument on bad bin. *)
+
+val marker : t -> key -> float array option
+(** The flow's current histogram, if it still owns its slot. *)
+
+val active_flows : t -> int
+val evictions : t -> int
+(** Flows overwritten by hash collisions since creation. *)
+
+val stress : t -> n_flows:int -> touches_per_flow:int -> float
+(** Simulate [n_flows] distinct flows each touching the table
+    [touches_per_flow] times (round-robin), then report the fraction of
+    flows whose marker survived intact — the effective tracking ratio at
+    that offered concurrency. *)

@@ -1,0 +1,131 @@
+module Rng = Homunculus_util.Rng
+
+let botnet_apps = [| "storm"; "waledac" |]
+let benign_apps = [| "utorrent"; "vuze"; "emule"; "frostwire" |]
+
+type profile = {
+  label : Flow.label;
+  n_packets : Rng.t -> int;
+  packet_size : Rng.t -> int;
+  inter_arrival : Rng.t -> float;
+}
+
+let clamp_size s = Homunculus_util.Mathx.clamp_int ~lo:40 ~hi:1500 s
+
+(* Botnet C&C: mostly small keepalives with occasional command messages and
+   rare payload bursts, and long, fairly regular gaps between packets. *)
+let botnet_profile ~keepalive ~command ~gap_mu ~gap_sigma =
+  {
+    label = Flow.Botnet;
+    n_packets = (fun rng -> 20 + Rng.int rng 120);
+    packet_size =
+      (fun rng ->
+        let roll = Rng.float rng 1.0 in
+        if roll < 0.80 then
+          clamp_size (int_of_float (Rng.gaussian rng ~mu:keepalive ~sigma:25. ()))
+        else if roll < 0.95 then
+          clamp_size (int_of_float (Rng.gaussian rng ~mu:command ~sigma:80. ()))
+        else (* occasional update payload: benign-looking near-MTU data *)
+          clamp_size (1460 - Rng.int rng 300));
+    inter_arrival =
+      (fun rng ->
+        if Rng.bernoulli rng 0.15 then Rng.exponential rng 5.
+          (* short command bursts resembling benign pacing *)
+        else Rng.lognormal rng ~mu:gap_mu ~sigma:gap_sigma);
+  }
+
+(* Benign P2P: bimodal sizes (MTU-sized data + small control), bursty
+   sub-second gaps with an occasional idle period. *)
+let benign_profile ~data_frac ~control ~burst_rate ~idle_p =
+  {
+    label = Flow.Benign;
+    n_packets = (fun rng -> 80 + Rng.int rng 320);
+    packet_size =
+      (fun rng ->
+        if Rng.bernoulli rng data_frac then
+          clamp_size (1460 - Rng.int rng 200)
+        else
+          clamp_size (int_of_float (Rng.pareto rng ~xm:control ~alpha:1.8)));
+    inter_arrival =
+      (fun rng ->
+        if Rng.bernoulli rng idle_p then 30. +. Rng.exponential rng 0.01
+        else Rng.exponential rng burst_rate);
+  }
+
+(* Benign P2P chatter (DHT lookups, keepalives): small packets at C&C-like
+   pacing — the confuser class that keeps partial-histogram detection from
+   being trivial. *)
+let benign_chatter_profile ~control ~gap_mu =
+  {
+    label = Flow.Benign;
+    n_packets = (fun rng -> 15 + Rng.int rng 100);
+    packet_size =
+      (fun rng ->
+        if Rng.bernoulli rng 0.9 then
+          clamp_size (int_of_float (Rng.gaussian rng ~mu:control ~sigma:40. ()))
+        else clamp_size (1460 - Rng.int rng 400));
+    inter_arrival =
+      (fun rng ->
+        if Rng.bernoulli rng 0.5 then Rng.exponential rng 1.
+        else Rng.lognormal rng ~mu:gap_mu ~sigma:1.0);
+  }
+
+let profile_of_app = function
+  | "storm" -> botnet_profile ~keepalive:110. ~command:350. ~gap_mu:3.4 ~gap_sigma:0.9
+  | "waledac" -> botnet_profile ~keepalive:170. ~command:500. ~gap_mu:3.9 ~gap_sigma:0.7
+  | "utorrent" -> benign_profile ~data_frac:0.6 ~control:64. ~burst_rate:20. ~idle_p:0.02
+  | "vuze" -> benign_profile ~data_frac:0.55 ~control:80. ~burst_rate:12. ~idle_p:0.03
+  | "emule" ->
+      (* eMule spends long stretches in low-rate source exchanges. *)
+      benign_chatter_profile ~control:130. ~gap_mu:2.6
+  | "frostwire" -> benign_profile ~data_frac:0.5 ~control:96. ~burst_rate:9. ~idle_p:0.04
+  | app -> invalid_arg ("Flowsim.profile_of_app: unknown application " ^ app)
+
+let generate_flow rng ~id ~app ?(max_packets = 400) () =
+  let p = profile_of_app app in
+  let n = Stdlib.min max_packets (Stdlib.max 2 (p.n_packets rng)) in
+  let ts = ref 0. in
+  let packets =
+    Array.init n (fun i ->
+        if i > 0 then ts := !ts +. p.inter_arrival rng;
+        Packet.make ~ts:!ts ~size:(p.packet_size rng))
+  in
+  Flow.make ~id ~label:p.label ~app ~packets
+
+type mix = { n_flows : int; botnet_frac : float; max_packets : int }
+
+let default_mix = { n_flows = 400; botnet_frac = 0.5; max_packets = 400 }
+
+let generate rng ?(mix = default_mix) () =
+  if mix.n_flows <= 0 then invalid_arg "Flowsim.generate: n_flows <= 0";
+  if mix.botnet_frac < 0. || mix.botnet_frac > 1. then
+    invalid_arg "Flowsim.generate: botnet_frac outside [0,1]";
+  let flows =
+    Array.init mix.n_flows (fun id ->
+        let app =
+          if Rng.bernoulli rng mix.botnet_frac then Rng.choice rng botnet_apps
+          else Rng.choice rng benign_apps
+        in
+        generate_flow rng ~id ~app ~max_packets:mix.max_packets ())
+  in
+  Rng.shuffle_in_place rng flows;
+  flows
+
+let average_flowmarker flows ~label ~pl_spec ~ipt_spec =
+  let selected = Array.to_list flows |> List.filter (fun f -> f.Flow.label = label) in
+  if selected = [] then invalid_arg "Flowsim.average_flowmarker: no flows of that label";
+  let pl_acc = Array.make pl_spec.Histogram.n_bins 0. in
+  let ipt_acc = Array.make ipt_spec.Histogram.n_bins 0. in
+  List.iter
+    (fun f ->
+      let fm = Flow.flowmarker f ~pl_spec ~ipt_spec () in
+      Array.iteri
+        (fun i v ->
+          if i < pl_spec.Histogram.n_bins then pl_acc.(i) <- pl_acc.(i) +. v
+          else
+            let j = i - pl_spec.Histogram.n_bins in
+            ipt_acc.(j) <- ipt_acc.(j) +. v)
+        fm)
+    selected;
+  let n = float_of_int (List.length selected) in
+  (Array.map (fun v -> v /. n) pl_acc, Array.map (fun v -> v /. n) ipt_acc)

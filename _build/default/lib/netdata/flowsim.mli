@@ -1,0 +1,41 @@
+(** Peer-to-peer traffic simulator standing in for the PeerRush traces used
+    by the botnet-detection application (paper §5, Flowlens/PeerRush).
+
+    Botnet command-and-control traffic (Storm, Waledac) is low-volume and
+    long-duration with small, regular packets and large inter-arrival gaps;
+    benign P2P file sharing (uTorrent, Vuze, eMule, Frostwire) is bursty,
+    with heavy-tailed packet sizes up to the MTU and sub-second gaps. These
+    contrasts are what make partial per-packet histograms separable early
+    (Fig. 6). *)
+
+val botnet_apps : string array
+(** ["storm"; "waledac"]. *)
+
+val benign_apps : string array
+(** ["utorrent"; "vuze"; "emule"; "frostwire"]. *)
+
+val generate_flow :
+  Homunculus_util.Rng.t -> id:int -> app:string -> ?max_packets:int -> unit -> Flow.t
+(** Synthesize one flow from the named application's profile (default packet
+    cap 400). @raise Invalid_argument for unknown applications. *)
+
+type mix = {
+  n_flows : int;
+  botnet_frac : float;
+  max_packets : int;  (** per-flow cap, keeps memory bounded *)
+}
+
+val default_mix : mix
+(** 400 flows, half botnet, <=400 packets each. *)
+
+val generate : Homunculus_util.Rng.t -> ?mix:mix -> unit -> Flow.t array
+(** A shuffled population of flows drawn from all six applications. *)
+
+val average_flowmarker :
+  Flow.t array ->
+  label:Flow.label ->
+  pl_spec:Histogram.spec ->
+  ipt_spec:Histogram.spec ->
+  float array * float array
+(** Mean normalized (packet-length, inter-arrival) histograms across all
+    flows of one class — the two panels of Fig. 6. *)

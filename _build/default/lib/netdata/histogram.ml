@@ -1,0 +1,53 @@
+module Mathx = Homunculus_util.Mathx
+
+type spec = { n_bins : int; bin_width : float }
+
+let spec ~n_bins ~bin_width =
+  if n_bins <= 0 then invalid_arg "Histogram.spec: n_bins <= 0";
+  if bin_width <= 0. then invalid_arg "Histogram.spec: bin_width <= 0";
+  { n_bins; bin_width }
+
+type t = { s : spec; data : float array; mutable total : float }
+
+let create s = { s; data = Array.make s.n_bins 0.; total = 0. }
+let spec_of t = t.s
+
+let add t v =
+  let bin =
+    Mathx.clamp_int ~lo:0 ~hi:(t.s.n_bins - 1)
+      (int_of_float (Float.floor (v /. t.s.bin_width)))
+  in
+  t.data.(bin) <- t.data.(bin) +. 1.;
+  t.total <- t.total +. 1.
+
+let add_all t vs = Array.iter (add t) vs
+
+let count t = t.total
+let counts t = Array.copy t.data
+
+let normalized t = Homunculus_util.Stats.normalize t.data
+
+let reset t =
+  Array.fill t.data 0 t.s.n_bins 0.;
+  t.total <- 0.
+
+let copy t = { s = t.s; data = Array.copy t.data; total = t.total }
+
+let fuse t ~factor =
+  if factor <= 0 then invalid_arg "Histogram.fuse: factor <= 0";
+  let n_bins = Mathx.ceil_div t.s.n_bins factor in
+  let fused =
+    create { n_bins; bin_width = t.s.bin_width *. float_of_int factor }
+  in
+  Array.iteri
+    (fun i c ->
+      let j = i / factor in
+      fused.data.(j) <- fused.data.(j) +. c)
+    t.data;
+  fused.total <- t.total;
+  fused
+
+let fuse_to t ~target_bins =
+  if target_bins <= 0 then invalid_arg "Histogram.fuse_to: target_bins <= 0";
+  let factor = Mathx.ceil_div t.s.n_bins target_bins in
+  fuse t ~factor

@@ -1,0 +1,40 @@
+(** Fixed-width histograms — the "flowmarkers" of FlowLens (paper §5.1.1).
+
+    The paper bins packet lengths at 64 bytes and inter-arrival times at
+    512 seconds, then fuses adjacent bins to shrink the feature vector from
+    151 to 30 entries. Values beyond the last bin edge are clamped into the
+    final bin. *)
+
+type spec = { n_bins : int; bin_width : float }
+
+val spec : n_bins:int -> bin_width:float -> spec
+(** @raise Invalid_argument on non-positive arguments. *)
+
+type t
+
+val create : spec -> t
+val spec_of : t -> spec
+
+val add : t -> float -> unit
+(** Clamp negative values into bin 0 and overflow into the last bin. *)
+
+val add_all : t -> float array -> unit
+val count : t -> float
+(** Total mass added so far. *)
+
+val counts : t -> float array
+(** Fresh copy of the raw per-bin counts. *)
+
+val normalized : t -> float array
+(** Counts scaled to sum to 1; all zeros when empty. *)
+
+val reset : t -> unit
+val copy : t -> t
+
+val fuse : t -> factor:int -> t
+(** Merge every [factor] adjacent bins (last group may be smaller), the
+    paper's trick for reducing flowmarker size 5x. @raise Invalid_argument if
+    [factor <= 0]. *)
+
+val fuse_to : t -> target_bins:int -> t
+(** Fuse with the smallest factor giving at most [target_bins] bins. *)

@@ -1,0 +1,64 @@
+module Rng = Homunculus_util.Rng
+module Mathx = Homunculus_util.Mathx
+module Dataset = Homunculus_ml.Dataset
+
+let feature_names =
+  [|
+    "frame_size"; "ip_proto"; "ttl"; "src_port_bucket"; "dst_port_bucket";
+    "inter_arrival_ms"; "payload_entropy";
+  |]
+
+let class_names = [| "camera"; "sensor"; "plug"; "hub"; "tv" |]
+let n_classes = Array.length class_names
+
+let gauss rng mu sigma = Rng.gaussian rng ~mu ~sigma ()
+let size rng mu sigma = Mathx.clamp ~lo:40. ~hi:1500. (gauss rng mu sigma)
+let entropy rng mu sigma = Mathx.clamp ~lo:0. ~hi:8. (gauss rng mu sigma)
+let bucket rng center spread max_b =
+  Mathx.clamp ~lo:0. ~hi:max_b (Float.round (gauss rng center spread))
+
+(* Per-class generators. Protocol: 0 = TCP, 1 = UDP, chosen per-class with
+   characteristic probability so the marginal overlaps. *)
+let sample_class rng cls =
+  match class_names.(cls) with
+  | "camera" ->
+      (* RTSP/RTP video: near-MTU UDP frames, steady ~30 fps pacing. *)
+      [| size rng 1300. 160.; (if Rng.bernoulli rng 0.7 then 1. else 0.);
+         gauss rng 62. 6.; bucket rng 9. 2. 15.; bucket rng 11. 1.5 15.;
+         Stdlib.max 0.1 (gauss rng 30. 12.); entropy rng 7.2 0.5 |]
+  | "sensor" ->
+      (* MQTT telemetry: tiny TCP messages, minutes apart. *)
+      [| size rng 95. 30.; (if Rng.bernoulli rng 0.8 then 0. else 1.);
+         gauss rng 255. 3.; bucket rng 4. 2. 15.; bucket rng 3. 1.5 15.;
+         Stdlib.max 1. (gauss rng 28000. 10000.); entropy rng 3.8 0.9 |]
+  | "plug" ->
+      (* Smart plug heartbeats: tiny periodic UDP, the sensor's shadow —
+         separated mostly by protocol mix and pacing. *)
+      [| size rng 115. 32.; (if Rng.bernoulli rng 0.6 then 1. else 0.);
+         gauss rng 252. 5.; bucket rng 5. 2. 15.; bucket rng 3. 1.5 15.;
+         Stdlib.max 1. (gauss rng 21000. 8000.); entropy rng 3.4 0.9 |]
+  | "hub" ->
+      (* Home hub: mixed mid-size TCP, moderate pacing; bleeds into all. *)
+      [| size rng 500. 260.; (if Rng.bernoulli rng 0.6 then 0. else 1.);
+         gauss rng 64. 12.; bucket rng 7. 2.5 15.; bucket rng 7. 2.5 15.;
+         Stdlib.max 0.5 (gauss rng 800. 450.); entropy rng 5.5 1.1 |]
+  | "tv" ->
+      (* Streaming TV: large TCP segments, bursty; camera's near neighbor. *)
+      [| size rng 1390. 110.; (if Rng.bernoulli rng 0.65 then 0. else 1.);
+         gauss rng 60. 7.; bucket rng 10. 2. 15.; bucket rng 12. 1.5 15.;
+         Stdlib.max 0.05 (gauss rng 18. 9.); entropy rng 7.5 0.4 |]
+  | _ -> assert false
+
+let generate rng ?(n = 4000) () =
+  if n <= 0 then invalid_arg "Iot.generate: n <= 0";
+  let x = Array.make n [||] in
+  let y = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let cls = Rng.int rng n_classes in
+    x.(i) <- sample_class rng cls;
+    y.(i) <- cls
+  done;
+  Dataset.create ~feature_names ~x ~y ~n_classes ()
+
+let generate_split rng ?(n_train = 4000) ?(n_test = 1500) () =
+  (generate rng ~n:n_train (), generate rng ~n:n_test ())

@@ -1,0 +1,27 @@
+(** Synthetic IoT traffic-classification data (the paper's TC application,
+    after IIsy's IoT device traces).
+
+    Five device classes are identified from packet-header features only
+    (frame size, protocol, TTL, port buckets, inter-arrival, payload
+    entropy). The class clusters overlap — camera vs. smart-TV and sensor
+    vs. plug are near neighbors — so both DNN capacity (Table 2) and cluster
+    granularity on MATs (Fig. 7) visibly trade off against accuracy. *)
+
+val feature_names : string array
+(** Length 7. *)
+
+val class_names : string array
+(** [camera; sensor; plug; hub; tv] — 5 classes as in IIsy. *)
+
+val n_classes : int
+
+val generate :
+  Homunculus_util.Rng.t -> ?n:int -> unit -> Homunculus_ml.Dataset.t
+(** Balanced draw across classes; default [n = 4000]. *)
+
+val generate_split :
+  Homunculus_util.Rng.t ->
+  ?n_train:int ->
+  ?n_test:int ->
+  unit ->
+  Homunculus_ml.Dataset.t * Homunculus_ml.Dataset.t

@@ -1,0 +1,30 @@
+(** Synthetic NSL-KDD-like intrusion-detection data (paper's AD application).
+
+    Seven packet-level features mirroring the NSL-KDD schema the Taurus
+    anomaly-detection case study trains on (§3, §5): connection duration,
+    source/destination byte volumes (log-scaled), protocol code, per-host
+    connection count, per-service connection count, and SYN-error rate.
+    Malicious traffic is a mixture of four attack families (DoS, probe, R2L,
+    U2R) whose clusters interleave with the benign modes non-linearly, so
+    model capacity and tuning visibly move the F1 score. Labels: 0 = benign,
+    1 = malicious. *)
+
+val feature_names : string array
+(** Length 7. *)
+
+val generate :
+  Homunculus_util.Rng.t ->
+  ?n:int ->
+  ?attack_frac:float ->
+  ?label_noise:float ->
+  unit ->
+  Homunculus_ml.Dataset.t
+(** Defaults: [n = 4000], [attack_frac = 0.45], [label_noise = 0.05]. *)
+
+val generate_split :
+  Homunculus_util.Rng.t ->
+  ?n_train:int ->
+  ?n_test:int ->
+  unit ->
+  Homunculus_ml.Dataset.t * Homunculus_ml.Dataset.t
+(** Independent draws for train (default 4000) and test (default 1500). *)

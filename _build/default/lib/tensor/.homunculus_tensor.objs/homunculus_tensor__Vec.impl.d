@@ -1,0 +1,1 @@
+lib/tensor/vec.ml: Array Format Homunculus_util

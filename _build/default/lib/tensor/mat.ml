@@ -1,0 +1,121 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0. in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then invalid_arg "Mat.of_rows: empty input";
+  let cols = Array.length rows_arr.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows")
+    rows_arr;
+  init rows cols (fun i j -> rows_arr.(i).(j))
+
+let copy m = { m with data = Array.copy m.data }
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let matvec m v =
+  if Array.length v <> m.cols then invalid_arg "Mat.matvec: dimension mismatch";
+  let out = Array.make m.rows 0. in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0. in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (m.data.(base + j) *. v.(j))
+    done;
+    out.(i) <- !acc
+  done;
+  out
+
+let matvec_t m v =
+  if Array.length v <> m.rows then invalid_arg "Mat.matvec_t: dimension mismatch";
+  let out = Array.make m.cols 0. in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let vi = v.(i) in
+    if vi <> 0. then
+      for j = 0 to m.cols - 1 do
+        out.(j) <- out.(j) +. (m.data.(base + j) *. vi)
+      done
+  done;
+  out
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.matmul: dimension mismatch";
+  let out = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          set out i j (get out i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  out
+
+let check_same_shape name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (name ^ ": shape mismatch")
+
+let add a b =
+  check_same_shape "Mat.add" a b;
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) +. b.data.(i)) }
+
+let scale alpha m = { m with data = Array.map (fun x -> alpha *. x) m.data }
+
+let axpy ~alpha ~x ~y =
+  check_same_shape "Mat.axpy" x y;
+  for i = 0 to Array.length x.data - 1 do
+    y.data.(i) <- (alpha *. x.data.(i)) +. y.data.(i)
+  done
+
+let map f m = { m with data = Array.map f m.data }
+
+let frobenius m = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0. m.data)
+
+let outer u v =
+  init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
+
+let outer_accum ~alpha ~u ~v ~acc =
+  if Array.length u <> acc.rows || Array.length v <> acc.cols then
+    invalid_arg "Mat.outer_accum: shape mismatch";
+  for i = 0 to acc.rows - 1 do
+    let base = i * acc.cols in
+    let s = alpha *. u.(i) in
+    if s <> 0. then
+      for j = 0 to acc.cols - 1 do
+        acc.data.(base + j) <- acc.data.(base + j) +. (s *. v.(j))
+      done
+  done
+
+let n_elements m = m.rows * m.cols
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%8.4f" (get m i j)
+    done;
+    Format.fprintf fmt "]@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,48 @@
+(** Dense row-major float matrices. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major, length [rows * cols] *)
+}
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val of_rows : float array array -> t
+(** @raise Invalid_argument on ragged or empty input. *)
+
+val copy : t -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val row : t -> int -> Vec.t
+(** Fresh copy of a row. *)
+
+val col : t -> int -> Vec.t
+(** Fresh copy of a column. *)
+
+val transpose : t -> t
+val matvec : t -> Vec.t -> Vec.t
+(** [matvec m v] with [dim v = m.cols]; result has [m.rows] entries. *)
+
+val matvec_t : t -> Vec.t -> Vec.t
+(** [matvec_t m v] computes [transpose m * v] without materializing the
+    transpose; [dim v = m.rows]. *)
+
+val matmul : t -> t -> t
+val add : t -> t -> t
+val scale : float -> t -> t
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** In-place [y <- alpha * x + y]. *)
+
+val map : (float -> float) -> t -> t
+val frobenius : t -> float
+val outer : Vec.t -> Vec.t -> t
+(** [outer u v] has shape [dim u * dim v]. *)
+
+val outer_accum : alpha:float -> u:Vec.t -> v:Vec.t -> acc:t -> unit
+(** In-place rank-1 update [acc <- acc + alpha * u v^T]. *)
+
+val n_elements : t -> int
+val pp : Format.formatter -> t -> unit

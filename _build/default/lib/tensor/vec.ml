@@ -1,0 +1,70 @@
+type t = float array
+
+let create n = Array.make n 0.
+let init = Array.init
+let of_array a = a
+let copy = Array.copy
+let dim = Array.length
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let check_same_dim name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let dot a b =
+  check_same_dim "Vec.dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let map2 f a b =
+  check_same_dim "Vec.map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let scale alpha a = Array.map (fun x -> alpha *. x) a
+
+let axpy ~alpha ~x ~y =
+  check_same_dim "Vec.axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let add_in_place dst src =
+  check_same_dim "Vec.add_in_place" dst src;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) +. src.(i)
+  done
+
+let map = Array.map
+let mapi = Array.mapi
+
+let norm2 a = sqrt (dot a a)
+
+let sq_dist a b =
+  check_same_dim "Vec.sq_dist" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let sum = Array.fold_left ( +. ) 0.
+
+let argmax v = Homunculus_util.Stats.argmax v
+
+let concat = Array.append
+
+let pp fmt v =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" x)
+    v;
+  Format.fprintf fmt "|]"

@@ -1,0 +1,47 @@
+(** Dense float vectors.
+
+    A thin layer over [float array] that names the linear-algebra operations
+    the ML framework needs. All binary operations require equal lengths and
+    raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector. *)
+
+val init : int -> (int -> float) -> t
+val of_array : float array -> t
+val copy : t -> t
+val dim : t -> int
+
+val fill : t -> float -> unit
+
+val dot : t -> t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Element-wise (Hadamard) product. *)
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** In-place [y <- alpha * x + y]. *)
+
+val add_in_place : t -> t -> unit
+(** [add_in_place dst src] is [dst <- dst + src]. *)
+
+val map : (float -> float) -> t -> t
+val mapi : (int -> float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val sq_dist : t -> t -> float
+(** Squared Euclidean distance. *)
+
+val sum : t -> float
+val argmax : t -> int
+
+val concat : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let clamp_int ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let sigmoid x =
+  if x >= 0. then 1. /. (1. +. exp (-.x))
+  else
+    let e = exp x in
+    e /. (1. +. e)
+
+let log_sum_exp xs =
+  if Array.length xs = 0 then neg_infinity
+  else begin
+    let m = Array.fold_left Stdlib.max xs.(0) xs in
+    if m = neg_infinity then neg_infinity
+    else
+      let acc = Array.fold_left (fun a x -> a +. exp (x -. m)) 0. xs in
+      m +. log acc
+  end
+
+let softmax xs =
+  let lse = log_sum_exp xs in
+  Array.map (fun x -> exp (x -. lse)) xs
+
+let normal_pdf x = exp (-0.5 *. x *. x) /. sqrt (2. *. Float.pi)
+
+let erf_approx x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t
+          *. (-0.284496736
+             +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  sign *. (1. -. (poly *. exp (-.x *. x)))
+
+let normal_cdf x = 0.5 *. (1. +. erf_approx (x /. sqrt 2.))
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Mathx.ceil_div: non-positive divisor";
+  (a + b - 1) / b
+
+let round_to digits x =
+  let f = 10. ** float_of_int digits in
+  Float.round (x *. f) /. f
+
+let approx_equal ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Mathx.linspace: need at least two points";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> lo +. (float_of_int i *. step))

@@ -1,0 +1,33 @@
+(** Small numeric helpers shared by the ML and optimization layers. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+val clamp_int : lo:int -> hi:int -> int -> int
+
+val sigmoid : float -> float
+(** Numerically stable logistic function. *)
+
+val log_sum_exp : float array -> float
+(** Stable [log (sum_i exp x_i)]; [neg_infinity] on empty input. *)
+
+val softmax : float array -> float array
+(** Stable softmax; returns a fresh array. *)
+
+val normal_pdf : float -> float
+(** Standard normal density. *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF via the Abramowitz–Stegun erf approximation
+    (max abs error ~1.5e-7, ample for acquisition functions). *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] for positive [b]. *)
+
+val round_to : int -> float -> float
+(** [round_to digits x] rounds to the given number of decimal digits. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** Absolute-difference comparison, default [eps = 1e-9]. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace lo hi n] is [n] evenly spaced points including both ends
+    ([n >= 2]). *)

@@ -1,0 +1,118 @@
+type t = { mutable state : int64; mutable cached_gaussian : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed =
+  { state = Int64.of_int seed; cached_gaussian = None }
+
+let copy t = { state = t.state; cached_gaussian = t.cached_gaussian }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix s; cached_gaussian = None }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the 62 low bits avoids modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec draw () =
+    let v = Int64.to_int (int64 t) land mask in
+    let r = v mod bound in
+    if v - r + (bound - 1) >= 0 then r else draw ()
+  in
+  draw ()
+
+let float t bound =
+  (* 53 random bits -> uniform in [0, 1), then scale. *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0) *. bound
+
+let uniform t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let gaussian t ?(mu = 0.) ?(sigma = 1.) () =
+  match t.cached_gaussian with
+  | Some z ->
+      t.cached_gaussian <- None;
+      mu +. (sigma *. z)
+  | None ->
+      let rec polar () =
+        let u = uniform t (-1.) 1. and v = uniform t (-1.) 1. in
+        let s = (u *. u) +. (v *. v) in
+        if s >= 1. || s = 0. then polar ()
+        else
+          let f = sqrt (-2. *. log s /. s) in
+          (u *. f, v *. f)
+      in
+      let z0, z1 = polar () in
+      t.cached_gaussian <- Some z1;
+      mu +. (sigma *. z0)
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1.0 -. float t 1.0 in
+  -.log u /. rate
+
+let pareto t ~xm ~alpha =
+  let u = 1.0 -. float t 1.0 in
+  xm /. (u ** (1.0 /. alpha))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma ())
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let choice_weighted t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice_weighted: empty array";
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. arr in
+  if total <= 0. then invalid_arg "Rng.choice_weighted: weights sum to zero";
+  let target = float t total in
+  let n = Array.length arr in
+  let rec go i acc =
+    if i = n - 1 then fst arr.(i)
+    else
+      let acc = acc +. snd arr.(i) in
+      if target < acc then fst arr.(i) else go (i + 1) acc
+  in
+  go 0 0.
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let permutation t n =
+  let arr = Array.init n (fun i -> i) in
+  shuffle_in_place t arr;
+  arr
+
+let sample_indices t ~n ~k =
+  if k > n then invalid_arg "Rng.sample_indices: k > n";
+  (* Floyd's algorithm: k distinct values without building [0..n-1]. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let pos = ref 0 in
+  for j = n - k to n - 1 do
+    let v = int t (j + 1) in
+    let v = if Hashtbl.mem seen v then j else v in
+    Hashtbl.replace seen v ();
+    out.(!pos) <- v;
+    incr pos
+  done;
+  out

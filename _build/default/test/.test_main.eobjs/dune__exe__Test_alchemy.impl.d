@@ -1,0 +1,1 @@
+test/test_alchemy.ml: Alcotest Array Homunculus_alchemy Homunculus_backends Homunculus_ml Homunculus_util Iomap List Model_ir Model_spec Platform Resource Schedule

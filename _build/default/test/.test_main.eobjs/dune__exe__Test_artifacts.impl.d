@@ -1,0 +1,1 @@
+test/test_artifacts.ml: Alcotest Array Botnet Filename Float Flow Flowsim Fun Homunculus_backends Homunculus_bo Homunculus_netdata Homunculus_util Model_ir String Sys Trace Verilog

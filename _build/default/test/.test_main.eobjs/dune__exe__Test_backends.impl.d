@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Array Fpga Homunculus_backends Homunculus_ml Homunculus_util Iisy List Model_ir P4gen Resource Spatial String Taurus Tofino

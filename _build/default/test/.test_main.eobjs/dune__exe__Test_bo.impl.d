@@ -1,0 +1,1 @@
+test/test_bo.ml: Alcotest Array Float Homunculus_bo Homunculus_util List Stdlib

@@ -1,0 +1,1 @@
+test/test_classical.ml: Alcotest Array Dataset Decision_tree Float Homunculus_ml Homunculus_util Kmeans Metrics Random_forest Svm

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Dataset Homunculus_ml Homunculus_util Scaler

@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Array Fun Homunculus_backends Homunculus_ml Homunculus_util Inference Model_ir Pipeline_sim Taurus

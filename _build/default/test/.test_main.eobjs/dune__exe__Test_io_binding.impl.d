@@ -1,0 +1,1 @@
+test/test_io_binding.ml: Alcotest Dataset Dataset_io Feature_binding Filename Fun Homunculus_backends Homunculus_ml Homunculus_netdata Homunculus_util List String Sys

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Float Homunculus_bo Homunculus_util Json List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Homunculus_backends Homunculus_ml Iisy List Model_ir Placement Printf QCheck QCheck_alcotest Range_match Resource Stage_alloc Stdlib String Taurus Tofino

@@ -1,0 +1,1 @@
+test/test_mathx.ml: Alcotest Array Float Gen Homunculus_util Mathx QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Float Gen Homunculus_ml Metrics QCheck QCheck_alcotest

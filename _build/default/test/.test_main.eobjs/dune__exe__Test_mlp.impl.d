@@ -1,0 +1,1 @@
+test/test_mlp.ml: Activation Alcotest Array Homunculus_ml Homunculus_util List Loss Mlp Printf

@@ -1,0 +1,1 @@
+test/test_netdata.ml: Alcotest Array Botnet Flow Flowsim Histogram Homunculus_ml Homunculus_netdata Homunculus_util Iot List Nslkdd Packet

@@ -1,0 +1,1 @@
+test/test_p4_ir.ml: Alcotest Array Homunculus_backends Homunculus_ml List Model_ir P4_ir P4gen String

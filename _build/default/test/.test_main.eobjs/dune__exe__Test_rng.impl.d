@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Fun Hashtbl Homunculus_util Option Rng Stats

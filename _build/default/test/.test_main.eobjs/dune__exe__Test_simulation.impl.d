@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest Array Flow_table Grid_sim Homunculus_backends Homunculus_netdata List Model_ir Taurus

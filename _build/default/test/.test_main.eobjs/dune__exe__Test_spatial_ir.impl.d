@@ -1,0 +1,1 @@
+test/test_spatial_ir.ml: Alcotest Array Format Homunculus_backends Homunculus_ml List Model_ir Spatial Spatial_ir String

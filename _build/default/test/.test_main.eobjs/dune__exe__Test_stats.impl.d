@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen Homunculus_util QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Homunculus_tensor Mat QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_train.ml: Alcotest Array Dataset Float Homunculus_ml Homunculus_util Mlp Optimizer Train

@@ -1,0 +1,450 @@
+(* Resource accounting, model IR, Taurus/Tofino/FPGA models, IIsy mapping,
+   and the Spatial/P4 code generators. *)
+open Homunculus_backends
+module Rng = Homunculus_util.Rng
+module Ml = Homunculus_ml
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* Helpers: small concrete models. *)
+
+let dnn_layer n_in n_out activation =
+  {
+    Model_ir.n_in;
+    n_out;
+    activation;
+    weights = Array.make_matrix n_out n_in 0.1;
+    biases = Array.make n_out 0.;
+  }
+
+let small_dnn = Model_ir.Dnn { name = "ad"; layers = [| dnn_layer 7 12 "relu"; dnn_layer 12 8 "relu"; dnn_layer 8 2 "linear" |] }
+
+let wide_dnn =
+  Model_ir.Dnn
+    { name = "wide"; layers = [| dnn_layer 30 10 "relu"; dnn_layer 10 10 "relu"; dnn_layer 10 10 "relu"; dnn_layer 10 10 "relu"; dnn_layer 10 2 "linear" |] }
+
+let deep_dnn =
+  let hidden = Array.init 10 (fun i -> dnn_layer (if i = 0 then 30 else 6) 6 "relu") in
+  Model_ir.Dnn { name = "deep"; layers = Array.append hidden [| dnn_layer 6 2 "linear" |] }
+
+let kmeans5 =
+  Model_ir.Kmeans { name = "tc"; centroids = Array.make_matrix 5 7 0.5 }
+
+let svm5 =
+  Model_ir.Svm
+    { name = "tc"; class_weights = Array.make_matrix 5 7 0.3; biases = Array.make 5 0. }
+
+let tree_model =
+  Model_ir.Tree
+    {
+      name = "tc";
+      root =
+        Ml.Decision_tree.Split
+          {
+            feature = 0;
+            threshold = 0.5;
+            left = Ml.Decision_tree.Leaf { distribution = [| 1.; 0. |] };
+            right =
+              Ml.Decision_tree.Split
+                {
+                  feature = 1;
+                  threshold = 0.2;
+                  left = Ml.Decision_tree.Leaf { distribution = [| 0.; 1. |] };
+                  right = Ml.Decision_tree.Leaf { distribution = [| 0.5; 0.5 |] };
+                };
+          };
+      n_features = 7;
+      n_classes = 2;
+    }
+
+(* Resource *)
+
+let test_perf_validates () =
+  Alcotest.check_raises "zero throughput"
+    (Invalid_argument "Resource.perf: throughput <= 0") (fun () ->
+      ignore (Resource.perf ~min_throughput_gpps:0. ~max_latency_ns:1.))
+
+let test_usage_percent_fits () =
+  let u = Resource.usage ~resource:"CU" ~used:32. ~available:128. in
+  feq "percent" 25. (Resource.percent u);
+  Alcotest.(check bool) "fits" true (Resource.fits u);
+  let over = Resource.usage ~resource:"CU" ~used:200. ~available:128. in
+  Alcotest.(check bool) "over" false (Resource.fits over)
+
+let test_check_feasible () =
+  let v =
+    Resource.check Resource.line_rate
+      ~usages:[ Resource.usage ~resource:"CU" ~used:10. ~available:100. ]
+      ~latency_ns:100. ~throughput_gpps:1.
+  in
+  Alcotest.(check bool) "feasible" true v.Resource.feasible;
+  Alcotest.(check bool) "no rejection" true (v.Resource.rejection = None)
+
+let test_check_rejections_in_order () =
+  let over_resource =
+    Resource.check Resource.line_rate
+      ~usages:[ Resource.usage ~resource:"CU" ~used:200. ~available:100. ]
+      ~latency_ns:10000. ~throughput_gpps:0.1
+  in
+  (match over_resource.Resource.rejection with
+  | Some r -> Alcotest.(check bool) "resource named first" true
+                (String.length r > 0 && String.sub r 0 2 = "CU")
+  | None -> Alcotest.fail "expected rejection");
+  let slow =
+    Resource.check Resource.line_rate ~usages:[] ~latency_ns:10. ~throughput_gpps:0.2
+  in
+  (match slow.Resource.rejection with
+  | Some r -> Alcotest.(check bool) "throughput" true
+                (String.length r >= 10 && String.sub r 0 10 = "throughput")
+  | None -> Alcotest.fail "expected rejection");
+  let laggy =
+    Resource.check Resource.line_rate ~usages:[] ~latency_ns:900. ~throughput_gpps:2.
+  in
+  match laggy.Resource.rejection with
+  | Some r -> Alcotest.(check bool) "latency" true
+                (String.length r >= 7 && String.sub r 0 7 = "latency")
+  | None -> Alcotest.fail "expected rejection"
+
+let test_find_usage () =
+  let v =
+    Resource.check Resource.line_rate
+      ~usages:[ Resource.usage ~resource:"MU" ~used:5. ~available:10. ]
+      ~latency_ns:1. ~throughput_gpps:1.
+  in
+  Alcotest.(check bool) "found" true (Resource.find_usage v "MU" <> None);
+  Alcotest.(check bool) "missing" true (Resource.find_usage v "CU" = None)
+
+(* Model IR *)
+
+let test_ir_dims_and_params () =
+  Alcotest.(check int) "dnn input" 7 (Model_ir.input_dim small_dnn);
+  Alcotest.(check int) "dnn output" 2 (Model_ir.output_dim small_dnn);
+  Alcotest.(check int) "dnn params" ((7 * 12) + 12 + (12 * 8) + 8 + (8 * 2) + 2)
+    (Model_ir.param_count small_dnn);
+  Alcotest.(check (array int)) "layer dims" [| 7; 12; 8; 2 |]
+    (Model_ir.dnn_layer_dims small_dnn);
+  Alcotest.(check int) "kmeans output" 5 (Model_ir.output_dim kmeans5);
+  Alcotest.(check int) "kmeans params" 35 (Model_ir.param_count kmeans5);
+  Alcotest.(check int) "svm params" ((5 * 7) + 5) (Model_ir.param_count svm5);
+  Alcotest.(check int) "tree params" (2 + (3 * 2)) (Model_ir.param_count tree_model)
+
+let test_ir_layer_dims_rejects_non_dnn () =
+  Alcotest.check_raises "not a dnn"
+    (Invalid_argument "Model_ir.dnn_layer_dims: not a DNN") (fun () ->
+      ignore (Model_ir.dnn_layer_dims kmeans5))
+
+let test_ir_with_name () =
+  let renamed = Model_ir.with_name small_dnn "fresh" in
+  Alcotest.(check string) "renamed" "fresh" (Model_ir.name renamed);
+  Alcotest.(check string) "original intact" "ad" (Model_ir.name small_dnn)
+
+let test_ir_of_mlp_roundtrip () =
+  let mlp =
+    Ml.Mlp.create (Rng.create 1) ~input_dim:3 ~hidden:[| 5 |] ~output_dim:2 ()
+  in
+  let ir = Model_ir.of_mlp ~name:"m" mlp in
+  Alcotest.(check int) "params preserved" (Ml.Mlp.param_count mlp)
+    (Model_ir.param_count ir);
+  Alcotest.(check (array int)) "dims" [| 3; 5; 2 |] (Model_ir.dnn_layer_dims ir);
+  Alcotest.(check bool) "validates" true (Model_ir.validate ir = Ok ())
+
+let test_ir_validate_catches_raggedness () =
+  let bad =
+    Model_ir.Dnn
+      { name = "bad"; layers = [| dnn_layer 3 4 "relu"; dnn_layer 5 2 "linear" |] }
+  in
+  match Model_ir.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected chaining error"
+
+let test_ir_validate_svm_bias_mismatch () =
+  let bad =
+    Model_ir.Svm
+      { name = "bad"; class_weights = Array.make_matrix 3 2 1.; biases = [| 0. |] }
+  in
+  match Model_ir.validate bad with
+  | Error msg -> Alcotest.(check string) "message" "svm bias count mismatches class count" msg
+  | Ok () -> Alcotest.fail "expected bias error"
+
+(* Taurus *)
+
+let grid = Taurus.default_grid
+let perf = Resource.line_rate
+
+let test_taurus_available () =
+  Alcotest.(check int) "128 CUs" 128 (Taurus.available_cus grid);
+  Alcotest.(check int) "128 MUs" 128 (Taurus.available_mus grid)
+
+let test_taurus_small_model_feasible () =
+  let v = Taurus.estimate grid perf small_dnn in
+  Alcotest.(check bool) "feasible" true v.Resource.feasible;
+  Alcotest.(check bool) "CU positive" true (Taurus.cus_used v > 0);
+  Alcotest.(check bool) "MU positive" true (Taurus.mus_used v > 0);
+  feq "line rate" 1. v.Resource.throughput_gpps
+
+let test_taurus_wide_is_cu_bound_deep_is_mu_bound () =
+  (* The Table 2 contrast: wide-layer models burn CUs, deep stacks burn
+     MUs for double buffering. *)
+  let wide = Taurus.map_model grid wide_dnn in
+  let deep = Taurus.map_model grid deep_dnn in
+  Alcotest.(check bool) "wide: CU > MU" true (wide.Taurus.cus > wide.Taurus.mus);
+  Alcotest.(check bool) "deep: MU > CU" true (deep.Taurus.mus > deep.Taurus.cus);
+  Alcotest.(check bool) "wide uses more CUs than deep" true
+    (wide.Taurus.cus > deep.Taurus.cus)
+
+let test_taurus_monotone_in_model_size () =
+  let bigger =
+    Model_ir.Dnn
+      { name = "big"; layers = [| dnn_layer 7 24 "relu"; dnn_layer 24 16 "relu"; dnn_layer 16 2 "linear" |] }
+  in
+  let small = Taurus.map_model grid small_dnn in
+  let big = Taurus.map_model grid bigger in
+  Alcotest.(check bool) "CU monotone" true (big.Taurus.cus >= small.Taurus.cus);
+  Alcotest.(check bool) "MU monotone" true (big.Taurus.mus >= small.Taurus.mus)
+
+let test_taurus_oversize_time_multiplexes () =
+  let huge =
+    Model_ir.Dnn
+      { name = "huge"; layers = [| dnn_layer 64 64 "relu"; dnn_layer 64 64 "relu"; dnn_layer 64 64 "relu"; dnn_layer 64 2 "linear" |] }
+  in
+  let m = Taurus.map_model grid huge in
+  Alcotest.(check bool) "II > 1" true (m.Taurus.ii > 1);
+  Alcotest.(check int) "CUs capped" (Taurus.available_cus grid) m.Taurus.cus;
+  let v = Taurus.estimate grid perf huge in
+  Alcotest.(check bool) "infeasible at line rate" false v.Resource.feasible;
+  Alcotest.(check bool) "throughput below 1" true (v.Resource.throughput_gpps < 1.)
+
+let test_taurus_latency_grows_with_depth () =
+  let shallow = Taurus.map_model grid small_dnn in
+  let deep = Taurus.map_model grid deep_dnn in
+  Alcotest.(check bool) "deeper pipeline" true
+    (deep.Taurus.pipeline_cycles > shallow.Taurus.pipeline_cycles)
+
+let test_taurus_kmeans_svm_tree () =
+  List.iter
+    (fun m ->
+      let v = Taurus.estimate grid perf m in
+      Alcotest.(check bool) "classical feasible" true v.Resource.feasible)
+    [ kmeans5; svm5; tree_model ]
+
+let test_taurus_grid_scaling () =
+  let tiny = Taurus.grid_with_size ~rows:4 ~cols:4 in
+  (* 8 CUs: the small DNN no longer fits at II=1. *)
+  let v = Taurus.estimate tiny perf small_dnn in
+  Alcotest.(check bool) "tiny grid infeasible" false v.Resource.feasible
+
+(* IIsy mapping *)
+
+let test_iisy_kmeans_one_mat_per_cluster () =
+  let m = Iisy.map_model kmeans5 in
+  Alcotest.(check int) "5 tables" 5 (Iisy.n_tables m)
+
+let test_iisy_svm_feature_tables () =
+  let m = Iisy.map_model svm5 in
+  Alcotest.(check int) "7 features + decision" 8 (Iisy.n_tables m)
+
+let test_iisy_tree_level_tables () =
+  let m = Iisy.map_model tree_model in
+  (* depth 2 -> 2 level tables + leaves. *)
+  Alcotest.(check int) "levels + leaves" 3 (Iisy.n_tables m)
+
+let test_iisy_dnn_explodes () =
+  let m = Iisy.map_model small_dnn in
+  Alcotest.(check bool) "many tables" true (Iisy.n_tables m > 20)
+
+let test_iisy_conform_kmeans () =
+  let rng = Rng.create 3 in
+  let x = Array.init 100 (fun i -> [| float_of_int (i mod 10); 0. |]) in
+  let km = Ml.Kmeans.fit rng ~k:5 x in
+  let conformed = Iisy.conform_kmeans km ~table_budget:3 in
+  Alcotest.(check int) "3 clusters" 3 (Ml.Kmeans.k conformed);
+  let untouched = Iisy.conform_kmeans km ~table_budget:8 in
+  Alcotest.(check int) "already fits" 5 (Ml.Kmeans.k untouched)
+
+let test_iisy_drop_svm_features () =
+  let weights =
+    [| [| 5.; 0.01; 3.; 0.02; 1. |]; [| -4.; 0.02; 2.; 0.01; 0.5 |] |]
+  in
+  let svm = Model_ir.Svm { name = "s"; class_weights = weights; biases = [| 0.; 0. |] } in
+  let conformed, dropped = Iisy.drop_svm_features svm ~table_budget:4 in
+  (* Budget 4 = 3 feature tables + decision; the two near-zero features go. *)
+  Alcotest.(check (array int)) "dropped least impactful" [| 1; 3 |] dropped;
+  Alcotest.(check int) "tables fit budget" 4 (Iisy.n_tables (Iisy.map_model conformed))
+
+let test_iisy_drop_rejects_non_svm () =
+  Alcotest.check_raises "not svm" (Invalid_argument "Iisy.drop_svm_features: not an SVM")
+    (fun () -> ignore (Iisy.drop_svm_features kmeans5 ~table_budget:4))
+
+(* Tofino *)
+
+let test_tofino_classical_feasible () =
+  List.iter
+    (fun m ->
+      let v = Tofino.estimate_model Tofino.default_device perf m in
+      Alcotest.(check bool) "fits 32 tables" true v.Resource.feasible)
+    [ kmeans5; svm5; tree_model ]
+
+let test_tofino_dnn_infeasible () =
+  let big =
+    Model_ir.Dnn
+      { name = "big"; layers = [| dnn_layer 30 16 "relu"; dnn_layer 16 2 "linear" |] }
+  in
+  let v = Tofino.estimate_model Tofino.default_device perf big in
+  Alcotest.(check bool) "too many MATs" false v.Resource.feasible
+
+let test_tofino_table_budget () =
+  let k3 = Tofino.device_with_tables 3 in
+  let v = Tofino.estimate_model k3 perf kmeans5 in
+  Alcotest.(check bool) "5 clusters on 3 tables" false v.Resource.feasible;
+  Alcotest.(check int) "counted" 5 (Tofino.mats_used v)
+
+let test_tofino_line_rate_when_fits () =
+  let v = Tofino.estimate_model Tofino.default_device perf kmeans5 in
+  feq "line rate" 1. v.Resource.throughput_gpps
+
+(* FPGA *)
+
+let test_fpga_loopback_matches_table5 () =
+  let r = Fpga.loopback_report Fpga.alveo_u250 in
+  feq "lut" 5.36 r.Fpga.lut_pct;
+  feq "ff" 3.64 r.Fpga.ff_pct;
+  feq "bram" 4.15 r.Fpga.bram_pct;
+  feq "power" 15.131 r.Fpga.power_w
+
+let test_fpga_models_add_resources () =
+  let r = Fpga.report Fpga.alveo_u250 small_dnn in
+  Alcotest.(check bool) "lut grows" true (r.Fpga.lut_pct > 5.36);
+  Alcotest.(check bool) "power grows" true (r.Fpga.power_w > 15.131);
+  feq "bram constant" 4.15 r.Fpga.bram_pct
+
+let test_fpga_bigger_model_more_power () =
+  let small = Fpga.report Fpga.alveo_u250 small_dnn in
+  let big = Fpga.report Fpga.alveo_u250 wide_dnn in
+  Alcotest.(check bool) "bigger burns more" true (big.Fpga.power_w > small.Fpga.power_w)
+
+let test_fpga_estimate_feasible () =
+  let p = Resource.perf ~min_throughput_gpps:0.3 ~max_latency_ns:1500. in
+  let v = Fpga.estimate Fpga.alveo_u250 p small_dnn in
+  Alcotest.(check bool) "feasible" true v.Resource.feasible
+
+(* Spatial codegen *)
+
+let has_sub code sub =
+  let n = String.length code and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub code i m = sub || go (i + 1)) in
+  go 0
+
+let test_spatial_emits_dnn_structure () =
+  let code = Spatial.emit small_dnn in
+  let has sub = has_sub code sub in
+  Alcotest.(check bool) "Accel block" true (has "Accel {");
+  Alcotest.(check bool) "weight LUTs" true (has "LUT[T]");
+  Alcotest.(check bool) "map/reduce" true (has "Reduce(Reg[T]");
+  Alcotest.(check bool) "double buffering" true (has ".buffer");
+  Alcotest.(check bool) "stream pipeline" true (has "Stream(*)");
+  Alcotest.(check bool) "all layers" true (has "Layer 2")
+
+let test_spatial_emits_all_algorithms () =
+  List.iter
+    (fun m ->
+      let code = Spatial.emit m in
+      Alcotest.(check bool) "non-trivial" true (Spatial.line_count code > 10))
+    [ small_dnn; kmeans5; svm5; tree_model ]
+
+let test_spatial_kmeans_argmin () =
+  Alcotest.(check bool) "argmin" true (has_sub (Spatial.emit kmeans5) "argmin")
+
+let test_spatial_tree_mux () =
+  Alcotest.(check bool) "mux chain" true (has_sub (Spatial.emit tree_model) "mux(")
+
+let test_spatial_dot_product_template () =
+  let t = Spatial.emit_dot_product_template ~n:16 in
+  Alcotest.(check bool) "parallel 8" true (has_sub t "par 8");
+  Alcotest.check_raises "bad n"
+    (Invalid_argument "Spatial.emit_dot_product_template: n <= 0") (fun () ->
+      ignore (Spatial.emit_dot_product_template ~n:0))
+
+let test_spatial_weights_embedded () =
+  let code = Spatial.emit small_dnn in
+  Alcotest.(check bool) "trained weight value" true (has_sub code "0.100000")
+
+(* P4 codegen *)
+
+let test_p4_emits_tables () =
+  let code = P4gen.emit kmeans5 in
+  Alcotest.(check bool) "v1model" true (has_sub code "#include <v1model.p4>");
+  Alcotest.(check bool) "cluster tables" true (has_sub code "tc_cluster4");
+  Alcotest.(check bool) "apply chain" true (has_sub code "tc_cluster4.apply()")
+
+let test_p4_svm_structure () =
+  let code = P4gen.emit svm5 in
+  Alcotest.(check bool) "feature table" true (has_sub code "tc_feature6");
+  Alcotest.(check bool) "decision" true (has_sub code "tc_decision")
+
+let test_p4_tree_structure () =
+  let code = P4gen.emit tree_model in
+  Alcotest.(check bool) "levels" true (has_sub code "tc_level1");
+  Alcotest.(check bool) "leaves" true (has_sub code "tc_leaves")
+
+let test_p4_rejects_dnn () =
+  Alcotest.check_raises "dnn"
+    (Invalid_argument "P4gen.emit: DNNs are not mappable to MATs (use Taurus/FPGA)")
+    (fun () -> ignore (P4gen.emit small_dnn))
+
+let test_p4_entries () =
+  let entries = P4gen.emit_entries kmeans5 in
+  Alcotest.(check bool) "table_add lines" true (has_sub entries "table_add tc_cluster0");
+  let svm_entries = P4gen.emit_entries svm5 in
+  Alcotest.(check bool) "svm votes" true (has_sub svm_entries "set_vote");
+  let tree_entries = P4gen.emit_entries tree_model in
+  Alcotest.(check bool) "leaf rows" true (has_sub tree_entries "set_class")
+
+let suite =
+  [
+    Alcotest.test_case "perf validates" `Quick test_perf_validates;
+    Alcotest.test_case "usage percent/fits" `Quick test_usage_percent_fits;
+    Alcotest.test_case "check feasible" `Quick test_check_feasible;
+    Alcotest.test_case "check rejections" `Quick test_check_rejections_in_order;
+    Alcotest.test_case "find usage" `Quick test_find_usage;
+    Alcotest.test_case "IR dims/params" `Quick test_ir_dims_and_params;
+    Alcotest.test_case "IR layer dims non-dnn" `Quick test_ir_layer_dims_rejects_non_dnn;
+    Alcotest.test_case "IR with_name" `Quick test_ir_with_name;
+    Alcotest.test_case "IR of_mlp" `Quick test_ir_of_mlp_roundtrip;
+    Alcotest.test_case "IR validate chaining" `Quick test_ir_validate_catches_raggedness;
+    Alcotest.test_case "IR validate svm" `Quick test_ir_validate_svm_bias_mismatch;
+    Alcotest.test_case "taurus available" `Quick test_taurus_available;
+    Alcotest.test_case "taurus small feasible" `Quick test_taurus_small_model_feasible;
+    Alcotest.test_case "taurus wide/deep contrast" `Quick
+      test_taurus_wide_is_cu_bound_deep_is_mu_bound;
+    Alcotest.test_case "taurus monotone" `Quick test_taurus_monotone_in_model_size;
+    Alcotest.test_case "taurus time multiplex" `Quick test_taurus_oversize_time_multiplexes;
+    Alcotest.test_case "taurus latency depth" `Quick test_taurus_latency_grows_with_depth;
+    Alcotest.test_case "taurus classical models" `Quick test_taurus_kmeans_svm_tree;
+    Alcotest.test_case "taurus grid scaling" `Quick test_taurus_grid_scaling;
+    Alcotest.test_case "iisy kmeans" `Quick test_iisy_kmeans_one_mat_per_cluster;
+    Alcotest.test_case "iisy svm" `Quick test_iisy_svm_feature_tables;
+    Alcotest.test_case "iisy tree" `Quick test_iisy_tree_level_tables;
+    Alcotest.test_case "iisy dnn explodes" `Quick test_iisy_dnn_explodes;
+    Alcotest.test_case "iisy conform kmeans" `Quick test_iisy_conform_kmeans;
+    Alcotest.test_case "iisy drop svm features" `Quick test_iisy_drop_svm_features;
+    Alcotest.test_case "iisy drop rejects" `Quick test_iisy_drop_rejects_non_svm;
+    Alcotest.test_case "tofino classical" `Quick test_tofino_classical_feasible;
+    Alcotest.test_case "tofino dnn infeasible" `Quick test_tofino_dnn_infeasible;
+    Alcotest.test_case "tofino table budget" `Quick test_tofino_table_budget;
+    Alcotest.test_case "tofino line rate" `Quick test_tofino_line_rate_when_fits;
+    Alcotest.test_case "fpga loopback row" `Quick test_fpga_loopback_matches_table5;
+    Alcotest.test_case "fpga adds resources" `Quick test_fpga_models_add_resources;
+    Alcotest.test_case "fpga power scaling" `Quick test_fpga_bigger_model_more_power;
+    Alcotest.test_case "fpga estimate" `Quick test_fpga_estimate_feasible;
+    Alcotest.test_case "spatial dnn structure" `Quick test_spatial_emits_dnn_structure;
+    Alcotest.test_case "spatial all algorithms" `Quick test_spatial_emits_all_algorithms;
+    Alcotest.test_case "spatial kmeans argmin" `Quick test_spatial_kmeans_argmin;
+    Alcotest.test_case "spatial tree mux" `Quick test_spatial_tree_mux;
+    Alcotest.test_case "spatial dot template" `Quick test_spatial_dot_product_template;
+    Alcotest.test_case "spatial weights embedded" `Quick test_spatial_weights_embedded;
+    Alcotest.test_case "p4 kmeans tables" `Quick test_p4_emits_tables;
+    Alcotest.test_case "p4 svm structure" `Quick test_p4_svm_structure;
+    Alcotest.test_case "p4 tree structure" `Quick test_p4_tree_structure;
+    Alcotest.test_case "p4 rejects dnn" `Quick test_p4_rejects_dnn;
+    Alcotest.test_case "p4 entries" `Quick test_p4_entries;
+  ]

@@ -1,0 +1,173 @@
+open Homunculus_ml
+module Rng = Homunculus_util.Rng
+
+let mk ?names ?(n_classes = 2) xs ys =
+  Dataset.create ?feature_names:names ~x:xs ~y:ys ~n_classes ()
+
+let sample =
+  mk
+    [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |]; [| 7.; 8. |] |]
+    [| 0; 1; 0; 1 |]
+
+let test_create_defaults () =
+  Alcotest.(check (array string)) "default names" [| "f0"; "f1" |]
+    sample.Dataset.feature_names;
+  Alcotest.(check int) "n_samples" 4 (Dataset.n_samples sample);
+  Alcotest.(check int) "n_features" 2 (Dataset.n_features sample)
+
+let test_create_rejects_bad_label () =
+  Alcotest.check_raises "label out of range"
+    (Invalid_argument "Dataset.create: label out of range") (fun () ->
+      ignore (mk [| [| 1. |] |] [| 2 |]))
+
+let test_create_rejects_ragged () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Dataset.create: ragged features") (fun () ->
+      ignore (mk [| [| 1. |]; [| 1.; 2. |] |] [| 0; 1 |]))
+
+let test_create_rejects_length_mismatch () =
+  Alcotest.check_raises "|x| <> |y|" (Invalid_argument "Dataset.create: |x| <> |y|")
+    (fun () -> ignore (mk [| [| 1. |] |] [| 0; 1 |]))
+
+let test_shuffle_preserves_pairs () =
+  let rng = Rng.create 1 in
+  let s = Dataset.shuffle rng sample in
+  Alcotest.(check int) "same size" 4 (Dataset.n_samples s);
+  (* Every (x, y) pair of the shuffle appears in the original. *)
+  Array.iteri
+    (fun i row ->
+      let found = ref false in
+      Array.iteri
+        (fun j orig -> if orig = row && sample.Dataset.y.(j) = s.Dataset.y.(i) then found := true)
+        sample.Dataset.x;
+      Alcotest.(check bool) "pair preserved" true !found)
+    s.Dataset.x
+
+let test_split_sizes () =
+  let rng = Rng.create 2 in
+  let big =
+    mk
+      (Array.init 100 (fun i -> [| float_of_int i |]))
+      (Array.init 100 (fun i -> i mod 2))
+  in
+  let train, test = Dataset.split rng ~train_frac:0.8 big in
+  Alcotest.(check int) "train 80" 80 (Dataset.n_samples train);
+  Alcotest.(check int) "test 20" 20 (Dataset.n_samples test)
+
+let test_split_disjoint_union () =
+  let rng = Rng.create 3 in
+  let big =
+    mk (Array.init 50 (fun i -> [| float_of_int i |])) (Array.make 50 0) ~n_classes:1
+  in
+  let train, test = Dataset.split rng ~train_frac:0.6 big in
+  let all =
+    Array.append
+      (Array.map (fun r -> r.(0)) train.Dataset.x)
+      (Array.map (fun r -> r.(0)) test.Dataset.x)
+  in
+  Array.sort compare all;
+  Alcotest.(check (array (float 0.))) "partition"
+    (Array.init 50 float_of_int) all
+
+let test_split_rejects_bad_frac () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "frac 1"
+    (Invalid_argument "Dataset.split: train_frac outside (0, 1)") (fun () ->
+      ignore (Dataset.split rng ~train_frac:1. sample))
+
+let test_subset () =
+  let s = Dataset.subset sample [| 2; 0 |] in
+  Alcotest.(check (array (float 0.))) "row order" [| 5.; 6. |] s.Dataset.x.(0);
+  Alcotest.(check int) "label order" 0 s.Dataset.y.(1)
+
+let test_class_counts () =
+  Alcotest.(check (array int)) "counts" [| 2; 2 |] (Dataset.class_counts sample)
+
+let test_select_features () =
+  let named =
+    Dataset.create
+      ~feature_names:[| "a"; "b"; "c" |]
+      ~x:[| [| 1.; 2.; 3. |] |]
+      ~y:[| 0 |] ~n_classes:1 ()
+  in
+  let s = Dataset.select_features named [| 2; 0 |] in
+  Alcotest.(check (array string)) "names" [| "c"; "a" |] s.Dataset.feature_names;
+  Alcotest.(check (array (float 0.))) "values" [| 3.; 1. |] s.Dataset.x.(0)
+
+let test_select_features_range () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Dataset.select_features: column out of range") (fun () ->
+      ignore (Dataset.select_features sample [| 5 |]))
+
+let test_feature_index () =
+  Alcotest.(check (option int)) "found" (Some 1) (Dataset.feature_index sample "f1");
+  Alcotest.(check (option int)) "missing" None (Dataset.feature_index sample "zz")
+
+let test_concat_samples () =
+  let c = Dataset.concat_samples sample sample in
+  Alcotest.(check int) "doubled" 8 (Dataset.n_samples c)
+
+let test_concat_rejects_schema () =
+  let other =
+    Dataset.create ~feature_names:[| "x"; "y" |]
+      ~x:[| [| 0.; 0. |] |] ~y:[| 0 |] ~n_classes:2 ()
+  in
+  Alcotest.check_raises "schema"
+    (Invalid_argument "Dataset.concat_samples: feature schema mismatch")
+    (fun () -> ignore (Dataset.concat_samples sample other))
+
+let test_one_hot () =
+  Alcotest.(check (array (float 0.))) "one hot" [| 0.; 1.; 0. |]
+    (Dataset.one_hot ~n_classes:3 1)
+
+(* Scaler *)
+
+let test_scaler_standardizes () =
+  let x = [| [| 1.; 10. |]; [| 3.; 30. |]; [| 5.; 50. |] |] in
+  let s = Scaler.fit x in
+  let t = Scaler.transform s x in
+  let col j = Array.map (fun r -> r.(j)) t in
+  Alcotest.(check (float 1e-9)) "mean 0 col0" 0. (Homunculus_util.Stats.mean (col 0));
+  Alcotest.(check (float 1e-9)) "std 1 col1" 1. (Homunculus_util.Stats.std (col 1))
+
+let test_scaler_constant_column () =
+  let x = [| [| 5. |]; [| 5. |] |] in
+  let s = Scaler.fit x in
+  Alcotest.(check (array (float 1e-9))) "shift only" [| 0. |]
+    (Scaler.transform_row s [| 5. |])
+
+let test_scaler_roundtrip () =
+  let x = [| [| 1.; 2. |]; [| 3.; 8. |]; [| -1.; 0. |] |] in
+  let s = Scaler.fit x in
+  let row = [| 2.5; 4. |] in
+  Alcotest.(check (array (float 1e-9))) "inverse" row
+    (Scaler.inverse_transform_row s (Scaler.transform_row s row))
+
+let test_scaler_dataset () =
+  let _, scaled = Scaler.fit_dataset sample in
+  Alcotest.(check int) "same shape" 4 (Dataset.n_samples scaled);
+  Alcotest.(check (array int)) "labels intact" sample.Dataset.y scaled.Dataset.y
+
+let suite =
+  [
+    Alcotest.test_case "create defaults" `Quick test_create_defaults;
+    Alcotest.test_case "rejects bad label" `Quick test_create_rejects_bad_label;
+    Alcotest.test_case "rejects ragged" `Quick test_create_rejects_ragged;
+    Alcotest.test_case "rejects length mismatch" `Quick test_create_rejects_length_mismatch;
+    Alcotest.test_case "shuffle preserves pairs" `Quick test_shuffle_preserves_pairs;
+    Alcotest.test_case "split sizes" `Quick test_split_sizes;
+    Alcotest.test_case "split partitions" `Quick test_split_disjoint_union;
+    Alcotest.test_case "split rejects bad frac" `Quick test_split_rejects_bad_frac;
+    Alcotest.test_case "subset" `Quick test_subset;
+    Alcotest.test_case "class counts" `Quick test_class_counts;
+    Alcotest.test_case "select features" `Quick test_select_features;
+    Alcotest.test_case "select features range" `Quick test_select_features_range;
+    Alcotest.test_case "feature index" `Quick test_feature_index;
+    Alcotest.test_case "concat samples" `Quick test_concat_samples;
+    Alcotest.test_case "concat rejects schema" `Quick test_concat_rejects_schema;
+    Alcotest.test_case "one hot" `Quick test_one_hot;
+    Alcotest.test_case "scaler standardizes" `Quick test_scaler_standardizes;
+    Alcotest.test_case "scaler constant column" `Quick test_scaler_constant_column;
+    Alcotest.test_case "scaler roundtrip" `Quick test_scaler_roundtrip;
+    Alcotest.test_case "scaler dataset" `Quick test_scaler_dataset;
+  ]

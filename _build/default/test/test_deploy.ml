@@ -1,0 +1,295 @@
+(* Deployment-side passes: BNN binarization, the MAT runtime interpreter,
+   IR persistence, reaction-time analysis, and Hyperband search. *)
+open Homunculus_backends
+module Ml = Homunculus_ml
+module Bo = Homunculus_bo
+module Rng = Homunculus_util.Rng
+open Homunculus_netdata
+
+(* Bnn *)
+
+let trained_mlp_ir seed =
+  let rng = Rng.create seed in
+  let x =
+    Array.init 200 (fun i ->
+        let mu = if i mod 2 = 0 then -2. else 2. in
+        [| Rng.gaussian rng ~mu (); Rng.gaussian rng ~mu () |])
+  in
+  let y = Array.init 200 (fun i -> i mod 2) in
+  let d = Ml.Dataset.create ~x ~y ~n_classes:2 () in
+  let mlp = Ml.Mlp.create (Rng.create 1) ~input_dim:2 ~hidden:[| 8 |] ~output_dim:2 () in
+  let config = { Ml.Train.default_config with Ml.Train.epochs = 20; patience = None } in
+  let _ = Ml.Train.fit (Rng.create 2) mlp config d in
+  (Model_ir.of_mlp ~name:"blobs" mlp, x, y)
+
+let test_binarize_makes_weights_binary () =
+  let ir, _, _ = trained_mlp_ir 10 in
+  Alcotest.(check bool) "not binary before" true (Bnn.binary_fraction ir < 0.9);
+  let b = Bnn.binarize_dnn ir in
+  Alcotest.(check (float 1e-9)) "fully binary after" 1. (Bnn.binary_fraction b)
+
+let test_binarize_preserves_shape () =
+  let ir, _, _ = trained_mlp_ir 11 in
+  let b = Bnn.binarize_dnn ir in
+  Alcotest.(check int) "params" (Model_ir.param_count ir) (Model_ir.param_count b);
+  Alcotest.(check bool) "validates" true (Model_ir.validate b = Ok ())
+
+let test_binarize_accuracy_tradeoff () =
+  let ir, x, y = trained_mlp_ir 12 in
+  let full, binary = Bnn.accuracy_cost ir ~x ~y in
+  (* On easy blobs the binarized net stays usable but cannot beat full
+     precision by much; both must be far above chance. *)
+  Alcotest.(check bool) "full precision strong" true (full > 0.9);
+  Alcotest.(check bool) "binarized still works" true (binary > 0.7);
+  Alcotest.(check bool) "binarization never helps a lot" true (binary <= full +. 0.05)
+
+let test_binarize_rejects_non_dnn () =
+  Alcotest.check_raises "kmeans" (Invalid_argument "Bnn.binarize_dnn: not a DNN")
+    (fun () ->
+      ignore (Bnn.binarize_dnn (Model_ir.Kmeans { name = "k"; centroids = [| [| 0. |] |] })))
+
+let test_binarized_mats_counted () =
+  let ir, _, _ = trained_mlp_ir 13 in
+  Alcotest.(check bool) "MAT cost positive" true (Bnn.mats_for_binarized ir > 0)
+
+(* Runtime *)
+
+let test_runtime_rejects_dnn () =
+  let ir, _, _ = trained_mlp_ir 14 in
+  Alcotest.check_raises "dnn"
+    (Invalid_argument "Runtime.load: DNNs do not map to MATs (binarize first)")
+    (fun () -> ignore (Runtime.load ir))
+
+let test_runtime_svm_fidelity () =
+  let rng = Rng.create 15 in
+  let x =
+    Array.init 200 (fun i ->
+        let mu = if i mod 2 = 0 then -2. else 2. in
+        [| Rng.gaussian rng ~mu (); Rng.gaussian rng ~mu () |])
+  in
+  let y = Array.init 200 (fun i -> i mod 2) in
+  let d = Ml.Dataset.create ~x ~y ~n_classes:2 () in
+  let svm = Ml.Svm.fit rng d in
+  let ir = Model_ir.of_svm ~name:"s" svm in
+  let rt = Runtime.load ir in
+  Alcotest.(check bool) "high fidelity" true (Runtime.fidelity rt ir ~x > 0.95);
+  Alcotest.(check int) "svm has no misses" 0 (Runtime.miss_count rt)
+
+let test_runtime_tree_fidelity () =
+  let rng = Rng.create 16 in
+  let x = Array.init 200 (fun _ -> [| Rng.uniform rng (-2.) 2.; Rng.uniform rng (-2.) 2. |]) in
+  let y = Array.map (fun r -> if r.(0) *. r.(1) > 0. then 1 else 0) x in
+  let tree = Ml.Decision_tree.Classifier.fit ~x ~y ~n_classes:2 () in
+  let ir =
+    Model_ir.Tree
+      { name = "t"; root = Ml.Decision_tree.Classifier.root tree; n_features = 2; n_classes = 2 }
+  in
+  let rt = Runtime.load ir in
+  Alcotest.(check bool) "tree fidelity" true (Runtime.fidelity rt ir ~x > 0.95)
+
+let test_runtime_kmeans_cells_and_misses () =
+  let rng = Rng.create 17 in
+  let x =
+    Array.init 200 (fun i ->
+        let mu = if i mod 2 = 0 then -1.5 else 1.5 in
+        [| Rng.gaussian rng ~mu ~sigma:0.3 () |])
+  in
+  let km = Ml.Kmeans.fit rng ~k:2 x in
+  let ir = Model_ir.of_kmeans ~name:"k" km in
+  let rt = Runtime.load ir in
+  let fid = Runtime.fidelity rt ir ~x in
+  Alcotest.(check bool) "cells approximate nearest-centroid" true (fid > 0.9);
+  (* A point far outside every cell exercises the default action. *)
+  let far = [| 100. |] in
+  let verdict = Runtime.classify rt far in
+  Alcotest.(check int) "default action used" 1 (Runtime.miss_count rt);
+  Alcotest.(check int) "default = nearest centroid" (Inference.predict ir far) verdict
+
+let test_runtime_quantize () =
+  Alcotest.(check int) "unit scale" 256 (Runtime.quantize 1.);
+  Alcotest.(check int) "clamps" 32767 (Runtime.quantize 1e9);
+  Alcotest.(check int) "negative clamps" (-32768) (Runtime.quantize (-1e9))
+
+(* Ir_io *)
+
+let test_ir_io_roundtrip_dnn () =
+  let ir, x, _ = trained_mlp_ir 18 in
+  let path = Filename.temp_file "homunculus" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ir_io.save ~path ir;
+      let back = Ir_io.load ~path in
+      Alcotest.(check string) "name" (Model_ir.name ir) (Model_ir.name back);
+      Array.iter
+        (fun sample ->
+          let a = Inference.scores ir sample and b = Inference.scores back sample in
+          Array.iteri
+            (fun i v -> Alcotest.(check (float 0.)) "bit-exact scores" v b.(i))
+            a |> ignore;
+          ignore b)
+        (Array.sub x 0 20))
+
+let test_ir_io_roundtrip_all_algorithms () =
+  let tree =
+    Model_ir.Tree
+      {
+        name = "t";
+        root =
+          Ml.Decision_tree.Split
+            {
+              feature = 1;
+              threshold = 0.125;
+              left = Ml.Decision_tree.Leaf { distribution = [| 0.75; 0.25 |] };
+              right = Ml.Decision_tree.Leaf { distribution = [| 0.1; 0.9 |] };
+            };
+        n_features = 3;
+        n_classes = 2;
+      }
+  in
+  let kmeans = Model_ir.Kmeans { name = "k"; centroids = [| [| 0.1; -0.2 |]; [| 3.; 4. |] |] } in
+  let svm =
+    Model_ir.Svm { name = "s"; class_weights = [| [| 1.5; -2.25 |] |]; biases = [| 0.5 |] }
+  in
+  List.iter
+    (fun ir ->
+      let back = Ir_io.of_json (Ir_io.to_json ir) in
+      Alcotest.(check bool)
+        (Model_ir.algorithm ir ^ " roundtrip")
+        true (back = ir))
+    [ tree; kmeans; svm ]
+
+let test_ir_io_rejects_garbage () =
+  Alcotest.(check bool) "unknown algorithm" true
+    (try
+       ignore
+         (Ir_io.of_json
+            (Homunculus_util.Json.of_string {| {"algorithm": "gan", "name": "x"} |}));
+       false
+     with Invalid_argument _ -> true)
+
+(* Reaction *)
+
+let simple_classifier flows =
+  (* Train a quick tree on full-flow markers. *)
+  let x = Array.map (fun f -> Botnet.flow_features Botnet.Fused f ()) flows in
+  let y = Array.map (fun f -> Flow.label_to_int f.Flow.label) flows in
+  let tree = Ml.Decision_tree.Classifier.fit ~x ~y ~n_classes:2 () in
+  fun features -> Ml.Decision_tree.Classifier.predict tree features
+
+let test_detection_curve_improves () =
+  let rng = Rng.create 19 in
+  let flows = Flowsim.generate rng () in
+  let classify = simple_classifier flows in
+  let curve =
+    Reaction.detection_curve ~classify ~bins:Botnet.Fused
+      ~prefix_lengths:[ 2; 16; 120 ] flows
+  in
+  (match curve with
+  | [ early; mid; late ] ->
+      Alcotest.(check bool) "more packets help" true
+        (late.Reaction.f1 >= early.Reaction.f1 -. 0.05);
+      Alcotest.(check bool) "mid decent" true (mid.Reaction.f1 > 0.6);
+      Alcotest.(check bool) "flow counts shrink" true
+        (late.Reaction.n_flows <= early.Reaction.n_flows)
+  | _ -> Alcotest.fail "expected three points")
+
+let test_reaction_times_and_summary () =
+  let rng = Rng.create 20 in
+  let flows = Flowsim.generate rng () in
+  let classify = simple_classifier flows in
+  let reactions = Reaction.reaction_times ~classify ~bins:Botnet.Fused flows in
+  Alcotest.(check bool) "covers all botnet flows" true
+    (List.length reactions > 0);
+  let s = Reaction.summarize reactions in
+  Alcotest.(check bool) "most flows detected" true (s.Reaction.detection_rate > 0.7);
+  Alcotest.(check bool) "fast detection" true (s.Reaction.mean_packets < 60.);
+  (* The paper's claim: far below the 3600 s flowmarker window. *)
+  Alcotest.(check bool) "well under an hour" true (s.Reaction.median_seconds < 3600.)
+
+let test_reaction_confirm_debounces () =
+  let rng = Rng.create 21 in
+  let flows = Flowsim.generate rng () in
+  let classify = simple_classifier flows in
+  let fast = Reaction.summarize (Reaction.reaction_times ~classify ~bins:Botnet.Fused ~confirm:1 flows) in
+  let slow = Reaction.summarize (Reaction.reaction_times ~classify ~bins:Botnet.Fused ~confirm:5 flows) in
+  Alcotest.(check bool) "confirmation delays verdicts" true
+    (slow.Reaction.detected = 0
+    || slow.Reaction.mean_packets >= fast.Reaction.mean_packets)
+
+(* Hyperband *)
+
+let quadratic_space =
+  Bo.Design_space.create
+    [ Bo.Param.real "x" ~lo:(-5.) ~hi:5.; Bo.Param.real "y" ~lo:(-5.) ~hi:5. ]
+
+let test_hyperband_budget_accounting () =
+  let s = Bo.Hyperband.default_settings in
+  Alcotest.(check int) "rungs" 4 (Bo.Hyperband.n_rungs s);
+  (* 27 + 9 + 3 + 1 *)
+  Alcotest.(check int) "evals" 40 (Bo.Hyperband.total_evaluations s)
+
+let test_hyperband_finds_good_point () =
+  let f config ~fidelity =
+    let x = Bo.Config.get_float config "x" and y = Bo.Config.get_float config "y" in
+    ignore fidelity;
+    {
+      Bo.Hyperband.objective = -.((x -. 2.) ** 2.) -. ((y +. 1.) ** 2.);
+      feasible = true;
+    }
+  in
+  let h = Bo.Hyperband.search (Rng.create 22) quadratic_space ~f in
+  Alcotest.(check int) "evaluation count" 40 (Bo.History.length h);
+  match Bo.History.best h with
+  | Some e -> Alcotest.(check bool) "found decent point" true (e.Bo.History.objective > -4.)
+  | None -> Alcotest.fail "expected a best"
+
+let test_hyperband_fidelity_grows () =
+  let fidelities = ref [] in
+  let f _config ~fidelity =
+    fidelities := fidelity :: !fidelities;
+    { Bo.Hyperband.objective = 0.; feasible = true }
+  in
+  let _ = Bo.Hyperband.search (Rng.create 23) quadratic_space ~f in
+  let fs = List.rev !fidelities in
+  Alcotest.(check bool) "starts low" true (List.hd fs < 0.5);
+  Alcotest.(check (float 1e-9)) "ends at full fidelity" 1.
+    (List.nth fs (List.length fs - 1))
+
+let test_hyperband_drops_infeasible () =
+  let f config ~fidelity =
+    ignore fidelity;
+    let x = Bo.Config.get_float config "x" in
+    { Bo.Hyperband.objective = x; feasible = x <= 0. }
+  in
+  let h = Bo.Hyperband.search (Rng.create 24) quadratic_space ~f in
+  match Bo.History.best h with
+  | Some e ->
+      Alcotest.(check bool) "best is feasible" true e.Bo.History.feasible;
+      Alcotest.(check bool) "x <= 0" true
+        (Bo.Config.get_float e.Bo.History.config "x" <= 0.)
+  | None -> Alcotest.fail "expected a feasible best"
+
+let suite =
+  [
+    Alcotest.test_case "bnn binarizes" `Quick test_binarize_makes_weights_binary;
+    Alcotest.test_case "bnn shape" `Quick test_binarize_preserves_shape;
+    Alcotest.test_case "bnn accuracy tradeoff" `Quick test_binarize_accuracy_tradeoff;
+    Alcotest.test_case "bnn rejects non-dnn" `Quick test_binarize_rejects_non_dnn;
+    Alcotest.test_case "bnn MAT cost" `Quick test_binarized_mats_counted;
+    Alcotest.test_case "runtime rejects dnn" `Quick test_runtime_rejects_dnn;
+    Alcotest.test_case "runtime svm fidelity" `Quick test_runtime_svm_fidelity;
+    Alcotest.test_case "runtime tree fidelity" `Quick test_runtime_tree_fidelity;
+    Alcotest.test_case "runtime kmeans cells" `Quick test_runtime_kmeans_cells_and_misses;
+    Alcotest.test_case "runtime quantize" `Quick test_runtime_quantize;
+    Alcotest.test_case "ir_io dnn roundtrip" `Quick test_ir_io_roundtrip_dnn;
+    Alcotest.test_case "ir_io all algorithms" `Quick test_ir_io_roundtrip_all_algorithms;
+    Alcotest.test_case "ir_io rejects garbage" `Quick test_ir_io_rejects_garbage;
+    Alcotest.test_case "reaction curve" `Quick test_detection_curve_improves;
+    Alcotest.test_case "reaction times" `Quick test_reaction_times_and_summary;
+    Alcotest.test_case "reaction debounce" `Quick test_reaction_confirm_debounces;
+    Alcotest.test_case "hyperband budget" `Quick test_hyperband_budget_accounting;
+    Alcotest.test_case "hyperband optimizes" `Quick test_hyperband_finds_good_point;
+    Alcotest.test_case "hyperband fidelity" `Quick test_hyperband_fidelity_grows;
+    Alcotest.test_case "hyperband feasibility" `Quick test_hyperband_drops_infeasible;
+  ]

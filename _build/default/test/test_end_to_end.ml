@@ -1,0 +1,136 @@
+(* The complete Fig. 3 flow as one integration test: dataset on disk ->
+   @DataLoader -> Model spec -> constrained platform -> generate -> feasible
+   artifact + backend code + deployable runtime. *)
+open Homunculus_alchemy
+open Homunculus_backends
+open Homunculus_core
+module Rng = Homunculus_util.Rng
+module Ml = Homunculus_ml
+
+let tiny_options =
+  {
+    Compiler.default_options with
+    Compiler.bo_settings =
+      {
+        Homunculus_bo.Optimizer.default_settings with
+        Homunculus_bo.Optimizer.n_init = 3;
+        n_iter = 3;
+        pool_size = 32;
+      };
+  }
+
+let with_temp_csv dataset f =
+  let path = Filename.temp_file "homunculus_e2e" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ml.Dataset_io.save ~path dataset;
+      f path)
+
+let blob_dataset seed n =
+  let rng = Rng.create seed in
+  let x =
+    Array.init n (fun i ->
+        let mu = if i mod 2 = 0 then -2. else 2. in
+        [| Rng.gaussian rng ~mu (); Rng.gaussian rng ~mu () |])
+  in
+  Ml.Dataset.create ~feature_names:[| "a"; "b" |] ~x
+    ~y:(Array.init n (fun i -> i mod 2))
+    ~n_classes:2 ()
+
+let test_fig3_flow_taurus () =
+  with_temp_csv (blob_dataset 1 160) (fun train_csv ->
+      with_temp_csv (blob_dataset 2 80) (fun test_csv ->
+          (* 1. @DataLoader from CSV files, as in Fig. 3. *)
+          let loader () =
+            Model_spec.data
+              ~train:(Ml.Dataset_io.load train_csv)
+              ~test:(Ml.Dataset_io.load test_csv)
+          in
+          let spec =
+            Model_spec.make ~name:"e2e" ~metric:Model_spec.F1
+              ~algorithms:[ Model_spec.Tree ] ~loader ()
+          in
+          (* 2. Platform with tightened constraints. *)
+          let platform =
+            Platform.constrain (Platform.taurus ()) ~min_throughput_gpps:1.
+              ~max_latency_ns:500. ()
+          in
+          (* 3. generate. *)
+          let result =
+            Compiler.generate ~options:tiny_options platform (Schedule.model spec)
+          in
+          let m = List.hd result.Compiler.models in
+          let artifact = m.Compiler.artifact in
+          (* 4. The artifact is feasible, accurate, and deployable. *)
+          Alcotest.(check bool) "feasible" true
+            artifact.Evaluator.verdict.Resource.feasible;
+          Alcotest.(check bool) "accurate" true (artifact.Evaluator.objective > 0.8);
+          (match m.Compiler.code with
+          | Some code ->
+              Alcotest.(check bool) "spatial emitted" true (String.length code > 100)
+          | None -> Alcotest.fail "expected generated code");
+          (* 5. Pipeline-level verdict matches the single model. *)
+          Alcotest.(check bool) "pipeline feasible" true
+            result.Compiler.combined.Schedule.verdict.Resource.feasible;
+          (* 6. The IR round-trips through persistence and still classifies
+             the raw on-disk test rows identically. *)
+          let ir = artifact.Evaluator.model_ir in
+          let reloaded = Ir_io.of_json (Ir_io.to_json ir) in
+          let test_data = Ml.Dataset_io.load test_csv in
+          Array.iter
+            (fun row ->
+              Alcotest.(check int) "persisted model agrees"
+                (Inference.predict ir row)
+                (Inference.predict reloaded row))
+            test_data.Ml.Dataset.x))
+
+let test_fig3_flow_tofino_with_runtime () =
+  with_temp_csv (blob_dataset 3 160) (fun train_csv ->
+      with_temp_csv (blob_dataset 4 80) (fun test_csv ->
+          let loader () =
+            Model_spec.data
+              ~train:(Ml.Dataset_io.load train_csv)
+              ~test:(Ml.Dataset_io.load test_csv)
+          in
+          let spec =
+            Model_spec.make ~name:"e2e_mat" ~metric:Model_spec.F1
+              ~algorithms:[ Model_spec.Tree; Model_spec.Svm ] ~loader ()
+          in
+          let result =
+            Compiler.generate ~options:tiny_options (Platform.tofino ())
+              (Schedule.model spec)
+          in
+          let m = List.hd result.Compiler.models in
+          let artifact = m.Compiler.artifact in
+          Alcotest.(check bool) "fits the MATs" true
+            artifact.Evaluator.verdict.Resource.feasible;
+          (* P4 program + entries emitted. *)
+          (match m.Compiler.code with
+          | Some code ->
+              let has sub =
+                let n = String.length code and l = String.length sub in
+                let rec go i = i + l <= n && (String.sub code i l = sub || go (i + 1)) in
+                go 0
+              in
+              Alcotest.(check bool) "p4 program" true (has "control Ingress");
+              Alcotest.(check bool) "entries" true (has "table_add")
+          | None -> Alcotest.fail "expected P4 code");
+          (* The quantized MAT runtime executes the artifact with high
+             fidelity on the raw test rows. *)
+          let test_data = Ml.Dataset_io.load test_csv in
+          let rt =
+            Runtime.load ~calibration:test_data.Ml.Dataset.x
+              artifact.Evaluator.model_ir
+          in
+          Alcotest.(check bool) "runtime fidelity > 0.9" true
+            (Runtime.fidelity rt artifact.Evaluator.model_ir
+               ~x:test_data.Ml.Dataset.x
+            > 0.9)))
+
+let suite =
+  [
+    Alcotest.test_case "fig3 flow on taurus" `Quick test_fig3_flow_taurus;
+    Alcotest.test_case "fig3 flow on tofino + runtime" `Quick
+      test_fig3_flow_tofino_with_runtime;
+  ]

@@ -1,0 +1,142 @@
+(* Standardization folding: the deployed IR must produce the same decisions
+   on raw features as the trained model does on standardized ones. *)
+open Homunculus_backends
+module Ml = Homunculus_ml
+module Rng = Homunculus_util.Rng
+
+let raw_data seed n =
+  (* Features with wildly different scales, like real packet fields. *)
+  let rng = Rng.create seed in
+  Array.init n (fun i ->
+      let shift = if i mod 2 = 0 then 0. else 1. in
+      [|
+        Rng.gaussian rng ~mu:(1400. +. (200. *. shift)) ~sigma:80. ();
+        Rng.gaussian rng ~mu:(0.001 +. (0.002 *. shift)) ~sigma:0.0005 ();
+        Rng.gaussian rng ~mu:(64. +. (10. *. shift)) ~sigma:3. ();
+      |])
+
+let check_exact_agreement ~name ir_scaled scaler raw =
+  let folded =
+    Model_ir.fold_standardization ~mean:(Ml.Scaler.mean scaler)
+      ~stddev:(Ml.Scaler.stddev scaler) ir_scaled
+  in
+  Array.iter
+    (fun x ->
+      let scaled = Ml.Scaler.transform_row scaler x in
+      Alcotest.(check int) name
+        (Inference.predict ir_scaled scaled)
+        (Inference.predict folded x))
+    raw
+
+let test_fold_dnn_exact () =
+  let raw = raw_data 1 300 in
+  let scaler = Ml.Scaler.fit raw in
+  let mlp = Ml.Mlp.create (Rng.create 2) ~input_dim:3 ~hidden:[| 6; 4 |] ~output_dim:2 () in
+  check_exact_agreement ~name:"dnn raw = scaled"
+    (Model_ir.of_mlp ~name:"m" mlp) scaler raw
+
+let test_fold_dnn_scores_close () =
+  let raw = raw_data 3 100 in
+  let scaler = Ml.Scaler.fit raw in
+  let mlp = Ml.Mlp.create (Rng.create 4) ~input_dim:3 ~hidden:[| 5 |] ~output_dim:2 () in
+  let ir = Model_ir.of_mlp ~name:"m" mlp in
+  let folded =
+    Model_ir.fold_standardization ~mean:(Ml.Scaler.mean scaler)
+      ~stddev:(Ml.Scaler.stddev scaler) ir
+  in
+  Array.iter
+    (fun x ->
+      let a = Inference.scores ir (Ml.Scaler.transform_row scaler x) in
+      let b = Inference.scores folded x in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool) "logits match to 1e-6" true
+            (Float.abs (v -. b.(i)) < 1e-6))
+        a)
+    raw
+
+let test_fold_svm_exact () =
+  let raw = raw_data 5 300 in
+  let scaler = Ml.Scaler.fit raw in
+  let scaled = Ml.Scaler.transform scaler raw in
+  let y = Array.init 300 (fun i -> i mod 2) in
+  let d = Ml.Dataset.create ~x:scaled ~y ~n_classes:2 () in
+  let svm = Ml.Svm.fit (Rng.create 6) d in
+  check_exact_agreement ~name:"svm raw = scaled" (Model_ir.of_svm ~name:"s" svm)
+    scaler raw
+
+let test_fold_tree_exact () =
+  let raw = raw_data 7 300 in
+  let scaler = Ml.Scaler.fit raw in
+  let scaled = Ml.Scaler.transform scaler raw in
+  let y = Array.init 300 (fun i -> i mod 2) in
+  let tree = Ml.Decision_tree.Classifier.fit ~x:scaled ~y ~n_classes:2 () in
+  let ir =
+    Model_ir.Tree
+      { name = "t"; root = Ml.Decision_tree.Classifier.root tree; n_features = 3; n_classes = 2 }
+  in
+  check_exact_agreement ~name:"tree raw = scaled" ir scaler raw
+
+let test_fold_kmeans_cells () =
+  (* Centroids land at the raw-space cluster centers. *)
+  let raw = raw_data 8 200 in
+  let scaler = Ml.Scaler.fit raw in
+  let scaled = Ml.Scaler.transform scaler raw in
+  let km = Ml.Kmeans.fit (Rng.create 9) ~k:2 scaled in
+  let ir = Model_ir.of_kmeans ~name:"k" km in
+  let folded =
+    Model_ir.fold_standardization ~mean:(Ml.Scaler.mean scaler)
+      ~stddev:(Ml.Scaler.stddev scaler) ir
+  in
+  match folded with
+  | Model_ir.Kmeans { centroids; _ } ->
+      Array.iter
+        (fun c ->
+          Alcotest.(check bool) "frame_size-scale coordinate" true
+            (c.(0) > 1000. && c.(0) < 2000.))
+        centroids
+  | _ -> Alcotest.fail "expected kmeans"
+
+let test_fold_validates () =
+  let ir = Model_ir.Kmeans { name = "k"; centroids = [| [| 0.; 0. |] |] } in
+  Alcotest.check_raises "dims"
+    (Invalid_argument "Model_ir.fold_standardization: dimension mismatch")
+    (fun () ->
+      ignore (Model_ir.fold_standardization ~mean:[| 0. |] ~stddev:[| 1. |] ir));
+  Alcotest.check_raises "sigma"
+    (Invalid_argument "Model_ir.fold_standardization: non-positive stddev")
+    (fun () ->
+      ignore
+        (Model_ir.fold_standardization ~mean:[| 0.; 0. |] ~stddev:[| 1.; 0. |] ir))
+
+let test_evaluator_artifacts_consume_raw_features () =
+  (* End-to-end: the artifact from a search classifies raw test rows well. *)
+  let open Homunculus_alchemy in
+  let raw = raw_data 10 400 in
+  let y = Array.init 400 (fun i -> i mod 2) in
+  let d = Ml.Dataset.create ~x:raw ~y ~n_classes:2 () in
+  let spec =
+    Model_spec.make ~name:"rawtest" ~algorithms:[ Homunculus_alchemy.Model_spec.Tree ]
+      ~loader:(fun () -> Model_spec.data ~train:d ~test:d)
+      ()
+  in
+  let result =
+    Homunculus_core.Compiler.search_model
+      ~options:Homunculus_core.Compiler.quick_options (Platform.taurus ()) spec
+  in
+  let ir = result.Homunculus_core.Compiler.artifact.Homunculus_core.Evaluator.model_ir in
+  let pred = Inference.predict_all ir raw in
+  let acc = Ml.Metrics.accuracy ~pred ~truth:y in
+  Alcotest.(check bool) "raw-feature accuracy high" true (acc > 0.85)
+
+let suite =
+  [
+    Alcotest.test_case "fold dnn exact" `Quick test_fold_dnn_exact;
+    Alcotest.test_case "fold dnn scores" `Quick test_fold_dnn_scores_close;
+    Alcotest.test_case "fold svm exact" `Quick test_fold_svm_exact;
+    Alcotest.test_case "fold tree exact" `Quick test_fold_tree_exact;
+    Alcotest.test_case "fold kmeans raw centroids" `Quick test_fold_kmeans_cells;
+    Alcotest.test_case "fold validates" `Quick test_fold_validates;
+    Alcotest.test_case "artifacts consume raw features" `Quick
+      test_evaluator_artifacts_consume_raw_features;
+  ]

@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "homunculus"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("mathx", Test_mathx.suite);
+      ("tensor", Test_tensor.suite);
+      ("dataset", Test_dataset.suite);
+      ("metrics", Test_metrics.suite);
+      ("mlp", Test_mlp.suite);
+      ("train", Test_train.suite);
+      ("classical", Test_classical.suite);
+      ("bo", Test_bo.suite);
+      ("netdata", Test_netdata.suite);
+      ("backends", Test_backends.suite);
+      ("inference", Test_inference.suite);
+      ("json", Test_json.suite);
+      ("mapping", Test_mapping.suite);
+      ("deploy", Test_deploy.suite);
+      ("folding", Test_folding.suite);
+      ("io_binding", Test_io_binding.suite);
+      ("simulation", Test_simulation.suite);
+      ("spatial_ir", Test_spatial_ir.suite);
+      ("artifacts", Test_artifacts.suite);
+      ("training_extras", Test_training_extras.suite);
+      ("p4_ir", Test_p4_ir.suite);
+      ("properties", Test_properties.suite);
+      ("end_to_end", Test_end_to_end.suite);
+      ("alchemy", Test_alchemy.suite);
+      ("core", Test_core.suite);
+    ]

@@ -1,0 +1,111 @@
+open Homunculus_util
+
+let feq = Alcotest.(check (float 1e-9))
+let feq6 = Alcotest.(check (float 1e-6))
+
+let test_clamp () =
+  feq "below" 0. (Mathx.clamp ~lo:0. ~hi:1. (-5.));
+  feq "above" 1. (Mathx.clamp ~lo:0. ~hi:1. 5.);
+  feq "inside" 0.5 (Mathx.clamp ~lo:0. ~hi:1. 0.5)
+
+let test_clamp_int () =
+  Alcotest.(check int) "below" 2 (Mathx.clamp_int ~lo:2 ~hi:8 1);
+  Alcotest.(check int) "above" 8 (Mathx.clamp_int ~lo:2 ~hi:8 9);
+  Alcotest.(check int) "inside" 5 (Mathx.clamp_int ~lo:2 ~hi:8 5)
+
+let test_sigmoid_values () =
+  feq "zero" 0.5 (Mathx.sigmoid 0.);
+  feq6 "symmetry" 1. (Mathx.sigmoid 3. +. Mathx.sigmoid (-3.));
+  Alcotest.(check bool) "large positive" true (Mathx.sigmoid 100. > 0.999);
+  Alcotest.(check bool) "large negative" true (Mathx.sigmoid (-100.) < 0.001)
+
+let test_sigmoid_stable () =
+  Alcotest.(check bool) "no overflow" true
+    (Float.is_finite (Mathx.sigmoid (-1e8)) && Float.is_finite (Mathx.sigmoid 1e8))
+
+let test_log_sum_exp () =
+  feq6 "two equal" (log 2.) (Mathx.log_sum_exp [| 0.; 0. |]);
+  feq6 "shift invariance"
+    (Mathx.log_sum_exp [| 1.; 2.; 3. |] +. 10.)
+    (Mathx.log_sum_exp [| 11.; 12.; 13. |]);
+  Alcotest.(check bool) "empty" true (Mathx.log_sum_exp [||] = neg_infinity);
+  Alcotest.(check bool) "huge values stable" true
+    (Float.is_finite (Mathx.log_sum_exp [| 1e4; 1e4 |]))
+
+let test_softmax () =
+  let p = Mathx.softmax [| 1.; 1.; 1. |] in
+  Alcotest.(check (array (float 1e-9))) "uniform" [| 1. /. 3.; 1. /. 3.; 1. /. 3. |] p;
+  let q = Mathx.softmax [| 1000.; 0. |] in
+  Alcotest.(check bool) "stable argmax" true (q.(0) > 0.999)
+
+let test_softmax_sums_to_one () =
+  let p = Mathx.softmax [| -3.; 0.; 2.; 5. |] in
+  feq6 "sum" 1. (Array.fold_left ( +. ) 0. p)
+
+let test_normal_pdf () =
+  feq6 "at zero" (1. /. sqrt (2. *. Float.pi)) (Mathx.normal_pdf 0.);
+  Alcotest.(check bool) "symmetric" true
+    (Float.abs (Mathx.normal_pdf 1.3 -. Mathx.normal_pdf (-1.3)) < 1e-12)
+
+let test_normal_cdf () =
+  Alcotest.(check (float 1e-6)) "at zero" 0.5 (Mathx.normal_cdf 0.);
+  Alcotest.(check (float 1e-4)) "at 1.96" 0.975 (Mathx.normal_cdf 1.96);
+  Alcotest.(check (float 1e-4)) "at -1.96" 0.025 (Mathx.normal_cdf (-1.96));
+  Alcotest.(check bool) "monotone" true
+    (Mathx.normal_cdf (-1.) < Mathx.normal_cdf 0. && Mathx.normal_cdf 0. < Mathx.normal_cdf 1.)
+
+let test_ceil_div () =
+  Alcotest.(check int) "exact" 3 (Mathx.ceil_div 9 3);
+  Alcotest.(check int) "round up" 4 (Mathx.ceil_div 10 3);
+  Alcotest.(check int) "zero" 0 (Mathx.ceil_div 0 4);
+  Alcotest.check_raises "bad divisor"
+    (Invalid_argument "Mathx.ceil_div: non-positive divisor") (fun () ->
+      ignore (Mathx.ceil_div 1 0))
+
+let test_round_to () =
+  feq "two digits" 3.14 (Mathx.round_to 2 3.14159);
+  feq "zero digits" 3. (Mathx.round_to 0 3.14159)
+
+let test_approx_equal () =
+  Alcotest.(check bool) "close" true (Mathx.approx_equal 1. (1. +. 1e-12));
+  Alcotest.(check bool) "far" false (Mathx.approx_equal 1. 1.1);
+  Alcotest.(check bool) "custom eps" true (Mathx.approx_equal ~eps:0.2 1. 1.1)
+
+let test_linspace () =
+  Alcotest.(check (array (float 1e-9))) "0..1 in 5" [| 0.; 0.25; 0.5; 0.75; 1. |]
+    (Mathx.linspace 0. 1. 5);
+  Alcotest.check_raises "n=1"
+    (Invalid_argument "Mathx.linspace: need at least two points") (fun () ->
+      ignore (Mathx.linspace 0. 1. 1))
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"normal_cdf monotone" ~count:200
+    QCheck.(pair (float_range (-5.) 5.) (float_range 0. 2.))
+    (fun (x, dx) -> Mathx.normal_cdf x <= Mathx.normal_cdf (x +. dx) +. 1e-9)
+
+let prop_softmax_distribution =
+  QCheck.Test.make ~name:"softmax is a distribution" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 10) (float_range (-50.) 50.))
+    (fun xs ->
+      let p = Mathx.softmax xs in
+      Array.for_all (fun v -> v >= 0. && v <= 1.) p
+      && Float.abs (Array.fold_left ( +. ) 0. p -. 1.) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "clamp_int" `Quick test_clamp_int;
+    Alcotest.test_case "sigmoid values" `Quick test_sigmoid_values;
+    Alcotest.test_case "sigmoid stable" `Quick test_sigmoid_stable;
+    Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+    Alcotest.test_case "softmax" `Quick test_softmax;
+    Alcotest.test_case "softmax sums" `Quick test_softmax_sums_to_one;
+    Alcotest.test_case "normal pdf" `Quick test_normal_pdf;
+    Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+    Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "round_to" `Quick test_round_to;
+    Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+    Alcotest.test_case "linspace" `Quick test_linspace;
+    QCheck_alcotest.to_alcotest prop_cdf_monotone;
+    QCheck_alcotest.to_alcotest prop_softmax_distribution;
+  ]

@@ -1,0 +1,161 @@
+open Homunculus_ml
+
+let feq = Alcotest.(check (float 1e-9))
+let feq6 = Alcotest.(check (float 1e-6))
+
+let test_confusion () =
+  let m =
+    Metrics.confusion ~n_classes:2 ~pred:[| 1; 0; 1; 1 |] ~truth:[| 1; 0; 0; 1 |]
+  in
+  Alcotest.(check int) "tn" 1 m.(0).(0);
+  Alcotest.(check int) "fp" 1 m.(0).(1);
+  Alcotest.(check int) "fn" 0 m.(1).(0);
+  Alcotest.(check int) "tp" 2 m.(1).(1)
+
+let test_confusion_rejects () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Metrics: pred/truth length mismatch") (fun () ->
+      ignore (Metrics.confusion ~n_classes:2 ~pred:[| 0 |] ~truth:[| 0; 1 |]))
+
+let test_accuracy () =
+  feq "3/4" 0.75 (Metrics.accuracy ~pred:[| 1; 0; 1; 1 |] ~truth:[| 1; 0; 0; 1 |])
+
+let test_precision_recall () =
+  let pred = [| 1; 1; 0; 0; 1 |] and truth = [| 1; 0; 1; 0; 1 |] in
+  feq "precision" (2. /. 3.) (Metrics.precision ~pred ~truth ());
+  feq "recall" (2. /. 3.) (Metrics.recall ~pred ~truth ())
+
+let test_f1_perfect () =
+  feq "perfect" 1. (Metrics.f1 ~pred:[| 1; 0; 1 |] ~truth:[| 1; 0; 1 |] ())
+
+let test_f1_no_positives_predicted () =
+  feq "zero" 0. (Metrics.f1 ~pred:[| 0; 0 |] ~truth:[| 1; 1 |] ())
+
+let test_f1_harmonic_mean () =
+  let pred = [| 1; 1; 0; 0; 1 |] and truth = [| 1; 0; 1; 0; 1 |] in
+  let p = Metrics.precision ~pred ~truth () in
+  let r = Metrics.recall ~pred ~truth () in
+  feq6 "harmonic" (2. *. p *. r /. (p +. r)) (Metrics.f1 ~pred ~truth ())
+
+let test_f1_positive_class () =
+  (* With positive = 0 the roles of the classes flip. *)
+  let pred = [| 0; 0; 1 |] and truth = [| 0; 1; 1 |] in
+  feq "pos=0 precision" 0.5 (Metrics.precision ~positive:0 ~pred ~truth ());
+  feq "pos=0 recall" 1. (Metrics.recall ~positive:0 ~pred ~truth ())
+
+let test_macro_f1 () =
+  let pred = [| 0; 1; 2; 0 |] and truth = [| 0; 1; 2; 0 |] in
+  feq "perfect macro" 1. (Metrics.macro_f1 ~n_classes:3 ~pred ~truth)
+
+let test_macro_f1_partial () =
+  (* Class 2 never predicted: its F1 is 0, dragging the macro average. *)
+  let pred = [| 0; 1; 0; 1 |] and truth = [| 0; 1; 2; 2 |] in
+  let m = Metrics.macro_f1 ~n_classes:3 ~pred ~truth in
+  Alcotest.(check bool) "strictly below 1" true (m < 1.);
+  Alcotest.(check bool) "above 0" true (m > 0.)
+
+let test_f1_percent () =
+  feq "percent" 100. (Metrics.f1_percent ~pred:[| 1 |] ~truth:[| 1 |] ())
+
+let test_homogeneity_perfect () =
+  feq6 "clusters = classes" 1.
+    (Metrics.homogeneity ~pred:[| 0; 0; 1; 1 |] ~truth:[| 1; 1; 0; 0 |])
+
+let test_homogeneity_merged () =
+  (* One cluster holding both classes is maximally inhomogeneous. *)
+  feq6 "single cluster" 0.
+    (Metrics.homogeneity ~pred:[| 0; 0; 0; 0 |] ~truth:[| 0; 0; 1; 1 |])
+
+let test_completeness_split () =
+  (* Every sample its own cluster: perfectly homogeneous, half complete
+     (H(K|C) = log 2, H(K) = log 4). *)
+  let pred = [| 0; 1; 2; 3 |] and truth = [| 0; 0; 1; 1 |] in
+  feq6 "homogeneous" 1. (Metrics.homogeneity ~pred ~truth);
+  feq6 "half complete" 0.5 (Metrics.completeness ~pred ~truth)
+
+let test_v_measure_perfect () =
+  feq6 "perfect" 1. (Metrics.v_measure ~pred:[| 1; 1; 0 |] ~truth:[| 0; 0; 1 |] ())
+
+let test_v_measure_zero () =
+  feq6 "uninformative" 0.
+    (Metrics.v_measure ~pred:[| 0; 0; 0; 0 |] ~truth:[| 0; 0; 1; 1 |] ())
+
+let test_v_measure_beta () =
+  (* h = 1, c = 0.5: v_beta = (1+b)*h*c / (b*h + c). Larger beta weights the
+     weaker completeness more, lowering the score. *)
+  let pred = [| 0; 1; 2; 3 |] and truth = [| 0; 0; 1; 1 |] in
+  feq6 "beta=1" (2. *. 0.5 /. 1.5) (Metrics.v_measure ~beta:1. ~pred ~truth ());
+  feq6 "beta=2" (3. *. 0.5 /. 2.5) (Metrics.v_measure ~beta:2. ~pred ~truth ());
+  Alcotest.(check bool) "beta=2 below beta=1" true
+    (Metrics.v_measure ~beta:2. ~pred ~truth ()
+    < Metrics.v_measure ~beta:1. ~pred ~truth ())
+
+let test_v_measure_monotone_in_merging () =
+  (* Merging the correct clusters improves V-measure over a random merge. *)
+  let truth = [| 0; 0; 0; 1; 1; 1 |] in
+  let good = [| 0; 0; 0; 1; 1; 1 |] in
+  let bad = [| 0; 1; 0; 1; 0; 1 |] in
+  Alcotest.(check bool) "good > bad" true
+    (Metrics.v_measure ~pred:good ~truth () > Metrics.v_measure ~pred:bad ~truth ())
+
+let labels_gen n_classes =
+  QCheck.(array_of_size Gen.(int_range 2 40) (int_range 0 (n_classes - 1)))
+
+let prop_f1_bounded =
+  QCheck.Test.make ~name:"f1 in [0,1]" ~count:200
+    QCheck.(pair (labels_gen 2) (labels_gen 2))
+    (fun (pred, truth) ->
+      QCheck.assume (Array.length pred = Array.length truth);
+      let f = Metrics.f1 ~pred ~truth () in
+      f >= 0. && f <= 1.)
+
+let prop_accuracy_bounded =
+  QCheck.Test.make ~name:"accuracy in [0,1]" ~count:200
+    QCheck.(pair (labels_gen 3) (labels_gen 3))
+    (fun (pred, truth) ->
+      QCheck.assume (Array.length pred = Array.length truth);
+      let a = Metrics.accuracy ~pred ~truth in
+      a >= 0. && a <= 1.)
+
+let prop_v_measure_bounded =
+  QCheck.Test.make ~name:"v-measure in [0,1]" ~count:200
+    QCheck.(pair (labels_gen 4) (labels_gen 3))
+    (fun (pred, truth) ->
+      QCheck.assume (Array.length pred = Array.length truth);
+      let v = Metrics.v_measure ~pred ~truth () in
+      v >= -1e-9 && v <= 1. +. 1e-9)
+
+let prop_v_measure_symmetric =
+  QCheck.Test.make ~name:"v-measure symmetric (beta=1)" ~count:200
+    QCheck.(pair (labels_gen 3) (labels_gen 3))
+    (fun (pred, truth) ->
+      QCheck.assume (Array.length pred = Array.length truth);
+      let a = Metrics.v_measure ~pred ~truth () in
+      let b = Metrics.v_measure ~pred:truth ~truth:pred () in
+      Float.abs (a -. b) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "confusion" `Quick test_confusion;
+    Alcotest.test_case "confusion rejects" `Quick test_confusion_rejects;
+    Alcotest.test_case "accuracy" `Quick test_accuracy;
+    Alcotest.test_case "precision/recall" `Quick test_precision_recall;
+    Alcotest.test_case "f1 perfect" `Quick test_f1_perfect;
+    Alcotest.test_case "f1 degenerate" `Quick test_f1_no_positives_predicted;
+    Alcotest.test_case "f1 harmonic" `Quick test_f1_harmonic_mean;
+    Alcotest.test_case "f1 positive class" `Quick test_f1_positive_class;
+    Alcotest.test_case "macro f1 perfect" `Quick test_macro_f1;
+    Alcotest.test_case "macro f1 partial" `Quick test_macro_f1_partial;
+    Alcotest.test_case "f1 percent" `Quick test_f1_percent;
+    Alcotest.test_case "homogeneity perfect" `Quick test_homogeneity_perfect;
+    Alcotest.test_case "homogeneity merged" `Quick test_homogeneity_merged;
+    Alcotest.test_case "completeness split" `Quick test_completeness_split;
+    Alcotest.test_case "v-measure perfect" `Quick test_v_measure_perfect;
+    Alcotest.test_case "v-measure zero" `Quick test_v_measure_zero;
+    Alcotest.test_case "v-measure beta" `Quick test_v_measure_beta;
+    Alcotest.test_case "v-measure ranks merges" `Quick test_v_measure_monotone_in_merging;
+    QCheck_alcotest.to_alcotest prop_f1_bounded;
+    QCheck_alcotest.to_alcotest prop_accuracy_bounded;
+    QCheck_alcotest.to_alcotest prop_v_measure_bounded;
+    QCheck_alcotest.to_alcotest prop_v_measure_symmetric;
+  ]

@@ -1,0 +1,173 @@
+(* Flow-state capacity and the cycle-accurate grid pipeline simulator. *)
+open Homunculus_backends
+open Homunculus_netdata
+
+(* Flow_table *)
+
+let test_capacity_formula () =
+  let t = Flow_table.create ~sram_bytes:(1 lsl 20) ~marker_bins:151 () in
+  Alcotest.(check int) "1MiB / (151*2)" (1048576 / 302) (Flow_table.capacity t);
+  let t30 = Flow_table.create ~sram_bytes:(1 lsl 20) ~marker_bins:30 () in
+  (* The paper's claim: a 5x smaller marker tracks ~5x more flows. *)
+  let ratio =
+    float_of_int (Flow_table.capacity t30) /. float_of_int (Flow_table.capacity t)
+  in
+  Alcotest.(check bool) "5x capacity" true (ratio > 4.9 && ratio < 5.2)
+
+let test_create_validates () =
+  Alcotest.check_raises "no slot"
+    (Invalid_argument "Flow_table.create: no slot fits the SRAM") (fun () ->
+      ignore (Flow_table.create ~sram_bytes:10 ~marker_bins:151 ()))
+
+let test_record_and_read () =
+  let t = Flow_table.create ~sram_bytes:4096 ~marker_bins:4 () in
+  let k = Flow_table.key_of_ints 1 2 in
+  Flow_table.record t k ~value:1. ~bin:0;
+  Flow_table.record t k ~value:2. ~bin:3;
+  (match Flow_table.marker t k with
+  | Some bins -> Alcotest.(check (array (float 0.))) "marker" [| 1.; 0.; 0.; 2. |] bins
+  | None -> Alcotest.fail "marker missing");
+  Alcotest.(check int) "one active flow" 1 (Flow_table.active_flows t)
+
+let test_record_validates_bin () =
+  let t = Flow_table.create ~sram_bytes:4096 ~marker_bins:4 () in
+  Alcotest.check_raises "bad bin" (Invalid_argument "Flow_table.record: bad bin")
+    (fun () -> Flow_table.record t (Flow_table.key_of_ints 1 2) ~value:1. ~bin:4)
+
+let test_eviction_on_collision () =
+  (* A 1-slot table: any second flow evicts the first. *)
+  let t = Flow_table.create ~sram_bytes:8 ~marker_bins:4 () in
+  Alcotest.(check int) "single slot" 1 (Flow_table.capacity t);
+  let a = Flow_table.key_of_ints 1 2 and b = Flow_table.key_of_ints 3 4 in
+  Flow_table.record t a ~value:1. ~bin:0;
+  Flow_table.record t b ~value:1. ~bin:0;
+  Alcotest.(check int) "one eviction" 1 (Flow_table.evictions t);
+  Alcotest.(check bool) "a lost its state" true (Flow_table.marker t a = None);
+  (match Flow_table.marker t b with
+  | Some bins -> Alcotest.(check (float 0.)) "b fresh" 1. bins.(0)
+  | None -> Alcotest.fail "b should own the slot")
+
+let test_stress_underload_vs_overload () =
+  let t = Flow_table.create ~sram_bytes:65536 ~marker_bins:30 () in
+  let cap = Flow_table.capacity t in
+  let light =
+    Flow_table.stress
+      (Flow_table.create ~sram_bytes:65536 ~marker_bins:30 ())
+      ~n_flows:(cap / 10) ~touches_per_flow:3
+  in
+  let heavy =
+    Flow_table.stress
+      (Flow_table.create ~sram_bytes:65536 ~marker_bins:30 ())
+      ~n_flows:(cap * 4) ~touches_per_flow:3
+  in
+  Alcotest.(check bool) "light load mostly intact" true (light > 0.85);
+  Alcotest.(check bool) "overload collapses" true (heavy < 0.4);
+  Alcotest.(check bool) "monotone" true (light > heavy)
+
+(* Grid_sim *)
+
+let layer n_in n_out =
+  {
+    Model_ir.n_in;
+    n_out;
+    activation = "relu";
+    weights = Array.make_matrix n_out n_in 0.1;
+    biases = Array.make n_out 0.;
+  }
+
+let small_dnn =
+  Model_ir.Dnn { name = "m"; layers = [| layer 7 12; layer 12 8; layer 8 2 |] }
+
+let huge_dnn =
+  Model_ir.Dnn
+    { name = "big"; layers = [| layer 64 64; layer 64 64; layer 64 64; layer 64 2 |] }
+
+let grid = Taurus.default_grid
+
+let test_grid_sim_agrees_with_analytical () =
+  List.iter
+    (fun model ->
+      Alcotest.(check bool)
+        (Model_ir.name model ^ " agrees")
+        true
+        (Grid_sim.agrees_with_analytical grid model))
+    [
+      small_dnn; huge_dnn;
+      Model_ir.Kmeans { name = "k"; centroids = Array.make_matrix 5 7 0.1 };
+      Model_ir.Svm
+        { name = "s"; class_weights = Array.make_matrix 3 7 0.1; biases = Array.make 3 0. };
+    ]
+
+let test_grid_sim_pipelining_overlaps () =
+  (* With II = 1, n packets leave in first_latency + (n - 1) cycles. *)
+  let stages = Grid_sim.stages_of_model grid small_dnn in
+  let trace = Grid_sim.run stages ~n_packets:100 in
+  let first = Grid_sim.packet_latency trace 0 in
+  Alcotest.(check int) "perfect overlap" (first + 99) (Grid_sim.total_cycles trace)
+
+let test_grid_sim_ii_gt_one_slows_departures () =
+  let stages =
+    [
+      { Grid_sim.label = "a"; latency_cycles = 4; ii_cycles = 3 };
+      { Grid_sim.label = "b"; latency_cycles = 5; ii_cycles = 3 };
+    ]
+  in
+  let trace = Grid_sim.run stages ~n_packets:50 in
+  Alcotest.(check (float 0.01)) "departure gap = II" 3.
+    (Grid_sim.steady_state_interval trace)
+
+let test_grid_sim_bottleneck_dominates () =
+  let stages =
+    [
+      { Grid_sim.label = "fast"; latency_cycles = 2; ii_cycles = 1 };
+      { Grid_sim.label = "slow"; latency_cycles = 2; ii_cycles = 4 };
+      { Grid_sim.label = "fast2"; latency_cycles = 2; ii_cycles = 1 };
+    ]
+  in
+  let trace = Grid_sim.run stages ~n_packets:64 in
+  Alcotest.(check (float 0.01)) "bottleneck II wins" 4.
+    (Grid_sim.steady_state_interval trace)
+
+let test_grid_sim_occupancy () =
+  let stages = Grid_sim.stages_of_model grid small_dnn in
+  let trace = Grid_sim.run stages ~n_packets:200 in
+  let occ = Grid_sim.stage_occupancy trace in
+  Alcotest.(check int) "one entry per stage" 3 (List.length occ);
+  List.iter
+    (fun (label, o) ->
+      Alcotest.(check bool) (label ^ " occupancy sane") true (o > 0. && o <= 1.))
+    occ
+
+let test_grid_sim_latency_constant_at_ii1 () =
+  let stages = Grid_sim.stages_of_model grid small_dnn in
+  let trace = Grid_sim.run stages ~n_packets:50 in
+  let first = Grid_sim.packet_latency trace 0 in
+  Alcotest.(check int) "no queueing at capacity" first
+    (Grid_sim.packet_latency trace 49)
+
+let test_grid_sim_validates () =
+  Alcotest.check_raises "no stages" (Invalid_argument "Grid_sim.run: no stages")
+    (fun () -> ignore (Grid_sim.run [] ~n_packets:1));
+  Alcotest.check_raises "bad stage"
+    (Invalid_argument "Grid_sim.run: non-positive stage parameters") (fun () ->
+      ignore
+        (Grid_sim.run
+           [ { Grid_sim.label = "x"; latency_cycles = 0; ii_cycles = 1 } ]
+           ~n_packets:1))
+
+let suite =
+  [
+    Alcotest.test_case "flow capacity 5x claim" `Quick test_capacity_formula;
+    Alcotest.test_case "flow create validates" `Quick test_create_validates;
+    Alcotest.test_case "flow record/read" `Quick test_record_and_read;
+    Alcotest.test_case "flow bad bin" `Quick test_record_validates_bin;
+    Alcotest.test_case "flow eviction" `Quick test_eviction_on_collision;
+    Alcotest.test_case "flow stress" `Quick test_stress_underload_vs_overload;
+    Alcotest.test_case "grid sim = analytical" `Quick test_grid_sim_agrees_with_analytical;
+    Alcotest.test_case "grid sim overlap" `Quick test_grid_sim_pipelining_overlaps;
+    Alcotest.test_case "grid sim II" `Quick test_grid_sim_ii_gt_one_slows_departures;
+    Alcotest.test_case "grid sim bottleneck" `Quick test_grid_sim_bottleneck_dominates;
+    Alcotest.test_case "grid sim occupancy" `Quick test_grid_sim_occupancy;
+    Alcotest.test_case "grid sim flat latency" `Quick test_grid_sim_latency_constant_at_ii1;
+    Alcotest.test_case "grid sim validates" `Quick test_grid_sim_validates;
+  ]

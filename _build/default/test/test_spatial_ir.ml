@@ -1,0 +1,161 @@
+(* The Spatial AST: printer, templates, and IR-level analyses. *)
+open Homunculus_backends
+open Spatial_ir
+
+let render stmt = Format.asprintf "%a" pp_stmt stmt
+let render_expr e = Format.asprintf "%a" pp_expr e
+
+let test_expr_printing () =
+  Alcotest.(check string) "index" "w(i, j)"
+    (render_expr (Index { base = "w"; indices = [ Var "i"; Var "j" ] }));
+  Alcotest.(check string) "binop" "a * b"
+    (render_expr (Binop { op = "*"; lhs = Var "a"; rhs = Var "b" }));
+  Alcotest.(check string) "call" "max(z, 0.to[T])"
+    (render_expr (Call { fn = "max"; args = [ Var "z"; Var "0.to[T]" ] }));
+  Alcotest.(check string) "const" "0.500000" (render_expr (Const 0.5));
+  Alcotest.(check string) "int" "7" (render_expr (Int_const 7))
+
+let test_stmt_printing () =
+  Alcotest.(check string) "val" "val x = y"
+    (render (Val { name = "x"; value = Var "y" }));
+  Alcotest.(check string) "sram buffered" "val b = SRAM[T](8).buffer"
+    (render (Sram_alloc { name = "b"; size = 8; buffered = true }));
+  Alcotest.(check string) "sram plain" "val b = SRAM[T](8)"
+    (render (Sram_alloc { name = "b"; size = 8; buffered = false }));
+  let foreach =
+    render
+      (Foreach
+         { var = "i"; bound = 4; par = 2; body = [ Comment "body" ] })
+  in
+  Alcotest.(check bool) "foreach header" true
+    (String.length foreach > 0
+    && String.sub foreach 0 28 = "Foreach(0 until 4 par 2) { i")
+
+let test_dot_product_template () =
+  let code =
+    render (dot_product ~target:"d" ~weights:"w" ~input:"x" ~row:(Var "i") ~n:16)
+  in
+  let has sub =
+    let n = String.length code and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub code i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "reduce register" true (has "Reduce(Reg[T](0.to[T]))");
+  Alcotest.(check bool) "8-wide" true (has "par 8");
+  Alcotest.(check bool) "elementwise product" true (has "w(i, j) * x(j)");
+  Alcotest.(check bool) "sum combine" true (has "{ _ + _ }")
+
+let test_dense_layer_template () =
+  let code =
+    render
+      (dense_layer ~layer_idx:0 ~prefix:"m" ~src:"a" ~dst:"b" ~n_in:4 ~n_out:3
+         ~activation:"relu")
+  in
+  let has sub =
+    let n = String.length code and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub code i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "foreach neurons" true (has "Foreach(0 until 3");
+  Alcotest.(check bool) "bias add" true (has "acc + m_B0(i)");
+  Alcotest.(check bool) "activation" true (has "max(z, 0.to[T])");
+  Alcotest.(check bool) "writes dst" true (has "b(i) =")
+
+let test_unknown_activation_rejected () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Spatial_ir.activation_expr: unknown gelu") (fun () ->
+      ignore
+        (dense_layer ~layer_idx:0 ~prefix:"m" ~src:"a" ~dst:"b" ~n_in:2 ~n_out:2
+           ~activation:"gelu"))
+
+let layer n_in n_out =
+  {
+    Model_ir.n_in;
+    n_out;
+    activation = "relu";
+    weights = Array.make_matrix n_out n_in 0.25;
+    biases = Array.make n_out 0.;
+  }
+
+let test_program_analyses () =
+  let model = Model_ir.Dnn { name = "m"; layers = [| layer 8 4; layer 4 2 |] } in
+  let p = Spatial.program_of model in
+  (* Two Reduce(par 8) + Reduce(par 4) + two Foreach(par 1). *)
+  Alcotest.(check int) "lanes" (8 + 4 + 1 + 1) (count_parallel_lanes p);
+  Alcotest.(check bool) "statements counted" true (count_statements p > 10)
+
+let test_print_parses_as_lines () =
+  let model = Model_ir.Dnn { name = "m"; layers = [| layer 3 2 |] } in
+  let code = print (Spatial.program_of model) in
+  (* Balanced braces in the emitted program. *)
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 code in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check int) "balanced parens" (count '(') (count ')')
+
+let test_all_algorithms_balanced () =
+  let models =
+    [
+      Model_ir.Kmeans { name = "k"; centroids = Array.make_matrix 3 5 0.1 };
+      Model_ir.Svm
+        { name = "s"; class_weights = Array.make_matrix 2 5 0.1; biases = [| 0.; 0. |] };
+      Model_ir.Tree
+        {
+          name = "t";
+          root =
+            Homunculus_ml.Decision_tree.Split
+              {
+                feature = 0;
+                threshold = 0.5;
+                left = Homunculus_ml.Decision_tree.Leaf { distribution = [| 1.; 0. |] };
+                right = Homunculus_ml.Decision_tree.Leaf { distribution = [| 0.; 1. |] };
+              };
+          n_features = 5;
+          n_classes = 2;
+        };
+    ]
+  in
+  List.iter
+    (fun m ->
+      let code = Spatial.emit m in
+      let count c =
+        String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 code
+      in
+      Alcotest.(check int) (Model_ir.algorithm m ^ " braces") (count '{') (count '}'))
+    models
+
+let test_bundle_namespaces_duplicates () =
+  let m = Model_ir.Dnn { name = "ad"; layers = [| layer 3 2 |] } in
+  let code = Spatial.emit_bundle ~name:"chain" [ m; m; m ] in
+  let has sub =
+    let n = String.length code and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub code i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "first instance" true (has "=== instance ad ===");
+  Alcotest.(check bool) "suffixed instances" true
+    (has "=== instance ad_1 ===" && has "=== instance ad_2 ===");
+  Alcotest.(check bool) "distinct weight tables" true (has "ad_1_W0" && has "ad_2_W0");
+  Alcotest.(check bool) "one verdict per instance" true
+    (has "verdict_ad " && has "verdict_ad_2");
+  let count c =
+    String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 code
+  in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}')
+
+let test_bundle_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Spatial.emit_bundle: no models")
+    (fun () -> ignore (Spatial.emit_bundle ~name:"x" []))
+
+let suite =
+  [
+    Alcotest.test_case "expr printing" `Quick test_expr_printing;
+    Alcotest.test_case "stmt printing" `Quick test_stmt_printing;
+    Alcotest.test_case "dot product template" `Quick test_dot_product_template;
+    Alcotest.test_case "dense layer template" `Quick test_dense_layer_template;
+    Alcotest.test_case "unknown activation" `Quick test_unknown_activation_rejected;
+    Alcotest.test_case "program analyses" `Quick test_program_analyses;
+    Alcotest.test_case "balanced output" `Quick test_print_parses_as_lines;
+    Alcotest.test_case "all algorithms balanced" `Quick test_all_algorithms_balanced;
+    Alcotest.test_case "bundle namespacing" `Quick test_bundle_namespaces_duplicates;
+    Alcotest.test_case "bundle rejects empty" `Quick test_bundle_rejects_empty;
+  ]

@@ -1,0 +1,144 @@
+open Homunculus_util
+
+let feq = Alcotest.(check (float 1e-9))
+let feq6 = Alcotest.(check (float 1e-6))
+
+let test_mean () = feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+let test_mean_single () = feq "singleton" 7. (Stats.mean [| 7. |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_variance () =
+  feq "population variance" 1.25 (Stats.variance [| 1.; 2.; 3.; 4. |])
+
+let test_variance_constant () = feq "constant" 0. (Stats.variance [| 3.; 3.; 3. |])
+
+let test_std () = feq "std" 2. (Stats.std [| 2.; 2.; 6.; 6. |])
+
+let test_min_max () =
+  feq "min" (-2.) (Stats.min [| 3.; -2.; 5. |]);
+  feq "max" 5. (Stats.max [| 3.; -2.; 5. |])
+
+let test_sum () =
+  feq "sum" 6. (Stats.sum [| 1.; 2.; 3. |]);
+  feq "empty sum" 0. (Stats.sum [||])
+
+let test_median_odd () = feq "odd" 3. (Stats.median [| 5.; 3.; 1. |])
+let test_median_even () = feq "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_median_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  let _ = Stats.median xs in
+  Alcotest.(check (array (float 0.))) "unchanged" [| 3.; 1.; 2. |] xs
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  feq "p0" 1. (Stats.percentile xs 0.);
+  feq "p100" 5. (Stats.percentile xs 100.);
+  feq "p50" 3. (Stats.percentile xs 50.);
+  feq "p25" 2. (Stats.percentile xs 25.)
+
+let test_percentile_interpolates () =
+  feq "p75 of pair" 1.75 (Stats.percentile [| 1.; 2. |] 75.)
+
+let test_percentile_range () =
+  Alcotest.check_raises "p>100"
+    (Invalid_argument "Stats.percentile: p outside [0,100]") (fun () ->
+      ignore (Stats.percentile [| 1. |] 101.))
+
+let test_argmax_argmin () =
+  Alcotest.(check int) "argmax" 2 (Stats.argmax [| 1.; 0.; 9.; 9. |]);
+  Alcotest.(check int) "argmin" 1 (Stats.argmin [| 1.; 0.; 9. |])
+
+let test_entropy_uniform () =
+  feq6 "uniform over 4" (log 4.) (Stats.entropy [| 1.; 1.; 1.; 1. |])
+
+let test_entropy_point_mass () = feq "point mass" 0. (Stats.entropy [| 0.; 5.; 0. |])
+
+let test_entropy_scale_invariant () =
+  feq6 "scale invariant"
+    (Stats.entropy [| 1.; 3. |])
+    (Stats.entropy [| 10.; 30. |])
+
+let test_mutual_information_independent () =
+  (* Product table: MI = 0. *)
+  feq6 "independent" 0.
+    (Stats.mutual_information [| [| 1.; 1. |]; [| 1.; 1. |] |])
+
+let test_mutual_information_identity () =
+  (* Perfectly dependent 2x2: MI = log 2. *)
+  feq6 "identity" (log 2.)
+    (Stats.mutual_information [| [| 1.; 0. |]; [| 0.; 1. |] |])
+
+let test_pearson_perfect () =
+  feq6 "positive" 1. (Stats.pearson [| 1.; 2.; 3. |] [| 2.; 4.; 6. |]);
+  feq6 "negative" (-1.) (Stats.pearson [| 1.; 2.; 3. |] [| 3.; 2.; 1. |])
+
+let test_pearson_constant () =
+  feq "constant side" 0. (Stats.pearson [| 1.; 1.; 1. |] [| 1.; 2.; 3. |])
+
+let test_normalize () =
+  Alcotest.(check (array (float 1e-9))) "sums to one" [| 0.25; 0.75 |]
+    (Stats.normalize [| 1.; 3. |]);
+  Alcotest.(check (array (float 1e-9))) "all zero stays zero" [| 0.; 0. |]
+    (Stats.normalize [| 0.; 0. |])
+
+(* qcheck properties *)
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.min xs -. 1e-9 && m <= Stats.max xs +. 1e-9)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance non-negative" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+    (fun xs -> Stats.variance xs >= -1e-9)
+
+let prop_entropy_nonneg =
+  QCheck.Test.make ~name:"entropy non-negative and bounded by log n" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 20) (float_range 0. 10.))
+    (fun xs ->
+      let h = Stats.entropy xs in
+      h >= -1e-9 && h <= log (float_of_int (Array.length xs)) +. 1e-6)
+
+let prop_normalize_sums_to_one =
+  QCheck.Test.make ~name:"normalize sums to 1 (or all-zero)" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 20) (float_range 0. 10.))
+    (fun xs ->
+      let total = Stats.sum (Stats.normalize xs) in
+      Float.abs (total -. 1.) < 1e-9 || total = 0.)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean singleton" `Quick test_mean_single;
+    Alcotest.test_case "mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "variance constant" `Quick test_variance_constant;
+    Alcotest.test_case "std" `Quick test_std;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "sum" `Quick test_sum;
+    Alcotest.test_case "median odd" `Quick test_median_odd;
+    Alcotest.test_case "median even" `Quick test_median_even;
+    Alcotest.test_case "median pure" `Quick test_median_does_not_mutate;
+    Alcotest.test_case "percentile anchors" `Quick test_percentile;
+    Alcotest.test_case "percentile interpolates" `Quick test_percentile_interpolates;
+    Alcotest.test_case "percentile range" `Quick test_percentile_range;
+    Alcotest.test_case "argmax/argmin" `Quick test_argmax_argmin;
+    Alcotest.test_case "entropy uniform" `Quick test_entropy_uniform;
+    Alcotest.test_case "entropy point mass" `Quick test_entropy_point_mass;
+    Alcotest.test_case "entropy scale invariant" `Quick test_entropy_scale_invariant;
+    Alcotest.test_case "MI independent" `Quick test_mutual_information_independent;
+    Alcotest.test_case "MI identity" `Quick test_mutual_information_identity;
+    Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;
+    Alcotest.test_case "pearson constant" `Quick test_pearson_constant;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    QCheck_alcotest.to_alcotest prop_mean_bounded;
+    QCheck_alcotest.to_alcotest prop_variance_nonneg;
+    QCheck_alcotest.to_alcotest prop_entropy_nonneg;
+    QCheck_alcotest.to_alcotest prop_normalize_sums_to_one;
+  ]

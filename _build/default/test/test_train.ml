@@ -1,0 +1,143 @@
+open Homunculus_ml
+module Rng = Homunculus_util.Rng
+
+(* A linearly separable 2D blob pair any working trainer must nail. *)
+let blobs rng n =
+  let x = Array.make (2 * n) [||] in
+  let y = Array.make (2 * n) 0 in
+  for i = 0 to n - 1 do
+    x.(i) <- [| Rng.gaussian rng ~mu:(-2.) (); Rng.gaussian rng ~mu:(-2.) () |];
+    y.(i) <- 0;
+    x.(n + i) <- [| Rng.gaussian rng ~mu:2. (); Rng.gaussian rng ~mu:2. () |];
+    y.(n + i) <- 1
+  done;
+  Dataset.create ~x ~y ~n_classes:2 ()
+
+(* Optimizer unit behaviour *)
+
+let test_sgd_step () =
+  let opt = Optimizer.create (Optimizer.sgd ~lr:0.1 ()) [| 2 |] in
+  let params = [| [| 1.; 2. |] |] in
+  Optimizer.step opt ~params ~grads:[| [| 1.; -1. |] |];
+  Alcotest.(check (array (float 1e-9))) "moved against gradient" [| 0.9; 2.1 |]
+    params.(0)
+
+let test_sgd_momentum_accumulates () =
+  let opt = Optimizer.create (Optimizer.sgd ~lr:0.1 ~momentum:0.9 ()) [| 1 |] in
+  let params = [| [| 0. |] |] in
+  Optimizer.step opt ~params ~grads:[| [| 1. |] |];
+  let after_one = params.(0).(0) in
+  Optimizer.step opt ~params ~grads:[| [| 1. |] |];
+  let second_step = params.(0).(0) -. after_one in
+  Alcotest.(check bool) "second step larger" true
+    (Float.abs second_step > Float.abs after_one)
+
+let test_adam_descends () =
+  (* Minimize f(x) = x^2 from x = 5. *)
+  let opt = Optimizer.create (Optimizer.adam ~lr:0.1 ()) [| 1 |] in
+  let params = [| [| 5. |] |] in
+  for _ = 1 to 200 do
+    let g = 2. *. params.(0).(0) in
+    Optimizer.step opt ~params ~grads:[| [| g |] |]
+  done;
+  Alcotest.(check bool) "near 0" true (Float.abs params.(0).(0) < 0.1)
+
+let test_optimizer_rejects_mismatch () =
+  let opt = Optimizer.create (Optimizer.sgd ~lr:0.1 ()) [| 2 |] in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Optimizer.step: buffer size mismatch") (fun () ->
+      Optimizer.step opt ~params:[| [| 1. |] |] ~grads:[| [| 1. |] |])
+
+let test_learning_rate () =
+  Alcotest.(check (float 0.)) "sgd" 0.3 (Optimizer.learning_rate (Optimizer.sgd ~lr:0.3 ()));
+  Alcotest.(check (float 0.)) "adam" 0.01 (Optimizer.learning_rate (Optimizer.adam ~lr:0.01 ()))
+
+(* Training loop *)
+
+let test_fit_learns_blobs () =
+  let rng = Rng.create 5 in
+  let train = blobs rng 100 in
+  let test = blobs rng 50 in
+  let m = Mlp.create (Rng.create 1) ~input_dim:2 ~hidden:[| 8 |] ~output_dim:2 () in
+  let config = { Train.default_config with Train.epochs = 20; patience = None } in
+  let history = Train.fit (Rng.create 2) m config train in
+  Alcotest.(check bool) "f1 above 0.95" true (Train.evaluate_f1 m test > 0.95);
+  Alcotest.(check int) "ran all epochs" 20 history.Train.epochs_run
+
+let test_fit_loss_decreases () =
+  let rng = Rng.create 6 in
+  let train = blobs rng 100 in
+  let m = Mlp.create (Rng.create 1) ~input_dim:2 ~hidden:[| 8 |] ~output_dim:2 () in
+  let config = { Train.default_config with Train.epochs = 15; patience = None } in
+  let h = Train.fit (Rng.create 2) m config train in
+  let first = h.Train.train_loss.(0) in
+  let last = h.Train.train_loss.(Array.length h.Train.train_loss - 1) in
+  Alcotest.(check bool) "loss shrinks" true (last < first)
+
+let test_fit_early_stopping () =
+  let rng = Rng.create 7 in
+  let train = blobs rng 100 in
+  let validation = blobs rng 40 in
+  let m = Mlp.create (Rng.create 1) ~input_dim:2 ~hidden:[| 8 |] ~output_dim:2 () in
+  let config =
+    { Train.default_config with Train.epochs = 100; patience = Some 3 }
+  in
+  let h = Train.fit (Rng.create 2) m config ~validation train in
+  (* The task saturates immediately; patience should cut the run short. *)
+  Alcotest.(check bool) "stopped early" true (h.Train.epochs_run < 100);
+  Alcotest.(check int) "validation tracked" h.Train.epochs_run
+    (Array.length h.Train.val_metric)
+
+let test_fit_rejects_bad_config () =
+  let rng = Rng.create 8 in
+  let train = blobs rng 10 in
+  let m = Mlp.create (Rng.create 1) ~input_dim:2 ~hidden:[||] ~output_dim:2 () in
+  Alcotest.check_raises "epochs" (Invalid_argument "Train.fit: epochs <= 0")
+    (fun () ->
+      ignore
+        (Train.fit rng m { Train.default_config with Train.epochs = 0 } train))
+
+let test_evaluate_accuracy () =
+  let rng = Rng.create 9 in
+  let d = blobs rng 50 in
+  let m = Mlp.create (Rng.create 1) ~input_dim:2 ~hidden:[| 8 |] ~output_dim:2 () in
+  let acc = Train.evaluate_accuracy m d in
+  Alcotest.(check bool) "in [0,1]" true (acc >= 0. && acc <= 1.)
+
+let test_multiclass_macro_f1_path () =
+  (* 3-class blobs exercise the macro-F1 branch of evaluate_f1. *)
+  let rng = Rng.create 10 in
+  let n = 60 in
+  let x = Array.init (3 * n) (fun i ->
+      let c = i / n in
+      let mu = 6. *. float_of_int (c - 1) in
+      [| Rng.gaussian rng ~mu (); Rng.gaussian rng ~mu () |])
+  in
+  let y = Array.init (3 * n) (fun i -> i / n) in
+  let d = Dataset.create ~x ~y ~n_classes:3 () in
+  let m = Mlp.create (Rng.create 1) ~input_dim:2 ~hidden:[| 12 |] ~output_dim:3 () in
+  let config =
+    {
+      Train.default_config with
+      Train.epochs = 40;
+      patience = None;
+      optimizer = Optimizer.adam ~lr:1e-2 ();
+    }
+  in
+  let _ = Train.fit (Rng.create 2) m config d in
+  Alcotest.(check bool) "macro f1 high" true (Train.evaluate_f1 m d > 0.9)
+
+let suite =
+  [
+    Alcotest.test_case "sgd step" `Quick test_sgd_step;
+    Alcotest.test_case "sgd momentum" `Quick test_sgd_momentum_accumulates;
+    Alcotest.test_case "adam descends" `Quick test_adam_descends;
+    Alcotest.test_case "optimizer rejects mismatch" `Quick test_optimizer_rejects_mismatch;
+    Alcotest.test_case "learning rate accessor" `Quick test_learning_rate;
+    Alcotest.test_case "fit learns blobs" `Quick test_fit_learns_blobs;
+    Alcotest.test_case "fit loss decreases" `Quick test_fit_loss_decreases;
+    Alcotest.test_case "early stopping" `Quick test_fit_early_stopping;
+    Alcotest.test_case "rejects bad config" `Quick test_fit_rejects_bad_config;
+    Alcotest.test_case "evaluate accuracy" `Quick test_evaluate_accuracy;
+    Alcotest.test_case "multiclass macro f1" `Quick test_multiclass_macro_f1_path;
+  ]

@@ -1,0 +1,125 @@
+(* Weight decay, learning-rate schedules, and report rendering edges. *)
+open Homunculus_ml
+module Rng = Homunculus_util.Rng
+module Bo = Homunculus_bo
+
+let test_weight_decay_shrinks_weights () =
+  (* With zero gradients, decoupled decay shrinks parameters geometrically. *)
+  let opt =
+    Optimizer.create (Optimizer.sgd ~lr:0.1 ~weight_decay:1. ()) [| 2 |]
+  in
+  let params = [| [| 1.; -2. |] |] in
+  Optimizer.step opt ~params ~grads:[| [| 0.; 0. |] |];
+  Alcotest.(check (float 1e-9)) "shrunk +" 0.9 params.(0).(0);
+  Alcotest.(check (float 1e-9)) "shrunk -" (-1.8) params.(0).(1)
+
+let test_weight_decay_regularizes_training () =
+  (* Strong decay keeps the weight norm visibly smaller. *)
+  let blob rng n =
+    let x =
+      Array.init n (fun i ->
+          let mu = if i mod 2 = 0 then -2. else 2. in
+          [| Rng.gaussian rng ~mu (); Rng.gaussian rng ~mu () |])
+    in
+    Dataset.create ~x ~y:(Array.init n (fun i -> i mod 2)) ~n_classes:2 ()
+  in
+  let train_with wd =
+    let m = Mlp.create (Rng.create 1) ~input_dim:2 ~hidden:[| 8 |] ~output_dim:2 () in
+    let config =
+      {
+        Train.default_config with
+        Train.epochs = 20;
+        patience = None;
+        optimizer = Optimizer.adam ~lr:1e-2 ~weight_decay:wd ();
+      }
+    in
+    let _ = Train.fit (Rng.create 2) m config (blob (Rng.create 3) 200) in
+    let norm = ref 0. in
+    Array.iter
+      (fun buf -> Array.iter (fun v -> norm := !norm +. (v *. v)) buf)
+      (Mlp.parameter_buffers m);
+    sqrt !norm
+  in
+  Alcotest.(check bool) "decay shrinks the model" true
+    (train_with 0.3 < train_with 0.)
+
+let test_set_learning_rate () =
+  let opt = Optimizer.create (Optimizer.sgd ~lr:0.5 ()) [| 1 |] in
+  Alcotest.(check (float 0.)) "initial" 0.5 (Optimizer.current_learning_rate opt);
+  Optimizer.set_learning_rate opt 0.1;
+  let params = [| [| 0. |] |] in
+  Optimizer.step opt ~params ~grads:[| [| 1. |] |];
+  Alcotest.(check (float 1e-9)) "uses live lr" (-0.1) params.(0).(0);
+  Alcotest.check_raises "rejects non-positive"
+    (Invalid_argument "Optimizer.set_learning_rate: non-positive rate")
+    (fun () -> Optimizer.set_learning_rate opt 0.)
+
+let test_lr_decay_schedule_applied () =
+  (* After each epoch, lr is multiplied; training still works. *)
+  let rng = Rng.create 4 in
+  let x =
+    Array.init 100 (fun i ->
+        let mu = if i mod 2 = 0 then -2. else 2. in
+        [| Rng.gaussian rng ~mu (); Rng.gaussian rng ~mu () |])
+  in
+  let d = Dataset.create ~x ~y:(Array.init 100 (fun i -> i mod 2)) ~n_classes:2 () in
+  let m = Mlp.create (Rng.create 5) ~input_dim:2 ~hidden:[| 8 |] ~output_dim:2 () in
+  let config =
+    {
+      Train.default_config with
+      Train.epochs = 15;
+      patience = None;
+      optimizer = Optimizer.adam ~lr:2e-2 ();
+      lr_decay_per_epoch = 0.8;
+    }
+  in
+  let h = Train.fit (Rng.create 6) m config d in
+  Alcotest.(check int) "ran" 15 h.Train.epochs_run;
+  Alcotest.(check bool) "learned" true (Train.evaluate_f1 m d > 0.9)
+
+(* Report edge cases *)
+
+let test_render_regret_all_infeasible () =
+  let h = Bo.History.create () in
+  Bo.History.add h
+    ~config:(Bo.Config.make [ ("x", Bo.Param.Int_value 1) ])
+    ~objective:0.5 ~feasible:false ();
+  Alcotest.(check string) "placeholder" "(no feasible evaluations)"
+    (Homunculus_core.Report.render_regret h)
+
+let test_render_regret_flat_curve () =
+  let h = Bo.History.create () in
+  for i = 1 to 5 do
+    Bo.History.add h
+      ~config:(Bo.Config.make [ ("x", Bo.Param.Int_value i) ])
+      ~objective:0.5 ~feasible:true ()
+  done;
+  let plot = Homunculus_core.Report.render_regret h in
+  Alcotest.(check bool) "renders despite zero span" true (String.length plot > 50)
+
+let test_verdict_summary_mentions_feasibility () =
+  let open Homunculus_backends in
+  let v =
+    Resource.check Resource.line_rate
+      ~usages:[ Resource.usage ~resource:"CU" ~used:5. ~available:10. ]
+      ~latency_ns:10. ~throughput_gpps:1.
+  in
+  let s = Homunculus_core.Report.verdict_summary v in
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "FEASIBLE printed" true (has "FEASIBLE");
+  Alcotest.(check bool) "usage printed" true (has "5 CU")
+
+let suite =
+  [
+    Alcotest.test_case "weight decay shrinks" `Quick test_weight_decay_shrinks_weights;
+    Alcotest.test_case "weight decay regularizes" `Quick test_weight_decay_regularizes_training;
+    Alcotest.test_case "set learning rate" `Quick test_set_learning_rate;
+    Alcotest.test_case "lr decay schedule" `Quick test_lr_decay_schedule_applied;
+    Alcotest.test_case "regret all infeasible" `Quick test_render_regret_all_infeasible;
+    Alcotest.test_case "regret flat curve" `Quick test_render_regret_flat_curve;
+    Alcotest.test_case "verdict summary" `Quick test_verdict_summary_mentions_feasibility;
+  ]
