@@ -16,6 +16,7 @@ let experiments =
     ("fig6", Fig6.run);
     ("fig7", Fig7.run);
     ("reaction", Reaction_bench.run);
+    ("serve", Serve_bench.run);
     ("micro", Micro.run);
     ("ablation", Ablation.run);
   ]

@@ -5,7 +5,9 @@
                dump the generated backend code
      inspect   print a platform's resource model
      datasets  summarize the synthetic dataset generators
-     sweep     Fig. 7-style table-budget sweep for the KMeans classifier *)
+     sweep     Fig. 7-style table-budget sweep for the KMeans classifier
+     serve     replay a trace through the online serving runtime (drift
+               detection + hot-swap) *)
 
 open Cmdliner
 open Homunculus_alchemy
@@ -254,6 +256,119 @@ let export_trace seed flows output =
   | None -> print_string (Homunculus_netdata.Trace.to_string population));
   0
 
+(* serve: replay a frozen trace through the online serving runtime *)
+
+let serve trace_path seed rate window_events label_delay algorithm train_frac
+    no_update quantized inject_drift jsonl_out =
+  let module Serve = Homunculus_serve in
+  let module Trace = Homunculus_netdata.Trace in
+  let module Botnet = Homunculus_netdata.Botnet in
+  let flows = Trace.load ~path:trace_path in
+  let n = Array.length flows in
+  if n < 10 then failwith "trace too small: need at least 10 flows";
+  let rng = Rng.create seed in
+  let n_train =
+    Stdlib.max 1 (Stdlib.min (n - 1) (int_of_float (train_frac *. float_of_int n)))
+  in
+  let train_flows = Array.sub flows 0 n_train in
+  let serve_flows = Array.sub flows n_train (n - n_train) in
+  let algorithm =
+    match algorithm with
+    | "dnn" -> `Dnn
+    | "svm" -> `Svm
+    | "tree" -> `Tree
+    | other -> failwith (Printf.sprintf "unknown algorithm %s (use dnn|svm|tree)" other)
+  in
+  if quantized && algorithm = `Dnn then
+    failwith "quantized mode needs a MAT-mappable model: use --algorithm svm or tree";
+  let model =
+    Serve.Updater.bootstrap (Rng.split rng) ~algorithm ~bins:Botnet.Fused
+      ~name:"serve" train_flows
+  in
+  let window_s = 600. in
+  let events =
+    if inject_drift then begin
+      let half = Array.length serve_flows / 2 in
+      let phase_a = Array.sub serve_flows 0 half in
+      let phase_b =
+        Serve.Stream.renumber ~from:(n + Array.length serve_flows)
+          (Serve.Stream.shift_botnet
+             (Array.sub serve_flows half (Array.length serve_flows - half)))
+      in
+      let sched_a = Array.map (fun f -> (Rng.float rng window_s, f)) phase_a in
+      let sched_b =
+        Array.map (fun f -> (window_s +. Rng.float rng window_s, f)) phase_b
+      in
+      Serve.Stream.events_scheduled (Array.append sched_a sched_b)
+    end
+    else Serve.Stream.events rng ~start_window_s:window_s serve_flows
+  in
+  Printf.printf "%d flows -> %d per-packet events (%d bootstrap flows)%s\n"
+    (Array.length serve_flows) (Array.length events) n_train
+    (if inject_drift then
+       Printf.sprintf "; botnet profile shifts at t = %.0f s" window_s
+     else "");
+  let monitor =
+    Serve.Monitor.create
+      ~config:
+        {
+          Serve.Monitor.default_config with
+          Serve.Monitor.window_events;
+          label_delay_s = label_delay;
+        }
+      ~n_classes:2 ()
+  in
+  let updater =
+    if no_update then None
+    else
+      Some
+        (Serve.Updater.create (Rng.split rng)
+           ~n_features:(Botnet.n_features Botnet.Fused) ~n_classes:2 ())
+  in
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.service_rate_pps = rate;
+      mode = (if quantized then Serve.Engine.Quantized else Serve.Engine.Reference);
+    }
+  in
+  let engine = Serve.Engine.create ~config ~model ~monitor ?updater () in
+  let summary = Serve.Engine.run engine events in
+  Printf.printf "served %d, dropped %d of %d offered\n" summary.Serve.Engine.served
+    summary.Serve.Engine.dropped summary.Serve.Engine.offered;
+  let windows = summary.Serve.Engine.windows in
+  let n_windows = List.length windows in
+  let stride = Stdlib.max 1 (n_windows / 24) in
+  Printf.printf "%-8s %10s %8s %8s %8s %10s\n" "window" "t_end" "events" "acc"
+    "F1" "max queue";
+  List.iter
+    (fun (w : Serve.Monitor.window) ->
+      if w.Serve.Monitor.index mod stride = 0 then
+        Printf.printf "%-8d %10.1f %8d %8.3f %8.3f %10d\n" w.Serve.Monitor.index
+          w.Serve.Monitor.t_end w.Serve.Monitor.events w.Serve.Monitor.accuracy
+          w.Serve.Monitor.f1 w.Serve.Monitor.max_queue_depth)
+    windows;
+  List.iter
+    (fun (d : Serve.Monitor.drift) ->
+      Printf.printf "drift @ %.1f s: %s (%.3f), window %d\n" d.Serve.Monitor.ts
+        d.Serve.Monitor.reason d.Serve.Monitor.value d.Serve.Monitor.window)
+    summary.Serve.Engine.drift_events;
+  List.iter
+    (fun (s : Serve.Engine.swap) ->
+      Printf.printf
+        "swap  @ %.1f s: holdout F1 %.3f -> %.3f, %d queued packets preserved, \
+         %d dropped during swap\n"
+        s.Serve.Engine.swap_ts s.Serve.Engine.incumbent_f1
+        s.Serve.Engine.challenger_f1 s.Serve.Engine.queue_preserved
+        s.Serve.Engine.dropped_during_swap)
+    summary.Serve.Engine.swaps;
+  (match jsonl_out with
+  | Some path ->
+      Serve.Report.write_jsonl ~path summary;
+      Printf.printf "wrote timeline to %s\n" path
+  | None -> ());
+  0
+
 let flows_arg =
   let doc = "Number of flows to synthesize." in
   Arg.(value & opt int 200 & info [ "flows" ] ~docv:"N" ~doc)
@@ -299,12 +414,62 @@ let export_trace_cmd =
   Cmd.v (Cmd.info "export-trace" ~doc)
     Term.(const export_trace $ seed_arg $ flows_arg $ output_arg)
 
+let serve_cmd =
+  let trace_arg =
+    let doc = "Trace file to replay (see export-trace)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let rate_arg =
+    let doc = "Service rate in packets per virtual second." in
+    Arg.(value & opt float 200. & info [ "rate" ] ~docv:"PPS" ~doc)
+  in
+  let window_arg =
+    let doc = "Labeled events per evaluation window." in
+    Arg.(value & opt int 250 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let label_delay_arg =
+    let doc = "Virtual-time lag before ground-truth labels arrive, seconds." in
+    Arg.(value & opt float 5. & info [ "label-delay" ] ~docv:"S" ~doc)
+  in
+  let algorithm_arg =
+    let doc = "Model family to bootstrap: dnn, svm, or tree." in
+    Arg.(value & opt string "dnn" & info [ "algorithm" ] ~docv:"ALGO" ~doc)
+  in
+  let train_frac_arg =
+    let doc = "Fraction of the trace's flows used to train the initial model." in
+    Arg.(value & opt float 0.4 & info [ "train-frac" ] ~docv:"F" ~doc)
+  in
+  let no_update_arg =
+    let doc = "Monitor only: never retrain or hot-swap." in
+    Arg.(value & flag & info [ "no-update" ] ~doc)
+  in
+  let quantized_arg =
+    let doc = "Execute through the quantized MAT runtime instead of the \
+               floating-point reference (svm/tree models only)." in
+    Arg.(value & flag & info [ "quantized" ] ~doc)
+  in
+  let inject_drift_arg =
+    let doc = "Shift the botnet traffic profile for the second half of the \
+               replay (concept-drift demo)." in
+    Arg.(value & flag & info [ "inject-drift" ] ~doc)
+  in
+  let jsonl_arg =
+    let doc = "Write the window/drift/swap timeline as JSONL to this file." in
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Replay a trace through the online serving runtime." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ trace_arg $ seed_arg $ rate_arg $ window_arg
+      $ label_delay_arg $ algorithm_arg $ train_frac_arg $ no_update_arg
+      $ quantized_arg $ inject_drift_arg $ jsonl_arg)
+
 let main_cmd =
   let doc = "Homunculus: auto-generating data-plane ML pipelines" in
   Cmd.group (Cmd.info "homc" ~version:"1.0.0" ~doc)
     [
       compile_cmd; inspect_cmd; datasets_cmd; sweep_cmd; place_cmd;
-      simulate_cmd; export_trace_cmd;
+      simulate_cmd; export_trace_cmd; serve_cmd;
     ]
 
 let () =

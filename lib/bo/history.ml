@@ -6,15 +6,26 @@ type entry = {
   metadata : (string * float) list;
 }
 
-type t = { mutable rev_entries : entry list; mutable count : int }
+type t = {
+  mutable rev_entries : entry list;
+  mutable count : int;
+  (* Evaluated configs bucketed by [Config.hash], so [mem_config] — called
+     once per proposal by the dedup loop — is O(1) expected instead of a
+     scan over the whole run. Collisions are resolved with [Config.equal]. *)
+  seen : (int, Config.t list) Hashtbl.t;
+}
 
-let create () = { rev_entries = []; count = 0 }
+let create () = { rev_entries = []; count = 0; seen = Hashtbl.create 64 }
 
 let add t ~config ~objective ~feasible ?(metadata = []) () =
   t.count <- t.count + 1;
   t.rev_entries <-
     { iteration = t.count; config; objective; feasible; metadata }
-    :: t.rev_entries
+    :: t.rev_entries;
+  let h = Config.hash config in
+  let bucket = Option.value (Hashtbl.find_opt t.seen h) ~default:[] in
+  if not (List.exists (Config.equal config) bucket) then
+    Hashtbl.replace t.seen h (config :: bucket)
 
 let entries t = List.rev t.rev_entries
 let length t = t.count
@@ -49,4 +60,6 @@ let feasible_fraction t =
     float_of_int k /. float_of_int t.count
 
 let mem_config t config =
-  List.exists (fun e -> Config.equal e.config config) t.rev_entries
+  match Hashtbl.find_opt t.seen (Config.hash config) with
+  | None -> false
+  | Some bucket -> List.exists (Config.equal config) bucket

@@ -1,0 +1,240 @@
+module Model_ir = Homunculus_backends.Model_ir
+module Inference = Homunculus_backends.Inference
+module Runtime = Homunculus_backends.Runtime
+module Pipeline_sim = Homunculus_backends.Pipeline_sim
+module Taurus = Homunculus_backends.Taurus
+
+type mode = Reference | Quantized
+
+type config = {
+  queue_capacity : int;
+  batch_size : int;
+  service_rate_pps : float;
+  mode : mode;
+  entries_per_feature : int;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    batch_size = 32;
+    service_rate_pps = 200.;
+    mode = Reference;
+    entries_per_feature = 64;
+  }
+
+let config_of_mapping ?service_rate_pps grid mapping =
+  let sim = Pipeline_sim.config_of_mapping grid mapping in
+  let rate =
+    match service_rate_pps with
+    | Some r -> r
+    | None ->
+        sim.Pipeline_sim.clock_ghz *. 1e9
+        /. float_of_int sim.Pipeline_sim.ii_cycles
+  in
+  {
+    default_config with
+    queue_capacity = sim.Pipeline_sim.queue_capacity;
+    service_rate_pps = rate;
+  }
+
+type swap = {
+  swap_ts : float;
+  swap_reason : string;
+  queue_preserved : int;
+  dropped_during_swap : int;
+  incumbent_f1 : float;
+  challenger_f1 : float;
+}
+
+type summary = {
+  offered : int;
+  served : int;
+  dropped : int;
+  swaps : swap list;
+  drift_events : Monitor.drift list;
+  windows : Monitor.window list;
+  final_model : Model_ir.t;
+  updater_decisions : Updater.decision list;
+}
+
+type t = {
+  config : config;
+  mutable model_ir : Model_ir.t;
+  mutable runtime : Runtime.t option;  (* Some in Quantized mode *)
+  monitor : Monitor.t;
+  updater : Updater.t option;
+  queue : Stream.event Queue.t;
+  mutable srv : float;  (* virtual time the server is next free *)
+  mutable offered : int;
+  mutable served : int;
+  mutable dropped : int;
+  mutable rev_swaps : swap list;
+}
+
+let load_runtime config model =
+  Runtime.load ~entries_per_feature:config.entries_per_feature model
+
+let create ?(config = default_config) ~model ~monitor ?updater () =
+  if config.queue_capacity <= 0 then invalid_arg "Engine.create: queue_capacity <= 0";
+  if config.batch_size <= 0 then invalid_arg "Engine.create: batch_size <= 0";
+  if config.service_rate_pps <= 0. then
+    invalid_arg "Engine.create: service_rate_pps <= 0";
+  let runtime =
+    match config.mode with
+    | Reference -> None
+    | Quantized -> Some (load_runtime config model)
+  in
+  {
+    config;
+    model_ir = model;
+    runtime;
+    monitor;
+    updater;
+    queue = Queue.create ();
+    srv = 0.;
+    offered = 0;
+    served = 0;
+    dropped = 0;
+    rev_swaps = [];
+  }
+
+let model t = t.model_ir
+
+let classify_batch t xs =
+  match t.runtime with
+  | Some rt -> Runtime.classify_all rt xs
+  | None -> Inference.predict_all t.model_ir xs
+
+(* Feed newly labeled events to the updater's example buffer. *)
+let absorb_labeled t labeled =
+  match t.updater with
+  | None -> ()
+  | Some u ->
+      List.iter
+        (fun l ->
+          Updater.record u ~features:l.Monitor.lfeatures ~label:l.Monitor.ltruth)
+        labeled
+
+(* Drift reaction: retrain + validate; install the challenger between
+   batches without touching the queue. *)
+let maybe_swap t ~now =
+  match Monitor.poll_drift t.monitor with
+  | None -> ()
+  | Some drift -> (
+      match t.updater with
+      | None -> ()  (* monitoring only: the alarm stays latched/logged *)
+      | Some u -> (
+          let drops_before = t.dropped in
+          let queue_len = Queue.length t.queue in
+          match
+            Updater.try_update u ~incumbent:t.model_ir ~ts:now
+              ~reason:drift.Monitor.reason
+          with
+          | None -> Monitor.rearm t.monitor
+          | Some challenger ->
+              t.model_ir <- challenger;
+              (match t.config.mode with
+              | Reference -> ()
+              | Quantized ->
+                  let calibration = Updater.calibration_sample u ~n:256 in
+                  t.runtime <-
+                    Some
+                      (Runtime.load
+                         ~entries_per_feature:t.config.entries_per_feature
+                         ~calibration challenger));
+              let last_decision =
+                match List.rev (Updater.decisions u) with
+                | d :: _ -> d
+                | [] -> assert false
+              in
+              t.rev_swaps <-
+                {
+                  swap_ts = now;
+                  swap_reason = drift.Monitor.reason;
+                  queue_preserved = queue_len;
+                  dropped_during_swap = t.dropped - drops_before;
+                  incumbent_f1 = last_decision.Updater.incumbent_f1;
+                  challenger_f1 = last_decision.Updater.challenger_f1;
+                }
+                :: t.rev_swaps;
+              Monitor.rebaseline t.monitor))
+
+(* Serve one batch of up to [batch_size] queued packets, advancing virtual
+   time by one service slot per packet. *)
+let serve_one_batch t =
+  let k = Stdlib.min t.config.batch_size (Queue.length t.queue) in
+  let batch = Array.init k (fun _ -> Queue.pop t.queue) in
+  let verdicts = classify_batch t (Array.map (fun e -> e.Stream.features) batch) in
+  let slot = 1. /. t.config.service_rate_pps in
+  Array.iteri
+    (fun i e ->
+      let done_ts = t.srv +. (float_of_int (i + 1) *. slot) in
+      Monitor.observe t.monitor ~ts:done_ts ~queue_depth:(Queue.length t.queue)
+        ~features:e.Stream.features ~pred:verdicts.(i) ~truth:e.Stream.label)
+    batch;
+  t.srv <- t.srv +. (float_of_int k *. slot);
+  t.served <- t.served + k;
+  let labeled = Monitor.advance t.monitor ~now:t.srv in
+  absorb_labeled t labeled;
+  maybe_swap t ~now:t.srv;
+  k
+
+(* Serve whatever the service rate allows before virtual time [now]. *)
+let drain_until t ~now =
+  let budget =
+    int_of_float ((now -. t.srv) *. t.config.service_rate_pps)
+  in
+  let budget = ref (Stdlib.max 0 budget) in
+  let continue = ref true in
+  while !continue && !budget > 0 && not (Queue.is_empty t.queue) do
+    let saved_batch = Stdlib.min t.config.batch_size !budget in
+    if saved_batch < t.config.batch_size && Queue.length t.queue > saved_batch
+    then begin
+      (* Not enough service slots before [now] for a full batch on a deep
+         queue — stop and let the next arrival re-open the budget. *)
+      continue := false
+    end
+    else begin
+      let k = serve_one_batch t in
+      budget := !budget - k
+    end
+  done;
+  (* An idle server does not bank service slots. *)
+  if Queue.is_empty t.queue && t.srv < now then t.srv <- now
+
+let drain_all t =
+  while not (Queue.is_empty t.queue) do
+    ignore (serve_one_batch t)
+  done
+
+let run t events =
+  let last_ts = ref neg_infinity in
+  Array.iter
+    (fun (e : Stream.event) ->
+      if e.Stream.ts < !last_ts then
+        invalid_arg "Engine.run: events out of order";
+      last_ts := e.Stream.ts;
+      drain_until t ~now:e.Stream.ts;
+      let labeled = Monitor.advance t.monitor ~now:e.Stream.ts in
+      absorb_labeled t labeled;
+      maybe_swap t ~now:e.Stream.ts;
+      t.offered <- t.offered + 1;
+      if Queue.length t.queue >= t.config.queue_capacity then
+        t.dropped <- t.dropped + 1
+      else Queue.add e t.queue)
+    events;
+  drain_all t;
+  let labeled = Monitor.drain t.monitor in
+  absorb_labeled t labeled;
+  {
+    offered = t.offered;
+    served = t.served;
+    dropped = t.dropped;
+    swaps = List.rev t.rev_swaps;
+    drift_events = Monitor.drifts t.monitor;
+    windows = Monitor.windows t.monitor;
+    final_model = t.model_ir;
+    updater_decisions =
+      (match t.updater with None -> [] | Some u -> Updater.decisions u);
+  }

@@ -1,0 +1,92 @@
+(** The online serving loop: admission, batched classification, verdicts,
+    and zero-downtime model hot-swap.
+
+    Packets enter through a bounded ingress queue (sized the way
+    {!Homunculus_backends.Pipeline_sim.config_of_mapping} sizes a mapped
+    pipeline's buffer) and are drained at a fixed service rate in
+    classification batches, all in the trace's virtual time — a packet
+    arriving while the queue is full is dropped and counted, exactly the
+    overflow semantics of {!Homunculus_backends.Pipeline_sim}. Verdicts
+    flow into a {!Monitor}; once labels arrive, labeled events feed an
+    optional {!Updater}. When the monitor's drift detector fires, the
+    engine asks the updater for a validated challenger and, if one clears
+    the margin, installs it {e between} service batches: the classifier
+    reference (and, in quantized mode, the rebuilt
+    {!Homunculus_backends.Runtime} tables) is replaced atomically while
+    every queued packet stays queued — Taurus's runtime weight-update
+    semantics, where the pipeline keeps accepting traffic mid-update. Each
+    swap records the queue depth it preserved and the drops it caused
+    (always 0 by construction, asserted in the record). *)
+
+type mode =
+  | Reference  (** floating-point {!Homunculus_backends.Inference} *)
+  | Quantized
+      (** fixed-point MAT execution via {!Homunculus_backends.Runtime};
+          requires a MAT-mappable model (not a raw DNN) *)
+
+type config = {
+  queue_capacity : int;  (** ingress buffer, packets *)
+  batch_size : int;  (** classification batch *)
+  service_rate_pps : float;  (** drained packets per virtual second *)
+  mode : mode;
+  entries_per_feature : int;  (** quantized table granularity *)
+}
+
+val default_config : config
+(** Queue 64 (the {!Homunculus_backends.Pipeline_sim} default), batches of
+    32, 200 pkt/s against trace-scale timestamps, [Reference] mode,
+    64 entries/feature. *)
+
+val config_of_mapping :
+  ?service_rate_pps:float ->
+  Homunculus_backends.Taurus.grid ->
+  Homunculus_backends.Taurus.mapping ->
+  config
+(** Derive queue capacity from the mapped pipeline's simulator
+    configuration. The hardware service rate (clock / II) is absurdly fast
+    against second-scale trace time, so replays that want queueing pressure
+    pass an explicit [service_rate_pps] (default: clock / II in packets per
+    virtual second). *)
+
+type swap = {
+  swap_ts : float;  (** virtual time of the swap *)
+  swap_reason : string;  (** drift reason that triggered it *)
+  queue_preserved : int;  (** packets in flight, kept across the swap *)
+  dropped_during_swap : int;  (** 0: the swap never pauses admission *)
+  incumbent_f1 : float;  (** holdout scores from the updater's validation *)
+  challenger_f1 : float;
+}
+
+type summary = {
+  offered : int;
+  served : int;
+  dropped : int;
+  swaps : swap list;  (** oldest first *)
+  drift_events : Monitor.drift list;
+  windows : Monitor.window list;
+  final_model : Homunculus_backends.Model_ir.t;
+  updater_decisions : Updater.decision list;  (** empty without an updater *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  model:Homunculus_backends.Model_ir.t ->
+  monitor:Monitor.t ->
+  ?updater:Updater.t ->
+  unit ->
+  t
+(** @raise Invalid_argument on a non-positive queue, batch, or rate — or,
+    in [Quantized] mode, on a model {!Homunculus_backends.Runtime.load}
+    rejects. *)
+
+val model : t -> Homunculus_backends.Model_ir.t
+(** The classifier currently serving (changes after a hot-swap). *)
+
+val run : t -> Stream.event array -> summary
+(** Replay the whole event stream through the loop and drain everything
+    still queued or awaiting labels at the end. Deterministic: virtual time
+    comes from event timestamps, randomness only from the seeded RNGs
+    handed to the stream and updater. @raise Invalid_argument on
+    out-of-order events. *)

@@ -1,0 +1,254 @@
+type config = {
+  window_events : int;
+  label_delay_s : float;
+  baseline_windows : int;
+  acc_drop : float;
+  ph_delta : float;
+  ph_lambda : float;
+}
+
+let default_config =
+  {
+    window_events = 250;
+    label_delay_s = 5.;
+    baseline_windows = 3;
+    acc_drop = 0.15;
+    ph_delta = 0.005;
+    ph_lambda = 25.;
+  }
+
+type window = {
+  index : int;
+  t_start : float;
+  t_end : float;
+  events : int;
+  accuracy : float;
+  f1 : float;
+  confusion : int array array;
+  throughput_eps : float;
+  mean_queue_depth : float;
+  max_queue_depth : int;
+}
+
+type drift = { ts : float; window : int; reason : string; value : float }
+
+type labeled = {
+  lts : float;
+  lfeatures : float array;
+  lpred : int;
+  ltruth : int;
+}
+
+type t = {
+  config : config;
+  n_classes : int;
+  pending : (float * int * labeled) Queue.t;  (* label-arrival ts, queue depth *)
+  (* current window accumulators *)
+  mutable w_count : int;
+  mutable w_correct : int;
+  mutable w_confusion : int array array;
+  mutable w_t_start : float;
+  mutable w_t_end : float;
+  mutable w_queue_sum : int;
+  mutable w_queue_max : int;
+  mutable next_window : int;
+  mutable rev_windows : window list;
+  (* Page–Hinkley state over the error indicator *)
+  mutable ph_n : int;
+  mutable ph_mean : float;
+  mutable ph_m : float;
+  mutable ph_min : float;
+  (* drift baseline and alarm latch *)
+  mutable baseline_accs : float list;  (* oldest first, capped *)
+  mutable baseline : float option;
+  mutable armed : bool;
+  mutable pending_alarm : drift option;
+  mutable rev_drifts : drift list;
+}
+
+let create ?(config = default_config) ~n_classes () =
+  if config.window_events <= 0 then
+    invalid_arg "Monitor.create: window_events <= 0";
+  if config.label_delay_s < 0. then
+    invalid_arg "Monitor.create: negative label_delay_s";
+  if n_classes <= 0 then invalid_arg "Monitor.create: n_classes <= 0";
+  {
+    config;
+    n_classes;
+    pending = Queue.create ();
+    w_count = 0;
+    w_correct = 0;
+    w_confusion = Array.make_matrix n_classes n_classes 0;
+    w_t_start = 0.;
+    w_t_end = 0.;
+    w_queue_sum = 0;
+    w_queue_max = 0;
+    next_window = 0;
+    rev_windows = [];
+    ph_n = 0;
+    ph_mean = 0.;
+    ph_m = 0.;
+    ph_min = 0.;
+    baseline_accs = [];
+    baseline = None;
+    armed = true;
+    pending_alarm = None;
+    rev_drifts = [];
+  }
+
+let observe t ~ts ~queue_depth ~features ~pred ~truth =
+  if pred < 0 || pred >= t.n_classes then
+    invalid_arg "Monitor.observe: pred out of range";
+  if truth < 0 || truth >= t.n_classes then
+    invalid_arg "Monitor.observe: truth out of range";
+  Queue.add
+    ( ts +. t.config.label_delay_s,
+      queue_depth,
+      { lts = ts +. t.config.label_delay_s; lfeatures = features; lpred = pred; ltruth = truth } )
+    t.pending
+
+(* F1 from a confusion matrix: binary (positive class 1) for two classes,
+   macro otherwise — the convention of Ml.Train.evaluate_f1. *)
+let f1_of_confusion c =
+  let n = Array.length c in
+  let class_f1 k =
+    let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+    for i = 0 to n - 1 do
+      if i = k then tp := c.(k).(k)
+      else begin
+        fp := !fp + c.(i).(k);
+        fn := !fn + c.(k).(i)
+      end
+    done;
+    let denom = (2 * !tp) + !fp + !fn in
+    if denom = 0 then 0. else 2. *. float_of_int !tp /. float_of_int denom
+  in
+  if n = 2 then class_f1 1
+  else begin
+    let sum = ref 0. in
+    for k = 0 to n - 1 do
+      sum := !sum +. class_f1 k
+    done;
+    !sum /. float_of_int n
+  end
+
+let fire t ~ts ~window ~reason ~value =
+  let d = { ts; window; reason; value } in
+  t.armed <- false;
+  t.pending_alarm <- Some d;
+  t.rev_drifts <- d :: t.rev_drifts
+
+let close_window t =
+  let n = t.w_count in
+  let accuracy = float_of_int t.w_correct /. float_of_int n in
+  let span = t.w_t_end -. t.w_t_start in
+  let w =
+    {
+      index = t.next_window;
+      t_start = t.w_t_start;
+      t_end = t.w_t_end;
+      events = n;
+      accuracy;
+      f1 = f1_of_confusion t.w_confusion;
+      confusion = t.w_confusion;
+      throughput_eps = (if span > 0. then float_of_int n /. span else 0.);
+      mean_queue_depth = float_of_int t.w_queue_sum /. float_of_int n;
+      max_queue_depth = t.w_queue_max;
+    }
+  in
+  t.rev_windows <- w :: t.rev_windows;
+  t.next_window <- t.next_window + 1;
+  t.w_count <- 0;
+  t.w_correct <- 0;
+  t.w_confusion <- Array.make_matrix t.n_classes t.n_classes 0;
+  t.w_queue_sum <- 0;
+  t.w_queue_max <- 0;
+  (* Drift logic at window granularity. *)
+  (match t.baseline with
+  | None ->
+      t.baseline_accs <- t.baseline_accs @ [ accuracy ];
+      if List.length t.baseline_accs >= t.config.baseline_windows then begin
+        let k = t.config.baseline_windows in
+        let first_k = List.filteri (fun i _ -> i < k) t.baseline_accs in
+        t.baseline <-
+          Some (List.fold_left ( +. ) 0. first_k /. float_of_int k)
+      end
+  | Some b ->
+      if t.armed && accuracy < b -. t.config.acc_drop then
+        fire t ~ts:w.t_end ~window:w.index ~reason:"accuracy_drop"
+          ~value:accuracy)
+
+let fold_labeled t (label_ts, queue_depth, l) =
+  if t.w_count = 0 then t.w_t_start <- label_ts;
+  t.w_t_end <- label_ts;
+  t.w_count <- t.w_count + 1;
+  if l.lpred = l.ltruth then t.w_correct <- t.w_correct + 1;
+  t.w_confusion.(l.ltruth).(l.lpred) <-
+    t.w_confusion.(l.ltruth).(l.lpred) + 1;
+  t.w_queue_sum <- t.w_queue_sum + queue_depth;
+  t.w_queue_max <- Stdlib.max t.w_queue_max queue_depth;
+  (* Page–Hinkley on the error indicator. *)
+  let x = if l.lpred = l.ltruth then 0. else 1. in
+  t.ph_n <- t.ph_n + 1;
+  t.ph_mean <- t.ph_mean +. ((x -. t.ph_mean) /. float_of_int t.ph_n);
+  t.ph_m <- t.ph_m +. (x -. t.ph_mean -. t.config.ph_delta);
+  t.ph_min <- Stdlib.min t.ph_min t.ph_m;
+  if
+    t.armed && t.baseline <> None
+    && t.ph_m -. t.ph_min > t.config.ph_lambda
+  then
+    fire t ~ts:label_ts ~window:t.next_window ~reason:"page_hinkley"
+      ~value:(t.ph_m -. t.ph_min);
+  if t.w_count >= t.config.window_events then close_window t
+
+let advance t ~now =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.pending with
+    | Some ((label_ts, _, _) as entry) when label_ts <= now ->
+        ignore (Queue.pop t.pending);
+        fold_labeled t entry;
+        let _, _, l = entry in
+        out := l :: !out
+    | Some _ | None -> continue := false
+  done;
+  List.rev !out
+
+let drain t =
+  let out = ref [] in
+  while not (Queue.is_empty t.pending) do
+    let entry = Queue.pop t.pending in
+    fold_labeled t entry;
+    let _, _, l = entry in
+    out := l :: !out
+  done;
+  if t.w_count > 0 then close_window t;
+  List.rev !out
+
+let poll_drift t =
+  let d = t.pending_alarm in
+  t.pending_alarm <- None;
+  d
+
+let reset_ph t =
+  t.ph_n <- 0;
+  t.ph_mean <- 0.;
+  t.ph_m <- 0.;
+  t.ph_min <- 0.
+
+let rebaseline t =
+  reset_ph t;
+  t.baseline_accs <- [];
+  t.baseline <- None;
+  t.armed <- true;
+  t.pending_alarm <- None
+
+let rearm t =
+  reset_ph t;
+  t.armed <- true;
+  t.pending_alarm <- None
+
+let windows t = List.rev t.rev_windows
+let drifts t = List.rev t.rev_drifts
+let baseline_accuracy t = t.baseline

@@ -1,0 +1,104 @@
+(** Online health monitoring for a serving pipeline.
+
+    Verdicts stream in at classification time, but ground truth arrives
+    late — in deployment, from an out-of-band labeling pipeline (honeypots,
+    offline DPI); here, after a configurable virtual-time delay. The
+    monitor buffers each served event until its label lands, folds labeled
+    events into tumbling evaluation windows (accuracy, F1, confusion
+    counts, throughput, queue depth), and runs two drift detectors over the
+    labeled error stream:
+
+    - {b windowed accuracy drop}: a completed window's accuracy falls more
+      than [acc_drop] below the baseline established over the first
+      [baseline_windows] windows after (re)start;
+    - {b Page–Hinkley}: the classic sequential test on the per-event error
+      indicator — cumulative deviation from the running mean exceeding
+      [ph_lambda] signals a sustained upward shift in error rate.
+
+    A fired alarm latches: no further alarms until {!rebaseline} (after a
+    successful hot-swap) or {!rearm} (after a declined update) — the
+    serving engine, not the detector, owns the reaction policy. *)
+
+type config = {
+  window_events : int;  (** labeled events per evaluation window *)
+  label_delay_s : float;  (** virtual-time lag of ground truth *)
+  baseline_windows : int;  (** windows averaged into the drift baseline *)
+  acc_drop : float;  (** accuracy-drop alarm threshold *)
+  ph_delta : float;  (** Page–Hinkley insensitivity margin *)
+  ph_lambda : float;  (** Page–Hinkley alarm threshold *)
+}
+
+val default_config : config
+(** 250-event windows, 5 s label delay, 3 baseline windows, 0.15 accuracy
+    drop, PH delta 0.005 / lambda 25. *)
+
+type window = {
+  index : int;  (** 0-based, over the whole run *)
+  t_start : float;
+  t_end : float;  (** label-arrival times of first/last member event *)
+  events : int;
+  accuracy : float;
+  f1 : float;  (** binary F1 (positive class 1) for 2 classes, else macro *)
+  confusion : int array array;  (** [confusion.(truth).(pred)] *)
+  throughput_eps : float;  (** labeled events per virtual second; 0 for an
+                               instantaneous window *)
+  mean_queue_depth : float;
+  max_queue_depth : int;
+}
+
+type drift = {
+  ts : float;  (** label-arrival time of the triggering event *)
+  window : int;  (** index of the window being filled when it fired *)
+  reason : string;  (** ["accuracy_drop"] or ["page_hinkley"] *)
+  value : float;  (** the statistic that crossed its threshold *)
+}
+
+type labeled = {
+  lts : float;  (** when the label arrived *)
+  lfeatures : float array;
+  lpred : int;
+  ltruth : int;
+}
+
+type t
+
+val create : ?config:config -> n_classes:int -> unit -> t
+(** @raise Invalid_argument on non-positive [window_events], [n_classes],
+    or negative [label_delay_s]. *)
+
+val observe :
+  t -> ts:float -> queue_depth:int -> features:float array -> pred:int ->
+  truth:int -> unit
+(** Record one served packet; its label becomes visible at
+    [ts + label_delay_s]. *)
+
+val advance : t -> now:float -> labeled list
+(** Release every buffered event whose label has arrived by [now], folding
+    each into the current window and the drift detectors. Returns the newly
+    labeled events in arrival order — the engine feeds them to the updater's
+    example buffer. *)
+
+val drain : t -> labeled list
+(** End of stream: release everything still pending and close the current
+    partial window if non-empty. *)
+
+val poll_drift : t -> drift option
+(** The alarm raised since the last poll, if any (reading clears the
+    pending alarm but keeps the detector latched). *)
+
+val rebaseline : t -> unit
+(** Forget baseline and detector state and re-arm — call after a hot-swap
+    installs a new model. *)
+
+val rearm : t -> unit
+(** Re-arm the detectors without resetting the baseline — call when an
+    update attempt was declined and the incumbent keeps serving. *)
+
+val windows : t -> window list
+(** Completed windows, oldest first. *)
+
+val drifts : t -> drift list
+(** Every alarm fired over the run, oldest first. *)
+
+val baseline_accuracy : t -> float option
+(** The current drift baseline, once established. *)

@@ -1,0 +1,131 @@
+module Rng = Homunculus_util.Rng
+open Homunculus_netdata
+
+type event = {
+  ts : float;
+  flow_id : int;
+  app : string;
+  label : int;
+  packet_index : int;
+  features : float array;
+}
+
+type config = {
+  bins : Botnet.bins;
+  min_packets : int;
+  sram_bytes : int;
+}
+
+let default_config = { bins = Botnet.Fused; min_packets = 4; sram_bytes = 1 lsl 16 }
+
+let specs_of_bins = function
+  | Botnet.Full -> (Botnet.pl_spec_full, Botnet.ipt_spec_full)
+  | Botnet.Fused -> (Botnet.pl_spec_fused, Botnet.ipt_spec_fused)
+
+let n_features config = Botnet.n_features config.bins
+
+let bin_of spec v =
+  let i = int_of_float (v /. spec.Histogram.bin_width) in
+  Homunculus_util.Mathx.clamp_int ~lo:0 ~hi:(spec.Histogram.n_bins - 1) i
+
+(* Normalize the two halves of a raw marker independently, the way
+   Flow.flowmarker normalizes its two histograms. *)
+let features_of_marker ~pl_bins marker =
+  let n = Array.length marker in
+  let out = Array.make n 0. in
+  let normalize lo hi =
+    let sum = ref 0. in
+    for i = lo to hi - 1 do
+      sum := !sum +. marker.(i)
+    done;
+    if !sum > 0. then
+      for i = lo to hi - 1 do
+        out.(i) <- marker.(i) /. !sum
+      done
+  in
+  normalize 0 pl_bins;
+  normalize pl_bins n;
+  out
+
+let events_scheduled ?(config = default_config) scheduled =
+  let pl_spec, ipt_spec = specs_of_bins config.bins in
+  let pl_bins = pl_spec.Histogram.n_bins in
+  let marker_bins = pl_bins + ipt_spec.Histogram.n_bins in
+  let table =
+    Flow_table.create ~sram_bytes:config.sram_bytes ~marker_bins ()
+  in
+  (* One timeline entry per packet, sorted by arrival time. *)
+  let arrivals =
+    Array.to_list scheduled
+    |> List.concat_map (fun (start, flow) ->
+           if start < 0. then invalid_arg "Stream.events_scheduled: negative start";
+           Array.to_list flow.Flow.packets
+           |> List.mapi (fun i p -> (start +. p.Packet.ts, flow, i)))
+    |> List.sort (fun (t1, f1, i1) (t2, f2, i2) ->
+           compare (t1, f1.Flow.id, i1) (t2, f2.Flow.id, i2))
+  in
+  let last_ts : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let out = ref [] in
+  List.iter
+    (fun (ts, flow, i) ->
+      let id = flow.Flow.id in
+      let key = Flow_table.key_of_ints id id in
+      let size = float_of_int flow.Flow.packets.(i).Packet.size in
+      Flow_table.record table key ~value:1. ~bin:(bin_of pl_spec size);
+      (match Hashtbl.find_opt last_ts id with
+      | Some prev ->
+          let gap = ts -. prev in
+          Flow_table.record table key ~value:1.
+            ~bin:(pl_bins + bin_of ipt_spec gap)
+      | None -> ());
+      Hashtbl.replace last_ts id ts;
+      if i + 1 >= config.min_packets then
+        let marker =
+          match Flow_table.marker table key with
+          | Some m -> m
+          | None -> Array.make marker_bins 0.
+        in
+        out :=
+          {
+            ts;
+            flow_id = id;
+            app = flow.Flow.app;
+            label = Flow.label_to_int flow.Flow.label;
+            packet_index = i + 1;
+            features = features_of_marker ~pl_bins marker;
+          }
+          :: !out)
+    arrivals;
+  Array.of_list (List.rev !out)
+
+let events rng ?(config = default_config) ?(start_window_s = 600.) flows =
+  let scheduled =
+    Array.map (fun f -> (Rng.float rng start_window_s, f)) flows
+  in
+  events_scheduled ~config scheduled
+
+let shift_botnet ?(size_scale = 6.) ?(gap_scale = 0.1) flows =
+  Array.map
+    (fun f ->
+      match f.Flow.label with
+      | Flow.Benign -> f
+      | Flow.Botnet ->
+          let packets =
+            Array.map
+              (fun p ->
+                Packet.make
+                  ~ts:(p.Packet.ts *. gap_scale)
+                  ~size:
+                    (Homunculus_util.Mathx.clamp_int ~lo:40 ~hi:1500
+                       (int_of_float (float_of_int p.Packet.size *. size_scale))))
+              f.Flow.packets
+          in
+          Flow.make ~id:f.Flow.id ~label:f.Flow.label ~app:f.Flow.app ~packets)
+    flows
+
+let renumber ~from flows =
+  Array.mapi
+    (fun i f ->
+      Flow.make ~id:(from + i) ~label:f.Flow.label ~app:f.Flow.app
+        ~packets:f.Flow.packets)
+    flows

@@ -110,6 +110,72 @@ let test_runtime_quantize () =
   Alcotest.(check int) "clamps" 32767 (Runtime.quantize 1e9);
   Alcotest.(check int) "negative clamps" (-32768) (Runtime.quantize (-1e9))
 
+(* Quantization edges: the 8.8 key encoding covers |x| < 128; beyond that
+   every input collapses onto the clamped key unless a calibration sample
+   widens the per-feature scale. *)
+
+let test_runtime_quantize_saturation_boundary () =
+  Alcotest.(check bool) "in range is not clamped" true
+    (Runtime.quantize 127. < 32767);
+  Alcotest.(check int) "saturates at 128" 32767 (Runtime.quantize 128.);
+  Alcotest.(check int) "saturated values collapse" (Runtime.quantize 200.)
+    (Runtime.quantize 1000.);
+  Alcotest.(check int) "negative saturation collapses"
+    (Runtime.quantize (-200.))
+    (Runtime.quantize (-1e6))
+
+(* A one-feature SVM that predicts class 0 iff x > threshold: scores are
+   [x - t] and [t - x], so the decision boundary sits exactly at [t]. *)
+let step_svm ~threshold =
+  Model_ir.Svm
+    {
+      name = "step";
+      class_weights = [| [| 1. |]; [| -1. |] |];
+      biases = [| -.threshold; threshold |];
+    }
+
+let test_runtime_quantization_in_range_agreement () =
+  let ir = step_svm ~threshold:50. in
+  let rt = Runtime.load ir in
+  let rng = Rng.create 18 in
+  (* In-range inputs clear of the boundary by more than the rounding error
+     of the 8.8 keys: the table pipeline must agree with the FP reference
+     everywhere, not just on average. *)
+  let x =
+    Array.init 500 (fun _ ->
+        let v = Rng.uniform rng (-120.) 120. in
+        [| (if Float.abs (v -. 50.) < 1. then 60. else v) |])
+  in
+  Alcotest.(check (array int))
+    "exact agreement with Inference in range"
+    (Inference.predict_all ir x) (Runtime.classify_all rt x)
+
+let test_runtime_saturation_needs_calibration () =
+  let ir = step_svm ~threshold:300. in
+  let rt = Runtime.load ir in
+  (* Both inputs exceed |x| = 128: without calibration they quantize to the
+     same clamped key, so the pipeline cannot tell them apart even though
+     the FP reference puts them on opposite sides of the boundary. *)
+  Alcotest.(check bool) "FP reference distinguishes them" true
+    (Inference.predict ir [| 200. |] <> Inference.predict ir [| 400. |]);
+  Alcotest.(check int) "saturated keys are indistinguishable"
+    (Runtime.classify rt [| 200. |])
+    (Runtime.classify rt [| 400. |]);
+  Alcotest.(check (float 1e-9)) "default scale is 8.8" 256.
+    (Runtime.feature_scales rt).(0);
+  (* A calibration sample covering the observed range widens the scale and
+     restores agreement with the reference. *)
+  let calibration = Array.init 32 (fun i -> [| float_of_int i *. 16. |]) in
+  let rtc = Runtime.load ~calibration ir in
+  Alcotest.(check bool) "calibrated scale is wider" true
+    ((Runtime.feature_scales rtc).(0) < 256.);
+  Alcotest.(check int) "calibrated agrees at 200"
+    (Inference.predict ir [| 200. |])
+    (Runtime.classify rtc [| 200. |]);
+  Alcotest.(check int) "calibrated agrees at 400"
+    (Inference.predict ir [| 400. |])
+    (Runtime.classify rtc [| 400. |])
+
 (* Ir_io *)
 
 let test_ir_io_roundtrip_dnn () =
@@ -282,6 +348,12 @@ let suite =
     Alcotest.test_case "runtime tree fidelity" `Quick test_runtime_tree_fidelity;
     Alcotest.test_case "runtime kmeans cells" `Quick test_runtime_kmeans_cells_and_misses;
     Alcotest.test_case "runtime quantize" `Quick test_runtime_quantize;
+    Alcotest.test_case "runtime saturation boundary" `Quick
+      test_runtime_quantize_saturation_boundary;
+    Alcotest.test_case "runtime in-range agreement" `Quick
+      test_runtime_quantization_in_range_agreement;
+    Alcotest.test_case "runtime calibration rescues saturation" `Quick
+      test_runtime_saturation_needs_calibration;
     Alcotest.test_case "ir_io dnn roundtrip" `Quick test_ir_io_roundtrip_dnn;
     Alcotest.test_case "ir_io all algorithms" `Quick test_ir_io_roundtrip_all_algorithms;
     Alcotest.test_case "ir_io rejects garbage" `Quick test_ir_io_rejects_garbage;

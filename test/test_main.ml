@@ -28,4 +28,5 @@ let () =
       ("end_to_end", Test_end_to_end.suite);
       ("alchemy", Test_alchemy.suite);
       ("core", Test_core.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -285,6 +285,77 @@ let test_botnet_full_flow_separable () =
   Alcotest.(check bool) "separable" true
     (Homunculus_ml.Metrics.f1 ~pred ~truth:train.Dataset.y () > 0.95)
 
+(* Trace *)
+
+(* Timestamps are printed with [%.9f], so generate multiples of 1/512 s:
+   exact binary fractions whose decimal expansion fits in 9 digits, making
+   the text rendering lossless and the round trip exact. Distinct
+   timestamps per flow keep the sort order unambiguous. *)
+let trace_gen =
+  QCheck.Gen.(
+    let packets_gen =
+      list_size (int_range 1 30) (int_range 0 1_000_000) >>= fun ks ->
+      let ks = List.sort_uniq compare ks in
+      list_repeat (List.length ks) (int_range 40 1500) >|= fun sizes ->
+      Array.of_list
+        (List.map2
+           (fun k size -> Packet.make ~ts:(float_of_int k /. 512.) ~size)
+           ks sizes)
+    in
+    let flow_gen =
+      triple (int_range 0 9999)
+        (oneofl [ Flow.Benign; Flow.Botnet ])
+        (oneofl [ "storm"; "waledac"; "utorrent"; "emule"; "web" ])
+      >>= fun (id, label, app) ->
+      packets_gen >|= fun packets -> Flow.make ~id ~label ~app ~packets
+    in
+    list_size (int_range 0 8) flow_gen >|= Array.of_list)
+
+let prop_trace_round_trip =
+  QCheck.Test.make ~name:"trace round trip" ~count:100 (QCheck.make trace_gen)
+    (fun flows -> Trace.of_string (Trace.to_string flows) = flows)
+
+let header = "# homunculus-trace v1"
+
+let trace_rejects what text expected =
+  Alcotest.check_raises what (Invalid_argument expected) (fun () ->
+      ignore (Trace.of_string text))
+
+let test_trace_malformed () =
+  trace_rejects "missing header" "flow 0 benign web 1\n0.0 100\n"
+    "Trace: missing header line";
+  trace_rejects "garbage record"
+    (header ^ "\nhello world\n")
+    "Trace: line 2: expected a flow record, found \"hello world\"";
+  trace_rejects "bad flow id"
+    (header ^ "\nflow seven benign web 1\n0.0 100\n")
+    "Trace: line 2: bad flow id \"seven\"";
+  trace_rejects "unknown label"
+    (header ^ "\nflow 0 evil web 1\n0.0 100\n")
+    "Trace: line 2: unknown label \"evil\"";
+  trace_rejects "bad packet count"
+    (header ^ "\nflow 0 benign web zero\n0.0 100\n")
+    "Trace: line 2: bad packet count \"zero\"";
+  trace_rejects "non-positive packet count"
+    (header ^ "\nflow 0 benign web 0\n")
+    "Trace: line 2: bad packet count \"0\"";
+  trace_rejects "truncated flow"
+    (header ^ "\nflow 0 benign web 5\n0.0 100\n")
+    "Trace: line 2: truncated flow (5 packets declared)";
+  trace_rejects "bad packet line"
+    (header ^ "\nflow 0 benign web 1\nnot a packet\n")
+    "Trace: line 3: bad packet \"not a packet\""
+
+let test_trace_empty_and_blank_lines () =
+  Alcotest.(check int) "header only" 0
+    (Array.length (Trace.of_string (header ^ "\n")));
+  let flows =
+    Trace.of_string (header ^ "\n\nflow 3 botnet storm 1\n0.5 99\n\n")
+  in
+  Alcotest.(check int) "blank lines skipped" 1 (Array.length flows);
+  Alcotest.(check int) "id" 3 flows.(0).Flow.id;
+  Alcotest.(check int) "size" 99 flows.(0).Flow.packets.(0).Packet.size
+
 let suite =
   [
     Alcotest.test_case "packet validates" `Quick test_packet_make_validates;
@@ -316,4 +387,7 @@ let suite =
     Alcotest.test_case "botnet feature counts" `Quick test_botnet_feature_counts;
     Alcotest.test_case "botnet shapes" `Quick test_botnet_generate_shapes;
     Alcotest.test_case "botnet separable" `Quick test_botnet_full_flow_separable;
+    QCheck_alcotest.to_alcotest prop_trace_round_trip;
+    Alcotest.test_case "trace malformed input" `Quick test_trace_malformed;
+    Alcotest.test_case "trace blank lines" `Quick test_trace_empty_and_blank_lines;
   ]

@@ -1,0 +1,408 @@
+(* The online serving runtime: stream adaptation, the engine's queueing and
+   hot-swap semantics, drift detection, the updater's reservoir, and the
+   deterministic drift-recovery scenario of the serving story. *)
+
+open Homunculus_netdata
+open Homunculus_serve
+module Rng = Homunculus_util.Rng
+module Json = Homunculus_util.Json
+module Model_ir = Homunculus_backends.Model_ir
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* Stream *)
+
+let small_mix n = { Flowsim.n_flows = n; botnet_frac = 0.5; max_packets = 120 }
+
+let test_stream_ordering_and_determinism () =
+  let make () =
+    Stream.events (Rng.create 3)
+      (Flowsim.generate (Rng.create 4) ~mix:(small_mix 40) ())
+  in
+  let a = make () and b = make () in
+  Alcotest.(check bool) "non-empty" true (Array.length a > 500);
+  Alcotest.(check bool) "deterministic" true (a = b);
+  let sorted = ref true and last = ref neg_infinity in
+  Array.iter
+    (fun e ->
+      if e.Stream.ts < !last then sorted := false;
+      last := e.Stream.ts)
+    a;
+  Alcotest.(check bool) "ascending" true !sorted;
+  Array.iter
+    (fun e ->
+      Alcotest.(check int) "feature count" 30 (Array.length e.Stream.features);
+      Alcotest.(check bool) "min_packets" true
+        (e.Stream.packet_index >= Stream.default_config.Stream.min_packets))
+    a
+
+let test_stream_matches_flowmarker () =
+  (* One flow alone in the table: the event at packet k must carry exactly
+     the partial flowmarker of the first k packets. *)
+  let flow = Flowsim.generate_flow (Rng.create 7) ~id:0 ~app:"storm" () in
+  let events = Stream.events_scheduled [| (0., flow) |] in
+  Array.iter
+    (fun e ->
+      let expected =
+        Botnet.flow_features Botnet.Fused flow
+          ~first_packets:e.Stream.packet_index ()
+      in
+      Alcotest.(check (array (float 1e-9)))
+        (Printf.sprintf "packet %d" e.Stream.packet_index)
+        expected e.Stream.features)
+    events
+
+let test_shift_botnet () =
+  let flows = Flowsim.generate (Rng.create 5) ~mix:(small_mix 30) () in
+  let shifted = Stream.shift_botnet flows in
+  Array.iteri
+    (fun i f ->
+      let s = shifted.(i) in
+      Alcotest.(check int) "id kept" f.Flow.id s.Flow.id;
+      Alcotest.(check bool) "label kept" true (f.Flow.label = s.Flow.label);
+      Alcotest.(check int) "packet count kept" (Flow.n_packets f) (Flow.n_packets s);
+      match f.Flow.label with
+      | Flow.Benign -> Alcotest.(check bool) "benign untouched" true (f == s)
+      | Flow.Botnet ->
+          Alcotest.(check bool) "sizes grow" true
+            (Flow.mean_packet_size s > Flow.mean_packet_size f);
+          Alcotest.(check bool) "gaps shrink" true
+            (Flow.duration s < Flow.duration f +. 1e-9))
+    flows
+
+let test_renumber () =
+  let flows = Flowsim.generate (Rng.create 6) ~mix:(small_mix 10) () in
+  let renumbered = Stream.renumber ~from:100 flows in
+  Array.iteri
+    (fun i f -> Alcotest.(check int) "fresh id" (100 + i) f.Flow.id)
+    renumbered
+
+(* Monitor *)
+
+let observe_n monitor ~ts0 ~n ~pred ~truth =
+  for i = 0 to n - 1 do
+    Monitor.observe monitor
+      ~ts:(ts0 +. float_of_int i)
+      ~queue_depth:i ~features:[| 0. |] ~pred ~truth
+  done
+
+let test_monitor_window_metrics () =
+  let config =
+    { Monitor.default_config with Monitor.window_events = 4; label_delay_s = 10. }
+  in
+  let monitor = Monitor.create ~config ~n_classes:2 () in
+  (* Two correct botnet, one correct benign, one false negative. *)
+  Monitor.observe monitor ~ts:0. ~queue_depth:2 ~features:[||] ~pred:1 ~truth:1;
+  Monitor.observe monitor ~ts:1. ~queue_depth:4 ~features:[||] ~pred:1 ~truth:1;
+  Monitor.observe monitor ~ts:2. ~queue_depth:0 ~features:[||] ~pred:0 ~truth:0;
+  Monitor.observe monitor ~ts:3. ~queue_depth:2 ~features:[||] ~pred:0 ~truth:1;
+  Alcotest.(check int) "labels delayed" 0
+    (List.length (Monitor.advance monitor ~now:5.));
+  let labeled = Monitor.advance monitor ~now:13. in
+  Alcotest.(check int) "all labels arrived" 4 (List.length labeled);
+  match Monitor.windows monitor with
+  | [ w ] ->
+      Alcotest.(check int) "events" 4 w.Monitor.events;
+      feq "accuracy" 0.75 w.Monitor.accuracy;
+      (* tp 2, fp 0, fn 1 -> F1 = 4/5 *)
+      feq "f1" 0.8 w.Monitor.f1;
+      Alcotest.(check int) "confusion tp" 2 w.Monitor.confusion.(1).(1);
+      Alcotest.(check int) "confusion fn" 1 w.Monitor.confusion.(1).(0);
+      feq "mean queue" 2. w.Monitor.mean_queue_depth;
+      Alcotest.(check int) "max queue" 4 w.Monitor.max_queue_depth;
+      feq "t_start is label arrival" 10. w.Monitor.t_start;
+      feq "t_end is label arrival" 13. w.Monitor.t_end
+  | ws -> Alcotest.failf "expected 1 window, got %d" (List.length ws)
+
+let test_monitor_page_hinkley_fires_and_latches () =
+  let config =
+    {
+      Monitor.default_config with
+      Monitor.window_events = 50;
+      label_delay_s = 0.;
+      baseline_windows = 2;
+      ph_lambda = 10.;
+    }
+  in
+  let monitor = Monitor.create ~config ~n_classes:2 () in
+  (* Clean baseline: two windows of correct verdicts. *)
+  observe_n monitor ~ts0:0. ~n:100 ~pred:1 ~truth:1;
+  ignore (Monitor.advance monitor ~now:200.);
+  Alcotest.(check bool) "baseline set" true
+    (Monitor.baseline_accuracy monitor <> None);
+  Alcotest.(check bool) "no alarm yet" true (Monitor.poll_drift monitor = None);
+  (* Sustained errors: Page–Hinkley must fire before the window closes. *)
+  observe_n monitor ~ts0:200. ~n:30 ~pred:0 ~truth:1;
+  ignore (Monitor.advance monitor ~now:400.);
+  (match Monitor.poll_drift monitor with
+  | Some d -> Alcotest.(check string) "reason" "page_hinkley" d.Monitor.reason
+  | None -> Alcotest.fail "expected a drift alarm");
+  Alcotest.(check bool) "poll clears" true (Monitor.poll_drift monitor = None);
+  (* Latched: more errors do not re-fire until rearm. *)
+  observe_n monitor ~ts0:400. ~n:50 ~pred:0 ~truth:1;
+  ignore (Monitor.advance monitor ~now:600.);
+  Alcotest.(check bool) "latched" true (Monitor.poll_drift monitor = None);
+  Monitor.rearm monitor;
+  observe_n monitor ~ts0:600. ~n:30 ~pred:0 ~truth:1;
+  ignore (Monitor.advance monitor ~now:800.);
+  Alcotest.(check bool) "re-armed detector fires again" true
+    (Monitor.poll_drift monitor <> None);
+  Alcotest.(check int) "both alarms logged" 2
+    (List.length (Monitor.drifts monitor))
+
+let test_monitor_accuracy_drop () =
+  let config =
+    {
+      Monitor.default_config with
+      Monitor.window_events = 20;
+      label_delay_s = 0.;
+      baseline_windows = 1;
+      acc_drop = 0.3;
+      ph_lambda = 1e9;  (* silence Page–Hinkley: isolate the window detector *)
+    }
+  in
+  let monitor = Monitor.create ~config ~n_classes:2 () in
+  observe_n monitor ~ts0:0. ~n:20 ~pred:1 ~truth:1;
+  observe_n monitor ~ts0:20. ~n:20 ~pred:0 ~truth:1;
+  ignore (Monitor.advance monitor ~now:100.);
+  match Monitor.poll_drift monitor with
+  | Some d -> Alcotest.(check string) "reason" "accuracy_drop" d.Monitor.reason
+  | None -> Alcotest.fail "expected an accuracy-drop alarm"
+
+(* Updater *)
+
+let test_updater_reservoir_bounded () =
+  let config = { Updater.default_config with Updater.capacity = 50 } in
+  let u = Updater.create (Rng.create 1) ~config ~n_features:3 ~n_classes:2 () in
+  for i = 0 to 199 do
+    Updater.record u ~features:[| float_of_int i; 0.; 0. |] ~label:(i mod 2)
+  done;
+  Alcotest.(check int) "size capped" 50 (Updater.size u);
+  Alcotest.(check int) "seen counts all" 200 (Updater.seen u);
+  Alcotest.(check int) "calibration bounded" 10
+    (Array.length (Updater.calibration_sample u ~n:10))
+
+let test_updater_declines_small_buffer () =
+  let u = Updater.create (Rng.create 1) ~n_features:3 ~n_classes:2 () in
+  Updater.record u ~features:[| 1.; 2.; 3. |] ~label:1;
+  let incumbent =
+    Model_ir.Svm { name = "m"; class_weights = [| [| 1.; 0.; 0. |]; [| 0.; 1.; 0. |] |]; biases = [| 0.; 0. |] }
+  in
+  Alcotest.(check bool) "declined" true
+    (Updater.try_update u ~incumbent ~ts:1. ~reason:"test" = None);
+  match Updater.decisions u with
+  | [ d ] ->
+      Alcotest.(check bool) "not accepted" false d.Updater.accepted;
+      Alcotest.(check string) "note" "buffer below min_buffer" d.Updater.note
+  | ds -> Alcotest.failf "expected 1 decision, got %d" (List.length ds)
+
+(* Engine *)
+
+let test_engine_queue_overflow_drops () =
+  let flows = Flowsim.generate (Rng.create 8) ~mix:(small_mix 30) () in
+  let events = Stream.events (Rng.create 9) ~start_window_s:100. flows in
+  let model =
+    Updater.bootstrap (Rng.create 10) ~algorithm:`Tree ~bins:Botnet.Fused
+      ~name:"bd" (Flowsim.generate (Rng.create 11) ~mix:(small_mix 30) ())
+  in
+  let config =
+    {
+      Engine.default_config with
+      Engine.queue_capacity = 8;
+      service_rate_pps = 5.;  (* far below the offered packet rate *)
+    }
+  in
+  let monitor = Monitor.create ~n_classes:2 () in
+  let engine = Engine.create ~config ~model ~monitor () in
+  let s = Engine.run engine events in
+  Alcotest.(check int) "offered all" (Array.length events) s.Engine.offered;
+  Alcotest.(check bool) "queue overflow drops" true (s.Engine.dropped > 0);
+  Alcotest.(check int) "conservation" s.Engine.offered
+    (s.Engine.served + s.Engine.dropped);
+  (* Everything admitted is eventually classified and labeled. *)
+  let window_events =
+    List.fold_left (fun acc w -> acc + w.Monitor.events) 0 s.Engine.windows
+  in
+  Alcotest.(check int) "all served events labeled" s.Engine.served window_events
+
+let test_engine_quantized_agrees_with_reference () =
+  let train = Flowsim.generate (Rng.create 12) ~mix:(small_mix 40) () in
+  let flows = Flowsim.generate (Rng.create 13) ~mix:(small_mix 25) () in
+  let events = Stream.events (Rng.create 14) flows in
+  let model =
+    Updater.bootstrap (Rng.create 15) ~algorithm:`Svm ~bins:Botnet.Fused
+      ~name:"bd" train
+  in
+  let run mode =
+    let monitor = Monitor.create ~n_classes:2 () in
+    let engine =
+      Engine.create
+        ~config:{ Engine.default_config with Engine.mode }
+        ~model ~monitor ()
+    in
+    Engine.run engine events
+  in
+  let ref_run = run Engine.Reference and quant_run = run Engine.Quantized in
+  Alcotest.(check int) "same served" ref_run.Engine.served quant_run.Engine.served;
+  let acc s =
+    let n = List.fold_left (fun a w -> a + w.Monitor.events) 0 s.Engine.windows in
+    let c =
+      List.fold_left
+        (fun a w ->
+          a + w.Monitor.confusion.(0).(0) + w.Monitor.confusion.(1).(1))
+        0 s.Engine.windows
+    in
+    float_of_int c /. float_of_int n
+  in
+  (* Partial flowmarkers are normalized histograms (all features in [0, 1]),
+     comfortably inside the 8.8 key range, so the MAT runtime should track
+     the floating-point reference closely. *)
+  Alcotest.(check bool) "quantized close to reference" true
+    (Float.abs (acc ref_run -. acc quant_run) < 0.05)
+
+(* The deployment story end to end: traffic shifts mid-stream, the frozen
+   pipeline stays degraded, the adaptive one detects, retrains, hot-swaps
+   exactly once without dropping a queued packet, and recovers. *)
+
+let scenario_mix n = { Flowsim.n_flows = n; botnet_frac = 0.5; max_packets = 200 }
+
+let drift_scenario () =
+  let rng = Rng.create 2040 in
+  let train_flows = Flowsim.generate rng ~mix:(scenario_mix 120) () in
+  let model =
+    Updater.bootstrap (Rng.split rng) ~bins:Botnet.Fused ~name:"bd" train_flows
+  in
+  let phase_a = Flowsim.generate rng ~mix:(scenario_mix 100) () in
+  let phase_b =
+    Stream.renumber ~from:100
+      (Stream.shift_botnet (Flowsim.generate rng ~mix:(scenario_mix 100) ()))
+  in
+  let sched_a = Array.map (fun f -> (Rng.float rng 600., f)) phase_a in
+  let sched_b = Array.map (fun f -> (600. +. Rng.float rng 600., f)) phase_b in
+  let events = Stream.events_scheduled (Array.append sched_a sched_b) in
+  (model, events)
+
+let run_scenario ~model ~events ~with_updater =
+  let monitor = Monitor.create ~n_classes:2 () in
+  let updater =
+    if with_updater then
+      Some
+        (Updater.create (Rng.create 77)
+           ~config:
+             {
+               Updater.default_config with
+               Updater.min_gain = 0.05;
+               max_swaps = 1;
+             }
+           ~n_features:30 ~n_classes:2 ())
+    else None
+  in
+  let engine = Engine.create ~model ~monitor ?updater () in
+  Engine.run engine events
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let pre_drift_f1 windows =
+  List.filter (fun w -> w.Monitor.t_end < 600.) windows
+  |> List.map (fun w -> w.Monitor.f1)
+  |> mean
+
+let f1_after windows ~t =
+  List.filter (fun w -> w.Monitor.t_start > t) windows
+  |> List.map (fun w -> w.Monitor.f1)
+  |> mean
+
+let test_drift_recovery () =
+  let model, events = drift_scenario () in
+  (* Frozen: no updater, the shift permanently degrades windowed F1. *)
+  let frozen = run_scenario ~model ~events ~with_updater:false in
+  let pre = pre_drift_f1 frozen.Engine.windows in
+  Alcotest.(check bool)
+    (Printf.sprintf "healthy before the shift (pre %.3f)" pre)
+    true (pre > 0.85);
+  let degraded = f1_after frozen.Engine.windows ~t:700. in
+  Alcotest.(check bool) "frozen model stays degraded" true
+    (degraded < pre -. 0.15);
+  Alcotest.(check int) "frozen model never swaps" 0
+    (List.length frozen.Engine.swaps);
+  (* Adaptive: drift fires, one validated hot-swap, queued packets survive,
+     windowed F1 recovers to within 5 points of the pre-drift level. *)
+  let adaptive = run_scenario ~model ~events ~with_updater:true in
+  Alcotest.(check bool) "drift detected" true
+    (List.length adaptive.Engine.drift_events >= 1);
+  (match adaptive.Engine.drift_events with
+  | d :: _ ->
+      Alcotest.(check bool) "detected after the shift" true
+        (d.Monitor.ts > 600.)
+  | [] -> ());
+  (match adaptive.Engine.swaps with
+  | [ s ] ->
+      Alcotest.(check int) "no drops during the swap" 0
+        s.Engine.dropped_during_swap;
+      Alcotest.(check bool) "validated improvement" true
+        (s.Engine.challenger_f1 >= s.Engine.incumbent_f1 +. 0.05)
+  | swaps -> Alcotest.failf "expected exactly 1 hot-swap, got %d" (List.length swaps));
+  Alcotest.(check int) "hot-swap causes no extra drops" frozen.Engine.dropped
+    adaptive.Engine.dropped;
+  let swap_ts = (List.hd adaptive.Engine.swaps).Engine.swap_ts in
+  let recovered = f1_after adaptive.Engine.windows ~t:swap_ts in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovers (pre %.3f, post-swap %.3f)" pre recovered)
+    true
+    (recovered >= pre -. 0.05);
+  (* Same inputs, same seeds: the whole scenario is reproducible. *)
+  let again = run_scenario ~model ~events ~with_updater:true in
+  Alcotest.(check int) "deterministic swap count"
+    (List.length adaptive.Engine.swaps)
+    (List.length again.Engine.swaps);
+  Alcotest.(check bool) "deterministic windows" true
+    (List.map (fun w -> w.Monitor.f1) again.Engine.windows
+    = List.map (fun w -> w.Monitor.f1) adaptive.Engine.windows)
+
+(* Report *)
+
+let test_report_jsonl_round_trips () =
+  let model, events = drift_scenario () in
+  let events = Array.sub events 0 (Stdlib.min 4000 (Array.length events)) in
+  let summary = run_scenario ~model ~events ~with_updater:false in
+  let jsonl = Report.to_jsonl summary in
+  let lines =
+    String.split_on_char '\n' jsonl |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "has records" true (List.length lines > 3);
+  List.iter
+    (fun line ->
+      let j = Json.of_string line in
+      match Json.member j "event" with
+      | Json.String ("window" | "drift" | "swap" | "decision") -> ()
+      | _ -> Alcotest.failf "unexpected record %s" line)
+    lines;
+  let s = Report.summary_to_json summary in
+  Alcotest.(check int) "summary served" summary.Engine.served
+    (Json.to_int (Json.member s "served"));
+  Alcotest.(check int) "summary windows" (List.length summary.Engine.windows)
+    (List.length (Json.to_list (Json.member s "windows")))
+
+let suite =
+  [
+    Alcotest.test_case "stream ordering/determinism" `Quick
+      test_stream_ordering_and_determinism;
+    Alcotest.test_case "stream matches flowmarker" `Quick
+      test_stream_matches_flowmarker;
+    Alcotest.test_case "shift botnet" `Quick test_shift_botnet;
+    Alcotest.test_case "renumber" `Quick test_renumber;
+    Alcotest.test_case "monitor window metrics" `Quick test_monitor_window_metrics;
+    Alcotest.test_case "monitor page-hinkley" `Quick
+      test_monitor_page_hinkley_fires_and_latches;
+    Alcotest.test_case "monitor accuracy drop" `Quick test_monitor_accuracy_drop;
+    Alcotest.test_case "updater reservoir" `Quick test_updater_reservoir_bounded;
+    Alcotest.test_case "updater declines small buffer" `Quick
+      test_updater_declines_small_buffer;
+    Alcotest.test_case "engine queue drops" `Quick test_engine_queue_overflow_drops;
+    Alcotest.test_case "engine quantized mode" `Quick
+      test_engine_quantized_agrees_with_reference;
+    Alcotest.test_case "drift recovery" `Quick test_drift_recovery;
+    Alcotest.test_case "report jsonl" `Quick test_report_jsonl_round_trips;
+  ]
