@@ -7,7 +7,9 @@
      datasets  summarize the synthetic dataset generators
      sweep     Fig. 7-style table-budget sweep for the KMeans classifier
      serve     replay a trace through the online serving runtime (drift
-               detection + hot-swap) *)
+               detection + hot-swap)
+     check     differential conformance: random models through every
+               deployment path, compared against the FP reference *)
 
 open Cmdliner
 open Homunculus_alchemy
@@ -369,6 +371,58 @@ let serve trace_path seed rate window_events label_delay algorithm train_frac
   | None -> ());
   0
 
+(* check: differential conformance harness *)
+
+let check seed trials backends families artifact_dir max_shrink replay =
+  let module Check = Homunculus_check in
+  match replay with
+  | Some path ->
+      let outcome = Check.Harness.replay ~path in
+      print_string (Check.Harness.render_replay outcome);
+      if Check.Harness.replay_ok outcome then 0 else 1
+  | None ->
+      let backends =
+        match backends with
+        | [] -> Check.Oracle.all_backends
+        | names ->
+            List.map
+              (fun name ->
+                match Check.Oracle.backend_of_string name with
+                | Some b -> b
+                | None ->
+                    failwith
+                      (Printf.sprintf
+                         "unknown backend %s (use spatial|mat-runtime|p4)" name))
+              names
+      in
+      let families =
+        match families with
+        | [] -> Check.Gen.all_families
+        | names ->
+            List.map
+              (fun name ->
+                match Check.Gen.family_of_string name with
+                | Some f -> f
+                | None ->
+                    failwith
+                      (Printf.sprintf
+                         "unknown family %s (use mlp|tree|forest|svm|kmeans)" name))
+              names
+      in
+      let options =
+        {
+          Check.Harness.seed;
+          trials;
+          backends;
+          families;
+          artifact_dir;
+          max_shrink;
+        }
+      in
+      let report = Check.Harness.run options in
+      print_string (Check.Harness.render report);
+      if Check.Harness.ok report then 0 else 1
+
 let flows_arg =
   let doc = "Number of flows to synthesize." in
   Arg.(value & opt int 200 & info [ "flows" ] ~docv:"N" ~doc)
@@ -464,12 +518,51 @@ let serve_cmd =
       $ label_delay_arg $ algorithm_arg $ train_frac_arg $ no_update_arg
       $ quantized_arg $ inject_drift_arg $ jsonl_arg)
 
+let check_cmd =
+  let trials_arg =
+    let doc = "Number of random (model, batch) cases to generate." in
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let backend_arg =
+    let doc =
+      "Deployment path to check: spatial, mat-runtime, or p4. Repeatable; \
+       default all."
+    in
+    Arg.(value & opt_all string [] & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let family_arg =
+    let doc =
+      "Model family to generate: mlp, tree, forest, svm, or kmeans. \
+       Repeatable; default all."
+    in
+    Arg.(value & opt_all string [] & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let artifact_arg =
+    let doc = "Write shrunk JSON reproducers for failures into this directory." in
+    Arg.(value & opt (some string) None & info [ "artifact-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_shrink_arg =
+    let doc = "Shrinker budget: predicate evaluations per failure." in
+    Arg.(value & opt int 400 & info [ "max-shrink" ] ~docv:"N" ~doc)
+  in
+  let replay_arg =
+    let doc = "Re-run the oracle on a persisted reproducer artifact instead \
+               of generating new cases." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Differential conformance: random models through every \
+             deployment path vs the floating-point reference." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const check $ seed_arg $ trials_arg $ backend_arg $ family_arg
+      $ artifact_arg $ max_shrink_arg $ replay_arg)
+
 let main_cmd =
   let doc = "Homunculus: auto-generating data-plane ML pipelines" in
   Cmd.group (Cmd.info "homc" ~version:"1.0.0" ~doc)
     [
       compile_cmd; inspect_cmd; datasets_cmd; sweep_cmd; place_cmd;
-      simulate_cmd; export_trace_cmd; serve_cmd;
+      simulate_cmd; export_trace_cmd; serve_cmd; check_cmd;
     ]
 
 let () =

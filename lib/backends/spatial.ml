@@ -102,24 +102,27 @@ let kmeans_program name centroids =
           par = 1;
           body =
             [
-              Val
-                {
-                  name = "d";
-                  value =
-                    Binop
-                      {
-                        op = "-";
-                        lhs = Index { base = "features"; indices = [ Var "j" ] };
-                        rhs = Index { base = name ^ "_C"; indices = [ Var "c"; Var "j" ] };
-                      };
-                };
+              (* The per-coordinate difference must live inside the Reduce
+                 body, where j is bound — hoisting it out would reference j
+                 before the lambda introduces it. *)
               Reduce
                 {
                   target = "dist";
                   var = "j";
                   bound = dim;
                   par = Stdlib.min 8 dim;
-                  body = Binop { op = "*"; lhs = Var "d"; rhs = Var "d" };
+                  body =
+                    (let d =
+                       Binop
+                         {
+                           op = "-";
+                           lhs = Index { base = "features"; indices = [ Var "j" ] };
+                           rhs =
+                             Index
+                               { base = name ^ "_C"; indices = [ Var "c"; Var "j" ] };
+                         }
+                     in
+                     Binop { op = "*"; lhs = d; rhs = d });
                   combine = "+";
                 };
               Assign

@@ -1,0 +1,60 @@
+module Json = Homunculus_util.Json
+module Model_ir = Homunculus_backends.Model_ir
+module Ir_io = Homunculus_backends.Ir_io
+
+type t = { model : Model_ir.t; inputs : float array array }
+
+let n_inputs t = Array.length t.inputs
+
+let cell_penalty v =
+  if v = 0. then 0 else if Float.is_integer v then 1 else 2
+
+let size t =
+  let cells =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc v -> acc + 1 + cell_penalty v) acc row)
+      0 t.inputs
+  in
+  Model_ir.param_count t.model + cells
+
+(* Hexadecimal float literals, like Ir_io, so artifacts replay bit-exactly. *)
+let float_to_json v = Json.String (Printf.sprintf "%h" v)
+
+let float_of_json = function
+  | Json.String s -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> invalid_arg ("Case: bad float literal " ^ s))
+  | Json.Number v -> v
+  | Json.Null | Json.Bool _ | Json.List _ | Json.Object _ ->
+      invalid_arg "Case: expected a float"
+
+let to_json t =
+  Json.Object
+    [
+      ("model", Ir_io.to_json t.model);
+      ( "inputs",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun row ->
+                  Json.List (Array.to_list (Array.map float_to_json row)))
+                t.inputs)) );
+    ]
+
+let of_json j =
+  let model = Ir_io.of_json (Json.member j "model") in
+  let inputs =
+    Json.to_list (Json.member j "inputs")
+    |> List.map (fun row ->
+           Array.of_list (List.map float_of_json (Json.to_list row)))
+    |> Array.of_list
+  in
+  let dim = Model_ir.input_dim model in
+  Array.iter
+    (fun row ->
+      if Array.length row <> dim then
+        invalid_arg "Case.of_json: input row does not match the model dimension")
+    inputs;
+  { model; inputs }

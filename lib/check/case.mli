@@ -1,0 +1,24 @@
+(** A differential-testing case: one trained model plus the input batch it is
+    checked on. Cases are what the generators produce, what the oracle
+    compares across backends, what the shrinker minimizes, and what failure
+    artifacts persist to disk. *)
+
+module Json = Homunculus_util.Json
+module Model_ir = Homunculus_backends.Model_ir
+
+type t = { model : Model_ir.t; inputs : float array array }
+
+val n_inputs : t -> int
+
+val size : t -> int
+(** Shrinking order: parameter count plus total input cells plus a small
+    penalty per non-zero, non-integral input value. Every shrink step must
+    strictly decrease this. *)
+
+val to_json : t -> Json.t
+(** Model via {!Homunculus_backends.Ir_io.to_json}; inputs as hexadecimal
+    float literals, so a persisted case replays bit-exactly. *)
+
+val of_json : Json.t -> t
+(** @raise Invalid_argument on malformed documents or when the inputs do not
+    match the model's input dimension. *)

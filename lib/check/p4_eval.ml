@@ -1,0 +1,310 @@
+module Model_ir = Homunculus_backends.Model_ir
+module P4_ir = Homunculus_backends.P4_ir
+module P4gen = Homunculus_backends.P4gen
+module Range_match = Homunculus_backends.Range_match
+
+exception Bad_entries of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_entries s)) fmt
+
+(* The same 8.8 key encoding as P4gen.quantize; decode restores the sign the
+   16-bit wraparound discarded. *)
+let quantize v = int_of_float (Float.round (v *. 256.)) land 0xFFFF
+
+let signed16 v = if v land 0x8000 <> 0 then v - 65536 else v
+
+type tree_tables = {
+  splits : (int * int, int * int) Hashtbl.t;
+      (** (level, idx) -> (feature, signed quantized threshold) *)
+  leaf_class : (int * int, int) Hashtbl.t;  (** (level, idx) -> class *)
+}
+
+type pipeline =
+  | Kmeans_entries of {
+      n_clusters : int;
+      rows : (int * int, Range_match.ternary list) Hashtbl.t;
+          (** (cluster, feature) -> TCAM rows *)
+    }
+  | Svm_entries of {
+      n_classes : int;
+      weights : (int * int, int) Hashtbl.t;  (** (class, feature) -> w *)
+      biases : (int, int) Hashtbl.t;
+    }
+  | Tree_entries of tree_tables
+
+type t = { pipeline : pipeline; n_features : int }
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let split_ws line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* Table names look like "<model>_cluster3"; model names may themselves
+   contain underscores, so match on the last role marker. *)
+let role_index ~marker table =
+  let ml = String.length marker in
+  let tl = String.length table in
+  let rec find i best =
+    if i + ml > tl then best
+    else if String.sub table i ml = marker then find (i + 1) (Some i)
+    else find (i + 1) best
+  in
+  match find 0 None with
+  | None -> None
+  | Some i -> int_of_string_opt (String.sub table (i + ml) (tl - i - ml))
+
+let has_suffix ~suffix s =
+  let sl = String.length suffix and n = String.length s in
+  n >= sl && String.sub s (n - sl) sl = suffix
+
+let parse_ternary bits =
+  let width = String.length bits in
+  let value = ref 0 and mask = ref 0 in
+  String.iteri
+    (fun i c ->
+      let bit = 1 lsl (width - 1 - i) in
+      match c with
+      | '0' -> mask := !mask lor bit
+      | '1' ->
+          mask := !mask lor bit;
+          value := !value lor bit
+      | '*' -> ()
+      | _ -> bad "bad ternary pattern %s" bits)
+    bits;
+  { Range_match.value = !value; mask = !mask }
+
+type raw_entry =
+  | Cluster_row of { cluster : int; feature : int; row : Range_match.ternary }
+  | Svm_weight of { cls : int; feature : int; weight : int }
+  | Svm_bias of { cls : int; bias : int }
+  | Tree_split of { level : int; idx : int; feature : int; threshold : int }
+  | Tree_leaf of { cls : int; idx : int }
+
+let parse_line line =
+  match split_ws line with
+  | [] -> None
+  | first :: _ when String.length first > 0 && first.[0] = '#' -> None
+  | [ "table_add"; table; "set_class"; cls; "=>"; feat; "ternary"; bits ] -> (
+      match role_index ~marker:"_cluster" table with
+      | Some cluster ->
+          let feature =
+            match
+              if String.length feat > 1 && feat.[0] = 'f' then
+                int_of_string_opt (String.sub feat 1 (String.length feat - 1))
+              else None
+            with
+            | Some f -> f
+            | None -> bad "bad feature tag %s" feat
+          in
+          ignore cls;
+          Some (Cluster_row { cluster; feature; row = parse_ternary bits })
+      | None -> bad "unrecognized ternary row for table %s" table)
+  | [ "table_add"; table; "set_vote"; cls; "=>"; "weight"; w ] -> (
+      match (role_index ~marker:"_feature" table, int_of_string_opt cls,
+             int_of_string_opt w)
+      with
+      | Some feature, Some cls, Some weight ->
+          Some (Svm_weight { cls; feature; weight = signed16 weight })
+      | _ -> bad "bad SVM weight row: %s" line)
+  | [ "table_add"; table; "set_class"; cls; "=>"; "bias"; b ]
+    when has_suffix ~suffix:"_decision" table -> (
+      match (int_of_string_opt cls, int_of_string_opt b) with
+      | Some cls, Some bias -> Some (Svm_bias { cls; bias = signed16 bias })
+      | _ -> bad "bad SVM bias row: %s" line)
+  | [ "table_add"; table; "set_vote"; idx; "=>"; "feature"; f; "le"; q ] -> (
+      match (role_index ~marker:"_level" table, int_of_string_opt idx,
+             int_of_string_opt f, int_of_string_opt q)
+      with
+      | Some level, Some idx, Some feature, Some threshold ->
+          Some (Tree_split { level; idx; feature; threshold = signed16 threshold })
+      | _ -> bad "bad tree split row: %s" line)
+  | [ "table_add"; table; "set_class"; cls; "=>"; "leaf"; idx ]
+    when has_suffix ~suffix:"_leaves" table -> (
+      match (int_of_string_opt cls, int_of_string_opt idx) with
+      | Some cls, Some idx -> Some (Tree_leaf { cls; idx })
+      | _ -> bad "bad tree leaf row: %s" line)
+  | _ -> bad "unrecognized entry line: %s" line
+
+(* The leaf table keys rows by per-level index only, which is ambiguous when
+   leaves at different depths share an index value. The emission order is
+   the tree's preorder walk, so replaying that walk over the (unambiguous)
+   split entries pairs every leaf entry with its true (level, idx)
+   position. *)
+let resolve_leaves splits leaves =
+  let table = Hashtbl.create 16 in
+  let remaining = ref leaves in
+  let rec walk level idx =
+    if Hashtbl.mem splits (level, idx) then begin
+      walk (level + 1) (2 * idx);
+      walk (level + 1) ((2 * idx) + 1)
+    end
+    else
+      match !remaining with
+      | [] -> bad "entries declare fewer leaves than the splits imply"
+      | (cls, leaf_idx) :: rest ->
+          if leaf_idx <> idx then
+            bad "leaf emission order broken: expected idx %d, got %d" idx
+              leaf_idx;
+          Hashtbl.replace table (level, idx) cls;
+          remaining := rest
+  in
+  (* Split entries are emitted preorder too; an empty split table means the
+     whole tree is a single leaf at the root. *)
+  walk 0 0;
+  if !remaining <> [] then bad "entries declare more leaves than the splits imply";
+  table
+
+let of_entries ~n_features text =
+  let entries =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" then None else parse_line l)
+  in
+  if entries = [] then bad "empty entries dump";
+  let pipeline =
+    match entries with
+    | [] -> bad "empty entries dump"
+    | Cluster_row _ :: _ ->
+        let rows = Hashtbl.create 64 in
+        let n_clusters = ref 0 in
+        List.iter
+          (function
+            | Cluster_row { cluster; feature; row } ->
+                if cluster + 1 > !n_clusters then n_clusters := cluster + 1;
+                let key = (cluster, feature) in
+                let prev =
+                  Option.value (Hashtbl.find_opt rows key) ~default:[]
+                in
+                Hashtbl.replace rows key (prev @ [ row ])
+            | _ -> bad "mixed entry families in one dump")
+          entries;
+        Kmeans_entries { n_clusters = !n_clusters; rows }
+    | (Svm_weight _ | Svm_bias _) :: _ ->
+        let weights = Hashtbl.create 64 and biases = Hashtbl.create 8 in
+        let n_classes = ref 0 in
+        List.iter
+          (function
+            | Svm_weight { cls; feature; weight } ->
+                if cls + 1 > !n_classes then n_classes := cls + 1;
+                Hashtbl.replace weights (cls, feature) weight
+            | Svm_bias { cls; bias } ->
+                if cls + 1 > !n_classes then n_classes := cls + 1;
+                Hashtbl.replace biases cls bias
+            | _ -> bad "mixed entry families in one dump")
+          entries;
+        Svm_entries { n_classes = !n_classes; weights; biases }
+    | (Tree_split _ | Tree_leaf _) :: _ ->
+        let splits = Hashtbl.create 32 in
+        let leaves = ref [] in
+        List.iter
+          (function
+            | Tree_split { level; idx; feature; threshold } ->
+                Hashtbl.replace splits (level, idx) (feature, threshold)
+            | Tree_leaf { cls; idx } -> leaves := (cls, idx) :: !leaves
+            | _ -> bad "mixed entry families in one dump")
+          entries;
+        let leaf_class = resolve_leaves splits (List.rev !leaves) in
+        Tree_entries { splits; leaf_class }
+  in
+  { pipeline; n_features }
+
+let load ?entries_per_feature model =
+  let text = P4gen.emit_entries ?entries_per_feature model in
+  of_entries ~n_features:(Model_ir.input_dim model) text
+
+(* --- execution ----------------------------------------------------------- *)
+
+let check_input t x =
+  if Array.length x <> t.n_features then
+    invalid_arg "P4_eval.classify: feature dimension mismatch"
+
+let classify t x =
+  check_input t x;
+  let keys = Array.map quantize x in
+  match t.pipeline with
+  | Kmeans_entries { n_clusters; rows } ->
+      (* Cluster tables apply in declaration order; each hit overwrites
+         meta.class_result, so the last matching cluster wins. A full miss
+         leaves the zero-initialized metadata: class 0. *)
+      let verdict = ref 0 in
+      for c = 0 to n_clusters - 1 do
+        let hit = ref true in
+        for f = 0 to t.n_features - 1 do
+          match Hashtbl.find_opt rows (c, f) with
+          | None -> hit := false
+          | Some ternaries ->
+              if
+                not
+                  (List.exists
+                     (fun row -> Range_match.matches row keys.(f))
+                     ternaries)
+              then hit := false
+        done;
+        if !hit then verdict := c
+      done;
+      !verdict
+  | Svm_entries { n_classes; weights; biases } ->
+      let skeys = Array.map signed16 keys in
+      let score c =
+        let acc = ref (256 * Option.value (Hashtbl.find_opt biases c) ~default:0) in
+        for f = 0 to t.n_features - 1 do
+          match Hashtbl.find_opt weights (c, f) with
+          | Some w -> acc := !acc + (w * skeys.(f))
+          | None -> () (* zero weights are not emitted *)
+        done;
+        !acc
+      in
+      let best = ref 0 and best_score = ref min_int in
+      for c = 0 to n_classes - 1 do
+        let s = score c in
+        if s > !best_score then begin
+          best := c;
+          best_score := s
+        end
+      done;
+      !best
+  | Tree_entries { splits; leaf_class } ->
+      let skeys = Array.map signed16 keys in
+      let rec walk level idx =
+        match Hashtbl.find_opt splits (level, idx) with
+        | Some (feature, threshold) ->
+            if skeys.(feature) <= threshold then walk (level + 1) (2 * idx)
+            else walk (level + 1) ((2 * idx) + 1)
+        | None -> (
+            match Hashtbl.find_opt leaf_class (level, idx) with
+            | Some cls -> cls
+            | None -> bad "walk reached position (%d, %d) with no entry" level idx)
+      in
+      walk 0 0
+
+let classify_all t xs = Array.map (classify t) xs
+
+(* --- structural validation ---------------------------------------------- *)
+
+let validate_against (program : P4_ir.program) text =
+  let tables =
+    List.map
+      (fun tbl -> (tbl.P4_ir.table_name, tbl.P4_ir.action_refs))
+      program.P4_ir.ingress.P4_ir.tables
+  in
+  let check_line line =
+    match split_ws line with
+    | [] -> Ok ()
+    | first :: _ when String.length first > 0 && first.[0] = '#' -> Ok ()
+    | "table_add" :: table :: action :: _ -> (
+        match List.assoc_opt table tables with
+        | None -> Error (Printf.sprintf "entry targets undeclared table %s" table)
+        | Some actions ->
+            if List.mem action actions then Ok ()
+            else
+              Error
+                (Printf.sprintf "table %s does not offer action %s" table action))
+    | _ -> Error (Printf.sprintf "unparseable entry line: %s" line)
+  in
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> List.fold_left
+       (fun acc line -> match acc with Error _ -> acc | Ok () -> check_line line)
+       (Ok ())

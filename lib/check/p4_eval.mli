@@ -1,0 +1,45 @@
+(** An executor for the MAT backend's control-plane entry dumps — the "what
+    would the switch compute" oracle of the conformance harness.
+
+    {!Homunculus_backends.P4gen} splits its output like a real deployment:
+    the P4 program ({!Homunculus_backends.P4_ir}) declares tables, and
+    [emit_entries] dumps the rows the control plane would install. This
+    module parses that dump back and executes it with match-action
+    semantics: 8.8 fixed-point keys, ternary TCAM rows for cluster cells,
+    per-feature vote accumulation for SVMs, level-indexed branch tables for
+    trees (the leaf table is disambiguated by replaying the preorder
+    emission of the splits), and last-hit-wins apply ordering — exactly the
+    pipeline {!Homunculus_backends.P4_ir.program} applies tables in.
+
+    A divergence against {!Homunculus_backends.Inference} beyond the
+    oracle's quantization tolerance means the entry computation (not just
+    the program skeleton) broke the model's semantics. *)
+
+module Model_ir = Homunculus_backends.Model_ir
+module P4_ir = Homunculus_backends.P4_ir
+
+exception Bad_entries of string
+(** The dump does not parse, or its rows are inconsistent with the table
+    structure (e.g. a leaf row with no matching tree position). *)
+
+type t
+
+val load : ?entries_per_feature:int -> Model_ir.t -> t
+(** Emit the model's entries with
+    {!Homunculus_backends.P4gen.emit_entries} and parse them back.
+    @raise Invalid_argument for DNNs (they do not map to MATs). *)
+
+val of_entries : n_features:int -> string -> t
+(** Parse a raw entries dump (family is inferred from the table names).
+    @raise Bad_entries when it cannot be interpreted. *)
+
+val classify : t -> float array -> int
+(** Execute the match-action pipeline for one feature vector. KMeans
+    pipelines report class 0 when no cluster cell matches (the zero-valued
+    metadata default a v1model switch would leave in place). *)
+
+val classify_all : t -> float array array -> int array
+
+val validate_against : P4_ir.program -> string -> (unit, string) result
+(** Every [table_add] row in the dump must reference a table declared by
+    the program, with an action that table actually offers. *)

@@ -1,0 +1,256 @@
+module Model_ir = Homunculus_backends.Model_ir
+module Decision_tree = Homunculus_ml.Decision_tree
+
+(* --- structural transformations ------------------------------------------ *)
+
+let drop_col m f =
+  Array.map
+    (fun row -> Array.init (Array.length row - 1) (fun j -> if j < f then row.(j) else row.(j + 1)))
+    m
+
+let drop_row m k =
+  Array.init (Array.length m - 1) (fun i -> if i < k then m.(i) else m.(i + 1))
+
+let rec tree_uses_feature f = function
+  | Decision_tree.Leaf _ -> false
+  | Decision_tree.Split { feature; left; right; _ } ->
+      feature = f || tree_uses_feature f left || tree_uses_feature f right
+
+let rec tree_remap_features f = function
+  | Decision_tree.Leaf _ as leaf -> leaf
+  | Decision_tree.Split { feature; threshold; left; right } ->
+      Decision_tree.Split
+        {
+          feature = (if feature > f then feature - 1 else feature);
+          threshold;
+          left = tree_remap_features f left;
+          right = tree_remap_features f right;
+        }
+
+(* Drop input feature [f] from the model; None when the model cannot lose
+   that feature (last one, or a tree that still tests it). *)
+let drop_feature_model model f =
+  match model with
+  | Model_ir.Dnn { name; layers } when Model_ir.input_dim model > 1 ->
+      let layers = Array.copy layers in
+      let l0 = layers.(0) in
+      layers.(0) <-
+        { l0 with Model_ir.n_in = l0.Model_ir.n_in - 1;
+          weights = drop_col l0.Model_ir.weights f };
+      Some (Model_ir.Dnn { name; layers })
+  | Model_ir.Dnn _ -> None
+  | Model_ir.Svm { name; class_weights; biases } when Model_ir.input_dim model > 1
+    ->
+      Some
+        (Model_ir.Svm { name; class_weights = drop_col class_weights f; biases })
+  | Model_ir.Svm _ -> None
+  | Model_ir.Kmeans { name; centroids } when Model_ir.input_dim model > 1 ->
+      Some (Model_ir.Kmeans { name; centroids = drop_col centroids f })
+  | Model_ir.Kmeans _ -> None
+  | Model_ir.Tree { name; root; n_features; n_classes } ->
+      if n_features <= 1 || tree_uses_feature f root then None
+      else
+        Some
+          (Model_ir.Tree
+             { name; root = tree_remap_features f root; n_features = n_features - 1;
+               n_classes })
+
+let drop_feature case f =
+  match drop_feature_model case.Case.model f with
+  | None -> None
+  | Some model ->
+      Some { Case.model; inputs = Array.map (fun row -> (drop_col [| row |] f).(0)) case.Case.inputs }
+
+(* Remove hidden neuron [k] of layer [i]: its output row and the next
+   layer's matching input column. *)
+let drop_neuron case i k =
+  match case.Case.model with
+  | Model_ir.Dnn { name; layers }
+    when i < Array.length layers - 1 && layers.(i).Model_ir.n_out > 1 ->
+      let layers = Array.copy layers in
+      let li = layers.(i) and ln = layers.(i + 1) in
+      layers.(i) <-
+        { li with Model_ir.n_out = li.Model_ir.n_out - 1;
+          weights = drop_row li.Model_ir.weights k;
+          biases = (drop_col [| li.Model_ir.biases |] k).(0) };
+      layers.(i + 1) <-
+        { ln with Model_ir.n_in = ln.Model_ir.n_in - 1;
+          weights = drop_col ln.Model_ir.weights k };
+      Some { case with Case.model = Model_ir.Dnn { name; layers } }
+  | _ -> None
+
+(* Delete hidden layer [i] entirely; only legal when it is square (its
+   removal keeps the layer chain consistent). *)
+let drop_layer case i =
+  match case.Case.model with
+  | Model_ir.Dnn { name; layers }
+    when Array.length layers > 1
+         && i < Array.length layers - 1
+         && layers.(i).Model_ir.n_in = layers.(i).Model_ir.n_out ->
+      let layers =
+        Array.init
+          (Array.length layers - 1)
+          (fun j -> if j < i then layers.(j) else layers.(j + 1))
+      in
+      Some { case with Case.model = Model_ir.Dnn { name; layers } }
+  | _ -> None
+
+(* Promote a child over a split node; [path] is the list of branch choices
+   (false = left) leading to the node. *)
+let rec promote_at root path ~right =
+  match (root, path) with
+  | Decision_tree.Split { left; right = r; _ }, [] ->
+      Some (if right then r else left)
+  | Decision_tree.Split { feature; threshold; left; right = r }, b :: rest ->
+      if b then
+        Option.map
+          (fun r' -> Decision_tree.Split { feature; threshold; left; right = r' })
+          (promote_at r rest ~right)
+      else
+        Option.map
+          (fun l' -> Decision_tree.Split { feature; threshold; left = l'; right = r })
+          (promote_at left rest ~right)
+  | Decision_tree.Leaf _, _ -> None
+
+let split_paths root =
+  let acc = ref [] in
+  let rec walk node path =
+    match node with
+    | Decision_tree.Leaf _ -> ()
+    | Decision_tree.Split { left; right; _ } ->
+        acc := List.rev path :: !acc;
+        walk left (false :: path);
+        walk right (true :: path)
+  in
+  walk root [];
+  List.rev !acc
+
+let promote_subtree case path ~right =
+  match case.Case.model with
+  | Model_ir.Tree { name; root; n_features; n_classes } ->
+      Option.map
+        (fun root ->
+          { case with
+            Case.model = Model_ir.Tree { name; root; n_features; n_classes } })
+        (promote_at root path ~right)
+  | _ -> None
+
+let drop_centroid case c =
+  match case.Case.model with
+  | Model_ir.Kmeans { name; centroids } when Array.length centroids > 1 ->
+      Some
+        { case with
+          Case.model = Model_ir.Kmeans { name; centroids = drop_row centroids c } }
+  | _ -> None
+
+let drop_class case c =
+  match case.Case.model with
+  | Model_ir.Svm { name; class_weights; biases } when Array.length class_weights > 2
+    ->
+      Some
+        { case with
+          Case.model =
+            Model_ir.Svm
+              { name; class_weights = drop_row class_weights c;
+                biases = (drop_col [| biases |] c).(0) } }
+  | _ -> None
+
+let keep_rows case idx =
+  { case with Case.inputs = Array.map (fun i -> case.Case.inputs.(i)) idx }
+
+let set_cell case i f v =
+  let inputs = Array.map Array.copy case.Case.inputs in
+  inputs.(i).(f) <- v;
+  { case with Case.inputs = inputs }
+
+(* --- candidate enumeration ----------------------------------------------- *)
+
+(* Ordered so the biggest wins come first: fewer rows, then a smaller
+   model, then simpler values. *)
+let candidates case =
+  let n = Array.length case.Case.inputs in
+  let dim = Model_ir.input_dim case.Case.model in
+  let rows =
+    if n <= 1 then []
+    else
+      (* Single rows first (the usual fixpoint), then halves. *)
+      List.init (Stdlib.min n 12) (fun i -> keep_rows case [| i |])
+      @ [
+          keep_rows case (Array.init (n / 2) (fun i -> i));
+          keep_rows case (Array.init (n - (n / 2)) (fun i -> (n / 2) + i));
+        ]
+  in
+  let features =
+    List.init dim (fun f -> drop_feature case f) |> List.filter_map Fun.id
+  in
+  let model_shrinks =
+    match case.Case.model with
+    | Model_ir.Dnn { layers; _ } ->
+        let layer_drops =
+          List.init (Array.length layers) (fun i -> drop_layer case i)
+        in
+        let neuron_drops =
+          List.concat
+            (List.init
+               (Array.length layers - 1)
+               (fun i ->
+                 List.init
+                   (Stdlib.min layers.(i).Model_ir.n_out 8)
+                   (fun k -> drop_neuron case i k)))
+        in
+        List.filter_map Fun.id (layer_drops @ neuron_drops)
+    | Model_ir.Tree { root; _ } ->
+        split_paths root
+        |> List.concat_map (fun path ->
+               [ promote_subtree case path ~right:false;
+                 promote_subtree case path ~right:true ])
+        |> List.filter_map Fun.id
+    | Model_ir.Kmeans { centroids; _ } ->
+        List.init (Array.length centroids) (fun c -> drop_centroid case c)
+        |> List.filter_map Fun.id
+    | Model_ir.Svm { class_weights; _ } ->
+        List.init (Array.length class_weights) (fun c -> drop_class case c)
+        |> List.filter_map Fun.id
+  in
+  let cell_simplify =
+    if n * dim > 64 then []
+    else
+      List.concat
+        (List.init n (fun i ->
+             List.concat
+               (List.init dim (fun f ->
+                    let v = case.Case.inputs.(i).(f) in
+                    let rounded = Float.round v in
+                    (if v <> 0. then [ set_cell case i f 0. ] else [])
+                    @
+                    if v <> rounded then [ set_cell case i f rounded ] else []))))
+  in
+  rows @ features @ model_shrinks @ cell_simplify
+
+(* --- greedy loop ---------------------------------------------------------- *)
+
+let shrink ?(budget = 400) ~still_fails case =
+  let calls = ref 0 in
+  let fails c =
+    if !calls >= budget then false
+    else begin
+      incr calls;
+      try still_fails c with _ -> false
+    end
+  in
+  let current = ref case in
+  let progress = ref true in
+  while !progress && !calls < budget do
+    progress := false;
+    let rec try_candidates = function
+      | [] -> ()
+      | candidate :: rest ->
+          if Case.size candidate < Case.size !current && fails candidate then begin
+            current := candidate;
+            progress := true
+          end
+          else try_candidates rest
+    in
+    try_candidates (candidates !current)
+  done;
+  !current

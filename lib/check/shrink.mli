@@ -1,0 +1,17 @@
+(** Greedy minimization of a failing case.
+
+    Given a predicate [still_fails] (typically
+    [fun c -> Oracle.violates backend c]), repeatedly tries
+    strictly-smaller variants of the case — fewer input rows, dropped
+    features, removed hidden neurons and square layers, promoted tree
+    subtrees, dropped centroids/classes, zeroed or rounded input cells —
+    keeping a variant whenever the failure survives, until a full pass
+    makes no progress or the predicate-evaluation budget runs out.
+
+    Shrinking preserves the *failure*, not the model's semantics: any
+    smaller case on which the predicate still fails is a better
+    reproducer. *)
+
+val shrink : ?budget:int -> still_fails:(Case.t -> bool) -> Case.t -> Case.t
+(** [budget] caps predicate evaluations (default 400). The input case is
+    assumed failing; the result is failing and no larger. *)

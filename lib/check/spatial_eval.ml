@@ -1,0 +1,167 @@
+module Spatial_ir = Homunculus_backends.Spatial_ir
+module Spatial = Homunculus_backends.Spatial
+module Mathx = Homunculus_util.Mathx
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type env = {
+  scalars : (string, float) Hashtbl.t;
+  arrays : (string, float array) Hashtbl.t;
+  luts : (string, float array array) Hashtbl.t;
+  input : float array;
+  mutable verdict : int option;
+}
+
+(* Literals like "0.to[T]", "-0.123456.to[T]", "3.to[T]" appear as [Var]s in
+   the emitted templates. *)
+let to_t_literal name =
+  let suffix = ".to[T]" in
+  let n = String.length name and s = String.length suffix in
+  if n > s && String.sub name (n - s) s = suffix then
+    float_of_string_opt (String.sub name 0 (n - s))
+  else None
+
+let index_of v = Float.to_int v
+
+let rec eval env = function
+  | Spatial_ir.Const v -> v
+  | Spatial_ir.Int_const v -> float_of_int v
+  | Spatial_ir.Var name -> (
+      match to_t_literal name with
+      | Some v -> v
+      | None -> (
+          match Hashtbl.find_opt env.scalars name with
+          | Some v -> v
+          | None -> unsupported "unbound variable %s" name))
+  | Spatial_ir.Index { base; indices } -> (
+      let idx = List.map (fun e -> index_of (eval env e)) indices in
+      match (Hashtbl.find_opt env.luts base, idx) with
+      | Some lut, [ r; c ] -> lut.(r).(c)
+      | Some lut, [ c ] when Array.length lut = 1 -> lut.(0).(c)
+      | Some _, _ -> unsupported "LUT %s indexed with wrong arity" base
+      | None, [ i ] -> (
+          match Hashtbl.find_opt env.arrays base with
+          | Some arr -> arr.(i)
+          | None -> unsupported "unknown memory %s" base)
+      | None, _ -> unsupported "unknown memory %s" base)
+  | Spatial_ir.Binop { op; lhs; rhs } -> (
+      let l = eval env lhs and r = eval env rhs in
+      match op with
+      | "+" -> l +. r
+      | "-" -> l -. r
+      | "*" -> l *. r
+      | "<=" -> if l <= r then 1. else 0.
+      | other -> unsupported "operator %s" other)
+  | Spatial_ir.Call { fn; args } -> (
+      match (fn, args) with
+      | "max", [ a; b ] ->
+          let a = eval env a and b = eval env b in
+          if a >= b then a else b
+      | "sigmoid", [ a ] -> Mathx.sigmoid (eval env a)
+      | "tanh_approx", [ a ] -> tanh (eval env a)
+      | "mux", [ c; t; f ] -> if eval env c <> 0. then eval env t else eval env f
+      | other, _ -> unsupported "call %s" other)
+
+let argbest cmp arr =
+  if Array.length arr = 0 then unsupported "argmax/argmin of empty buffer";
+  let best = ref 0 in
+  for i = 1 to Array.length arr - 1 do
+    if cmp arr.(i) arr.(!best) then best := i
+  done;
+  !best
+
+let find_array env name =
+  match Hashtbl.find_opt env.arrays name with
+  | Some arr -> arr
+  | None -> unsupported "unknown buffer %s" name
+
+(* The host-interface escape hatches the templates use:
+     loadFeatures(packetIn, BUF)
+     writeClass(argmax(BUF), packetOut)
+     writeClass(argmin(BUF), packetOut)
+     writeClass(VAR, packetOut) *)
+let exec_raw env text =
+  let text = String.trim text in
+  let strip ~prefix ~suffix s =
+    let pl = String.length prefix and sl = String.length suffix in
+    let n = String.length s in
+    if n >= pl + sl && String.sub s 0 pl = prefix && String.sub s (n - sl) sl = suffix
+    then Some (String.sub s pl (n - pl - sl))
+    else None
+  in
+  match strip ~prefix:"loadFeatures(packetIn, " ~suffix:")" text with
+  | Some buf ->
+      let arr = find_array env (String.trim buf) in
+      if Array.length arr <> Array.length env.input then
+        invalid_arg "Spatial_eval: input does not match the feature buffer";
+      Array.blit env.input 0 arr 0 (Array.length arr)
+  | None -> (
+      match strip ~prefix:"writeClass(" ~suffix:", packetOut)" text with
+      | Some arg -> (
+          let arg = String.trim arg in
+          match
+            ( strip ~prefix:"argmax(" ~suffix:")" arg,
+              strip ~prefix:"argmin(" ~suffix:")" arg )
+          with
+          | Some buf, _ ->
+              env.verdict <- Some (argbest ( > ) (find_array env (String.trim buf)))
+          | None, Some buf ->
+              env.verdict <- Some (argbest ( < ) (find_array env (String.trim buf)))
+          | None, None -> (
+              match Hashtbl.find_opt env.scalars arg with
+              | Some v -> env.verdict <- Some (index_of v)
+              | None -> unsupported "writeClass of unknown value %s" arg))
+      | None -> unsupported "raw statement %S" text)
+
+let rec exec env = function
+  | Spatial_ir.Comment _ -> ()
+  | Spatial_ir.Val { name; value } ->
+      Hashtbl.replace env.scalars name (eval env value)
+  | Spatial_ir.Assign { target = Index { base; indices = [ i ] }; value } ->
+      let arr = find_array env base in
+      arr.(index_of (eval env i)) <- eval env value
+  | Spatial_ir.Assign _ -> unsupported "assignment to a non-buffer target"
+  | Spatial_ir.Foreach { var; bound; body; _ } ->
+      for i = 0 to bound - 1 do
+        Hashtbl.replace env.scalars var (float_of_int i);
+        List.iter (exec env) body
+      done;
+      Hashtbl.remove env.scalars var
+  | Spatial_ir.Reduce { target; var; bound; body; combine; _ } ->
+      if combine <> "+" then unsupported "reduce combinator %s" combine;
+      let acc = ref 0. in
+      for i = 0 to bound - 1 do
+        Hashtbl.replace env.scalars var (float_of_int i);
+        acc := !acc +. eval env body
+      done;
+      Hashtbl.remove env.scalars var;
+      Hashtbl.replace env.scalars target !acc
+  | Spatial_ir.Pipe body | Spatial_ir.Stream_loop body ->
+      List.iter (exec env) body
+  | Spatial_ir.Sram_alloc { name; size; _ } ->
+      Hashtbl.replace env.arrays name (Array.make size 0.)
+  | Spatial_ir.Lut_decl { name; values; _ } ->
+      Hashtbl.replace env.luts name values
+  | Spatial_ir.Raw text -> exec_raw env text
+
+let predict (program : Spatial_ir.program) input =
+  let env =
+    {
+      scalars = Hashtbl.create 16;
+      arrays = Hashtbl.create 8;
+      luts = Hashtbl.create 8;
+      input;
+      verdict = None;
+    }
+  in
+  List.iter (exec env) program.Spatial_ir.decls;
+  List.iter (exec env) program.Spatial_ir.accel;
+  match env.verdict with
+  | Some c -> c
+  | None -> unsupported "program never executed writeClass"
+
+let predict_all program inputs = Array.map (predict program) inputs
+
+let predict_model model input = predict (Spatial.program_of model) input

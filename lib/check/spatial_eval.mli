@@ -1,0 +1,33 @@
+(** An interpreter for the {!Homunculus_backends.Spatial_ir} programs the
+    Taurus backend emits — the "what would the FPGA pipeline compute"
+    oracle of the conformance harness.
+
+    Where {!Homunculus_backends.Inference} evaluates the model IR (what the
+    model means), this module evaluates the *generated program*: LUT
+    declarations, SRAM buffers, Foreach/Reduce loops, mux trees, and the
+    host-interface [Raw] statements ([loadFeatures] / [writeClass]). A
+    divergence between the two means the template composition in
+    {!Homunculus_backends.Spatial} broke the model's semantics.
+
+    Arithmetic is evaluated in double precision — the idealized FixPt type;
+    the oracle's near-tie tolerance absorbs the summation-order difference
+    against the reference interpreter. *)
+
+module Spatial_ir = Homunculus_backends.Spatial_ir
+
+exception Unsupported of string
+(** A construct the interpreter does not model (an unknown [Raw] form,
+    operator, or call); programs built by
+    {!Homunculus_backends.Spatial.program_of} never raise it. *)
+
+val predict : Spatial_ir.program -> float array -> int
+(** Run one feature vector through the program's streaming body and return
+    the class [writeClass] reports. @raise Invalid_argument when the input
+    does not match the program's feature buffer, @raise Unsupported on
+    constructs outside the emitted template language. *)
+
+val predict_all : Spatial_ir.program -> float array array -> int array
+
+val predict_model : Homunculus_backends.Model_ir.t -> float array -> int
+(** [predict (Spatial.program_of model)] — the full generate-then-interpret
+    path. *)

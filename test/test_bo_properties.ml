@@ -1,0 +1,143 @@
+(* qcheck properties over the BO core: random design spaces sample
+   in-bounds, the HyperMapper JSON schema round-trips, and History's
+   duplicate check agrees with a linear scan. Spaces are derived from an
+   integer seed through Rng, so qcheck shrinks over seeds and every failure
+   reproduces from one integer. *)
+module Bo = Homunculus_bo
+module Rng = Homunculus_util.Rng
+
+let random_param rng i =
+  let name = Printf.sprintf "p%d" i in
+  match Rng.int rng 4 with
+  | 0 ->
+      let lo = Rng.uniform rng (-10.) 10. in
+      Bo.Param.real name ~lo ~hi:(lo +. 0.1 +. Rng.float rng 20.)
+  | 1 ->
+      let lo = Rng.int rng 100 - 50 in
+      Bo.Param.int name ~lo ~hi:(lo + 1 + Rng.int rng 40)
+  | 2 ->
+      let n = 3 + Rng.int rng 4 in
+      let start = Rng.uniform rng (-5.) 5. in
+      Bo.Param.ordinal name
+        (Array.init n (fun k ->
+             start +. float_of_int k +. (0.5 *. Rng.float rng 1.)))
+  | _ ->
+      let n = 2 + Rng.int rng 4 in
+      Bo.Param.categorical name (Array.init n (Printf.sprintf "cat%d"))
+
+let random_space seed =
+  let rng = Rng.create seed in
+  let n = 1 + Rng.int rng 6 in
+  (Bo.Design_space.create (List.init n (random_param rng)), rng)
+
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let prop_sample_in_bounds =
+  QCheck.Test.make ~name:"random configs validate and encode into [0,1]"
+    ~count:300 seed_gen (fun seed ->
+      let space, rng = random_space seed in
+      let config = Bo.Design_space.sample rng space in
+      Bo.Design_space.validate space config
+      && Array.for_all
+           (fun v -> Float.is_finite v && v >= 0.)
+           (Bo.Design_space.encode space config))
+
+let prop_neighbor_stays_in_domain =
+  QCheck.Test.make ~name:"neighbors of valid configs stay valid" ~count:300
+    seed_gen (fun seed ->
+      let space, rng = random_space seed in
+      let config = ref (Bo.Design_space.sample rng space) in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        config := Bo.Design_space.neighbor rng space !config;
+        if not (Bo.Design_space.validate space !config) then ok := false
+      done;
+      !ok)
+
+let params_equal a b =
+  List.length a = List.length b && List.for_all2 (fun x y -> x = y) a b
+
+let prop_space_json_roundtrip =
+  QCheck.Test.make ~name:"design space survives the HyperMapper schema"
+    ~count:300 seed_gen (fun seed ->
+      let space, _ = random_space seed in
+      let space' =
+        Bo.Serialize.design_space_of_json
+          (Bo.Serialize.design_space_to_json space)
+      in
+      params_equal
+        (Bo.Design_space.params space)
+        (Bo.Design_space.params space'))
+
+let prop_config_json_roundtrip =
+  QCheck.Test.make ~name:"configs survive the HyperMapper schema" ~count:300
+    seed_gen (fun seed ->
+      let space, rng = random_space seed in
+      let config = Bo.Design_space.sample rng space in
+      let config' =
+        Bo.Serialize.config_of_json space (Bo.Serialize.config_to_json space config)
+      in
+      Bo.Config.equal config config')
+
+let prop_history_json_roundtrip =
+  QCheck.Test.make ~name:"history log survives the HyperMapper schema"
+    ~count:150 seed_gen (fun seed ->
+      let space, rng = random_space seed in
+      let history = Bo.History.create () in
+      for i = 1 to 1 + Rng.int rng 10 do
+        Bo.History.add history
+          ~config:(Bo.Design_space.sample rng space)
+          ~objective:(float_of_int i /. 8.)
+          ~feasible:(Rng.bool rng) ()
+      done;
+      let history' =
+        Bo.Serialize.history_of_json space
+          (Bo.Serialize.history_to_json space history)
+      in
+      List.for_all2
+        (fun (a : Bo.History.entry) (b : Bo.History.entry) ->
+          a.Bo.History.iteration = b.Bo.History.iteration
+          && a.Bo.History.feasible = b.Bo.History.feasible
+          && Float.abs (a.Bo.History.objective -. b.Bo.History.objective) < 1e-9
+          && Bo.Config.equal a.Bo.History.config b.Bo.History.config)
+        (Bo.History.entries history)
+        (Bo.History.entries history'))
+
+let prop_mem_config_is_linear_scan =
+  QCheck.Test.make ~name:"History.mem_config agrees with a linear scan"
+    ~count:300 seed_gen (fun seed ->
+      let space, rng = random_space seed in
+      let history = Bo.History.create () in
+      let added =
+        List.init
+          (1 + Rng.int rng 12)
+          (fun i ->
+            let c = Bo.Design_space.sample rng space in
+            Bo.History.add history ~config:c ~objective:(float_of_int i)
+              ~feasible:true ();
+            c)
+      in
+      let probes =
+        added @ List.init 8 (fun _ -> Bo.Design_space.sample rng space)
+      in
+      List.for_all
+        (fun probe ->
+          let scan =
+            List.exists
+              (fun (e : Bo.History.entry) ->
+                Bo.Config.equal e.Bo.History.config probe)
+              (Bo.History.entries history)
+          in
+          Bo.History.mem_config history probe = scan)
+        probes)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_sample_in_bounds;
+      prop_neighbor_stays_in_domain;
+      prop_space_json_roundtrip;
+      prop_config_json_roundtrip;
+      prop_history_json_roundtrip;
+      prop_mem_config_is_linear_scan;
+    ]

@@ -1,0 +1,103 @@
+(* Metamorphic properties of the ML support code: relations that must hold
+   between a computation and a transformed re-run of it, checked on random
+   instances. Sample order must never matter to aggregate metrics, the
+   confusion matrix must conserve counts, and standardization must invert
+   cleanly. *)
+module Metrics = Homunculus_ml.Metrics
+module Scaler = Homunculus_ml.Scaler
+module Rng = Homunculus_util.Rng
+
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let random_labels rng =
+  let n = 1 + Rng.int rng 200 in
+  let n_classes = 2 + Rng.int rng 4 in
+  let pred = Array.init n (fun _ -> Rng.int rng n_classes) in
+  let truth = Array.init n (fun _ -> Rng.int rng n_classes) in
+  (n_classes, pred, truth)
+
+let permute rng pred truth =
+  let p = Rng.permutation rng (Array.length pred) in
+  (Array.map (fun i -> pred.(i)) p, Array.map (fun i -> truth.(i)) p)
+
+(* Permuting samples leaves the contingency counts untouched, so every
+   aggregate metric must be bit-identical, not merely close. *)
+let prop_metrics_permutation_invariant =
+  QCheck.Test.make ~name:"metrics are invariant under sample permutation"
+    ~count:300 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let n_classes, pred, truth = random_labels rng in
+      let pred', truth' = permute rng pred truth in
+      Metrics.accuracy ~pred ~truth = Metrics.accuracy ~pred:pred' ~truth:truth'
+      && Metrics.f1 ~pred ~truth () = Metrics.f1 ~pred:pred' ~truth:truth' ()
+      && Metrics.macro_f1 ~n_classes ~pred ~truth
+         = Metrics.macro_f1 ~n_classes ~pred:pred' ~truth:truth'
+      && Metrics.v_measure ~pred ~truth ()
+         = Metrics.v_measure ~pred:pred' ~truth:truth' ())
+
+let prop_confusion_conserves_counts =
+  QCheck.Test.make ~name:"confusion rows sum to per-class truth counts"
+    ~count:300 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let n_classes, pred, truth = random_labels rng in
+      let m = Metrics.confusion ~n_classes ~pred ~truth in
+      let row_ok =
+        Array.for_all
+          (fun t ->
+            Array.fold_left ( + ) 0 m.(t)
+            = Array.fold_left
+                (fun acc label -> if label = t then acc + 1 else acc)
+                0 truth)
+          (Array.init n_classes (fun t -> t))
+      in
+      let total =
+        Array.fold_left (fun acc row -> acc + Array.fold_left ( + ) 0 row) 0 m
+      in
+      row_ok && total = Array.length truth)
+
+let random_matrix rng =
+  let rows = 1 + Rng.int rng 40 in
+  let cols = 1 + Rng.int rng 8 in
+  let constant_col = if Rng.bool rng then Some (Rng.int rng cols) else None in
+  Array.init rows (fun _ ->
+      Array.init cols (fun c ->
+          if constant_col = Some c then 3.25 else Rng.uniform rng (-50.) 50.))
+
+let prop_scaler_inverts =
+  QCheck.Test.make
+    ~name:"fit-transform-inverse returns the input within 1e-9" ~count:300
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let data = random_matrix rng in
+      let scaler = Scaler.fit data in
+      let transformed = Scaler.transform scaler data in
+      Array.for_all2
+        (fun original t ->
+          let back = Scaler.inverse_transform_row scaler t in
+          Array.for_all2
+            (fun a b -> Float.abs (a -. b) <= 1e-9)
+            original back)
+        data transformed)
+
+(* Standardizing twice is idempotent up to the second fit: the re-fitted
+   scaler must see (near-)zero mean and unit variance. *)
+let prop_scaler_standardizes =
+  QCheck.Test.make ~name:"transformed columns have zero mean, unit stddev"
+    ~count:300 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let data = random_matrix rng in
+      let transformed = Scaler.transform (Scaler.fit data) data in
+      let refit = Scaler.fit transformed in
+      Array.for_all (fun m -> Float.abs m <= 1e-9) (Scaler.mean refit)
+      && Array.for_all
+           (fun s -> s = 1. || Float.abs (s -. 1.) <= 1e-6)
+           (Scaler.stddev refit))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_metrics_permutation_invariant;
+      prop_confusion_conserves_counts;
+      prop_scaler_inverts;
+      prop_scaler_standardizes;
+    ]
