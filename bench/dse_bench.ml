@@ -1,0 +1,158 @@
+(* Parallel DSE scaling: end-to-end Bayesian-optimization wall clock at
+   --jobs 1/2/4, mirroring what `homc compile --jobs N` configures (an
+   N-worker pool and an N-wide constant-liar proposal batch).
+
+   Two effects compound here: batching fits the surrogate [n_iter / jobs]
+   times instead of [n_iter] times for the same evaluation budget (an
+   algorithmic win that shows up even on one core), and the pool spreads
+   tree fitting, candidate scoring, and black-box evaluations across
+   domains (a hardware win on multi-core hosts). The run also re-checks the
+   determinism contract: at a fixed batch size, the history must be
+   bit-identical at any worker count.
+
+   Results land in BENCH_dse.json so the perf trajectory is tracked across
+   PRs. *)
+
+module Bo = Homunculus_bo
+module Par = Homunculus_par.Par
+module Rng = Homunculus_util.Rng
+module Json = Homunculus_util.Json
+
+let space () =
+  Bo.Design_space.create
+    [
+      Bo.Param.int "neurons" ~lo:8 ~hi:128;
+      Bo.Param.int "layers" ~lo:1 ~hi:4;
+      Bo.Param.real "learning_rate" ~log_scale:true ~lo:1e-4 ~hi:1e-1;
+      Bo.Param.real "weight_decay" ~lo:0. ~hi:0.1;
+      Bo.Param.ordinal "batch" [| 16.; 32.; 64.; 128. |];
+      Bo.Param.categorical "activation" [| "relu"; "tanh" |];
+    ]
+
+(* A cheap analytic black box keeps the measurement honest about BO overhead
+   (surrogate fits + pool scoring dominate real DSE runs once training is
+   cached or fast); [spin] adds a small deterministic training-cost stand-in
+   so the batch path also overlaps some per-evaluation work. *)
+let spin_iters = 20_000
+
+let eval space config =
+  let p = Bo.Design_space.encode space config in
+  let acc = ref 0. in
+  for i = 1 to spin_iters do
+    acc := !acc +. (1. /. float_of_int i)
+  done;
+  let quality =
+    !acc *. 0.
+    +. Array.fold_left (fun a v -> a -. ((v -. 0.6) *. (v -. 0.6))) 1.5 p
+  in
+  {
+    Bo.Optimizer.objective = quality;
+    feasible = p.(0) +. p.(1) < 1.6;
+    metadata = [];
+  }
+
+let settings ~budget ~jobs =
+  let n_init = Stdlib.max 3 (budget / 4) in
+  {
+    Bo.Optimizer.default_settings with
+    Bo.Optimizer.n_init;
+    n_iter = budget - n_init;
+    pool_size = (if Bench_config.fast then 64 else 150);
+    batch_size = jobs;
+  }
+
+let run_once ~budget ~jobs =
+  let sp = space () in
+  let pool = Par.create ~jobs () in
+  let t0 = Unix.gettimeofday () in
+  let history =
+    Bo.Optimizer.maximize (Rng.create Bench_config.seed)
+      ~settings:(settings ~budget ~jobs) ~pool sp ~f:(eval sp)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Par.shutdown pool;
+  (dt, history)
+
+let fingerprint history =
+  (* Order-sensitive digest of the full evaluation log. *)
+  List.fold_left
+    (fun acc e ->
+      let h =
+        Hashtbl.hash
+          ( Bo.Config.to_string e.Bo.History.config,
+            e.Bo.History.objective,
+            e.Bo.History.feasible )
+      in
+      (acc * 1_000_003) lxor h)
+    0
+    (Bo.History.entries history)
+
+let run () =
+  Bench_config.section "DSE scaling: batched BO at --jobs 1/2/4";
+  let budget = if Bench_config.fast then 24 else 100 in
+  (* Warm-up run: touch every code path once so allocator and page-cache
+     effects don't land on the jobs=1 measurement. *)
+  let (_ : float * Bo.History.t) = run_once ~budget:(budget / 4) ~jobs:2 in
+  let job_counts = [ 1; 2; 4 ] in
+  let results =
+    List.map
+      (fun jobs ->
+        let dt, history = run_once ~budget ~jobs in
+        (jobs, dt, history))
+      job_counts
+  in
+  let base =
+    match results with (_, dt, _) :: _ -> dt | [] -> assert false
+  in
+  List.iter
+    (fun (jobs, dt, history) ->
+      let best =
+        match Bo.History.best history with
+        | Some e -> e.Bo.History.objective
+        | None -> Float.nan
+      in
+      Printf.printf
+        "  jobs %d: %6.2f s  (speedup %.2fx, %d evals, best %.4f)\n" jobs dt
+        (base /. dt) (Bo.History.length history) best)
+    results;
+  (* Determinism: same seed and batch size must give the identical history
+     whether the pool has 1 worker or 4. *)
+  let sp = space () in
+  let run_det workers =
+    let pool = Par.create ~jobs:workers () in
+    let h =
+      Bo.Optimizer.maximize (Rng.create Bench_config.seed)
+        ~settings:(settings ~budget:(Stdlib.min budget 24) ~jobs:4)
+        ~pool sp ~f:(eval sp)
+    in
+    Par.shutdown pool;
+    fingerprint h
+  in
+  let det_ok = run_det 1 = run_det 4 in
+  Printf.printf "  determinism (batch 4, 1 vs 4 workers): %s\n"
+    (if det_ok then "identical histories" else "MISMATCH");
+  let json =
+    Json.Object
+      [
+        ("bench", Json.String "dse");
+        ("fast", Json.Bool Bench_config.fast);
+        ("budget", Json.Number (float_of_int budget));
+        ("host_cores", Json.Number (float_of_int (Domain.recommended_domain_count ())));
+        ("deterministic", Json.Bool det_ok);
+        ( "runs",
+          Json.List
+            (List.map
+               (fun (jobs, dt, _) ->
+                 Json.Object
+                   [
+                     ("jobs", Json.Number (float_of_int jobs));
+                     ("wall_s", Json.Number dt);
+                     ("speedup", Json.Number (base /. dt));
+                   ])
+               results) );
+      ]
+  in
+  Out_channel.with_open_text "BENCH_dse.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string json);
+      Out_channel.output_char oc '\n');
+  Bench_config.note "  wrote BENCH_dse.json\n"

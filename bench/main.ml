@@ -19,6 +19,7 @@ let experiments =
     ("serve", Serve_bench.run);
     ("micro", Micro.run);
     ("ablation", Ablation.run);
+    ("dse", Dse_bench.run);
   ]
 
 let () =

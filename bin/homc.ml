@@ -20,6 +20,7 @@ module Iot = Homunculus_netdata.Iot
 module Botnet = Homunculus_netdata.Botnet
 module Dataset = Homunculus_ml.Dataset
 module Bo = Homunculus_bo
+module Par = Homunculus_par.Par
 
 let spec_of_app app seed =
   match app with
@@ -85,7 +86,20 @@ let output_arg =
   let doc = "Write generated backend code to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
-let options_of ~seed ~budget =
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel search (default: \\$(b,PAR_JOBS) or the \
+     machine's core count). Also used as the optimizer's batch size, so each \
+     surrogate fit proposes this many candidates for concurrent evaluation."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs jobs =
+  let jobs = if jobs <= 0 then Par.recommended_jobs () else jobs in
+  Par.set_default_jobs jobs;
+  jobs
+
+let options_of ~seed ~budget ~jobs =
   let n_init = Stdlib.max 3 (budget / 4) in
   {
     Compiler.default_options with
@@ -95,15 +109,16 @@ let options_of ~seed ~budget =
         Bo.Optimizer.default_settings with
         Bo.Optimizer.n_init;
         n_iter = Stdlib.max 1 (budget - n_init);
+        batch_size = resolve_jobs jobs;
       };
   }
 
 (* compile *)
 
-let compile app target seed budget output =
+let compile app target seed budget jobs output =
   let spec = spec_of_app app seed in
   let platform = platform_of_name target in
-  let options = options_of ~seed ~budget in
+  let options = options_of ~seed ~budget ~jobs in
   let result = Compiler.generate ~options platform (Schedule.model spec) in
   print_string (Report.result_summary result);
   (match result.Compiler.models with
@@ -180,9 +195,9 @@ let datasets seed =
 
 (* sweep *)
 
-let sweep seed budget =
+let sweep seed budget jobs =
   let spec = spec_of_app "tc-kmeans" seed in
-  let options = options_of ~seed ~budget in
+  let options = options_of ~seed ~budget ~jobs in
   Printf.printf "%-4s %10s %6s\n" "K" "V-measure" "MATs";
   List.iter
     (fun tables ->
@@ -197,9 +212,9 @@ let sweep seed budget =
 
 (* place: search a model and show its grid floor plan *)
 
-let place app seed budget =
+let place app seed budget jobs =
   let spec = spec_of_app app seed in
-  let options = options_of ~seed ~budget in
+  let options = options_of ~seed ~budget ~jobs in
   let result = Compiler.search_model ~options (Platform.taurus ()) spec in
   let model = result.Compiler.artifact.Evaluator.model_ir in
   let grid = Homunculus_backends.Taurus.default_grid in
@@ -217,9 +232,9 @@ let place app seed budget =
 
 (* simulate: drive the mapped model with packet load *)
 
-let simulate app seed budget rate packets =
+let simulate app seed budget jobs rate packets =
   let spec = spec_of_app app seed in
-  let options = options_of ~seed ~budget in
+  let options = options_of ~seed ~budget ~jobs in
   let result = Compiler.search_model ~options (Platform.taurus ()) spec in
   let model = result.Compiler.artifact.Evaluator.model_ir in
   let grid = Homunculus_backends.Taurus.default_grid in
@@ -440,7 +455,9 @@ let packets_arg =
 let compile_cmd =
   let doc = "Search, train, and compile an application for a data-plane target." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const compile $ app_arg $ target_arg $ seed_arg $ budget_arg $ output_arg)
+    Term.(
+      const compile $ app_arg $ target_arg $ seed_arg $ budget_arg $ jobs_arg
+      $ output_arg)
 
 let inspect_cmd =
   let doc = "Print a target platform's resource model and capabilities." in
@@ -452,16 +469,20 @@ let datasets_cmd =
 
 let sweep_cmd =
   let doc = "Sweep the KMeans classifier across MAT budgets (Fig. 7)." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const sweep $ seed_arg $ budget_arg)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const sweep $ seed_arg $ budget_arg $ jobs_arg)
 
 let place_cmd =
   let doc = "Show a searched model's floor plan on the Taurus grid." in
-  Cmd.v (Cmd.info "place" ~doc) Term.(const place $ app_arg $ seed_arg $ budget_arg)
+  Cmd.v (Cmd.info "place" ~doc)
+    Term.(const place $ app_arg $ seed_arg $ budget_arg $ jobs_arg)
 
 let simulate_cmd =
   let doc = "Drive a searched model's pipeline with packet load." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const simulate $ app_arg $ seed_arg $ budget_arg $ rate_arg $ packets_arg)
+    Term.(
+      const simulate $ app_arg $ seed_arg $ budget_arg $ jobs_arg $ rate_arg
+      $ packets_arg)
 
 let export_trace_cmd =
   let doc = "Synthesize a P2P flow population and write it as a trace file." in

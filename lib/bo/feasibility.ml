@@ -2,7 +2,7 @@ module Rfc = Homunculus_ml.Random_forest.Classifier
 
 type t = Constant of float | Forest of Rfc.t
 
-let fit rng ?(n_trees = 30) ~x ~feasible () =
+let fit rng ?(n_trees = 30) ?pool ~x ~feasible () =
   if Array.length x = 0 then invalid_arg "Feasibility.fit: empty input";
   if Array.length x <> Array.length feasible then
     invalid_arg "Feasibility.fit: length mismatch";
@@ -13,7 +13,7 @@ let fit rng ?(n_trees = 30) ~x ~feasible () =
     (* All observations infeasible: stay optimistic enough to keep searching. *)
   else
     let y = Array.map (fun b -> if b then 1 else 0) feasible in
-    Forest (Rfc.fit rng ~n_trees ~x ~y ~n_classes:2 ())
+    Forest (Rfc.fit rng ~n_trees ?pool ~x ~y ~n_classes:2 ())
 
 let prob_feasible t point =
   match t with

@@ -10,6 +10,7 @@ type t
 val fit :
   Homunculus_util.Rng.t ->
   ?n_trees:int ->
+  ?pool:Homunculus_par.Par.pool ->
   x:float array array ->
   feasible:bool array ->
   unit ->

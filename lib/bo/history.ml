@@ -13,15 +13,55 @@ type t = {
      once per proposal by the dedup loop — is O(1) expected instead of a
      scan over the whole run. Collisions are resolved with [Config.equal]. *)
   seen : (int, Config.t list) Hashtbl.t;
+  (* Incremental training matrices: the optimizer refits its surrogate on
+     every round, and rebuilding (encode + list-to-array) the full history
+     each time is O(n^2) over a run. Entries added with [~encoded] land in
+     these growable parallel arrays instead, and [training_arrays] is a
+     plain sub-array copy. *)
+  mutable enc : float array array;
+  mutable obj : float array;
+  mutable feas : bool array;
+  mutable all_encoded : bool;  (* every add so far carried [~encoded] *)
 }
 
-let create () = { rev_entries = []; count = 0; seen = Hashtbl.create 64 }
+let create () =
+  {
+    rev_entries = [];
+    count = 0;
+    seen = Hashtbl.create 64;
+    enc = Array.make 16 [||];
+    obj = Array.make 16 0.;
+    feas = Array.make 16 false;
+    all_encoded = true;
+  }
 
-let add t ~config ~objective ~feasible ?(metadata = []) () =
+let grow t =
+  let cap = Array.length t.obj in
+  if t.count > cap then begin
+    let cap' = 2 * cap in
+    let enc = Array.make cap' [||] in
+    let obj = Array.make cap' 0. in
+    let feas = Array.make cap' false in
+    Array.blit t.enc 0 enc 0 cap;
+    Array.blit t.obj 0 obj 0 cap;
+    Array.blit t.feas 0 feas 0 cap;
+    t.enc <- enc;
+    t.obj <- obj;
+    t.feas <- feas
+  end
+
+let add t ~config ?encoded ~objective ~feasible ?(metadata = []) () =
   t.count <- t.count + 1;
   t.rev_entries <-
     { iteration = t.count; config; objective; feasible; metadata }
     :: t.rev_entries;
+  (match encoded with
+  | Some point when t.all_encoded ->
+      grow t;
+      t.enc.(t.count - 1) <- point;
+      t.obj.(t.count - 1) <- objective;
+      t.feas.(t.count - 1) <- feasible
+  | Some _ | None -> t.all_encoded <- false);
   let h = Config.hash config in
   let bucket = Option.value (Hashtbl.find_opt t.seen h) ~default:[] in
   if not (List.exists (Config.equal config) bucket) then
@@ -63,3 +103,10 @@ let mem_config t config =
   match Hashtbl.find_opt t.seen (Config.hash config) with
   | None -> false
   | Some bucket -> List.exists (Config.equal config) bucket
+
+let training_arrays t =
+  if not t.all_encoded then
+    invalid_arg "History.training_arrays: entries added without ~encoded";
+  ( Array.sub t.enc 0 t.count,
+    Array.sub t.obj 0 t.count,
+    Array.sub t.feas 0 t.count )

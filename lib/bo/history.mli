@@ -13,8 +13,12 @@ type entry = {
 type t
 
 val create : unit -> t
-val add : t -> config:Config.t -> objective:float -> feasible:bool ->
-  ?metadata:(string * float) list -> unit -> unit
+val add : t -> config:Config.t -> ?encoded:float array -> objective:float ->
+  feasible:bool -> ?metadata:(string * float) list -> unit -> unit
+(** [~encoded] is the design-space encoding of [config]; when every add
+    supplies it, the history maintains incremental training matrices and
+    {!training_arrays} costs one sub-array copy instead of re-encoding the
+    whole run per surrogate refit. *)
 
 val entries : t -> entry list
 (** In evaluation order. *)
@@ -37,3 +41,9 @@ val feasible_fraction : t -> float
 
 val mem_config : t -> Config.t -> bool
 (** Has this exact configuration already been evaluated? *)
+
+val training_arrays : t -> float array array * float array * bool array
+(** [(x, y, feasible)] in evaluation order, ready for surrogate and
+    feasibility fitting. O(n) pointer copies — encodings are cached at
+    {!add} time. @raise Invalid_argument if any entry was added without
+    [~encoded]. *)

@@ -1,4 +1,5 @@
 module Rng = Homunculus_util.Rng
+module Par = Homunculus_par.Par
 
 type settings = {
   n_init : int;
@@ -6,6 +7,7 @@ type settings = {
   pool_size : int;
   local_search_frac : float;
   surrogate_trees : int;
+  batch_size : int;
 }
 
 let default_settings =
@@ -15,6 +17,7 @@ let default_settings =
     pool_size = 200;
     local_search_frac = 0.5;
     surrogate_trees = 30;
+    batch_size = 1;
   }
 
 type evaluation = {
@@ -23,9 +26,10 @@ type evaluation = {
   metadata : (string * float) list;
 }
 
-let evaluate_and_record history f config ~on_iteration =
-  let { objective; feasible; metadata } = f config in
-  History.add history ~config ~objective ~feasible ~metadata ();
+let record history space config { objective; feasible; metadata } ~on_iteration =
+  History.add history ~config
+    ~encoded:(Design_space.encode space config)
+    ~objective ~feasible ~metadata ();
   match (on_iteration, History.last history) with
   | Some callback, Some latest -> callback (History.length history) latest
   | (None, _ | _, None) -> ()
@@ -33,48 +37,71 @@ let evaluate_and_record history f config ~on_iteration =
 let random_search rng ~n space ~f =
   let history = History.create () in
   for _ = 1 to n do
-    evaluate_and_record history f (Design_space.sample rng space)
-      ~on_iteration:None
+    let config = Design_space.sample rng space in
+    record history space config (f config) ~on_iteration:None
   done;
   history
 
-let fresh_candidate rng space history =
-  (* Avoid re-evaluating an exact duplicate; give up after a few tries for
-     small discrete spaces. *)
+let fresh_candidate rng space history ~pending =
+  (* Avoid re-evaluating an exact duplicate (including candidates already
+     chosen for the in-flight batch); give up after a few tries for small
+     discrete spaces. *)
   let rec go attempts =
     let c = Design_space.sample rng space in
-    if attempts <= 0 || not (History.mem_config history c) then c
+    if
+      attempts <= 0
+      || (not (History.mem_config history c))
+         && not (List.exists (Config.equal c) pending)
+    then c
     else go (attempts - 1)
   in
   go 8
 
-let maximize rng ?(settings = default_settings) ?on_iteration space ~f =
+(* Evaluate a batch of proposals concurrently, then commit the results to the
+   history in proposal order. The black box runs on pool workers, so all the
+   ordering the caller can observe (History contents, [on_iteration]
+   callbacks) is fixed by the proposal order, not by scheduling. *)
+let evaluate_batch ~par history space ~f ~on_iteration batch =
+  let evals = Par.parallel_map ~pool:par ~chunk:1 f batch in
+  Array.iteri
+    (fun i config -> record history space config evals.(i) ~on_iteration)
+    batch
+
+let maximize rng ?(settings = default_settings) ?pool ?on_iteration space ~f =
   if settings.n_init <= 0 then invalid_arg "Bo.Optimizer.maximize: n_init <= 0";
+  if settings.batch_size <= 0 then
+    invalid_arg "Bo.Optimizer.maximize: batch_size <= 0";
+  let par = match pool with Some p -> p | None -> Par.default () in
   let history = History.create () in
-  (* Phase 1: uniform random initialization. *)
-  for _ = 1 to settings.n_init do
-    evaluate_and_record history f (fresh_candidate rng space history)
-      ~on_iteration
+  (* Phase 1: uniform random initialization, evaluated [batch_size] at a
+     time. Proposals are drawn sequentially from [rng] (so the stream is
+     independent of the worker count); only the evaluations overlap. *)
+  let remaining = ref settings.n_init in
+  while !remaining > 0 do
+    let k = Stdlib.min settings.batch_size !remaining in
+    let pending = ref [] in
+    let batch =
+      Array.init k (fun _ ->
+          let c = fresh_candidate rng space history ~pending:!pending in
+          pending := c :: !pending;
+          c)
+    in
+    evaluate_batch ~par history space ~f ~on_iteration batch;
+    remaining := !remaining - k
   done;
-  (* Phase 2: surrogate-guided iterations. *)
-  for _ = 1 to settings.n_iter do
-    let entries = History.entries history in
-    let encoded =
-      Array.of_list
-        (List.map (fun e -> Design_space.encode space e.History.config) entries)
-    in
-    let objectives =
-      Array.of_list (List.map (fun e -> e.History.objective) entries)
-    in
-    let feasible_flags =
-      Array.of_list (List.map (fun e -> e.History.feasible) entries)
-    in
+  (* Phase 2: surrogate-guided rounds. Each round fits one surrogate and
+     proposes up to [batch_size] candidates from it (constant-liar batching),
+     so a batched run spends the same evaluation budget over [n_iter /
+     batch_size] refits. *)
+  let remaining = ref settings.n_iter in
+  while !remaining > 0 do
+    let k = Stdlib.min settings.batch_size !remaining in
+    let x, y, feasible_flags = History.training_arrays history in
     let surrogate =
-      Surrogate.fit rng ~n_trees:settings.surrogate_trees ~x:encoded
-        ~y:objectives ()
+      Surrogate.fit rng ~n_trees:settings.surrogate_trees ~pool:par ~x ~y ()
     in
     let feas_model =
-      Feasibility.fit rng ~n_trees:settings.surrogate_trees ~x:encoded
+      Feasibility.fit rng ~n_trees:settings.surrogate_trees ~pool:par ~x
         ~feasible:feasible_flags ()
     in
     let incumbent = History.best history in
@@ -83,7 +110,8 @@ let maximize rng ?(settings = default_settings) ?on_iteration space ~f =
       | Some e -> e.History.objective
       | None -> neg_infinity
     in
-    (* Candidate pool: uniform samples plus neighbors of the incumbent. *)
+    (* Candidate pool: uniform samples plus neighbors of the incumbent,
+       drawn sequentially so the RNG stream is schedule-independent. *)
     let n_local =
       match incumbent with
       | None -> 0
@@ -91,34 +119,67 @@ let maximize rng ?(settings = default_settings) ?on_iteration space ~f =
           int_of_float
             (settings.local_search_frac *. float_of_int settings.pool_size)
     in
-    let make_candidate i =
-      match incumbent with
-      | Some e when i < n_local ->
-          Design_space.neighbor rng space e.History.config
-      | Some _ | None -> Design_space.sample rng space
+    let candidates =
+      Array.init settings.pool_size (fun i ->
+          match incumbent with
+          | Some e when i < n_local ->
+              Design_space.neighbor rng space e.History.config
+          | Some _ | None -> Design_space.sample rng space)
     in
-    let best_candidate = ref None in
-    for i = 0 to settings.pool_size - 1 do
-      let candidate = make_candidate i in
-      if not (History.mem_config history candidate) then begin
-        let point = Design_space.encode space candidate in
-        let mean, std = Surrogate.predict surrogate point in
-        let ei = Acquisition.expected_improvement ~mean ~std ~best:best_value in
-        let p_feas = Feasibility.prob_feasible feas_model point in
-        let score =
-          if ei = infinity then p_feas (* no incumbent: chase feasibility *)
-          else ei *. p_feas
-        in
-        match !best_candidate with
-        | Some (_, s) when s >= score -> ()
-        | Some _ | None -> best_candidate := Some (candidate, score)
-      end
+    (* Scoring is pure: fan it out over the pool. *)
+    let scores =
+      Par.parallel_map ~pool:par
+        (fun candidate ->
+          if History.mem_config history candidate then neg_infinity
+          else begin
+            let point = Design_space.encode space candidate in
+            let mean, std = Surrogate.predict surrogate point in
+            let ei =
+              Acquisition.expected_improvement ~mean ~std ~best:best_value
+            in
+            let p_feas = Feasibility.prob_feasible feas_model point in
+            if ei = infinity then p_feas (* no incumbent: chase feasibility *)
+            else ei *. p_feas
+          end)
+        candidates
+    in
+    (* Constant-liar batch proposal: pick the top-scoring candidate, then
+       pretend it was already evaluated at the incumbent's value (the
+       CL-max lie) and pick again. The lie leaves [best_value] — and hence
+       every remaining EI score — unchanged, so without refitting the
+       surrogate it reduces to selecting the k best distinct candidates;
+       its only effect is that a proposal cannot be picked twice. Ties keep
+       the lowest pool index, matching the sequential scan. *)
+    let chosen = ref [] in
+    let n_chosen = ref 0 in
+    while !n_chosen < k do
+      let best_i = ref (-1) in
+      let best_s = ref neg_infinity in
+      Array.iteri
+        (fun i s ->
+          if
+            s > !best_s
+            && not (List.exists (Config.equal candidates.(i)) !chosen)
+          then begin
+            best_i := i;
+            best_s := s
+          end)
+        scores;
+      let c =
+        if !best_i >= 0 then begin
+          scores.(!best_i) <- neg_infinity;
+          candidates.(!best_i)
+        end
+        else
+          (* Every pool candidate is a duplicate: fall back to fresh uniform
+             samples, as the sequential loop did. *)
+          fresh_candidate rng space history ~pending:!chosen
+      in
+      chosen := c :: !chosen;
+      incr n_chosen
     done;
-    let chosen =
-      match !best_candidate with
-      | Some (c, _) -> c
-      | None -> fresh_candidate rng space history
-    in
-    evaluate_and_record history f chosen ~on_iteration
+    let batch = Array.of_list (List.rev !chosen) in
+    evaluate_batch ~par history space ~f ~on_iteration batch;
+    remaining := !remaining - k
   done;
   history

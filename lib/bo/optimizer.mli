@@ -1,6 +1,8 @@
 (** The constrained Bayesian-optimization loop (HyperMapper's core algorithm
     as configured by the paper: uniform random warm-up, random-forest
-    surrogate, Expected Improvement weighted by probability of feasibility). *)
+    surrogate, Expected Improvement weighted by probability of feasibility),
+    extended with constant-liar batch proposal so several candidates can be
+    evaluated concurrently per surrogate fit. *)
 
 type settings = {
   n_init : int;  (** uniform random warm-up evaluations *)
@@ -10,10 +12,15 @@ type settings = {
       (** fraction of the pool drawn as neighbors of the incumbent rather
           than uniformly (exploitation vs exploration) *)
   surrogate_trees : int;
+  batch_size : int;
+      (** candidates proposed per surrogate fit (constant-liar batching) and
+          evaluated concurrently on the worker pool. [1] recovers the
+          classic fully-sequential loop; [k > 1] spends the same evaluation
+          budget over [k] times fewer surrogate fits. *)
 }
 
 val default_settings : settings
-(** 10 warm-up, 40 guided, pool 200, 0.5 local, 30 trees. *)
+(** 10 warm-up, 40 guided, pool 200, 0.5 local, 30 trees, batch 1. *)
 
 type evaluation = {
   objective : float;  (** value to maximize, e.g. F1 *)
@@ -24,13 +31,23 @@ type evaluation = {
 val maximize :
   Homunculus_util.Rng.t ->
   ?settings:settings ->
+  ?pool:Homunculus_par.Par.pool ->
   ?on_iteration:(int -> History.entry -> unit) ->
   Design_space.t ->
   f:(Config.t -> evaluation) ->
   History.t
 (** Run the full loop and return the evaluation history. The black box [f] is
     called exactly [n_init + n_iter] times (duplicate candidates are replaced
-    by fresh uniform samples before evaluation when possible). *)
+    by fresh uniform samples before evaluation when possible).
+
+    Surrogate fits, candidate scoring, and batch evaluations run on [pool]
+    (default {!Homunculus_par.Par.default}); [f] may be called from pool
+    worker domains, concurrently with other calls within the same batch.
+    The result is deterministic: for a fixed seed and settings, the returned
+    history is identical at any worker count, because all random draws happen
+    sequentially on the caller's RNG and results are committed in proposal
+    order. [on_iteration] likewise fires in proposal order, on the calling
+    domain. *)
 
 val random_search :
   Homunculus_util.Rng.t ->

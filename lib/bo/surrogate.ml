@@ -2,6 +2,6 @@ module Rf = Homunculus_ml.Random_forest.Regressor
 
 type t = Rf.t
 
-let fit rng ?(n_trees = 30) ~x ~y () = Rf.fit rng ~n_trees ~x ~y ()
+let fit rng ?(n_trees = 30) ?pool ~x ~y () = Rf.fit rng ~n_trees ?pool ~x ~y ()
 
 let predict t point = Rf.predict_with_std t point

@@ -9,11 +9,13 @@ type t
 val fit :
   Homunculus_util.Rng.t ->
   ?n_trees:int ->
+  ?pool:Homunculus_par.Par.pool ->
   x:float array array ->
   y:float array ->
   unit ->
   t
-(** Default 30 trees. @raise Invalid_argument on empty input. *)
+(** Default 30 trees, fitted in parallel on [pool] (deterministic at any
+    worker count). @raise Invalid_argument on empty input. *)
 
 val predict : t -> float array -> float * float
 (** Mean and standard deviation of the objective at an encoded point. *)

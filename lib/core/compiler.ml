@@ -65,32 +65,26 @@ let emit_code platform model_ir =
   | Platform.Tofino _ ->
       P4gen.emit model_ir ^ "\n" ^ P4gen.emit_entries model_ir
 
-let better_artifact current candidate =
-  (* Feasible always beats infeasible; ties break on objective. *)
-  match current with
-  | None -> Some candidate
-  | Some best ->
-      let bf = best.Evaluator.verdict.Resource.feasible in
-      let cf = candidate.Evaluator.verdict.Resource.feasible in
-      if cf && not bf then Some candidate
-      else if bf && not cf then Some best
-      else if candidate.Evaluator.objective > best.Evaluator.objective then
-        Some candidate
-      else Some best
-
 let search_algorithm rng ~seed ~settings platform spec algorithm =
   let data = Model_spec.load spec in
   let input_dim =
     Homunculus_ml.Dataset.n_features data.Model_spec.train
   in
   let space = Space_builder.build platform algorithm ~input_dim in
+  (* [eval] may run on worker domains when the optimizer batches proposals;
+     the running best is guarded by a mutex, and because
+     [Evaluator.compare_artifacts] is a total order the winner is the same
+     whatever order the batch completes in. *)
   let best = ref None in
+  let best_lock = Mutex.create () in
   let eval config =
     (* A per-configuration seed makes the black box deterministic: the same
        suggestion always measures the same, which stabilizes the search. *)
     let eval_rng = Rng.create (seed lxor Bo.Config.hash config) in
     let artifact = Evaluator.evaluate eval_rng platform spec algorithm config in
-    best := better_artifact !best artifact;
+    Mutex.lock best_lock;
+    best := Evaluator.better_artifact !best artifact;
+    Mutex.unlock best_lock;
     Evaluator.to_bo_evaluation artifact
   in
   let history = Bo.Optimizer.maximize rng ~settings space ~f:eval in
@@ -132,7 +126,7 @@ let search_model ?(options = default_options) platform spec =
     List.fold_left
       (fun acc (_, candidate, _) ->
         match candidate with
-        | Some c -> better_artifact acc c
+        | Some c -> Evaluator.better_artifact acc c
         | None -> acc)
       None runs
   in
@@ -204,25 +198,40 @@ let search_tradeoff ?(options = default_options) ?(n_scalarizations = 5)
   for _ = 1 to n_scalarizations do
     let run_rng = Rng.split master in
     let weight = Rng.uniform run_rng 0.3 1.0 in
+    (* Same concurrency story as [search_algorithm]: the scalarized running
+       best lives behind a mutex and is ranked by a total order (feasible
+       first, then scalarized score, then configuration string), so batched
+       evaluation order cannot change the winner. *)
+    let score a f =
+      (weight *. a.Evaluator.objective) -. ((1. -. weight) *. f)
+    in
+    let ranks_higher (a, af) (b, bf) =
+      let fc =
+        Bool.compare b.Evaluator.verdict.Resource.feasible
+          a.Evaluator.verdict.Resource.feasible
+      in
+      if fc <> 0 then fc < 0
+      else
+        let sc = Float.compare (score b bf) (score a af) in
+        if sc <> 0 then sc < 0
+        else
+          String.compare
+            (Bo.Config.to_string a.Evaluator.config)
+            (Bo.Config.to_string b.Evaluator.config)
+          < 0
+    in
     let best = ref None in
+    let best_lock = Mutex.create () in
     let eval config =
       let eval_rng = Rng.create (options.seed lxor Bo.Config.hash config) in
       let artifact = Evaluator.evaluate eval_rng platform spec algorithm config in
       let fraction = resource_fraction artifact.Evaluator.verdict in
+      Mutex.lock best_lock;
       (match !best with
-      | Some (b, _) when b.Evaluator.verdict.Resource.feasible
-                         && not artifact.Evaluator.verdict.Resource.feasible -> ()
-      | _ ->
-          let better =
-            match !best with
-            | None -> true
-            | Some (b, bf) ->
-                let score a f = (weight *. a.Evaluator.objective) -. ((1. -. weight) *. f) in
-                (artifact.Evaluator.verdict.Resource.feasible
-                 && not b.Evaluator.verdict.Resource.feasible)
-                || score artifact fraction > score b bf
-          in
-          if better then best := Some (artifact, fraction));
+      | Some incumbent when not (ranks_higher (artifact, fraction) incumbent) ->
+          ()
+      | Some _ | None -> best := Some (artifact, fraction));
+      Mutex.unlock best_lock;
       {
         Bo.Optimizer.objective =
           (weight *. artifact.Evaluator.objective) -. ((1. -. weight) *. fraction);

@@ -1,5 +1,6 @@
 open Homunculus_tensor
 module Rng = Homunculus_util.Rng
+module Par = Homunculus_par.Par
 
 type t = {
   centroids : float array array;
@@ -91,17 +92,24 @@ let lloyd ~max_iter ~k x centroids =
   in
   { centroids; inertia = !inertia; weights }
 
-let fit rng ~k ?(max_iter = 100) ?(n_init = 3) x =
+let fit rng ~k ?(max_iter = 100) ?(n_init = 3) ?pool x =
   if k <= 0 then invalid_arg "Kmeans.fit: k <= 0";
   if Array.length x < k then invalid_arg "Kmeans.fit: fewer samples than clusters";
-  let best = ref None in
-  for _ = 1 to Stdlib.max 1 n_init do
-    let model = lloyd ~max_iter ~k x (plus_plus_init rng ~k x) in
-    match !best with
-    | Some b when b.inertia <= model.inertia -> ()
-    | Some _ | None -> best := Some model
+  (* The restarts are independent: pre-split one stream per restart and run
+     them on the pool. The winner is the first restart (in index order)
+     attaining the minimum inertia — the same tie rule the sequential loop
+     used — so the fitted model is identical at any worker count. *)
+  let restarts = Rng.split_n rng (Stdlib.max 1 n_init) in
+  let models =
+    Par.parallel_map ?pool
+      (fun rng -> lloyd ~max_iter ~k x (plus_plus_init rng ~k x))
+      restarts
+  in
+  let best = ref models.(0) in
+  for i = 1 to Array.length models - 1 do
+    if models.(i).inertia < !best.inertia then best := models.(i)
   done;
-  Option.get !best
+  !best
 
 let k t = Array.length t.centroids
 let centroids t = Array.map Array.copy t.centroids

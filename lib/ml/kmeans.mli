@@ -10,11 +10,15 @@ val fit :
   k:int ->
   ?max_iter:int ->
   ?n_init:int ->
+  ?pool:Homunculus_par.Par.pool ->
   float array array ->
   t
 (** [n_init] independent restarts keep the best inertia (default 3,
-    [max_iter] default 100). @raise Invalid_argument if [k <= 0] or there are
-    fewer samples than clusters. *)
+    [max_iter] default 100). Restarts run in parallel on [pool] (default
+    {!Homunculus_par.Par.default}) from pre-split RNG streams; ties keep the
+    lowest restart index, so the result is identical at any worker count.
+    @raise Invalid_argument if [k <= 0] or there are fewer samples than
+    clusters. *)
 
 val k : t -> int
 val centroids : t -> float array array

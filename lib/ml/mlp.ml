@@ -41,7 +41,27 @@ let predict_proba t x = Loss.probabilities t.loss (logits t x)
 
 let predict t x = Vec.argmax (predict_proba t x)
 
-let predict_all t samples = Array.map (fun x -> predict t x) samples
+(* Batched forward pass: one blocked [X * W^T] product per layer instead of
+   one matvec per sample. Per output element the accumulation order matches
+   [Layer.forward]'s matvec (ascending over the input dimension, then the
+   bias), so batched predictions are bit-identical to the per-sample path. *)
+let logits_batch t samples =
+  Array.fold_left
+    (fun acc l ->
+      let z = Mat.matmul_nt acc l.Layer.w in
+      Mat.add_row_inplace z l.Layer.b;
+      Mat.map_inplace (Activation.apply l.Layer.act) z;
+      z)
+    (Mat.of_rows samples) t.layers
+
+let predict_all t samples =
+  if Array.length samples = 0 then [||]
+  else begin
+    (* Softmax is monotone, so the argmax of the logits is the argmax of
+       [predict_proba]. *)
+    let out = logits_batch t samples in
+    Array.init out.Mat.rows (fun i -> Vec.argmax (Mat.row out i))
+  end
 
 let train_sample t ~x ~target =
   (* Forward with caches, then backward through the layer stack. *)

@@ -1,12 +1,21 @@
 module Rng = Homunculus_util.Rng
 module Stats = Homunculus_util.Stats
+module Par = Homunculus_par.Par
 
 let bootstrap rng n = Array.init n (fun _ -> Rng.int rng n)
+
+(* Trees are embarrassingly parallel: pre-split one RNG stream per tree (in
+   index order, off the caller's generator) and fit the forest on the domain
+   pool. Tree [i] sees the same stream at any worker count, so the fitted
+   forest is identical whether the pool has 1 or N domains. *)
+let fit_trees ?pool rng n_trees fit_one =
+  let rngs = Rng.split_n rng n_trees in
+  Par.parallel_map ?pool fit_one rngs
 
 module Classifier = struct
   type t = { trees : Decision_tree.Classifier.t array; n_classes : int }
 
-  let fit rng ?(n_trees = 30) ?params ~x ~y ~n_classes () =
+  let fit rng ?(n_trees = 30) ?params ?pool ~x ~y ~n_classes () =
     let n = Array.length x in
     if n = 0 then invalid_arg "Random_forest.Classifier.fit: empty input";
     let n_features = Array.length x.(0) in
@@ -20,7 +29,7 @@ module Classifier = struct
           }
     in
     let trees =
-      Array.init n_trees (fun _ ->
+      fit_trees ?pool rng n_trees (fun rng ->
           let idx = bootstrap rng n in
           let bx = Array.map (fun i -> x.(i)) idx in
           let by = Array.map (fun i -> y.(i)) idx in
@@ -46,7 +55,7 @@ end
 module Regressor = struct
   type t = { trees : Decision_tree.Regressor.t array }
 
-  let fit rng ?(n_trees = 30) ?params ~x ~y () =
+  let fit rng ?(n_trees = 30) ?params ?pool ~x ~y () =
     let n = Array.length x in
     if n = 0 then invalid_arg "Random_forest.Regressor.fit: empty input";
     let n_features = Array.length x.(0) in
@@ -60,7 +69,7 @@ module Regressor = struct
           }
     in
     let trees =
-      Array.init n_trees (fun _ ->
+      fit_trees ?pool rng n_trees (fun rng ->
           let idx = bootstrap rng n in
           let bx = Array.map (fun i -> x.(i)) idx in
           let by = Array.map (fun i -> y.(i)) idx in

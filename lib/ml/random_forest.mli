@@ -12,12 +12,16 @@ module Classifier : sig
     Homunculus_util.Rng.t ->
     ?n_trees:int ->
     ?params:Decision_tree.params ->
+    ?pool:Homunculus_par.Par.pool ->
     x:float array array ->
     y:int array ->
     n_classes:int ->
     unit ->
     t
-  (** Defaults: 30 trees, [m_try = sqrt n_features], depth 12. *)
+  (** Defaults: 30 trees, [m_try = sqrt n_features], depth 12. Trees are
+      fitted on [pool] (default {!Homunculus_par.Par.default}) from
+      pre-split per-tree RNG streams, so the forest is identical at any
+      worker count. *)
 
   val predict_proba : t -> float array -> float array
   (** Mean of per-tree class distributions. *)
@@ -34,11 +38,14 @@ module Regressor : sig
     Homunculus_util.Rng.t ->
     ?n_trees:int ->
     ?params:Decision_tree.params ->
+    ?pool:Homunculus_par.Par.pool ->
     x:float array array ->
     y:float array ->
     unit ->
     t
-  (** Defaults: 30 trees, [m_try = max(1, n_features / 3)], depth 12. *)
+  (** Defaults: 30 trees, [m_try = max(1, n_features / 3)], depth 12. Same
+      pre-split parallel fitting (and determinism guarantee) as
+      {!Classifier.fit}. *)
 
   val predict : t -> float array -> float
   val predict_with_std : t -> float array -> float * float

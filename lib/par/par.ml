@@ -1,0 +1,192 @@
+type pool = {
+  jobs : int;
+  lock : Mutex.t;
+  work : (unit -> unit) Queue.t;  (* guarded by [lock] *)
+  wake : Condition.t;  (* signalled on new work and on shutdown *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Tasks that call back into the pool run their nested regions inline —
+   a worker blocking on sub-tasks that only workers can run would deadlock
+   a pool of depth-one queues. *)
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get in_worker_key
+
+let recommended_jobs () =
+  match Sys.getenv_opt "PAR_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let worker pool =
+  Domain.DLS.set in_worker_key true;
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.lock;
+    let rec next () =
+      match Queue.take_opt pool.work with
+      | Some task -> Some task
+      | None ->
+          if pool.stop then None
+          else begin
+            Condition.wait pool.wake pool.lock;
+            next ()
+          end
+    in
+    let task = next () in
+    Mutex.unlock pool.lock;
+    match task with
+    | Some task -> task ()
+    | None -> running := false
+  done
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+  if jobs < 1 then invalid_arg "Par.create: jobs < 1";
+  let pool =
+    {
+      jobs;
+      lock = Mutex.create ();
+      work = Queue.create ();
+      wake = Condition.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stop <- true;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+(* Process-wide default pool, lazily created and torn down at exit (a domain
+   blocked in [Condition.wait] would otherwise keep the runtime alive). *)
+
+let default_pool = ref None
+let exit_hook_registered = ref false
+
+let register_exit_hook () =
+  if not !exit_hook_registered then begin
+    exit_hook_registered := true;
+    Stdlib.at_exit (fun () ->
+        match !default_pool with Some p -> shutdown p | None -> ())
+  end
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create () in
+      default_pool := Some p;
+      register_exit_hook ();
+      p
+
+let set_default_jobs jobs =
+  if jobs < 1 then invalid_arg "Par.set_default_jobs: jobs < 1";
+  (match !default_pool with Some p -> shutdown p | None -> ());
+  default_pool := Some (create ~jobs ());
+  register_exit_hook ()
+
+(* A region = a batch of wrapped tasks pushed at once. The caller helps drain
+   the queue, then blocks until the last straggler (possibly on another
+   domain) signals completion. Tasks handed to [run_region] never raise:
+   error capture happens one layer up, per chunk. *)
+
+let run_region pool tasks =
+  let remaining = ref (Array.length tasks) in
+  let done_lock = Mutex.create () in
+  let done_cond = Condition.create () in
+  let wrap task () =
+    task ();
+    Mutex.lock done_lock;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast done_cond;
+    Mutex.unlock done_lock
+  in
+  Mutex.lock pool.lock;
+  Array.iter (fun task -> Queue.add (wrap task) pool.work) tasks;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.lock;
+  let draining = ref true in
+  while !draining do
+    Mutex.lock pool.lock;
+    let task = Queue.take_opt pool.work in
+    Mutex.unlock pool.lock;
+    match task with Some task -> task () | None -> draining := false
+  done;
+  Mutex.lock done_lock;
+  while !remaining > 0 do
+    Condition.wait done_cond done_lock
+  done;
+  Mutex.unlock done_lock
+
+(* Run [n_tasks] chunk bodies, sequentially or on the pool, capturing one
+   exception per chunk and re-raising the lowest-index one so failures are
+   independent of scheduling. *)
+
+let exec_chunks pool n_tasks run_chunk =
+  if n_tasks > 0 then begin
+    let errors = Array.make n_tasks None in
+    let guarded c () =
+      try run_chunk c
+      with e -> errors.(c) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    if pool.jobs = 1 || n_tasks = 1 || in_worker () || pool.stop then
+      for c = 0 to n_tasks - 1 do
+        guarded c ()
+      done
+    else run_region pool (Array.init n_tasks guarded);
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors
+  end
+
+let default_chunk pool n = Stdlib.max 1 ((n + (4 * pool.jobs) - 1) / (4 * pool.jobs))
+
+let parallel_for ?pool ?chunk ~lo ~hi f =
+  let pool = match pool with Some p -> p | None -> default () in
+  let n = hi - lo in
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c -> if c < 1 then invalid_arg "Par.parallel_for: chunk < 1" else c
+      | None -> default_chunk pool n
+    in
+    let n_tasks = (n + chunk - 1) / chunk in
+    exec_chunks pool n_tasks (fun c ->
+        let first = lo + (c * chunk) in
+        let last = Stdlib.min hi (first + chunk) - 1 in
+        for i = first to last do
+          f i
+        done)
+  end
+
+let parallel_map ?pool ?chunk f arr =
+  let pool = match pool with Some p -> p | None -> default () in
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ~pool ?chunk ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map
+      (function Some v -> v | None -> assert false (* every index written *))
+      out
+  end
+
+let run_in_parallel ?pool thunks =
+  let pool = match pool with Some p -> p | None -> default () in
+  parallel_map ~pool ~chunk:1 (fun thunk -> thunk ()) thunks

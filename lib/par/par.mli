@@ -1,0 +1,64 @@
+(** Deterministic work pool over OCaml 5 domains.
+
+    The DSE loop is dominated by embarrassingly parallel work — candidate
+    training, per-tree forest fits, KMeans restarts — so the pool favors a
+    simple, predictable design over work stealing:
+
+    - a fixed set of worker domains, created once and reused for every
+      parallel region (spawning a domain costs far more than a task);
+    - [parallel_for]/[parallel_map] split the index range into contiguous
+      chunks, and the calling domain participates in draining the queue;
+    - results are written at their own index, so the output never depends on
+      which domain ran which chunk;
+    - exceptions raised by tasks are captured per chunk and the one from the
+      {e lowest} index is re-raised after the whole region has drained, so a
+      failure is reported identically at any worker count.
+
+    Determinism contract: a task must depend only on its index (feed each
+    task a pre-split {!Homunculus_util.Rng.t}, never a shared one). Under
+    that contract results are bit-identical whether the pool has 1 or N
+    domains — the property the BO determinism test pins down.
+
+    Nested parallel regions (a task calling back into [parallel_map]) run
+    inline on the calling worker rather than deadlocking on the queue. *)
+
+type pool
+
+val recommended_jobs : unit -> int
+(** [PAR_JOBS] from the environment when set to a positive integer,
+    otherwise {!Domain.recommended_domain_count}. *)
+
+val create : ?jobs:int -> unit -> pool
+(** A pool that runs parallel regions on [jobs] domains total (the caller
+    plus [jobs - 1] spawned workers; default {!recommended_jobs}). [jobs = 1]
+    spawns nothing and runs every region sequentially in the caller.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : pool -> int
+
+val shutdown : pool -> unit
+(** Stop and join the worker domains. Idempotent. Regions submitted after
+    shutdown run sequentially in the caller, so a shut-down pool is still
+    safe to use (e.g. from [at_exit] races). *)
+
+val default : unit -> pool
+(** The process-wide pool, created on first use with {!recommended_jobs}
+    workers and shut down automatically at exit. *)
+
+val set_default_jobs : int -> unit
+(** Replace the default pool with one of the given size (shutting down the
+    previous one). Drives the [--jobs] CLI flag.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val parallel_for : ?pool:pool -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~lo ~hi f] runs [f i] for [lo <= i < hi] ([hi] exclusive),
+    split into chunks of [chunk] consecutive indices (default: enough chunks
+    for ~4 per worker). [pool] defaults to {!default}. *)
+
+val parallel_map : ?pool:pool -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like [Array.map], with elements processed in parallel chunks. The result
+    array is in input order regardless of scheduling. *)
+
+val run_in_parallel : ?pool:pool -> (unit -> 'a) array -> 'a array
+(** Run independent thunks, one task each (no chunking): the right shape for
+    a handful of coarse jobs like batched candidate evaluations. *)

@@ -57,29 +57,98 @@ let matvec_t m v =
   done;
   out
 
+(* Both products accumulate out(i,j) over k in ascending order with a single
+   accumulator, so the blocked/packed path below is bit-identical to the
+   textbook triple loop — the equivalence test checks exact equality. *)
+
+(* [a] is m-by-k row-major, [bt] is n-by-k row-major (i.e. B already
+   transposed): both operands stream contiguously in the inner dot product.
+   Blocking keeps a tile of bt rows hot in cache while the i-loop sweeps. *)
+let matmul_packed a bt out =
+  let kdim = a.cols and n = bt.rows in
+  let block = 64 in
+  let jj = ref 0 in
+  while !jj < n do
+    let j_hi = Stdlib.min n (!jj + block) in
+    let ii = ref 0 in
+    while !ii < a.rows do
+      let i_hi = Stdlib.min a.rows (!ii + block) in
+      for i = !ii to i_hi - 1 do
+        let abase = i * kdim in
+        let obase = i * n in
+        for j = !jj to j_hi - 1 do
+          let bbase = j * kdim in
+          let acc = ref 0. in
+          for p = 0 to kdim - 1 do
+            acc := !acc +. (a.data.(abase + p) *. bt.data.(bbase + p))
+          done;
+          out.data.(obase + j) <- !acc
+        done
+      done;
+      ii := i_hi
+    done;
+    jj := j_hi
+  done
+
+let matmul_nt a b =
+  if a.cols <> b.cols then invalid_arg "Mat.matmul_nt: dimension mismatch";
+  let out = create a.rows b.rows in
+  matmul_packed a b out;
+  out
+
 let matmul a b =
   if a.cols <> b.rows then invalid_arg "Mat.matmul: dimension mismatch";
   let out = create a.rows b.cols in
-  for i = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let aik = get a i k in
-      if aik <> 0. then
+  if a.rows * a.cols * b.cols <= 16384 then
+    (* Small product: the i-k-j loop is already cache-friendly and skipping
+       the packing transpose wins. *)
+    for i = 0 to a.rows - 1 do
+      let obase = i * b.cols in
+      for k = 0 to a.cols - 1 do
+        let aik = a.data.((i * a.cols) + k) in
+        let bbase = k * b.cols in
         for j = 0 to b.cols - 1 do
-          set out i j (get out i j +. (aik *. get b k j))
+          out.data.(obase + j) <- out.data.(obase + j) +. (aik *. b.data.(bbase + j))
         done
+      done
     done
-  done;
+  else matmul_packed a (transpose b) out;
   out
 
 let check_same_shape name a b =
   if a.rows <> b.rows || a.cols <> b.cols then
     invalid_arg (name ^ ": shape mismatch")
 
+(* The element-wise operations sit on the MLP training hot path; explicit
+   loops avoid one closure invocation per element. *)
+
 let add a b =
   check_same_shape "Mat.add" a b;
-  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) +. b.data.(i)) }
+  let n = Array.length a.data in
+  let data = Array.make n 0. in
+  for i = 0 to n - 1 do
+    data.(i) <- a.data.(i) +. b.data.(i)
+  done;
+  { a with data }
 
-let scale alpha m = { m with data = Array.map (fun x -> alpha *. x) m.data }
+let add_inplace a b =
+  check_same_shape "Mat.add_inplace" a b;
+  for i = 0 to Array.length a.data - 1 do
+    a.data.(i) <- a.data.(i) +. b.data.(i)
+  done
+
+let scale alpha m =
+  let n = Array.length m.data in
+  let data = Array.make n 0. in
+  for i = 0 to n - 1 do
+    data.(i) <- alpha *. m.data.(i)
+  done;
+  { m with data }
+
+let scale_inplace alpha m =
+  for i = 0 to Array.length m.data - 1 do
+    m.data.(i) <- alpha *. m.data.(i)
+  done
 
 let axpy ~alpha ~x ~y =
   check_same_shape "Mat.axpy" x y;
@@ -87,7 +156,28 @@ let axpy ~alpha ~x ~y =
     y.data.(i) <- (alpha *. x.data.(i)) +. y.data.(i)
   done
 
-let map f m = { m with data = Array.map f m.data }
+let map f m =
+  let n = Array.length m.data in
+  let data = Array.make n 0. in
+  for i = 0 to n - 1 do
+    data.(i) <- f m.data.(i)
+  done;
+  { m with data }
+
+let map_inplace f m =
+  for i = 0 to Array.length m.data - 1 do
+    m.data.(i) <- f m.data.(i)
+  done
+
+let add_row_inplace m v =
+  if Array.length v <> m.cols then
+    invalid_arg "Mat.add_row_inplace: dimension mismatch";
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      m.data.(base + j) <- m.data.(base + j) +. v.(j)
+    done
+  done
 
 let frobenius m = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0. m.data)
 

@@ -31,12 +31,32 @@ val matvec_t : t -> Vec.t -> Vec.t
     transpose; [dim v = m.rows]. *)
 
 val matmul : t -> t -> t
+(** Cache-blocked product. Large operands are computed against a packed
+    (transposed) copy of the right-hand side so both inner streams are
+    contiguous; accumulation order per output element matches the textbook
+    triple loop, so results are bit-identical to the naive reference. *)
+
+val matmul_nt : t -> t -> t
+(** [matmul_nt a b] is [matmul a (transpose b)] without materializing the
+    transpose — [b] is already the packed operand. [a] is [m*k], [b] is
+    [n*k], the result is [m*n]. This is the natural shape for a batched
+    dense-layer forward pass ([X * W^T]). *)
+
 val add : t -> t -> t
+val add_inplace : t -> t -> unit
+(** [add_inplace a b] is [a <- a + b] without allocating. *)
+
 val scale : float -> t -> t
+val scale_inplace : float -> t -> unit
 val axpy : alpha:float -> x:t -> y:t -> unit
 (** In-place [y <- alpha * x + y]. *)
 
 val map : (float -> float) -> t -> t
+val map_inplace : (float -> float) -> t -> unit
+val add_row_inplace : t -> Vec.t -> unit
+(** Add a row vector ([dim v = cols]) to every row in place: the bias
+    broadcast of a batched layer forward. *)
+
 val frobenius : t -> float
 val outer : Vec.t -> Vec.t -> t
 (** [outer u v] has shape [dim u * dim v]. *)

@@ -20,6 +20,16 @@ let split t =
   let s = int64 t in
   { state = mix s; cached_gaussian = None }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: n < 0";
+  (* Explicit loop: the streams must be derived in index order regardless of
+     how the stdlib schedules [Array.init] callbacks. *)
+  let out = Array.make n t in
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over the 62 low bits avoids modulo bias. *)

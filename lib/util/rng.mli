@@ -22,6 +22,12 @@ val split : t -> t
     [t]. Use one split per subsystem so that adding draws in one place does
     not perturb another. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent generators in index order. This is
+    the pre-splitting step that makes parallel loops deterministic: hand
+    stream [i] to task [i] and the results cannot depend on which domain ran
+    which task. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

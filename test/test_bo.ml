@@ -424,6 +424,75 @@ let test_optimizer_callback_invoked () =
   in
   Alcotest.(check int) "5 callbacks" 5 !calls
 
+let test_optimizer_batched_budget_exact () =
+  (* Batching regroups evaluations into concurrent rounds but must not change
+     the total budget, even when batch_size does not divide n_init/n_iter. *)
+  let count = ref 0 in
+  let lock = Mutex.create () in
+  let f config =
+    Mutex.lock lock;
+    incr count;
+    Mutex.unlock lock;
+    quadratic_eval config
+  in
+  let settings =
+    {
+      Bo.Optimizer.default_settings with
+      Bo.Optimizer.n_init = 5;
+      n_iter = 7;
+      batch_size = 3;
+    }
+  in
+  let pool = Homunculus_par.Par.create ~jobs:4 () in
+  let h = Bo.Optimizer.maximize (rng ()) ~settings ~pool quadratic_space ~f in
+  Homunculus_par.Par.shutdown pool;
+  Alcotest.(check int) "12 evaluations" 12 !count;
+  Alcotest.(check int) "history length" 12 (Bo.History.length h)
+
+let entries_identical a b =
+  let open Bo.History in
+  List.length (entries a) = List.length (entries b)
+  && List.for_all2
+       (fun x y ->
+         x.iteration = y.iteration
+         && Bo.Config.equal x.config y.config
+         && x.objective = y.objective
+         && x.feasible = y.feasible
+         && x.metadata = y.metadata)
+       (entries a) (entries b)
+
+let test_optimizer_deterministic_across_worker_counts () =
+  (* The hard guarantee behind --jobs: for a fixed seed and settings
+     (including batch_size), the history is bit-identical whether the pool
+     has one worker or several. *)
+  let settings =
+    {
+      Bo.Optimizer.default_settings with
+      Bo.Optimizer.n_init = 6;
+      n_iter = 10;
+      pool_size = 40;
+      surrogate_trees = 10;
+      batch_size = 3;
+    }
+  in
+  let run jobs =
+    let pool = Homunculus_par.Par.create ~jobs () in
+    let h =
+      Bo.Optimizer.maximize (Rng.create 7) ~settings ~pool quadratic_space
+        ~f:quadratic_eval
+    in
+    Homunculus_par.Par.shutdown pool;
+    h
+  in
+  let h1 = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "history identical at jobs=%d" jobs)
+        true
+        (entries_identical h1 (run jobs)))
+    [ 2; 4 ]
+
 let test_random_search_budget () =
   let count = ref 0 in
   let f config =
@@ -478,5 +547,9 @@ let suite =
     Alcotest.test_case "optimizer beats warm-up" `Quick test_optimizer_beats_warmup;
     Alcotest.test_case "optimizer feasibility" `Quick test_optimizer_respects_feasibility;
     Alcotest.test_case "optimizer callback" `Quick test_optimizer_callback_invoked;
+    Alcotest.test_case "optimizer batched budget exact" `Quick
+      test_optimizer_batched_budget_exact;
+    Alcotest.test_case "optimizer deterministic across workers" `Quick
+      test_optimizer_deterministic_across_worker_counts;
     Alcotest.test_case "random search budget" `Quick test_random_search_budget;
   ]

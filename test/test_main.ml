@@ -17,6 +17,7 @@ let suites =
     ("bo", Test_bo.suite);
     ("bo_properties", Test_bo_properties.suite);
     ("netdata", Test_netdata.suite);
+    ("par", Test_par.suite);
     ("backends", Test_backends.suite);
     ("inference", Test_inference.suite);
     ("json", Test_json.suite);

@@ -1,0 +1,135 @@
+(* The domain work-pool: ordering, exception propagation, nesting, and the
+   determinism contract the parallel DSE depends on. *)
+module Par = Homunculus_par.Par
+module Rng = Homunculus_util.Rng
+
+let with_pool jobs f =
+  let pool = Par.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) (fun () -> f pool)
+
+let test_map_preserves_order () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let input = Array.init 97 (fun i -> i) in
+          let out = Par.parallel_map ~pool ~chunk:3 (fun i -> i * i) input in
+          Alcotest.(check (array int))
+            (Printf.sprintf "squares at jobs=%d" jobs)
+            (Array.map (fun i -> i * i) input)
+            out))
+    [ 1; 2; 4 ]
+
+let test_map_empty_and_singleton () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||]
+        (Par.parallel_map ~pool (fun i -> i) [||]);
+      Alcotest.(check (array int)) "singleton" [| 10 |]
+        (Par.parallel_map ~pool (fun i -> i * 10) [| 1 |]))
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let hits = Array.make 53 0 in
+          (* Each index is written by exactly one task, so no lock needed. *)
+          Par.parallel_for ~pool ~chunk:4 ~lo:0 ~hi:53 (fun i ->
+              hits.(i) <- hits.(i) + 1);
+          Alcotest.(check (array int))
+            (Printf.sprintf "each index once at jobs=%d" jobs)
+            (Array.make 53 1) hits))
+    [ 1; 3 ]
+
+exception Boom of int
+
+let test_exception_propagates () =
+  with_pool 4 (fun pool ->
+      Alcotest.check_raises "re-raised" (Boom 7) (fun () ->
+          Par.parallel_map ~pool ~chunk:1
+            (fun i -> if i = 7 then raise (Boom i) else i)
+            (Array.init 32 (fun i -> i))
+          |> ignore))
+
+let test_exception_lowest_index_wins () =
+  (* Several tasks fail; the caller must always see the lowest-index failure
+     so error reports don't depend on scheduling. *)
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "first failure at jobs=%d" jobs)
+            (Boom 5)
+            (fun () ->
+              Par.parallel_map ~pool ~chunk:1
+                (fun i -> if i >= 5 then raise (Boom i) else i)
+                (Array.init 40 (fun i -> i))
+              |> ignore)))
+    [ 1; 4 ]
+
+let test_nested_regions_run_inline () =
+  (* A task that itself calls parallel_map must not deadlock the pool. *)
+  with_pool 2 (fun pool ->
+      let out =
+        Par.parallel_map ~pool ~chunk:1
+          (fun i ->
+            let inner =
+              Par.parallel_map ~pool (fun j -> j + i) (Array.init 8 Fun.id)
+            in
+            Array.fold_left ( + ) 0 inner)
+          (Array.init 6 (fun i -> i))
+      in
+      Alcotest.(check (array int)) "nested sums"
+        (Array.init 6 (fun i -> 28 + (8 * i)))
+        out)
+
+let test_run_in_parallel () =
+  with_pool 3 (fun pool ->
+      let out =
+        Par.run_in_parallel ~pool
+          [| (fun () -> "a"); (fun () -> "b"); (fun () -> "c") |]
+      in
+      Alcotest.(check (array string)) "thunk results" [| "a"; "b"; "c" |] out)
+
+let test_results_identical_across_worker_counts () =
+  (* The determinism contract: pre-split RNG streams + index-ordered results
+     make the output a function of the input only. *)
+  let run jobs =
+    with_pool jobs (fun pool ->
+        let rngs = Rng.split_n (Rng.create 42) 64 in
+        Par.parallel_map ~pool (fun r -> Rng.float r 1.0) rngs)
+  in
+  let base = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "bit-identical at jobs=%d" jobs)
+        base (run jobs))
+    [ 2; 4 ]
+
+let test_shutdown_idempotent_and_sequential_after () =
+  let pool = Par.create ~jobs:4 () in
+  Par.shutdown pool;
+  Par.shutdown pool;
+  (* Post-shutdown regions still complete (sequentially). *)
+  let out = Par.parallel_map ~pool (fun i -> i + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "after shutdown" [| 2; 3; 4 |] out
+
+let test_recommended_jobs_positive () =
+  Alcotest.(check bool) "positive" true (Par.recommended_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "map empty/singleton" `Quick test_map_empty_and_singleton;
+    Alcotest.test_case "for covers range" `Quick test_parallel_for_covers_range;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "lowest-index exception wins" `Quick
+      test_exception_lowest_index_wins;
+    Alcotest.test_case "nested regions inline" `Quick
+      test_nested_regions_run_inline;
+    Alcotest.test_case "run_in_parallel" `Quick test_run_in_parallel;
+    Alcotest.test_case "identical across worker counts" `Quick
+      test_results_identical_across_worker_counts;
+    Alcotest.test_case "shutdown idempotent" `Quick
+      test_shutdown_idempotent_and_sequential_after;
+    Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs_positive;
+  ]

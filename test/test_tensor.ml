@@ -139,6 +139,71 @@ let test_mat_copy_independent () =
   Mat.set b 0 0 5.;
   feq "original" 0. (Mat.get a 0 0)
 
+let test_mat_inplace_ops () =
+  let m = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Mat.add_inplace m (Mat.of_rows [| [| 10.; 10. |]; [| 10.; 10. |] |]);
+  farr "add_inplace" [| 11.; 12. |] (Mat.row m 0);
+  Mat.scale_inplace 2. m;
+  farr "scale_inplace" [| 22.; 24. |] (Mat.row m 0);
+  Mat.map_inplace (fun v -> v -. 1.) m;
+  farr "map_inplace" [| 21.; 23. |] (Mat.row m 0);
+  Mat.add_row_inplace m [| 1.; -1. |];
+  farr "add_row row0" [| 22.; 22. |] (Mat.row m 0);
+  farr "add_row row1" [| 26.; 26. |] (Mat.row m 1)
+
+let test_mat_add_row_inplace_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Mat.add_row_inplace: dimension mismatch") (fun () ->
+      Mat.add_row_inplace (Mat.create 2 3) [| 1.; 2. |])
+
+let test_mat_matmul_nt () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_rows [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  (* a * transpose(b) *)
+  let c = Mat.matmul_nt a b in
+  farr "row0" [| 17.; 23. |] (Mat.row c 0);
+  farr "row1" [| 39.; 53. |] (Mat.row c 1);
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Mat.matmul_nt: dimension mismatch") (fun () ->
+      ignore (Mat.matmul_nt (Mat.create 2 3) (Mat.create 2 4)))
+
+(* Reference ikj product: one accumulator per output cell, k ascending —
+   the exact accumulation order both matmul paths promise to preserve. *)
+let naive_matmul a b =
+  let out = Mat.create a.Mat.rows b.Mat.cols in
+  for i = 0 to a.Mat.rows - 1 do
+    for j = 0 to b.Mat.cols - 1 do
+      let acc = ref 0. in
+      for k = 0 to a.Mat.cols - 1 do
+        acc := !acc +. (Mat.get a i k *. Mat.get b k j)
+      done;
+      Mat.set out i j !acc
+    done
+  done;
+  out
+
+let random_mat rng r c =
+  Mat.init r c (fun _ _ -> Homunculus_util.Rng.uniform rng (-2.) 2.)
+
+let test_mat_matmul_blocked_matches_naive_exactly () =
+  (* Shapes straddle the small/large dispatch threshold (16384 flops) so both
+     the plain-ikj and the packed-blocked path are exercised; equality is
+     exact, not approximate — the blocked kernel must preserve IEEE
+     accumulation order. *)
+  let rng = Homunculus_util.Rng.create 1234 in
+  List.iter
+    (fun (m, k, n) ->
+      let a = random_mat rng m k and b = random_mat rng k n in
+      let fast = Mat.matmul a b and slow = naive_matmul a b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%dx%d bit-identical" m k n)
+        true (fast = slow))
+    [
+      (1, 1, 1); (3, 5, 2); (17, 9, 13); (25, 25, 25);
+      (* > threshold: packed/blocked path, including non-multiple-of-block
+         edge tiles *) (40, 40, 40); (65, 70, 33); (130, 7, 19);
+    ]
+
 let prop_matvec_linear =
   QCheck.Test.make ~name:"matvec is linear" ~count:100
     QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
@@ -190,6 +255,12 @@ let suite =
     Alcotest.test_case "mat outer" `Quick test_mat_outer;
     Alcotest.test_case "mat outer_accum" `Quick test_mat_outer_accum;
     Alcotest.test_case "mat copy independent" `Quick test_mat_copy_independent;
+    Alcotest.test_case "mat in-place ops" `Quick test_mat_inplace_ops;
+    Alcotest.test_case "mat add_row_inplace mismatch" `Quick
+      test_mat_add_row_inplace_mismatch;
+    Alcotest.test_case "mat matmul_nt" `Quick test_mat_matmul_nt;
+    Alcotest.test_case "mat matmul blocked = naive" `Quick
+      test_mat_matmul_blocked_matches_naive_exactly;
     QCheck_alcotest.to_alcotest prop_matvec_linear;
     QCheck_alcotest.to_alcotest prop_transpose_involution;
   ]
