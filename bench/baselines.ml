@@ -31,6 +31,7 @@ let ad_recipe =
     patience = None;
     shuffle_each_epoch = true;
     lr_decay_per_epoch = 1.;
+    engine = Train.Batched;
   }
 
 let tc_recipe =

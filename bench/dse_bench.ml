@@ -48,6 +48,7 @@ let eval space config =
   {
     Bo.Optimizer.objective = quality;
     feasible = p.(0) +. p.(1) < 1.6;
+    pruned = false;
     metadata = [];
   }
 

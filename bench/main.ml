@@ -20,6 +20,7 @@ let experiments =
     ("micro", Micro.run);
     ("ablation", Ablation.run);
     ("dse", Dse_bench.run);
+    ("train", Train_bench.run);
   ]
 
 let () =

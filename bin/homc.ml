@@ -99,7 +99,17 @@ let resolve_jobs jobs =
   Par.set_default_jobs jobs;
   jobs
 
-let options_of ~seed ~budget ~jobs =
+let prune_arg =
+  let doc =
+    "Prune weak DNN candidates with a successive-halving rung scheduler: \
+     configurations in the bottom half at 1/4 and 1/2 of their epoch budget \
+     stop early and enter the search history as partial observations. Same \
+     winner quality for a fraction of the training epochs; deterministic at \
+     any --jobs."
+  in
+  Arg.(value & flag & info [ "prune" ] ~doc)
+
+let options_of ~seed ~budget ~jobs ~prune =
   let n_init = Stdlib.max 3 (budget / 4) in
   {
     Compiler.default_options with
@@ -111,14 +121,15 @@ let options_of ~seed ~budget ~jobs =
         n_iter = Stdlib.max 1 (budget - n_init);
         batch_size = resolve_jobs jobs;
       };
+    prune = (if prune then Some Bo.Asha.default_settings else None);
   }
 
 (* compile *)
 
-let compile app target seed budget jobs output =
+let compile app target seed budget jobs prune output =
   let spec = spec_of_app app seed in
   let platform = platform_of_name target in
-  let options = options_of ~seed ~budget ~jobs in
+  let options = options_of ~seed ~budget ~jobs ~prune in
   let result = Compiler.generate ~options platform (Schedule.model spec) in
   print_string (Report.result_summary result);
   (match result.Compiler.models with
@@ -195,9 +206,9 @@ let datasets seed =
 
 (* sweep *)
 
-let sweep seed budget jobs =
+let sweep seed budget jobs prune =
   let spec = spec_of_app "tc-kmeans" seed in
-  let options = options_of ~seed ~budget ~jobs in
+  let options = options_of ~seed ~budget ~jobs ~prune in
   Printf.printf "%-4s %10s %6s\n" "K" "V-measure" "MATs";
   List.iter
     (fun tables ->
@@ -212,9 +223,9 @@ let sweep seed budget jobs =
 
 (* place: search a model and show its grid floor plan *)
 
-let place app seed budget jobs =
+let place app seed budget jobs prune =
   let spec = spec_of_app app seed in
-  let options = options_of ~seed ~budget ~jobs in
+  let options = options_of ~seed ~budget ~jobs ~prune in
   let result = Compiler.search_model ~options (Platform.taurus ()) spec in
   let model = result.Compiler.artifact.Evaluator.model_ir in
   let grid = Homunculus_backends.Taurus.default_grid in
@@ -232,9 +243,9 @@ let place app seed budget jobs =
 
 (* simulate: drive the mapped model with packet load *)
 
-let simulate app seed budget jobs rate packets =
+let simulate app seed budget jobs prune rate packets =
   let spec = spec_of_app app seed in
-  let options = options_of ~seed ~budget ~jobs in
+  let options = options_of ~seed ~budget ~jobs ~prune in
   let result = Compiler.search_model ~options (Platform.taurus ()) spec in
   let model = result.Compiler.artifact.Evaluator.model_ir in
   let grid = Homunculus_backends.Taurus.default_grid in
@@ -457,7 +468,7 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const compile $ app_arg $ target_arg $ seed_arg $ budget_arg $ jobs_arg
-      $ output_arg)
+      $ prune_arg $ output_arg)
 
 let inspect_cmd =
   let doc = "Print a target platform's resource model and capabilities." in
@@ -470,19 +481,19 @@ let datasets_cmd =
 let sweep_cmd =
   let doc = "Sweep the KMeans classifier across MAT budgets (Fig. 7)." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const sweep $ seed_arg $ budget_arg $ jobs_arg)
+    Term.(const sweep $ seed_arg $ budget_arg $ jobs_arg $ prune_arg)
 
 let place_cmd =
   let doc = "Show a searched model's floor plan on the Taurus grid." in
   Cmd.v (Cmd.info "place" ~doc)
-    Term.(const place $ app_arg $ seed_arg $ budget_arg $ jobs_arg)
+    Term.(const place $ app_arg $ seed_arg $ budget_arg $ jobs_arg $ prune_arg)
 
 let simulate_cmd =
   let doc = "Drive a searched model's pipeline with packet load." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const simulate $ app_arg $ seed_arg $ budget_arg $ jobs_arg $ rate_arg
-      $ packets_arg)
+      const simulate $ app_arg $ seed_arg $ budget_arg $ jobs_arg $ prune_arg
+      $ rate_arg $ packets_arg)
 
 let export_trace_cmd =
   let doc = "Synthesize a P2P flow population and write it as a trace file." in

@@ -83,6 +83,7 @@ let () =
               {
                 Homunculus_ml.Train.default_config with
                 Homunculus_ml.Train.epochs = 25;
+                Homunculus_ml.Train.patience = None;
               }
               train_scaled
           in

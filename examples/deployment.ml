@@ -95,7 +95,11 @@ let () =
   let _ =
     Homunculus_ml.Train.fit (Rng.create 6)
       mlp5
-      { Homunculus_ml.Train.default_config with Homunculus_ml.Train.epochs = 20 }
+      {
+        Homunculus_ml.Train.default_config with
+        Homunculus_ml.Train.epochs = 20;
+        Homunculus_ml.Train.patience = None;
+      }
       train5
   in
   let scaled_ir = Model_ir.of_mlp ~name:"tc_scaled" mlp5 in

@@ -1,0 +1,114 @@
+type settings = {
+  rung_fractions : float array;
+  keep_frac : float;
+  min_observations : int;
+}
+
+let default_settings =
+  { rung_fractions = [| 0.25; 0.5 |]; keep_frac = 0.5; min_observations = 4 }
+
+type t = {
+  settings : settings;
+  lock : Mutex.t;
+  (* Metrics reported at each rung since the run began. Insertion order is
+     scheduling-dependent (workers race on [record]), so nothing reads these
+     directly: [freeze] sorts them into per-rung thresholds first. *)
+  live : float list array;
+  (* Per-rung continuation thresholds frozen at batch start ([nan] = rung has
+     too few observations to prune). Every candidate of a batch is judged
+     against the same frozen snapshot, which is what makes pruning decisions
+     a function of proposal order alone, not of worker interleaving. *)
+  frozen : float array;
+  mutable epochs : int;
+}
+
+let validate (s : settings) =
+  if Array.length s.rung_fractions = 0 then
+    invalid_arg "Asha.create: no rung fractions";
+  Array.iter
+    (fun f ->
+      if f <= 0. || f >= 1. then
+        invalid_arg "Asha.create: rung fraction outside (0, 1)")
+    s.rung_fractions;
+  for i = 1 to Array.length s.rung_fractions - 1 do
+    if s.rung_fractions.(i) <= s.rung_fractions.(i - 1) then
+      invalid_arg "Asha.create: rung fractions not strictly increasing"
+  done;
+  if s.keep_frac <= 0. || s.keep_frac > 1. then
+    invalid_arg "Asha.create: keep_frac outside (0, 1]";
+  if s.min_observations < 1 then invalid_arg "Asha.create: min_observations < 1"
+
+let create ?(settings = default_settings) () =
+  validate settings;
+  let n_rungs = Array.length settings.rung_fractions in
+  {
+    settings;
+    lock = Mutex.create ();
+    live = Array.make n_rungs [];
+    frozen = Array.make n_rungs Float.nan;
+    epochs = 0;
+  }
+
+let n_rungs t = Array.length t.settings.rung_fractions
+
+let rungs_for t ~budget =
+  if budget <= 0 then invalid_arg "Asha.rungs_for: budget <= 0";
+  Array.map
+    (fun f ->
+      let e = int_of_float (Float.ceil (f *. float_of_int budget)) in
+      Stdlib.min e budget)
+    t.settings.rung_fractions
+
+(* The lowest metric a candidate may have at this rung and still be in the
+   top [keep_frac] of [metrics]. *)
+let threshold s metrics =
+  let n = List.length metrics in
+  if n < s.min_observations then Float.nan
+  else begin
+    let sorted = Array.of_list metrics in
+    Array.sort (fun a b -> compare (b : float) a) sorted;
+    let keep =
+      Stdlib.max 1 (int_of_float (Float.ceil (s.keep_frac *. float_of_int n)))
+    in
+    sorted.(Stdlib.min keep n - 1)
+  end
+
+let freeze t =
+  Mutex.lock t.lock;
+  Array.iteri
+    (fun r metrics -> t.frozen.(r) <- threshold t.settings metrics)
+    t.live;
+  Mutex.unlock t.lock
+
+let record t ~rung ~metric =
+  if rung < 0 || rung >= n_rungs t then
+    invalid_arg "Asha.record: rung out of range";
+  Mutex.lock t.lock;
+  t.live.(rung) <- metric :: t.live.(rung);
+  Mutex.unlock t.lock
+
+let decide t ~rung ~metric =
+  if rung < 0 || rung >= n_rungs t then
+    invalid_arg "Asha.decide: rung out of range";
+  let cut = t.frozen.(rung) in
+  (* nan: not enough observations when this batch was frozen — never prune
+     on thin evidence. *)
+  if Float.is_nan cut || metric >= cut then `Continue else `Stop
+
+let note_epochs t n =
+  if n < 0 then invalid_arg "Asha.note_epochs: negative epoch count";
+  Mutex.lock t.lock;
+  t.epochs <- t.epochs + n;
+  Mutex.unlock t.lock
+
+let epochs_spent t =
+  Mutex.lock t.lock;
+  let e = t.epochs in
+  Mutex.unlock t.lock;
+  e
+
+let observations t =
+  Mutex.lock t.lock;
+  let counts = Array.map List.length t.live in
+  Mutex.unlock t.lock;
+  counts

@@ -3,6 +3,7 @@ type entry = {
   config : Config.t;
   objective : float;
   feasible : bool;
+  pruned : bool;
   metadata : (string * float) list;
 }
 
@@ -50,10 +51,11 @@ let grow t =
     t.feas <- feas
   end
 
-let add t ~config ?encoded ~objective ~feasible ?(metadata = []) () =
+let add t ~config ?encoded ~objective ~feasible ?(pruned = false)
+    ?(metadata = []) () =
   t.count <- t.count + 1;
   t.rev_entries <-
-    { iteration = t.count; config; objective; feasible; metadata }
+    { iteration = t.count; config; objective; feasible; pruned; metadata }
     :: t.rev_entries;
   (match encoded with
   | Some point when t.all_encoded ->
@@ -72,10 +74,13 @@ let length t = t.count
 
 let last t = match t.rev_entries with [] -> None | e :: _ -> Some e
 
+(* Pruned entries carry a partial-budget metric: useful to the surrogate,
+   but not comparable with fully trained candidates, so the incumbent and
+   the regret curve skip them. *)
 let best t =
   List.fold_left
     (fun acc e ->
-      if not e.feasible then acc
+      if (not e.feasible) || e.pruned then acc
       else
         match acc with
         | Some b when b.objective >= e.objective -> acc
@@ -88,7 +93,8 @@ let best_so_far t =
   let best = ref neg_infinity in
   List.iteri
     (fun i e ->
-      if e.feasible && e.objective > !best then best := e.objective;
+      if e.feasible && (not e.pruned) && e.objective > !best then
+        best := e.objective;
       out.(i) <- !best)
     es;
   out

@@ -6,6 +6,10 @@ type entry = {
   config : Config.t;
   objective : float;
   feasible : bool;
+  pruned : bool;
+      (** evaluation was stopped at a successive-halving rung, so [objective]
+          is a partial-budget metric: the surrogate trains on it, but
+          {!best} / {!best_so_far} skip it *)
   metadata : (string * float) list;
       (** backend measurements: resource counts, latency, throughput *)
 }
@@ -14,11 +18,13 @@ type t
 
 val create : unit -> t
 val add : t -> config:Config.t -> ?encoded:float array -> objective:float ->
-  feasible:bool -> ?metadata:(string * float) list -> unit -> unit
+  feasible:bool -> ?pruned:bool -> ?metadata:(string * float) list -> unit ->
+  unit
 (** [~encoded] is the design-space encoding of [config]; when every add
     supplies it, the history maintains incremental training matrices and
     {!training_arrays} costs one sub-array copy instead of re-encoding the
-    whole run per surrogate refit. *)
+    whole run per surrogate refit. [~pruned] (default [false]) marks a
+    partial, rung-stopped evaluation. *)
 
 val entries : t -> entry list
 (** In evaluation order. *)
@@ -29,12 +35,13 @@ val last : t -> entry option
 (** Most recently added entry. *)
 
 val best : t -> entry option
-(** Highest-objective feasible entry; [None] if nothing feasible yet. *)
+(** Highest-objective feasible non-pruned entry; [None] if nothing feasible
+    (and fully trained) yet. *)
 
 val best_so_far : t -> float array
-(** [best_so_far t].(i) is the best feasible objective seen in evaluations
-    [0..i]; [neg_infinity] before the first feasible one. This is the regret
-    curve. *)
+(** [best_so_far t].(i) is the best feasible non-pruned objective seen in
+    evaluations [0..i]; [neg_infinity] before the first such one. This is the
+    regret curve. *)
 
 val feasible_fraction : t -> float
 (** [0.] on an empty history. *)

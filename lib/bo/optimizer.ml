@@ -23,13 +23,15 @@ let default_settings =
 type evaluation = {
   objective : float;
   feasible : bool;
+  pruned : bool;
   metadata : (string * float) list;
 }
 
-let record history space config { objective; feasible; metadata } ~on_iteration =
+let record history space config { objective; feasible; pruned; metadata }
+    ~on_iteration =
   History.add history ~config
     ~encoded:(Design_space.encode space config)
-    ~objective ~feasible ~metadata ();
+    ~objective ~feasible ~pruned ~metadata ();
   match (on_iteration, History.last history) with
   | Some callback, Some latest -> callback (History.length history) latest
   | (None, _ | _, None) -> ()
@@ -67,12 +69,16 @@ let evaluate_batch ~par history space ~f ~on_iteration batch =
     (fun i config -> record history space config evals.(i) ~on_iteration)
     batch
 
-let maximize rng ?(settings = default_settings) ?pool ?on_iteration space ~f =
+let maximize rng ?(settings = default_settings) ?pool ?on_iteration
+    ?on_batch_start space ~f =
   if settings.n_init <= 0 then invalid_arg "Bo.Optimizer.maximize: n_init <= 0";
   if settings.batch_size <= 0 then
     invalid_arg "Bo.Optimizer.maximize: batch_size <= 0";
   let par = match pool with Some p -> p | None -> Par.default () in
   let history = History.create () in
+  let batch_start () =
+    match on_batch_start with Some hook -> hook () | None -> ()
+  in
   (* Phase 1: uniform random initialization, evaluated [batch_size] at a
      time. Proposals are drawn sequentially from [rng] (so the stream is
      independent of the worker count); only the evaluations overlap. *)
@@ -86,6 +92,7 @@ let maximize rng ?(settings = default_settings) ?pool ?on_iteration space ~f =
           pending := c :: !pending;
           c)
     in
+    batch_start ();
     evaluate_batch ~par history space ~f ~on_iteration batch;
     remaining := !remaining - k
   done;
@@ -179,6 +186,7 @@ let maximize rng ?(settings = default_settings) ?pool ?on_iteration space ~f =
       incr n_chosen
     done;
     let batch = Array.of_list (List.rev !chosen) in
+    batch_start ();
     evaluate_batch ~par history space ~f ~on_iteration batch;
     remaining := !remaining - k
   done;

@@ -25,6 +25,11 @@ val default_settings : settings
 type evaluation = {
   objective : float;  (** value to maximize, e.g. F1 *)
   feasible : bool;
+  pruned : bool;
+      (** the evaluation was stopped early at a successive-halving rung;
+          [objective] is the partial-budget metric (recorded in the history
+          with the same flag, so the surrogate learns from it but the
+          incumbent ignores it) *)
   metadata : (string * float) list;
 }
 
@@ -33,6 +38,7 @@ val maximize :
   ?settings:settings ->
   ?pool:Homunculus_par.Par.pool ->
   ?on_iteration:(int -> History.entry -> unit) ->
+  ?on_batch_start:(unit -> unit) ->
   Design_space.t ->
   f:(Config.t -> evaluation) ->
   History.t
@@ -47,7 +53,13 @@ val maximize :
     history is identical at any worker count, because all random draws happen
     sequentially on the caller's RNG and results are committed in proposal
     order. [on_iteration] likewise fires in proposal order, on the calling
-    domain. *)
+    domain.
+
+    [on_batch_start] fires on the calling domain immediately before each
+    batch of evaluations is dispatched (in both phases). A rung scheduler
+    uses it to freeze the pruning thresholds a whole batch is judged
+    against, which is what keeps pruning decisions independent of worker
+    count. *)
 
 val random_search :
   Homunculus_util.Rng.t ->

@@ -153,6 +153,7 @@ let history_to_json space history =
                    ("iteration", Json.Number (float_of_int e.History.iteration));
                    ("objective", Json.Number e.History.objective);
                    ("feasible", Json.Bool e.History.feasible);
+                   ("pruned", Json.Bool e.History.pruned);
                  ])
          | _ -> assert false (* config_to_json always returns an object *))
        (History.entries history))
@@ -162,9 +163,15 @@ let history_of_json space json =
   List.iter
     (fun entry ->
       let config = config_of_json space entry in
+      let pruned =
+        (* Histories written before rung pruning existed lack the field. *)
+        match Json.member_opt entry "pruned" with
+        | Some j -> Json.to_bool j
+        | None -> false
+      in
       History.add history ~config
         ~objective:(Json.to_float (Json.member entry "objective"))
         ~feasible:(Json.to_bool (Json.member entry "feasible"))
-        ())
+        ~pruned ())
     (Json.to_list json);
   history

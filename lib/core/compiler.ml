@@ -14,6 +14,7 @@ type options = {
   bo_settings : Bo.Optimizer.settings;
   emit_code : bool;
   fusion_threshold : float option;
+  prune : Bo.Asha.settings option;
 }
 
 let default_options =
@@ -22,6 +23,7 @@ let default_options =
     bo_settings = Bo.Optimizer.default_settings;
     emit_code = true;
     fusion_threshold = None;
+    prune = None;
   }
 
 let quick_options =
@@ -65,12 +67,18 @@ let emit_code platform model_ir =
   | Platform.Tofino _ ->
       P4gen.emit model_ir ^ "\n" ^ P4gen.emit_entries model_ir
 
-let search_algorithm rng ~seed ~settings platform spec algorithm =
+let search_algorithm rng ~seed ~settings ?prune platform spec algorithm =
   let data = Model_spec.load spec in
   let input_dim =
     Homunculus_ml.Dataset.n_features data.Model_spec.train
   in
   let space = Space_builder.build platform algorithm ~input_dim in
+  (* Rung pruning only pays off where training is epoch-iterative. *)
+  let sched =
+    match (prune, algorithm) with
+    | Some s, Model_spec.Dnn -> Some (Bo.Asha.create ~settings:s ())
+    | (Some _, _ | None, _) -> None
+  in
   (* [eval] may run on worker domains when the optimizer batches proposals;
      the running best is guarded by a mutex, and because
      [Evaluator.compare_artifacts] is a total order the winner is the same
@@ -81,14 +89,21 @@ let search_algorithm rng ~seed ~settings platform spec algorithm =
     (* A per-configuration seed makes the black box deterministic: the same
        suggestion always measures the same, which stabilizes the search. *)
     let eval_rng = Rng.create (seed lxor Bo.Config.hash config) in
-    let artifact = Evaluator.evaluate eval_rng platform spec algorithm config in
+    let artifact =
+      Evaluator.evaluate eval_rng ?prune:sched platform spec algorithm config
+    in
     Mutex.lock best_lock;
     best := Evaluator.better_artifact !best artifact;
     Mutex.unlock best_lock;
     Evaluator.to_bo_evaluation artifact
   in
-  let history = Bo.Optimizer.maximize rng ~settings space ~f:eval in
-  (!best, history)
+  let on_batch_start =
+    Option.map (fun s () -> Bo.Asha.freeze s) sched
+  in
+  let history =
+    Bo.Optimizer.maximize rng ~settings ?on_batch_start space ~f:eval
+  in
+  (!best, history, sched)
 
 let search_model ?(options = default_options) platform spec =
   let candidates = Candidate.filter platform spec in
@@ -115,9 +130,9 @@ let search_model ?(options = default_options) platform spec =
     List.map
       (fun algorithm ->
         let rng = Rng.split master in
-        let best, history =
-          search_algorithm rng ~seed:options.seed ~settings platform spec
-            algorithm
+        let best, history, (_ : Bo.Asha.t option) =
+          search_algorithm rng ~seed:options.seed ~settings
+            ?prune:options.prune platform spec algorithm
         in
         (algorithm, best, history))
       candidates
@@ -236,6 +251,7 @@ let search_tradeoff ?(options = default_options) ?(n_scalarizations = 5)
         Bo.Optimizer.objective =
           (weight *. artifact.Evaluator.objective) -. ((1. -. weight) *. fraction);
         feasible = artifact.Evaluator.verdict.Resource.feasible;
+        pruned = artifact.Evaluator.pruned;
         metadata = [];
       }
     in

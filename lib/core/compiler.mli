@@ -17,10 +17,18 @@ type options = {
   fusion_threshold : float option;
       (** when set, adjacent parallel models with enough feature overlap are
           fused before search (paper §3.2.5); [None] disables the pass *)
+  prune : Bo.Asha.settings option;
+      (** when set, epoch-iterative candidates (DNNs) train under a
+          successive-halving rung scheduler: weak configurations stop at a
+          fraction of their epoch budget and enter the BO history as pruned
+          partial observations. Deterministic for a fixed seed at any worker
+          count (see {!Bo.Asha}). [None] trains every candidate to its full
+          budget. *)
 }
 
 val default_options : options
-(** seed 42, default BO settings, code emission on, fusion off. *)
+(** seed 42, default BO settings, code emission on, fusion off, pruning
+    off. *)
 
 val quick_options : options
 (** A small-budget variant (5 warm-up + 10 guided) for tests and examples. *)

@@ -10,6 +10,8 @@ type artifact = {
   model_ir : Model_ir.t;
   verdict : Resource.verdict;
   objective : float;
+  pruned : bool;
+  epochs_trained : int;
 }
 
 let metric_value metric ~n_classes ~pred ~truth =
@@ -20,7 +22,7 @@ let metric_value metric ~n_classes ~pred ~truth =
   | Model_spec.Accuracy -> Metrics.accuracy ~pred ~truth
   | Model_spec.V_measure -> Metrics.v_measure ~pred ~truth ()
 
-let train_dnn rng config ~train ~test =
+let train_dnn rng ?prune config ~train ~test =
   let hidden = Space_builder.hidden_layers_of_config config in
   let lr = Bo.Config.get_float config "learning_rate" in
   let batch_idx = Bo.Config.get_index config "batch_size" in
@@ -47,11 +49,42 @@ let train_dnn rng config ~train ~test =
       lr_decay_per_epoch = lr_decay;
     }
   in
-  let (_ : Train.history) =
-    Train.fit rng mlp train_config ~validation:val_set fit_set
+  (* Rung pruning: when the candidate's epoch index hits a rung (a fixed
+     fraction of its own budget), report the validation metric to the shared
+     scheduler and stop if it falls below the threshold frozen for this
+     proposal batch. Rungs that coincide with the full budget save nothing
+     and are skipped. *)
+  let was_pruned = ref false in
+  let on_epoch =
+    match prune with
+    | None -> None
+    | Some sched ->
+        let rungs = Bo.Asha.rungs_for sched ~budget:epochs in
+        Some
+          (fun ~epoch ~metric ->
+            match metric with
+            | None -> `Continue
+            | Some m ->
+                Array.iteri
+                  (fun r rung_epoch ->
+                    if rung_epoch = epoch && rung_epoch < epochs then begin
+                      Bo.Asha.record sched ~rung:r ~metric:m;
+                      match Bo.Asha.decide sched ~rung:r ~metric:m with
+                      | `Stop -> was_pruned := true
+                      | `Continue -> ()
+                    end)
+                  rungs;
+                if !was_pruned then `Stop else `Continue)
   in
+  let history =
+    Train.fit rng mlp train_config ~validation:val_set ?on_epoch fit_set
+  in
+  (match prune with
+  | Some sched -> Bo.Asha.note_epochs sched history.Train.epochs_run
+  | None -> ());
   let pred = Mlp.predict_all mlp test.Dataset.x in
-  (Model_ir.of_mlp ~name:"model" mlp, pred)
+  (Model_ir.of_mlp ~name:"model" mlp, pred, !was_pruned,
+   history.Train.epochs_run)
 
 let train_kmeans rng config ~train ~test =
   let k = Bo.Config.get_int config "k" in
@@ -90,16 +123,22 @@ let train_tree rng config ~train ~test =
   in
   (ir, pred)
 
-let evaluate rng platform spec algorithm config =
+let evaluate rng ?prune platform spec algorithm config =
   let data = Model_spec.load spec in
   let scaler, train = Scaler.fit_dataset data.Model_spec.train in
   let test = Scaler.apply_dataset scaler data.Model_spec.test in
-  let model_ir, pred =
+  let model_ir, pred, pruned, epochs_trained =
     match algorithm with
-    | Model_spec.Dnn -> train_dnn rng config ~train ~test
-    | Model_spec.Kmeans -> train_kmeans rng config ~train ~test
-    | Model_spec.Svm -> train_svm rng config ~train ~test
-    | Model_spec.Tree -> train_tree rng config ~train ~test
+    | Model_spec.Dnn -> train_dnn rng ?prune config ~train ~test
+    | Model_spec.Kmeans ->
+        let ir, pred = train_kmeans rng config ~train ~test in
+        (ir, pred, false, 0)
+    | Model_spec.Svm ->
+        let ir, pred = train_svm rng config ~train ~test in
+        (ir, pred, false, 0)
+    | Model_spec.Tree ->
+        let ir, pred = train_tree rng config ~train ~test in
+        (ir, pred, false, 0)
   in
   let model_ir = Model_ir.with_name model_ir (Model_spec.name spec) in
   (* Deployed pipelines parse raw packet features; absorb the training-time
@@ -113,10 +152,12 @@ let evaluate rng platform spec algorithm config =
       ~pred ~truth:test.Dataset.y
   in
   let verdict = Platform.estimate platform model_ir in
-  { algorithm; config; model_ir; verdict; objective }
+  { algorithm; config; model_ir; verdict; objective; pruned; epochs_trained }
 
 let compare_artifacts a b =
-  (* Total order: feasible before infeasible, then higher objective, then the
+  (* Total order: feasible before infeasible, then fully trained before
+     pruned (a pruned artifact's objective is a partial-budget metric, not
+     comparable with a full run's), then higher objective, then the
      lexicographically smaller configuration. Totality is what makes a
      running maximum independent of evaluation order, which the parallel
      search relies on for determinism. *)
@@ -125,12 +166,15 @@ let compare_artifacts a b =
   in
   if fc <> 0 then fc
   else
-    let oc = Float.compare b.objective a.objective in
-    if oc <> 0 then oc
+    let pc = Bool.compare a.pruned b.pruned in
+    if pc <> 0 then pc
     else
-      String.compare
-        (Bo.Config.to_string a.config)
-        (Bo.Config.to_string b.config)
+      let oc = Float.compare b.objective a.objective in
+      if oc <> 0 then oc
+      else
+        String.compare
+          (Bo.Config.to_string a.config)
+          (Bo.Config.to_string b.config)
 
 let better_artifact current candidate =
   match current with
@@ -147,11 +191,13 @@ let to_bo_evaluation artifact =
   {
     Bo.Optimizer.objective = artifact.objective;
     feasible = artifact.verdict.Resource.feasible;
+    pruned = artifact.pruned;
     metadata =
       [
         ("params", float_of_int (Model_ir.param_count artifact.model_ir));
         ("latency_ns", artifact.verdict.Resource.latency_ns);
         ("throughput_gpps", artifact.verdict.Resource.throughput_gpps);
+        ("epochs_trained", float_of_int artifact.epochs_trained);
       ]
       @ usage_meta;
   }

@@ -12,10 +12,16 @@ type artifact = {
   model_ir : Model_ir.t;
   verdict : Resource.verdict;
   objective : float;  (** the spec's metric on its test split, in [0, 1] *)
+  pruned : bool;
+      (** training was stopped at a successive-halving rung, so [objective]
+          reflects a partial epoch budget *)
+  epochs_trained : int;
+      (** epochs the fit actually ran (0 for non-epoch algorithms) *)
 }
 
 val evaluate :
   Homunculus_util.Rng.t ->
+  ?prune:Homunculus_bo.Asha.t ->
   Platform.t ->
   Model_spec.t ->
   Model_spec.algorithm ->
@@ -24,19 +30,27 @@ val evaluate :
 (** Train + map + judge one configuration. Features are standardized with a
     scaler fitted on the training split; DNNs hold out 20% of the training
     data for early stopping so the test split stays untouched during
-    training. *)
+    training.
+
+    With [?prune], DNN training reports its validation metric to the shared
+    rung scheduler at each rung of the candidate's own epoch budget and
+    stops early when the scheduler says so; the artifact then carries
+    [pruned = true]. Non-DNN algorithms train in one shot and ignore the
+    scheduler. *)
 
 val compare_artifacts : artifact -> artifact -> int
 (** Total order used to rank search results: feasible before infeasible,
-    then higher objective, then the lexicographically smaller configuration
-    string. Because the order is total, folding {!better_artifact} over a
-    set of artifacts yields the same winner in any order — the parallel
-    search depends on this for determinism. *)
+    then fully trained before pruned, then higher objective, then the
+    lexicographically smaller configuration string. Because the order is
+    total, folding {!better_artifact} over a set of artifacts yields the
+    same winner in any order — the parallel search depends on this for
+    determinism. *)
 
 val better_artifact : artifact option -> artifact -> artifact option
 (** [better_artifact current candidate] keeps the higher-ranked of the two
     under {!compare_artifacts}. *)
 
 val to_bo_evaluation : artifact -> Homunculus_bo.Optimizer.evaluation
-(** Objective + feasibility + backend measurements as metadata
-    ("params", "latency_ns", "throughput_gpps", plus per-resource usage). *)
+(** Objective + feasibility + pruned flag + backend measurements as metadata
+    ("params", "latency_ns", "throughput_gpps", "epochs_trained", plus
+    per-resource usage). *)

@@ -1,10 +1,12 @@
 module Rng = Homunculus_util.Rng
+module Mat = Homunculus_tensor.Mat
 
 type t = {
   x : float array array;
   y : int array;
   n_classes : int;
   feature_names : string array;
+  mutable target_cache : Mat.t option;
 }
 
 let create ?feature_names ~x ~y ~n_classes () =
@@ -29,7 +31,7 @@ let create ?feature_names ~x ~y ~n_classes () =
         names
     | None -> Array.init d (fun i -> Printf.sprintf "f%d" i)
   in
-  { x; y; n_classes; feature_names }
+  { x; y; n_classes; feature_names; target_cache = None }
 
 let n_samples t = Array.length t.x
 let n_features t = Array.length t.feature_names
@@ -39,6 +41,7 @@ let subset t indices =
     t with
     x = Array.map (fun i -> Array.copy t.x.(i)) indices;
     y = Array.map (fun i -> t.y.(i)) indices;
+    target_cache = None;
   }
 
 let shuffle rng t = subset t (Rng.permutation rng (n_samples t))
@@ -84,9 +87,39 @@ let concat_samples a b =
     invalid_arg "Dataset.concat_samples: n_classes mismatch";
   if a.feature_names <> b.feature_names then
     invalid_arg "Dataset.concat_samples: feature schema mismatch";
-  { a with x = Array.append a.x b.x; y = Array.append a.y b.y }
+  {
+    a with
+    x = Array.append a.x b.x;
+    y = Array.append a.y b.y;
+    target_cache = None;
+  }
 
 let one_hot ~n_classes label =
   let v = Array.make n_classes 0. in
   v.(label) <- 1.;
   v
+
+(* The cache build is guarded so that concurrent trainers (DSE workers fitting
+   the same split repeatedly) never observe a torn matrix; the matrix itself
+   is immutable once published, so readers outside the lock are safe. *)
+let target_lock = Mutex.create ()
+
+let target_matrix t =
+  match t.target_cache with
+  | Some m -> m
+  | None ->
+      Mutex.lock target_lock;
+      let m =
+        match t.target_cache with
+        | Some m -> m (* lost the race; reuse the winner's matrix *)
+        | None ->
+            let n = Array.length t.y in
+            let m = Mat.create n t.n_classes in
+            for i = 0 to n - 1 do
+              Mat.set m i t.y.(i) 1.
+            done;
+            t.target_cache <- Some m;
+            m
+      in
+      Mutex.unlock target_lock;
+      m

@@ -10,6 +10,9 @@ type t = {
   y : int array;  (** class labels, same length as [x] *)
   n_classes : int;
   feature_names : string array;  (** length = feature count *)
+  mutable target_cache : Homunculus_tensor.Mat.t option;
+      (** lazily built one-hot target matrix — read it via {!target_matrix},
+          never directly *)
 }
 
 val create :
@@ -48,3 +51,10 @@ val concat_samples : t -> t -> t
     @raise Invalid_argument on schema mismatch. *)
 
 val one_hot : n_classes:int -> int -> float array
+
+val target_matrix : t -> Homunculus_tensor.Mat.t
+(** [n_samples x n_classes] one-hot matrix (row [i] is
+    [one_hot ~n_classes y.(i)]), built lazily on first use and cached on the
+    dataset, so repeated fits of the same split during DSE share one build
+    instead of re-allocating per-sample targets per fit. Thread-safe; the
+    returned matrix must not be mutated. *)

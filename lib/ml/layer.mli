@@ -30,6 +30,39 @@ val backward :
 (** Accumulate parameter gradients for one sample and return dL/dx for the
     layer below. [upstream] is dL/da. *)
 
+type workspace = {
+  z : Mat.t;  (** batch x n_out: pre-activations *)
+  a : Mat.t;  (** batch x n_out: activations *)
+  delta : Mat.t;  (** batch x n_out: dL/dz *)
+  dx : Mat.t;  (** batch x n_in: dL/dx for the layer below *)
+  nz : int array;
+      (** batch x n_out: per-row ascending indices where delta <> 0,
+          compacted by the ReLU backward arm *)
+  nz_cnt : int array;  (** per-row count of live entries in [nz] *)
+}
+(** Preallocated buffers for the batched fast path, sized once per
+    (batch, layer) shape by {!make_workspace} and reused across steps. *)
+
+val make_workspace : t -> batch:int -> workspace
+
+val forward_batch : t -> workspace -> x:Mat.t -> unit
+(** One [X * W^T] GEMM plus bias broadcast and activation over a whole
+    mini-batch ([x] is batch x n_in, row per sample), filling [ws.z] and
+    [ws.a]. Row [s] is bit-identical to [forward] on sample [s]: per output
+    element the accumulation runs over ascending input index with a single
+    accumulator, then adds the bias, exactly like [Mat.matvec]. *)
+
+val backward_batch :
+  ?need_dx:bool -> t -> workspace -> x:Mat.t -> upstream:Mat.t -> unit
+(** Batched backward: computes [ws.delta] from [upstream] (dL/da, batch x
+    n_out), accumulates parameter gradients, and leaves dL/dx in [ws.dx].
+    Bit-identical to folding {!backward} over the batch rows in ascending
+    order — the weight-gradient GEMM is sample-major with the same
+    skip-zero-rows rule as [Mat.outer_accum], and the [dx] GEMM matches
+    [Mat.matvec_t]'s ascending-row accumulation. [need_dx:false] (for the
+    bottom layer, whose dx has no consumer) skips the dx GEMM entirely and
+    leaves [ws.dx] stale; parameter gradients are unaffected. *)
+
 val zero_grads : t -> unit
 val scale_grads : t -> float -> unit
 (** Divide accumulated gradients, e.g. by the batch size. *)

@@ -1,4 +1,5 @@
 module Mathx = Homunculus_util.Mathx
+open Homunculus_tensor
 
 type t = Softmax_cross_entropy | Mse
 
@@ -28,6 +29,75 @@ let gradient t ~logits ~target =
   | Mse ->
       let n = float_of_int (Array.length logits) in
       Array.mapi (fun i li -> 2. *. (li -. target.(i)) /. n) logits
+
+let batch t ~logits ~target ~grad ~row_loss =
+  let b = logits.Mat.rows and c = logits.Mat.cols in
+  if target.Mat.rows <> b || target.Mat.cols <> c then
+    invalid_arg "Loss.batch: target shape mismatch";
+  if grad.Mat.rows <> b || grad.Mat.cols <> c then
+    invalid_arg "Loss.batch: gradient shape mismatch";
+  if Array.length row_loss < b then invalid_arg "Loss.batch: row_loss too short";
+  (* One allocation-free pass over the batch. Each row replicates the exact
+     arithmetic (operation order included) of the per-sample [value] /
+     [gradient] above, so losses and gradients are bit-identical to the
+     per-sample path. *)
+  let ld = logits.Mat.data and td = target.Mat.data and gd = grad.Mat.data in
+  if c = 0 then Array.fill row_loss 0 b 0.
+  else
+    match t with
+  | Softmax_cross_entropy ->
+      for s = 0 to b - 1 do
+        let base = s * c in
+        (* [Mathx.log_sum_exp]: running max seeded with element 0, then the
+           exp-sum in ascending order. The scan spells out [Stdlib.max] on
+           floats — keep current unless the candidate compares greater, where
+           NaN (unordered, so [x <> x]) never wins — because the polymorphic
+           [Stdlib.max] boxes both floats and calls into C on every element. *)
+        let m = ref (Array.unsafe_get ld base) in
+        for j = 0 to c - 1 do
+          let x = Array.unsafe_get ld (base + j) in
+          if not (!m >= x || x <> x) then m := x
+        done;
+        let lse =
+          if !m = neg_infinity then neg_infinity
+          else begin
+            let acc = ref 0. in
+            for j = 0 to c - 1 do
+              acc := !acc +. exp (Array.unsafe_get ld (base + j) -. !m)
+            done;
+            !m +. log !acc
+          end
+        in
+        let v = ref 0. in
+        for j = 0 to c - 1 do
+          let ti = Array.unsafe_get td (base + j) in
+          if ti > 0. then
+            v := !v -. (ti *. (Array.unsafe_get ld (base + j) -. lse))
+        done;
+        row_loss.(s) <- !v;
+        for j = 0 to c - 1 do
+          Array.unsafe_set gd (base + j)
+            (exp (Array.unsafe_get ld (base + j) -. lse)
+            -. Array.unsafe_get td (base + j))
+        done
+      done
+  | Mse ->
+      let n = float_of_int c in
+      for s = 0 to b - 1 do
+        let base = s * c in
+        let acc = ref 0. in
+        for j = 0 to c - 1 do
+          let d = Array.unsafe_get ld (base + j) -. Array.unsafe_get td (base + j) in
+          acc := !acc +. (d *. d)
+        done;
+        row_loss.(s) <- !acc /. n;
+        for j = 0 to c - 1 do
+          Array.unsafe_set gd (base + j)
+            (2.
+            *. (Array.unsafe_get ld (base + j) -. Array.unsafe_get td (base + j))
+            /. n)
+        done
+      done
 
 let probabilities t logits =
   match t with

@@ -12,6 +12,18 @@ val value : t -> logits:float array -> target:float array -> float
 val gradient : t -> logits:float array -> target:float array -> float array
 (** dL/dlogits. For softmax cross-entropy this is [softmax logits - target]. *)
 
+val batch :
+  t ->
+  logits:Homunculus_tensor.Mat.t ->
+  target:Homunculus_tensor.Mat.t ->
+  grad:Homunculus_tensor.Mat.t ->
+  row_loss:float array ->
+  unit
+(** Batched loss: row [s] of [grad] receives dL/dlogits for sample [s] and
+    [row_loss.(s)] its loss, in one pass over the batch. Bit-identical per
+    row to {!value} / {!gradient}; [grad] and [row_loss] are caller-owned
+    workspaces. *)
+
 val probabilities : t -> float array -> float array
 (** Decision-time link: softmax for cross-entropy, identity for MSE. *)
 

@@ -87,6 +87,51 @@ let train_sample t ~x ~target =
   done;
   loss_value
 
+type workspace = {
+  ws_batch : int;
+  x : Mat.t;
+  target : Mat.t;
+  dloss : Mat.t;
+  row_loss : float array;
+  layer_ws : Layer.workspace array;
+}
+
+let make_workspace t ~batch =
+  if batch <= 0 then invalid_arg "Mlp.make_workspace: batch <= 0";
+  let n_out = Layer.n_out t.layers.(Array.length t.layers - 1) in
+  {
+    ws_batch = batch;
+    x = Mat.create batch t.input_dim;
+    target = Mat.create batch n_out;
+    dloss = Mat.create batch n_out;
+    row_loss = Array.make batch 0.;
+    layer_ws = Array.map (fun l -> Layer.make_workspace l ~batch) t.layers;
+  }
+
+let workspace_batch ws = ws.ws_batch
+
+(* Batched train step over ws.x / ws.target (filled by the caller): one fused
+   forward/backward per layer, gradients accumulated into the layers, per-row
+   losses left in ws.row_loss. Bit-identical to running [train_sample] over
+   the rows in ascending order — see the reduction-order notes on
+   [Layer.forward_batch]/[backward_batch] and [Loss.batch]. *)
+let train_batch t ws =
+  let n = Array.length t.layers in
+  let input = ref ws.x in
+  for i = 0 to n - 1 do
+    Layer.forward_batch t.layers.(i) ws.layer_ws.(i) ~x:!input;
+    input := ws.layer_ws.(i).Layer.a
+  done;
+  Loss.batch t.loss ~logits:!input ~target:ws.target ~grad:ws.dloss
+    ~row_loss:ws.row_loss;
+  let upstream = ref ws.dloss in
+  for i = n - 1 downto 0 do
+    let x = if i = 0 then ws.x else ws.layer_ws.(i - 1).Layer.a in
+    Layer.backward_batch ~need_dx:(i > 0) t.layers.(i) ws.layer_ws.(i) ~x
+      ~upstream:!upstream;
+    upstream := ws.layer_ws.(i).Layer.dx
+  done
+
 let zero_grads t = Array.iter Layer.zero_grads t.layers
 
 let scale_grads t alpha = Array.iter (fun l -> Layer.scale_grads l alpha) t.layers

@@ -43,7 +43,31 @@ val predict_all : t -> float array array -> int array
 val train_sample : t -> x:Vec.t -> target:Vec.t -> float
 (** Run forward + backward for one sample, accumulating gradients into the
     layers; returns the per-sample loss. Call [zero_grads] before a batch and
-    feed the layers' gradient buffers to an optimizer afterwards. *)
+    feed the layers' gradient buffers to an optimizer afterwards. This is the
+    reference path the batched engine is checked against. *)
+
+type workspace = {
+  ws_batch : int;  (** row capacity every buffer was sized for *)
+  x : Mat.t;  (** batch x input_dim: caller fills rows before [train_batch] *)
+  target : Mat.t;  (** batch x n_classes: caller fills one-hot rows *)
+  dloss : Mat.t;  (** batch x n_classes: dL/dlogits scratch *)
+  row_loss : float array;  (** per-row losses after [train_batch] *)
+  layer_ws : Layer.workspace array;
+}
+(** All buffers for one batched training step, allocated once per
+    (batch, architecture) shape by {!make_workspace} and reused across steps
+    — the steady-state loop allocates only [n_classes]-sized loss
+    temporaries. *)
+
+val make_workspace : t -> batch:int -> workspace
+val workspace_batch : workspace -> int
+
+val train_batch : t -> workspace -> unit
+(** Fused batched forward + backward over the rows of [ws.x]/[ws.target]:
+    accumulates gradients into the layers (like {!train_sample} does) and
+    leaves per-row losses in [ws.row_loss]. Bit-identical to calling
+    {!train_sample} on each row in ascending order — the documented
+    reduction-order contract of the batched engine. *)
 
 val zero_grads : t -> unit
 val scale_grads : t -> float -> unit

@@ -48,33 +48,56 @@ let check t params grads =
         invalid_arg "Optimizer.step: buffer size mismatch")
     t.sizes
 
-let step t ~params ~grads =
+(* The update loops run once per mini-batch over every parameter, so they are
+   part of the training hot path. Loop-invariant subexpressions are hoisted
+   (identical floating-point values, computed once) and the weight-decay
+   branch is lifted out of the per-element loop; the per-element arithmetic
+   is unchanged, so updates are bit-identical to the textbook form. Unsafe
+   accesses are covered by [check].
+
+   [grad_scale] multiplies each gradient as it is read, exactly where a
+   separate [scale_grads] pass would have written it back first: the product
+   is formed before any optimizer arithmetic touches it, so folding the scale
+   in here is bit-identical to pre-scaling while saving a full read-modify-
+   write sweep over every gradient buffer per batch. *)
+let step ?(grad_scale = 1.) t ~params ~grads =
   check t params grads;
   let lr = t.live_lr in
   match (t.algo, t.state) with
   | Sgd { momentum; weight_decay; _ }, Sgd_state velocity ->
+      let decay = 1. -. (lr *. weight_decay) in
       Array.iteri
         (fun b p ->
           let g = grads.(b) and v = velocity.(b) in
           for i = 0 to Array.length p - 1 do
-            if weight_decay > 0. then p.(i) <- p.(i) *. (1. -. (lr *. weight_decay));
-            v.(i) <- (momentum *. v.(i)) -. (lr *. g.(i));
-            p.(i) <- p.(i) +. v.(i)
+            if weight_decay > 0. then
+              Array.unsafe_set p i (Array.unsafe_get p i *. decay);
+            Array.unsafe_set v i
+              ((momentum *. Array.unsafe_get v i)
+              -. (lr *. (Array.unsafe_get g i *. grad_scale)));
+            Array.unsafe_set p i (Array.unsafe_get p i +. Array.unsafe_get v i)
           done)
         params
   | Adam { beta1; beta2; eps; weight_decay; _ }, Adam_state st ->
       st.t <- st.t + 1;
       let bc1 = 1. -. (beta1 ** float_of_int st.t) in
       let bc2 = 1. -. (beta2 ** float_of_int st.t) in
+      let one_m_b1 = 1. -. beta1 and one_m_b2 = 1. -. beta2 in
+      let decay = 1. -. (lr *. weight_decay) in
       Array.iteri
         (fun b p ->
           let g = grads.(b) and m = st.m.(b) and v = st.v.(b) in
           for i = 0 to Array.length p - 1 do
-            if weight_decay > 0. then p.(i) <- p.(i) *. (1. -. (lr *. weight_decay));
-            m.(i) <- (beta1 *. m.(i)) +. ((1. -. beta1) *. g.(i));
-            v.(i) <- (beta2 *. v.(i)) +. ((1. -. beta2) *. g.(i) *. g.(i));
-            let m_hat = m.(i) /. bc1 and v_hat = v.(i) /. bc2 in
-            p.(i) <- p.(i) -. (lr *. m_hat /. (sqrt v_hat +. eps))
+            if weight_decay > 0. then
+              Array.unsafe_set p i (Array.unsafe_get p i *. decay);
+            let gi = Array.unsafe_get g i *. grad_scale in
+            let mi = (beta1 *. Array.unsafe_get m i) +. (one_m_b1 *. gi) in
+            let vi = (beta2 *. Array.unsafe_get v i) +. (one_m_b2 *. gi *. gi) in
+            Array.unsafe_set m i mi;
+            Array.unsafe_set v i vi;
+            let m_hat = mi /. bc1 and v_hat = vi /. bc2 in
+            Array.unsafe_set p i
+              (Array.unsafe_get p i -. (lr *. m_hat /. (sqrt v_hat +. eps)))
           done)
         params
   | Sgd _, Adam_state _ | Adam _, Sgd_state _ ->

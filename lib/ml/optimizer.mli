@@ -28,9 +28,15 @@ type t
 val create : algo -> int array -> t
 (** [create algo sizes] registers one buffer per entry of [sizes]. *)
 
-val step : t -> params:float array array -> grads:float array array -> unit
+val step :
+  ?grad_scale:float -> t -> params:float array array ->
+  grads:float array array -> unit
 (** Apply one update in place. [params] and [grads] must match the registered
-    buffer count and sizes. @raise Invalid_argument otherwise. *)
+    buffer count and sizes. @raise Invalid_argument otherwise.
+
+    [grad_scale] (default 1.) multiplies each gradient as it is read,
+    bit-identical to scaling the buffers beforehand (e.g. by [1/batch]) but
+    without the extra read-modify-write sweep; [grads] is left untouched. *)
 
 val algo : t -> algo
 val learning_rate : algo -> float

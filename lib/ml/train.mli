@@ -1,19 +1,31 @@
 (** Mini-batch training loop with optional early stopping, playing the role
     Keras plays in the paper's optimization core (§3.2.4). *)
 
+type engine =
+  | Batched
+      (** fused matrix forward/backward over the whole mini-batch, reusing
+          preallocated workspaces across steps (the default; see DESIGN.md
+          "Batched training engine") *)
+  | Per_sample
+      (** the original one-sample-at-a-time loop, kept as the reference
+          oracle the batched engine is checked against *)
+
 type config = {
   epochs : int;
   batch_size : int;
   optimizer : Optimizer.algo;
   patience : int option;
-      (** stop after this many epochs without validation improvement *)
+      (** stop after this many epochs without validation improvement;
+          requires a validation set (see {!fit}) *)
   shuffle_each_epoch : bool;
   lr_decay_per_epoch : float;
       (** multiply the learning rate by this after each epoch (1. = constant) *)
+  engine : engine;
 }
 
 val default_config : config
-(** 30 epochs, batch 32, Adam(1e-3), patience 5, constant learning rate. *)
+(** 30 epochs, batch 32, Adam(1e-3), patience 5, constant learning rate,
+    batched engine. *)
 
 type history = {
   train_loss : float array;  (** mean per-sample loss per epoch *)
@@ -26,10 +38,25 @@ val fit :
   Mlp.t ->
   config ->
   ?validation:Dataset.t ->
+  ?on_epoch:(epoch:int -> metric:float option -> [ `Continue | `Stop ]) ->
   Dataset.t ->
   history
 (** Trains in place. The validation metric is macro-F1 (binary F1 for
-    two-class problems), which is also what early stopping monitors. *)
+    two-class problems), which is also what early stopping monitors.
+
+    Both engines visit samples in the same shuffled order and produce
+    bit-identical parameters: the batched engine's kernels accumulate each
+    output element in the same IEEE-754 order as the per-sample path (the
+    reduction-order contract, documented on {!Mlp.train_batch}).
+
+    [on_epoch] runs after each epoch's optimizer steps and validation
+    bookkeeping with the 1-based epoch index and that epoch's validation
+    metric (if any); returning [`Stop] ends training after that epoch.
+    Successive-halving rung pruning hooks in here.
+
+    @raise Invalid_argument if [epochs <= 0], [batch_size <= 0], the training
+    set is empty, or [patience] is set without a validation set (early
+    stopping monitors the validation metric, so it could never fire). *)
 
 val evaluate_f1 : Mlp.t -> Dataset.t -> float
 (** F1 in [0, 1]: binary F1 (positive class 1) for two-class datasets, macro

@@ -28,7 +28,8 @@ let default_config =
     holdout_frac = 0.3;
     min_gain = 0.02;
     max_swaps = 4;
-    train = Train.default_config;
+    (* no validation split here, so early stopping can't apply *)
+    train = { Train.default_config with Train.patience = None };
     hidden = None;
   }
 
@@ -213,7 +214,8 @@ let try_update t ~incumbent ~ts ~reason =
   end
 
 let bootstrap rng ?(algorithm = `Dnn) ?(hidden = [| 16 |])
-    ?(train = Train.default_config) ?(prefixes = [ 4; 8; 16; 32; 64; 128 ])
+    ?(train = { Train.default_config with Train.patience = None })
+    ?(prefixes = [ 4; 8; 16; 32; 64; 128 ])
     ~bins ~name flows =
   if Array.length flows = 0 then invalid_arg "Updater.bootstrap: no flows";
   let xs = ref [] and ys = ref [] in

@@ -42,6 +42,49 @@ val matmul_nt : t -> t -> t
     [n*k], the result is [m*n]. This is the natural shape for a batched
     dense-layer forward pass ([X * W^T]). *)
 
+val matmul_nt_into :
+  ?bias:Vec.t -> ?post:[ `Copy of t | `Relu of t ] -> t -> t -> out:t -> unit
+(** {!matmul_nt} writing into a preallocated [m*n] output — the allocation-free
+    kernel under the batched training engine's reused workspaces. Every
+    element of [out] is overwritten. [?bias] (length [n]) is added to each
+    output element in the kernel's epilogue, after the whole dot product —
+    the same op order as a matvec followed by a bias add — saving a separate
+    load/store pass over [out]. [?post] extends the same epilogue with an
+    elementwise map into a second [m*n] matrix while the finished value is
+    still in a register: [`Copy dst] stores it unchanged (a linear
+    activation), [`Relu dst] stores [if v > 0. then v else 0.] — both are
+    bit-identical to running the map as a separate pass over [out], minus
+    that pass's loads. *)
+
+val transpose_into : t -> out:t -> unit
+(** Transpose into a preallocated [cols*rows] output. *)
+
+val matmul_into : t -> t -> out:t -> unit
+(** [matmul_into a b ~out] is [out <- a * b] ([a : m*k], [b : k*n],
+    [out : m*n]) with both operands streamed contiguously, saxpy-style: per
+    output element the contributions accumulate over ascending [k] with a
+    single accumulator and nothing skipped — with [b] a packed W^T this is
+    exactly {!matvec}'s op sequence per row, and the independent per-output
+    accumulators avoid the FP-add latency chain of a dot-product form. The
+    batched forward kernel. *)
+
+val matmul_nn_into : t -> t -> out:t -> unit
+(** [matmul_nn_into a b ~out] is [out <- a * b] ([a : m*k], [b : k*n],
+    [out : m*n]) without packing [b]: per output element the sum runs over
+    ascending rows of [b] with the same skip-zero-coefficients rule as
+    {!matvec_t}, so row [s] of [out] is bit-identical to
+    [matvec_t b (row a s)]. This is the batched dL/dx kernel
+    ([dx = delta * W]); the zero skip pays off because ReLU deltas are
+    frequently exactly zero. *)
+
+val gemm_tn_accum : a:t -> b:t -> acc:t -> unit
+(** In-place [acc <- acc + transpose a * b] with [a : s*m], [b : s*n],
+    [acc : m*n] — a fused batch of rank-1 updates, sample-major. Rows of [a]
+    equal to zero are skipped exactly as {!outer_accum} skips them, so the
+    result is bit-identical to folding [outer_accum] over the [s] samples in
+    ascending order. This is the batched weight-gradient kernel
+    ([grad_w += delta^T X]). *)
+
 val add : t -> t -> t
 val add_inplace : t -> t -> unit
 (** [add_inplace a b] is [a <- a + b] without allocating. *)

@@ -344,6 +344,7 @@ let quadratic_eval config =
   {
     Bo.Optimizer.objective = -.((x -. 2.) ** 2.) -. ((y +. 1.) ** 2.);
     feasible = true;
+    pruned = false;
     metadata = [];
   }
 
@@ -397,6 +398,7 @@ let test_optimizer_respects_feasibility () =
     {
       Bo.Optimizer.objective = -.((x -. 2.) ** 2.) -. (y ** 2.);
       feasible = x <= 0.;
+      pruned = false;
       metadata = [];
     }
   in

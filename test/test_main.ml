@@ -29,6 +29,7 @@ let suites =
     ("spatial_ir", Test_spatial_ir.suite);
     ("artifacts", Test_artifacts.suite);
     ("training_extras", Test_training_extras.suite);
+    ("train_engine", Test_train_engine.suite);
     ("p4_ir", Test_p4_ir.suite);
     ("properties", Test_properties.suite);
     ("metamorphic", Test_metamorphic.suite);

@@ -1,0 +1,167 @@
+(* The batched training engine's two contracts: bit-identical learning
+   against the per-sample reference oracle on random small MLPs, and exact
+   rung-budget accounting in the ASHA pruner. *)
+open Homunculus_ml
+module Rng = Homunculus_util.Rng
+module Bo = Homunculus_bo
+
+(* Random tiny training problems: shape, activation, batch size (including
+   batch > n, so the clamped final batch is exercised) and a data seed. *)
+type problem = {
+  seed : int;
+  input_dim : int;
+  hidden : int list;
+  n_classes : int;
+  n_samples : int;
+  batch_size : int;
+  act : Activation.t;
+}
+
+let problem_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* input_dim = int_range 1 6 in
+    let* hidden = list_size (int_range 0 3) (int_range 1 8) in
+    let* n_classes = int_range 2 4 in
+    let* n_samples = int_range 3 40 in
+    let* batch_size = int_range 1 (n_samples + 2) in
+    let+ act =
+      oneofl [ Activation.Relu; Activation.Tanh; Activation.Sigmoid ]
+    in
+    { seed; input_dim; hidden; n_classes; n_samples; batch_size; act })
+
+let problem_print p =
+  Printf.sprintf
+    "{seed=%d; input_dim=%d; hidden=[%s]; n_classes=%d; n_samples=%d; \
+     batch_size=%d; act=%s}"
+    p.seed p.input_dim
+    (String.concat ";" (List.map string_of_int p.hidden))
+    p.n_classes p.n_samples p.batch_size
+    (match p.act with
+    | Activation.Relu -> "relu"
+    | Activation.Linear -> "linear"
+    | Activation.Tanh -> "tanh"
+    | Activation.Sigmoid -> "sigmoid")
+
+let dataset_of p =
+  let rng = Rng.create (p.seed * 2 + 1) in
+  let x =
+    Array.init p.n_samples (fun _ ->
+        Array.init p.input_dim (fun _ -> Rng.gaussian rng ()))
+  in
+  let y = Array.init p.n_samples (fun i -> i mod p.n_classes) in
+  Dataset.create ~x ~y ~n_classes:p.n_classes ()
+
+let train_with p engine data =
+  let model =
+    Mlp.create (Rng.create p.seed) ~input_dim:p.input_dim
+      ~hidden:(Array.of_list p.hidden) ~output_dim:p.n_classes
+      ~hidden_act:p.act ()
+  in
+  let config =
+    {
+      Train.default_config with
+      Train.epochs = 1;
+      batch_size = p.batch_size;
+      patience = None;
+      engine;
+    }
+  in
+  let (_ : Train.history) = Train.fit (Rng.create (p.seed + 7)) model config data in
+  model
+
+(* Tolerance 0: parameters must agree bit for bit ([Int64.bits_of_float], so
+   NaN payloads and signed zeros count too), and therefore so must every
+   prediction. *)
+let prop_engines_bit_identical =
+  QCheck.Test.make ~name:"batched engine is bit-identical to per-sample"
+    ~count:120
+    (QCheck.make ~print:problem_print problem_gen)
+    (fun p ->
+      let data = dataset_of p in
+      let m_ref = train_with p Train.Per_sample data in
+      let m_bat = train_with p Train.Batched data in
+      let pa = Mlp.parameter_buffers m_ref
+      and pb = Mlp.parameter_buffers m_bat in
+      let params_identical =
+        Array.for_all2
+          (fun a b ->
+            Array.for_all2
+              (fun u v -> Int64.bits_of_float u = Int64.bits_of_float v)
+              a b)
+          pa pb
+      in
+      let preds_identical =
+        Mlp.predict_all m_ref data.Dataset.x
+        = Mlp.predict_all m_bat data.Dataset.x
+      in
+      params_identical && preds_identical)
+
+(* Rung-budget accounting: replay a fixed candidate stream through the
+   scheduler exactly the way the evaluator does (freeze at candidate start,
+   record-then-decide at each rung, note epochs actually spent) and check the
+   totals against the schedule computed by hand. *)
+let test_rung_budget_accounting () =
+  let settings =
+    {
+      Bo.Asha.rung_fractions = [| 0.25; 0.5 |];
+      keep_frac = 0.5;
+      min_observations = 2;
+    }
+  in
+  let sched = Bo.Asha.create ~settings () in
+  let budget = 8 in
+  let rungs = Bo.Asha.rungs_for sched ~budget in
+  Alcotest.(check (array int)) "rung epochs" [| 2; 4 |] rungs;
+  (* Each candidate reports the same metric at every rung it reaches. *)
+  let run_candidate metric =
+    Bo.Asha.freeze sched;
+    let stopped = ref None in
+    Array.iteri
+      (fun r rung_epoch ->
+        if !stopped = None then begin
+          Bo.Asha.record sched ~rung:r ~metric;
+          match Bo.Asha.decide sched ~rung:r ~metric with
+          | `Stop -> stopped := Some rung_epoch
+          | `Continue -> ()
+        end)
+      rungs;
+    let spent = match !stopped with Some e -> e | None -> budget in
+    Bo.Asha.note_epochs sched spent;
+    spent
+  in
+  (* c1, c2: free passes (fewer than [min_observations] at freeze time).
+     c3 (0.5) falls below the frozen rung-0 cut (top half of {0.9, 0.8} =
+     0.9) and stops after 2 epochs; c4 (0.95) clears both rungs. *)
+  Alcotest.(check int) "c1 runs full" 8 (run_candidate 0.9);
+  Alcotest.(check int) "c2 runs full" 8 (run_candidate 0.8);
+  Alcotest.(check int) "c3 pruned at rung 0" 2 (run_candidate 0.5);
+  Alcotest.(check int) "c4 clears both rungs" 8 (run_candidate 0.95);
+  Alcotest.(check int) "epochs spent equals the schedule" 26
+    (Bo.Asha.epochs_spent sched);
+  Alcotest.(check (array int)) "rung observation counts" [| 4; 3 |]
+    (Bo.Asha.observations sched)
+
+(* The fit-side half of the accounting: an [on_epoch] hook that stops at
+   epoch [e] must leave [epochs_run = e] exactly — the evaluator charges the
+   scheduler with that number. *)
+let test_on_epoch_stop_accounting () =
+  let rng = Rng.create 3 in
+  let x = Array.init 20 (fun _ -> [| Rng.gaussian rng () |]) in
+  let data =
+    Dataset.create ~x ~y:(Array.init 20 (fun i -> i mod 2)) ~n_classes:2 ()
+  in
+  let model = Mlp.create (Rng.create 1) ~input_dim:1 ~hidden:[| 4 |] ~output_dim:2 () in
+  let config = { Train.default_config with Train.epochs = 10; patience = None } in
+  let h =
+    Train.fit (Rng.create 2) model config data
+      ~on_epoch:(fun ~epoch ~metric:_ -> if epoch = 3 then `Stop else `Continue)
+  in
+  Alcotest.(check int) "stopped at the rung epoch" 3 h.Train.epochs_run
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_engines_bit_identical;
+    Alcotest.test_case "rung budget accounting" `Quick test_rung_budget_accounting;
+    Alcotest.test_case "on_epoch stop accounting" `Quick test_on_epoch_stop_accounting;
+  ]
