@@ -21,6 +21,7 @@ module Botnet = Homunculus_netdata.Botnet
 module Dataset = Homunculus_ml.Dataset
 module Bo = Homunculus_bo
 module Par = Homunculus_par.Par
+module Resilience = Homunculus_resilience
 
 let spec_of_app app seed =
   match app with
@@ -109,6 +110,87 @@ let prune_arg =
   in
   Arg.(value & flag & info [ "prune" ] ~doc)
 
+let journal_arg =
+  let doc =
+    "Journal every evaluation outcome to $(docv)/journal.jsonl: an \
+     append-only, checksummed, fsync'd write-ahead log. A crashed or killed \
+     search can then be resumed with $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Replay recorded outcomes from the $(b,--journal) directory instead of \
+     re-training them. The optimizer is re-driven with the original seed, so \
+     the resumed search's history — and its winner — are bit-for-bit what an \
+     uninterrupted run would have produced."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let faults_arg =
+  let doc =
+    "Deterministic fault plan for resilience testing: comma-separated \
+     raise@K[:N] (exception on candidate K's first N attempts), nan@K:E \
+     (NaN loss at epoch E), timeout@K, infeasible@K, kill@N (crash after N \
+     journal records)."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retries for transient (backend-class) evaluation failures. Divergence \
+     and budget exhaustion are never retried."
+  in
+  Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+
+let eval_budget_arg =
+  let doc =
+    "Per-candidate wall-clock budget in seconds (monotonic); a candidate \
+     that exceeds it is recorded as an infeasible budget failure."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "eval-budget" ] ~docv:"SECONDS" ~doc)
+
+(* Build the supervisor (or none, when no resilience flag was given). The
+   journal handle is returned separately so the driver can close it. *)
+let resilience_of ~journal_dir ~resume ~faults ~retries ~eval_budget =
+  if resume && journal_dir = None then
+    invalid_arg "--resume requires --journal DIR";
+  if journal_dir = None && faults = None && eval_budget = None && retries = 1
+  then (None, None)
+  else begin
+    let journal, replay =
+      match journal_dir with
+      | None -> (None, None)
+      | Some dir ->
+          if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+          let path = Filename.concat dir "journal.jsonl" in
+          let replay =
+            if resume then begin
+              let r = Resilience.Journal.load path in
+              Printf.eprintf "resume: %d journal records loaded, %d dropped\n%!"
+                (Resilience.Journal.loaded r)
+                (Resilience.Journal.dropped r);
+              Some r
+            end
+            else None
+          in
+          (Some (Resilience.Journal.open_ path), replay)
+    in
+    let faults = Option.map Resilience.Faultplan.of_string faults in
+    let settings =
+      {
+        Resilience.Supervisor.default_settings with
+        Resilience.Supervisor.max_retries = retries;
+        budget_s = eval_budget;
+      }
+    in
+    ( Some (Resilience.Supervisor.create ~settings ?journal ?replay ?faults ()),
+      journal )
+  end
+
 let options_of ~seed ~budget ~jobs ~prune =
   let n_init = Stdlib.max 3 (budget / 4) in
   {
@@ -126,29 +208,55 @@ let options_of ~seed ~budget ~jobs ~prune =
 
 (* compile *)
 
-let compile app target seed budget jobs prune output =
+let compile app target seed budget jobs prune journal_dir resume faults retries
+    eval_budget output =
   let spec = spec_of_app app seed in
   let platform = platform_of_name target in
-  let options = options_of ~seed ~budget ~jobs ~prune in
-  let result = Compiler.generate ~options platform (Schedule.model spec) in
-  print_string (Report.result_summary result);
-  (match result.Compiler.models with
-  | [ m ] -> (
-      Printf.printf "\nwinning configuration: %s\n"
-        (Report.config_summary m.Compiler.artifact.Evaluator.config);
-      Printf.printf "\n%s\n" (Report.render_regret m.Compiler.history);
-      match (m.Compiler.code, output) with
-      | Some code, Some path ->
-          Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc code);
-          Printf.printf "wrote %d bytes of %s code to %s\n" (String.length code)
-            (if target = "tofino" then "P4" else "Spatial")
-            path
-      | Some code, None ->
-          Printf.printf "generated %d lines of backend code (use -o to save)\n"
-            (List.length (String.split_on_char '\n' code))
-      | None, _ -> ())
-  | _ -> ());
-  0
+  let supervisor, journal =
+    resilience_of ~journal_dir ~resume ~faults ~retries ~eval_budget
+  in
+  let options =
+    { (options_of ~seed ~budget ~jobs ~prune) with Compiler.supervisor }
+  in
+  let run () =
+    let result = Compiler.generate ~options platform (Schedule.model spec) in
+    print_string (Report.result_summary result);
+    (match result.Compiler.models with
+    | [ m ] -> (
+        Printf.printf "\nwinning configuration: %s\n"
+          (Report.config_summary m.Compiler.artifact.Evaluator.config);
+        Printf.printf "\n%s\n" (Report.render_regret m.Compiler.history);
+        match (m.Compiler.code, output) with
+        | Some code, Some path ->
+            Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc code);
+            Printf.printf "wrote %d bytes of %s code to %s\n" (String.length code)
+              (if target = "tofino" then "P4" else "Spatial")
+              path
+        | Some code, None ->
+            Printf.printf "generated %d lines of backend code (use -o to save)\n"
+              (List.length (String.split_on_char '\n' code))
+        | None, _ -> ())
+    | _ -> ());
+    (* Resilience accounting goes to stderr so an interrupted-then-resumed
+       run's stdout diffs clean against an uninterrupted one. *)
+    (match supervisor with
+    | Some sup
+      when Resilience.Supervisor.replayed_count sup > 0
+           || Resilience.Supervisor.failure_count sup > 0 ->
+        Printf.eprintf "supervisor: %d evaluations replayed, %d failures\n%!"
+          (Resilience.Supervisor.replayed_count sup)
+          (Resilience.Supervisor.failure_count sup)
+    | Some _ | None -> ());
+    0
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Resilience.Journal.close journal)
+    (fun () ->
+      try run ()
+      with Resilience.Faultplan.Killed n ->
+        Printf.eprintf "search killed after %d journal records (simulated)\n%!"
+          n;
+        10)
 
 (* inspect *)
 
@@ -468,7 +576,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const compile $ app_arg $ target_arg $ seed_arg $ budget_arg $ jobs_arg
-      $ prune_arg $ output_arg)
+      $ prune_arg $ journal_arg $ resume_arg $ faults_arg $ retries_arg
+      $ eval_budget_arg $ output_arg)
 
 let inspect_cmd =
   let doc = "Print a target platform's resource model and capabilities." in

@@ -80,12 +80,42 @@ let last t = match t.rev_entries with [] -> None | e :: _ -> Some e
 let best t =
   List.fold_left
     (fun acc e ->
-      if (not e.feasible) || e.pruned then acc
+      (* [Float.compare] is total with NaN below every real, so an entry
+         whose objective is NaN can never displace the incumbent (a plain
+         [>=] guard would let it: [b >= nan] is false). A lone NaN entry is
+         no incumbent at all — it would poison the EI threshold. *)
+      if (not e.feasible) || e.pruned || Float.is_nan e.objective then acc
       else
         match acc with
-        | Some b when b.objective >= e.objective -> acc
+        | Some b when Float.compare b.objective e.objective >= 0 -> acc
         | Some _ | None -> Some e)
     None t.rev_entries
+
+(* Winner order over ALL entries, failure-tagged and infeasible included:
+   feasible before infeasible, fully trained before pruned, then objective
+   descending (NaN-total: NaN ranks below every real), then the rendered
+   configuration as a deterministic tie-break. Mirrors the evaluator's
+   artifact comparison so a supervised search picking its winner from the
+   history agrees with an unsupervised one comparing artifacts directly. *)
+let compare_entries a b =
+  let c = Bool.compare b.feasible a.feasible in
+  if c <> 0 then c
+  else
+    let c = Bool.compare a.pruned b.pruned in
+    if c <> 0 then c
+    else
+      let c = Float.compare b.objective a.objective in
+      if c <> 0 then c
+      else String.compare (Config.to_string a.config) (Config.to_string b.config)
+
+let best_entry t =
+  match List.rev t.rev_entries with
+  | [] -> None
+  | e :: rest ->
+      Some
+        (List.fold_left
+           (fun acc e -> if compare_entries e acc < 0 then e else acc)
+           e rest)
 
 let best_so_far t =
   let es = entries t in

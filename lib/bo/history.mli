@@ -36,7 +36,20 @@ val last : t -> entry option
 
 val best : t -> entry option
 (** Highest-objective feasible non-pruned entry; [None] if nothing feasible
-    (and fully trained) yet. *)
+    (and fully trained) yet. NaN objectives never win (and are never the
+    incumbent): comparison uses the NaN-total [Float.compare] order. *)
+
+val compare_entries : entry -> entry -> int
+(** Winner order over all entries (negative = [a] is better): feasible
+    before infeasible, fully trained before pruned, objective descending
+    with NaN below every real, then the rendered configuration as a
+    deterministic tie-break. *)
+
+val best_entry : t -> entry option
+(** Minimum of {!compare_entries} over the whole history — unlike {!best},
+    infeasible and pruned entries are eligible (they lose to any feasible
+    one), so a run whose every candidate failed still has a well-defined
+    "least bad" entry. [None] only on an empty history. *)
 
 val best_so_far : t -> float array
 (** [best_so_far t].(i) is the best feasible non-pruned objective seen in

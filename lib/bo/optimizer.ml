@@ -62,14 +62,23 @@ let fresh_candidate rng space history ~pending =
 (* Evaluate a batch of proposals concurrently, then commit the results to the
    history in proposal order. The black box runs on pool workers, so all the
    ordering the caller can observe (History contents, [on_iteration]
-   callbacks) is fixed by the proposal order, not by scheduling. *)
+   callbacks) is fixed by the proposal order, not by scheduling. Each
+   candidate's index is its eventual position in the history (commits happen
+   per batch, so the base is the history length at dispatch time), giving
+   the black box a schedule-independent identity for the proposal. *)
 let evaluate_batch ~par history space ~f ~on_iteration batch =
-  let evals = Par.parallel_map ~pool:par ~chunk:1 f batch in
+  let base = History.length history in
+  let indexed = Array.mapi (fun i config -> (base + i, config)) batch in
+  let evals =
+    Par.parallel_map ~pool:par ~chunk:1
+      (fun (index, config) -> f ~index config)
+      indexed
+  in
   Array.iteri
     (fun i config -> record history space config evals.(i) ~on_iteration)
     batch
 
-let maximize rng ?(settings = default_settings) ?pool ?on_iteration
+let maximize_indexed rng ?(settings = default_settings) ?pool ?on_iteration
     ?on_batch_start space ~f =
   if settings.n_init <= 0 then invalid_arg "Bo.Optimizer.maximize: n_init <= 0";
   if settings.batch_size <= 0 then
@@ -191,3 +200,7 @@ let maximize rng ?(settings = default_settings) ?pool ?on_iteration
     remaining := !remaining - k
   done;
   history
+
+let maximize rng ?settings ?pool ?on_iteration ?on_batch_start space ~f =
+  maximize_indexed rng ?settings ?pool ?on_iteration ?on_batch_start space
+    ~f:(fun ~index:_ config -> f config)

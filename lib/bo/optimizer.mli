@@ -61,6 +61,21 @@ val maximize :
     against, which is what keeps pruning decisions independent of worker
     count. *)
 
+val maximize_indexed :
+  Homunculus_util.Rng.t ->
+  ?settings:settings ->
+  ?pool:Homunculus_par.Par.pool ->
+  ?on_iteration:(int -> History.entry -> unit) ->
+  ?on_batch_start:(unit -> unit) ->
+  Design_space.t ->
+  f:(index:int -> Config.t -> evaluation) ->
+  History.t
+(** {!maximize} with the candidate's proposal-order index passed to the
+    black box: [index] is the 0-based position the evaluation will occupy in
+    the returned history, fixed at proposal time and therefore identical at
+    any worker count. Fault-injection plans and journals address candidates
+    by this index. *)
+
 val random_search :
   Homunculus_util.Rng.t ->
   n:int ->

@@ -141,6 +141,48 @@ let config_of_json space json =
     invalid_arg "Serialize: configuration outside the design space";
   config
 
+(* Self-describing configuration serialization: unlike {!config_to_json},
+   which renders values against a known design space, the tagged form carries
+   the value kind inline so a configuration written by one process (the
+   search journal) can be read back without reconstructing the space. Members
+   are sorted by name, making the compact rendering a canonical key. *)
+
+let config_to_json_tagged config =
+  let value_json = function
+    | Param.Real_value v -> Json.Object [ ("real", Json.Number v) ]
+    | Param.Int_value v ->
+        Json.Object [ ("int", Json.Number (float_of_int v)) ]
+    | Param.Index_value v ->
+        Json.Object [ ("index", Json.Number (float_of_int v)) ]
+  in
+  Json.Object
+    (List.sort
+       (fun (a, _) (b, _) -> String.compare a b)
+       (List.map (fun (name, v) -> (name, value_json v)) (Config.bindings config)))
+
+let config_of_json_tagged json =
+  match json with
+  | Json.Object members ->
+      Config.make
+        (List.map
+           (fun (name, vj) ->
+             let value =
+               match vj with
+               | Json.Object [ ("real", n) ] -> Param.Real_value (Json.to_float n)
+               | Json.Object [ ("int", n) ] -> Param.Int_value (Json.to_int n)
+               | Json.Object [ ("index", n) ] -> Param.Index_value (Json.to_int n)
+               | _ ->
+                   invalid_arg
+                     ("Serialize: malformed tagged value for " ^ name)
+             in
+             (name, value))
+           members)
+  | Json.Null | Json.Bool _ | Json.Number _ | Json.String _ | Json.List _ ->
+      invalid_arg "Serialize: tagged configuration must be an object"
+
+let config_key config =
+  Json.to_string ~pretty:false (config_to_json_tagged config)
+
 let history_to_json space history =
   Json.List
     (List.map

@@ -35,6 +35,21 @@ val config_to_json : Design_space.t -> Config.t -> Json.t
 val config_of_json : Design_space.t -> Json.t -> Config.t
 (** @raise Invalid_argument when a member is missing or out of domain. *)
 
+val config_to_json_tagged : Config.t -> Json.t
+(** Self-describing form: each value is wrapped as [{"real": v}],
+    [{"int": n}], or [{"index": i}] and members are sorted by name, so a
+    configuration round-trips through a file without the design space in
+    hand (the search journal's record format). *)
+
+val config_of_json_tagged : Json.t -> Config.t
+(** Inverse of {!config_to_json_tagged}.
+    @raise Invalid_argument on malformed documents. *)
+
+val config_key : Config.t -> string
+(** Canonical text key for a configuration: the compact rendering of
+    {!config_to_json_tagged}. Equal configurations produce equal keys
+    regardless of binding order; the journal's replay cache indexes on it. *)
+
 val history_to_json : Design_space.t -> History.t -> Json.t
 (** Evaluation log: a list of objects with the configuration's raw values
     plus ["objective"], ["feasible"], and ["iteration"]. *)

@@ -2,6 +2,7 @@ open Homunculus_alchemy
 open Homunculus_backends
 module Bo = Homunculus_bo
 module Rng = Homunculus_util.Rng
+module Supervisor = Homunculus_resilience.Supervisor
 
 exception No_feasible_model of string
 
@@ -15,6 +16,7 @@ type options = {
   emit_code : bool;
   fusion_threshold : float option;
   prune : Bo.Asha.settings option;
+  supervisor : Supervisor.t option;
 }
 
 let default_options =
@@ -24,6 +26,7 @@ let default_options =
     emit_code = true;
     fusion_threshold = None;
     prune = None;
+    supervisor = None;
   }
 
 let quick_options =
@@ -67,7 +70,8 @@ let emit_code platform model_ir =
   | Platform.Tofino _ ->
       P4gen.emit model_ir ^ "\n" ^ P4gen.emit_entries model_ir
 
-let search_algorithm rng ~seed ~settings ?prune platform spec algorithm =
+let search_algorithm rng ~seed ~settings ?prune ?supervisor platform spec
+    algorithm =
   let data = Model_spec.load spec in
   let input_dim =
     Homunculus_ml.Dataset.n_features data.Model_spec.train
@@ -85,25 +89,63 @@ let search_algorithm rng ~seed ~settings ?prune platform spec algorithm =
      whatever order the batch completes in. *)
   let best = ref None in
   let best_lock = Mutex.create () in
-  let eval config =
-    (* A per-configuration seed makes the black box deterministic: the same
-       suggestion always measures the same, which stabilizes the search. *)
+  (* A per-configuration seed makes the black box deterministic: the same
+     suggestion always measures the same, which stabilizes the search —
+     and makes the winning artifact rebuildable from just its config. *)
+  let run_eval ?guard config =
     let eval_rng = Rng.create (seed lxor Bo.Config.hash config) in
     let artifact =
-      Evaluator.evaluate eval_rng ?prune:sched platform spec algorithm config
+      Evaluator.evaluate eval_rng ?prune:sched ?guard platform spec algorithm
+        config
     in
     Mutex.lock best_lock;
     best := Evaluator.better_artifact !best artifact;
     Mutex.unlock best_lock;
-    Evaluator.to_bo_evaluation artifact
+    artifact
+  in
+  let scope =
+    Model_spec.name spec ^ "/" ^ Model_spec.algorithm_to_string algorithm
+  in
+  let eval ~index config =
+    match supervisor with
+    | None -> Evaluator.to_bo_evaluation (run_eval config)
+    | Some sup ->
+        (* Supervised: failures become tagged infeasible evaluations instead
+           of killing the search, and recorded outcomes replay without
+           re-training. Retries reuse the same config-derived seed. *)
+        Supervisor.supervise sup ~scope ~index ~config (fun ctx ->
+            Evaluator.to_bo_evaluation
+              (run_eval ~guard:(Supervisor.epoch_guard ctx) config))
   in
   let on_batch_start =
     Option.map (fun s () -> Bo.Asha.freeze s) sched
   in
   let history =
-    Bo.Optimizer.maximize rng ~settings ?on_batch_start space ~f:eval
+    Bo.Optimizer.maximize_indexed rng ~settings ?on_batch_start space ~f:eval
   in
-  (!best, history, sched)
+  let winner =
+    match supervisor with
+    | None -> !best
+    | Some _ -> (
+        (* Replayed evaluations never ran the artifact-producing thunk, so
+           [!best] can miss the true winner on a resumed search. Pick it
+           from the history (whose order mirrors [compare_artifacts]) and
+           rebuild the artifact deterministically if it wasn't cached. A
+           failure-tagged winner has no artifact — rebuilding would just
+           fail again. *)
+        match Bo.History.best_entry history with
+        | None -> None
+        | Some e
+          when List.mem_assoc Supervisor.failure_key e.Bo.History.metadata ->
+            None
+        | Some e -> (
+            match !best with
+            | Some a when Bo.Config.equal a.Evaluator.config e.Bo.History.config
+              ->
+                Some a
+            | Some _ | None -> Some (run_eval e.Bo.History.config)))
+  in
+  (winner, history, sched)
 
 let search_model ?(options = default_options) platform spec =
   let candidates = Candidate.filter platform spec in
@@ -132,7 +174,8 @@ let search_model ?(options = default_options) platform spec =
         let rng = Rng.split master in
         let best, history, (_ : Bo.Asha.t option) =
           search_algorithm rng ~seed:options.seed ~settings
-            ?prune:options.prune platform spec algorithm
+            ?prune:options.prune ?supervisor:options.supervisor platform spec
+            algorithm
         in
         (algorithm, best, history))
       candidates

@@ -24,11 +24,22 @@ type options = {
           partial observations. Deterministic for a fixed seed at any worker
           count (see {!Bo.Asha}). [None] trains every candidate to its full
           budget. *)
+  supervisor : Homunculus_resilience.Supervisor.t option;
+      (** when set, every candidate evaluation runs under the fault
+          supervisor: trainer divergence, backend exceptions, and budget
+          exhaustion become tagged infeasible history entries instead of
+          aborting the search; outcomes are journaled durably when the
+          supervisor carries a journal, and previously recorded outcomes
+          replay without re-training (deterministic resume). The winning
+          artifact is then selected from the history
+          ({!Bo.History.best_entry}) and rebuilt from its config-derived
+          seed if the evaluation was replayed. [None] lets exceptions
+          propagate, as before. *)
 }
 
 val default_options : options
 (** seed 42, default BO settings, code emission on, fusion off, pruning
-    off. *)
+    off, no supervisor. *)
 
 val quick_options : options
 (** A small-budget variant (5 warm-up + 10 guided) for tests and examples. *)

@@ -22,7 +22,7 @@ let metric_value metric ~n_classes ~pred ~truth =
   | Model_spec.Accuracy -> Metrics.accuracy ~pred ~truth
   | Model_spec.V_measure -> Metrics.v_measure ~pred ~truth ()
 
-let train_dnn rng ?prune config ~train ~test =
+let train_dnn rng ?prune ?guard config ~train ~test =
   let hidden = Space_builder.hidden_layers_of_config config in
   let lr = Bo.Config.get_float config "learning_rate" in
   let batch_idx = Bo.Config.get_index config "batch_size" in
@@ -55,7 +55,7 @@ let train_dnn rng ?prune config ~train ~test =
      proposal batch. Rungs that coincide with the full budget save nothing
      and are skipped. *)
   let was_pruned = ref false in
-  let on_epoch =
+  let asha_hook =
     match prune with
     | None -> None
     | Some sched ->
@@ -75,6 +75,22 @@ let train_dnn rng ?prune config ~train ~test =
                     end)
                   rungs;
                 if !was_pruned then `Stop else `Continue)
+  in
+  let on_epoch =
+    (* The supervisor's guard runs before the rung scheduler: a diverging
+       candidate aborts (by raising) rather than reporting a garbage metric
+       to the shared rungs. *)
+    match (guard, asha_hook) with
+    | None, None -> None
+    | guard, asha_hook ->
+        Some
+          (fun ~epoch ~loss ~metric ->
+            (match guard with
+            | Some check -> check ~epoch ~loss ~metric
+            | None -> ());
+            match asha_hook with
+            | Some hook -> hook ~epoch ~metric
+            | None -> `Continue)
   in
   let history =
     Train.fit rng mlp train_config ~validation:val_set ?on_epoch fit_set
@@ -123,13 +139,13 @@ let train_tree rng config ~train ~test =
   in
   (ir, pred)
 
-let evaluate rng ?prune platform spec algorithm config =
+let evaluate rng ?prune ?guard platform spec algorithm config =
   let data = Model_spec.load spec in
   let scaler, train = Scaler.fit_dataset data.Model_spec.train in
   let test = Scaler.apply_dataset scaler data.Model_spec.test in
   let model_ir, pred, pruned, epochs_trained =
     match algorithm with
-    | Model_spec.Dnn -> train_dnn rng ?prune config ~train ~test
+    | Model_spec.Dnn -> train_dnn rng ?prune ?guard config ~train ~test
     | Model_spec.Kmeans ->
         let ir, pred = train_kmeans rng config ~train ~test in
         (ir, pred, false, 0)

@@ -22,6 +22,7 @@ type artifact = {
 val evaluate :
   Homunculus_util.Rng.t ->
   ?prune:Homunculus_bo.Asha.t ->
+  ?guard:(epoch:int -> loss:float -> metric:float option -> unit) ->
   Platform.t ->
   Model_spec.t ->
   Model_spec.algorithm ->
@@ -36,7 +37,13 @@ val evaluate :
     rung scheduler at each rung of the candidate's own epoch budget and
     stops early when the scheduler says so; the artifact then carries
     [pruned = true]. Non-DNN algorithms train in one shot and ignore the
-    scheduler. *)
+    scheduler.
+
+    [?guard] runs at every DNN training epoch, before rung accounting, with
+    the epoch's mean training loss and validation metric; the evaluation
+    supervisor uses it for divergence detection (non-finite loss) and
+    wall-clock budget enforcement — it aborts the evaluation by raising.
+    Non-DNN algorithms never call it. *)
 
 val compare_artifacts : artifact -> artifact -> int
 (** Total order used to rank search results: feasible before infeasible,

@@ -157,7 +157,11 @@ let fit rng model config ?validation ?on_epoch (train : Dataset.t) =
           to stop the run, so a scheduler's accounting stays complete. *)
        (match on_epoch with
        | Some hook -> (
-           match hook ~epoch:!epochs_run ~metric:metric_opt with
+           match
+             hook ~epoch:!epochs_run
+               ~loss:(!epoch_loss /. float_of_int n)
+               ~metric:metric_opt
+           with
            | `Stop -> raise Exit
            | `Continue -> ())
        | None -> ());

@@ -38,7 +38,8 @@ val fit :
   Mlp.t ->
   config ->
   ?validation:Dataset.t ->
-  ?on_epoch:(epoch:int -> metric:float option -> [ `Continue | `Stop ]) ->
+  ?on_epoch:
+    (epoch:int -> loss:float -> metric:float option -> [ `Continue | `Stop ]) ->
   Dataset.t ->
   history
 (** Trains in place. The validation metric is macro-F1 (binary F1 for
@@ -50,9 +51,10 @@ val fit :
     reduction-order contract, documented on {!Mlp.train_batch}).
 
     [on_epoch] runs after each epoch's optimizer steps and validation
-    bookkeeping with the 1-based epoch index and that epoch's validation
-    metric (if any); returning [`Stop] ends training after that epoch.
-    Successive-halving rung pruning hooks in here.
+    bookkeeping with the 1-based epoch index, that epoch's mean training
+    loss, and its validation metric (if any); returning [`Stop] ends
+    training after that epoch. Successive-halving rung pruning hooks in
+    here; the evaluation supervisor's divergence detector watches [loss].
 
     @raise Invalid_argument if [epochs <= 0], [batch_size <= 0], the training
     set is empty, or [patience] is set without a validation set (early

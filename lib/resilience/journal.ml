@@ -1,0 +1,184 @@
+module Json = Homunculus_util.Json
+module Bo = Homunculus_bo
+
+type failure = { failure_class : string; message : string; retries : int }
+
+type record = {
+  scope : string;
+  index : int;
+  config : Bo.Config.t;
+  objective : float;
+  feasible : bool;
+  pruned : bool;
+  metadata : (string * float) list;
+  failure : failure option;
+}
+
+(* 64-bit FNV-1a over the compact rendering of the record object. The
+   parser preserves member order and the printer's number rendering
+   round-trips ([%.0f] for integral values, [%.17g] otherwise), so a line we
+   wrote re-renders byte-identically after parsing — which is what lets the
+   loader verify the checksum without storing the original text. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let checksum s = Printf.sprintf "%016Lx" (fnv1a64 s)
+
+let failure_to_json f =
+  Json.Object
+    [
+      ("class", Json.String f.failure_class);
+      ("message", Json.String f.message);
+      ("retries", Json.Number (float_of_int f.retries));
+    ]
+
+let failure_of_json json =
+  {
+    failure_class = Json.get_string (Json.member json "class");
+    message = Json.get_string (Json.member json "message");
+    retries = Json.to_int (Json.member json "retries");
+  }
+
+let record_to_json r =
+  Json.Object
+    [
+      ("scope", Json.String r.scope);
+      ("index", Json.Number (float_of_int r.index));
+      ("config", Bo.Serialize.config_to_json_tagged r.config);
+      ("objective", Json.Number r.objective);
+      ("feasible", Json.Bool r.feasible);
+      ("pruned", Json.Bool r.pruned);
+      ("metadata",
+       Json.Object (List.map (fun (k, v) -> (k, Json.Number v)) r.metadata));
+      ("failure",
+       match r.failure with None -> Json.Null | Some f -> failure_to_json f);
+    ]
+
+let record_of_json json =
+  {
+    scope = Json.get_string (Json.member json "scope");
+    index = Json.to_int (Json.member json "index");
+    config = Bo.Serialize.config_of_json_tagged (Json.member json "config");
+    objective = Json.to_float (Json.member json "objective");
+    feasible = Json.to_bool (Json.member json "feasible");
+    pruned = Json.to_bool (Json.member json "pruned");
+    metadata =
+      (match Json.member json "metadata" with
+      | Json.Object members ->
+          List.map (fun (k, v) -> (k, Json.to_float v)) members
+      | _ -> invalid_arg "Journal: metadata must be an object");
+    failure =
+      (match Json.member json "failure" with
+      | Json.Null -> None
+      | f -> Some (failure_of_json f));
+  }
+
+let line_of_record r =
+  let rec_text = Json.to_string ~pretty:false (record_to_json r) in
+  Printf.sprintf "{\"sum\":%s,\"rec\":%s}"
+    (Json.to_string ~pretty:false (Json.String (checksum rec_text)))
+    rec_text
+
+(* A line survives loading only if it parses, carries both members, and the
+   re-rendered record matches its recorded checksum — a truncated final line
+   (the crash case the WAL exists for) or a corrupted byte fails one of
+   those and is dropped rather than poisoning the resume. *)
+let record_of_line line =
+  match Json.of_string line with
+  | exception _ -> None
+  | json -> (
+      match (Json.member_opt json "sum", Json.member_opt json "rec") with
+      | Some (Json.String sum), Some rec_json -> (
+          let rec_text = Json.to_string ~pretty:false rec_json in
+          if not (String.equal sum (checksum rec_text)) then None
+          else match record_of_json rec_json with
+            | r -> Some r
+            | exception _ -> None)
+      | _ -> None)
+
+(* Append handle: one fsync'd write per record, serialized by a mutex so
+   parallel evaluation workers never interleave partial lines. The record
+   count is handle-local — [Faultplan.Kill_after] measures records absorbed
+   by the current run, not lines inherited from a previous incarnation. *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  mutex : Mutex.t;
+  mutable records : int;
+}
+
+let open_ path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  { path; fd; mutex = Mutex.create (); records = 0 }
+
+let path t = t.path
+let appended t = t.records
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let append t record =
+  let line = line_of_record record ^ "\n" in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      write_all t.fd (Bytes.of_string line);
+      Unix.fsync t.fd;
+      t.records <- t.records + 1;
+      t.records)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Replay cache: records keyed by (scope, canonical configuration key).
+   Resume re-drives the optimizer with the original seed; every proposal it
+   re-derives hits the cache and returns the recorded evaluation instantly,
+   so the rebuilt history is bit-for-bit the uninterrupted one. Later
+   records for the same key win (a retried-then-recorded evaluation
+   supersedes an earlier incarnation's). *)
+
+type replay = { table : (string, record) Hashtbl.t; loaded : int; dropped : int }
+
+let key ~scope ~config = scope ^ "\x00" ^ Bo.Serialize.config_key config
+
+let load path =
+  let table = Hashtbl.create 64 in
+  let loaded = ref 0 and dropped = ref 0 in
+  (if Sys.file_exists path then
+     let ic = open_in path in
+     Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () ->
+         try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match record_of_line line with
+               | Some r ->
+                   incr loaded;
+                   Hashtbl.replace table (key ~scope:r.scope ~config:r.config) r
+               | None -> incr dropped
+           done
+         with End_of_file -> ()));
+  { table; loaded = !loaded; dropped = !dropped }
+
+let find replay ~scope ~config =
+  Hashtbl.find_opt replay.table (key ~scope ~config)
+
+let loaded replay = replay.loaded
+let dropped replay = replay.dropped
+
+let records path =
+  let replay = load path in
+  let all = Hashtbl.fold (fun _ r acc -> r :: acc) replay.table [] in
+  List.sort (fun a b -> compare (a.scope, a.index) (b.scope, b.index)) all

@@ -1,0 +1,77 @@
+(** Crash-safe search journal: an append-only JSONL write-ahead log of
+    evaluation outcomes, and the replay cache that turns it back into a
+    deterministic resume.
+
+    Each line is [{"sum": "<fnv1a64 hex>", "rec": {...}}] where the checksum
+    covers the compact rendering of the record object. Appends are fsync'd
+    under a mutex, so a crash leaves at worst one truncated final line —
+    which the loader detects (parse failure or checksum mismatch) and drops.
+
+    Resume does not trust the journal's ordering: the optimizer is re-driven
+    with its original seed, and each proposal it re-derives is looked up by
+    (scope, canonical configuration key). Cache hits return the recorded
+    evaluation without re-running training, so the rebuilt
+    {!Homunculus_bo.History.t} is bit-for-bit the one an uninterrupted
+    search would have produced. *)
+
+module Json = Homunculus_util.Json
+module Bo = Homunculus_bo
+
+type failure = { failure_class : string; message : string; retries : int }
+(** Terminal failure annotation: classification code ([divergence],
+    [backend], [budget]), human-readable message, and how many retries were
+    burned before giving up. *)
+
+type record = {
+  scope : string;  (** search scope, e.g. ["spec-name/dnn"] *)
+  index : int;  (** proposal-order candidate index within the scope *)
+  config : Bo.Config.t;
+  objective : float;
+  feasible : bool;
+  pruned : bool;
+  metadata : (string * float) list;
+  failure : failure option;
+}
+
+val record_to_json : record -> Json.t
+val record_of_json : Json.t -> record
+(** @raise Invalid_argument on malformed documents. *)
+
+val line_of_record : record -> string
+(** One checksummed JSONL line (no trailing newline). *)
+
+val record_of_line : string -> record option
+(** [None] for corrupt, truncated, or checksum-mismatched lines. *)
+
+(** {1 Append handle} *)
+
+type t
+
+val open_ : string -> t
+(** Open (creating if absent) for fsync'd appends at end of file. *)
+
+val append : t -> record -> int
+(** Write one record durably; returns the handle-local record count (lines
+    inherited from a previous run are not counted — kill thresholds measure
+    the current run's progress). Thread-safe. *)
+
+val appended : t -> int
+val path : t -> string
+val close : t -> unit
+
+(** {1 Replay cache} *)
+
+type replay
+
+val load : string -> replay
+(** Read a journal file (missing file = empty cache), dropping invalid
+    lines. Later records for the same (scope, config) supersede earlier
+    ones. *)
+
+val find : replay -> scope:string -> config:Bo.Config.t -> record option
+val loaded : replay -> int
+val dropped : replay -> int
+
+val records : string -> record list
+(** All valid records in a journal file, sorted by (scope, index) — for
+    inspection and tests. *)

@@ -168,6 +168,15 @@ let train_challenger t ~incumbent ~x ~y =
            })
   | _ -> None
 
+(* The swap decision, isolated so its edge cases are testable: a holdout F1
+   that comes back NaN (degenerate holdout, broken metric) must never
+   promote a challenger — [c >= nan +. g] happens to be false, but we spell
+   the guard out rather than lean on IEEE comparison falling the safe way. *)
+let accepts ~min_gain ~incumbent_f1 ~challenger_f1 =
+  (not (Float.is_nan challenger_f1))
+  && (not (Float.is_nan incumbent_f1))
+  && challenger_f1 >= incumbent_f1 +. min_gain
+
 let try_update t ~incumbent ~ts ~reason =
   if t.accepted_swaps >= t.config.max_swaps then
     decline t ~ts ~reason ~note:"swap budget exhausted"
@@ -197,7 +206,9 @@ let try_update t ~incumbent ~ts ~reason =
         let challenger_f1 =
           f1_of t ~pred:(Inference.predict_all challenger x_hold) ~truth:y_hold
         in
-        let accepted = challenger_f1 >= incumbent_f1 +. t.config.min_gain in
+        let accepted =
+          accepts ~min_gain:t.config.min_gain ~incumbent_f1 ~challenger_f1
+        in
         if accepted then t.accepted_swaps <- t.accepted_swaps + 1;
         t.rev_decisions <-
           {

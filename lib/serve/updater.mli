@@ -64,6 +64,12 @@ val calibration_sample : t -> n:int -> float array array
 (** Up to [n] buffered feature vectors — quantization calibration for
     reloading a {!Homunculus_backends.Runtime} after a swap. *)
 
+val accepts :
+  min_gain:float -> incumbent_f1:float -> challenger_f1:float -> bool
+(** The swap decision {!try_update} applies: the challenger must clear the
+    incumbent's holdout F1 by [min_gain]. A NaN on either side declines —
+    a garbage holdout measurement must never promote a challenger. *)
+
 val try_update :
   t ->
   incumbent:Homunculus_backends.Model_ir.t ->

@@ -29,7 +29,14 @@ let escape_string s =
   Buffer.contents buf
 
 let number_to_string v =
-  if Float.is_integer v && Float.abs v < 1e15 then
+  (* Strict JSON has no non-finite literals, but the journal and conformance
+     artifacts must survive a write -> read cycle for any float the system
+     produces (diverged losses, unbounded latencies). We use the same
+     extension Python's [json] module emits: NaN / Infinity / -Infinity. *)
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "Infinity"
+  else if v = Float.neg_infinity then "-Infinity"
+  else if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.17g" v
 
@@ -200,6 +207,8 @@ let rec parse_value st =
   | Some 'n' -> parse_literal st "null" Null
   | Some 't' -> parse_literal st "true" (Bool true)
   | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'N' -> parse_literal st "NaN" (Number Float.nan)
+  | Some 'I' -> parse_literal st "Infinity" (Number Float.infinity)
   | Some '"' -> String (parse_string_body st)
   | Some '[' ->
       advance st;
@@ -245,6 +254,9 @@ let rec parse_value st =
         expect st '}';
         Object (List.rev !members)
       end
+  | Some '-'
+    when st.pos + 1 < String.length st.input && st.input.[st.pos + 1] = 'I' ->
+      parse_literal st "-Infinity" (Number Float.neg_infinity)
   | Some ('0' .. '9' | '-') -> Number (parse_number st)
   | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
 
@@ -295,7 +307,9 @@ let rec equal a b =
   match (a, b) with
   | Null, Null -> true
   | Bool x, Bool y -> x = y
-  | Number x, Number y -> x = y
+  (* [Float.equal] (not [=]) so NaN payloads compare equal to themselves and
+     round-trip properties hold for non-finite numbers. *)
+  | Number x, Number y -> Float.equal x y
   | String x, String y -> String.equal x y
   | List xs, List ys ->
       List.length xs = List.length ys && List.for_all2 equal xs ys

@@ -16,7 +16,10 @@ type t =
 
 val to_string : ?pretty:bool -> t -> string
 (** Serialize; [pretty] (default true) indents with two spaces. Numbers that
-    are integral print without a decimal point. *)
+    are integral print without a decimal point. Non-finite numbers print as
+    the [NaN] / [Infinity] / [-Infinity] extension literals (as Python's
+    [json] module emits), which {!of_string} parses back, so every float the
+    system can produce survives a write -> read cycle. *)
 
 exception Parse_error of { position : int; message : string }
 
@@ -38,4 +41,5 @@ val to_list : t -> t list
 val get_string : t -> string
 
 val equal : t -> t -> bool
-(** Structural equality with order-insensitive objects. *)
+(** Structural equality with order-insensitive objects. Numbers compare with
+    [Float.equal], so [Number nan] equals itself. *)

@@ -203,6 +203,39 @@ let test_history_best_ignores_infeasible () =
       Alcotest.(check (float 0.)) "best feasible" 0.7 e.Bo.History.objective
   | None -> Alcotest.fail "expected a best entry"
 
+(* Regression: a feasible entry whose objective is NaN must never become the
+   incumbent. The old [>=] guard let it through ([b >= nan] is false), which
+   poisoned the EI threshold for the rest of the search. *)
+let test_history_best_nan_never_wins () =
+  let h = Bo.History.create () in
+  Bo.History.add h ~config:(cfg 1) ~objective:Float.nan ~feasible:true ();
+  Alcotest.(check bool) "lone NaN is no incumbent" true
+    (Bo.History.best h = None);
+  Bo.History.add h ~config:(cfg 2) ~objective:0.5 ~feasible:true ();
+  Bo.History.add h ~config:(cfg 3) ~objective:Float.nan ~feasible:true ();
+  (match Bo.History.best h with
+  | Some e -> Alcotest.(check (float 0.)) "real entry wins" 0.5 e.Bo.History.objective
+  | None -> Alcotest.fail "expected a best entry")
+
+let test_history_best_entry_total () =
+  let h = Bo.History.create () in
+  Alcotest.(check bool) "empty" true (Bo.History.best_entry h = None);
+  (* All infeasible: the least-bad entry is still defined. *)
+  Bo.History.add h ~config:(cfg 1) ~objective:0.2 ~feasible:false ();
+  Bo.History.add h ~config:(cfg 2) ~objective:0.6 ~feasible:false ();
+  (match Bo.History.best_entry h with
+  | Some e -> Alcotest.(check (float 0.)) "best infeasible" 0.6 e.Bo.History.objective
+  | None -> Alcotest.fail "expected an entry");
+  (* Any feasible entry beats every infeasible one, and NaN ranks below
+     every real. *)
+  Bo.History.add h ~config:(cfg 3) ~objective:Float.nan ~feasible:true ();
+  Bo.History.add h ~config:(cfg 4) ~objective:0.1 ~feasible:true ();
+  (match Bo.History.best_entry h with
+  | Some e ->
+      Alcotest.(check bool) "feasible wins" true e.Bo.History.feasible;
+      Alcotest.(check (float 0.)) "real beats NaN" 0.1 e.Bo.History.objective
+  | None -> Alcotest.fail "expected an entry")
+
 let test_history_best_so_far_monotone () =
   let h = Bo.History.create () in
   List.iter
@@ -528,6 +561,10 @@ let suite =
     Alcotest.test_case "space validate missing" `Quick test_space_validate_catches_missing;
     Alcotest.test_case "space log cardinality" `Quick test_space_log_cardinality;
     Alcotest.test_case "history best feasible" `Quick test_history_best_ignores_infeasible;
+    Alcotest.test_case "history best NaN never wins" `Quick
+      test_history_best_nan_never_wins;
+    Alcotest.test_case "history best_entry total" `Quick
+      test_history_best_entry_total;
     Alcotest.test_case "history regret curve" `Quick test_history_best_so_far_monotone;
     Alcotest.test_case "history feasible fraction" `Quick test_history_feasible_fraction;
     Alcotest.test_case "history mem config" `Quick test_history_mem_config;

@@ -383,6 +383,37 @@ let test_evaluator_deterministic_per_config () =
   Alcotest.(check (float 0.)) "same objective" a.Evaluator.objective
     b.Evaluator.objective
 
+(* Regression: an artifact whose objective came back NaN (degenerate metric)
+   must rank strictly below every real-valued artifact — feasible or not —
+   and must never displace an incumbent through the running-best fold. *)
+let test_compare_artifacts_nan_ranks_last () =
+  let platform = Platform.taurus () in
+  let spec = blob_spec () in
+  let config =
+    Bo.Config.make
+      [ ("max_depth", Bo.Param.Int_value 5); ("min_samples_leaf", Bo.Param.Int_value 2) ]
+  in
+  let real = Evaluator.evaluate (Rng.create 8) platform spec Model_spec.Tree config in
+  let nan_artifact = { real with Evaluator.objective = Float.nan } in
+  Alcotest.(check bool) "real beats NaN" true
+    (Evaluator.compare_artifacts real nan_artifact < 0);
+  Alcotest.(check bool) "NaN loses to real" true
+    (Evaluator.compare_artifacts nan_artifact real > 0);
+  Alcotest.(check int) "NaN ties itself" 0
+    (Evaluator.compare_artifacts nan_artifact nan_artifact);
+  (* The fold the parallel search uses for its running best. *)
+  (match Evaluator.better_artifact (Some real) nan_artifact with
+  | Some kept ->
+      Alcotest.(check bool) "incumbent survives NaN challenger" true
+        (Int64.bits_of_float kept.Evaluator.objective
+        = Int64.bits_of_float real.Evaluator.objective)
+  | None -> Alcotest.fail "fold dropped the incumbent");
+  (match Evaluator.better_artifact (Some nan_artifact) real with
+  | Some kept ->
+      Alcotest.(check bool) "real displaces NaN incumbent" true
+        (not (Float.is_nan kept.Evaluator.objective))
+  | None -> Alcotest.fail "fold dropped both")
+
 let test_report_rendering () =
   let r =
     Compiler.search_model ~options:tiny_options (Platform.taurus ())
@@ -436,6 +467,8 @@ let suite =
     Alcotest.test_case "generate no fusion" `Quick test_generate_without_fusion_keeps_two;
     Alcotest.test_case "emit code dispatch" `Quick test_emit_code_dispatch;
     Alcotest.test_case "tradeoff pareto front" `Quick test_search_tradeoff_front;
+    Alcotest.test_case "compare_artifacts NaN ranks last" `Quick
+      test_compare_artifacts_nan_ranks_last;
     Alcotest.test_case "evaluator deterministic" `Quick
       test_evaluator_deterministic_per_config;
     Alcotest.test_case "report rendering" `Quick test_report_rendering;

@@ -40,6 +40,28 @@ let test_parse_unicode_escape () =
   Alcotest.(check bool) "ascii escape" true
     (Json.of_string {| "A" |} = Json.String "A")
 
+let test_non_finite_numbers () =
+  Alcotest.(check string) "nan prints" "NaN" (Json.to_string (Json.Number Float.nan));
+  Alcotest.(check string) "inf prints" "Infinity"
+    (Json.to_string (Json.Number Float.infinity));
+  Alcotest.(check string) "-inf prints" "-Infinity"
+    (Json.to_string (Json.Number Float.neg_infinity));
+  Alcotest.(check bool) "nan parses" true
+    (match Json.of_string "NaN" with
+    | Json.Number v -> Float.is_nan v
+    | _ -> false);
+  Alcotest.(check bool) "inf parses" true
+    (Json.of_string "Infinity" = Json.Number Float.infinity);
+  Alcotest.(check bool) "-inf parses" true
+    (Json.of_string "-Infinity" = Json.Number Float.neg_infinity);
+  (* Inside containers, where the journal and lib/check artifacts put them. *)
+  let doc = Json.Object [ ("loss", Json.Number Float.nan);
+                          ("lat", Json.Number Float.infinity) ] in
+  Alcotest.(check bool) "object roundtrip" true (Json.equal doc (roundtrip doc));
+  (* "-Infinity" must not break ordinary negative numbers. *)
+  Alcotest.(check bool) "negative number still parses" true
+    (Json.of_string "[-1, -2.5]" = Json.List [ Json.Number (-1.); Json.Number (-2.5) ])
+
 let test_parse_errors () =
   let fails s =
     match Json.of_string s with
@@ -114,6 +136,27 @@ let prop_compact_roundtrip =
   QCheck.Test.make ~name:"compact print/parse roundtrip" ~count:300
     (QCheck.make json_gen)
     (fun doc -> Json.equal doc (Json.of_string (Json.to_string ~pretty:false doc)))
+
+(* Any float — finite, subnormal, or non-finite — must survive a print/parse
+   cycle exactly; this is what lets the search journal record diverged
+   (NaN-loss) evaluations. *)
+let float_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.float;
+      QCheck.Gen.oneofl
+        [ Float.nan; Float.infinity; Float.neg_infinity; 0.; -0.;
+          Float.min_float; Float.max_float; 1e-310 (* subnormal *) ];
+    ]
+
+let prop_number_roundtrip =
+  QCheck.Test.make ~name:"number roundtrip incl. non-finite" ~count:500
+    (QCheck.make float_gen) (fun v ->
+      match roundtrip (Json.Number v) with
+      | Json.Number back ->
+          (* identical bits up to NaN payload: Float.equal is nan-reflexive *)
+          Float.equal back v
+      | _ -> false)
 
 (* Serialize: HyperMapper schema *)
 
@@ -196,11 +239,13 @@ let suite =
     Alcotest.test_case "parse basics" `Quick test_parse_basics;
     Alcotest.test_case "parse nested" `Quick test_parse_nested;
     Alcotest.test_case "parse unicode" `Quick test_parse_unicode_escape;
+    Alcotest.test_case "non-finite numbers" `Quick test_non_finite_numbers;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "accessors" `Quick test_accessors;
     Alcotest.test_case "object equality" `Quick test_equal_object_order;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_compact_roundtrip;
+    QCheck_alcotest.to_alcotest prop_number_roundtrip;
     Alcotest.test_case "scenario shape" `Quick test_scenario_shape;
     Alcotest.test_case "space roundtrip" `Quick test_space_roundtrip;
     Alcotest.test_case "space textual roundtrip" `Quick test_space_roundtrip_through_text;

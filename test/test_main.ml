@@ -37,6 +37,7 @@ let suites =
     ("end_to_end", Test_end_to_end.suite);
     ("alchemy", Test_alchemy.suite);
     ("core", Test_core.suite);
+    ("resilience", Test_resilience.suite);
     ("serve", Test_serve.suite);
   ]
 

@@ -116,6 +116,43 @@ let test_shutdown_idempotent_and_sequential_after () =
 let test_recommended_jobs_positive () =
   Alcotest.(check bool) "positive" true (Par.recommended_jobs () >= 1)
 
+(* Property: for any set of failing indices and any (jobs, chunk) split, the
+   exception that escapes the region is the one from the LOWEST failing
+   index, and every result slot a surviving task wrote holds exactly its own
+   value — a failure elsewhere in the region never corrupts neighbors. *)
+let prop_exception_semantics =
+  QCheck.Test.make ~count:100 ~name:"par exception semantics"
+    QCheck.(
+      triple
+        (int_range 1 40 (* array size *))
+        (pair (int_range 1 6) (int_range 1 7) (* jobs, chunk *))
+        (small_list (int_range 0 39) (* failing indices, possibly empty *)))
+    (fun (n, (jobs, chunk), fail_at) ->
+      let fail_at = List.filter (fun i -> i < n) fail_at in
+      with_pool jobs (fun pool ->
+          let written = Array.make n (-1) in
+          let run () =
+            Par.parallel_map ~pool ~chunk
+              (fun i ->
+                if List.mem i fail_at then raise (Boom i)
+                else begin
+                  written.(i) <- 2 * i;
+                  2 * i
+                end)
+              (Array.init n (fun i -> i))
+          in
+          match run () with
+          | out ->
+              fail_at = []
+              && Array.for_all (fun x -> x) (Array.mapi (fun i v -> v = 2 * i) out)
+          | exception Boom i ->
+              let lowest = List.fold_left min (List.hd fail_at) fail_at in
+              i = lowest
+              && Array.for_all (fun x -> x)
+                   (Array.mapi
+                      (fun j v -> v = 2 * j || v = -1 || List.mem j fail_at)
+                      written)))
+
 let suite =
   [
     Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
@@ -132,4 +169,5 @@ let suite =
     Alcotest.test_case "shutdown idempotent" `Quick
       test_shutdown_idempotent_and_sequential_after;
     Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs_positive;
+    QCheck_alcotest.to_alcotest prop_exception_semantics;
   ]

@@ -1,0 +1,523 @@
+(* Fault-injection harness for the resilience layer: journal round-trips and
+   corruption tolerance, supervisor failure classification, fault-injected
+   searches that complete with tagged history entries, and the headline
+   guarantee — kill-at-any-record resume reproduces the uninterrupted
+   search bit-for-bit, at one worker and at several. *)
+open Homunculus_alchemy
+open Homunculus_core
+module Bo = Homunculus_bo
+module Rng = Homunculus_util.Rng
+module Par = Homunculus_par.Par
+module Faultplan = Homunculus_resilience.Faultplan
+module Journal = Homunculus_resilience.Journal
+module Supervisor = Homunculus_resilience.Supervisor
+
+let temp_journal () = Filename.temp_file "homunculus_journal" ".jsonl"
+
+let some_config =
+  Bo.Config.make
+    [
+      ("alpha", Bo.Param.Real_value 0.125);
+      ("depth", Bo.Param.Int_value 7);
+      ("kind", Bo.Param.Index_value 2);
+    ]
+
+let other_config =
+  Bo.Config.make
+    [ ("alpha", Bo.Param.Real_value 3.5); ("depth", Bo.Param.Int_value 2) ]
+
+(* Faultplan *)
+
+let test_faultplan_roundtrip () =
+  let text = "raise@3,raise@4:1,nan@5:2,timeout@7,infeasible@2,kill@4" in
+  let plan = Faultplan.of_string text in
+  Alcotest.(check string) "round trip" text (Faultplan.to_string plan);
+  Alcotest.(check int) "five faults parsed" 6 (List.length (Faultplan.faults plan));
+  Alcotest.(check bool) "empty plan" true
+    (Faultplan.faults (Faultplan.of_string "") = []);
+  Alcotest.check_raises "malformed" (Invalid_argument
+    "Faultplan.of_string: \"raise\" (expected raise@K[:N], nan@K:E, \
+     timeout@K, infeasible@K[:OBJ[:pruned]], or kill@N)")
+    (fun () -> ignore (Faultplan.of_string "raise"))
+
+let test_faultplan_queries () =
+  let plan = Faultplan.of_string "raise@1:1,nan@2:3,timeout@4,kill@5" in
+  (* raise@1:1 fires on attempt 0 only. *)
+  Faultplan.check_raise plan ~index:0 ~attempt:0;
+  Alcotest.check_raises "raises on first attempt"
+    (Faultplan.Injected "injected failure for candidate 1 (attempt 0)")
+    (fun () -> Faultplan.check_raise plan ~index:1 ~attempt:0);
+  Faultplan.check_raise plan ~index:1 ~attempt:1;
+  Alcotest.(check (option int)) "nan epoch" (Some 3)
+    (Faultplan.nan_epoch_at plan ~index:2);
+  Alcotest.(check (option int)) "no nan" None
+    (Faultplan.nan_epoch_at plan ~index:3);
+  Alcotest.(check bool) "timeout" true (Faultplan.timeout_at plan ~index:4);
+  Faultplan.check_kill plan ~records:4;
+  Alcotest.check_raises "kill at threshold" (Faultplan.Killed 5) (fun () ->
+      Faultplan.check_kill plan ~records:5)
+
+(* Journal *)
+
+let sample_records =
+  [
+    {
+      Journal.scope = "blobs/tree";
+      index = 0;
+      config = some_config;
+      objective = 0.875;
+      feasible = true;
+      pruned = false;
+      metadata = [ ("latency_ns", 350.); ("params", 42.) ];
+      failure = None;
+    };
+    {
+      Journal.scope = "blobs/tree";
+      index = 1;
+      config = other_config;
+      objective = Float.nan;
+      feasible = false;
+      pruned = true;
+      metadata = [ ("failure", 1.) ];
+      failure =
+        Some
+          {
+            Journal.failure_class = "divergence";
+            message = "training diverged at epoch 3";
+            retries = 0;
+          };
+    };
+  ]
+
+let record_equal (a : Journal.record) (b : Journal.record) =
+  a.Journal.scope = b.Journal.scope
+  && a.index = b.index
+  && Bo.Config.equal a.config b.config
+  && Int64.bits_of_float a.objective = Int64.bits_of_float b.objective
+  && a.feasible = b.feasible && a.pruned = b.pruned
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) ->
+         k1 = k2 && Int64.bits_of_float v1 = Int64.bits_of_float v2)
+       a.metadata b.metadata
+  && a.failure = b.failure
+
+let test_journal_roundtrip () =
+  let path = temp_journal () in
+  let j = Journal.open_ path in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int) "append count" (i + 1) (Journal.append j r))
+    sample_records;
+  Journal.close j;
+  let replay = Journal.load path in
+  Alcotest.(check int) "all lines valid" 2 (Journal.loaded replay);
+  Alcotest.(check int) "none dropped" 0 (Journal.dropped replay);
+  List.iter
+    (fun r ->
+      match
+        Journal.find replay ~scope:r.Journal.scope ~config:r.Journal.config
+      with
+      | None -> Alcotest.fail "record not found on replay"
+      | Some found ->
+          Alcotest.(check bool)
+            "record round-trips (NaN objective included)" true
+            (record_equal r found))
+    sample_records;
+  Sys.remove path
+
+let test_journal_corruption_tolerance () =
+  let path = temp_journal () in
+  let j = Journal.open_ path in
+  List.iter (fun r -> ignore (Journal.append j r)) sample_records;
+  Journal.close j;
+  let valid = In_channel.with_open_text path In_channel.input_all in
+  (* A bit-flipped middle line, a garbage line, and a truncated final line:
+     exactly what a crash mid-append or disk corruption leaves behind. *)
+  let some_line = List.nth (String.split_on_char '\n' valid) 0 in
+  let flipped = Bytes.of_string some_line in
+  Bytes.set flipped (String.length some_line / 2)
+    (if Bytes.get flipped (String.length some_line / 2) = 'x' then 'y' else 'x');
+  Out_channel.with_open_gen
+    [ Open_append; Open_text ] 0o644 path
+    (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string flipped ^ "\n");
+      Out_channel.output_string oc "not json at all\n";
+      Out_channel.output_string oc
+        (String.sub some_line 0 (String.length some_line - 11)));
+  let replay = Journal.load path in
+  Alcotest.(check int) "valid records survive" 2 (Journal.loaded replay);
+  Alcotest.(check int) "three bad lines dropped" 3 (Journal.dropped replay);
+  Alcotest.(check bool) "good record still found" true
+    (Journal.find replay ~scope:"blobs/tree" ~config:some_config <> None);
+  Sys.remove path
+
+let test_journal_later_record_wins () =
+  let path = temp_journal () in
+  let j = Journal.open_ path in
+  let base = List.hd sample_records in
+  ignore (Journal.append j base);
+  ignore (Journal.append j { base with Journal.objective = 0.5 });
+  Journal.close j;
+  let replay = Journal.load path in
+  (match Journal.find replay ~scope:base.Journal.scope ~config:base.Journal.config with
+  | Some r -> Alcotest.(check (float 0.)) "superseded" 0.5 r.Journal.objective
+  | None -> Alcotest.fail "record missing");
+  Sys.remove path
+
+(* Supervisor unit behavior *)
+
+let ok_eval : Bo.Optimizer.evaluation =
+  { objective = 0.9; feasible = true; pruned = false; metadata = [] }
+
+let test_supervisor_transient_retry () =
+  let faults = Faultplan.of_string "raise@0:1" in
+  let sup = Supervisor.create ~faults () in
+  let attempts = ref 0 in
+  let eval =
+    Supervisor.supervise sup ~scope:"s" ~index:0 ~config:some_config
+      (fun ctx ->
+        incr attempts;
+        (* Attempt 0 raised before the thunk ran; this is the retry. *)
+        Alcotest.(check int) "attempt number" 1 ctx.Supervisor.attempt;
+        ok_eval)
+  in
+  Alcotest.(check int) "one successful attempt" 1 !attempts;
+  Alcotest.(check bool) "success returned" true (eval = ok_eval);
+  Alcotest.(check int) "no terminal failure" 0 (Supervisor.failure_count sup)
+
+let test_supervisor_hard_failure_tagged () =
+  let faults = Faultplan.of_string "raise@0" in
+  let sup = Supervisor.create ~faults () in
+  let eval =
+    Supervisor.supervise sup ~scope:"s" ~index:0 ~config:some_config
+      (fun _ -> Alcotest.fail "thunk must not run")
+  in
+  Alcotest.(check bool) "infeasible" false eval.Bo.Optimizer.feasible;
+  Alcotest.(check (float 0.)) "objective zero" 0. eval.Bo.Optimizer.objective;
+  Alcotest.(check (option (float 0.))) "backend class"
+    (Some (Supervisor.class_code Supervisor.Backend))
+    (List.assoc_opt Supervisor.failure_key eval.Bo.Optimizer.metadata);
+  Alcotest.(check (option (float 0.))) "one retry burned" (Some 1.)
+    (List.assoc_opt Supervisor.retries_key eval.Bo.Optimizer.metadata);
+  Alcotest.(check int) "counted" 1 (Supervisor.failure_count sup)
+
+let test_supervisor_divergence_partial_metric () =
+  let faults = Faultplan.of_string "nan@0:2" in
+  let sup = Supervisor.create ~faults () in
+  let eval =
+    Supervisor.supervise sup ~scope:"s" ~index:0 ~config:some_config
+      (fun ctx ->
+        (* Epoch 1 trains fine and reports a metric; epoch 2's loss reads
+           as NaN through the fault and aborts. *)
+        Supervisor.epoch_guard ctx ~epoch:1 ~loss:0.8 ~metric:(Some 0.62);
+        Supervisor.epoch_guard ctx ~epoch:2 ~loss:0.4 ~metric:(Some 0.70);
+        Alcotest.fail "training must have aborted")
+  in
+  Alcotest.(check bool) "infeasible" false eval.Bo.Optimizer.feasible;
+  Alcotest.(check bool) "pruned (partial budget)" true eval.Bo.Optimizer.pruned;
+  (* Metric recorded at epoch 2 before the loss check, so the partial
+     observation is the freshest finite one. *)
+  Alcotest.(check (float 0.)) "last finite metric kept" 0.70
+    eval.Bo.Optimizer.objective;
+  Alcotest.(check (option (float 0.))) "divergence class"
+    (Some (Supervisor.class_code Supervisor.Divergence))
+    (List.assoc_opt Supervisor.failure_key eval.Bo.Optimizer.metadata);
+  Alcotest.(check int) "no retry for divergence" 1 (Supervisor.failure_count sup)
+
+let test_supervisor_real_nan_loss () =
+  let sup = Supervisor.create () in
+  let eval =
+    Supervisor.supervise sup ~scope:"s" ~index:3 ~config:some_config
+      (fun ctx ->
+        Supervisor.epoch_guard ctx ~epoch:1 ~loss:Float.nan ~metric:None;
+        Alcotest.fail "must abort on NaN loss")
+  in
+  Alcotest.(check (float 0.)) "no metric seen: objective 0" 0.
+    eval.Bo.Optimizer.objective;
+  Alcotest.(check bool) "infeasible" false eval.Bo.Optimizer.feasible
+
+let test_supervisor_timeout () =
+  let faults = Faultplan.of_string "timeout@0" in
+  let sup = Supervisor.create ~faults () in
+  let eval =
+    Supervisor.supervise sup ~scope:"s" ~index:0 ~config:some_config
+      (fun _ -> Alcotest.fail "thunk must not run")
+  in
+  Alcotest.(check (option (float 0.))) "budget class"
+    (Some (Supervisor.class_code Supervisor.Budget))
+    (List.assoc_opt Supervisor.failure_key eval.Bo.Optimizer.metadata);
+  (* The deadline path in the guard: a context whose deadline already passed
+     raises on the next epoch. *)
+  let ctx =
+    {
+      Supervisor.attempt = 0;
+      started = 0.;
+      deadline = Some (-1.);
+      nan_epoch = None;
+      last_metric = None;
+    }
+  in
+  (match Supervisor.epoch_guard ctx ~epoch:1 ~loss:0.5 ~metric:None with
+  | () -> Alcotest.fail "expired deadline must raise"
+  | exception Supervisor.Timed_out _ -> ())
+
+let test_supervisor_replay_skips_execution () =
+  let path = temp_journal () in
+  let j = Journal.open_ path in
+  ignore (Journal.append j (List.hd sample_records));
+  Journal.close j;
+  let replay = Journal.load path in
+  let sup = Supervisor.create ~replay () in
+  let eval =
+    Supervisor.supervise sup ~scope:"blobs/tree" ~index:0 ~config:some_config
+      (fun _ -> Alcotest.fail "replay hit must not re-run")
+  in
+  Alcotest.(check (float 0.)) "recorded objective" 0.875
+    eval.Bo.Optimizer.objective;
+  Alcotest.(check int) "counted as replayed" 1 (Supervisor.replayed_count sup);
+  Sys.remove path
+
+(* Search-level fault injection. Tree-only searches keep the runtime down;
+   the DNN variant below exercises the divergence path end to end. *)
+
+let tree_spec () = Test_core.blob_spec ~name:"rblobs" ~algorithms:[ Model_spec.Tree ] ()
+let dnn_spec () = Test_core.blob_spec ~name:"rdnn" ~algorithms:[ Model_spec.Dnn ] ()
+
+let search_options ?supervisor ~seed () =
+  {
+    Test_core.tiny_options with
+    Compiler.seed;
+    supervisor;
+    bo_settings =
+      {
+        Test_core.tiny_options.Compiler.bo_settings with
+        Bo.Optimizer.n_iter = 4;
+        batch_size = 2;
+      };
+  }
+
+let run_search ?supervisor ?(spec = tree_spec ()) ?(platform = Platform.tofino ())
+    ~seed () =
+  let options = search_options ?supervisor ~seed () in
+  Compiler.search_model ~options platform spec
+
+let entry_exactly_equal (a : Bo.History.entry) (b : Bo.History.entry) =
+  a.Bo.History.iteration = b.Bo.History.iteration
+  && Bo.Config.equal a.config b.config
+  && Int64.bits_of_float a.objective = Int64.bits_of_float b.objective
+  && a.feasible = b.feasible && a.pruned = b.pruned
+  && List.length a.metadata = List.length b.metadata
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) ->
+         k1 = k2 && Int64.bits_of_float v1 = Int64.bits_of_float v2)
+       a.metadata b.metadata
+
+let histories_identical a b =
+  List.length (Bo.History.entries a) = List.length (Bo.History.entries b)
+  && List.for_all2 entry_exactly_equal (Bo.History.entries a)
+       (Bo.History.entries b)
+
+(* An injected exception leaves the search completing, the victim tagged in
+   the history, and the winner identical to a run where that candidate was
+   merely infeasible (the failure contributes the same (x, 0, infeasible)
+   observation to the surrogate either way). *)
+let test_search_with_injected_raise () =
+  let faulty =
+    Supervisor.create ~faults:(Faultplan.of_string "raise@2") ()
+  in
+  let r = run_search ~supervisor:faulty ~seed:11 () in
+  Alcotest.(check int) "search completed all 7 evaluations" 7
+    (Bo.History.length r.Compiler.history);
+  let victim = List.nth (Bo.History.entries r.Compiler.history) 2 in
+  Alcotest.(check bool) "victim infeasible" false victim.Bo.History.feasible;
+  Alcotest.(check (option (float 0.))) "victim tagged backend"
+    (Some (Supervisor.class_code Supervisor.Backend))
+    (List.assoc_opt Supervisor.failure_key victim.Bo.History.metadata);
+  let control =
+    Supervisor.create
+      ~faults:(Faultplan.create [ Faultplan.Infeasible_on { index = 2; objective = 0.; pruned = false } ])
+      ()
+  in
+  let c = run_search ~supervisor:control ~seed:11 () in
+  Alcotest.(check bool) "winner matches merely-infeasible run" true
+    (Bo.Config.equal r.Compiler.artifact.Evaluator.config
+       c.Compiler.artifact.Evaluator.config);
+  Alcotest.(check bool) "winner objective bit-equal" true
+    (Int64.bits_of_float r.Compiler.artifact.Evaluator.objective
+    = Int64.bits_of_float c.Compiler.artifact.Evaluator.objective)
+
+let test_search_with_injected_timeout () =
+  let faulty =
+    Supervisor.create ~faults:(Faultplan.of_string "timeout@1") ()
+  in
+  let r = run_search ~supervisor:faulty ~seed:5 () in
+  Alcotest.(check int) "search completed" 7 (Bo.History.length r.Compiler.history);
+  let victim = List.nth (Bo.History.entries r.Compiler.history) 1 in
+  Alcotest.(check (option (float 0.))) "victim tagged budget"
+    (Some (Supervisor.class_code Supervisor.Budget))
+    (List.assoc_opt Supervisor.failure_key victim.Bo.History.metadata);
+  let control =
+    Supervisor.create
+      ~faults:(Faultplan.create [ Faultplan.Infeasible_on { index = 1; objective = 0.; pruned = false } ])
+      ()
+  in
+  let c = run_search ~supervisor:control ~seed:5 () in
+  Alcotest.(check bool) "winner matches merely-infeasible run" true
+    (Bo.Config.equal r.Compiler.artifact.Evaluator.config
+       c.Compiler.artifact.Evaluator.config)
+
+(* NaN divergence on a real DNN training run: the loss fault aborts epoch 1,
+   the entry lands infeasible + pruned with the divergence tag, and the
+   search still finds the same winner as a run where that candidate was
+   infeasible with the same partial observation. *)
+let test_search_with_injected_nan_loss () =
+  let faulty =
+    Supervisor.create ~faults:(Faultplan.of_string "nan@2:1") ()
+  in
+  let r =
+    run_search ~supervisor:faulty ~spec:(dnn_spec ())
+      ~platform:(Platform.taurus ()) ~seed:3 ()
+  in
+  Alcotest.(check int) "search completed" 7 (Bo.History.length r.Compiler.history);
+  let victim = List.nth (Bo.History.entries r.Compiler.history) 2 in
+  Alcotest.(check bool) "victim infeasible" false victim.Bo.History.feasible;
+  Alcotest.(check bool) "victim pruned (partial)" true victim.Bo.History.pruned;
+  Alcotest.(check (option (float 0.))) "victim tagged divergence"
+    (Some (Supervisor.class_code Supervisor.Divergence))
+    (List.assoc_opt Supervisor.failure_key victim.Bo.History.metadata);
+  let control =
+    Supervisor.create
+      ~faults:
+        (Faultplan.create
+           [
+             Faultplan.Infeasible_on
+               {
+                 index = 2;
+                 objective = victim.Bo.History.objective;
+                 pruned = true;
+               };
+           ])
+      ()
+  in
+  let c =
+    run_search ~supervisor:control ~spec:(dnn_spec ())
+      ~platform:(Platform.taurus ()) ~seed:3 ()
+  in
+  Alcotest.(check bool) "winner matches merely-infeasible run" true
+    (Bo.Config.equal r.Compiler.artifact.Evaluator.config
+       c.Compiler.artifact.Evaluator.config)
+
+(* The headline guarantee: kill the search after EVERY possible journal
+   record count, resume from the journal, and require the resumed history
+   and winner to be bit-for-bit the uninterrupted run's — at one worker and
+   at several (batch_size stays fixed; only scheduling changes). *)
+let test_kill_and_resume_deterministic () =
+  let total = 7 in
+  let with_jobs jobs body =
+    Par.set_default_jobs jobs;
+    Fun.protect ~finally:(fun () -> Par.set_default_jobs (Par.recommended_jobs ())) body
+  in
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let reference = run_search ~supervisor:(Supervisor.create ()) ~seed:11 () in
+          for kill_at = 1 to total do
+            let path = temp_journal () in
+            (* First incarnation: journaled, crashes once the journal holds
+               [kill_at] records. *)
+            let j = Journal.open_ path in
+            (match
+               run_search
+                 ~supervisor:
+                   (Supervisor.create ~journal:j
+                      ~faults:(Faultplan.create [ Faultplan.Kill_after { records = kill_at } ])
+                      ())
+                 ~seed:11 ()
+             with
+            | (_ : Compiler.model_result) ->
+                Alcotest.failf "kill@%d: search survived its own crash" kill_at
+            | exception Faultplan.Killed _ -> ());
+            Journal.close j;
+            (* Second incarnation: replay the journal, run to completion. *)
+            let j2 = Journal.open_ path in
+            let replay = Journal.load path in
+            Alcotest.(check bool)
+              (Printf.sprintf "kill@%d: journal has >= %d records" kill_at kill_at)
+              true
+              (Journal.loaded replay >= kill_at);
+            let sup = Supervisor.create ~journal:j2 ~replay () in
+            let resumed = run_search ~supervisor:sup ~seed:11 () in
+            Journal.close j2;
+            Alcotest.(check bool)
+              (Printf.sprintf "kill@%d jobs=%d: history bit-identical" kill_at jobs)
+              true
+              (histories_identical reference.Compiler.history
+                 resumed.Compiler.history);
+            Alcotest.(check bool)
+              (Printf.sprintf "kill@%d jobs=%d: same winner" kill_at jobs)
+              true
+              (Bo.Config.equal reference.Compiler.artifact.Evaluator.config
+                 resumed.Compiler.artifact.Evaluator.config);
+            Alcotest.(check bool)
+              (Printf.sprintf "kill@%d jobs=%d: winner objective bit-equal"
+                 kill_at jobs)
+              true
+              (Int64.bits_of_float reference.Compiler.artifact.Evaluator.objective
+              = Int64.bits_of_float resumed.Compiler.artifact.Evaluator.objective);
+            Sys.remove path
+          done))
+    [ 1; 4 ]
+
+(* A journaled run with an injected hard failure must resume losslessly too:
+   the failure record replays (no second round of retries) and the resumed
+   history keeps the failure tag. *)
+let test_resume_preserves_failure_records () =
+  let path = temp_journal () in
+  let j = Journal.open_ path in
+  let first =
+    run_search
+      ~supervisor:
+        (Supervisor.create ~journal:j ~faults:(Faultplan.of_string "raise@2") ())
+      ~seed:11 ()
+  in
+  Journal.close j;
+  let replay = Journal.load path in
+  let sup = Supervisor.create ~replay () in
+  let resumed = run_search ~supervisor:sup ~seed:11 () in
+  Alcotest.(check int) "everything replayed" 7 (Supervisor.replayed_count sup);
+  Alcotest.(check int) "no re-executed failures" 0 (Supervisor.failure_count sup);
+  Alcotest.(check bool) "histories identical incl. failure tags" true
+    (histories_identical first.Compiler.history resumed.Compiler.history);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "faultplan round trip" `Quick test_faultplan_roundtrip;
+    Alcotest.test_case "faultplan queries" `Quick test_faultplan_queries;
+    Alcotest.test_case "journal round trip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal corruption tolerance" `Quick
+      test_journal_corruption_tolerance;
+    Alcotest.test_case "journal later record wins" `Quick
+      test_journal_later_record_wins;
+    Alcotest.test_case "supervisor transient retry" `Quick
+      test_supervisor_transient_retry;
+    Alcotest.test_case "supervisor hard failure tagged" `Quick
+      test_supervisor_hard_failure_tagged;
+    Alcotest.test_case "supervisor divergence partial metric" `Quick
+      test_supervisor_divergence_partial_metric;
+    Alcotest.test_case "supervisor real NaN loss" `Quick
+      test_supervisor_real_nan_loss;
+    Alcotest.test_case "supervisor timeout" `Quick test_supervisor_timeout;
+    Alcotest.test_case "supervisor replay skips execution" `Quick
+      test_supervisor_replay_skips_execution;
+    Alcotest.test_case "search completes despite injected raise" `Quick
+      test_search_with_injected_raise;
+    Alcotest.test_case "search completes despite injected timeout" `Quick
+      test_search_with_injected_timeout;
+    Alcotest.test_case "search completes despite injected NaN loss" `Slow
+      test_search_with_injected_nan_loss;
+    Alcotest.test_case "kill-at-every-record resume is deterministic" `Slow
+      test_kill_and_resume_deterministic;
+    Alcotest.test_case "resume preserves failure records" `Quick
+      test_resume_preserves_failure_records;
+  ]

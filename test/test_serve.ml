@@ -385,6 +385,22 @@ let test_report_jsonl_round_trips () =
   Alcotest.(check int) "summary windows" (List.length summary.Engine.windows)
     (List.length (Json.to_list (Json.member s "windows")))
 
+(* A challenger whose holdout F1 comes back NaN (degenerate holdout) must
+   never be promoted, and a NaN incumbent measurement must not hand the
+   challenger a free pass either. *)
+let test_updater_declines_nan_challenger () =
+  let accepts = Updater.accepts ~min_gain:0.02 in
+  Alcotest.(check bool) "NaN challenger declined" false
+    (accepts ~incumbent_f1:0.5 ~challenger_f1:Float.nan);
+  Alcotest.(check bool) "NaN incumbent declines" false
+    (accepts ~incumbent_f1:Float.nan ~challenger_f1:0.9);
+  Alcotest.(check bool) "both NaN declined" false
+    (accepts ~incumbent_f1:Float.nan ~challenger_f1:Float.nan);
+  Alcotest.(check bool) "clear margin accepted" true
+    (accepts ~incumbent_f1:0.5 ~challenger_f1:0.53);
+  Alcotest.(check bool) "inside margin declined" false
+    (accepts ~incumbent_f1:0.5 ~challenger_f1:0.51)
+
 let suite =
   [
     Alcotest.test_case "stream ordering/determinism" `Quick
@@ -400,6 +416,8 @@ let suite =
     Alcotest.test_case "updater reservoir" `Quick test_updater_reservoir_bounded;
     Alcotest.test_case "updater declines small buffer" `Quick
       test_updater_declines_small_buffer;
+    Alcotest.test_case "updater declines NaN challenger" `Quick
+      test_updater_declines_nan_challenger;
     Alcotest.test_case "engine queue drops" `Quick test_engine_queue_overflow_drops;
     Alcotest.test_case "engine quantized mode" `Quick
       test_engine_quantized_agrees_with_reference;

@@ -155,7 +155,8 @@ let test_on_epoch_stop_accounting () =
   let config = { Train.default_config with Train.epochs = 10; patience = None } in
   let h =
     Train.fit (Rng.create 2) model config data
-      ~on_epoch:(fun ~epoch ~metric:_ -> if epoch = 3 then `Stop else `Continue)
+      ~on_epoch:(fun ~epoch ~loss:_ ~metric:_ ->
+        if epoch = 3 then `Stop else `Continue)
   in
   Alcotest.(check int) "stopped at the rung epoch" 3 h.Train.epochs_run
 
