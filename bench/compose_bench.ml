@@ -1,0 +1,242 @@
+(* Multi-tenant composition: N guarded models lowered onto ONE shared data
+   plane (the lib/policy subsystem, ROADMAP item 3).
+
+   The co-residency scenario: an anomaly detector steered at high-fanout /
+   SYN-error traffic plus an IoT traffic classifier steered at sub-MTU
+   frames, composed in parallel onto a single Tofino pipeline. Reported:
+
+   - per-tenant accuracy (each member searched under the shared-budget
+     platform slice),
+   - the sharing win: shared stages vs the sum of standalone stages,
+   - combined resource utilization and the line-rate feasibility verdict,
+   - the differential oracle (guard tables + shared projections vs the
+     per-tenant reference semantics) over a mixed-marginal corpus,
+   - graceful rejection of an over-subscribed three-tenant composition,
+     both stage-starved (Capacity_exceeded from the allocator) and
+     table-starved (infeasible combined verdict),
+   - the determinism contract: at a fixed batch size, recompiling with a
+     different worker count must reproduce the composition bit-for-bit.
+
+   Results land in BENCH_compose.json. *)
+
+module Bo = Homunculus_bo
+module Par = Homunculus_par.Par
+module Rng = Homunculus_util.Rng
+module Json = Homunculus_util.Json
+module Policy = Homunculus_policy.Policy
+module Pred = Homunculus_policy.Pred
+module Lower = Homunculus_policy.Lower
+module Compose_eval = Homunculus_check.Compose_eval
+module Resource = Homunculus_backends.Resource
+module Tofino = Homunculus_backends.Tofino
+module Nslkdd = Homunculus_netdata.Nslkdd
+module Iot = Homunculus_netdata.Iot
+module Dataset = Homunculus_ml.Dataset
+open Homunculus_alchemy
+open Homunculus_core
+
+(* Fresh (uncached) specs per compile so the determinism check re-trains
+   from scratch: MAT-mappable shortlists, bench-sized synthetic splits. *)
+let ad_spec () =
+  Model_spec.make ~name:"anomaly_detection" ~metric:Model_spec.F1
+    ~algorithms:[ Model_spec.Svm; Model_spec.Tree ]
+    ~loader:(fun () ->
+      let rng = Rng.create Bench_config.seed in
+      let train, test =
+        Nslkdd.generate_split rng ~n_train:Bench_config.ad_train
+          ~n_test:Bench_config.ad_test ()
+      in
+      Model_spec.data ~train ~test)
+    ()
+
+let tc_spec () =
+  Model_spec.make ~name:"traffic_classification" ~metric:Model_spec.F1
+    ~algorithms:[ Model_spec.Svm; Model_spec.Tree ]
+    ~loader:(fun () ->
+      let rng = Rng.create (Bench_config.seed + 1) in
+      let train, test =
+        Iot.generate_split rng ~n_train:Bench_config.tc_train
+          ~n_test:Bench_config.tc_test ()
+      in
+      Model_spec.data ~train ~test)
+    ()
+
+let ad_guard =
+  Pred.disj [ Pred.field_ge "host_count" 20.; Pred.field_ge "serror_rate" 0.1 ]
+
+let tc_guard = Pred.field_lt "frame_size" 1200.
+
+let policy () =
+  Policy.par
+    [
+      Policy.guard ad_guard (Policy.model (ad_spec ()));
+      Policy.guard tc_guard (Policy.model (tc_spec ()));
+    ]
+
+(* The determinism contract (PR3) holds at a fixed proposal batch size:
+   pin it to 4 and vary only the worker-domain count. *)
+let options ~jobs =
+  Par.set_default_jobs jobs;
+  {
+    Bench_config.search_options with
+    Compiler.bo_settings =
+      {
+        Bench_config.search_options.Compiler.bo_settings with
+        Bo.Optimizer.batch_size = 4;
+      };
+  }
+
+let compile ~jobs =
+  match Compiler.compile_policy ~options:(options ~jobs) (Platform.tofino ())
+          (policy ())
+  with
+  | Ok pr -> pr
+  | Error e -> failwith ("compose bench: " ^ Lower.error_to_string e)
+
+(* Over-subscription: the two searched tenants plus a clone of the second,
+   re-lowered (no re-search) onto starved devices. *)
+let overload_inputs (pr : Compiler.policy_result) =
+  let inputs =
+    List.map
+      (fun ((t : Policy.tenant), (m : Compiler.model_result)) ->
+        Lower.input_of_tenant t ~model:m.Compiler.artifact.Evaluator.model_ir)
+      pr.Compiler.tenant_models
+  in
+  match List.rev inputs with
+  | last :: _ ->
+      inputs @ [ { last with Lower.in_id = last.Lower.in_id ^ "_clone" } ]
+  | [] -> assert false
+
+let run () =
+  Bench_config.section "Composition: many models, one data plane";
+  let pr = compile ~jobs:1 in
+  let composed = pr.Compiler.composed in
+  Printf.printf "policy: %s\n" (Policy.to_string pr.Compiler.policy);
+  let tenant_json =
+    List.map
+      (fun ((t : Policy.tenant), (m : Compiler.model_result)) ->
+        let a = m.Compiler.artifact in
+        Printf.printf "  %-28s %-6s objective %.4f\n" t.Policy.id
+          (Model_spec.algorithm_to_string a.Evaluator.algorithm)
+          a.Evaluator.objective;
+        Json.Object
+          [
+            ("id", Json.String t.Policy.id);
+            ( "algorithm",
+              Json.String
+                (Model_spec.algorithm_to_string a.Evaluator.algorithm) );
+            ("objective", Json.Number a.Evaluator.objective);
+          ])
+      pr.Compiler.tenant_models
+  in
+  let device =
+    match composed.Lower.pipeline with
+    | Lower.Mat { device; _ } -> device
+    | Lower.Grid _ -> assert false (* tofino target *)
+  in
+  let shared = Lower.stages_used composed in
+  let standalone =
+    List.fold_left
+      (fun acc tn -> acc + Lower.standalone_stages device tn)
+      0 composed.Lower.tenants
+  in
+  Printf.printf "  shared stages %d vs standalone sum %d\n" shared standalone;
+  let usage_json =
+    List.map
+      (fun (u : Resource.usage) ->
+        Printf.printf "  %-8s %.0f / %.0f (%.1f%%)\n" u.Resource.resource
+          u.Resource.used u.Resource.available (Resource.percent u);
+        Json.Object
+          [
+            ("resource", Json.String u.Resource.resource);
+            ("used", Json.Number u.Resource.used);
+            ("available", Json.Number u.Resource.available);
+          ])
+      composed.Lower.verdict.Resource.usages
+  in
+  (* Differential oracle over mixed-marginal samples. *)
+  let n_samples = if Bench_config.fast then 256 else 512 in
+  let sources =
+    List.map
+      (fun ((t : Policy.tenant), _) ->
+        let data = Model_spec.load t.Policy.spec in
+        ( data.Model_spec.test.Dataset.feature_names,
+          data.Model_spec.test.Dataset.x ))
+      pr.Compiler.tenant_models
+  in
+  let vecs =
+    Compose_eval.corpus
+      (Rng.create (Bench_config.seed + 7))
+      ~features:composed.Lower.features ~n:n_samples sources
+  in
+  let violations = Compose_eval.check composed vecs in
+  Printf.printf "  oracle: %d samples, %d violations\n" n_samples
+    (List.length violations);
+  (* Over-subscription must reject, not crash. *)
+  let overload = overload_inputs pr in
+  let stage_starved =
+    let platform =
+      Platform.tofino ~device:{ Tofino.default_device with Tofino.n_stages = 4 } ()
+    in
+    match Lower.compose platform overload with
+    | Error (Lower.Allocation (Lower.Stage_alloc.Capacity_exceeded _)) ->
+        "capacity_exceeded"
+    | Error e -> "rejected: " ^ Lower.error_to_string e
+    | Ok t ->
+        if t.Lower.verdict.Resource.feasible then "ACCEPTED (bug)"
+        else "infeasible"
+  in
+  let table_starved =
+    match Lower.compose (Platform.with_tables (Platform.tofino ()) 16) overload with
+    | Error e -> "rejected: " ^ Lower.error_to_string e
+    | Ok t -> (
+        match t.Lower.verdict.Resource.rejection with
+        | Some _ when not t.Lower.verdict.Resource.feasible -> "infeasible"
+        | _ -> "ACCEPTED (bug)")
+  in
+  Printf.printf "  overload (3 tenants, 4 stages):  %s\n" stage_starved;
+  Printf.printf "  overload (3 tenants, 16 tables): %s\n" table_starved;
+  (* Determinism at any worker count. *)
+  let pr4 = compile ~jobs:4 in
+  let det =
+    String.equal (Lower.summary composed) (Lower.summary pr4.Compiler.composed)
+  in
+  Printf.printf "  deterministic at jobs 1 vs 4: %b\n" det;
+  let json =
+    Json.Object
+      [
+        ("bench", Json.String "compose");
+        ("fast", Json.Bool Bench_config.fast);
+        ("seed", Json.Number (float_of_int Bench_config.seed));
+        ("tenants", Json.List tenant_json);
+        ("shared_stages", Json.Number (float_of_int shared));
+        ("standalone_stage_sum", Json.Number (float_of_int standalone));
+        ("usages", Json.List usage_json);
+        ("feasible", Json.Bool composed.Lower.verdict.Resource.feasible);
+        ("latency_ns", Json.Number composed.Lower.verdict.Resource.latency_ns);
+        ( "throughput_gpps",
+          Json.Number composed.Lower.verdict.Resource.throughput_gpps );
+        ( "oracle",
+          Json.Object
+            [
+              ("samples", Json.Number (float_of_int n_samples));
+              ( "violations",
+                Json.Number (float_of_int (List.length violations)) );
+            ] );
+        ( "overload",
+          Json.Object
+            [
+              ("stage_starved", Json.String stage_starved);
+              ("table_starved", Json.String table_starved);
+            ] );
+        ("deterministic", Json.Bool det);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_compose.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string json);
+      Out_channel.output_char oc '\n');
+  Bench_config.note "  wrote BENCH_compose.json\n";
+  if violations <> [] then failwith "compose bench: oracle violations";
+  if not composed.Lower.verdict.Resource.feasible then
+    failwith "compose bench: composed pipeline infeasible at line rate";
+  if not det then failwith "compose bench: non-deterministic across --jobs"

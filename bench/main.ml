@@ -21,6 +21,7 @@ let experiments =
     ("ablation", Ablation.run);
     ("dse", Dse_bench.run);
     ("train", Train_bench.run);
+    ("compose", Compose_bench.run);
   ]
 
 let () =

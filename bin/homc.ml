@@ -3,6 +3,8 @@
    Subcommands:
      compile   search + train + map one built-in application to a target and
                dump the generated backend code
+     compose   search several guarded applications and lower them onto ONE
+               shared pipeline; differential oracle + combined feasibility
      inspect   print a platform's resource model
      datasets  summarize the synthetic dataset generators
      sweep     Fig. 7-style table-budget sweep for the KMeans classifier
@@ -257,6 +259,134 @@ let compile app target seed budget jobs prune journal_dir resume faults retries
         Printf.eprintf "search killed after %d journal records (simulated)\n%!"
           n;
         10)
+
+(* compose: many guarded models, one shared data plane *)
+
+module Policy = Homunculus_policy.Policy
+module Pred = Homunculus_policy.Pred
+module Lower = Homunculus_policy.Lower
+
+(* Compose members search with MAT-mappable shortlists: the point of the
+   subcommand is multi-tenant table/stage sharing, and a binarized DNN
+   would eat the whole budget slice on its own. *)
+let compose_spec_of_app app seed =
+  match app with
+  | "ad" ->
+      Model_spec.make ~name:"anomaly_detection" ~metric:Model_spec.F1
+        ~algorithms:[ Model_spec.Svm; Model_spec.Tree ]
+        ~loader:(fun () ->
+          let rng = Rng.create seed in
+          let train, test = Nslkdd.generate_split rng () in
+          Model_spec.data ~train ~test)
+        ()
+  | "tc" ->
+      Model_spec.make ~name:"traffic_classification" ~metric:Model_spec.F1
+        ~algorithms:[ Model_spec.Svm; Model_spec.Tree ]
+        ~loader:(fun () ->
+          let rng = Rng.create seed in
+          let train, test = Iot.generate_split rng () in
+          Model_spec.data ~train ~test)
+        ()
+  | "tc-kmeans" -> spec_of_app "tc-kmeans" seed
+  | other ->
+      failwith
+        (Printf.sprintf "unknown compose app %s (use ad|tc|tc-kmeans)" other)
+
+(* Default per-tenant steering guards, tuned to the synthetic generators so
+   each matches a meaningful slice of traffic: the AD tenant sees
+   high-fanout / SYN-error flows, the TC tenants see sub-MTU IoT frames. *)
+let compose_guard_of_app = function
+  | "ad" ->
+      Pred.disj
+        [ Pred.field_ge "host_count" 20.; Pred.field_ge "serror_rate" 0.1 ]
+  | "tc" -> Pred.field_lt "frame_size" 1200.
+  | "tc-kmeans" -> Pred.field_ge "payload_entropy" 5.
+  | _ -> Pred.True
+
+let compose apps target seed budget jobs prune samples output =
+  let apps = if apps = [] then [ "ad"; "tc" ] else apps in
+  let platform = platform_of_name target in
+  let specs = List.map (fun app -> (app, compose_spec_of_app app seed)) apps in
+  let policy =
+    Policy.par
+      (List.map
+         (fun (app, spec) ->
+           Policy.guard (compose_guard_of_app app) (Policy.model spec))
+         specs)
+  in
+  let options = options_of ~seed ~budget ~jobs ~prune in
+  Printf.printf "policy: %s\n" (Policy.to_string (Policy.normalize policy));
+  match Compiler.compile_policy ~options platform policy with
+  | Error e ->
+      Printf.printf "composition rejected: %s\n" (Lower.error_to_string e);
+      2
+  | Ok pr ->
+      let composed = pr.Compiler.composed in
+      List.iter
+        (fun ((t : Policy.tenant), (m : Compiler.model_result)) ->
+          Printf.printf "tenant %-28s %-6s objective %.4f\n" t.Policy.id
+            (Model_spec.algorithm_to_string m.Compiler.artifact.Evaluator.algorithm)
+            m.Compiler.artifact.Evaluator.objective)
+        pr.Compiler.tenant_models;
+      (match composed.Lower.pipeline with
+      | Lower.Mat { device; _ } ->
+          let standalone =
+            List.fold_left
+              (fun acc tn -> acc + Lower.standalone_stages device tn)
+              0 composed.Lower.tenants
+          in
+          Printf.printf "shared pipeline: %d stages (standalone sum %d)\n"
+            (Lower.stages_used composed) standalone
+      | Lower.Grid { cus; mus; pipeline_cycles; _ } ->
+          Printf.printf "shared grid: %d CUs, %d MUs, %d cycles\n" cus mus
+            pipeline_cycles);
+      let summary = Lower.summary composed in
+      (match output with
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc summary);
+          Printf.printf "wrote composition summary to %s\n" path
+      | None -> print_string summary);
+      (* Differential oracle: the data-plane semantics (guard tables +
+         shared projections) must bit-match the per-tenant reference on a
+         corpus mixing every tenant's test marginals. *)
+      let module Compose_eval = Homunculus_check.Compose_eval in
+      let sources =
+        List.map
+          (fun (_, spec) ->
+            let data = Model_spec.load spec in
+            ( data.Model_spec.test.Dataset.feature_names,
+              data.Model_spec.test.Dataset.x ))
+          specs
+      in
+      let vecs =
+        Compose_eval.corpus (Rng.create (seed + 1))
+          ~features:composed.Lower.features ~n:samples sources
+      in
+      let violations = Compose_eval.check composed vecs in
+      List.iter
+        (fun v ->
+          Printf.printf "VIOLATION %s\n" (Compose_eval.violation_to_string v))
+        violations;
+      if violations <> [] then begin
+        Printf.printf "differential oracle: %d violations on %d samples\n"
+          (List.length violations) samples;
+        1
+      end
+      else if not composed.Lower.verdict.Homunculus_backends.Resource.feasible
+      then begin
+        Printf.printf "composed pipeline INFEASIBLE: %s\n"
+          (Option.value ~default:"unknown"
+             composed.Lower.verdict.Homunculus_backends.Resource.rejection);
+        3
+      end
+      else begin
+        Printf.printf
+          "differential oracle: %d samples bit-identical; composition \
+           feasible at line rate\n"
+          samples;
+        0
+      end
 
 (* inspect *)
 
@@ -579,6 +709,29 @@ let compile_cmd =
       $ prune_arg $ journal_arg $ resume_arg $ faults_arg $ retries_arg
       $ eval_budget_arg $ output_arg)
 
+let compose_cmd =
+  let apps_arg =
+    let doc =
+      "Tenant applications to co-host (repeat positionally): ad, tc, \
+       tc-kmeans. Default: ad tc."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"APPS" ~doc)
+  in
+  let samples_arg =
+    let doc = "Samples for the composed-pipeline differential oracle." in
+    Arg.(value & opt int 256 & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Compose guarded tenant models into one shared data-plane pipeline. \
+     Exits 1 on a differential-oracle violation, 2 when the lowering \
+     rejects the composition, 3 when the composed pipeline is infeasible \
+     at the platform's performance target."
+  in
+  Cmd.v (Cmd.info "compose" ~doc)
+    Term.(
+      const compose $ apps_arg $ target_arg $ seed_arg $ budget_arg $ jobs_arg
+      $ prune_arg $ samples_arg $ output_arg)
+
 let inspect_cmd =
   let doc = "Print a target platform's resource model and capabilities." in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ target_arg)
@@ -702,8 +855,8 @@ let main_cmd =
   let doc = "Homunculus: auto-generating data-plane ML pipelines" in
   Cmd.group (Cmd.info "homc" ~version:"1.0.0" ~doc)
     [
-      compile_cmd; inspect_cmd; datasets_cmd; sweep_cmd; place_cmd;
-      simulate_cmd; export_trace_cmd; serve_cmd; check_cmd;
+      compile_cmd; compose_cmd; inspect_cmd; datasets_cmd; sweep_cmd;
+      place_cmd; simulate_cmd; export_trace_cmd; serve_cmd; check_cmd;
     ]
 
 let () =

@@ -14,8 +14,17 @@ let usage ~resource ~used ~available =
   if used < 0. then invalid_arg "Resource.usage: used < 0";
   { resource; used; available }
 
-let percent u = 100. *. u.used /. u.available
-let fits u = u.used <= u.available
+(* The smart constructor rejects [available <= 0.], but the record type is
+   public (device descriptions build usages literally), so a zero-capacity
+   usage can still reach these. Keep them total: an empty resource is 0%
+   utilized when unused and unconditionally over budget otherwise — never
+   inf/nan, which would poison percentage aggregation downstream. *)
+let percent u =
+  if u.available > 0. then 100. *. u.used /. u.available
+  else if u.used <= 0. then 0.
+  else Float.infinity
+
+let fits u = if u.available <= 0. then u.used <= 0. else u.used <= u.available
 let all_fit = List.for_all fits
 
 type verdict = {

@@ -20,10 +20,13 @@ type usage = { resource : string; used : float; available : float }
 
 val usage : resource:string -> used:float -> available:float -> usage
 val percent : usage -> float
-(** [100 * used / available]. *)
+(** [100 * used / available]. Total even though the record type admits
+    [available <= 0.] (the smart constructor rejects it, literal records
+    don't): a zero-capacity resource reads 0% when unused and [infinity] —
+    never nan — when anything was charged against it. *)
 
 val fits : usage -> bool
-(** [used <= available]. *)
+(** [used <= available]; a zero-capacity resource only fits when unused. *)
 
 val all_fit : usage list -> bool
 

@@ -23,6 +23,11 @@ val device_with_tables : int -> device
 (** [default_device] with a reduced/extended table budget (Fig. 7's K5..K1
     sweep uses 5..1). @raise Invalid_argument on non-positive counts. *)
 
+val tables_per_stage : int
+(** Parallel tables per physical stage (4, RMT-style) — shared with the
+    composition lowering so single-model estimates and multi-model packing
+    agree on stage arithmetic. *)
+
 val estimate :
   device -> Resource.perf -> Iisy.mapping -> Resource.verdict
 (** Usages carry "MAT" (tables), "entries" (largest table), and "stages"

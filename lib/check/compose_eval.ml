@@ -1,0 +1,108 @@
+module Lower = Homunculus_policy.Lower
+module Pred = Homunculus_policy.Pred
+module Inference = Homunculus_backends.Inference
+
+type decision = { tenant : string; cls : int option }
+
+let feature_index (t : Lower.t) =
+  let idx = Hashtbl.create 16 in
+  Array.iteri (fun i f -> Hashtbl.replace idx f i) t.Lower.features;
+  idx
+
+(* Run one sample through every tenant in order, with [matches] deciding
+   whether a tenant's guard fires given the atom lookup of the moment. *)
+let eval_sample (t : Lower.t) idx ~matches vec =
+  if Array.length vec < Array.length t.Lower.features then
+    invalid_arg "Compose_eval: vector narrower than the union schema";
+  let decided = Hashtbl.create 8 in
+  let lookup = function
+    | Pred.Field f -> (
+        match Hashtbl.find_opt idx f with
+        | Some i -> Some vec.(i)
+        | None -> None)
+    | Pred.Class u -> (
+        match Hashtbl.find_opt decided u with
+        | Some (Some c) -> Some (float_of_int c)
+        | Some None | None -> None)
+  in
+  List.map
+    (fun (tn : Lower.tenant) ->
+      let cls =
+        if matches tn ~lookup then begin
+          let projected = Array.map (fun j -> vec.(j)) tn.Lower.proj in
+          Some (Inference.predict tn.Lower.model projected)
+        end
+        else None
+      in
+      Hashtbl.replace decided tn.Lower.id cls;
+      { tenant = tn.Lower.id; cls })
+    t.Lower.tenants
+
+let reference t vecs =
+  let idx = feature_index t in
+  let matches (tn : Lower.tenant) ~lookup =
+    Pred.eval tn.Lower.pred ~lookup
+  in
+  Array.map (eval_sample t idx ~matches) vecs
+
+let decisions t vecs =
+  let idx = feature_index t in
+  let matches (tn : Lower.tenant) ~lookup =
+    match tn.Lower.clauses with
+    | None -> true
+    | Some cs -> List.exists (Pred.clause_matches ~lookup) cs
+  in
+  Array.map (eval_sample t idx ~matches) vecs
+
+type violation = {
+  sample : int;
+  v_tenant : string;
+  expected : int option;
+  got : int option;
+}
+
+let check t vecs =
+  let expected = reference t vecs and got = decisions t vecs in
+  let violations = ref [] in
+  Array.iteri
+    (fun i exp ->
+      List.iter2
+        (fun (e : decision) (g : decision) ->
+          if e.cls <> g.cls then
+            violations :=
+              { sample = i; v_tenant = e.tenant; expected = e.cls; got = g.cls }
+              :: !violations)
+        exp got.(i))
+    expected;
+  List.rev !violations
+
+module Rng = Homunculus_util.Rng
+
+let corpus rng ~features ~n sources =
+  if n <= 0 then invalid_arg "Compose_eval.corpus: n <= 0";
+  let idx = Hashtbl.create 16 in
+  Array.iteri (fun i f -> Hashtbl.replace idx f i) features;
+  let sources =
+    List.map
+      (fun (schema, rows) ->
+        if Array.length rows = 0 then
+          invalid_arg "Compose_eval.corpus: empty source";
+        (Array.map (Hashtbl.find_opt idx) schema, rows))
+      sources
+  in
+  Array.init n (fun _ ->
+      let vec = Array.make (Array.length features) 0. in
+      List.iter
+        (fun (slots, rows) ->
+          let row = rows.(Rng.int rng (Array.length rows)) in
+          Array.iteri
+            (fun j slot ->
+              match slot with Some i -> vec.(i) <- row.(j) | None -> ())
+            slots)
+        sources;
+      vec)
+
+let violation_to_string v =
+  let cls = function None -> "no-match" | Some c -> string_of_int c in
+  Printf.sprintf "sample %d tenant %s: reference=%s pipeline=%s" v.sample
+    v.v_tenant (cls v.expected) (cls v.got)

@@ -1,0 +1,57 @@
+(** Differential oracle for composed pipelines ({!Homunculus_policy.Lower}).
+
+    Two executable semantics of one composition:
+
+    - {!reference} — the specification: each tenant's guard is the predicate
+      itself ({!Homunculus_policy.Pred.eval}) and its model is the
+      standalone trained model applied to the tenant's own feature slice.
+    - {!decisions} — the data plane: each tenant's guard is its compiled
+      guard {e table} (DNF clause matching, exactly what the lowered
+      match-action entries hold) and its model reads the shared union
+      feature vector through the tenant's projection.
+
+    A composition is correct when the two bit-match on every sample: same
+    set of tenants fire, same class from each. {!check} reports every
+    disagreement; the [homc compose] CLI and the CI smoke job exit non-zero
+    on any violation. *)
+
+module Lower = Homunculus_policy.Lower
+
+type decision = {
+  tenant : string;
+  cls : int option;  (** [None] when the tenant's guard did not match *)
+}
+
+val reference : Lower.t -> float array array -> decision list array
+(** Specification semantics, one decision list (in tenant order) per union
+    feature vector. Downstream guards observe upstream decisions of the
+    same semantics. @raise Invalid_argument on vectors narrower than the
+    union schema. *)
+
+val decisions : Lower.t -> float array array -> decision list array
+(** Data-plane semantics: guard tables + shared-pipeline projections. *)
+
+type violation = {
+  sample : int;
+  v_tenant : string;
+  expected : int option;
+  got : int option;
+}
+
+val check : Lower.t -> float array array -> violation list
+(** [[]] iff {!reference} and {!decisions} agree bit-exactly everywhere. *)
+
+val violation_to_string : violation -> string
+
+val corpus :
+  Homunculus_util.Rng.t ->
+  features:string array ->
+  n:int ->
+  (string array * float array array) list ->
+  float array array
+(** [corpus rng ~features ~n sources] synthesizes [n] union-schema vectors
+    by drawing, per vector, one random row from every [(schema, rows)]
+    source and scattering its values into the union slots — so each sample
+    carries realistic marginals for every tenant's feature slice at once.
+    Later sources win overlapping names. Unsourced union slots stay 0.
+    @raise Invalid_argument on an empty source or [n <= 0]. *)

@@ -323,6 +323,60 @@ let search_tradeoff ?(options = default_options) ?(n_scalarizations = 5)
   |> List.sort (fun a b ->
          compare b.artifact.Evaluator.objective a.artifact.Evaluator.objective)
 
+module Policy = Homunculus_policy.Policy
+module Lower = Homunculus_policy.Lower
+
+type policy_result = {
+  policy : Policy.t;
+  tenant_models : (Policy.tenant * model_result) list;
+  composed : Lower.t;
+}
+
+let shared_budget (platform : Platform.t) n =
+  if n <= 1 then platform
+  else
+    match platform.Platform.target with
+    | Platform.Tofino d ->
+        (* One guard table per tenant comes off the top; each member then
+           searches against an even slice of what remains. *)
+        let per = Stdlib.max 2 ((d.Tofino.n_tables - n) / n) in
+        Platform.with_tables platform per
+    | Platform.Taurus g ->
+        let cols = Stdlib.max 2 (g.Taurus.cols / n) in
+        Platform.with_resources platform ~rows:g.Taurus.rows ~cols
+    | Platform.Fpga _ -> platform
+
+let compile_policy ?(options = default_options) platform policy =
+  let policy = Policy.normalize policy in
+  let tenants = Policy.tenants policy in
+  if tenants = [] then
+    invalid_arg "Compiler.compile_policy: policy normalizes to drop";
+  let member_platform = shared_budget platform (List.length tenants) in
+  (* Search each distinct spec once against the budget slice; tenants
+     instantiating the same spec share the winner. *)
+  let searched = ref [] in
+  let result_for spec =
+    let name = Model_spec.name spec in
+    match List.assoc_opt name !searched with
+    | Some r -> r
+    | None ->
+        let r = search_model ~options member_platform spec in
+        searched := (name, r) :: !searched;
+        r
+  in
+  let tenant_models =
+    List.map (fun (t : Policy.tenant) -> (t, result_for t.Policy.spec)) tenants
+  in
+  let inputs =
+    List.map
+      (fun ((t : Policy.tenant), (r : model_result)) ->
+        Lower.input_of_tenant t ~model:r.artifact.Evaluator.model_ir)
+      tenant_models
+  in
+  match Lower.compose platform inputs with
+  | Error e -> Error e
+  | Ok composed -> Ok { policy; tenant_models; composed }
+
 (* Fusion pass: fold parallel compositions of fusable specs into one spec
    (paper §3.2.5). Only Par nodes fuse — sequential models see different
    upstream data by construction. *)

@@ -78,6 +78,40 @@ val generate : ?options:options -> Platform.t -> Schedule.t -> result
 val emit_code : Platform.t -> Homunculus_backends.Model_ir.t -> string
 (** Spatial for Taurus/FPGA targets, P4 (+ table entries) for Tofino. *)
 
+(** {2 Policy compilation — many models, one data plane} *)
+
+type policy_result = {
+  policy : Homunculus_policy.Policy.t;  (** the normalized policy *)
+  tenant_models :
+    (Homunculus_policy.Policy.tenant * model_result) list;
+      (** per tenant, in tenant order; tenants sharing a spec name share a
+          [model_result] (the spec is searched once) *)
+  composed : Homunculus_policy.Lower.t;
+      (** the one shared pipeline hosting every tenant *)
+}
+
+val shared_budget : Platform.t -> int -> Platform.t
+(** The per-member search constraint of {!compile_policy}: the platform with
+    its spatial resources cut to an [1/n] slice — Tofino table budget split
+    evenly after reserving one guard table per tenant, Taurus grid columns
+    divided — so [n] independently searched winners plus their guards stand
+    a fighting chance of co-residing. Performance targets are left whole:
+    every member must sustain line rate on its own. Identity for [n <= 1]
+    and for FPGA targets. *)
+
+val compile_policy :
+  ?options:options ->
+  Platform.t ->
+  Homunculus_policy.Policy.t ->
+  (policy_result, Homunculus_policy.Lower.error) Stdlib.result
+(** Normalize the policy, search each distinct member spec under the
+    {!shared_budget} slice of the platform, then lower the full tenant list
+    onto the {e whole} platform through
+    {!Homunculus_policy.Lower.compose}. [Error] carries the lowering
+    rejection (over-subscription, bad guard, ...); search failures raise
+    {!No_feasible_model} as usual. @raise Invalid_argument on a policy that
+    normalizes to [drop]. *)
+
 type tradeoff_point = {
   artifact : Evaluator.artifact;
   resource_fraction : float;

@@ -1,0 +1,464 @@
+module Stage_alloc = Homunculus_backends.Stage_alloc
+module Placement = Homunculus_backends.Placement
+module Taurus = Homunculus_backends.Taurus
+module Tofino = Homunculus_backends.Tofino
+module Iisy = Homunculus_backends.Iisy
+module Model_ir = Homunculus_backends.Model_ir
+module Resource = Homunculus_backends.Resource
+module Platform = Homunculus_alchemy.Platform
+
+type input = {
+  in_id : string;
+  in_pred : Pred.t;
+  in_model : Model_ir.t;
+  in_features : string array;
+  in_upstream : string list;
+}
+
+let input_of_tenant (t : Policy.tenant) ~model =
+  {
+    in_id = t.Policy.id;
+    in_pred = t.Policy.pred;
+    in_model = model;
+    in_features = Homunculus_alchemy.Model_spec.feature_names t.Policy.spec;
+    in_upstream = t.Policy.upstream;
+  }
+
+type tenant = {
+  id : string;
+  pred : Pred.t;
+  clauses : Pred.clause list option;
+  model : Model_ir.t;
+  proj : int array;
+  upstream : string list;
+  guard_table : string option;
+  tables : Stage_alloc.table list;
+}
+
+type pipeline =
+  | Mat of {
+      device : Tofino.device;
+      tables : Stage_alloc.table list;
+      allocation : Stage_alloc.allocation;
+    }
+  | Grid of {
+      grid : Taurus.grid;
+      placement : Placement.placement;
+      cus : int;
+      mus : int;
+      pipeline_cycles : int;
+    }
+
+type t = {
+  features : string array;
+  tenants : tenant list;
+  pipeline : pipeline;
+  verdict : Resource.verdict;
+}
+
+type error =
+  | Unknown_field of { tenant : string; field : string }
+  | Unknown_upstream of { tenant : string; upstream : string }
+  | Bad_guard of { tenant : string; reason : string }
+  | Allocation of Stage_alloc.error
+  | Placement_failed of string
+  | Unsupported of string
+
+let error_to_string = function
+  | Unknown_field { tenant; field } ->
+      Printf.sprintf "tenant %s: guard tests unknown field %S" tenant field
+  | Unknown_upstream { tenant; upstream } ->
+      Printf.sprintf
+        "tenant %s: guard matches class of %s, which is not upstream" tenant
+        upstream
+  | Bad_guard { tenant; reason } ->
+      Printf.sprintf "tenant %s: guard not table-compilable: %s" tenant reason
+  | Allocation e -> "stage allocation: " ^ Stage_alloc.error_to_string e
+  | Placement_failed msg -> "grid placement: " ^ msg
+  | Unsupported msg -> "unsupported: " ^ msg
+
+let union_features inputs =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iter
+    (fun i ->
+      Array.iter
+        (fun f ->
+          if not (Hashtbl.mem seen f) then begin
+            Hashtbl.add seen f (List.length !acc);
+            acc := f :: !acc
+          end)
+        i.in_features)
+    inputs;
+  Array.of_list (List.rev !acc)
+
+let prefix id name = id ^ "__" ^ name
+let guard_name id = "g__" ^ id
+
+(* Tables of [tables] nothing else in [tables] depends on — the tenant's
+   exit points, which downstream guards must wait for. *)
+let sinks (tables : Stage_alloc.table list) =
+  let depended = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Stage_alloc.table) ->
+      List.iter (fun d -> Hashtbl.replace depended d ()) t.Stage_alloc.depends_on)
+    tables;
+  List.filter_map
+    (fun (t : Stage_alloc.table) ->
+      if Hashtbl.mem depended t.Stage_alloc.name then None
+      else Some t.Stage_alloc.name)
+    tables
+
+exception Fail of error
+
+(* Validate structure (raising Invalid_argument on caller bugs per the mli)
+   and guards (raising [Fail] on user-facing rejections); returns tenants
+   with [tables] left empty — the backend paths fill them in. *)
+let elaborate inputs =
+  if inputs = [] then invalid_arg "Lower.compose: empty tenant list";
+  let ids = Hashtbl.create 8 in
+  let features = union_features inputs in
+  let feature_index = Hashtbl.create 16 in
+  Array.iteri (fun i f -> Hashtbl.replace feature_index f i) features;
+  let tenants =
+    List.map
+      (fun i ->
+        if Hashtbl.mem ids i.in_id then
+          invalid_arg
+            (Printf.sprintf "Lower.compose: duplicate tenant id %s" i.in_id);
+        List.iter
+          (fun u ->
+            if not (Hashtbl.mem ids u) then
+              invalid_arg
+                (Printf.sprintf
+                   "Lower.compose: tenant %s lists upstream %s, which does \
+                    not precede it"
+                   i.in_id u))
+          i.in_upstream;
+        Hashtbl.replace ids i.in_id ();
+        if Array.length i.in_features <> Model_ir.input_dim i.in_model then
+          invalid_arg
+            (Printf.sprintf
+               "Lower.compose: tenant %s: %d feature names for a %d-input \
+                model"
+               i.in_id
+               (Array.length i.in_features)
+               (Model_ir.input_dim i.in_model));
+        let pred = Pred.simplify i.in_pred in
+        List.iter
+          (fun f ->
+            if not (Hashtbl.mem feature_index f) then
+              raise (Fail (Unknown_field { tenant = i.in_id; field = f })))
+          (Pred.fields pred);
+        List.iter
+          (fun c ->
+            if not (List.mem c i.in_upstream) then
+              raise
+                (Fail (Unknown_upstream { tenant = i.in_id; upstream = c })))
+          (Pred.classes pred);
+        let clauses =
+          match pred with
+          | Pred.True -> None
+          | _ -> (
+              match Pred.clauses pred with
+              | Error reason ->
+                  raise (Fail (Bad_guard { tenant = i.in_id; reason }))
+              | Ok [] ->
+                  raise
+                    (Fail
+                       (Bad_guard
+                          { tenant = i.in_id; reason = "unsatisfiable guard" }))
+              | Ok cs -> Some cs)
+        in
+        let proj =
+          Array.map (fun f -> Hashtbl.find feature_index f) i.in_features
+        in
+        {
+          id = i.in_id;
+          pred;
+          clauses;
+          model = i.in_model;
+          proj;
+          upstream = i.in_upstream;
+          guard_table =
+            (match clauses with
+            | None -> None
+            | Some _ -> Some (guard_name i.in_id));
+          tables = [];
+        })
+      inputs
+  in
+  (features, tenants)
+
+(* ------------------------------------------------------------------ *)
+(* MAT lowering: one merged dependency DAG through one allocation.    *)
+(* ------------------------------------------------------------------ *)
+
+let mat_tenant_tables upstream_sinks t =
+  let raw = Iisy.table_graph t.model in
+  let own =
+    List.map
+      (fun (tbl : Stage_alloc.table) ->
+        {
+          Stage_alloc.name = prefix t.id tbl.Stage_alloc.name;
+          depends_on = List.map (prefix t.id) tbl.Stage_alloc.depends_on;
+        })
+      raw
+  in
+  (* Roots wait on the guard when guarded, otherwise directly on every
+     upstream tenant's sink tables — either way the Seq order is a real
+     match-after-action dependency in the merged DAG. *)
+  let entry_deps =
+    match t.guard_table with
+    | Some g -> [ g ]
+    | None ->
+        List.concat_map
+          (fun u -> try List.assoc u upstream_sinks with Not_found -> [])
+          t.upstream
+  in
+  let own =
+    List.map
+      (fun (tbl : Stage_alloc.table) ->
+        if tbl.Stage_alloc.depends_on = [] then
+          { tbl with Stage_alloc.depends_on = entry_deps }
+        else tbl)
+      own
+  in
+  let guard =
+    match t.guard_table with
+    | None -> []
+    | Some g ->
+        [
+          {
+            Stage_alloc.name = g;
+            depends_on =
+              List.concat_map
+                (fun u -> try List.assoc u upstream_sinks with Not_found -> [])
+                t.upstream;
+          };
+        ]
+  in
+  (guard, own)
+
+let compose_mat device perf tenants =
+  let _, rev_tenants, rev_tables =
+    List.fold_left
+      (fun (upstream_sinks, acc_tenants, acc_tables) t ->
+        let guard, own = mat_tenant_tables upstream_sinks t in
+        let t = { t with tables = own } in
+        ((t.id, sinks own) :: upstream_sinks, t :: acc_tenants,
+         List.rev_append own (List.rev_append guard acc_tables)))
+      ([], [], []) tenants
+  in
+  let tenants = List.rev rev_tenants in
+  let tables = List.rev rev_tables in
+  match
+    Stage_alloc.allocate ~n_stages:device.Tofino.n_stages
+      ~tables_per_stage:Tofino.tables_per_stage tables
+  with
+  | Error e -> raise (Fail (Allocation e))
+  | Ok allocation ->
+      let n_tables = List.length tables in
+      let max_entries =
+        List.fold_left
+          (fun acc t ->
+            let guard_entries =
+              match t.clauses with
+              | None -> 0
+              | Some cs -> Pred.n_entries cs
+            in
+            let model_entries = Iisy.max_entries (Iisy.map_model t.model) in
+            Stdlib.max acc (Stdlib.max guard_entries model_entries))
+          0 tenants
+      in
+      let usages =
+        [
+          Resource.usage ~resource:"MAT" ~used:(float_of_int n_tables)
+            ~available:(float_of_int device.Tofino.n_tables);
+          Resource.usage ~resource:"entries" ~used:(float_of_int max_entries)
+            ~available:(float_of_int device.Tofino.entries_per_table);
+          Resource.usage ~resource:"stages"
+            ~used:(float_of_int allocation.Stage_alloc.stages_used)
+            ~available:(float_of_int device.Tofino.n_stages);
+        ]
+      in
+      let latency_ns =
+        device.Tofino.base_latency_ns
+        +. float_of_int allocation.Stage_alloc.stages_used
+           *. device.Tofino.per_stage_latency_ns
+      in
+      let verdict =
+        Resource.check perf ~usages ~latency_ns
+          ~throughput_gpps:device.Tofino.line_rate_gpps
+      in
+      (tenants, Mat { device; tables; allocation }, verdict)
+
+(* ------------------------------------------------------------------ *)
+(* Grid lowering: one multi-model band-packed placement.              *)
+(* ------------------------------------------------------------------ *)
+
+let compose_grid grid perf tenants =
+  let demands =
+    List.concat_map
+      (fun t ->
+        let guard =
+          match t.guard_table with Some g -> [ (g, 1, 0) ] | None -> []
+        in
+        guard
+        @ List.map
+            (fun (label, cus, mus) -> (prefix t.id label, cus, mus))
+            (Taurus.layer_demands grid t.model))
+      tenants
+  in
+  match Placement.place grid demands with
+  | Error msg -> raise (Fail (Placement_failed msg))
+  | Ok placement ->
+      let cus = List.fold_left (fun a (_, c, _) -> a + c) 0 demands in
+      let mus = List.fold_left (fun a (_, _, m) -> a + m) 0 demands in
+      (* Longest Seq chain in cycles; a guard adds one matching hop. Since
+         the whole composition placed at once, nothing is time-multiplexed
+         and every tenant runs at II = 1. *)
+      let own_cycles t =
+        let m = Taurus.map_model grid t.model in
+        m.Taurus.pipeline_cycles
+        + (match t.guard_table with Some _ -> 1 | None -> 0)
+      in
+      let depth = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          let upstream_depth =
+            List.fold_left
+              (fun acc u ->
+                Stdlib.max acc (try Hashtbl.find depth u with Not_found -> 0))
+              0 t.upstream
+          in
+          Hashtbl.replace depth t.id (upstream_depth + own_cycles t))
+        tenants;
+      let pipeline_cycles =
+        Hashtbl.fold (fun _ d acc -> Stdlib.max d acc) depth 0
+      in
+      let usages =
+        [
+          Resource.usage ~resource:"CU" ~used:(float_of_int cus)
+            ~available:(float_of_int (Taurus.available_cus grid));
+          Resource.usage ~resource:"MU" ~used:(float_of_int mus)
+            ~available:(float_of_int (Taurus.available_mus grid));
+        ]
+      in
+      let latency_ns =
+        float_of_int (pipeline_cycles + grid.Taurus.overhead_cycles)
+        /. grid.Taurus.clock_ghz
+      in
+      let verdict =
+        Resource.check perf ~usages ~latency_ns
+          ~throughput_gpps:grid.Taurus.clock_ghz
+      in
+      (tenants, Grid { grid; placement; cus; mus; pipeline_cycles }, verdict)
+
+let compose (platform : Platform.t) inputs =
+  match
+    let features, tenants = elaborate inputs in
+    let tenants, pipeline, verdict =
+      match platform.Platform.target with
+      | Platform.Tofino device ->
+          compose_mat device platform.Platform.perf tenants
+      | Platform.Taurus grid -> compose_grid grid platform.Platform.perf tenants
+      | Platform.Fpga _ ->
+          raise
+            (Fail
+               (Unsupported
+                  "FPGA targets have no composition lowering yet; use Tofino \
+                   or Taurus"))
+    in
+    { features; tenants; pipeline; verdict }
+  with
+  | t -> Ok t
+  | exception Fail e -> Error e
+
+let guard_table_count t =
+  List.length (List.filter (fun tn -> tn.guard_table <> None) t.tenants)
+
+let stages_used t =
+  match t.pipeline with
+  | Mat { allocation; _ } -> allocation.Stage_alloc.stages_used
+  | Grid _ -> 0
+
+let standalone_stages device (tn : tenant) =
+  if tn.tables = [] then 0
+  else begin
+    let own = Hashtbl.create 16 in
+    List.iter
+      (fun (t : Stage_alloc.table) -> Hashtbl.replace own t.Stage_alloc.name ())
+      tn.tables;
+    Option.iter (fun g -> Hashtbl.replace own g ()) tn.guard_table;
+    let prune (t : Stage_alloc.table) =
+      {
+        t with
+        Stage_alloc.depends_on =
+          List.filter (Hashtbl.mem own) t.Stage_alloc.depends_on;
+      }
+    in
+    let tables =
+      (match tn.guard_table with
+      | Some g -> [ { Stage_alloc.name = g; depends_on = [] } ]
+      | None -> [])
+      @ List.map prune tn.tables
+    in
+    match
+      Stage_alloc.allocate ~n_stages:device.Tofino.n_stages
+        ~tables_per_stage:Tofino.tables_per_stage tables
+    with
+    | Ok a -> a.Stage_alloc.stages_used
+    | Error (Stage_alloc.Capacity_exceeded { needed_stages; _ }) ->
+        needed_stages
+    | Error _ -> device.Tofino.n_stages + 1
+  end
+
+let summary t =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "features: %s\n" (String.concat "," (Array.to_list t.features));
+  List.iter
+    (fun tn ->
+      addf "tenant %s algo=%s pred=%s entries=%d proj=[%s] upstream=[%s]\n"
+        tn.id
+        (Model_ir.algorithm tn.model)
+        (Pred.to_string tn.pred)
+        (match tn.clauses with None -> 0 | Some cs -> Pred.n_entries cs)
+        (String.concat ","
+           (List.map string_of_int (Array.to_list tn.proj)))
+        (String.concat "," tn.upstream))
+    t.tenants;
+  (match t.pipeline with
+  | Mat { tables; allocation; _ } ->
+      addf "mat tables=%d stages=%d occupancy=[%s]\n" (List.length tables)
+        allocation.Stage_alloc.stages_used
+        (String.concat ","
+           (List.map string_of_int
+              (Array.to_list allocation.Stage_alloc.occupancy)));
+      List.iter
+        (fun (tbl : Stage_alloc.table) ->
+          addf "  %s -> stage %d\n" tbl.Stage_alloc.name
+            (List.assoc tbl.Stage_alloc.name allocation.Stage_alloc.stage_of))
+        tables
+  | Grid { placement; cus; mus; pipeline_cycles; _ } ->
+      addf "grid cus=%d mus=%d cycles=%d util=%.4f wirelength=%.1f\n" cus mus
+        pipeline_cycles
+        (Placement.utilization placement)
+        (Placement.wirelength placement);
+      let floor_plan = Placement.render placement in
+      Buffer.add_string buf floor_plan;
+      if floor_plan = "" || floor_plan.[String.length floor_plan - 1] <> '\n'
+      then Buffer.add_char buf '\n');
+  addf "verdict feasible=%b latency=%.1fns throughput=%.3fgpps%s\n"
+    t.verdict.Resource.feasible t.verdict.Resource.latency_ns
+    t.verdict.Resource.throughput_gpps
+    (match t.verdict.Resource.rejection with
+    | None -> ""
+    | Some r -> " rejection=" ^ r);
+  List.iter
+    (fun (u : Resource.usage) ->
+      addf "  %s %.0f/%.0f\n" u.Resource.resource u.Resource.used
+        u.Resource.available)
+    t.verdict.Resource.usages;
+  Buffer.contents buf

@@ -1,0 +1,115 @@
+(** Compositional lowering: N trained models + their guards → ONE shared
+    data-plane pipeline, with contention-aware feasibility.
+
+    On MAT targets (Tofino) every tenant contributes a guard table (its
+    predicate compiled to match entries via {!Pred.clauses}) plus its
+    model's match-action tables ({!Homunculus_backends.Iisy.table_graph});
+    the merged dependency DAG — guard before model roots, upstream sinks
+    before downstream guards — goes through
+    {!Homunculus_backends.Stage_alloc.allocate} once, so independent
+    tenants pack into shared stages and the stage budget reflects genuine
+    contention. On Taurus grids the tenants' per-layer demands (plus one CU
+    per guard) go through a single multi-model
+    {!Homunculus_backends.Placement.place}, band-packing every tenant onto
+    one fabric. Either way the combined {!Homunculus_backends.Resource}
+    verdict aggregates usage across all co-resident models.
+
+    Input features are unioned by name: the composed pipeline parses one
+    feature vector covering every tenant's schema, and each tenant reads its
+    slice through a projection. *)
+
+module Stage_alloc = Homunculus_backends.Stage_alloc
+module Placement = Homunculus_backends.Placement
+module Taurus = Homunculus_backends.Taurus
+module Tofino = Homunculus_backends.Tofino
+module Model_ir = Homunculus_backends.Model_ir
+module Resource = Homunculus_backends.Resource
+
+type input = {
+  in_id : string;
+  in_pred : Pred.t;  (** simplified ({!Pred.simplify}) *)
+  in_model : Model_ir.t;  (** trained, raw-feature (standardization folded) *)
+  in_features : string array;  (** the model's own input schema, in order *)
+  in_upstream : string list;  (** ids of tenants that must execute earlier *)
+}
+
+val input_of_tenant : Policy.tenant -> model:Model_ir.t -> input
+(** Features come from the tenant spec's (loaded) dataset schema. *)
+
+type tenant = {
+  id : string;
+  pred : Pred.t;
+  clauses : Pred.clause list option;
+      (** [None] when the tenant is unguarded (predicate [True]) *)
+  model : Model_ir.t;
+  proj : int array;  (** model input index → union-schema index *)
+  upstream : string list;
+  guard_table : string option;  (** ["g__<id>"] when guarded *)
+  tables : Stage_alloc.table list;
+      (** the tenant's own (prefixed) model tables; [] on grid targets *)
+}
+
+type pipeline =
+  | Mat of {
+      device : Tofino.device;
+      tables : Stage_alloc.table list;  (** the full merged DAG *)
+      allocation : Stage_alloc.allocation;
+    }
+  | Grid of {
+      grid : Taurus.grid;
+      placement : Placement.placement;
+      cus : int;  (** summed across tenants, guards included *)
+      mus : int;
+      pipeline_cycles : int;  (** longest Seq chain, guard hops included *)
+    }
+
+type t = {
+  features : string array;  (** union input schema, first-seen order *)
+  tenants : tenant list;
+  pipeline : pipeline;
+  verdict : Resource.verdict;  (** combined across all co-resident models *)
+}
+
+type error =
+  | Unknown_field of { tenant : string; field : string }
+      (** a guard tests a feature no tenant's schema provides *)
+  | Unknown_upstream of { tenant : string; upstream : string }
+      (** a guard matches the class of a tenant that is not upstream *)
+  | Bad_guard of { tenant : string; reason : string }
+      (** unsatisfiable or not table-compilable *)
+  | Allocation of Stage_alloc.error
+      (** the merged DAG does not fit the stage budget *)
+  | Placement_failed of string  (** the grid ran out of tiles *)
+  | Unsupported of string
+
+val error_to_string : error -> string
+
+val union_features : input list -> string array
+
+val compose :
+  Homunculus_alchemy.Platform.t -> input list -> (t, error) result
+(** Lower a tenant list (upstreams before downstreams, ids unique) onto the
+    platform's full device. Over-subscription surfaces as
+    [Error (Allocation (Capacity_exceeded _))] / [Error (Placement_failed _)]
+    when the pipeline cannot even be laid out, or as an infeasible combined
+    verdict (with [rejection] set) when it fits structurally but busts a
+    resource or performance budget. @raise Invalid_argument on duplicate or
+    empty tenant lists and on malformed upstream order. *)
+
+val guard_table_count : t -> int
+
+val stages_used : t -> int
+(** Shared stages of a MAT composition; 0 for grid targets. *)
+
+val standalone_stages : Tofino.device -> tenant -> int
+(** Stages the tenant would occupy deployed alone (its guard table plus its
+    model tables, cross-tenant dependencies dropped) — the baseline for the
+    sharing win: a composed pipeline's {!stages_used} beats the sum of its
+    tenants' standalone stages whenever packing shares a stage. 0 for grid
+    tenants (no tables). *)
+
+val summary : t -> string
+(** Deterministic multi-line fingerprint of the whole composition — union
+    schema, per-tenant guards/tables/projection, stage map or floor plan,
+    combined verdict. Bit-identical summaries mean bit-identical
+    compositions; the bench uses this for the any-jobs determinism check. *)

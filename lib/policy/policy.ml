@@ -1,0 +1,93 @@
+open Homunculus_alchemy
+
+type t =
+  | Model of Model_spec.t
+  | Guard of Pred.t * t
+  | Seq of t * t
+  | Par of t list
+
+let model s = Model s
+let guard p t = Guard (p, t)
+let seq a b = Seq (a, b)
+let par ts = Par ts
+let drop = Par []
+let ( >>> ) = seq
+
+let rec models = function
+  | Model s -> [ s ]
+  | Guard (_, t) -> models t
+  | Seq (a, b) -> models a @ models b
+  | Par ts -> List.concat_map models ts
+
+let n_models t = List.length (models t)
+
+(* Normal form: drop | leaf | Seq/Par over normal forms, where a leaf is
+   [Model _] or [Guard (p, Model _)] with p already simplified and neither
+   constant. Guards are pushed down to the leaves (conjoining along the
+   path), dead branches vanish, Par flattens. *)
+let rec normalize p =
+  match p with
+  | Model _ -> p
+  | Guard (pr, q) -> push (Pred.simplify pr) (normalize q)
+  | Seq (a, b) -> (
+      match (normalize a, normalize b) with
+      | Par [], _ | _, Par [] -> Par []
+      | a, b -> Seq (a, b))
+  | Par ts ->
+      let ts =
+        List.concat_map
+          (fun t -> match normalize t with Par sub -> sub | t -> [ t ])
+          ts
+      in
+      (match ts with [ t ] -> t | ts -> Par ts)
+
+(* Push a simplified guard into an already-normal policy. *)
+and push pr q =
+  match (pr, q) with
+  | Pred.False, _ -> Par []
+  | Pred.True, q -> q
+  | pr, Guard (pr2, q2) -> push (Pred.simplify (Pred.And (pr, pr2))) q2
+  | pr, Seq (a, b) -> (
+      match (push pr a, push pr b) with
+      | Par [], _ | _, Par [] -> Par []
+      | a, b -> Seq (a, b))
+  | pr, Par ts -> (
+      let ts =
+        List.concat_map
+          (fun t -> match push pr t with Par sub -> sub | t -> [ t ])
+          ts
+      in
+      match ts with [ t ] -> t | ts -> Par ts)
+  | pr, (Model _ as m) -> Guard (pr, m)
+
+type tenant = {
+  id : string;
+  spec : Model_spec.t;
+  pred : Pred.t;
+  upstream : string list;
+}
+
+let tenants p =
+  let counter = ref 0 in
+  let leaf spec pred upstream =
+    let id = Printf.sprintf "t%d_%s" !counter (Model_spec.name spec) in
+    incr counter;
+    { id; spec; pred; upstream }
+  in
+  let rec go upstream = function
+    | Model spec -> [ leaf spec Pred.True upstream ]
+    | Guard (pred, Model spec) -> [ leaf spec pred upstream ]
+    | Guard _ -> assert false (* not in normal form *)
+    | Seq (a, b) ->
+        let ta = go upstream a in
+        ta @ go (List.map (fun t -> t.id) ta) b
+    | Par ts -> List.concat_map (go upstream) ts
+  in
+  match normalize p with Par [] -> [] | q -> go [] q
+
+let rec to_string = function
+  | Model s -> Model_spec.name s
+  | Guard (p, t) -> Printf.sprintf "(%s ? %s)" (Pred.to_string p) (to_string t)
+  | Seq (a, b) -> Printf.sprintf "(%s >> %s)" (to_string a) (to_string b)
+  | Par [] -> "drop"
+  | Par ts -> "(" ^ String.concat " | " (List.map to_string ts) ^ ")"

@@ -1,0 +1,74 @@
+(** The NetCore-style composition algebra (paper §3.2.5 extended; ROADMAP
+    item 3): many trained models, one data plane.
+
+    A policy composes model specs under per-tenant guards:
+
+    - [Model s] — a Homunculus model spec (what to learn);
+    - [Guard (p, t)] — run [t] only on packets matching [p] (NetCore's
+      [Filter p; t]);
+    - [Seq (a, b)] — [a]'s tables execute before [b]'s, and [b]'s guards may
+      match on [a]'s emitted classes ({!Pred.class_is});
+    - [Par ts] — tenants co-resident on the same packet stream ([Par []] is
+      the empty policy, NetCore's [drop]).
+
+    {!normalize} rewrites to a guarded-leaf normal form; {!tenants} then
+    reads off the flat tenant list the lowering ({!Lower.compose}) and the
+    search driver ([Compiler.compile_policy]) consume. *)
+
+open Homunculus_alchemy
+
+type t =
+  | Model of Model_spec.t
+  | Guard of Pred.t * t
+  | Seq of t * t
+  | Par of t list
+
+val model : Model_spec.t -> t
+val guard : Pred.t -> t -> t
+val seq : t -> t -> t
+val par : t list -> t
+
+val drop : t
+(** [Par []] — matches nothing, runs nothing. *)
+
+val ( >>> ) : t -> t -> t
+(** Infix {!seq}. *)
+
+val models : t -> Model_spec.t list
+(** Leaf specs, left-to-right. *)
+
+val n_models : t -> int
+
+val normalize : t -> t
+(** Rewrite to normal form. Rules (each preserves the per-tenant semantics):
+
+    - predicate simplification: every guard predicate through
+      {!Pred.simplify};
+    - guard hoisting: [Guard (p, Guard (q, t))] → [Guard (p && q, t)],
+      and guards distribute through [Seq]/[Par] down to the leaves, so each
+      surviving leaf carries exactly the conjunction of the guards on its
+      path;
+    - dead-branch elimination: [Guard (False, t)] → {!drop}; {!drop}
+      disappears from [Par] and absorbs [Seq] (a sequential stage whose
+      upstream never runs can never run either);
+    - structural cleanup: nested [Par] flattens, singleton [Par] collapses.
+
+    The result is {!drop}, a leaf ([Model _] or [Guard (p, Model _)] with
+    [p] neither [True] nor [False]), or [Seq]/[Par] nodes over such leaves.
+    Idempotent. *)
+
+type tenant = {
+  id : string;  (** ["t<i>_<spec name>"], [i] the leaf index *)
+  spec : Model_spec.t;
+  pred : Pred.t;  (** simplified path guard; [True] when unguarded *)
+  upstream : string list;
+      (** ids of the tenants in the left operand of the enclosing [Seq] —
+          their tables must execute first, and their classes are matchable *)
+}
+
+val tenants : t -> tenant list
+(** Normalize, then flatten to the tenant list in leaf order (upstream
+    tenants always precede their downstreams). *)
+
+val to_string : t -> string
+(** E.g. ["((serror_rate >= 0.05 ? ad) | (frame_size < 1200 ? tc))"]. *)

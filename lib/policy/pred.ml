@@ -1,0 +1,206 @@
+type cmp = Ge | Lt | Eq
+
+type atom =
+  | Field of string
+  | Class of string
+
+type t =
+  | True
+  | False
+  | Test of { atom : atom; op : cmp; value : float }
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let field_ge name value = Test { atom = Field name; op = Ge; value }
+let field_lt name value = Test { atom = Field name; op = Lt; value }
+let field_eq name value = Test { atom = Field name; op = Eq; value }
+
+let field_between name ~lo ~hi = And (field_ge name lo, field_lt name hi)
+
+let class_is tenant c =
+  Test { atom = Class tenant; op = Eq; value = float_of_int c }
+
+let conj = function [] -> True | p :: rest -> List.fold_left (fun a b -> And (a, b)) p rest
+let disj = function [] -> False | p :: rest -> List.fold_left (fun a b -> Or (a, b)) p rest
+
+let rec equal a b =
+  match (a, b) with
+  | True, True | False, False -> true
+  | Test a, Test b -> a.atom = b.atom && a.op = b.op && Float.equal a.value b.value
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Not a, Not b -> equal a b
+  | (True | False | Test _ | And _ | Or _ | Not _), _ -> false
+
+let atoms p =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | True | False -> ()
+    | Test { atom; _ } ->
+        if not (Hashtbl.mem seen atom) then begin
+          Hashtbl.add seen atom ();
+          acc := atom :: !acc
+        end
+    | And (a, b) | Or (a, b) -> go a; go b
+    | Not a -> go a
+  in
+  go p;
+  List.rev !acc
+
+let fields p =
+  List.filter_map (function Field f -> Some f | Class _ -> None) (atoms p)
+
+let classes p =
+  List.filter_map (function Class c -> Some c | Field _ -> None) (atoms p)
+
+let rec eval p ~lookup =
+  match p with
+  | True -> true
+  | False -> false
+  | Test { atom; op; value } -> (
+      match lookup atom with
+      | None -> false
+      | Some x -> (
+          match op with Ge -> x >= value | Lt -> x < value | Eq -> x = value))
+  | And (a, b) -> eval a ~lookup && eval b ~lookup
+  | Or (a, b) -> eval a ~lookup || eval b ~lookup
+  | Not a -> not (eval a ~lookup)
+
+(* Negation-normal form: push Not to the leaves, complementing Ge/Lt on the
+   way down. Only negated equality tests survive as Not nodes. *)
+let rec nnf = function
+  | (True | False | Test _) as p -> p
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Not p -> negate p
+
+and negate = function
+  | True -> False
+  | False -> True
+  | Test { atom; op = Ge; value } -> Test { atom; op = Lt; value }
+  | Test { atom; op = Lt; value } -> Test { atom; op = Ge; value }
+  | Test { op = Eq; _ } as t -> Not t
+  | And (a, b) -> Or (negate a, negate b)
+  | Or (a, b) -> And (negate a, negate b)
+  | Not p -> nnf p
+
+let rec fold_consts = function
+  | And (a, b) -> (
+      match (fold_consts a, fold_consts b) with
+      | False, _ | _, False -> False
+      | True, p | p, True -> p
+      | a, b when equal a b -> a
+      | a, b -> And (a, b))
+  | Or (a, b) -> (
+      match (fold_consts a, fold_consts b) with
+      | True, _ | _, True -> True
+      | False, p | p, False -> p
+      | a, b when equal a b -> a
+      | a, b -> Or (a, b))
+  | Not p -> (
+      match fold_consts p with
+      | True -> False
+      | False -> True
+      | p -> Not p)
+  | p -> p
+
+let simplify p = fold_consts (nnf p)
+
+let atom_to_string = function
+  | Field f -> f
+  | Class t -> Printf.sprintf "class(%s)" t
+
+let cmp_to_string = function Ge -> ">=" | Lt -> "<" | Eq -> "="
+
+let rec to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Test { atom; op; value } ->
+      Printf.sprintf "%s %s %g" (atom_to_string atom) (cmp_to_string op) value
+  | And (a, b) -> Printf.sprintf "(%s && %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "!%s" (to_string a)
+
+(* Table compilation: DNF over per-atom ranges. *)
+
+type range = { atom : atom; lo : float; hi : float; eq : float option }
+
+type clause = range list
+
+let max_clauses = 128
+
+let range_of_test atom op value =
+  match op with
+  | Ge -> { atom; lo = value; hi = Float.infinity; eq = None }
+  | Lt -> { atom; lo = Float.neg_infinity; hi = value; eq = None }
+  | Eq -> { atom; lo = value; hi = value; eq = Some value }
+
+(* Conjoin two ranges over the same atom; None when the intersection is
+   empty (the clause is dead). *)
+let merge_range a b =
+  match (a.eq, b.eq) with
+  | Some x, Some y -> if Float.equal x y then Some a else None
+  | Some x, None -> if b.lo <= x && x < b.hi then Some a else None
+  | None, Some y -> if a.lo <= y && y < a.hi then Some b else None
+  | None, None ->
+      let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+      if lo < hi then Some { a with lo; hi } else None
+
+let clause_add clause r =
+  let rec go acc = function
+    | [] -> Some (List.rev (r :: acc))
+    | r' :: rest when r'.atom = r.atom -> (
+        match merge_range r' r with
+        | Some merged -> Some (List.rev_append acc (merged :: rest))
+        | None -> None)
+    | r' :: rest -> go (r' :: acc) rest
+  in
+  go [] clause
+
+let clause_conjoin a b =
+  List.fold_left
+    (fun acc r -> match acc with None -> None | Some c -> clause_add c r)
+    (Some a) b
+
+let clauses p =
+  let exception Reject of string in
+  let cap cs =
+    if List.length cs > max_clauses then
+      raise
+        (Reject
+           (Printf.sprintf "guard expands to more than %d match entries"
+              max_clauses))
+    else cs
+  in
+  let rec go = function
+    | True -> [ [] ]
+    | False -> []
+    | Test { atom; op; value } -> [ [ range_of_test atom op value ] ]
+    | Or (a, b) -> cap (go a @ go b)
+    | And (a, b) ->
+        let ca = go a and cb = go b in
+        cap
+          (List.concat_map
+             (fun c1 -> List.filter_map (fun c2 -> clause_conjoin c1 c2) cb)
+             ca)
+    | Not (Test { op = Eq; _ }) ->
+        raise (Reject "negated equality tests are not table-compilable")
+    | Not _ -> raise (Reject "unsimplified negation")
+  in
+  match go (simplify p) with
+  | cs -> Ok cs
+  | exception Reject msg -> Error msg
+
+let range_matches r ~lookup =
+  match lookup r.atom with
+  | None -> false
+  | Some x -> (
+      match r.eq with
+      | Some v -> x = v
+      | None -> r.lo <= x && x < r.hi)
+
+let clause_matches clause ~lookup = List.for_all (range_matches ~lookup) clause
+
+let n_entries cs = Stdlib.max 1 (List.length cs)

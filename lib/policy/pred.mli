@@ -1,0 +1,104 @@
+(** Predicates over packet/flow features — the [Pred] half of the NetCore-style
+    policy algebra (frenetic lineage: header tests closed under And/Or/Not).
+
+    An atom is either a parsed packet feature (by schema name) or the class
+    emitted by an upstream tenant in a sequential composition. Predicates
+    have two consumers with one semantics:
+
+    - {!eval} is the specification: direct evaluation against a feature
+      lookup. A test over an absent atom (an upstream tenant whose guard did
+      not match, so it emitted no class) is [false].
+    - {!clauses} is the implementation: compilation to disjunctive normal
+      form, one match-action entry per clause, each clause a conjunction of
+      per-atom ranges. This is what the guard tables of a lowered
+      composition hold.
+
+    For any simplified predicate that {!clauses} accepts, matching any
+    clause agrees exactly with {!eval} — the differential oracle in
+    [lib/check] exercises this on every composed pipeline. *)
+
+type cmp = Ge | Lt | Eq
+
+type atom =
+  | Field of string  (** a feature of the composed pipeline's union schema *)
+  | Class of string  (** the decision of the named upstream tenant *)
+
+type t =
+  | True
+  | False
+  | Test of { atom : atom; op : cmp; value : float }
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** Constructors. *)
+
+val field_ge : string -> float -> t
+val field_lt : string -> float -> t
+val field_eq : string -> float -> t
+
+val field_between : string -> lo:float -> hi:float -> t
+(** [lo <= field < hi]. *)
+
+val class_is : string -> int -> t
+(** [class_is tenant c]: the upstream [tenant] decided class [c]. False when
+    the tenant's guard did not match (no decision was emitted). *)
+
+val conj : t list -> t
+(** [And] fold; [True] for []. *)
+
+val disj : t list -> t
+(** [Or] fold; [False] for []. *)
+
+val atoms : t -> atom list
+(** Distinct atoms, first-occurrence order. *)
+
+val fields : t -> string list
+val classes : t -> string list
+(** Upstream tenants referenced through [Class] atoms. *)
+
+val eval : t -> lookup:(atom -> float option) -> bool
+(** Direct evaluation. [lookup] returns [None] for absent atoms (an upstream
+    tenant with no decision); a [Test] over an absent atom is [false].
+    Always call through {!simplify}d predicates — simplification rewrites
+    [Not (Test Ge/Lt)] into the complement test, and the two forms differ on
+    absent atoms. The rest of the system only ever stores simplified
+    predicates. *)
+
+val simplify : t -> t
+(** Negation-normal form (negations pushed to the leaves, [Ge]/[Lt]
+    complemented away, only [Not (Test Eq)] survives) plus constant folding
+    ([And (False, _)] → [False], [Or (True, _)] → [True], units dropped,
+    double negation and syntactic idempotence eliminated). Idempotent. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val to_string : t -> string
+
+(** {2 Table compilation} *)
+
+type range = {
+  atom : atom;
+  lo : float;  (** inclusive; [neg_infinity] when unconstrained *)
+  hi : float;  (** exclusive; [infinity] when unconstrained *)
+  eq : float option;  (** exact-match literal; overrides [lo]/[hi] *)
+}
+
+type clause = range list
+(** A conjunction with at most one range per atom — one guard-table entry. *)
+
+val max_clauses : int
+(** DNF expansion cap (128); predicates beyond it are rejected rather than
+    silently exploding the guard table. *)
+
+val clauses : t -> (clause list, string) result
+(** Compile to DNF with per-atom range merging and dead-clause elimination.
+    [Ok []] means the predicate is unsatisfiable. [Error] on negated
+    equality tests (not expressible as a single match entry) and on
+    predicates that expand past {!max_clauses}. *)
+
+val clause_matches : clause -> lookup:(atom -> float option) -> bool
+
+val n_entries : clause list -> int
+(** Match entries the guard table needs — [List.length], at least 1. *)

@@ -71,6 +71,23 @@ let test_usage_percent_fits () =
   let over = Resource.usage ~resource:"CU" ~used:200. ~available:128. in
   Alcotest.(check bool) "over" false (Resource.fits over)
 
+(* The smart constructor rejects available <= 0, but the record type is
+   public — build the usages literally, as a device description with an
+   empty resource class would. percent/fits must stay total: no inf/nan
+   percentages for idle empty resources, and anything charged against an
+   empty resource can never fit. *)
+let test_usage_zero_capacity () =
+  let idle = { Resource.resource = "MU"; used = 0.; available = 0. } in
+  feq "idle percent" 0. (Resource.percent idle);
+  Alcotest.(check bool) "idle fits" true (Resource.fits idle);
+  let charged = { Resource.resource = "MU"; used = 3.; available = 0. } in
+  Alcotest.(check bool) "charged percent is +inf, not nan" true
+    (Resource.percent charged = Float.infinity);
+  Alcotest.(check bool) "charged does not fit" false (Resource.fits charged);
+  let negative = { Resource.resource = "MU"; used = 1.; available = -2. } in
+  Alcotest.(check bool) "negative capacity cannot fit" false
+    (Resource.fits negative)
+
 let test_check_feasible () =
   let v =
     Resource.check Resource.line_rate
@@ -403,6 +420,7 @@ let suite =
   [
     Alcotest.test_case "perf validates" `Quick test_perf_validates;
     Alcotest.test_case "usage percent/fits" `Quick test_usage_percent_fits;
+    Alcotest.test_case "usage zero capacity" `Quick test_usage_zero_capacity;
     Alcotest.test_case "check feasible" `Quick test_check_feasible;
     Alcotest.test_case "check rejections" `Quick test_check_rejections_in_order;
     Alcotest.test_case "find usage" `Quick test_find_usage;

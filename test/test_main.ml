@@ -39,6 +39,9 @@ let suites =
     ("core", Test_core.suite);
     ("resilience", Test_resilience.suite);
     ("serve", Test_serve.suite);
+    ("policy", Test_policy.suite);
+    ("stage_alloc_properties", Test_stage_alloc_properties.suite);
+    ("placement_properties", Test_placement_properties.suite);
   ]
 
 let () =

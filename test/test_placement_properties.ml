@@ -1,0 +1,87 @@
+(* qcheck properties over the Taurus grid placer, exercised the way the
+   composition lowering uses it: several models' demand lists concatenated
+   (each stage label prefixed per tenant) and placed onto one grid. Cases
+   derive from an integer seed through Rng, so failures reproduce from one
+   integer. *)
+module Placement = Homunculus_backends.Placement
+module Taurus = Homunculus_backends.Taurus
+module Rng = Homunculus_util.Rng
+
+(* Multi-model demand list: 1-3 "tenants", each 1-4 stages of small CU/MU
+   demands, labels prefixed per tenant — sized to always fit 16x16. *)
+let random_demands rng =
+  let n_tenants = 1 + Rng.int rng 3 in
+  List.concat
+    (List.init n_tenants (fun t ->
+         let n_stages = 1 + Rng.int rng 4 in
+         List.init n_stages (fun s ->
+             let cus = Rng.int rng 6 in
+             let mus = if cus = 0 then 1 + Rng.int rng 5 else Rng.int rng 6 in
+             (Printf.sprintf "t%d__stage%d" t s, cus, mus))))
+
+let place_exn demands =
+  match Placement.place Taurus.default_grid demands with
+  | Ok p -> p
+  | Error e -> QCheck.Test.fail_reportf "placement failed: %s" e
+
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let prop_wirelength_label_invariant =
+  QCheck.Test.make
+    ~name:"wirelength is invariant under stage-label renaming" ~count:300
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let demands = random_demands rng in
+      let renamed =
+        List.mapi (fun i (_, cus, mus) -> (Printf.sprintf "r%d" i, cus, mus))
+          demands
+      in
+      let w = Placement.wirelength (place_exn demands) in
+      let w' = Placement.wirelength (place_exn renamed) in
+      Float.equal w w')
+
+let prop_render_utilization_agree =
+  QCheck.Test.make
+    ~name:"render and utilization agree on claimed-tile counts" ~count:300
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let p = place_exn (random_demands rng) in
+      let claimed_render =
+        String.fold_left
+          (fun acc c ->
+            match c with '.' | ',' | '\n' -> acc | _ -> acc + 1)
+          0 (Placement.render p)
+      in
+      let grid = Taurus.default_grid in
+      let tiles = grid.Taurus.rows * grid.Taurus.cols in
+      let claimed_util =
+        int_of_float
+          (Float.round (Placement.utilization p *. float_of_int tiles))
+      in
+      let claimed_assignments =
+        List.fold_left
+          (fun acc (_, ts) -> acc + List.length ts)
+          0 p.Placement.assignments
+      in
+      claimed_render = claimed_assignments
+      && claimed_util = claimed_assignments)
+
+(* Renaming aside, the same demands always claim the same tiles — the
+   column sweep is deterministic, which the compose determinism contract
+   leans on. *)
+let prop_deterministic =
+  QCheck.Test.make ~name:"placement is deterministic" ~count:300 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let demands = random_demands rng in
+      let p1 = place_exn demands and p2 = place_exn demands in
+      Placement.render p1 = Placement.render p2
+      && p1.Placement.assignments = p2.Placement.assignments)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_wirelength_label_invariant;
+      prop_render_utilization_agree;
+      prop_deterministic;
+    ]

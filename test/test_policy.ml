@@ -1,0 +1,457 @@
+(* The composition layer: predicate algebra, policy normalization, and the
+   lowering of many guarded models onto one shared pipeline — including the
+   PR's acceptance criteria: a two-model composition allocates strictly
+   fewer stages than the sum of its standalone deployments, and an
+   over-subscribed three-model composition is rejected (allocator
+   Capacity_exceeded or infeasible combined verdict), never a crash. *)
+module Pred = Homunculus_policy.Pred
+module Policy = Homunculus_policy.Policy
+module Lower = Homunculus_policy.Lower
+module Compose_eval = Homunculus_check.Compose_eval
+module Model_ir = Homunculus_backends.Model_ir
+module Stage_alloc = Homunculus_backends.Stage_alloc
+module Tofino = Homunculus_backends.Tofino
+module Taurus = Homunculus_backends.Taurus
+module Resource = Homunculus_backends.Resource
+module Platform = Homunculus_alchemy.Platform
+module Rng = Homunculus_util.Rng
+
+(* --------------------------------------------------------------- Pred *)
+
+let lookup_of alist atom =
+  match atom with
+  | Pred.Field f -> List.assoc_opt f alist
+  | Pred.Class _ -> None
+
+let test_pred_eval_basics () =
+  let p =
+    Pred.conj [ Pred.field_ge "a" 1.; Pred.field_lt "b" 5. ]
+  in
+  Alcotest.(check bool) "in range" true
+    (Pred.eval p ~lookup:(lookup_of [ ("a", 2.); ("b", 0.) ]));
+  Alcotest.(check bool) "out of range" false
+    (Pred.eval p ~lookup:(lookup_of [ ("a", 0.); ("b", 0.) ]));
+  Alcotest.(check bool) "absent atom is false" false
+    (Pred.eval p ~lookup:(lookup_of [ ("a", 2.) ]))
+
+let test_pred_simplify_constants () =
+  let t = Pred.field_ge "a" 1. in
+  Alcotest.(check bool) "and false" true
+    (Pred.equal Pred.False (Pred.simplify (Pred.And (t, Pred.False))));
+  Alcotest.(check bool) "or true" true
+    (Pred.equal Pred.True (Pred.simplify (Pred.Or (t, Pred.True))));
+  Alcotest.(check bool) "double negation" true
+    (Pred.equal t (Pred.simplify (Pred.Not (Pred.Not t))));
+  Alcotest.(check bool) "negated ge becomes lt" true
+    (Pred.equal (Pred.field_lt "a" 1.) (Pred.simplify (Pred.Not t)));
+  let s = Pred.simplify (Pred.And (t, t)) in
+  Alcotest.(check bool) "idempotence" true (Pred.equal t s)
+
+let test_pred_clauses_shapes () =
+  let between = Pred.field_between "a" ~lo:1. ~hi:5. in
+  (match Pred.clauses between with
+  | Ok [ [ r ] ] ->
+      Alcotest.(check (float 0.)) "lo" 1. r.Pred.lo;
+      Alcotest.(check (float 0.)) "hi" 5. r.Pred.hi
+  | Ok _ -> Alcotest.fail "expected one clause with one merged range"
+  | Error e -> Alcotest.fail e);
+  (* Dead clause: an empty intersection vanishes, leaving the live arm. *)
+  let dead_or_live =
+    Pred.Or
+      ( Pred.conj [ Pred.field_ge "a" 5.; Pred.field_lt "a" 1. ],
+        Pred.field_eq "b" 2. )
+  in
+  (match Pred.clauses dead_or_live with
+  | Ok [ [ r ] ] -> Alcotest.(check bool) "eq range" true (r.Pred.eq = Some 2.)
+  | Ok cs ->
+      Alcotest.failf "expected 1 clause, got %d" (List.length cs)
+  | Error e -> Alcotest.fail e);
+  (* Unsatisfiable conjunction compiles to zero entries. *)
+  (match Pred.clauses (Pred.conj [ Pred.field_eq "a" 1.; Pred.field_eq "a" 2. ]) with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected unsatisfiable"
+  | Error e -> Alcotest.fail e);
+  (* Negated equality is not one match entry. *)
+  (match Pred.clauses (Pred.Not (Pred.field_eq "a" 1.)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negated equality must be rejected")
+
+let test_pred_clauses_cap () =
+  (* Each conjunct doubles the DNF: 8 disjunction pairs over distinct
+     fields expand to 2^8 = 256 > 128 clauses. *)
+  let big =
+    Pred.conj
+      (List.init 8 (fun i ->
+           let f = Printf.sprintf "f%d" i in
+           Pred.Or (Pred.field_lt f 1., Pred.field_ge f 2.)))
+  in
+  match Pred.clauses big with
+  | Error msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mentions the cap" true (contains msg "128")
+  | Ok _ -> Alcotest.fail "expected DNF cap rejection"
+
+(* The load-bearing differential guarantee: for any simplified predicate the
+   table compilation accepts, clause matching agrees with direct evaluation
+   under every lookup — present and absent atoms alike. *)
+let random_pred rng =
+  let fields = [| "a"; "b"; "c" |] in
+  let rec go depth =
+    if depth = 0 || Rng.int rng 4 = 0 then
+      let f = fields.(Rng.int rng 3) in
+      let v = float_of_int (Rng.int rng 7 - 3) in
+      match Rng.int rng 3 with
+      | 0 -> Pred.field_ge f v
+      | 1 -> Pred.field_lt f v
+      | _ -> Pred.field_eq f v
+    else
+      match Rng.int rng 4 with
+      | 0 -> Pred.And (go (depth - 1), go (depth - 1))
+      | 1 -> Pred.Or (go (depth - 1), go (depth - 1))
+      | 2 -> Pred.Not (go (depth - 1))
+      | _ -> if Rng.int rng 2 = 0 then Pred.True else Pred.False
+  in
+  go 3
+
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let prop_clauses_agree_with_eval =
+  QCheck.Test.make ~name:"clause matching agrees with eval" ~count:500
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let p = Pred.simplify (random_pred rng) in
+      match Pred.clauses p with
+      | Error _ -> true (* negated equalities may survive simplify *)
+      | Ok cs ->
+          let ok = ref true in
+          for _ = 1 to 20 do
+            let bindings =
+              List.filter_map
+                (fun f ->
+                  if Rng.int rng 5 = 0 then None (* absent atom *)
+                  else Some (f, float_of_int (Rng.int rng 9 - 4)))
+                [ "a"; "b"; "c" ]
+            in
+            let lookup = lookup_of bindings in
+            let direct = Pred.eval p ~lookup in
+            let tabled = List.exists (Pred.clause_matches ~lookup) cs in
+            if direct <> tabled then ok := false
+          done;
+          !ok)
+
+(* -------------------------------------------------------------- Policy *)
+
+let spec name =
+  Homunculus_alchemy.Model_spec.make ~name
+    ~loader:(fun () -> failwith "never loaded in these tests")
+    ()
+
+let test_policy_normalize_rules () =
+  let s = spec "m" in
+  let g1 = Pred.field_ge "a" 1. and g2 = Pred.field_lt "b" 5. in
+  (* Guard hoisting: nested guards conjoin at the leaf. *)
+  (match Policy.normalize (Policy.guard g1 (Policy.guard g2 (Policy.model s))) with
+  | Policy.Guard (p, Policy.Model _) ->
+      Alcotest.(check bool) "conjoined" true
+        (Pred.equal p (Pred.simplify (Pred.And (g1, g2))))
+  | _ -> Alcotest.fail "expected guarded leaf");
+  (* Dead branches vanish; drop absorbs Seq. *)
+  Alcotest.(check bool) "guard false is drop" true
+    (Policy.normalize (Policy.guard Pred.False (Policy.model s)) = Policy.drop);
+  Alcotest.(check bool) "drop absorbs seq" true
+    (Policy.normalize Policy.(drop >>> model s) = Policy.drop);
+  (* Par flattens and drops disappear. *)
+  (match
+     Policy.normalize
+       (Policy.par
+          [ Policy.par [ Policy.model s; Policy.drop ]; Policy.model s ])
+   with
+  | Policy.Par [ Policy.Model _; Policy.Model _ ] -> ()
+  | p -> Alcotest.failf "unexpected normal form %s" (Policy.to_string p));
+  (* Guards distribute through Par to the leaves. *)
+  (match
+     Policy.normalize
+       (Policy.guard g1 (Policy.par [ Policy.model s; Policy.model s ]))
+   with
+  | Policy.Par [ Policy.Guard (p1, _); Policy.Guard (p2, _) ] ->
+      Alcotest.(check bool) "left" true (Pred.equal p1 (Pred.simplify g1));
+      Alcotest.(check bool) "right" true (Pred.equal p2 (Pred.simplify g1))
+  | p -> Alcotest.failf "unexpected normal form %s" (Policy.to_string p));
+  (* Idempotence. *)
+  let q =
+    Policy.guard g1
+      Policy.(model s >>> par [ model s; guard g2 (model s) ])
+  in
+  Alcotest.(check string) "normalize idempotent"
+    (Policy.to_string (Policy.normalize q))
+    (Policy.to_string (Policy.normalize (Policy.normalize q)))
+
+let test_policy_tenants () =
+  let a = spec "ad" and b = spec "tc" in
+  let p =
+    Policy.(
+      guard (Pred.field_ge "x" 1.) (model a)
+      >>> par [ model b; guard Pred.False (model a) ])
+  in
+  match Policy.tenants p with
+  | [ t0; t1 ] ->
+      Alcotest.(check string) "t0 id" "t0_ad" t0.Policy.id;
+      Alcotest.(check string) "t1 id" "t1_tc" t1.Policy.id;
+      Alcotest.(check (list string)) "t0 upstream" [] t0.Policy.upstream;
+      Alcotest.(check (list string)) "t1 upstream" [ "t0_ad" ] t1.Policy.upstream;
+      Alcotest.(check bool) "t1 unguarded" true (t1.Policy.pred = Pred.True)
+  | ts -> Alcotest.failf "expected 2 tenants, got %d" (List.length ts)
+
+(* --------------------------------------------------------------- Lower *)
+
+(* Hand-built MAT-mappable models keep the lowering tests training-free.
+   An SVM over k features maps to k independent feature tables plus one
+   decision table depending on all of them. *)
+let svm name n_features =
+  Model_ir.Svm
+    {
+      name;
+      class_weights =
+        [|
+          Array.init n_features (fun i -> 1. +. float_of_int i);
+          Array.init n_features (fun i -> -1. -. float_of_int i);
+        |];
+      biases = [| 0.1; -0.1 |];
+    }
+
+let features prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let input ?(pred = Pred.True) ?(upstream = []) id model feats =
+  {
+    Lower.in_id = id;
+    in_pred = pred;
+    in_model = model;
+    in_features = feats;
+    in_upstream = upstream;
+  }
+
+let two_tenants () =
+  [
+    input "a" (svm "a" 3) (features "x" 3) ~pred:(Pred.field_ge "x0" 1.);
+    input "b" (svm "b" 3) (features "y" 3) ~pred:(Pred.field_lt "y0" 5.);
+  ]
+
+let test_compose_shares_stages () =
+  let platform = Platform.tofino () in
+  match Lower.compose platform (two_tenants ()) with
+  | Error e -> Alcotest.fail (Lower.error_to_string e)
+  | Ok t ->
+      Alcotest.(check bool) "feasible" true t.Lower.verdict.Resource.feasible;
+      Alcotest.(check int) "two guard tables" 2 (Lower.guard_table_count t);
+      let device =
+        match t.Lower.pipeline with
+        | Lower.Mat { device; _ } -> device
+        | Lower.Grid _ -> Alcotest.fail "expected MAT pipeline"
+      in
+      let standalone =
+        List.fold_left
+          (fun acc tn -> acc + Lower.standalone_stages device tn)
+          0 t.Lower.tenants
+      in
+      (* The acceptance criterion: sharing beats the sum of its parts,
+         strictly. Two guarded 3-feature SVMs: 3 stages each standalone
+         (guard, features, decision), 3 stages composed. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "shared %d < standalone sum %d"
+           (Lower.stages_used t) standalone)
+        true
+        (Lower.stages_used t < standalone);
+      (* Union schema: first-seen order, x's then y's. *)
+      Alcotest.(check int) "union width" 6 (Array.length t.Lower.features);
+      Alcotest.(check string) "x first" "x0" t.Lower.features.(0);
+      Alcotest.(check string) "y after" "y0" t.Lower.features.(3)
+
+let test_compose_oversubscription_rejected () =
+  let three =
+    two_tenants ()
+    @ [ input "c" (svm "c" 3) (features "z" 3) ~pred:(Pred.field_ge "z0" 0.5) ]
+  in
+  (* Stage-starved: a guarded SVM needs 3 dependent stages; a 2-stage
+     pipeline cannot host any of them → allocator Capacity_exceeded. *)
+  (match
+     Lower.compose
+       (Platform.tofino
+          ~device:{ Tofino.default_device with Tofino.n_stages = 2 } ())
+       three
+   with
+  | Error (Lower.Allocation (Stage_alloc.Capacity_exceeded _)) -> ()
+  | Error e -> Alcotest.failf "wrong rejection: %s" (Lower.error_to_string e)
+  | Ok _ -> Alcotest.fail "2-stage pipeline must reject three tenants");
+  (* Table-starved: 3 guards + 3x4 model tables = 15 MATs against 8 — the
+     layout fits the stages, so the rejection is the combined verdict. *)
+  match Lower.compose (Platform.with_tables (Platform.tofino ()) 8) three with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Lower.error_to_string e)
+  | Ok t ->
+      Alcotest.(check bool) "infeasible" false t.Lower.verdict.Resource.feasible;
+      Alcotest.(check bool) "names the resource" true
+        (match t.Lower.verdict.Resource.rejection with
+        | Some r -> String.length r > 0
+        | None -> false)
+
+let test_compose_validation_errors () =
+  let platform = Platform.tofino () in
+  (match
+     Lower.compose platform
+       [ input "a" (svm "a" 3) (features "x" 3) ~pred:(Pred.field_ge "nope" 1.) ]
+   with
+  | Error (Lower.Unknown_field { field = "nope"; _ }) -> ()
+  | _ -> Alcotest.fail "expected Unknown_field");
+  (match
+     Lower.compose platform
+       [ input "a" (svm "a" 3) (features "x" 3) ~pred:(Pred.class_is "ghost" 1) ]
+   with
+  | Error (Lower.Unknown_upstream { upstream = "ghost"; _ }) -> ()
+  | _ -> Alcotest.fail "expected Unknown_upstream");
+  (match
+     Lower.compose platform
+       [
+         input "a" (svm "a" 3) (features "x" 3)
+           ~pred:(Pred.conj [ Pred.field_eq "x0" 1.; Pred.field_eq "x0" 2. ]);
+       ]
+   with
+  | Error (Lower.Bad_guard _) -> ()
+  | _ -> Alcotest.fail "expected Bad_guard for an unsatisfiable guard");
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Lower.compose: duplicate tenant id a") (fun () ->
+      ignore
+        (Lower.compose platform
+           [
+             input "a" (svm "a" 3) (features "x" 3);
+             input "a" (svm "a2" 3) (features "y" 3);
+           ]))
+
+let test_compose_grid () =
+  match Lower.compose (Platform.taurus ()) (two_tenants ()) with
+  | Error e -> Alcotest.fail (Lower.error_to_string e)
+  | Ok t -> (
+      Alcotest.(check bool) "feasible" true t.Lower.verdict.Resource.feasible;
+      match t.Lower.pipeline with
+      | Lower.Grid { cus; mus; placement; _ } ->
+          let claimed =
+            List.fold_left
+              (fun acc (_, ts) -> acc + List.length ts)
+              0 placement.Homunculus_backends.Placement.assignments
+          in
+          Alcotest.(check int) "tiles = cus + mus" (cus + mus) claimed;
+          (* Each guarded tenant charges one guard CU on the fabric. *)
+          Alcotest.(check bool) "guards claim CUs" true (cus >= 2)
+      | Lower.Mat _ -> Alcotest.fail "expected grid pipeline")
+
+let test_compose_deterministic () =
+  let t1 = Lower.compose (Platform.tofino ()) (two_tenants ()) in
+  let t2 = Lower.compose (Platform.tofino ()) (two_tenants ()) in
+  match (t1, t2) with
+  | Ok a, Ok b ->
+      Alcotest.(check string) "summaries bit-identical" (Lower.summary a)
+        (Lower.summary b)
+  | _ -> Alcotest.fail "compose failed"
+
+(* --------------------------------------------- differential oracle *)
+
+let test_oracle_parallel_guards () =
+  match Lower.compose (Platform.tofino ()) (two_tenants ()) with
+  | Error e -> Alcotest.fail (Lower.error_to_string e)
+  | Ok t ->
+      let rng = Rng.create 7 in
+      let vecs =
+        Array.init 200 (fun _ ->
+            Array.init 6 (fun _ -> float_of_int (Rng.int rng 11 - 5)))
+      in
+      Alcotest.(check int) "no violations" 0
+        (List.length (Compose_eval.check t vecs));
+      (* Guards really select: both matched and unmatched samples occur. *)
+      let ds = Compose_eval.decisions t vecs in
+      let fired =
+        Array.fold_left
+          (fun acc l ->
+            acc + List.length (List.filter (fun d -> d.Compose_eval.cls <> None) l))
+          0 ds
+      in
+      Alcotest.(check bool) "some fire" true (fired > 0);
+      Alcotest.(check bool) "some skip" true
+        (fired < 2 * Array.length vecs)
+
+(* Seq + class guard: the downstream tenant fires exactly when the
+   upstream one ran AND decided the guarded class. *)
+let test_oracle_sequential_class_guard () =
+  let inputs =
+    [
+      input "a" (svm "a" 2) (features "x" 2) ~pred:(Pred.field_ge "x0" 0.);
+      input "b" (svm "b" 2) (features "y" 2)
+        ~pred:(Pred.class_is "a" 1) ~upstream:[ "a" ];
+    ]
+  in
+  match Lower.compose (Platform.tofino ()) inputs with
+  | Error e -> Alcotest.fail (Lower.error_to_string e)
+  | Ok t ->
+      let rng = Rng.create 11 in
+      let vecs =
+        Array.init 200 (fun _ ->
+            Array.init 4 (fun _ -> float_of_int (Rng.int rng 11 - 5)))
+      in
+      Alcotest.(check int) "no violations" 0
+        (List.length (Compose_eval.check t vecs));
+      let ds = Compose_eval.decisions t vecs in
+      Array.iteri
+        (fun i l ->
+          match l with
+          | [ a; b ] ->
+              let expect_b =
+                match a.Compose_eval.cls with Some 1 -> true | _ -> false
+              in
+              if expect_b <> (b.Compose_eval.cls <> None) then
+                Alcotest.failf "sample %d: class guard mismatch" i
+          | _ -> Alcotest.fail "expected two decisions")
+        ds;
+      (* The class guard gates on the upstream's decision, so the guard
+         table DAG must order b's guard after a's decision table. *)
+      (match t.Lower.pipeline with
+      | Lower.Mat { allocation; _ } ->
+          let stage name = List.assoc name allocation.Stage_alloc.stage_of in
+          Alcotest.(check bool) "b's guard after a's decision" true
+            (stage "g__b" > stage "a__a_decision")
+      | Lower.Grid _ -> Alcotest.fail "expected MAT pipeline")
+
+let test_corpus_scatters_sources () =
+  let feats = [| "x0"; "x1"; "y0" |] in
+  let rows_x = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let rows_y = [| [| 9. |] |] in
+  let vecs =
+    Compose_eval.corpus (Rng.create 3) ~features:feats ~n:16
+      [ ([| "x0"; "x1" |], rows_x); ([| "y0" |], rows_y) ]
+  in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "x slot from a row" true
+        ((v.(0) = 1. && v.(1) = 2.) || (v.(0) = 3. && v.(1) = 4.));
+      Alcotest.(check (float 0.)) "y slot" 9. v.(2))
+    vecs
+
+let suite =
+  [
+    Alcotest.test_case "pred eval basics" `Quick test_pred_eval_basics;
+    Alcotest.test_case "pred simplify" `Quick test_pred_simplify_constants;
+    Alcotest.test_case "pred clauses shapes" `Quick test_pred_clauses_shapes;
+    Alcotest.test_case "pred clauses cap" `Quick test_pred_clauses_cap;
+    Alcotest.test_case "policy normalize" `Quick test_policy_normalize_rules;
+    Alcotest.test_case "policy tenants" `Quick test_policy_tenants;
+    Alcotest.test_case "compose shares stages" `Quick test_compose_shares_stages;
+    Alcotest.test_case "compose oversubscription" `Quick
+      test_compose_oversubscription_rejected;
+    Alcotest.test_case "compose validation" `Quick test_compose_validation_errors;
+    Alcotest.test_case "compose grid" `Quick test_compose_grid;
+    Alcotest.test_case "compose deterministic" `Quick test_compose_deterministic;
+    Alcotest.test_case "oracle parallel" `Quick test_oracle_parallel_guards;
+    Alcotest.test_case "oracle sequential" `Quick test_oracle_sequential_class_guard;
+    Alcotest.test_case "oracle corpus" `Quick test_corpus_scatters_sources;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_clauses_agree_with_eval ]

@@ -1,0 +1,92 @@
+(* qcheck properties over the RMT stage allocator: random dependency DAGs
+   (edges only ever point at earlier tables, so they are acyclic by
+   construction) allocated under random stage budgets. DAGs derive from an
+   integer seed through Rng — qcheck shrinks over seeds and every failure
+   reproduces from one integer. *)
+module Stage_alloc = Homunculus_backends.Stage_alloc
+module Rng = Homunculus_util.Rng
+
+(* A random DAG: table i may depend on any subset of tables 0..i-1 (sparse,
+   ~2 edges per table) — the shape of merged multi-tenant table graphs. *)
+let random_tables rng =
+  let n = 1 + Rng.int rng 24 in
+  List.init n (fun i ->
+      let deps = ref [] in
+      if i > 0 then
+        for _ = 1 to Rng.int rng 3 do
+          let d = Rng.int rng i in
+          let name = Printf.sprintf "t%d" d in
+          if not (List.mem name !deps) then deps := name :: !deps
+        done;
+      { Stage_alloc.name = Printf.sprintf "t%d" i; depends_on = !deps })
+
+let random_case seed =
+  let rng = Rng.create seed in
+  let tables = random_tables rng in
+  let tables_per_stage = 1 + Rng.int rng 5 in
+  let n_stages = 1 + Rng.int rng 30 in
+  (tables, n_stages, tables_per_stage)
+
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let with_allocation seed f =
+  let tables, n_stages, tables_per_stage = random_case seed in
+  match Stage_alloc.allocate ~n_stages ~tables_per_stage tables with
+  | Error (Stage_alloc.Capacity_exceeded _) -> true (* rejection is fine *)
+  | Error e ->
+      QCheck.Test.fail_reportf "unexpected error: %s"
+        (Stage_alloc.error_to_string e)
+  | Ok allocation -> f tables ~n_stages ~tables_per_stage allocation
+
+let prop_deps_strictly_earlier =
+  QCheck.Test.make ~name:"every table lands strictly after its dependencies"
+    ~count:500 seed_gen (fun seed ->
+      with_allocation seed (fun tables ~n_stages:_ ~tables_per_stage:_ a ->
+          List.for_all
+            (fun (t : Stage_alloc.table) ->
+              let stage = List.assoc t.Stage_alloc.name a.Stage_alloc.stage_of in
+              List.for_all
+                (fun d -> List.assoc d a.Stage_alloc.stage_of < stage)
+                t.Stage_alloc.depends_on)
+            tables))
+
+let prop_occupancy_within_capacity =
+  QCheck.Test.make
+    ~name:"per-stage occupancy never exceeds tables_per_stage and sums to n"
+    ~count:500 seed_gen (fun seed ->
+      with_allocation seed (fun tables ~n_stages:_ ~tables_per_stage a ->
+          Array.for_all (fun o -> o <= tables_per_stage) a.Stage_alloc.occupancy
+          && Array.fold_left ( + ) 0 a.Stage_alloc.occupancy
+             = List.length tables
+          && Array.length a.Stage_alloc.occupancy = a.Stage_alloc.stages_used))
+
+let prop_critical_path_lower_bound =
+  QCheck.Test.make
+    ~name:"critical path lower-bounds stages_used; equality at capacity 1+"
+    ~count:500 seed_gen (fun seed ->
+      with_allocation seed (fun tables ~n_stages:_ ~tables_per_stage:_ a ->
+          let cp = Stage_alloc.critical_path tables in
+          cp <= a.Stage_alloc.stages_used))
+
+(* With unlimited per-stage capacity the greedy levelizer is exactly the
+   critical path — the bound is tight, not just safe. *)
+let prop_critical_path_tight_when_uncapped =
+  QCheck.Test.make ~name:"uncapped allocation uses exactly critical_path stages"
+    ~count:500 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let tables = random_tables rng in
+      let n = List.length tables in
+      match Stage_alloc.allocate ~n_stages:(n + 1) ~tables_per_stage:n tables with
+      | Error e ->
+          QCheck.Test.fail_reportf "uncapped allocation failed: %s"
+            (Stage_alloc.error_to_string e)
+      | Ok a -> a.Stage_alloc.stages_used = Stage_alloc.critical_path tables)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_deps_strictly_earlier;
+      prop_occupancy_within_capacity;
+      prop_critical_path_lower_bound;
+      prop_critical_path_tight_when_uncapped;
+    ]
