@@ -17,6 +17,7 @@ let experiments =
     ("fig7", Fig7.run);
     ("reaction", Reaction_bench.run);
     ("serve", Serve_bench.run);
+    ("loadgen", Loadgen_bench.run);
     ("micro", Micro.run);
     ("ablation", Ablation.run);
     ("dse", Dse_bench.run);

@@ -10,6 +10,8 @@
      sweep     Fig. 7-style table-budget sweep for the KMeans classifier
      serve     replay a trace through the online serving runtime (drift
                detection + hot-swap)
+     loadgen   open-loop load generation against the serving engine:
+               throughput, latency percentiles, SLO gate
      check     differential conformance: random models through every
                deployment path, compared against the FP reference *)
 
@@ -635,6 +637,164 @@ let serve trace_path seed rate window_events label_delay algorithm train_frac
   | None -> ());
   0
 
+(* loadgen: open-loop serving throughput / latency measurement *)
+
+let loadgen seed payload rates process_name burst peak service_rate quantized
+    slo_p99 json_out =
+  let module Serve = Homunculus_serve in
+  let module Model_ir = Homunculus_backends.Model_ir in
+  let module Svm = Homunculus_ml.Svm in
+  let module Serve_eval = Homunculus_check.Serve_eval in
+  let module Json = Homunculus_util.Json in
+  let rng = Rng.create seed in
+  let process =
+    match process_name with
+    | "poisson" -> Serve.Loadgen.Poisson
+    | "bursty" ->
+        Serve.Loadgen.Bursty { mean_burst = burst; peak_factor = peak }
+    | other ->
+        failwith (Printf.sprintf "unknown process %s (use poisson|bursty)" other)
+  in
+  (* Payload: a MAT-mappable model plus a feature-carrying event trace whose
+     timestamps the generator will overwrite. *)
+  let model, base, n_classes =
+    match payload with
+    | "botnet" ->
+        let mix =
+          { Homunculus_netdata.Flowsim.n_flows = 100;
+            botnet_frac = 0.5; max_packets = 160 }
+        in
+        let train = Homunculus_netdata.Flowsim.generate rng ~mix () in
+        let model =
+          Serve.Updater.bootstrap (Rng.split rng) ~algorithm:`Svm
+            ~bins:Botnet.Fused ~name:"botnet_detection" train
+        in
+        let flows = Homunculus_netdata.Flowsim.generate rng ~mix () in
+        (model, Serve.Stream.events (Rng.split rng) flows, 2)
+    | "nslkdd" | "iot" ->
+        let train, test =
+          if payload = "nslkdd" then Nslkdd.generate_split (Rng.split rng) ()
+          else Iot.generate_split (Rng.split rng) ()
+        in
+        let svm = Svm.fit (Rng.split rng) train in
+        let model = Model_ir.of_svm ~name:payload svm in
+        let n = Array.length test.Dataset.x in
+        let base =
+          Serve.Stream.of_samples ~app:payload ~labels:test.Dataset.y
+            ~ts:(Array.init n float_of_int) test.Dataset.x
+        in
+        (model, base, train.Dataset.n_classes)
+    | other ->
+        failwith
+          (Printf.sprintf "unknown payload %s (use botnet|nslkdd|iot)" other)
+  in
+  let mode = if quantized then Serve.Engine.Quantized else Serve.Engine.Reference in
+  Printf.printf
+    "payload %s: %d events, %d classes; %s drain, service rate %.0f pps\n\n"
+    payload (Array.length base) n_classes
+    (if quantized then "quantized" else "reference")
+    service_rate;
+  let run_rate rate =
+    let g =
+      Serve.Loadgen.generator (Rng.create (seed + 1)) ~rate ~process
+    in
+    let events = Serve.Loadgen.retime g base in
+    let config =
+      {
+        Serve.Engine.default_config with
+        Serve.Engine.mode;
+        service_rate_pps = service_rate;
+        trace_capacity = Array.length events;
+      }
+    in
+    let monitor = Serve.Monitor.create ~n_classes () in
+    let engine = Serve.Engine.create ~config ~model ~monitor () in
+    let label =
+      Printf.sprintf "%s_%s_%gpps" payload
+        (Serve.Loadgen.process_name process) rate
+    in
+    (engine, Serve.Loadgen.drive ~label engine ~rate ~process events)
+  in
+  let runs = List.map run_rate rates in
+  List.iter
+    (fun (_, (r : Serve.Loadgen.result)) ->
+      let lat p =
+        if Array.length r.Serve.Loadgen.latencies = 0 then Float.nan
+        else Serve.Report.percentile p r.Serve.Loadgen.latencies
+      in
+      Printf.printf
+        "%-28s offered %6d served %6d dropped %5d | %9.0f inf/s | p50 %6.1f \
+         ms  p99 %6.1f ms  p999 %6.1f ms\n"
+        r.Serve.Loadgen.label r.Serve.Loadgen.offered r.Serve.Loadgen.served
+        r.Serve.Loadgen.dropped r.Serve.Loadgen.sustained_ips
+        (1e3 *. lat 50.) (1e3 *. lat 99.) (1e3 *. lat 99.9))
+    runs;
+  (* Quantized runs must replay bit-identically through the pure oracle. *)
+  let mismatches =
+    if not quantized then 0
+    else
+      List.fold_left
+        (fun acc (engine, _) ->
+          let rp = Serve_eval.replay_quantized engine in
+          acc + List.length rp.Serve_eval.mismatches)
+        0 runs
+  in
+  if quantized then
+    Printf.printf "\nquantized replay oracle: %d mismatches\n" mismatches;
+  (match json_out with
+  | Some path ->
+      let json =
+        Json.Object
+          [
+            ("seed", Json.Number (float_of_int seed));
+            ("payload", Json.String payload);
+            ("service_rate_pps", Json.Number service_rate);
+            ( "runs",
+              Json.List
+                (List.map
+                   (fun (_, r) -> Serve.Loadgen.result_to_json r)
+                   runs) );
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Json.to_string ~pretty:true json);
+          Out_channel.output_char oc '\n');
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if mismatches > 0 then begin
+    Printf.eprintf "FAIL: quantized drain diverged from the replay oracle\n";
+    1
+  end
+  else
+    match slo_p99 with
+    | None -> 0
+    | Some budget ->
+        let worst =
+          List.fold_left
+            (fun acc (_, r) ->
+              (* The SLO applies to rates the engine can sustain — an
+                 over-subscribed run's latency rides the queue capacity by
+                 design, so gate only runs that dropped nothing. *)
+              if r.Serve.Loadgen.dropped = 0 then
+                Stdlib.max acc (Serve.Loadgen.p99 r)
+              else acc)
+            neg_infinity runs
+        in
+        if worst = neg_infinity then begin
+          Printf.printf "SLO gate: no drop-free run to gate\n";
+          0
+        end
+        else if worst <= budget then begin
+          Printf.printf "SLO gate: worst drop-free p99 %.1f ms <= budget %.1f ms\n"
+            (1e3 *. worst) (1e3 *. budget);
+          0
+        end
+        else begin
+          Printf.eprintf "FAIL: p99 %.4f s exceeds the %.4f s SLO budget\n"
+            worst budget;
+          4
+        end
+
 (* check: differential conformance harness *)
 
 let check seed trials backends families artifact_dir max_shrink replay =
@@ -812,6 +972,53 @@ let serve_cmd =
       $ label_delay_arg $ algorithm_arg $ train_frac_arg $ no_update_arg
       $ quantized_arg $ inject_drift_arg $ jsonl_arg)
 
+let loadgen_cmd =
+  let payload_arg =
+    let doc = "Workload to serve: botnet, nslkdd, or iot." in
+    Arg.(value & opt string "botnet" & info [ "payload" ] ~docv:"NAME" ~doc)
+  in
+  let rates_arg =
+    let doc = "Offered arrival rate in packets per second. Repeatable." in
+    Arg.(value & opt_all float [ 100.; 240. ] & info [ "rate" ] ~docv:"PPS" ~doc)
+  in
+  let process_arg =
+    let doc = "Arrival process: poisson or bursty." in
+    Arg.(value & opt string "poisson" & info [ "process" ] ~docv:"PROC" ~doc)
+  in
+  let burst_arg =
+    let doc = "Mean burst length for the bursty process." in
+    Arg.(value & opt int 8 & info [ "burst" ] ~docv:"N" ~doc)
+  in
+  let peak_arg =
+    let doc = "In-burst rate multiplier for the bursty process." in
+    Arg.(value & opt float 4. & info [ "peak" ] ~docv:"F" ~doc)
+  in
+  let service_rate_arg =
+    let doc = "Engine service rate in packets per virtual second." in
+    Arg.(value & opt float 200. & info [ "service-rate" ] ~docv:"PPS" ~doc)
+  in
+  let quantized_arg =
+    let doc = "Drain through the fixed-point MAT runtime and replay every \
+               verdict through the pure oracle (exit 1 on any mismatch)." in
+    Arg.(value & flag & info [ "quantized" ] ~doc)
+  in
+  let slo_arg =
+    let doc = "Fail (exit 4) when the worst drop-free p99 service latency \
+               exceeds this budget in seconds." in
+    Arg.(value & opt (some float) None & info [ "slo-p99" ] ~docv:"S" ~doc)
+  in
+  let json_arg =
+    let doc = "Write per-run throughput/latency results as JSON to this file." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Open-loop load generation: measure serving throughput and \
+             latency at fixed offered rates." in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const loadgen $ seed_arg $ payload_arg $ rates_arg $ process_arg
+      $ burst_arg $ peak_arg $ service_rate_arg $ quantized_arg $ slo_arg
+      $ json_arg)
+
 let check_cmd =
   let trials_arg =
     let doc = "Number of random (model, batch) cases to generate." in
@@ -856,7 +1063,8 @@ let main_cmd =
   Cmd.group (Cmd.info "homc" ~version:"1.0.0" ~doc)
     [
       compile_cmd; compose_cmd; inspect_cmd; datasets_cmd; sweep_cmd;
-      place_cmd; simulate_cmd; export_trace_cmd; serve_cmd; check_cmd;
+      place_cmd; simulate_cmd; export_trace_cmd; serve_cmd; loadgen_cmd;
+      check_cmd;
     ]
 
 let () =

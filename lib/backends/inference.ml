@@ -60,6 +60,29 @@ let predict model x = Homunculus_util.Stats.argmax (scores model x)
 
 let predict_all model xs = Array.map (predict model) xs
 
+(* Rebuild a trainable/batchable MLP from a DNN IR so serving loops can
+   drain whole batches through [Mlp.logits_batch]'s fused GEMM kernels.
+   Per-layer activations carry over exactly ([Activation.apply] computes
+   the same function as [apply_activation]); the one semantic gap is
+   summation order — [dense_forward] seeds the accumulator with the bias
+   while the GEMM adds it after the products — so logits may differ from
+   [scores] in the last ulp. *)
+let mlp_of_ir model =
+  match model with
+  | Model_ir.Kmeans _ | Model_ir.Svm _ | Model_ir.Tree _ -> None
+  | Model_ir.Dnn { layers; _ } ->
+      let open Homunculus_tensor in
+      let to_layer (l : Model_ir.dnn_layer) =
+        let w =
+          Mat.init l.Model_ir.n_out l.Model_ir.n_in (fun i j ->
+              l.Model_ir.weights.(i).(j))
+        in
+        let b = Array.copy l.Model_ir.biases in
+        Homunculus_ml.Layer.of_params ~w ~b
+          ~act:(Homunculus_ml.Activation.of_name l.Model_ir.activation)
+      in
+      Some (Homunculus_ml.Mlp.of_layers (Array.map to_layer layers))
+
 let quantize_weights model ~bits =
   if bits < 1 || bits > 52 then
     invalid_arg "Inference.quantize_weights: bits outside [1, 52]";

@@ -17,6 +17,17 @@ val predict : Model_ir.t -> float array -> int
 
 val predict_all : Model_ir.t -> float array array -> int array
 
+val mlp_of_ir : Model_ir.t -> Homunculus_ml.Mlp.t option
+(** Rebuild a batched-inference MLP from a DNN IR ([None] for the MAT
+    families), so serving loops can drain whole batches through
+    {!Homunculus_ml.Mlp.logits_batch} instead of per-sample {!predict}.
+    Decisions agree with {!predict} up to summation order: the reference
+    interpreter seeds each neuron's accumulator with the bias, the GEMM
+    adds it after the products, so logits can differ in the last ulp and
+    an exactly-tied argmax can in principle resolve differently.
+    @raise Invalid_argument on an activation name {!scores} would also
+    reject. *)
+
 val quantize_weights : Model_ir.t -> bits:int -> Model_ir.t
 (** Fixed-point quantization of all trained parameters to [bits] fractional
     bits — the precision the Spatial backend deploys ([FixPt] in the emitted

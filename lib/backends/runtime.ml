@@ -152,69 +152,121 @@ let load ?(entries_per_feature = 64) ?calibration model =
 
 let feature_scales t = Array.copy t.scales
 
+let n_features t = t.n_features
+
 let check_input t x =
   if Array.length x <> t.n_features then
     invalid_arg "Runtime.classify: feature dimension mismatch"
 
-let classify t x =
+(* ------------------------------------------------------------------ *)
+(* Allocation-free hot path.
+
+   The serving engine drains batches through [encode_into] + [lookup] on a
+   per-engine [workspace]; none of the three may allocate in steady state
+   (asserted by a [Gc.minor_words] test). Everything below is written as
+   plain counted loops over pre-existing arrays: local [ref]s are compiled
+   to mutable stack slots (they never escape), `Float.round` is an unboxed
+   [@@noalloc] external, and all intermediate floats stay unboxed because
+   they are consumed immediately within the same function body. *)
+
+type workspace = { keys : int array }
+
+let make_workspace t = { keys = Array.make (max 1 t.n_features) 0 }
+
+let workspace_keys ws = Array.copy ws.keys
+
+let encode_into t ws x =
   check_input t x;
-  let keys = Array.mapi (fun f v -> quantize_scaled t.scales.(f) v) x in
+  if Array.length ws.keys < t.n_features then
+    invalid_arg "Runtime.encode_into: workspace from a different runtime";
+  let scales = t.scales and keys = ws.keys in
+  for f = 0 to t.n_features - 1 do
+    (* Inlined [quantize_scaled scales.(f) x.(f)]: round, truncate, clamp —
+       in that order, so keys are bit-identical to [classify]'s. *)
+    let k = int_of_float (Float.round (x.(f) *. scales.(f))) in
+    let k = if k < -32768 then -32768 else if k > 32767 then 32767 else k in
+    keys.(f) <- k
+  done
+
+let lookup t ws =
+  let keys = ws.keys in
+  let nf = t.n_features in
   match t.pipeline with
-  | Kmeans_tables p -> (
+  | Kmeans_tables p ->
       (* TCAM priority semantics: the first cluster whose every per-feature
          range matches wins. *)
       let n = Array.length p.cells in
-      let rec first_match c =
-        if c >= n then None
-        else
-          let hit =
-            Array.for_all2
-              (fun (lo, hi) key -> key >= lo && key <= hi)
-              p.cells.(c) keys
-          in
-          if hit then Some c else first_match (c + 1)
-      in
-      match first_match 0 with
-      | Some c -> c
-      | None ->
-          (* Default action: nearest quantized centroid. *)
-          p.misses <- p.misses + 1;
-          let best = ref 0 and best_d = ref max_int in
-          Array.iteri
-            (fun c centroid ->
-              let d = ref 0 in
-              Array.iteri
-                (fun f cf ->
-                  let delta = keys.(f) - cf in
-                  d := !d + (delta * delta))
-                centroid;
-              if !d < !best_d then begin
-                best := c;
-                best_d := !d
-              end)
-            p.centroids_q;
-          !best)
+      let c = ref 0 and hit = ref (-1) in
+      while !hit < 0 && !c < n do
+        let cell = p.cells.(!c) in
+        let ok = ref true and f = ref 0 in
+        while !ok && !f < nf do
+          let lo, hi = cell.(!f) in
+          let key = keys.(!f) in
+          if key < lo || key > hi then ok := false else incr f
+        done;
+        if !ok then hit := !c else incr c
+      done;
+      if !hit >= 0 then !hit
+      else begin
+        (* Default action: nearest quantized centroid. *)
+        p.misses <- p.misses + 1;
+        let best = ref 0 and best_d = ref max_int in
+        for c = 0 to Array.length p.centroids_q - 1 do
+          let centroid = p.centroids_q.(c) in
+          let d = ref 0 in
+          for f = 0 to nf - 1 do
+            let delta = keys.(f) - centroid.(f) in
+            d := !d + (delta * delta)
+          done;
+          if !d < !best_d then begin
+            best := c;
+            best_d := !d
+          end
+        done;
+        !best
+      end
   | Svm_tables p ->
-      let scores =
-        Array.mapi
-          (fun c w ->
-            let acc = ref p.biases_q.(c) in
-            Array.iteri (fun f wf -> acc := !acc + (wf * keys.(f))) w;
-            !acc)
-          p.weights_q
-      in
-      let best = ref 0 in
-      Array.iteri (fun c s -> if s > scores.(!best) then best := c) scores;
+      (* Running max over integer scores; ties keep the first maximal class,
+         exactly like argmax over the materialized score array. *)
+      let best = ref 0 and best_s = ref min_int in
+      for c = 0 to Array.length p.weights_q - 1 do
+        let w = p.weights_q.(c) in
+        let acc = ref p.biases_q.(c) in
+        for f = 0 to nf - 1 do
+          acc := !acc + (w.(f) * keys.(f))
+        done;
+        if !acc > !best_s then begin
+          best := c;
+          best_s := !acc
+        end
+      done;
       !best
   | Tree_tables root ->
-      let rec walk = function
+      let node = ref root in
+      let result = ref (-1) in
+      while !result < 0 do
+        match !node with
         | Decision_tree.Leaf { distribution } ->
-            Homunculus_util.Stats.argmax distribution
+            result := Homunculus_util.Stats.argmax distribution
         | Decision_tree.Split { feature; threshold; left; right } ->
-            if float_of_int keys.(feature) <= threshold then walk left
-            else walk right
-      in
-      walk root
+            node :=
+              (if float_of_int keys.(feature) <= threshold then left else right)
+      done;
+      !result
+
+let classify_into t ws ~src ~n ~dst =
+  if n < 0 || n > Array.length src || n > Array.length dst then
+    invalid_arg "Runtime.classify_into: batch size out of bounds";
+  for i = 0 to n - 1 do
+    encode_into t ws src.(i);
+    dst.(i) <- lookup t ws
+  done
+
+let classify t x =
+  let ws = make_workspace t in
+  encode_into t ws x;
+  lookup t ws
 
 let classify_all t xs = Array.map (classify t) xs
 

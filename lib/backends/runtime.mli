@@ -28,10 +28,53 @@ val load :
 val feature_scales : t -> float array
 (** The per-feature key scale chosen at load time. *)
 
+val n_features : t -> int
+(** Input dimension the tables were built for. *)
+
 val classify : t -> float array -> int
-(** Push one feature vector through the table pipeline. *)
+(** Push one feature vector through the table pipeline. Equivalent to
+    [encode_into] + [lookup] on a fresh workspace (and implemented that
+    way), so [classify] is bit-identical to the allocation-free path. *)
 
 val classify_all : t -> float array array -> int array
+
+(** {2 Allocation-free hot path}
+
+    The serving engine's steady-state drain. A [workspace] owns the key
+    buffer one in-flight packet needs; encode then look up on the same
+    workspace. Neither step allocates on the OCaml minor heap (asserted by
+    a [Gc.minor_words] test), so a preallocated workspace gives a
+    GC-silent drain loop. A workspace belongs to exactly one runtime value
+    and must not be shared across concurrent drains. *)
+
+type workspace
+
+val make_workspace : t -> workspace
+(** Allocate the (reusable) scratch buffers for [encode_into]/[lookup].
+    The only allocating call on this path — do it once per engine, not per
+    packet. *)
+
+val workspace_keys : workspace -> int array
+(** Snapshot of the 16-bit keys written by the most recent [encode_into]
+    (a copy — safe to keep). Exposed for differential replay oracles. *)
+
+val encode_into : t -> workspace -> float array -> unit
+(** Quantize one feature vector into the workspace's key buffer using the
+    runtime's per-feature scales — bit-identical to the keys [classify]
+    derives. @raise Invalid_argument on dimension mismatch or a workspace
+    from a smaller runtime. *)
+
+val lookup : t -> workspace -> int
+(** Table lookup on the keys most recently encoded into [workspace]:
+    TCAM first-match over cluster cells (nearest quantized centroid on
+    miss, counted in {!miss_count}), integer SVM vote, or quantized tree
+    walk. First-match / first-maximum tie-breaking is identical to
+    {!classify}. *)
+
+val classify_into : t -> workspace -> src:float array array -> n:int -> dst:int array -> unit
+(** Drain [src.(0 .. n-1)] through encode+lookup, writing verdicts to
+    [dst.(0 .. n-1)]. Allocation-free given a preallocated [dst].
+    @raise Invalid_argument if [n] exceeds either array. *)
 
 val miss_count : t -> int
 (** KMeans pipelines only: how many packets missed every cluster cell since

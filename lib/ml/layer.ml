@@ -19,6 +19,17 @@ let create rng ~n_in ~n_out ~act =
     grad_b = Vec.create n_out;
   }
 
+let of_params ~w ~b ~act =
+  if Vec.dim b <> w.Mat.rows then
+    invalid_arg "Layer.of_params: bias dimension <> weight rows";
+  {
+    w;
+    b;
+    act;
+    grad_w = Mat.create w.Mat.rows w.Mat.cols;
+    grad_b = Vec.create w.Mat.rows;
+  }
+
 let n_in t = t.w.Mat.cols
 let n_out t = t.w.Mat.rows
 let param_count t = Mat.n_elements t.w + Vec.dim t.b

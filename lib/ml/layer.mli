@@ -18,6 +18,11 @@ val create :
   Homunculus_util.Rng.t -> n_in:int -> n_out:int -> act:Activation.t -> t
 (** He-style initialization scaled by fan-in; biases start at zero. *)
 
+val of_params : w:Mat.t -> b:Vec.t -> act:Activation.t -> t
+(** Wrap existing parameters (not copied) in a layer with fresh zeroed
+    gradient buffers — for rebuilding a network from a serialized IR.
+    @raise Invalid_argument if [b]'s dimension is not [w]'s row count. *)
+
 val n_in : t -> int
 val n_out : t -> int
 val param_count : t -> int

@@ -22,6 +22,19 @@ let create rng ~input_dim ~hidden ~output_dim ?(hidden_act = Activation.Relu) ()
   in
   { layers; hidden_act; loss = Loss.Softmax_cross_entropy; input_dim }
 
+let of_layers layers =
+  let n = Array.length layers in
+  if n = 0 then invalid_arg "Mlp.of_layers: empty layer stack";
+  for i = 1 to n - 1 do
+    if Layer.n_in layers.(i) <> Layer.n_out layers.(i - 1) then
+      invalid_arg "Mlp.of_layers: layer dimension chain mismatch"
+  done;
+  let hidden_act =
+    if n > 1 then layers.(0).Layer.act else Activation.Relu
+  in
+  { layers; hidden_act; loss = Loss.Softmax_cross_entropy;
+    input_dim = Layer.n_in layers.(0) }
+
 let layers t = t.layers
 
 let layer_sizes t =

@@ -19,6 +19,14 @@ val create :
   t
 (** @raise Invalid_argument on non-positive dimensions. *)
 
+val of_layers : Layer.t array -> t
+(** Wrap an existing layer stack (not copied) — for rebuilding a network
+    from serialized parameters. Each layer keeps its own activation (so
+    {!logits_batch} honors it exactly); the reported hidden activation is
+    the first layer's. The loss defaults to softmax cross-entropy.
+    @raise Invalid_argument on an empty stack or a dimension-chain
+    mismatch. *)
+
 val layers : t -> Layer.t array
 val layer_sizes : t -> int array
 (** [input_dim; hidden...; output_dim]. *)

@@ -3,6 +3,7 @@ module Inference = Homunculus_backends.Inference
 module Runtime = Homunculus_backends.Runtime
 module Pipeline_sim = Homunculus_backends.Pipeline_sim
 module Taurus = Homunculus_backends.Taurus
+module Mlp = Homunculus_ml.Mlp
 
 type mode = Reference | Quantized
 
@@ -12,6 +13,7 @@ type config = {
   service_rate_pps : float;
   mode : mode;
   entries_per_feature : int;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -21,6 +23,7 @@ let default_config =
     service_rate_pps = 200.;
     mode = Reference;
     entries_per_feature = 64;
+    trace_capacity = 0;
   }
 
 let config_of_mapping ?service_rate_pps grid mapping =
@@ -58,10 +61,22 @@ type summary = {
   updater_decisions : Updater.decision list;
 }
 
+type trace = {
+  n : int;
+  arrivals : float array;
+  completions : float array;
+  verdicts : int array;
+  epochs : int array;
+  truths : int array;
+  xs : float array array;
+}
+
 type t = {
   config : config;
   mutable model_ir : Model_ir.t;
   mutable runtime : Runtime.t option;  (* Some in Quantized mode *)
+  mutable rt_ws : Runtime.workspace option;  (* paired with [runtime] *)
+  mutable ref_mlp : Mlp.t option;  (* Some in Reference mode for DNN IRs *)
   monitor : Monitor.t;
   updater : Updater.t option;
   queue : Stream.event Queue.t;
@@ -70,7 +85,34 @@ type t = {
   mutable served : int;
   mutable dropped : int;
   mutable rev_swaps : swap list;
+  mutable epoch : int;  (* 0, +1 per installed hot-swap *)
+  mutable rev_epoch_runtimes : Runtime.t list;  (* retired, newest first *)
+  mutable rev_epoch_models : Model_ir.t list;  (* retired, newest first *)
+  (* Preallocated drain workspaces: the steady-state batch loop pops into
+     these instead of allocating per batch. [batch_x] holds pointers to the
+     popped events' feature arrays, never copies. *)
+  batch_ev : Stream.event array;
+  batch_x : float array array;
+  verdicts : int array;
+  (* Preallocated trace ring (first [trace_capacity] served packets). *)
+  trace_arrival : float array;
+  trace_done : float array;
+  trace_verdict : int array;
+  trace_epoch : int array;
+  trace_truth : int array;
+  trace_x : float array array;
+  mutable trace_len : int;
 }
+
+let dummy_event =
+  {
+    Stream.ts = 0.;
+    flow_id = -1;
+    app = "";
+    label = 0;
+    packet_index = 0;
+    features = [||];
+  }
 
 let load_runtime config model =
   Runtime.load ~entries_per_feature:config.entries_per_feature model
@@ -80,15 +122,25 @@ let create ?(config = default_config) ~model ~monitor ?updater () =
   if config.batch_size <= 0 then invalid_arg "Engine.create: batch_size <= 0";
   if config.service_rate_pps <= 0. then
     invalid_arg "Engine.create: service_rate_pps <= 0";
+  if config.trace_capacity < 0 then
+    invalid_arg "Engine.create: trace_capacity < 0";
   let runtime =
     match config.mode with
     | Reference -> None
     | Quantized -> Some (load_runtime config model)
   in
+  let ref_mlp =
+    match config.mode with
+    | Reference -> Inference.mlp_of_ir model
+    | Quantized -> None
+  in
+  let cap = config.trace_capacity in
   {
     config;
     model_ir = model;
     runtime;
+    rt_ws = Option.map Runtime.make_workspace runtime;
+    ref_mlp;
     monitor;
     updater;
     queue = Queue.create ();
@@ -97,14 +149,68 @@ let create ?(config = default_config) ~model ~monitor ?updater () =
     served = 0;
     dropped = 0;
     rev_swaps = [];
+    epoch = 0;
+    rev_epoch_runtimes = [];
+    rev_epoch_models = [];
+    batch_ev = Array.make config.batch_size dummy_event;
+    batch_x = Array.make config.batch_size [||];
+    verdicts = Array.make config.batch_size 0;
+    trace_arrival = Array.make cap 0.;
+    trace_done = Array.make cap 0.;
+    trace_verdict = Array.make cap 0;
+    trace_epoch = Array.make cap 0;
+    trace_truth = Array.make cap 0;
+    trace_x = Array.make cap [||];
+    trace_len = 0;
   }
 
 let model t = t.model_ir
 
-let classify_batch t xs =
+let current_runtime t = t.runtime
+
+let epoch t = t.epoch
+
+let epoch_runtimes t =
   match t.runtime with
-  | Some rt -> Runtime.classify_all rt xs
-  | None -> Inference.predict_all t.model_ir xs
+  | None -> [||]
+  | Some rt -> Array.of_list (List.rev (rt :: t.rev_epoch_runtimes))
+
+let epoch_models t = Array.of_list (List.rev (t.model_ir :: t.rev_epoch_models))
+
+let trace t =
+  {
+    n = t.trace_len;
+    arrivals = Array.sub t.trace_arrival 0 t.trace_len;
+    completions = Array.sub t.trace_done 0 t.trace_len;
+    verdicts = Array.sub t.trace_verdict 0 t.trace_len;
+    epochs = Array.sub t.trace_epoch 0 t.trace_len;
+    truths = Array.sub t.trace_truth 0 t.trace_len;
+    xs = Array.sub t.trace_x 0 t.trace_len;
+  }
+
+(* Classify [batch_x.(0 .. k-1)] into [verdicts.(0 .. k-1)]. The quantized
+   arm is the allocation-free hot path: encode + lookup on the per-engine
+   runtime workspace, nothing touches the minor heap. The reference arm
+   drains DNNs through [Mlp.logits_batch]'s fused batch GEMM (one product
+   per layer instead of one matvec per sample) and the MAT families through
+   the per-sample interpreter. *)
+let classify_batch_into t k =
+  match (t.runtime, t.rt_ws) with
+  | Some rt, Some ws ->
+      Runtime.classify_into rt ws ~src:t.batch_x ~n:k ~dst:t.verdicts
+  | _ -> (
+      match t.ref_mlp with
+      | Some mlp ->
+          let rows =
+            if k = Array.length t.batch_x then t.batch_x
+            else Array.sub t.batch_x 0 k
+          in
+          let preds = Mlp.predict_all mlp rows in
+          Array.blit preds 0 t.verdicts 0 k
+      | None ->
+          for i = 0 to k - 1 do
+            t.verdicts.(i) <- Inference.predict t.model_ir t.batch_x.(i)
+          done)
 
 (* Feed newly labeled events to the updater's example buffer. *)
 let absorb_labeled t labeled =
@@ -117,7 +223,12 @@ let absorb_labeled t labeled =
         labeled
 
 (* Drift reaction: retrain + validate; install the challenger between
-   batches without touching the queue. *)
+   batches without touching the queue. Swap atomicity contract: the epoch
+   counter, the classifier reference, and (in quantized mode) the rebuilt
+   runtime + workspace all change together, strictly between batches — a
+   batch already popped into the drain workspaces always completes against
+   the tables it started with, and every packet it serves is stamped with
+   the pre-swap epoch. *)
 let maybe_swap t ~now =
   match Monitor.poll_drift t.monitor with
   | None -> ()
@@ -133,16 +244,24 @@ let maybe_swap t ~now =
           with
           | None -> Monitor.rearm t.monitor
           | Some challenger ->
+              t.rev_epoch_models <- t.model_ir :: t.rev_epoch_models;
               t.model_ir <- challenger;
               (match t.config.mode with
-              | Reference -> ()
+              | Reference -> t.ref_mlp <- Inference.mlp_of_ir challenger
               | Quantized ->
+                  (match t.runtime with
+                  | Some rt ->
+                      t.rev_epoch_runtimes <- rt :: t.rev_epoch_runtimes
+                  | None -> ());
                   let calibration = Updater.calibration_sample u ~n:256 in
-                  t.runtime <-
-                    Some
-                      (Runtime.load
-                         ~entries_per_feature:t.config.entries_per_feature
-                         ~calibration challenger));
+                  let rt =
+                    Runtime.load
+                      ~entries_per_feature:t.config.entries_per_feature
+                      ~calibration challenger
+                  in
+                  t.runtime <- Some rt;
+                  t.rt_ws <- Some (Runtime.make_workspace rt));
+              t.epoch <- t.epoch + 1;
               let last_decision =
                 match List.rev (Updater.decisions u) with
                 | d :: _ -> d
@@ -164,15 +283,31 @@ let maybe_swap t ~now =
    time by one service slot per packet. *)
 let serve_one_batch t =
   let k = Stdlib.min t.config.batch_size (Queue.length t.queue) in
-  let batch = Array.init k (fun _ -> Queue.pop t.queue) in
-  let verdicts = classify_batch t (Array.map (fun e -> e.Stream.features) batch) in
+  for i = 0 to k - 1 do
+    let e = Queue.pop t.queue in
+    t.batch_ev.(i) <- e;
+    t.batch_x.(i) <- e.Stream.features
+  done;
+  classify_batch_into t k;
   let slot = 1. /. t.config.service_rate_pps in
-  Array.iteri
-    (fun i e ->
-      let done_ts = t.srv +. (float_of_int (i + 1) *. slot) in
-      Monitor.observe t.monitor ~ts:done_ts ~queue_depth:(Queue.length t.queue)
-        ~features:e.Stream.features ~pred:verdicts.(i) ~truth:e.Stream.label)
-    batch;
+  let depth = Queue.length t.queue in
+  let cap = Array.length t.trace_arrival in
+  for i = 0 to k - 1 do
+    let e = t.batch_ev.(i) in
+    let done_ts = t.srv +. (float_of_int (i + 1) *. slot) in
+    Monitor.observe t.monitor ~ts:done_ts ~queue_depth:depth
+      ~features:e.Stream.features ~pred:t.verdicts.(i) ~truth:e.Stream.label;
+    if t.trace_len < cap then begin
+      let j = t.trace_len in
+      t.trace_arrival.(j) <- e.Stream.ts;
+      t.trace_done.(j) <- done_ts;
+      t.trace_verdict.(j) <- t.verdicts.(i);
+      t.trace_epoch.(j) <- t.epoch;
+      t.trace_truth.(j) <- e.Stream.label;
+      t.trace_x.(j) <- e.Stream.features;
+      t.trace_len <- j + 1
+    end
+  done;
   t.srv <- t.srv +. (float_of_int k *. slot);
   t.served <- t.served + k;
   let labeled = Monitor.advance t.monitor ~now:t.srv in
@@ -208,22 +343,20 @@ let drain_all t =
     ignore (serve_one_batch t)
   done
 
-let run t events =
-  let last_ts = ref neg_infinity in
-  Array.iter
-    (fun (e : Stream.event) ->
-      if e.Stream.ts < !last_ts then
-        invalid_arg "Engine.run: events out of order";
-      last_ts := e.Stream.ts;
-      drain_until t ~now:e.Stream.ts;
-      let labeled = Monitor.advance t.monitor ~now:e.Stream.ts in
-      absorb_labeled t labeled;
-      maybe_swap t ~now:e.Stream.ts;
-      t.offered <- t.offered + 1;
-      if Queue.length t.queue >= t.config.queue_capacity then
-        t.dropped <- t.dropped + 1
-      else Queue.add e t.queue)
-    events;
+let offer t (e : Stream.event) =
+  t.offered <- t.offered + 1;
+  if Queue.length t.queue >= t.config.queue_capacity then
+    t.dropped <- t.dropped + 1
+  else Queue.add e t.queue
+
+let step t (e : Stream.event) =
+  drain_until t ~now:e.Stream.ts;
+  let labeled = Monitor.advance t.monitor ~now:e.Stream.ts in
+  absorb_labeled t labeled;
+  maybe_swap t ~now:e.Stream.ts;
+  offer t e
+
+let finish t =
   drain_all t;
   let labeled = Monitor.drain t.monitor in
   absorb_labeled t labeled;
@@ -238,3 +371,14 @@ let run t events =
     updater_decisions =
       (match t.updater with None -> [] | Some u -> Updater.decisions u);
   }
+
+let run t events =
+  let last_ts = ref neg_infinity in
+  Array.iter
+    (fun (e : Stream.event) ->
+      if e.Stream.ts < !last_ts then
+        invalid_arg "Engine.run: events out of order";
+      last_ts := e.Stream.ts;
+      step t e)
+    events;
+  finish t

@@ -30,12 +30,18 @@ type config = {
   service_rate_pps : float;  (** drained packets per virtual second *)
   mode : mode;
   entries_per_feature : int;  (** quantized table granularity *)
+  trace_capacity : int;
+      (** record per-packet service records for the first this-many served
+          packets (arrival/completion time, verdict, epoch, truth,
+          features) into preallocated buffers; 0 (the default) disables
+          tracing. The loadgen and the differential replay oracle read the
+          trace back through {!trace}. *)
 }
 
 val default_config : config
 (** Queue 64 (the {!Homunculus_backends.Pipeline_sim} default), batches of
     32, 200 pkt/s against trace-scale timestamps, [Reference] mode,
-    64 entries/feature. *)
+    64 entries/feature, no trace. *)
 
 val config_of_mapping :
   ?service_rate_pps:float ->
@@ -84,9 +90,59 @@ val create :
 val model : t -> Homunculus_backends.Model_ir.t
 (** The classifier currently serving (changes after a hot-swap). *)
 
+val current_runtime : t -> Homunculus_backends.Runtime.t option
+(** The fixed-point tables currently serving ([Some] iff [Quantized] mode;
+    rebuilt on every hot-swap). *)
+
+val epoch : t -> int
+(** How many hot-swaps have been installed: packets served before the
+    first swap carry epoch 0, packets after the [n]th swap epoch [n]. The
+    epoch, the classifier, and (in quantized mode) the runtime tables and
+    their workspace change together, strictly between service batches — a
+    batch in flight always completes against the tables it started with. *)
+
+val epoch_runtimes : t -> Homunculus_backends.Runtime.t array
+(** Quantized mode: every table generation that ever served, indexed by
+    epoch (length [epoch t + 1]) — the replay oracle re-runs each traced
+    packet against [epoch_runtimes.(epochs.(i))]. [[||]] in Reference
+    mode. *)
+
+val epoch_models : t -> Homunculus_backends.Model_ir.t array
+(** Every classifier generation that ever served, indexed by epoch. *)
+
+type trace = {
+  n : int;  (** recorded packets (≤ served, capped by [trace_capacity]) *)
+  arrivals : float array;  (** per packet: virtual arrival time *)
+  completions : float array;  (** virtual service-completion time *)
+  verdicts : int array;  (** class the engine reported *)
+  epochs : int array;  (** table/model generation that served it *)
+  truths : int array;  (** delayed ground-truth label *)
+  xs : float array array;  (** the feature vector classified (not copied) *)
+}
+
+val trace : t -> trace
+(** Copy out the per-packet service records captured so far (first
+    [trace_capacity] served packets, in service order). Service latency of
+    packet [i] is [completions.(i) -. arrivals.(i)]. *)
+
 val run : t -> Stream.event array -> summary
 (** Replay the whole event stream through the loop and drain everything
     still queued or awaiting labels at the end. Deterministic: virtual time
     comes from event timestamps, randomness only from the seeded RNGs
     handed to the stream and updater. @raise Invalid_argument on
     out-of-order events. *)
+
+(** {2 Incremental driving}
+
+    [run] is [step] folded over the events plus [finish]; open-loop load
+    generators drive the same three entry points directly so they can
+    wrap wall-clock measurement around the drain. *)
+
+val step : t -> Stream.event -> unit
+(** Advance virtual time to the event's arrival (draining whatever the
+    service rate allows), then admit the event — or drop it if the ingress
+    queue is full. Callers must feed events in ascending [ts] order;
+    unlike {!run}, [step] does not re-check. *)
+
+val finish : t -> summary
+(** Drain everything still queued, flush pending labels, and summarize. *)

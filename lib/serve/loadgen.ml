@@ -1,0 +1,136 @@
+module Rng = Homunculus_util.Rng
+module Json = Homunculus_util.Json
+
+type process =
+  | Poisson
+  | Bursty of { mean_burst : int; peak_factor : float }
+
+type gen = {
+  rng : Rng.t;
+  rate : float;
+  process : process;
+  mutable clock : float;
+  mutable burst_left : int;  (* Bursty: in-burst packets still to emit *)
+}
+
+let process_name = function
+  | Poisson -> "poisson"
+  | Bursty { mean_burst; peak_factor } ->
+      Printf.sprintf "bursty_b%d_p%g" mean_burst peak_factor
+
+let generator rng ~rate ~process =
+  if not (rate > 0.) then invalid_arg "Loadgen.generator: rate <= 0";
+  (match process with
+  | Poisson -> ()
+  | Bursty { mean_burst; peak_factor } ->
+      if mean_burst < 1 then
+        invalid_arg "Loadgen.generator: mean_burst < 1";
+      if not (peak_factor >= 1.) then
+        invalid_arg "Loadgen.generator: peak_factor < 1");
+  { rng; rate; process; clock = 0.; burst_left = 0 }
+
+(* Off-gap mean for the on/off process, chosen so the long-run rate is
+   exactly [rate]: one cycle emits E[B] = mean_burst packets over one off
+   gap plus (B - 1) in-burst gaps of mean 1/(peak_factor * rate), so
+   off_mean = (mean_burst - (mean_burst - 1)/peak_factor) / rate. At
+   peak_factor = 1 or mean_burst = 1 this degenerates to Exp(rate) —
+   plain Poisson. *)
+let off_mean ~rate ~mean_burst ~peak_factor =
+  let mb = float_of_int mean_burst in
+  (mb -. ((mb -. 1.) /. peak_factor)) /. rate
+
+let next_arrival g =
+  let gap =
+    match g.process with
+    | Poisson -> Rng.exponential g.rng g.rate
+    | Bursty { mean_burst; peak_factor } ->
+        if g.burst_left > 0 then begin
+          g.burst_left <- g.burst_left - 1;
+          Rng.exponential g.rng (peak_factor *. g.rate)
+        end
+        else begin
+          (* Start a new burst: off gap first, then burst length uniform on
+             1 .. 2*mean_burst - 1 (mean = mean_burst); this packet is the
+             burst's first. *)
+          let om = off_mean ~rate:g.rate ~mean_burst ~peak_factor in
+          let gap = Rng.exponential g.rng (1. /. om) in
+          let b = 1 + Rng.int g.rng ((2 * mean_burst) - 1) in
+          g.burst_left <- b - 1;
+          gap
+        end
+  in
+  g.clock <- g.clock +. gap;
+  g.clock
+
+let arrivals g ~n =
+  if n < 0 then invalid_arg "Loadgen.arrivals: n < 0";
+  Array.init n (fun _ -> next_arrival g)
+
+let retime g events =
+  Array.map (fun e -> { e with Stream.ts = next_arrival g }) events
+
+type result = {
+  label : string;
+  rate : float;
+  process : process;
+  offered : int;
+  served : int;
+  dropped : int;
+  wall_s : float;
+  sustained_ips : float;
+  latencies : float array;
+  summary : Engine.summary;
+}
+
+let drive ?(label = "loadgen") engine ~rate ~process events =
+  let n = Array.length events in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    Engine.step engine events.(i)
+  done;
+  let summary = Engine.finish engine in
+  let wall = Unix.gettimeofday () -. t0 in
+  let tr = Engine.trace engine in
+  let latencies =
+    Array.init tr.Engine.n (fun i ->
+        tr.Engine.completions.(i) -. tr.Engine.arrivals.(i))
+  in
+  {
+    label;
+    rate;
+    process;
+    offered = summary.Engine.offered;
+    served = summary.Engine.served;
+    dropped = summary.Engine.dropped;
+    wall_s = wall;
+    sustained_ips =
+      (if wall > 0. then float_of_int summary.Engine.served /. wall else 0.);
+    latencies;
+    summary;
+  }
+
+let num v : Json.t = if Float.is_nan v then Json.Null else Json.Number v
+let int i : Json.t = Json.Number (float_of_int i)
+
+let result_to_json r =
+  let drop_rate =
+    if r.offered = 0 then 0.
+    else float_of_int r.dropped /. float_of_int r.offered
+  in
+  Json.Object
+    [
+      ("label", Json.String r.label);
+      ("process", Json.String (process_name r.process));
+      ("offered_rate_pps", num r.rate);
+      ("offered", int r.offered);
+      ("served", int r.served);
+      ("dropped", int r.dropped);
+      ("drop_rate", num drop_rate);
+      ("wall_s", num r.wall_s);
+      ("sustained_inferences_per_s", num r.sustained_ips);
+      ("latency", Report.latency_to_json r.latencies);
+    ]
+
+let p99 r =
+  if Array.length r.latencies = 0 then Float.nan
+  else Report.percentile 99. r.latencies

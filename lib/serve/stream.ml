@@ -104,6 +104,24 @@ let events rng ?(config = default_config) ?(start_window_s = 600.) flows =
   in
   events_scheduled ~config scheduled
 
+let of_samples ?(app = "synthetic") ?labels ~ts xs =
+  let n = Array.length xs in
+  if Array.length ts <> n then
+    invalid_arg "Stream.of_samples: timestamp/sample length mismatch";
+  (match labels with
+  | Some l when Array.length l <> n ->
+      invalid_arg "Stream.of_samples: label/sample length mismatch"
+  | _ -> ());
+  Array.init n (fun i ->
+      {
+        ts = ts.(i);
+        flow_id = i;
+        app;
+        label = (match labels with Some l -> l.(i) | None -> 0);
+        packet_index = 1;
+        features = xs.(i);
+      })
+
 let shift_botnet ?(size_scale = 6.) ?(gap_scale = 0.1) flows =
   Array.map
     (fun f ->

@@ -56,6 +56,20 @@ val events :
 (** Draw each flow's start offset uniformly from [\[0, start_window_s)]
     (default 600 s) and build the timeline. *)
 
+val of_samples :
+  ?app:string ->
+  ?labels:int array ->
+  ts:float array ->
+  float array array ->
+  event array
+(** Wrap pre-built feature vectors (dataset rows, e.g.
+    {!Homunculus_netdata.Nslkdd} / {!Homunculus_netdata.Iot} draws) as a
+    packet timeline: event [i] arrives at [ts.(i)] carrying [xs.(i)]
+    (not copied) with flow id [i] and ground truth [labels.(i)] (0 when
+    omitted). Timestamps are taken as given — pass an ascending vector
+    (e.g. from an open-loop arrival process) or {!Engine.run} will
+    reject the result. @raise Invalid_argument on length mismatches. *)
+
 val shift_botnet :
   ?size_scale:float ->
   ?gap_scale:float ->

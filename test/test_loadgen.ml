@@ -1,0 +1,141 @@
+(* qcheck properties over the open-loop load generator: arrival sequences
+   are non-decreasing, hit the target long-run rate, and are bit-identical
+   for a fixed seed no matter how the draws are chunked. Processes are
+   derived from an integer seed through Rng, so qcheck shrinks over seeds
+   and every failure reproduces from one integer. *)
+
+open Homunculus_serve
+module Rng = Homunculus_util.Rng
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000)
+
+(* Half the seeds exercise Poisson, half a random bursty shape. *)
+let process_of_seed seed =
+  let rng = Rng.create (seed + 7919) in
+  if Rng.int rng 2 = 0 then Loadgen.Poisson
+  else
+    Loadgen.Bursty
+      {
+        mean_burst = 1 + Rng.int rng 12;
+        peak_factor = 1. +. Rng.float rng 7.;
+      }
+
+let rate_of_seed seed =
+  let rng = Rng.create (seed + 104729) in
+  0.5 +. Rng.float rng 400.
+
+let fresh_gen seed =
+  Loadgen.generator (Rng.create seed) ~rate:(rate_of_seed seed)
+    ~process:(process_of_seed seed)
+
+let prop_arrivals_monotone =
+  QCheck.Test.make ~name:"arrival timestamps are finite and non-decreasing"
+    ~count:60 seed_gen (fun seed ->
+      let ts = Loadgen.arrivals (fresh_gen seed) ~n:2000 in
+      let ok = ref (Array.length ts = 2000) in
+      let last = ref 0. in
+      Array.iter
+        (fun t ->
+          if not (Float.is_finite t) || t < !last then ok := false;
+          last := t)
+        ts;
+      !ok)
+
+let prop_rate_accurate =
+  (* The long-run empirical rate n / t_n must track the target. Poisson's
+     relative error at n draws is ~1/sqrt(n); the bursty process adds
+     burst-level variance (~sqrt(mean_burst/n)), so at n = 30_000 and
+     mean_burst <= 12 the 10% tolerance sits beyond 5 sigma. *)
+  QCheck.Test.make ~name:"long-run rate within 10% of target" ~count:20
+    seed_gen (fun seed ->
+      let n = 30_000 in
+      let rate = rate_of_seed seed in
+      let ts = Loadgen.arrivals (fresh_gen seed) ~n in
+      let horizon = ts.(n - 1) in
+      horizon > 0.
+      &&
+      let achieved = float_of_int n /. horizon in
+      Float.abs (achieved -. rate) /. rate < 0.10)
+
+let prop_chunk_invariant =
+  (* One call for 600 arrivals vs the same seed drained through random-size
+     chunks: the stateful generator must produce the bit-identical
+     sequence, so batch size can never perturb the offered workload. *)
+  QCheck.Test.make ~name:"chunked draws are bit-identical to one draw"
+    ~count:60 seed_gen (fun seed ->
+      let n = 600 in
+      let one_shot = Loadgen.arrivals (fresh_gen seed) ~n in
+      let g = fresh_gen seed in
+      let chunk_rng = Rng.create (seed + 31) in
+      let chunks = ref [] in
+      let drawn = ref 0 in
+      while !drawn < n do
+        let k = Stdlib.min (n - !drawn) (1 + Rng.int chunk_rng 97) in
+        chunks := Loadgen.arrivals g ~n:k :: !chunks;
+        drawn := !drawn + k
+      done;
+      Array.concat (List.rev !chunks) = one_shot)
+
+let prop_retime_matches_arrivals =
+  (* retime must stamp event i with the generator's i-th arrival and leave
+     everything else untouched. *)
+  QCheck.Test.make ~name:"retime = arrivals, features preserved" ~count:60
+    seed_gen (fun seed ->
+      let n = 40 in
+      let xs = Array.init n (fun i -> [| float_of_int i; 1. |]) in
+      let base =
+        Stream.of_samples ~labels:(Array.init n (fun i -> i mod 2))
+          ~ts:(Array.init n float_of_int) xs
+      in
+      let expected = Loadgen.arrivals (fresh_gen seed) ~n in
+      let retimed = Loadgen.retime (fresh_gen seed) base in
+      Array.length retimed = n
+      && Array.for_all
+           (fun i ->
+             let e = retimed.(i) and b = base.(i) in
+             e.Stream.ts = expected.(i)
+             && e.Stream.features == b.Stream.features
+             && e.Stream.label = b.Stream.label
+             && e.Stream.flow_id = b.Stream.flow_id)
+           (Array.init n Fun.id))
+
+(* Plain alcotest cases: constructor validation and the stable naming the
+   bench/CLI labels build on. *)
+
+let test_generator_validates () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "rate must be positive" true
+    (raises (fun () ->
+         Loadgen.generator (Rng.create 1) ~rate:0. ~process:Loadgen.Poisson));
+  Alcotest.(check bool) "mean_burst >= 1" true
+    (raises (fun () ->
+         Loadgen.generator (Rng.create 1) ~rate:10.
+           ~process:(Loadgen.Bursty { mean_burst = 0; peak_factor = 2. })));
+  Alcotest.(check bool) "peak_factor >= 1" true
+    (raises (fun () ->
+         Loadgen.generator (Rng.create 1) ~rate:10.
+           ~process:(Loadgen.Bursty { mean_burst = 4; peak_factor = 0.5 })))
+
+let test_process_names () =
+  Alcotest.(check string) "poisson" "poisson"
+    (Loadgen.process_name Loadgen.Poisson);
+  Alcotest.(check string) "bursty" "bursty_b8_p4"
+    (Loadgen.process_name
+       (Loadgen.Bursty { mean_burst = 8; peak_factor = 4. }))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_arrivals_monotone;
+      prop_rate_accurate;
+      prop_chunk_invariant;
+      prop_retime_matches_arrivals;
+    ]
+  @ [
+      Alcotest.test_case "generator validation" `Quick test_generator_validates;
+      Alcotest.test_case "process names" `Quick test_process_names;
+    ]

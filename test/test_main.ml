@@ -39,6 +39,8 @@ let suites =
     ("core", Test_core.suite);
     ("resilience", Test_resilience.suite);
     ("serve", Test_serve.suite);
+    ("serve_quantized", Test_serve_quantized.suite);
+    ("loadgen", Test_loadgen.suite);
     ("policy", Test_policy.suite);
     ("stage_alloc_properties", Test_stage_alloc_properties.suite);
     ("placement_properties", Test_placement_properties.suite);

@@ -385,6 +385,159 @@ let test_report_jsonl_round_trips () =
   Alcotest.(check int) "summary windows" (List.length summary.Engine.windows)
     (List.length (Json.to_list (Json.member s "windows")))
 
+(* Allocation discipline of the quantized hot path. *)
+
+module Runtime = Homunculus_backends.Runtime
+
+let botnet_svm_runtime ~seed =
+  let train = Flowsim.generate (Rng.create seed) ~mix:(small_mix 40) () in
+  let model =
+    Updater.bootstrap (Rng.create (seed + 1)) ~algorithm:`Svm
+      ~bins:Botnet.Fused ~name:"bd" train
+  in
+  let events =
+    Stream.events (Rng.create (seed + 2))
+      (Flowsim.generate (Rng.create (seed + 3)) ~mix:(small_mix 20) ())
+  in
+  let calibration =
+    Array.map (fun e -> e.Stream.features) (Array.sub events 0 200)
+  in
+  (Runtime.load ~calibration model, events)
+
+let test_classify_into_allocates_nothing () =
+  let rt, events = botnet_svm_runtime ~seed:30 in
+  let ws = Runtime.make_workspace rt in
+  let batch = 32 in
+  let src = Array.init batch (fun i -> events.(i).Stream.features) in
+  let dst = Array.make batch 0 in
+  (* Warm-up drains any one-time lazy work, then 200 steady-state batches
+     must stay inside the preallocated workspace: the only tolerated minor
+     words are the boxed floats the two Gc.minor_words probes return. *)
+  Runtime.classify_into rt ws ~src ~n:batch ~dst;
+  let before = Gc.minor_words () in
+  for _ = 1 to 200 do
+    Runtime.classify_into rt ws ~src ~n:batch ~dst
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "200 batches allocate ~0 minor words (got %.0f)" delta)
+    true (delta <= 256.)
+
+let test_engine_drain_allocation_bounded () =
+  (* Engine-level steady state: minor words per drained batch are bounded
+     by a constant (monitor bookkeeping), independent of how many batches
+     have already been served — no per-batch growth, no fresh buffers. *)
+  let _, events = botnet_svm_runtime ~seed:34 in
+  let model =
+    Updater.bootstrap (Rng.create 35) ~algorithm:`Svm ~bins:Botnet.Fused
+      ~name:"bd"
+      (Flowsim.generate (Rng.create 36) ~mix:(small_mix 40) ())
+  in
+  let run n_events =
+    let monitor = Monitor.create ~n_classes:2 () in
+    let engine =
+      Engine.create
+        ~config:{ Engine.default_config with Engine.mode = Engine.Quantized }
+        ~model ~monitor ()
+    in
+    let events =
+      Array.sub events 0 (Stdlib.min n_events (Array.length events))
+    in
+    let before = Gc.minor_words () in
+    let s = Engine.run engine events in
+    let words = Gc.minor_words () -. before in
+    let batches =
+      float_of_int s.Engine.served
+      /. float_of_int Engine.default_config.Engine.batch_size
+    in
+    words /. Stdlib.max 1. batches
+  in
+  ignore (run 256) (* warm-up *);
+  let per_batch = run 3200 in
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words per drained batch bounded (got %.0f)"
+       per_batch)
+    true
+    (per_batch < 20_000.)
+
+(* Conservation under random queue/batch/service configurations: every
+   offered packet is either served or dropped, never both, never lost. *)
+
+let conservation_model =
+  Model_ir.Svm
+    {
+      name = "cons";
+      class_weights = [| [| 1.; -1. |]; [| -1.; 1. |] |];
+      biases = [| 0.; 0. |];
+    }
+
+let prop_queue_conservation =
+  let seed_gen =
+    QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000)
+  in
+  QCheck.Test.make ~name:"offered = served + dropped over random configs"
+    ~count:30 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let n = 100 + Rng.int rng 900 in
+      let xs =
+        Array.init n (fun _ -> [| Rng.uniform rng (-2.) 2.; Rng.float rng 1. |])
+      in
+      let ts = Array.make n 0. in
+      let t = ref 0. in
+      for i = 0 to n - 1 do
+        t := !t +. Rng.float rng 0.02;
+        ts.(i) <- !t
+      done;
+      let events = Stream.of_samples ~ts xs in
+      let config =
+        {
+          Engine.default_config with
+          Engine.queue_capacity = 1 + Rng.int rng 64;
+          batch_size = 1 + Rng.int rng 16;
+          service_rate_pps = 1. +. Rng.float rng 400.;
+          mode = (if Rng.int rng 2 = 0 then Engine.Reference else Engine.Quantized);
+          trace_capacity = (if Rng.int rng 2 = 0 then 0 else n);
+        }
+      in
+      let monitor = Monitor.create ~n_classes:2 () in
+      let engine = Engine.create ~config ~model:conservation_model ~monitor () in
+      let s = Engine.run engine events in
+      s.Engine.offered = n
+      && s.Engine.offered = s.Engine.served + s.Engine.dropped
+      && (Engine.trace engine).Engine.n
+         = Stdlib.min config.Engine.trace_capacity s.Engine.served)
+
+(* Nearest-rank percentiles: pinned on the 1..1000 vector, where linear
+   interpolation (Stats.percentile) would give 999.001 at p999 — the
+   nearest-rank definition must return an actual sample. *)
+
+let test_percentile_nearest_rank () =
+  let rng = Rng.create 99 in
+  let xs = Array.init 1000 (fun i -> float_of_int (i + 1)) in
+  (* Shuffle: percentile must sort internally. *)
+  for i = 999 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = xs.(i) in
+    xs.(i) <- xs.(j);
+    xs.(j) <- tmp
+  done;
+  feq "p50" 500. (Report.percentile 50. xs);
+  feq "p99" 990. (Report.percentile 99. xs);
+  feq "p999 is the 999th sample, not interpolated" 999.
+    (Report.percentile 99.9 xs);
+  feq "p100" 1000. (Report.percentile 100. xs);
+  feq "p0.1 is the smallest sample" 1. (Report.percentile 0.1 xs);
+  feq "singleton" 7. (Report.percentile 99.9 [| 7. |]);
+  let raises f =
+    match f () with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty raises" true
+    (raises (fun () -> Report.percentile 50. [||]));
+  Alcotest.(check bool) "p > 100 raises" true
+    (raises (fun () -> Report.percentile 101. xs))
+
 (* A challenger whose holdout F1 comes back NaN (degenerate holdout) must
    never be promoted, and a NaN incumbent measurement must not hand the
    challenger a free pass either. *)
@@ -423,4 +576,11 @@ let suite =
       test_engine_quantized_agrees_with_reference;
     Alcotest.test_case "drift recovery" `Quick test_drift_recovery;
     Alcotest.test_case "report jsonl" `Quick test_report_jsonl_round_trips;
+    Alcotest.test_case "classify_into allocates nothing" `Quick
+      test_classify_into_allocates_nothing;
+    Alcotest.test_case "engine drain allocation bounded" `Quick
+      test_engine_drain_allocation_bounded;
+    Alcotest.test_case "percentile nearest-rank" `Quick
+      test_percentile_nearest_rank;
+    QCheck_alcotest.to_alcotest prop_queue_conservation;
   ]

@@ -1,0 +1,143 @@
+(* Differential tests for the quantized serving drain: every verdict the
+   engine emits in Quantized mode must be bit-identical to a pure
+   Runtime encode+lookup replay of the same trace — on dataset-derived
+   payloads (nslkdd, iot) and across a mid-trace hot-swap, where the
+   replay must select the table generation (epoch) that actually served
+   each packet. *)
+
+open Homunculus_netdata
+open Homunculus_serve
+module Rng = Homunculus_util.Rng
+module Runtime = Homunculus_backends.Runtime
+module Model_ir = Homunculus_backends.Model_ir
+module Svm = Homunculus_ml.Svm
+module Dataset = Homunculus_ml.Dataset
+module Serve_eval = Homunculus_check.Serve_eval
+
+(* Fit an SVM on a dataset's train split, stream its test split through a
+   Quantized engine at an open-loop Poisson rate, and return the engine
+   with its completed trace. *)
+let run_dataset ~seed payload =
+  let rng = Rng.create seed in
+  let train, test =
+    match payload with
+    | `Nslkdd -> Nslkdd.generate_split (Rng.split rng) ()
+    | `Iot -> Iot.generate_split (Rng.split rng) ()
+  in
+  let model = Model_ir.of_svm ~name:"m" (Svm.fit (Rng.split rng) train) in
+  let n = Array.length test.Dataset.x in
+  let base =
+    Stream.of_samples ~labels:test.Dataset.y ~ts:(Array.init n float_of_int)
+      test.Dataset.x
+  in
+  let g = Loadgen.generator (Rng.split rng) ~rate:120. ~process:Loadgen.Poisson in
+  let events = Loadgen.retime g base in
+  let config =
+    {
+      Engine.default_config with
+      Engine.mode = Engine.Quantized;
+      trace_capacity = n;
+    }
+  in
+  let monitor = Monitor.create ~n_classes:train.Dataset.n_classes () in
+  let engine = Engine.create ~config ~model ~monitor () in
+  let summary = Engine.run engine events in
+  (engine, summary)
+
+(* Packet-for-packet replay against the runtime directly — independent of
+   Serve_eval, so the oracle module is itself cross-checked. No swap here,
+   so a single workspace against the engine's current runtime suffices. *)
+let test_nslkdd_manual_replay () =
+  let engine, summary = run_dataset ~seed:501 `Nslkdd in
+  let tr = Engine.trace engine in
+  Alcotest.(check int) "trace covers every served packet" summary.Engine.served
+    tr.Engine.n;
+  Alcotest.(check bool) "non-trivial trace" true (tr.Engine.n > 500);
+  let rt =
+    match Engine.current_runtime engine with
+    | Some rt -> rt
+    | None -> Alcotest.fail "quantized engine must expose its runtime"
+  in
+  let ws = Runtime.make_workspace rt in
+  for i = 0 to tr.Engine.n - 1 do
+    Runtime.encode_into rt ws tr.Engine.xs.(i);
+    Alcotest.(check int)
+      (Printf.sprintf "packet %d verdict" i)
+      tr.Engine.verdicts.(i) (Runtime.lookup rt ws)
+  done
+
+let check_oracle_replay ~name (engine, summary) =
+  let rp = Serve_eval.replay_quantized engine in
+  Alcotest.(check int)
+    (name ^ ": every served packet replayed")
+    summary.Engine.served rp.Serve_eval.replayed;
+  Alcotest.(check int)
+    (name ^ ": bit-identical to the Runtime oracle")
+    0
+    (List.length rp.Serve_eval.mismatches)
+
+let test_nslkdd_oracle () = check_oracle_replay ~name:"nslkdd" (run_dataset ~seed:502 `Nslkdd)
+let test_iot_oracle () = check_oracle_replay ~name:"iot" (run_dataset ~seed:503 `Iot)
+
+(* The drift scenario of test_serve, but with an SVM incumbent so the
+   Quantized drain serves it, and an updater armed for exactly one
+   hot-swap: the trace must span two table generations and still replay
+   bit-identically, epoch by epoch. *)
+let swap_mix n = { Flowsim.n_flows = n; botnet_frac = 0.5; max_packets = 200 }
+
+let test_swap_replay () =
+  let rng = Rng.create 2041 in
+  let train_flows = Flowsim.generate rng ~mix:(swap_mix 120) () in
+  let model =
+    Updater.bootstrap (Rng.split rng) ~algorithm:`Svm ~bins:Botnet.Fused
+      ~name:"bd" train_flows
+  in
+  let phase_a = Flowsim.generate rng ~mix:(swap_mix 100) () in
+  let phase_b =
+    Stream.renumber ~from:100
+      (Stream.shift_botnet (Flowsim.generate rng ~mix:(swap_mix 100) ()))
+  in
+  let sched_a = Array.map (fun f -> (Rng.float rng 600., f)) phase_a in
+  let sched_b = Array.map (fun f -> (600. +. Rng.float rng 600., f)) phase_b in
+  let events = Stream.events_scheduled (Array.append sched_a sched_b) in
+  let updater =
+    Updater.create (Rng.create 77)
+      ~config:
+        { Updater.default_config with Updater.min_gain = 0.02; max_swaps = 1 }
+      ~n_features:30 ~n_classes:2 ()
+  in
+  let monitor = Monitor.create ~n_classes:2 () in
+  let config =
+    {
+      Engine.default_config with
+      Engine.mode = Engine.Quantized;
+      trace_capacity = Array.length events;
+    }
+  in
+  let engine = Engine.create ~config ~model ~monitor ~updater () in
+  let summary = Engine.run engine events in
+  Alcotest.(check int) "exactly one hot-swap" 1
+    (List.length summary.Engine.swaps);
+  Alcotest.(check int) "epoch advanced with the swap" 1 (Engine.epoch engine);
+  Alcotest.(check int) "one runtime per epoch" 2
+    (Array.length (Engine.epoch_runtimes engine));
+  let tr = Engine.trace engine in
+  let served_in e =
+    let c = ref 0 in
+    for i = 0 to tr.Engine.n - 1 do
+      if tr.Engine.epochs.(i) = e then incr c
+    done;
+    !c
+  in
+  Alcotest.(check bool) "packets served before the swap" true (served_in 0 > 0);
+  Alcotest.(check bool) "packets served after the swap" true (served_in 1 > 0);
+  Alcotest.(check int) "no third epoch" tr.Engine.n (served_in 0 + served_in 1);
+  check_oracle_replay ~name:"swap" (engine, summary)
+
+let suite =
+  [
+    Alcotest.test_case "nslkdd manual replay" `Quick test_nslkdd_manual_replay;
+    Alcotest.test_case "nslkdd oracle replay" `Quick test_nslkdd_oracle;
+    Alcotest.test_case "iot oracle replay" `Quick test_iot_oracle;
+    Alcotest.test_case "hot-swap epoch replay" `Quick test_swap_replay;
+  ]
