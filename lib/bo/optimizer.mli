@@ -17,10 +17,20 @@ type settings = {
           evaluated concurrently on the worker pool. [1] recovers the
           classic fully-sequential loop; [k > 1] spends the same evaluation
           budget over [k] times fewer surrogate fits. *)
+  refit_every : int;
+      (** once the history holds more than [refit_threshold] entries, reuse
+          the fitted surrogate pair until this many fresh evaluations have
+          been committed since the last fit. [1] refits every round (the
+          classic loop). *)
+  refit_threshold : int;
+      (** history length below which the surrogate is refitted every round
+          regardless of [refit_every] — early rounds are where each new
+          observation moves the model most. *)
 }
 
 val default_settings : settings
-(** 10 warm-up, 40 guided, pool 200, 0.5 local, 30 trees, batch 1. *)
+(** 10 warm-up, 40 guided, pool 200, 0.5 local, 30 trees, batch 1, refit
+    every round. *)
 
 type evaluation = {
   objective : float;  (** value to maximize, e.g. F1 *)
@@ -39,6 +49,8 @@ val maximize :
   ?pool:Homunculus_par.Par.pool ->
   ?on_iteration:(int -> History.entry -> unit) ->
   ?on_batch_start:(unit -> unit) ->
+  ?prefilter:(index:int -> Config.t -> evaluation option) ->
+  ?on_refit:(int -> unit) ->
   Design_space.t ->
   f:(Config.t -> evaluation) ->
   History.t
@@ -59,7 +71,20 @@ val maximize :
     batch of evaluations is dispatched (in both phases). A rung scheduler
     uses it to freeze the pruning thresholds a whole batch is judged
     against, which is what keeps pruning decisions independent of worker
-    count. *)
+    count.
+
+    [prefilter] is consulted for every proposal, sequentially in proposal
+    order on the calling domain, after [on_batch_start] and before the batch
+    is dispatched. Returning [Some evaluation] commits that evaluation in
+    the candidate's history slot without calling [f] (the learned cost
+    model's predicted-infeasible skip); [None] evaluates exactly. Because
+    decisions precede dispatch, they depend on the batch boundary (a
+    batch-mate's outcome is not yet observable) but never on worker
+    scheduling — the ASHA freeze rule, applied to filtering. [index] is the
+    same proposal-order history index [f] would have received.
+
+    [on_refit] fires (with the history length) each time the surrogate pair
+    is actually fitted — the refit-cadence benches count these. *)
 
 val maximize_indexed :
   Homunculus_util.Rng.t ->
@@ -67,6 +92,8 @@ val maximize_indexed :
   ?pool:Homunculus_par.Par.pool ->
   ?on_iteration:(int -> History.entry -> unit) ->
   ?on_batch_start:(unit -> unit) ->
+  ?prefilter:(index:int -> Config.t -> evaluation option) ->
+  ?on_refit:(int -> unit) ->
   Design_space.t ->
   f:(index:int -> Config.t -> evaluation) ->
   History.t

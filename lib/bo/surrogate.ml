@@ -1,7 +1,18 @@
 module Rf = Homunculus_ml.Random_forest.Regressor
 
-type t = Rf.t
+(* [Constant] covers the no-training-data case (e.g. a history whose every
+   entry is infeasible, so the objective model has nothing to learn from).
+   The optimizer only consults the surrogate once a feasible incumbent
+   exists, so the constant's value is never load-bearing — but returning
+   (0, 0) without consuming the RNG keeps the caller's stream identical to
+   the non-degenerate run shape. *)
+type t = Constant | Forest of Rf.t
 
-let fit rng ?(n_trees = 30) ?pool ~x ~y () = Rf.fit rng ~n_trees ?pool ~x ~y ()
+let fit rng ?(n_trees = 30) ?pool ~x ~y () =
+  if Array.length x = 0 then Constant
+  else Forest (Rf.fit rng ~n_trees ?pool ~x ~y ())
 
-let predict t point = Rf.predict_with_std t point
+let predict t point =
+  match t with
+  | Constant -> (0., 0.)
+  | Forest forest -> Rf.predict_with_std forest point

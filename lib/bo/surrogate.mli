@@ -2,7 +2,10 @@
 
     A random-forest regressor over encoded configurations; the cross-tree
     spread doubles as the predictive uncertainty, exactly as in HyperMapper's
-    RF mode (paper §5). *)
+    RF mode (paper §5). The optimizer fits it on the {e feasible} slice of
+    the history — infeasible entries carry placeholder objectives (failure
+    tags, predicted-infeasible commits), and nothing downstream ever
+    consumes an infeasible entry's objective. *)
 
 type t
 
@@ -15,7 +18,10 @@ val fit :
   unit ->
   t
 (** Default 30 trees, fitted in parallel on [pool] (deterministic at any
-    worker count). @raise Invalid_argument on empty input. *)
+    worker count). Empty input yields a constant predictor (mean 0, std 0)
+    without consuming the RNG — the optimizer never consults the surrogate
+    before a feasible incumbent exists, so the constant is never
+    load-bearing. *)
 
 val predict : t -> float array -> float * float
 (** Mean and standard deviation of the objective at an encoded point. *)

@@ -17,6 +17,7 @@ type options = {
   fusion_threshold : float option;
   prune : Bo.Asha.settings option;
   supervisor : Supervisor.t option;
+  cost_model : Bo.Cost_model.settings option;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     fusion_threshold = None;
     prune = None;
     supervisor = None;
+    cost_model = None;
   }
 
 let quick_options =
@@ -47,6 +49,7 @@ type model_result = {
   history : Bo.History.t;
   histories : (Model_spec.algorithm * Bo.History.t) list;
   code : string option;
+  cost_stats : Bo.Cost_model.stats option;
 }
 
 type result = {
@@ -70,13 +73,37 @@ let emit_code platform model_ir =
   | Platform.Tofino _ ->
       P4gen.emit model_ir ^ "\n" ^ P4gen.emit_entries model_ir
 
-let search_algorithm rng ~seed ~settings ?prune ?supervisor platform spec
-    algorithm =
+let search_algorithm rng ~seed ~settings ?prune ?supervisor ?cost_model
+    platform spec algorithm =
   let data = Model_spec.load spec in
   let input_dim =
     Homunculus_ml.Dataset.n_features data.Model_spec.train
   in
   let space = Space_builder.build platform algorithm ~input_dim in
+  let scope =
+    Model_spec.name spec ^ "/" ^ Model_spec.algorithm_to_string algorithm
+  in
+  (* The learned pre-filter judges candidates on the design-space encoding
+     concatenated with the skeleton's analytic architecture features. Its
+     seed is scope-derived (not the search RNG): the filter owns a private
+     stream, so enabling it never perturbs the proposal sequence. *)
+  let cm =
+    Option.map
+      (fun cm_settings ->
+        let n_classes =
+          data.Model_spec.train.Homunculus_ml.Dataset.n_classes
+        in
+        let features config =
+          Array.append
+            (Bo.Design_space.encode space config)
+            (Evaluator.features_of_candidate platform algorithm ~input_dim
+               ~n_classes config)
+        in
+        Bo.Cost_model.create ~settings:cm_settings
+          ~seed:(seed lxor Hashtbl.hash scope)
+          ~features ())
+      cost_model
+  in
   (* Rung pruning only pays off where training is epoch-iterative. *)
   let sched =
     match (prune, algorithm) with
@@ -103,9 +130,6 @@ let search_algorithm rng ~seed ~settings ?prune ?supervisor platform spec
     Mutex.unlock best_lock;
     artifact
   in
-  let scope =
-    Model_spec.name spec ^ "/" ^ Model_spec.algorithm_to_string algorithm
-  in
   let eval ~index config =
     match supervisor with
     | None -> Evaluator.to_bo_evaluation (run_eval config)
@@ -120,23 +144,76 @@ let search_algorithm rng ~seed ~settings ?prune ?supervisor platform spec
   let on_batch_start =
     Option.map (fun s () -> Bo.Asha.freeze s) sched
   in
+  (* Pre-filter plumbing. Replayed candidates bypass the filter entirely —
+     the supervisor returns the recorded outcome (exact or predicted)
+     verbatim — so a resumed run's history matches the uninterrupted one
+     even though the filter's counters start over. Fresh skips are journaled
+     durably before they are committed. *)
+  let prefilter =
+    Option.map
+      (fun cm ~index config ->
+        let replayed =
+          match supervisor with
+          | Some sup -> Supervisor.recorded sup ~scope ~config
+          | None -> false
+        in
+        if replayed then None
+        else
+          match Bo.Cost_model.classify cm config with
+          | Bo.Cost_model.Exact_required _ -> None
+          | Bo.Cost_model.Predicted_infeasible { p_feasible; predicted_objective }
+            ->
+              let eval =
+                Bo.Cost_model.predicted_evaluation ~p_feasible
+                  ~predicted_objective
+              in
+              (match supervisor with
+              | Some sup ->
+                  Supervisor.record_predicted sup ~scope ~index ~config ~eval
+              | None -> ());
+              Some eval)
+      cm
+  in
+  (* Feed every committed exact outcome back as a training example. Fires in
+     proposal order on the calling domain, so the filter's model state is a
+     pure function of the committed sequence — identical on resume.
+     Predicted commits and failure-tagged entries are not observations: the
+     former were never measured, the latter's infeasibility is a training
+     accident (divergence, timeout), not a property of the architecture. *)
+  let on_iteration =
+    Option.map
+      (fun cm (_ : int) (e : Bo.History.entry) ->
+        if
+          not
+            (Bo.Cost_model.is_predicted e.Bo.History.metadata
+            || List.mem_assoc Supervisor.failure_key e.Bo.History.metadata)
+        then
+          Bo.Cost_model.observe cm ~config:e.Bo.History.config
+            ~objective:e.Bo.History.objective ~feasible:e.Bo.History.feasible
+            ~pruned:e.Bo.History.pruned)
+      cm
+  in
   let history =
-    Bo.Optimizer.maximize_indexed rng ~settings ?on_batch_start space ~f:eval
+    Bo.Optimizer.maximize_indexed rng ~settings ?on_iteration ?on_batch_start
+      ?prefilter space ~f:eval
   in
   let winner =
-    match supervisor with
-    | None -> !best
-    | Some _ -> (
+    match (supervisor, cm) with
+    | None, None -> !best
+    | _ -> (
         (* Replayed evaluations never ran the artifact-producing thunk, so
            [!best] can miss the true winner on a resumed search. Pick it
            from the history (whose order mirrors [compare_artifacts]) and
            rebuild the artifact deterministically if it wasn't cached. A
            failure-tagged winner has no artifact — rebuilding would just
-           fail again. *)
+           fail again — and a predicted-infeasible winner was never
+           evaluated at all: the final artifact is never chosen on a
+           prediction. *)
         match Bo.History.best_entry history with
         | None -> None
         | Some e
-          when List.mem_assoc Supervisor.failure_key e.Bo.History.metadata ->
+          when List.mem_assoc Supervisor.failure_key e.Bo.History.metadata
+               || Bo.Cost_model.is_predicted e.Bo.History.metadata ->
             None
         | Some e -> (
             match !best with
@@ -145,7 +222,7 @@ let search_algorithm rng ~seed ~settings ?prune ?supervisor platform spec
                 Some a
             | Some _ | None -> Some (run_eval e.Bo.History.config)))
   in
-  (winner, history, sched)
+  (winner, history, sched, Option.map Bo.Cost_model.stats cm)
 
 let search_model ?(options = default_options) platform spec =
   let candidates = Candidate.filter platform spec in
@@ -172,17 +249,25 @@ let search_model ?(options = default_options) platform spec =
     List.map
       (fun algorithm ->
         let rng = Rng.split master in
-        let best, history, (_ : Bo.Asha.t option) =
+        let best, history, (_ : Bo.Asha.t option), stats =
           search_algorithm rng ~seed:options.seed ~settings
-            ?prune:options.prune ?supervisor:options.supervisor platform spec
-            algorithm
+            ?prune:options.prune ?supervisor:options.supervisor
+            ?cost_model:options.cost_model platform spec algorithm
         in
-        (algorithm, best, history))
+        (algorithm, best, history, stats))
       candidates
+  in
+  let cost_stats =
+    List.fold_left
+      (fun acc (_, _, _, stats) ->
+        match (acc, stats) with
+        | None, s | s, None -> s
+        | Some a, Some b -> Some (Bo.Cost_model.merge_stats a b))
+      None runs
   in
   let best =
     List.fold_left
-      (fun acc (_, candidate, _) ->
+      (fun acc (_, candidate, _, _) ->
         match candidate with
         | Some c -> Evaluator.better_artifact acc c
         | None -> acc)
@@ -209,7 +294,7 @@ let search_model ?(options = default_options) platform spec =
              else "INFEASIBLE"));
       let winning_history =
         List.find_map
-          (fun (algorithm, _, history) ->
+          (fun (algorithm, _, history, _) ->
             if algorithm = artifact.Evaluator.algorithm then Some history
             else None)
           runs
@@ -219,11 +304,12 @@ let search_model ?(options = default_options) platform spec =
         spec;
         artifact;
         history = winning_history;
-        histories = List.map (fun (a, _, h) -> (a, h)) runs;
+        histories = List.map (fun (a, _, h, _) -> (a, h)) runs;
         code =
           (if options.emit_code then
              Some (emit_code platform artifact.Evaluator.model_ir)
            else None);
+        cost_stats;
       }
 
 type tradeoff_point = {

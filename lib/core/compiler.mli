@@ -35,6 +35,18 @@ type options = {
           ({!Bo.History.best_entry}) and rebuilt from its config-derived
           seed if the evaluation was replayed. [None] lets exceptions
           propagate, as before. *)
+  cost_model : Bo.Cost_model.settings option;
+      (** when set, every per-algorithm search runs behind a learned
+          feasibility/cost pre-filter ({!Bo.Cost_model}) trained online on
+          the exact evaluations the search pays for anyway: candidates the
+          filter is confident are infeasible skip training entirely and
+          enter the history as tagged predicted-infeasible entries.
+          Boundary candidates fall back to the exact evaluator, and the
+          winning artifact is never chosen on a prediction (a
+          predicted-tagged best entry is vetoed like a failure-tagged one).
+          Composes with the supervisor: journal-replayed candidates bypass
+          the filter, fresh skips are journaled with kind [predicted].
+          [None] evaluates every candidate exactly, as before. *)
 }
 
 val default_options : options
@@ -51,6 +63,9 @@ type model_result = {
   histories : (Model_spec.algorithm * Bo.History.t) list;
       (** one search per surviving candidate algorithm *)
   code : string option;  (** backend source for the winner *)
+  cost_stats : Bo.Cost_model.stats option;
+      (** pre-filter counters merged across the per-algorithm searches;
+          [None] when [options.cost_model] was off *)
 }
 
 type result = {

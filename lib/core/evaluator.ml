@@ -14,6 +14,60 @@ type artifact = {
   epochs_trained : int;
 }
 
+(* Process-wide accounting of where exact evaluations spend their time.
+   Mutex-guarded (evaluations run on pool workers); kept out of History
+   metadata so enabling the counters cannot perturb a search's determinism.
+   The [estimates] count is the bench's "exact simulator invocations"
+   metric: one per [Platform.estimate] call made on a trained model. *)
+module Timing = struct
+  type snapshot = {
+    evaluations : int;
+    estimates : int;
+    train_s : float;
+    lower_s : float;
+    estimate_s : float;
+  }
+
+  let lock = Mutex.create ()
+  let evaluations = ref 0
+  let estimates = ref 0
+  let train_s = ref 0.
+  let lower_s = ref 0.
+  let estimate_s = ref 0.
+
+  let reset () =
+    Mutex.lock lock;
+    evaluations := 0;
+    estimates := 0;
+    train_s := 0.;
+    lower_s := 0.;
+    estimate_s := 0.;
+    Mutex.unlock lock
+
+  let snapshot () =
+    Mutex.lock lock;
+    let s =
+      {
+        evaluations = !evaluations;
+        estimates = !estimates;
+        train_s = !train_s;
+        lower_s = !lower_s;
+        estimate_s = !estimate_s;
+      }
+    in
+    Mutex.unlock lock;
+    s
+
+  let charge ~train ~lower ~estimate =
+    Mutex.lock lock;
+    incr evaluations;
+    incr estimates;
+    train_s := !train_s +. train;
+    lower_s := !lower_s +. lower;
+    estimate_s := !estimate_s +. estimate;
+    Mutex.unlock lock
+end
+
 let metric_value metric ~n_classes ~pred ~truth =
   match metric with
   | Model_spec.F1 ->
@@ -143,6 +197,7 @@ let evaluate rng ?prune ?guard platform spec algorithm config =
   let data = Model_spec.load spec in
   let scaler, train = Scaler.fit_dataset data.Model_spec.train in
   let test = Scaler.apply_dataset scaler data.Model_spec.test in
+  let t0 = Unix.gettimeofday () in
   let model_ir, pred, pruned, epochs_trained =
     match algorithm with
     | Model_spec.Dnn -> train_dnn rng ?prune ?guard config ~train ~test
@@ -156,6 +211,7 @@ let evaluate rng ?prune ?guard platform spec algorithm config =
         let ir, pred = train_tree rng config ~train ~test in
         (ir, pred, false, 0)
   in
+  let t1 = Unix.gettimeofday () in
   let model_ir = Model_ir.with_name model_ir (Model_spec.name spec) in
   (* Deployed pipelines parse raw packet features; absorb the training-time
      standardization into the model so the artifact is self-contained. *)
@@ -167,8 +223,96 @@ let evaluate rng ?prune ?guard platform spec algorithm config =
     metric_value (Model_spec.metric spec) ~n_classes:test.Dataset.n_classes
       ~pred ~truth:test.Dataset.y
   in
+  let t2 = Unix.gettimeofday () in
   let verdict = Platform.estimate platform model_ir in
+  let t3 = Unix.gettimeofday () in
+  Timing.charge ~train:(t1 -. t0) ~lower:(t2 -. t1) ~estimate:(t3 -. t2);
   { algorithm; config; model_ir; verdict; objective; pruned; epochs_trained }
+
+(* A zero-weight model with the candidate's exact shape: everything the
+   backend estimators charge for (layer dimensions, centroid/table counts,
+   parameter footprints) is determined by the configuration alone, so the
+   skeleton's analytic verdict is computable without training anything. For
+   trees — whose trained shape is data-dependent — the skeleton is the
+   configured upper bound (a full tree at [max_depth], capped), so its
+   features bound the real artifact rather than equal it; the learned filter
+   absorbs the difference. *)
+let skeleton_ir algorithm ~input_dim ~n_classes config =
+  match algorithm with
+  | Model_spec.Dnn ->
+      let hidden = Space_builder.hidden_layers_of_config config in
+      let dims =
+        Array.concat [ [| input_dim |]; hidden; [| n_classes |] ]
+      in
+      let act =
+        match Bo.Config.get_index config "activation" with
+        | 0 -> "relu"
+        | _ -> "tanh"
+      in
+      let layers =
+        Array.init
+          (Array.length dims - 1)
+          (fun i ->
+            {
+              Model_ir.n_in = dims.(i);
+              n_out = dims.(i + 1);
+              activation =
+                (if i = Array.length dims - 2 then "linear" else act);
+              weights = Array.make_matrix dims.(i + 1) dims.(i) 0.;
+              biases = Array.make dims.(i + 1) 0.;
+            })
+      in
+      Model_ir.Dnn { name = "candidate"; layers }
+  | Model_spec.Kmeans ->
+      let k = Bo.Config.get_int config "k" in
+      Model_ir.Kmeans
+        { name = "candidate"; centroids = Array.make_matrix k input_dim 0. }
+  | Model_spec.Svm ->
+      Model_ir.Svm
+        {
+          name = "candidate";
+          class_weights = Array.make_matrix n_classes input_dim 0.;
+          biases = Array.make n_classes 0.;
+        }
+  | Model_spec.Tree ->
+      let depth = Stdlib.min (Bo.Config.get_int config "max_depth") 12 in
+      let rec full d =
+        if d = 0 then
+          Decision_tree.Leaf { distribution = Array.make n_classes 0. }
+        else
+          Decision_tree.Split
+            { feature = 0; threshold = 0.; left = full (d - 1); right = full (d - 1) }
+      in
+      Model_ir.Tree
+        { name = "candidate"; root = full depth; n_features = input_dim; n_classes }
+
+let features_of_candidate platform algorithm ~input_dim ~n_classes config =
+  let ir = skeleton_ir algorithm ~input_dim ~n_classes config in
+  let v = Platform.estimate platform ir in
+  let perf = Platform.perf platform in
+  let usage_features =
+    List.concat_map
+      (fun u ->
+        [
+          u.Resource.used;
+          u.Resource.available;
+          (if u.Resource.available > 0. then u.Resource.used /. u.Resource.available
+           else 1.);
+        ])
+      v.Resource.usages
+  in
+  Array.of_list
+    ([
+       float_of_int (Model_ir.param_count ir);
+       float_of_int input_dim;
+       float_of_int n_classes;
+       v.Resource.latency_ns;
+       v.Resource.throughput_gpps;
+       (if v.Resource.feasible then 1. else 0.);
+       perf.Resource.max_latency_ns;
+       perf.Resource.min_throughput_gpps;
+     ]
+    @ usage_features)
 
 let compare_artifacts a b =
   (* Total order: feasible before infeasible, then fully trained before

@@ -19,6 +19,31 @@ type artifact = {
       (** epochs the fit actually ran (0 for non-epoch algorithms) *)
 }
 
+(** Process-wide accounting of what exact evaluations cost, split into the
+    three phases the DSE bench reports: training, lowering (name/
+    standardization folding + objective), and backend estimation. Counters
+    are mutex-guarded (evaluations run on pool workers) and deliberately
+    kept out of history metadata, so reading them never perturbs a search's
+    determinism. [estimates] is the "exact simulator invocations" metric:
+    one per {!Homunculus_alchemy.Platform.estimate} call on a trained
+    model ({!features_of_candidate}'s skeleton estimates are not charged). *)
+module Timing : sig
+  type snapshot = {
+    evaluations : int;
+    estimates : int;
+    train_s : float;
+    lower_s : float;
+    estimate_s : float;
+  }
+
+  val reset : unit -> unit
+  val snapshot : unit -> snapshot
+
+  val charge : train:float -> lower:float -> estimate:float -> unit
+  (** One exact evaluation's phase durations (seconds). Exposed for
+      synthetic benches; {!evaluate} calls it itself. *)
+end
+
 val evaluate :
   Homunculus_util.Rng.t ->
   ?prune:Homunculus_bo.Asha.t ->
@@ -44,6 +69,23 @@ val evaluate :
     supervisor uses it for divergence detection (non-finite loss) and
     wall-clock budget enforcement — it aborts the evaluation by raising.
     Non-DNN algorithms never call it. *)
+
+val features_of_candidate :
+  Platform.t ->
+  Model_spec.algorithm ->
+  input_dim:int ->
+  n_classes:int ->
+  Homunculus_bo.Config.t ->
+  float array
+(** Pure architecture/placement features for the learned cost-model
+    pre-filter — computed {e without training anything}: a zero-weight
+    skeleton model with the candidate's exact shape is lowered through
+    {!Homunculus_alchemy.Platform.estimate}, and the resulting analytic
+    verdict becomes the feature vector: [param_count; input_dim; n_classes;
+    latency_ns; throughput_gpps; skeleton-feasible; perf targets] followed
+    by [used; available; used/available] per backend resource. Fixed-length
+    for a fixed (platform, algorithm, dataset); deterministic; does not
+    touch {!Timing}. Callers typically prepend the design-space encoding. *)
 
 val compare_artifacts : artifact -> artifact -> int
 (** Total order used to rank search results: feasible before infeasible,

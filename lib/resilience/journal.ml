@@ -2,6 +2,7 @@ module Json = Homunculus_util.Json
 module Bo = Homunculus_bo
 
 type failure = { failure_class : string; message : string; retries : int }
+type kind = Exact | Predicted
 
 type record = {
   scope : string;
@@ -12,6 +13,7 @@ type record = {
   pruned : bool;
   metadata : (string * float) list;
   failure : failure option;
+  kind : kind;
 }
 
 (* 64-bit FNV-1a over the compact rendering of the record object. The
@@ -57,6 +59,8 @@ let record_to_json r =
        Json.Object (List.map (fun (k, v) -> (k, Json.Number v)) r.metadata));
       ("failure",
        match r.failure with None -> Json.Null | Some f -> failure_to_json f);
+      ("kind",
+       Json.String (match r.kind with Exact -> "exact" | Predicted -> "predicted"));
     ]
 
 let record_of_json json =
@@ -76,6 +80,12 @@ let record_of_json json =
       (match Json.member json "failure" with
       | Json.Null -> None
       | f -> Some (failure_of_json f));
+    kind =
+      (* Journals written before the cost-model pre-filter carry no kind
+         member: every one of their records was an exact evaluation. *)
+      (match Json.member_opt json "kind" with
+      | Some (Json.String "predicted") -> Predicted
+      | Some _ | None -> Exact);
   }
 
 let line_of_record r =

@@ -22,6 +22,14 @@ type failure = { failure_class : string; message : string; retries : int }
     [backend], [budget]), human-readable message, and how many retries were
     burned before giving up. *)
 
+type kind = Exact | Predicted
+(** How the recorded evaluation was obtained: [Exact] ran the full
+    train/lower/estimate pipeline; [Predicted] is a cost-model
+    predicted-infeasible skip. Journals written before this field existed
+    omit the member and parse as [Exact] — back-compatible both ways, since
+    the loader's checksum covers the raw line, not the re-serialized
+    record. *)
+
 type record = {
   scope : string;  (** search scope, e.g. ["spec-name/dnn"] *)
   index : int;  (** proposal-order candidate index within the scope *)
@@ -31,6 +39,7 @@ type record = {
   pruned : bool;
   metadata : (string * float) list;
   failure : failure option;
+  kind : kind;
 }
 
 val record_to_json : record -> Json.t

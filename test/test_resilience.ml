@@ -70,6 +70,7 @@ let sample_records =
       pruned = false;
       metadata = [ ("latency_ns", 350.); ("params", 42.) ];
       failure = None;
+      kind = Journal.Exact;
     };
     {
       Journal.scope = "blobs/tree";
@@ -86,6 +87,7 @@ let sample_records =
             message = "training diverged at epoch 3";
             retries = 0;
           };
+      kind = Journal.Exact;
     };
   ]
 
@@ -99,7 +101,7 @@ let record_equal (a : Journal.record) (b : Journal.record) =
        (fun (k1, v1) (k2, v2) ->
          k1 = k2 && Int64.bits_of_float v1 = Int64.bits_of_float v2)
        a.metadata b.metadata
-  && a.failure = b.failure
+  && a.failure = b.failure && a.kind = b.kind
 
 let test_journal_roundtrip () =
   let path = temp_journal () in
@@ -163,6 +165,57 @@ let test_journal_later_record_wins () =
   | Some r -> Alcotest.(check (float 0.)) "superseded" 0.5 r.Journal.objective
   | None -> Alcotest.fail "record missing");
   Sys.remove path
+
+(* Evaluation-kind field: predicted records round-trip, and journals written
+   before the field existed (no "kind" member) load as Exact. *)
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let test_journal_kind_roundtrip () =
+  let predicted =
+    {
+      (List.hd sample_records) with
+      Journal.feasible = false;
+      metadata = [ ("cm_predicted", 1.); ("cm_p_feasible", 0.12) ];
+      kind = Journal.Predicted;
+    }
+  in
+  match Journal.record_of_line (Journal.line_of_record predicted) with
+  | None -> Alcotest.fail "predicted record dropped"
+  | Some r ->
+      Alcotest.(check bool) "kind survives" true (r.Journal.kind = Journal.Predicted);
+      Alcotest.(check bool) "payload survives" true (record_equal predicted r)
+
+let test_journal_kind_legacy_lines () =
+  let module Json = Homunculus_util.Json in
+  (* Re-create the pre-kind line format: serialize a record, drop the "kind"
+     member, and re-checksum — byte-for-byte what an old journal holds. *)
+  let base = List.hd sample_records in
+  let legacy_rec =
+    match Journal.record_to_json base with
+    | Json.Object members ->
+        Json.Object (List.filter (fun (k, _) -> k <> "kind") members)
+    | _ -> Alcotest.fail "record_to_json must produce an object"
+  in
+  let rec_text = Json.to_string ~pretty:false legacy_rec in
+  let line =
+    Printf.sprintf "{\"sum\":%s,\"rec\":%s}"
+      (Json.to_string ~pretty:false
+         (Json.String (Printf.sprintf "%016Lx" (fnv1a64 rec_text))))
+      rec_text
+  in
+  match Journal.record_of_line line with
+  | None -> Alcotest.fail "legacy line dropped"
+  | Some r ->
+      Alcotest.(check bool) "missing kind parses as Exact" true
+        (r.Journal.kind = Journal.Exact);
+      Alcotest.(check bool) "payload survives" true (record_equal base r)
 
 (* Supervisor unit behavior *)
 
@@ -499,6 +552,10 @@ let suite =
       test_journal_corruption_tolerance;
     Alcotest.test_case "journal later record wins" `Quick
       test_journal_later_record_wins;
+    Alcotest.test_case "journal kind round-trip" `Quick
+      test_journal_kind_roundtrip;
+    Alcotest.test_case "journal kind legacy lines" `Quick
+      test_journal_kind_legacy_lines;
     Alcotest.test_case "supervisor transient retry" `Quick
       test_supervisor_transient_retry;
     Alcotest.test_case "supervisor hard failure tagged" `Quick
