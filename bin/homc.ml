@@ -260,6 +260,29 @@ let options_of ~seed ~budget ~jobs ~prune =
 
 (* compile *)
 
+(* The searched-result report, shared by [compile] and [search]: everything
+   deterministic goes to stdout (so inline, resumed, and distributed runs of
+   the same seed diff clean), accounting goes to stderr. *)
+let print_search_result ~target ~output result =
+  print_string (Report.result_summary result);
+  match result.Compiler.models with
+  | [ m ] -> (
+      Printf.printf "\nwinning configuration: %s\n"
+        (Report.config_summary m.Compiler.artifact.Evaluator.config);
+      Printf.printf "\n%s\n" (Report.render_regret m.Compiler.history);
+      match (m.Compiler.code, output) with
+      | Some code, Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc code);
+          Printf.printf "wrote %d bytes of %s code to %s\n" (String.length code)
+            (if target = "tofino" then "P4" else "Spatial")
+            path
+      | Some code, None ->
+          Printf.printf "generated %d lines of backend code (use -o to save)\n"
+            (List.length (String.split_on_char '\n' code))
+      | None, _ -> ())
+  | _ -> ()
+
 let compile app target seed budget jobs prune cost_model cm_margin cm_min_obs
     cm_conviction    journal_dir resume faults retries eval_budget output =
   let spec = spec_of_app app seed in
@@ -276,23 +299,7 @@ let compile app target seed budget jobs prune cost_model cm_margin cm_min_obs
   in
   let run () =
     let result = Compiler.generate ~options platform (Schedule.model spec) in
-    print_string (Report.result_summary result);
-    (match result.Compiler.models with
-    | [ m ] -> (
-        Printf.printf "\nwinning configuration: %s\n"
-          (Report.config_summary m.Compiler.artifact.Evaluator.config);
-        Printf.printf "\n%s\n" (Report.render_regret m.Compiler.history);
-        match (m.Compiler.code, output) with
-        | Some code, Some path ->
-            Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc code);
-            Printf.printf "wrote %d bytes of %s code to %s\n" (String.length code)
-              (if target = "tofino" then "P4" else "Spatial")
-              path
-        | Some code, None ->
-            Printf.printf "generated %d lines of backend code (use -o to save)\n"
-              (List.length (String.split_on_char '\n' code))
-        | None, _ -> ())
-    | _ -> ());
+    print_search_result ~target ~output result;
     (* Accounting goes to stderr so an interrupted-then-resumed run's stdout
        diffs clean against an uninterrupted one: the cost model's counters
        restart on resume (replayed candidates bypass the filter) even though
@@ -322,6 +329,146 @@ let compile app target seed budget jobs prune cost_model cm_margin cm_min_obs
         Printf.eprintf "search killed after %d journal records (simulated)\n%!"
           n;
         10)
+
+(* search — the distributed DSE driver.
+
+   Three modes behind one subcommand, so a worker is just another homc
+   invocation (the same binary can later be launched on another machine
+   against a shared coordination directory):
+
+     homc search APP                          inline, single process
+     homc search APP --coordinator DIR \
+                     --workers N              coordinator + N local workers
+     homc search APP --coordinator DIR \
+                     --worker --worker-id I   hidden: one worker process
+
+   Everything deterministic prints to stdout; lease/worker accounting goes
+   to stderr — so for a fixed seed and -j, the coordinator run's stdout is
+   byte-identical to the inline run's at any worker count, including runs
+   where workers were killed mid-search. *)
+
+module Dist = Homunculus_dist
+
+let parse_kill_worker = function
+  | None -> None
+  | Some s -> (
+      let bad () = failwith "bad --kill-worker (use WORKER:CLAIMS)" in
+      match String.split_on_char ':' s with
+      | [ i; n ] -> (
+          match (int_of_string_opt i, int_of_string_opt n) with
+          | Some i, Some n when i >= 0 && n >= 1 -> Some (i, n)
+          | _ -> bad ())
+      | _ -> bad ())
+
+let search app target seed budget jobs coordinator workers lease_ttl
+    fsync_every worker worker_id kill_worker retries eval_budget output =
+  let spec = spec_of_app app seed in
+  let platform = platform_of_name target in
+  (* Worker-local resilience only: retries and budgets compose per process;
+     the journal role is played by the coordination directory. *)
+  let supervisor, _ =
+    resilience_of ~journal_dir:None ~resume:false ~faults:None ~retries
+      ~eval_budget
+  in
+  let lease_options = { Compiler.default_options with Compiler.seed; supervisor } in
+  let lease_eval ~scope ~index ~config =
+    Compiler.worker_eval ~options:lease_options ~platform ~specs:[ spec ]
+      ~scope ~index ~config
+  in
+  match (worker, coordinator) with
+  | true, None -> failwith "--worker requires --coordinator DIR"
+  | true, Some dir -> (
+      (* Worker mode: claim leases, evaluate, journal, until the done
+         marker. A --kill-worker plan addressed to this id simulates a
+         SIGKILL after that many claims (exit 10, lease left unserved). *)
+      let faults =
+        match parse_kill_worker kill_worker with
+        | Some (i, n) when i = worker_id ->
+            Some
+              (Resilience.Faultplan.create
+                 [ Resilience.Faultplan.Kill_after { records = n } ])
+        | Some _ | None -> None
+      in
+      match
+        Dist.Worker.run ~dir ~id:worker_id ~eval:lease_eval ?fsync_every
+          ?faults ()
+      with
+      | stats ->
+          Printf.eprintf "worker %d: %d leases claimed, %d evaluated\n%!"
+            worker_id stats.Dist.Worker.claims stats.Dist.Worker.evaluated;
+          0
+      | exception Resilience.Faultplan.Killed n ->
+          Printf.eprintf "worker %d: killed after %d claims (simulated)\n%!"
+            worker_id n;
+          10)
+  | false, Some dir ->
+      (* Coordinator mode: lease batches to the fleet through the optimizer's
+         dispatch hook. [local_eval] is the all-workers-dead fallback. *)
+      let coord =
+        Dist.Coordinator.create ~dir ~ttl_s:lease_ttl ~local_eval:lease_eval ()
+      in
+      let options =
+        {
+          (options_of ~seed ~budget ~jobs ~prune:false) with
+          Compiler.dispatch =
+            Some (fun ~scope batch -> Dist.Coordinator.dispatch coord ~scope batch);
+        }
+      in
+      (* Each worker is this binary re-invoked in --worker mode, stdout
+         redirected onto our stderr so the coordinator's stdout stays
+         byte-identical to a single-process run. *)
+      let spawn i =
+        let args =
+          [
+            Sys.executable_name; "search"; app; "-t"; target;
+            "--seed"; string_of_int seed; "-j"; "1";
+            "--coordinator"; dir; "--worker"; "--worker-id"; string_of_int i;
+            "--retries"; string_of_int retries;
+          ]
+          @ (match eval_budget with
+            | Some b -> [ "--eval-budget"; string_of_float b ]
+            | None -> [])
+          @ (match fsync_every with
+            | Some k -> [ "--fsync-every"; string_of_int k ]
+            | None -> [])
+          @
+          match kill_worker with
+          | Some s -> [ "--kill-worker"; s ]
+          | None -> []
+        in
+        Unix.create_process Sys.executable_name (Array.of_list args)
+          Unix.stdin Unix.stderr Unix.stderr
+      in
+      let pids = List.init workers spawn in
+      let result = Compiler.generate ~options platform (Schedule.model spec) in
+      Dist.Coordinator.finish coord;
+      print_search_result ~target ~output result;
+      let s = Dist.Coordinator.stats coord in
+      Printf.eprintf
+        "coordinator: %d leases issued (%d reissued), %d records merged, %d \
+         replayed, %d evaluated inline\n%!"
+        s.Dist.Coordinator.leases_issued s.Dist.Coordinator.leases_reissued
+        s.Dist.Coordinator.merged s.Dist.Coordinator.replay_hits
+        s.Dist.Coordinator.inline_evaluated;
+      List.iter
+        (fun pid ->
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, Unix.WEXITED code ->
+              Printf.eprintf "worker pid %d exited %d\n%!" pid code
+          | _, (Unix.WSIGNALED sg | Unix.WSTOPPED sg) ->
+              Printf.eprintf "worker pid %d signaled %d\n%!" pid sg)
+        pids;
+      0
+  | false, None ->
+      (* Inline: the single-process reference the distributed modes must
+         match byte-for-byte on stdout. *)
+      let options =
+        { (options_of ~seed ~budget ~jobs ~prune:false) with Compiler.supervisor }
+      in
+      let result = Compiler.generate ~options platform (Schedule.model spec) in
+      print_search_result ~target ~output result;
+      0
 
 (* compose: many guarded models, one shared data plane *)
 
@@ -932,6 +1079,73 @@ let compile_cmd =
       $ journal_arg $ resume_arg $ faults_arg $ retries_arg
       $ eval_budget_arg $ output_arg)
 
+let search_cmd =
+  let coordinator_arg =
+    let doc =
+      "Run the search distributed: lease candidates out of this coordination \
+       directory to worker processes and merge their journaled evaluations. \
+       For a fixed --seed and -j, stdout is byte-identical to the inline run \
+       at any fleet size. Reusing a directory resumes: already-journaled \
+       evaluations are merged instead of re-leased."
+    in
+    Arg.(value & opt (some string) None & info [ "coordinator" ] ~docv:"DIR" ~doc)
+  in
+  let workers_arg =
+    let doc = "Local worker processes to spawn (coordinator mode)." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let lease_ttl_arg =
+    let doc =
+      "Reissue a lease not answered within this many seconds — a killed \
+       worker costs only its in-flight leases. Duplicated evaluations are \
+       harmless (config-derived seeds make them bit-identical)."
+    in
+    Arg.(value & opt float 5. & info [ "lease-ttl" ] ~docv:"SECONDS" ~doc)
+  in
+  let fsync_every_arg =
+    let doc =
+      "Group-commit the worker journals: fsync once per this many appended \
+       records instead of every record. A crash loses at most the unsynced \
+       tail, which the lease TTL re-evaluates."
+    in
+    Arg.(value & opt (some int) None & info [ "fsync-every" ] ~docv:"K" ~doc)
+  in
+  let worker_arg =
+    let doc =
+      "Internal: run as a lease-claiming worker for --coordinator DIR \
+       (spawned automatically in coordinator mode; invoke manually to \
+       attach an extra worker to a live search)."
+    in
+    Arg.(value & flag & info [ "worker" ] ~doc)
+  in
+  let worker_id_arg =
+    let doc = "Internal: this worker's id (names its journal)." in
+    Arg.(value & opt int 0 & info [ "worker-id" ] ~docv:"I" ~doc)
+  in
+  let kill_worker_arg =
+    let doc =
+      "Fault injection: simulate a SIGKILL of worker $(i,WORKER) after its \
+       $(i,CLAIMS)th lease claim (before the evaluation runs), e.g. 1:3. \
+       The search must still finish with identical stdout."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kill-worker" ] ~docv:"WORKER:CLAIMS" ~doc)
+  in
+  let doc =
+    "Run the design-space search inline or distributed across processes. \
+     Same search as $(b,compile); adds --coordinator/--workers to fan \
+     candidate evaluations out to an elastic, crash-tolerant worker fleet \
+     with deterministic (bit-identical) results."
+  in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(
+      const search $ app_arg $ target_arg $ seed_arg $ budget_arg $ jobs_arg
+      $ coordinator_arg $ workers_arg $ lease_ttl_arg $ fsync_every_arg
+      $ worker_arg $ worker_id_arg $ kill_worker_arg $ retries_arg
+      $ eval_budget_arg $ output_arg)
+
 let compose_cmd =
   let apps_arg =
     let doc =
@@ -1125,7 +1339,7 @@ let main_cmd =
   let doc = "Homunculus: auto-generating data-plane ML pipelines" in
   Cmd.group (Cmd.info "homc" ~version:"1.0.0" ~doc)
     [
-      compile_cmd; compose_cmd; inspect_cmd; datasets_cmd; sweep_cmd;
+      compile_cmd; search_cmd; compose_cmd; inspect_cmd; datasets_cmd; sweep_cmd;
       place_cmd; simulate_cmd; export_trace_cmd; serve_cmd; loadgen_cmd;
       check_cmd;
     ]

@@ -15,6 +15,13 @@ let algorithm_to_string = function
   | Svm -> "svm"
   | Tree -> "tree"
 
+let algorithm_of_string = function
+  | "dnn" -> Dnn
+  | "kmeans" -> Kmeans
+  | "svm" -> Svm
+  | "tree" -> Tree
+  | s -> invalid_arg (Printf.sprintf "Model_spec.algorithm_of_string: %S" s)
+
 let all_algorithms = [ Dnn; Kmeans; Svm; Tree ]
 
 type data = { train : Dataset.t; test : Dataset.t }

@@ -75,7 +75,15 @@ let fresh_candidate rng space history ~pending =
    only on proposal order, never on worker scheduling. Skipped candidates
    commit the filter's predicted evaluation in proposal order alongside the
    exact results. *)
-let evaluate_batch ~par ?prefilter history space ~f ~on_iteration batch =
+(* [dispatch], when present, replaces the in-process pool for the exact
+   evaluations: the surviving (index, config) pairs are handed over en bloc
+   and the dispatcher returns their evaluations in the same order. The
+   distributed coordinator plugs in here — proposals become leases to worker
+   processes — and because proposals, pre-filter decisions, and commits all
+   stay on the calling domain in proposal order, the history is identical
+   whether the batch ran inline, on a pool, or on a fleet. *)
+let evaluate_batch ~par ?prefilter ?dispatch history space ~f ~on_iteration
+    batch =
   let base = History.length history in
   let decisions =
     match prefilter with
@@ -87,10 +95,18 @@ let evaluate_batch ~par ?prefilter history space ~f ~on_iteration batch =
     (fun i config ->
       if Option.is_none decisions.(i) then work := (base + i, config) :: !work)
     batch;
+  let work = Array.of_list (List.rev !work) in
   let evals =
-    Par.parallel_map ~pool:par ~chunk:1
-      (fun (index, config) -> f ~index config)
-      (Array.of_list (List.rev !work))
+    match dispatch with
+    | None ->
+        Par.parallel_map ~pool:par ~chunk:1
+          (fun (index, config) -> f ~index config)
+          work
+    | Some send ->
+        let evals = send work in
+        if Array.length evals <> Array.length work then
+          invalid_arg "Bo.Optimizer: dispatch returned wrong arity";
+        evals
   in
   let next = ref 0 in
   Array.iteri
@@ -107,7 +123,7 @@ let evaluate_batch ~par ?prefilter history space ~f ~on_iteration batch =
     batch
 
 let maximize_indexed rng ?(settings = default_settings) ?pool ?on_iteration
-    ?on_batch_start ?prefilter ?on_refit space ~f =
+    ?on_batch_start ?prefilter ?on_refit ?dispatch space ~f =
   if settings.n_init <= 0 then invalid_arg "Bo.Optimizer.maximize: n_init <= 0";
   if settings.batch_size <= 0 then
     invalid_arg "Bo.Optimizer.maximize: batch_size <= 0";
@@ -132,7 +148,8 @@ let maximize_indexed rng ?(settings = default_settings) ?pool ?on_iteration
           c)
     in
     batch_start ();
-    evaluate_batch ~par ?prefilter history space ~f ~on_iteration batch;
+    evaluate_batch ~par ?prefilter ?dispatch history space ~f ~on_iteration
+      batch;
     remaining := !remaining - k
   done;
   (* Phase 2: surrogate-guided rounds. Each round proposes up to
@@ -255,12 +272,13 @@ let maximize_indexed rng ?(settings = default_settings) ?pool ?on_iteration
     done;
     let batch = Array.of_list (List.rev !chosen) in
     batch_start ();
-    evaluate_batch ~par ?prefilter history space ~f ~on_iteration batch;
+    evaluate_batch ~par ?prefilter ?dispatch history space ~f ~on_iteration
+      batch;
     remaining := !remaining - k
   done;
   history
 
 let maximize rng ?settings ?pool ?on_iteration ?on_batch_start ?prefilter
-    ?on_refit space ~f =
+    ?on_refit ?dispatch space ~f =
   maximize_indexed rng ?settings ?pool ?on_iteration ?on_batch_start ?prefilter
-    ?on_refit space ~f:(fun ~index:_ config -> f config)
+    ?on_refit ?dispatch space ~f:(fun ~index:_ config -> f config)

@@ -51,6 +51,7 @@ val maximize :
   ?on_batch_start:(unit -> unit) ->
   ?prefilter:(index:int -> Config.t -> evaluation option) ->
   ?on_refit:(int -> unit) ->
+  ?dispatch:((int * Config.t) array -> evaluation array) ->
   Design_space.t ->
   f:(Config.t -> evaluation) ->
   History.t
@@ -84,7 +85,17 @@ val maximize :
     same proposal-order history index [f] would have received.
 
     [on_refit] fires (with the history length) each time the surrogate pair
-    is actually fitted — the refit-cadence benches count these. *)
+    is actually fitted — the refit-cadence benches count these.
+
+    [dispatch], when present, replaces the in-process pool for exact
+    evaluations: each batch's surviving [(index, config)] pairs (after
+    pre-filter skips) are handed over in proposal order and the dispatcher
+    must return their evaluations in the same order ([f] is then never
+    called). The distributed coordinator leases batches to worker processes
+    through this hook; since proposals, pre-filter decisions, and commits
+    all stay on the calling domain, the history remains bit-identical to an
+    inline run. @raise Invalid_argument if the returned array's length
+    differs from the batch's. *)
 
 val maximize_indexed :
   Homunculus_util.Rng.t ->
@@ -94,6 +105,7 @@ val maximize_indexed :
   ?on_batch_start:(unit -> unit) ->
   ?prefilter:(index:int -> Config.t -> evaluation option) ->
   ?on_refit:(int -> unit) ->
+  ?dispatch:((int * Config.t) array -> evaluation array) ->
   Design_space.t ->
   f:(index:int -> Config.t -> evaluation) ->
   History.t

@@ -18,6 +18,9 @@ type options = {
   prune : Bo.Asha.settings option;
   supervisor : Supervisor.t option;
   cost_model : Bo.Cost_model.settings option;
+  dispatch :
+    (scope:string -> (int * Bo.Config.t) array -> Bo.Optimizer.evaluation array)
+    option;
 }
 
 let default_options =
@@ -29,6 +32,7 @@ let default_options =
     prune = None;
     supervisor = None;
     cost_model = None;
+    dispatch = None;
   }
 
 let quick_options =
@@ -74,7 +78,7 @@ let emit_code platform model_ir =
       P4gen.emit model_ir ^ "\n" ^ P4gen.emit_entries model_ir
 
 let search_algorithm rng ~seed ~settings ?prune ?supervisor ?cost_model
-    platform spec algorithm =
+    ?dispatch platform spec algorithm =
   let data = Model_spec.load spec in
   let input_dim =
     Homunculus_ml.Dataset.n_features data.Model_spec.train
@@ -193,13 +197,17 @@ let search_algorithm rng ~seed ~settings ?prune ?supervisor ?cost_model
             ~pruned:e.Bo.History.pruned)
       cm
   in
+  (* Distributed dispatch: batches go out as leases to worker processes
+     instead of the in-process pool; [eval] then never runs here, so the
+     winner must come from the history path below (same as replay). *)
+  let dispatch = Option.map (fun d -> d ~scope) dispatch in
   let history =
     Bo.Optimizer.maximize_indexed rng ~settings ?on_iteration ?on_batch_start
-      ?prefilter space ~f:eval
+      ?prefilter ?dispatch space ~f:eval
   in
   let winner =
-    match (supervisor, cm) with
-    | None, None -> !best
+    match (supervisor, cm, dispatch) with
+    | None, None, None -> !best
     | _ -> (
         (* Replayed evaluations never ran the artifact-producing thunk, so
            [!best] can miss the true winner on a resumed search. Pick it
@@ -225,6 +233,11 @@ let search_algorithm rng ~seed ~settings ?prune ?supervisor ?cost_model
   (winner, history, sched, Option.map Bo.Cost_model.stats cm)
 
 let search_model ?(options = default_options) platform spec =
+  (* ASHA rungs share mutable per-batch thresholds that live in this
+     process; a leased batch evaluates elsewhere, so the combination cannot
+     keep its determinism contract. Refuse rather than silently diverge. *)
+  if Option.is_some options.dispatch && Option.is_some options.prune then
+    invalid_arg "Compiler.search_model: dispatch is incompatible with prune";
   let candidates = Candidate.filter platform spec in
   if candidates = [] then
     raise
@@ -252,7 +265,8 @@ let search_model ?(options = default_options) platform spec =
         let best, history, (_ : Bo.Asha.t option), stats =
           search_algorithm rng ~seed:options.seed ~settings
             ?prune:options.prune ?supervisor:options.supervisor
-            ?cost_model:options.cost_model platform spec algorithm
+            ?cost_model:options.cost_model ?dispatch:options.dispatch platform
+            spec algorithm
         in
         (algorithm, best, history, stats))
       candidates
@@ -311,6 +325,42 @@ let search_model ?(options = default_options) platform spec =
            else None);
         cost_stats;
       }
+
+(* The worker-process side of distributed dispatch: evaluate one leased
+   candidate exactly as the inline search would have. The scope string
+   carries everything positional ("<spec-name>/<algorithm>"); the
+   config-derived seed carries everything stochastic — so any process
+   produces the same evaluation for the same lease. No ASHA (incompatible
+   with dispatch), no cost model (the pre-filter runs coordinator-side,
+   skips never become leases), no best-artifact tracking (the coordinator
+   picks the winner from the merged history and rebuilds it). *)
+let worker_eval ~options ~platform ~specs ~scope ~index ~config =
+  let name, algorithm =
+    match String.rindex_opt scope '/' with
+    | None ->
+        invalid_arg (Printf.sprintf "Compiler.worker_eval: bad scope %S" scope)
+    | Some i ->
+        ( String.sub scope 0 i,
+          Model_spec.algorithm_of_string
+            (String.sub scope (i + 1) (String.length scope - i - 1)) )
+  in
+  let spec =
+    match List.find_opt (fun s -> Model_spec.name s = name) specs with
+    | Some s -> s
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Compiler.worker_eval: no spec named %S" name)
+  in
+  let run_eval ?guard () =
+    let eval_rng = Rng.create (options.seed lxor Bo.Config.hash config) in
+    Evaluator.evaluate eval_rng ?guard platform spec algorithm config
+  in
+  match options.supervisor with
+  | None -> Evaluator.to_bo_evaluation (run_eval ())
+  | Some sup ->
+      Supervisor.supervise sup ~scope ~index ~config (fun ctx ->
+          Evaluator.to_bo_evaluation
+            (run_eval ~guard:(Supervisor.epoch_guard ctx) ()))
 
 type tradeoff_point = {
   artifact : Evaluator.artifact;

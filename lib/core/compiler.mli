@@ -47,6 +47,17 @@ type options = {
           Composes with the supervisor: journal-replayed candidates bypass
           the filter, fresh skips are journaled with kind [predicted].
           [None] evaluates every candidate exactly, as before. *)
+  dispatch :
+    (scope:string -> (int * Bo.Config.t) array -> Bo.Optimizer.evaluation array)
+    option;
+      (** when set, every batch of exact evaluations is handed to this hook
+          (the distributed coordinator) instead of the in-process pool; the
+          hook returns the evaluations in batch order. The winning artifact
+          is then picked from the history and rebuilt locally, as on a
+          resumed search. Incompatible with [prune] (ASHA's per-batch rung
+          thresholds are process-local state) — {!search_model} raises
+          [Invalid_argument] on the combination. [None] evaluates
+          in-process, as before. *)
 }
 
 val default_options : options
@@ -78,6 +89,25 @@ type result = {
           every instance in schedule order (repeated specs become namespaced
           instances) *)
 }
+
+val worker_eval :
+  options:options ->
+  platform:Platform.t ->
+  specs:Model_spec.t list ->
+  scope:string ->
+  index:int ->
+  config:Bo.Config.t ->
+  Bo.Optimizer.evaluation
+(** Evaluate one leased candidate the way the inline search would have: the
+    scope string (["<spec-name>/<algorithm>"], as built by the per-algorithm
+    search and carried by every lease and journal record) selects the model,
+    and the config-derived seed makes the result identical in any process.
+    Runs under [options.supervisor] when present (worker-local retries and
+    budgets; give the worker's supervisor no journal — the worker loop owns
+    its journal appends). [options.prune] and [options.cost_model] are
+    ignored: pruning is incompatible with dispatch and the cost-model
+    pre-filter runs coordinator-side, so leases are always exact.
+    @raise Invalid_argument on an unparseable scope or unknown spec name. *)
 
 val search_model :
   ?options:options -> Platform.t -> Model_spec.t -> model_result

@@ -1,0 +1,220 @@
+module Bo = Homunculus_bo
+module Journal = Homunculus_resilience.Journal
+
+type stats = {
+  leases_issued : int;
+  leases_reissued : int;
+  inline_evaluated : int;
+  replay_hits : int;
+  merged : int;
+}
+
+type t = {
+  dir : string;
+  ttl_s : float;
+  poll_s : float;
+  max_reissues : int;
+  local_eval :
+    scope:string -> index:int -> config:Bo.Config.t -> Bo.Optimizer.evaluation;
+  journal : Journal.t;  (** lease/release WAL, accounting only *)
+  leases : Lease.t;
+  readers : (string, Journal.reader) Hashtbl.t;  (** worker journal tails *)
+  results : (string * int, Journal.record) Hashtbl.t;
+      (** evaluations read back, keyed by (scope, proposal index) *)
+  mutable leases_issued : int;
+  mutable leases_reissued : int;
+  mutable inline_evaluated : int;
+  mutable replay_hits : int;
+  mutable merged : int;
+}
+
+let clear_dir dir =
+  if Sys.file_exists dir then
+    Array.iter
+      (fun name ->
+        try Unix.unlink (Filename.concat dir name)
+        with Unix.Unix_error _ -> ())
+      (Sys.readdir dir)
+
+let create ~dir ?(ttl_s = 30.) ?(poll_s = 0.05) ?(max_reissues = 4)
+    ~local_eval () =
+  if ttl_s <= 0. then invalid_arg "Coordinator.create: ttl_s <= 0";
+  if poll_s <= 0. then invalid_arg "Coordinator.create: poll_s <= 0";
+  if max_reissues < 0 then invalid_arg "Coordinator.create: max_reissues < 0";
+  Protocol.ensure_dirs dir;
+  (* Leases from a dead coordinator are promises nobody will keep — clear
+     them before workers can claim them. Worker journals stay: everything
+     already evaluated is merged below, which is what makes reusing the
+     directory a distributed resume. The coordinator starts before its
+     workers, so nothing races this sweep. *)
+  clear_dir (Protocol.tasks_dir dir);
+  clear_dir (Protocol.active_dir dir);
+  (try Unix.unlink (Filename.concat dir "done") with Unix.Unix_error _ -> ());
+  {
+    dir;
+    ttl_s;
+    poll_s;
+    max_reissues;
+    local_eval;
+    journal = Journal.open_ (Protocol.coordinator_journal dir);
+    leases = Lease.create ();
+    readers = Hashtbl.create 8;
+    results = Hashtbl.create 256;
+    leases_issued = 0;
+    leases_reissued = 0;
+    inline_evaluated = 0;
+    replay_hits = 0;
+    merged = 0;
+  }
+
+let coordination_record ~kind ~scope ~index ~config ~generation =
+  {
+    Journal.scope;
+    index;
+    config;
+    objective = 0.;
+    feasible = false;
+    pruned = false;
+    metadata = [ ("generation", float_of_int generation) ];
+    failure = None;
+    kind;
+  }
+
+let evaluation_of_record (r : Journal.record) =
+  {
+    Bo.Optimizer.objective = r.Journal.objective;
+    feasible = r.Journal.feasible;
+    pruned = r.Journal.pruned;
+    metadata = r.Journal.metadata;
+  }
+
+(* Absorb everything newly appended to every worker journal. Journals are
+   scanned in sorted filename order and each journal in file order, so when
+   duplicate completions exist (a reissued lease evaluated twice) the winner
+   is fixed — not that it matters for the history: duplicate evaluations of
+   one candidate are bit-identical by construction. *)
+let absorb t =
+  List.iter
+    (fun path ->
+      let reader =
+        match Hashtbl.find_opt t.readers path with
+        | Some r -> r
+        | None ->
+            let r = Journal.reader path in
+            Hashtbl.replace t.readers path r;
+            r
+      in
+      List.iter
+        (fun (r : Journal.record) ->
+          if Journal.is_evaluation r.Journal.kind then begin
+            t.merged <- t.merged + 1;
+            Hashtbl.replace t.results (r.Journal.scope, r.Journal.index) r;
+            if Lease.complete t.leases ~scope:r.Journal.scope ~index:r.Journal.index
+            then
+              ignore
+                (Journal.append t.journal
+                   (coordination_record ~kind:Journal.Release
+                      ~scope:r.Journal.scope ~index:r.Journal.index
+                      ~config:r.Journal.config ~generation:0))
+          end)
+        (Journal.poll reader))
+    (Protocol.worker_journals t.dir)
+
+let result_for t ~scope ~index ~config =
+  match Hashtbl.find_opt t.results (scope, index) with
+  | Some r when Bo.Config.equal r.Journal.config config ->
+      Some (evaluation_of_record r)
+  | Some _ | None -> None
+
+let publish_lease t ~scope ~index ~config ~generation =
+  Protocol.publish ~dir:t.dir
+    { Protocol.scope; index; config; generation };
+  ignore
+    (Journal.append t.journal
+       (coordination_record ~kind:Journal.Lease ~scope ~index ~config
+          ~generation))
+
+let dispatch t ~scope batch =
+  let n = Array.length batch in
+  let out = Array.make n None in
+  let pending = ref 0 in
+  (* Merge whatever workers (or a previous run) have already journaled,
+     then lease only the genuinely new candidates. *)
+  absorb t;
+  Array.iteri
+    (fun i (index, config) ->
+      match result_for t ~scope ~index ~config with
+      | Some eval ->
+          out.(i) <- Some eval;
+          t.replay_hits <- t.replay_hits + 1
+      | None ->
+          incr pending;
+          let (_ : Lease.entry) =
+            Lease.issue t.leases ~now:(Unix.gettimeofday ()) ~scope ~index
+              ~config
+          in
+          t.leases_issued <- t.leases_issued + 1;
+          publish_lease t ~scope ~index ~config ~generation:0)
+    batch;
+  while !pending > 0 do
+    Unix.sleepf t.poll_s;
+    absorb t;
+    Array.iteri
+      (fun i (index, config) ->
+        if Option.is_none out.(i) then
+          match result_for t ~scope ~index ~config with
+          | Some eval ->
+              out.(i) <- Some eval;
+              decr pending
+          | None -> ())
+      batch;
+    (* Quiet leases: republish (next generation) while the reissue budget
+       lasts, then fall back to evaluating inline — the search must finish
+       even if every worker is dead, and the inline result is bit-identical
+       to what any worker would have produced. *)
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun (e : Lease.entry) ->
+        if e.Lease.reissues >= t.max_reissues then begin
+          let eval =
+            t.local_eval ~scope:e.Lease.scope ~index:e.Lease.index
+              ~config:e.Lease.config
+          in
+          Hashtbl.replace t.results
+            (e.Lease.scope, e.Lease.index)
+            {
+              Journal.scope = e.Lease.scope;
+              index = e.Lease.index;
+              config = e.Lease.config;
+              objective = eval.Bo.Optimizer.objective;
+              feasible = eval.Bo.Optimizer.feasible;
+              pruned = eval.Bo.Optimizer.pruned;
+              metadata = eval.Bo.Optimizer.metadata;
+              failure = None;
+              kind = Journal.Exact;
+            };
+          ignore (Lease.complete t.leases ~scope:e.Lease.scope ~index:e.Lease.index);
+          t.inline_evaluated <- t.inline_evaluated + 1
+        end
+        else begin
+          Lease.reissue e ~now;
+          t.leases_reissued <- t.leases_reissued + 1;
+          publish_lease t ~scope:e.Lease.scope ~index:e.Lease.index
+            ~config:e.Lease.config ~generation:e.Lease.generation
+        end)
+      (Lease.expired t.leases ~now ~ttl_s:t.ttl_s)
+  done;
+  Array.map Option.get out
+
+let finish t =
+  Protocol.mark_done t.dir;
+  Journal.close t.journal
+
+let stats t =
+  {
+    leases_issued = t.leases_issued;
+    leases_reissued = t.leases_reissued;
+    inline_evaluated = t.inline_evaluated;
+    replay_hits = t.replay_hits;
+    merged = t.merged;
+  }

@@ -1,0 +1,41 @@
+module Bo = Homunculus_bo
+
+type entry = {
+  scope : string;
+  index : int;
+  config : Bo.Config.t;
+  mutable generation : int;
+  mutable issued_at : float;
+  mutable reissues : int;
+}
+
+type t = { table : (string * int, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let issue t ~now ~scope ~index ~config =
+  let entry =
+    { scope; index; config; generation = 0; issued_at = now; reissues = 0 }
+  in
+  Hashtbl.replace t.table (scope, index) entry;
+  entry
+
+let reissue entry ~now =
+  entry.generation <- entry.generation + 1;
+  entry.reissues <- entry.reissues + 1;
+  entry.issued_at <- now
+
+let complete t ~scope ~index =
+  if Hashtbl.mem t.table (scope, index) then begin
+    Hashtbl.remove t.table (scope, index);
+    true
+  end
+  else false
+
+let expired t ~now ~ttl_s =
+  Hashtbl.fold
+    (fun _ e acc -> if now -. e.issued_at > ttl_s then e :: acc else acc)
+    t.table []
+  |> List.sort (fun a b -> compare (a.scope, a.index) (b.scope, b.index))
+
+let outstanding t = Hashtbl.length t.table

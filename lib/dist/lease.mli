@@ -1,0 +1,38 @@
+(** The coordinator's in-memory lease table: which candidate indices are
+    out with workers, since when, and how many times each has been
+    reissued. Purely bookkeeping — expiry policy (TTL, reissue budget)
+    lives in {!Coordinator}; this module just answers "what is
+    outstanding and what has gone quiet". *)
+
+module Bo = Homunculus_bo
+
+type entry = {
+  scope : string;
+  index : int;
+  config : Bo.Config.t;
+  mutable generation : int;  (** matches the latest published task file *)
+  mutable issued_at : float;  (** wall-clock of the latest (re)issue *)
+  mutable reissues : int;
+}
+
+type t
+
+val create : unit -> t
+
+val issue :
+  t -> now:float -> scope:string -> index:int -> config:Bo.Config.t -> entry
+(** Register a fresh lease (generation 0). *)
+
+val reissue : entry -> now:float -> unit
+(** Bump the generation and reset the expiry clock — call when republishing
+    an expired lease's task file. *)
+
+val complete : t -> scope:string -> index:int -> bool
+(** Drop the lease; [false] when no such lease was outstanding (a duplicate
+    or stale completion — harmless). *)
+
+val expired : t -> now:float -> ttl_s:float -> entry list
+(** Outstanding leases whose latest issue is older than [ttl_s], sorted by
+    (scope, index) so reissue order is deterministic. *)
+
+val outstanding : t -> int

@@ -1,0 +1,117 @@
+module Json = Homunculus_util.Json
+module Bo = Homunculus_bo
+
+type task = {
+  scope : string;
+  index : int;
+  config : Bo.Config.t;
+  generation : int;
+}
+
+let tasks_dir dir = Filename.concat dir "tasks"
+let active_dir dir = Filename.concat dir "active"
+let workers_dir dir = Filename.concat dir "workers"
+let coordinator_journal dir = Filename.concat dir "coordinator.jsonl"
+let done_marker dir = Filename.concat dir "done"
+
+let worker_journal ~dir ~id =
+  Filename.concat (workers_dir dir) (Printf.sprintf "worker-%03d.jsonl" id)
+
+let mkdir_p path =
+  if not (Sys.file_exists path) then
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let ensure_dirs dir =
+  mkdir_p dir;
+  mkdir_p (tasks_dir dir);
+  mkdir_p (active_dir dir);
+  mkdir_p (workers_dir dir)
+
+let worker_journals dir =
+  let d = workers_dir dir in
+  if not (Sys.file_exists d) then []
+  else
+    Sys.readdir d |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".jsonl")
+    |> List.sort String.compare
+    |> List.map (Filename.concat d)
+
+(* Index first and zero-padded so that lexicographic filename order is
+   proposal-index order — workers drain the task directory smallest-index
+   first, matching the inline evaluator's dispatch order. *)
+let task_filename t =
+  let slug =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '_')
+      t.scope
+  in
+  Printf.sprintf "%012d-g%03d-%s.task" t.index t.generation slug
+
+let task_to_json t =
+  Json.Object
+    [
+      ("scope", Json.String t.scope);
+      ("index", Json.Number (float_of_int t.index));
+      ("generation", Json.Number (float_of_int t.generation));
+      ("config", Bo.Serialize.config_to_json_tagged t.config);
+    ]
+
+let task_of_json json =
+  {
+    scope = Json.get_string (Json.member json "scope");
+    index = Json.to_int (Json.member json "index");
+    generation = Json.to_int (Json.member json "generation");
+    config = Bo.Serialize.config_of_json_tagged (Json.member json "config");
+  }
+
+(* Publish via tmp file + rename within the tasks directory (same
+   filesystem, hence atomic): a worker listing the directory either sees the
+   whole task file or none of it. The dot prefix keeps half-written files
+   out of [pending]. *)
+let publish ~dir t =
+  let name = task_filename t in
+  let tmp = Filename.concat (tasks_dir dir) ("." ^ name ^ ".tmp") in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string ~pretty:false (task_to_json t));
+  close_out oc;
+  Unix.rename tmp (Filename.concat (tasks_dir dir) name)
+
+let pending dir =
+  let d = tasks_dir dir in
+  if not (Sys.file_exists d) then []
+  else
+    Sys.readdir d |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".task")
+    |> List.sort String.compare
+
+let claim ~dir name =
+  let src = Filename.concat (tasks_dir dir) name in
+  let dst = Filename.concat (active_dir dir) name in
+  match Unix.rename src dst with
+  | () -> (
+      let ic = open_in dst in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match task_of_json (Json.of_string text) with
+      | t -> Some t
+      | exception _ -> None)
+  | exception Unix.Unix_error _ -> None
+
+let release ~dir name =
+  try Unix.unlink (Filename.concat (active_dir dir) name)
+  with Unix.Unix_error _ -> ()
+
+let mark_done dir =
+  let path = done_marker dir in
+  let oc = open_out path in
+  output_string oc "done\n";
+  close_out oc
+
+let is_done dir = Sys.file_exists (done_marker dir)

@@ -1,0 +1,65 @@
+(** On-disk coordination protocol for the distributed DSE.
+
+    A coordination directory [DIR] is the only channel between the
+    coordinator and its workers — no sockets, no shared memory — so a worker
+    is just a process (local today, remote over a shared filesystem
+    tomorrow) and a dead worker leaves nothing to clean up but files:
+
+    {v
+      DIR/tasks/    candidate leases up for grabs (one JSON file each)
+      DIR/active/   leases claimed by some worker (claim = atomic rename)
+      DIR/workers/  per-worker evaluation journals (worker-<id>.jsonl)
+      DIR/coordinator.jsonl   lease/release WAL (accounting + post-mortem)
+      DIR/done      marker: the search is over, workers should exit
+    v}
+
+    Claiming is [Unix.rename] from [tasks/] to [active/]: atomic on POSIX,
+    so exactly one worker wins each task file; losers see [ENOENT] and move
+    on. Task filenames sort by candidate index, so workers drain leases in
+    proposal order. *)
+
+module Bo = Homunculus_bo
+
+type task = {
+  scope : string;  (** search scope, e.g. ["spec-name/dnn"] *)
+  index : int;  (** proposal-order candidate index within the scope *)
+  config : Bo.Config.t;
+  generation : int;
+      (** reissue counter: a TTL-expired lease is republished with the next
+          generation (and a distinct filename, so a stale claim of the old
+          file cannot collide) *)
+}
+
+val ensure_dirs : string -> unit
+(** Create [DIR] and its subdirectories (idempotent). *)
+
+val tasks_dir : string -> string
+val active_dir : string -> string
+val workers_dir : string -> string
+val coordinator_journal : string -> string
+val worker_journal : dir:string -> id:int -> string
+val worker_journals : string -> string list
+(** Worker journal paths currently present, sorted by filename — the
+    deterministic merge order. *)
+
+val task_filename : task -> string
+(** Encodes (index, generation, scope); lexicographic order equals
+    proposal-index order. *)
+
+val publish : dir:string -> task -> unit
+(** Write the task file into [tasks/] via tmp-file + atomic rename, so a
+    concurrently listing worker never sees a partial file. *)
+
+val pending : string -> string list
+(** Claimable task filenames under [DIR/tasks], sorted (= index order). *)
+
+val claim : dir:string -> string -> task option
+(** Atomically move [tasks/name] to [active/name] and parse it. [None] when
+    another worker won the race (or the file is unreadable). *)
+
+val release : dir:string -> string -> unit
+(** Remove a claimed task file from [active/] (after its evaluation is
+    journaled). Missing file is fine. *)
+
+val mark_done : string -> unit
+val is_done : string -> bool

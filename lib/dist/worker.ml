@@ -1,0 +1,62 @@
+module Bo = Homunculus_bo
+module Resilience = Homunculus_resilience
+module Journal = Resilience.Journal
+module Faultplan = Resilience.Faultplan
+
+type stats = { claims : int; evaluated : int }
+
+let run ~dir ~id ~eval ?(poll_s = 0.05) ?fsync_every ?faults () =
+  Protocol.ensure_dirs dir;
+  let journal = Journal.open_ ?fsync_every (Protocol.worker_journal ~dir ~id) in
+  let claims = ref 0 in
+  let evaluated = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Journal.close journal)
+    (fun () ->
+      let stop = ref false in
+      while not !stop do
+        (* Claim the smallest-index task we can win. Losing every race this
+           round is not idleness — more tasks may already be visible — so
+           only an empty directory consults the done marker or sleeps. *)
+        let rec grab = function
+          | [] -> None
+          | name :: rest -> (
+              match Protocol.claim ~dir name with
+              | Some task -> Some (name, task)
+              | None -> grab rest)
+        in
+        match Protocol.pending dir with
+        | [] -> if Protocol.is_done dir then stop := true else Unix.sleepf poll_s
+        | names -> (
+            match grab names with
+            | None -> ()
+            | Some (name, task) ->
+                incr claims;
+                (* Simulated SIGKILL: die after the claim, before the
+                   evaluation — the abandoned lease is what TTL reissue
+                   recovers. Measured in claims so the threshold is
+                   independent of journal batching. *)
+                (match faults with
+                | Some plan -> Faultplan.check_kill plan ~records:!claims
+                | None -> ());
+                let result =
+                  eval ~scope:task.Protocol.scope ~index:task.Protocol.index
+                    ~config:task.Protocol.config
+                in
+                ignore
+                  (Journal.append journal
+                     {
+                       Journal.scope = task.Protocol.scope;
+                       index = task.Protocol.index;
+                       config = task.Protocol.config;
+                       objective = result.Bo.Optimizer.objective;
+                       feasible = result.Bo.Optimizer.feasible;
+                       pruned = result.Bo.Optimizer.pruned;
+                       metadata = result.Bo.Optimizer.metadata;
+                       failure = None;
+                       kind = Journal.Exact;
+                     });
+                incr evaluated;
+                Protocol.release ~dir name)
+      done);
+  { claims = !claims; evaluated = !evaluated }

@@ -1,0 +1,41 @@
+(** The worker side of the distributed DSE: claim leases, evaluate, journal.
+
+    A worker owns one append-only journal ([DIR/workers/worker-<id>.jsonl])
+    and appends one [Exact] evaluation record per completed lease — the
+    journal {e is} the result channel, so worker crash-safety is exactly
+    journal crash-safety (a torn tail line is dropped by the coordinator's
+    checksummed reader, the lease times out and is reissued).
+
+    The worker never touches the optimizer: it evaluates whatever candidate
+    indices it wins, with config-derived seeds, so any worker (or the
+    coordinator itself) produces bit-identical results for the same lease. *)
+
+module Bo = Homunculus_bo
+module Resilience = Homunculus_resilience
+
+type stats = {
+  claims : int;  (** leases won (includes any abandoned by a fault kill) *)
+  evaluated : int;  (** evaluations journaled *)
+}
+
+val run :
+  dir:string ->
+  id:int ->
+  eval:
+    (scope:string -> index:int -> config:Bo.Config.t -> Bo.Optimizer.evaluation) ->
+  ?poll_s:float ->
+  ?fsync_every:int ->
+  ?faults:Resilience.Faultplan.t ->
+  unit ->
+  stats
+(** Drain leases until the coordinator's done marker appears and no
+    claimable task remains. [poll_s] (default 0.05) is the idle sleep;
+    [fsync_every] is passed to the journal (group commit).
+
+    [faults] simulates worker death: {!Resilience.Faultplan.check_kill} is
+    consulted against the number of {e claims} (not journaled records),
+    immediately after a claim succeeds and before its evaluation runs — so
+    a [kill@N] plan dies holding an unserved lease, which is precisely the
+    case the coordinator's TTL reissue exists for. The journal is flushed
+    before {!Resilience.Faultplan.Killed} propagates (records already
+    appended were durable anyway; only the in-flight lease is lost). *)

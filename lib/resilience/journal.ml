@@ -2,7 +2,15 @@ module Json = Homunculus_util.Json
 module Bo = Homunculus_bo
 
 type failure = { failure_class : string; message : string; retries : int }
-type kind = Exact | Predicted
+type kind = Exact | Predicted | Lease | Release
+
+(* Evaluation records carry the search's actual outcomes; coordination
+   records (leases handed to distributed workers, and their releases) share
+   the same line format so one checksummed WAL serves both roles, but they
+   never enter the replay table — a lease is a promise, not a result. *)
+let is_evaluation = function
+  | Exact | Predicted -> true
+  | Lease | Release -> false
 
 type record = {
   scope : string;
@@ -60,7 +68,12 @@ let record_to_json r =
       ("failure",
        match r.failure with None -> Json.Null | Some f -> failure_to_json f);
       ("kind",
-       Json.String (match r.kind with Exact -> "exact" | Predicted -> "predicted"));
+       Json.String
+         (match r.kind with
+         | Exact -> "exact"
+         | Predicted -> "predicted"
+         | Lease -> "lease"
+         | Release -> "release"));
     ]
 
 let record_of_json json =
@@ -85,6 +98,8 @@ let record_of_json json =
          member: every one of their records was an exact evaluation. *)
       (match Json.member_opt json "kind" with
       | Some (Json.String "predicted") -> Predicted
+      | Some (Json.String "lease") -> Lease
+      | Some (Json.String "release") -> Release
       | Some _ | None -> Exact);
   }
 
@@ -111,21 +126,32 @@ let record_of_line line =
             | exception _ -> None)
       | _ -> None)
 
-(* Append handle: one fsync'd write per record, serialized by a mutex so
-   parallel evaluation workers never interleave partial lines. The record
-   count is handle-local — [Faultplan.Kill_after] measures records absorbed
-   by the current run, not lines inherited from a previous incarnation. *)
+(* Append handle: fsync'd writes serialized by a mutex so parallel
+   evaluation workers never interleave partial lines. The record count is
+   handle-local — [Faultplan.Kill_after] measures records absorbed by the
+   current run, not lines inherited from a previous incarnation.
+
+   Group commit: with [fsync_every = k > 1] the handle fsyncs once per [k]
+   appends (and on [sync]/[close]) instead of once per record. Every line is
+   still written whole under the mutex, so the durability contract weakens
+   only in degree: a crash can lose at most the last [k - 1] fully-written
+   but unsynced records plus one torn tail line — all of which replay
+   already tolerates (a lost record is just re-evaluated, a torn line is
+   dropped by the checksum). *)
 
 type t = {
   path : string;
   fd : Unix.file_descr;
   mutex : Mutex.t;
+  fsync_every : int;
+  mutable unsynced : int;
   mutable records : int;
 }
 
-let open_ path =
+let open_ ?(fsync_every = 1) path =
+  if fsync_every < 1 then invalid_arg "Journal.open_: fsync_every < 1";
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
-  { path; fd; mutex = Mutex.create (); records = 0 }
+  { path; fd; mutex = Mutex.create (); fsync_every; unsynced = 0; records = 0 }
 
 let path t = t.path
 let appended t = t.records
@@ -144,11 +170,27 @@ let append t record =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       write_all t.fd (Bytes.of_string line);
-      Unix.fsync t.fd;
+      t.unsynced <- t.unsynced + 1;
+      if t.unsynced >= t.fsync_every then begin
+        Unix.fsync t.fd;
+        t.unsynced <- 0
+      end;
       t.records <- t.records + 1;
       t.records)
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let sync t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if t.unsynced > 0 then begin
+        Unix.fsync t.fd;
+        t.unsynced <- 0
+      end)
+
+let close t =
+  (try sync t with Unix.Unix_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 (* Replay cache: records keyed by (scope, canonical configuration key).
    Resume re-drives the optimizer with the original seed; every proposal it
@@ -157,13 +199,33 @@ let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
    records for the same key win (a retried-then-recorded evaluation
    supersedes an earlier incarnation's). *)
 
-type replay = { table : (string, record) Hashtbl.t; loaded : int; dropped : int }
+type replay = {
+  table : (string, record) Hashtbl.t;
+  mutable loaded : int;
+  mutable dropped : int;
+}
 
 let key ~scope ~config = scope ^ "\x00" ^ Bo.Serialize.config_key config
 
-let load path =
-  let table = Hashtbl.create 64 in
-  let loaded = ref 0 and dropped = ref 0 in
+let empty_replay () = { table = Hashtbl.create 64; loaded = 0; dropped = 0 }
+
+(* Absorb one parsed record into a replay table. Coordination kinds (lease /
+   release) are provenance, not outcomes: they never shadow an evaluation
+   and are not counted as loaded. *)
+let absorb replay r =
+  if is_evaluation r.kind then begin
+    replay.loaded <- replay.loaded + 1;
+    Hashtbl.replace replay.table (key ~scope:r.scope ~config:r.config) r
+  end
+
+(* Single streaming pass over a journal file: every valid record is handed
+   to [f] in file order, invalid lines are counted. [load], [records], and
+   [read] are all one call to this — a caller that needs both the replay
+   table and the raw record list pays for one read and one checksum pass,
+   not two (the coordinator merge hits that path per surrogate refit). *)
+let fold_records path ~init ~f =
+  let dropped = ref 0 in
+  let acc = ref init in
   (if Sys.file_exists path then
      let ic = open_in path in
      Fun.protect
@@ -174,13 +236,29 @@ let load path =
              let line = input_line ic in
              if String.trim line <> "" then
                match record_of_line line with
-               | Some r ->
-                   incr loaded;
-                   Hashtbl.replace table (key ~scope:r.scope ~config:r.config) r
+               | Some r -> acc := f !acc r
                | None -> incr dropped
            done
          with End_of_file -> ()));
-  { table; loaded = !loaded; dropped = !dropped }
+  (!acc, !dropped)
+
+let read path =
+  let replay = empty_replay () in
+  let raw, dropped =
+    fold_records path ~init:[] ~f:(fun acc r ->
+        absorb replay r;
+        r :: acc)
+  in
+  replay.dropped <- dropped;
+  (List.rev raw, replay)
+
+let load path =
+  let replay = empty_replay () in
+  let (), dropped =
+    fold_records path ~init:() ~f:(fun () r -> absorb replay r)
+  in
+  replay.dropped <- dropped;
+  replay
 
 let find replay ~scope ~config =
   Hashtbl.find_opt replay.table (key ~scope ~config)
@@ -188,7 +266,82 @@ let find replay ~scope ~config =
 let loaded replay = replay.loaded
 let dropped replay = replay.dropped
 
+(* Deterministic union of several replay tables: tables later in the list
+   supersede earlier ones on key conflicts, mirroring the later-record-wins
+   rule within one file. In the distributed search conflicts only arise from
+   reissued leases, whose evaluations are bit-identical by construction
+   (config-derived seeds), so the choice of winner is unobservable — but it
+   is still fixed, because the coordinator merges worker journals in sorted
+   file order. *)
+let merge replays =
+  let out = empty_replay () in
+  List.iter
+    (fun r ->
+      out.loaded <- out.loaded + r.loaded;
+      out.dropped <- out.dropped + r.dropped;
+      Hashtbl.iter (fun k v -> Hashtbl.replace out.table k v) r.table)
+    replays;
+  out
+
 let records path =
-  let replay = load path in
+  let _, replay = read path in
   let all = Hashtbl.fold (fun _ r acc -> r :: acc) replay.table [] in
   List.sort (fun a b -> compare (a.scope, a.index) (b.scope, b.index)) all
+
+(* Incremental tail reader: re-polling a growing journal re-reads only the
+   bytes appended since the previous poll. A partial final line (a writer
+   mid-append, or a crash's torn tail) stays buffered until its newline
+   arrives; if it never does, it is simply never returned. *)
+
+type reader = {
+  reader_path : string;
+  mutable offset : int;
+  pending : Buffer.t;
+  mutable reader_dropped : int;
+}
+
+let reader reader_path =
+  { reader_path; offset = 0; pending = Buffer.create 256; reader_dropped = 0 }
+
+let reader_path r = r.reader_path
+
+let poll r =
+  if not (Sys.file_exists r.reader_path) then []
+  else begin
+    let ic = open_in_bin r.reader_path in
+    let fresh =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len <= r.offset then ""
+          else begin
+            seek_in ic r.offset;
+            let n = len - r.offset in
+            let bytes = really_input_string ic n in
+            r.offset <- len;
+            bytes
+          end)
+    in
+    Buffer.add_string r.pending fresh;
+    let text = Buffer.contents r.pending in
+    match String.rindex_opt text '\n' with
+    | None -> []
+    | Some last ->
+        Buffer.clear r.pending;
+        Buffer.add_string r.pending
+          (String.sub text (last + 1) (String.length text - last - 1));
+        let complete = String.sub text 0 last in
+        List.filter_map
+          (fun line ->
+            if String.trim line = "" then None
+            else
+              match record_of_line line with
+              | Some _ as some -> some
+              | None ->
+                  r.reader_dropped <- r.reader_dropped + 1;
+                  None)
+          (String.split_on_char '\n' complete)
+  end
+
+let reader_dropped r = r.reader_dropped

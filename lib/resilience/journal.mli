@@ -22,13 +22,19 @@ type failure = { failure_class : string; message : string; retries : int }
     [backend], [budget]), human-readable message, and how many retries were
     burned before giving up. *)
 
-type kind = Exact | Predicted
-(** How the recorded evaluation was obtained: [Exact] ran the full
-    train/lower/estimate pipeline; [Predicted] is a cost-model
-    predicted-infeasible skip. Journals written before this field existed
-    omit the member and parse as [Exact] — back-compatible both ways, since
-    the loader's checksum covers the raw line, not the re-serialized
-    record. *)
+type kind = Exact | Predicted | Lease | Release
+(** How the record came to be. [Exact] ran the full train/lower/estimate
+    pipeline; [Predicted] is a cost-model predicted-infeasible skip; both
+    are evaluations and enter the replay table. [Lease] and [Release] are
+    distributed-coordination records (a candidate handed to a worker, and
+    the coordinator observing its completion): they share the WAL format
+    but never enter the replay table. Journals written before this field
+    existed omit the member and parse as [Exact] — back-compatible both
+    ways, since the loader's checksum covers the raw line, not the
+    re-serialized record. *)
+
+val is_evaluation : kind -> bool
+(** [true] for [Exact] and [Predicted] — the kinds that replay. *)
 
 type record = {
   scope : string;  (** search scope, e.g. ["spec-name/dnn"] *)
@@ -56,17 +62,31 @@ val record_of_line : string -> record option
 
 type t
 
-val open_ : string -> t
-(** Open (creating if absent) for fsync'd appends at end of file. *)
+val open_ : ?fsync_every:int -> string -> t
+(** Open (creating if absent) for fsync'd appends at end of file.
+
+    [fsync_every] (default 1) batches fsyncs: the handle syncs once per that
+    many appends instead of after every record (group commit), plus on
+    {!sync} and {!close}. Bounded-loss durability contract: every line is
+    still written whole, so a crash loses at most the last [fsync_every - 1]
+    unsynced records and one torn tail line — replay drops the torn line via
+    its checksum and simply re-evaluates anything missing.
+    @raise Invalid_argument when [fsync_every < 1]. *)
 
 val append : t -> record -> int
-(** Write one record durably; returns the handle-local record count (lines
-    inherited from a previous run are not counted — kill thresholds measure
-    the current run's progress). Thread-safe. *)
+(** Write one record (durable immediately at [fsync_every = 1], durable by
+    the next group commit otherwise); returns the handle-local record count
+    (lines inherited from a previous run are not counted — kill thresholds
+    measure the current run's progress). Thread-safe. *)
+
+val sync : t -> unit
+(** Flush any unsynced group-committed appends to disk now. *)
 
 val appended : t -> int
 val path : t -> string
+
 val close : t -> unit
+(** Flush pending appends, then close the descriptor. *)
 
 (** {1 Replay cache} *)
 
@@ -75,12 +95,45 @@ type replay
 val load : string -> replay
 (** Read a journal file (missing file = empty cache), dropping invalid
     lines. Later records for the same (scope, config) supersede earlier
-    ones. *)
+    ones; lease/release records are skipped. *)
+
+val read : string -> record list * replay
+(** Both views of a journal from a single streaming pass over the file: the
+    raw valid records in file order (all kinds, duplicates preserved) and
+    the replay table {!load} would have built. Callers that need both — the
+    coordinator merge does, per surrogate refit — avoid reading and
+    re-checksumming the file twice. *)
 
 val find : replay -> scope:string -> config:Bo.Config.t -> record option
 val loaded : replay -> int
+(** Evaluation records absorbed (lease/release records do not count). *)
+
 val dropped : replay -> int
 
+val merge : replay list -> replay
+(** Deterministic union: on key conflicts, tables later in the list win
+    (the cross-file analogue of later-record-wins). [loaded]/[dropped]
+    counters are summed. *)
+
 val records : string -> record list
-(** All valid records in a journal file, sorted by (scope, index) — for
-    inspection and tests. *)
+(** All valid evaluation records in a journal file after later-record-wins
+    dedup, sorted by (scope, index) — for inspection and tests. *)
+
+(** {1 Incremental tail reader}
+
+    The coordinator re-reads every worker journal once per poll; a [reader]
+    makes that O(new bytes) instead of O(file) by remembering its offset. A
+    partial trailing line stays buffered until its newline arrives. *)
+
+type reader
+
+val reader : string -> reader
+(** A reader positioned at the start of [path]; the file need not exist yet
+    (polls return nothing until it does). *)
+
+val poll : reader -> record list
+(** Complete, valid records appended since the previous poll, in file
+    order. Invalid complete lines are counted and skipped. *)
+
+val reader_path : reader -> string
+val reader_dropped : reader -> int

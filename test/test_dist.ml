@@ -1,0 +1,481 @@
+(* Distributed DSE harness: the on-disk lease protocol, the coordinator's
+   in-memory lease table, the journal extensions it rides on (group commit,
+   single-pass read, incremental tail reader, deterministic merge,
+   lease/release record kinds), and the headline guarantee — a coordinated
+   search produces the bit-identical history and winner at any fleet size,
+   including a kill-a-worker-at-every-lease sweep and a zero-worker
+   coordinator that falls back to inline evaluation. Workers here are
+   in-process domains driving the same [Dist.Worker.run] loop the CLI's
+   worker mode runs; process-level separation is covered by the dse bench
+   and the CI smoke job. *)
+open Homunculus_alchemy
+open Homunculus_core
+module Bo = Homunculus_bo
+module Dist = Homunculus_dist
+module Faultplan = Homunculus_resilience.Faultplan
+module Journal = Homunculus_resilience.Journal
+
+(* Scratch coordination directories *)
+
+let mk_dir () =
+  let path = Filename.temp_file "homunculus_dist" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* Journal record factory: distinct configs per index so replay keys differ. *)
+
+let mk_record ?(scope = "dblobs/tree") ~index ?(objective = 0.5)
+    ?(kind = Journal.Exact) () =
+  {
+    Journal.scope;
+    index;
+    config = Bo.Config.make [ ("depth", Bo.Param.Int_value index) ];
+    objective;
+    feasible = true;
+    pruned = false;
+    metadata = [ ("m", float_of_int index) ];
+    failure = None;
+    kind;
+  }
+
+let temp_journal () = Filename.temp_file "homunculus_dist_journal" ".jsonl"
+
+(* Protocol: publish / claim / release on disk *)
+
+let test_protocol_roundtrip () =
+  let dir = mk_dir () in
+  Dist.Protocol.ensure_dirs dir;
+  Dist.Protocol.ensure_dirs dir;
+  (* idempotent *)
+  let task index =
+    {
+      Dist.Protocol.scope = "dblobs/tree";
+      index;
+      config = Bo.Config.make [ ("depth", Bo.Param.Int_value index) ];
+      generation = 0;
+    }
+  in
+  List.iter (fun i -> Dist.Protocol.publish ~dir (task i)) [ 2; 0; 10 ];
+  let names = Dist.Protocol.pending dir in
+  Alcotest.(check int) "three pending" 3 (List.length names);
+  let claimed =
+    List.filter_map (fun name -> Dist.Protocol.claim ~dir name) names
+  in
+  Alcotest.(check (list int)) "claims drain in proposal-index order"
+    [ 0; 2; 10 ]
+    (List.map (fun t -> t.Dist.Protocol.index) claimed);
+  Alcotest.(check bool) "config survives the round trip" true
+    (Bo.Config.equal (task 2).Dist.Protocol.config
+       (List.nth claimed 1).Dist.Protocol.config);
+  (* Second claim of the same name loses the race (file already moved). *)
+  Alcotest.(check bool) "double claim returns None" true
+    (Dist.Protocol.claim ~dir (List.hd names) = None);
+  Alcotest.(check int) "nothing pending after claims" 0
+    (List.length (Dist.Protocol.pending dir));
+  List.iter (fun name -> Dist.Protocol.release ~dir name) names;
+  Dist.Protocol.release ~dir (List.hd names);
+  (* missing is fine *)
+  Alcotest.(check bool) "not done yet" false (Dist.Protocol.is_done dir);
+  Dist.Protocol.mark_done dir;
+  Alcotest.(check bool) "done marker visible" true (Dist.Protocol.is_done dir);
+  rm_rf dir
+
+let test_lease_table () =
+  let t = Dist.Lease.create () in
+  let config = Bo.Config.make [ ("depth", Bo.Param.Int_value 1) ] in
+  let a = Dist.Lease.issue t ~now:0. ~scope:"s" ~index:4 ~config in
+  let _b = Dist.Lease.issue t ~now:0. ~scope:"s" ~index:1 ~config in
+  Alcotest.(check int) "two outstanding" 2 (Dist.Lease.outstanding t);
+  Alcotest.(check int) "nothing expired inside ttl" 0
+    (List.length (Dist.Lease.expired t ~now:0.5 ~ttl_s:1.));
+  let gone = Dist.Lease.expired t ~now:2. ~ttl_s:1. in
+  Alcotest.(check (list int)) "expiry sorted by index" [ 1; 4 ]
+    (List.map (fun e -> e.Dist.Lease.index) gone);
+  Dist.Lease.reissue a ~now:2.;
+  Alcotest.(check int) "reissue bumps generation" 1 a.Dist.Lease.generation;
+  Alcotest.(check (list int)) "reissued lease's clock was reset" [ 1 ]
+    (List.map
+       (fun e -> e.Dist.Lease.index)
+       (Dist.Lease.expired t ~now:2.5 ~ttl_s:1.));
+  Alcotest.(check bool) "complete known lease" true
+    (Dist.Lease.complete t ~scope:"s" ~index:4);
+  Alcotest.(check bool) "duplicate completion is harmless" false
+    (Dist.Lease.complete t ~scope:"s" ~index:4);
+  Alcotest.(check int) "one left" 1 (Dist.Lease.outstanding t)
+
+(* Journal extensions *)
+
+let test_journal_group_commit () =
+  Alcotest.check_raises "fsync_every must be positive"
+    (Invalid_argument "Journal.open_: fsync_every < 1") (fun () ->
+      ignore (Journal.open_ ~fsync_every:0 (temp_journal ())));
+  let path = temp_journal () in
+  let j = Journal.open_ ~fsync_every:4 path in
+  for i = 0 to 5 do
+    ignore (Journal.append j (mk_record ~index:i ()))
+  done;
+  Journal.sync j;
+  (* explicit group-commit flush is safe mid-stream *)
+  ignore (Journal.append j (mk_record ~index:6 ()));
+  Journal.close j;
+  (* close flushes the unsynced tail *)
+  Alcotest.(check int) "all seven records durable" 7
+    (List.length (Journal.records path));
+  Sys.remove path
+
+let test_journal_read_single_pass () =
+  let path = temp_journal () in
+  let j = Journal.open_ path in
+  ignore (Journal.append j (mk_record ~index:0 ~objective:1.0 ()));
+  ignore (Journal.append j (mk_record ~index:1 ~kind:Journal.Predicted ()));
+  ignore (Journal.append j (mk_record ~index:0 ~kind:Journal.Lease ()));
+  ignore (Journal.append j (mk_record ~index:0 ~kind:Journal.Release ()));
+  (* Later record for the same (scope, config) supersedes the first. *)
+  ignore (Journal.append j (mk_record ~index:0 ~objective:2.0 ()));
+  Journal.close j;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "this is not a journal line\n";
+  close_out oc;
+  let raw, replay = Journal.read path in
+  Alcotest.(check int) "raw view keeps all kinds and duplicates" 5
+    (List.length raw);
+  Alcotest.(check int) "replay absorbed evaluations only" 3
+    (Journal.loaded replay);
+  Alcotest.(check int) "corrupt line dropped" 1 (Journal.dropped replay);
+  let hit =
+    Journal.find replay ~scope:"dblobs/tree"
+      ~config:(mk_record ~index:0 ()).Journal.config
+  in
+  Alcotest.(check (option (float 0.))) "later record wins" (Some 2.0)
+    (Option.map (fun r -> r.Journal.objective) hit);
+  (* read and load agree (single pass vs legacy path). *)
+  Alcotest.(check int) "load sees the same table" (Journal.loaded replay)
+    (Journal.loaded (Journal.load path));
+  Sys.remove path
+
+let test_journal_reader_poll () =
+  let path = temp_journal () in
+  Sys.remove path;
+  let r = Journal.reader path in
+  Alcotest.(check int) "absent file polls empty" 0
+    (List.length (Journal.poll r));
+  let j = Journal.open_ path in
+  ignore (Journal.append j (mk_record ~index:0 ()));
+  ignore (Journal.append j (mk_record ~index:1 ()));
+  Alcotest.(check (list int)) "first poll sees both appends" [ 0; 1 ]
+    (List.map (fun rec_ -> rec_.Journal.index) (Journal.poll r));
+  ignore (Journal.append j (mk_record ~index:2 ()));
+  Alcotest.(check (list int)) "second poll sees only the new record" [ 2 ]
+    (List.map (fun rec_ -> rec_.Journal.index) (Journal.poll r));
+  Journal.close j;
+  (* A partial trailing line stays buffered until its newline arrives. *)
+  let line = Journal.line_of_record (mk_record ~index:3 ()) in
+  let cut = String.length line / 2 in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (String.sub line 0 cut);
+  flush oc;
+  Alcotest.(check int) "torn tail not surfaced" 0
+    (List.length (Journal.poll r));
+  output_string oc (String.sub line cut (String.length line - cut));
+  output_string oc "\n";
+  output_string oc "garbage line\n";
+  close_out oc;
+  Alcotest.(check (list int)) "completed line surfaces once" [ 3 ]
+    (List.map (fun rec_ -> rec_.Journal.index) (Journal.poll r));
+  Alcotest.(check int) "complete invalid line counted dropped" 1
+    (Journal.reader_dropped r);
+  Alcotest.(check string) "reader remembers its path" path
+    (Journal.reader_path r);
+  Sys.remove path
+
+let test_journal_merge () =
+  let write objective =
+    let path = temp_journal () in
+    let j = Journal.open_ path in
+    ignore (Journal.append j (mk_record ~index:0 ~objective ()));
+    Journal.close j;
+    path
+  in
+  let pa = write 1.0 and pb = write 2.0 in
+  let a = Journal.load pa and b = Journal.load pb in
+  let config = (mk_record ~index:0 ()).Journal.config in
+  let objective_of replay =
+    Option.map
+      (fun r -> r.Journal.objective)
+      (Journal.find replay ~scope:"dblobs/tree" ~config)
+  in
+  Alcotest.(check (option (float 0.))) "later table wins" (Some 2.0)
+    (objective_of (Journal.merge [ a; b ]));
+  Alcotest.(check (option (float 0.))) "merge order is the tie-break"
+    (Some 1.0)
+    (objective_of (Journal.merge [ b; a ]));
+  Alcotest.(check int) "loaded counters are summed" 2
+    (Journal.loaded (Journal.merge [ a; b ]));
+  Alcotest.(check int) "empty merge is an empty table" 0
+    (Journal.loaded (Journal.merge []));
+  Sys.remove pa;
+  Sys.remove pb
+
+let test_lease_kind_roundtrip () =
+  List.iter
+    (fun (kind, evaluates) ->
+      let rec_ = mk_record ~index:5 ~kind () in
+      (match Journal.record_of_line (Journal.line_of_record rec_) with
+      | Some back ->
+          Alcotest.(check bool) "kind survives the line round trip" true
+            (back.Journal.kind = kind)
+      | None -> Alcotest.fail "round-tripped line did not parse");
+      Alcotest.(check bool) "is_evaluation matches the kind" evaluates
+        (Journal.is_evaluation kind))
+    [
+      (Journal.Exact, true);
+      (Journal.Predicted, true);
+      (Journal.Lease, false);
+      (Journal.Release, false);
+    ]
+
+(* Coordinated searches: bit-identical history and winner at any fleet
+   size. Mirrors the resilience suite's tiny tree-only search (7
+   evaluations: 3 warm-up + 4 guided in batches of 2). *)
+
+let tree_spec () =
+  Test_core.blob_spec ~name:"dblobs" ~algorithms:[ Model_spec.Tree ] ()
+
+let search_options ~seed =
+  {
+    Test_core.tiny_options with
+    Compiler.seed;
+    bo_settings =
+      {
+        Test_core.tiny_options.Compiler.bo_settings with
+        Bo.Optimizer.n_iter = 4;
+        batch_size = 2;
+      };
+  }
+
+let run_reference ~seed =
+  Compiler.search_model ~options:(search_options ~seed) (Platform.tofino ())
+    (tree_spec ())
+
+let entry_exactly_equal (a : Bo.History.entry) (b : Bo.History.entry) =
+  a.Bo.History.iteration = b.Bo.History.iteration
+  && Bo.Config.equal a.config b.config
+  && Int64.bits_of_float a.objective = Int64.bits_of_float b.objective
+  && a.feasible = b.feasible && a.pruned = b.pruned
+  && List.length a.metadata = List.length b.metadata
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) ->
+         k1 = k2 && Int64.bits_of_float v1 = Int64.bits_of_float v2)
+       a.metadata b.metadata
+
+let histories_identical a b =
+  List.length (Bo.History.entries a) = List.length (Bo.History.entries b)
+  && List.for_all2 entry_exactly_equal (Bo.History.entries a)
+       (Bo.History.entries b)
+
+(* One coordinated search: the coordinator runs on this domain (driving the
+   optimizer through the dispatch hook), workers are spawned domains running
+   the real [Dist.Worker.run] loop against a scratch coordination directory.
+   [kill = Some (victim, claims)] arms a fault plan that crashes that worker
+   immediately after its [claims]-th successful claim — dying with an
+   unserved lease, the case TTL reissue exists for. *)
+let run_dist ?dir ?(cleanup = true) ?(workers = 1) ?kill ?(ttl_s = 30.)
+    ?(max_reissues = 4) ~seed () =
+  let dir = match dir with Some d -> d | None -> mk_dir () in
+  let platform = Platform.tofino () in
+  let spec = tree_spec () in
+  (* Load the dataset before spawning domains: Model_spec caches lazily and
+     the cache write is not synchronized. *)
+  ignore (Model_spec.load spec);
+  let options = search_options ~seed in
+  let eval ~scope ~index ~config =
+    Compiler.worker_eval ~options ~platform ~specs:[ spec ] ~scope ~index
+      ~config
+  in
+  let coord =
+    Dist.Coordinator.create ~dir ~ttl_s ~poll_s:0.002 ~max_reissues
+      ~local_eval:eval ()
+  in
+  let domains =
+    List.init workers (fun i ->
+        Domain.spawn (fun () ->
+            let faults =
+              match kill with
+              | Some (victim, claims) when victim = i ->
+                  Some
+                    (Faultplan.create
+                       [ Faultplan.Kill_after { records = claims } ])
+              | _ -> None
+            in
+            try
+              ignore
+                (Dist.Worker.run ~dir ~id:i ~eval ~poll_s:0.002 ?faults ()
+                  : Dist.Worker.stats)
+            with Faultplan.Killed _ -> ()))
+  in
+  let dispatch ~scope batch = Dist.Coordinator.dispatch coord ~scope batch in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Dist.Coordinator.finish coord;
+        List.iter Domain.join domains)
+      (fun () ->
+        Compiler.search_model
+          ~options:{ options with Compiler.dispatch = Some dispatch }
+          platform spec)
+  in
+  let stats = Dist.Coordinator.stats coord in
+  if cleanup then rm_rf dir;
+  (result, stats)
+
+let check_matches_reference ~msg reference (dist : Compiler.model_result) =
+  Alcotest.(check bool)
+    (msg ^ ": history bit-identical")
+    true
+    (histories_identical reference.Compiler.history dist.Compiler.history);
+  Alcotest.(check bool)
+    (msg ^ ": winner config identical")
+    true
+    (Bo.Config.equal reference.Compiler.artifact.Evaluator.config
+       dist.Compiler.artifact.Evaluator.config);
+  Alcotest.(check bool)
+    (msg ^ ": winner objective bit-identical")
+    true
+    (Int64.bits_of_float reference.Compiler.artifact.Evaluator.objective
+    = Int64.bits_of_float dist.Compiler.artifact.Evaluator.objective)
+
+let test_dist_one_worker () =
+  let reference = run_reference ~seed:5 in
+  let dist, stats = run_dist ~workers:1 ~seed:5 () in
+  check_matches_reference ~msg:"1 worker" reference dist;
+  Alcotest.(check int) "every candidate was leased"
+    (Bo.History.length reference.Compiler.history)
+    stats.Dist.Coordinator.leases_issued;
+  Alcotest.(check int) "no inline fallback" 0
+    stats.Dist.Coordinator.inline_evaluated;
+  Alcotest.(check int) "no replay on a fresh directory" 0
+    stats.Dist.Coordinator.replay_hits
+
+let test_dist_three_workers () =
+  let reference = run_reference ~seed:5 in
+  let dist, stats = run_dist ~workers:3 ~seed:5 () in
+  check_matches_reference ~msg:"3 workers" reference dist;
+  Alcotest.(check int) "merged every evaluation"
+    (Bo.History.length reference.Compiler.history)
+    stats.Dist.Coordinator.merged
+
+let test_dist_zero_workers_elastic () =
+  (* No worker ever claims anything: every lease expires and, with the
+     reissue budget at zero, is evaluated inline — the search completes
+     with a fleet of zero, bit-identically. *)
+  let reference = run_reference ~seed:5 in
+  let dist, stats =
+    run_dist ~workers:0 ~ttl_s:0.05 ~max_reissues:0 ~seed:5 ()
+  in
+  check_matches_reference ~msg:"0 workers" reference dist;
+  Alcotest.(check int) "everything fell back inline"
+    (Bo.History.length reference.Compiler.history)
+    stats.Dist.Coordinator.inline_evaluated
+
+let test_dist_resume_replay () =
+  (* Re-using a coordination directory is a distributed resume: the second
+     coordinator answers every candidate from the merged worker journals
+     without leasing anything. *)
+  let dir = mk_dir () in
+  let reference = run_reference ~seed:7 in
+  let first, _ = run_dist ~dir ~cleanup:false ~workers:1 ~seed:7 () in
+  check_matches_reference ~msg:"first pass" reference first;
+  let second, stats = run_dist ~dir ~workers:0 ~seed:7 () in
+  check_matches_reference ~msg:"resumed pass" reference second;
+  Alcotest.(check int) "all candidates replayed from journals"
+    (Bo.History.length reference.Compiler.history)
+    stats.Dist.Coordinator.replay_hits;
+  Alcotest.(check int) "nothing leased on resume" 0
+    stats.Dist.Coordinator.leases_issued
+
+let test_dispatch_prune_incompatible () =
+  let options =
+    {
+      (search_options ~seed:5) with
+      Compiler.prune = Some Bo.Asha.default_settings;
+      dispatch = Some (fun ~scope:_ _ -> [||]);
+    }
+  in
+  Alcotest.check_raises "guard refuses dispatch + prune"
+    (Invalid_argument
+       "Compiler.search_model: dispatch is incompatible with prune")
+    (fun () ->
+      ignore (Compiler.search_model ~options (Platform.tofino ()) (tree_spec ())))
+
+(* The headline sweep: kill a worker after its k-th claim, for every k the
+   search can reach, at one worker and at three — the merged history and
+   winner must match the undisturbed single-process run bit for bit.
+
+   At one worker the death leaves nobody to serve reissues, so the reissue
+   budget is zero and every orphaned lease falls back inline after one
+   short TTL. At three workers the survivors pick up the reissued lease,
+   exercising the republish path. *)
+let test_kill_sweep () =
+  let reference = run_reference ~seed:5 in
+  let total = Bo.History.length reference.Compiler.history in
+  for claims = 1 to total do
+    let dist, stats =
+      run_dist ~workers:1 ~ttl_s:0.1 ~max_reissues:0 ~kill:(0, claims)
+        ~seed:5 ()
+    in
+    check_matches_reference
+      ~msg:(Printf.sprintf "1 worker, killed after claim %d" claims)
+      reference dist;
+    Alcotest.(check bool)
+      (Printf.sprintf "claim %d: orphaned leases re-evaluated inline" claims)
+      true
+      (stats.Dist.Coordinator.inline_evaluated > 0)
+  done;
+  for claims = 1 to total do
+    let dist, stats =
+      run_dist ~workers:3 ~ttl_s:0.3 ~max_reissues:4 ~kill:(0, claims)
+        ~seed:5 ()
+    in
+    check_matches_reference
+      ~msg:(Printf.sprintf "3 workers, one killed after claim %d" claims)
+      reference dist;
+    Alcotest.(check int)
+      (Printf.sprintf "claim %d: survivors absorbed the reissues" claims)
+      0 stats.Dist.Coordinator.inline_evaluated
+  done
+
+let suite =
+  [
+    Alcotest.test_case "protocol publish/claim/release" `Quick
+      test_protocol_roundtrip;
+    Alcotest.test_case "lease table bookkeeping" `Quick test_lease_table;
+    Alcotest.test_case "journal group commit" `Quick test_journal_group_commit;
+    Alcotest.test_case "journal single-pass read" `Quick
+      test_journal_read_single_pass;
+    Alcotest.test_case "journal incremental tail reader" `Quick
+      test_journal_reader_poll;
+    Alcotest.test_case "journal deterministic merge" `Quick test_journal_merge;
+    Alcotest.test_case "lease/release record kinds" `Quick
+      test_lease_kind_roundtrip;
+    Alcotest.test_case "coordinated search, 1 worker" `Quick
+      test_dist_one_worker;
+    Alcotest.test_case "coordinated search, 3 workers" `Quick
+      test_dist_three_workers;
+    Alcotest.test_case "zero workers fall back inline" `Quick
+      test_dist_zero_workers_elastic;
+    Alcotest.test_case "coordination dir resume" `Quick test_dist_resume_replay;
+    Alcotest.test_case "dispatch + prune refused" `Quick
+      test_dispatch_prune_incompatible;
+    Alcotest.test_case "kill a worker at every lease" `Slow test_kill_sweep;
+  ]
