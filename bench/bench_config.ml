@@ -39,3 +39,28 @@ let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let note fmt = Printf.printf fmt
+
+(* Several experiments share BENCH_serve.json (loadgen owns the top level,
+   serve owns the "autopilot" member); read-modify-write keeps whichever ran
+   first intact regardless of order. *)
+module Json = Homunculus_util.Json
+
+let bench_members path =
+  if Sys.file_exists path then
+    try
+      match
+        Json.of_string (In_channel.with_open_text path In_channel.input_all)
+      with
+      | Json.Object members -> members
+      | _ -> []
+    with _ -> []
+  else []
+
+let bench_member ~path ~key = List.assoc_opt key (bench_members path)
+
+let set_bench_member ~path ~key value =
+  let members = List.remove_assoc key (bench_members path) @ [ (key, value) ] in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc
+        (Json.to_string ~pretty:true (Json.Object members));
+      Out_channel.output_char oc '\n')

@@ -155,6 +155,16 @@ let run () =
           Json.List (List.map (fun (_, r) -> Loadgen.result_to_json r) runs) );
       ]
   in
+  (* Keep the serve bench's "autopilot" member if it wrote first. *)
+  let json =
+    match
+      ( json,
+        Bench_config.bench_member ~path:"BENCH_serve.json" ~key:"autopilot" )
+    with
+    | Json.Object members, Some autopilot ->
+        Json.Object (members @ [ ("autopilot", autopilot) ])
+    | _, _ -> json
+  in
   Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
       Out_channel.output_string oc (Json.to_string ~pretty:true json);
       Out_channel.output_char oc '\n');

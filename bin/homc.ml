@@ -735,10 +735,15 @@ let export_trace seed flows output =
 (* serve: replay a frozen trace through the online serving runtime *)
 
 let serve trace_path seed rate window_events label_delay algorithm train_frac
-    no_update quantized inject_drift jsonl_out =
+    no_update quantized inject_drift jsonl_out autopilot research_budget
+    research_evals cooldown research_journal faults target =
   let module Serve = Homunculus_serve in
   let module Trace = Homunculus_netdata.Trace in
   let module Botnet = Homunculus_netdata.Botnet in
+  let module Autopilot = Homunculus_autopilot.Autopilot in
+  let faults = Resilience.Faultplan.of_string faults in
+  if autopilot && no_update then
+    failwith "--autopilot needs the updater's labeled buffer: drop --no-update";
   let flows = Trace.load ~path:trace_path in
   let n = Array.length flows in
   if n < 10 then failwith "trace too small: need at least 10 flows";
@@ -791,15 +796,43 @@ let serve trace_path seed rate window_events label_delay algorithm train_frac
           Serve.Monitor.default_config with
           Serve.Monitor.window_events;
           label_delay_s = label_delay;
+          cooldown_windows = cooldown;
         }
       ~n_classes:2 ()
   in
+  (* The serving layer knows nothing of fault plans: drift@W faults are
+     realized here by registering forced alarms on the monitor. *)
+  List.iter
+    (fun window -> Serve.Monitor.force_drift_at monitor ~window)
+    (Resilience.Faultplan.drift_windows faults);
   let updater =
     if no_update then None
     else
       Some
         (Serve.Updater.create (Rng.split rng)
            ~n_features:(Botnet.n_features Botnet.Fused) ~n_classes:2 ())
+  in
+  let pilot =
+    if not autopilot then None
+    else
+      let updater = Option.get updater in
+      let journal_dir =
+        match research_journal with
+        | Some dir -> dir
+        | None -> trace_path ^ ".research"
+      in
+      let cfg =
+        {
+          (Autopilot.default_config ~platform:(platform_of_name target)
+             ~journal_dir)
+          with
+          Autopilot.seed;
+          budget_s = research_budget;
+          fresh_evals = research_evals;
+          faults;
+        }
+      in
+      Some (Autopilot.create cfg ~updater)
   in
   let config =
     {
@@ -808,8 +841,18 @@ let serve trace_path seed rate window_events label_delay algorithm train_frac
       mode = (if quantized then Serve.Engine.Quantized else Serve.Engine.Reference);
     }
   in
-  let engine = Serve.Engine.create ~config ~model ~monitor ?updater () in
-  let summary = Serve.Engine.run engine events in
+  let engine =
+    Serve.Engine.create ~config ~model ~monitor ?updater
+      ?research:(Option.map Autopilot.hook pilot)
+      ()
+  in
+  match Serve.Engine.run engine events with
+  | exception Resilience.Faultplan.Killed n ->
+      (* A simulated crash mid-re-search: the generation journal is already
+         flushed, so the next invocation resumes it bit-for-bit. *)
+      Printf.eprintf "re-search killed after %d fresh journal records (simulated)\n" n;
+      10
+  | summary ->
   Printf.printf "served %d, dropped %d of %d offered\n" summary.Serve.Engine.served
     summary.Serve.Engine.dropped summary.Serve.Engine.offered;
   let windows = summary.Serve.Engine.windows in
@@ -838,6 +881,19 @@ let serve trace_path seed rate window_events label_delay algorithm train_frac
         s.Serve.Engine.challenger_f1 s.Serve.Engine.queue_preserved
         s.Serve.Engine.dropped_during_swap)
     summary.Serve.Engine.swaps;
+  (match pilot with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun (e : Autopilot.event) ->
+          (* deterministic fields to stdout, accounting to stderr: a
+             resumed run stays diff-clean against an uninterrupted one *)
+          print_endline (Autopilot.event_to_string e);
+          Printf.eprintf
+            "autopilot accounting: window=%d replayed=%d fresh=%d wall=%.3fs\n"
+            e.Autopilot.window e.Autopilot.replayed e.Autopilot.fresh
+            e.Autopilot.wall_s)
+        (Autopilot.events p));
   (match jsonl_out with
   | Some path ->
       Serve.Report.write_jsonl ~path summary;
@@ -1242,12 +1298,49 @@ let serve_cmd =
     let doc = "Write the window/drift/swap timeline as JSONL to this file." in
     Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
   in
+  let autopilot_arg =
+    let doc = "React to drift with a budgeted, journal-warm-started \
+               incremental re-search over the updater's labeled buffer \
+               instead of the updater's single retrain; the winner installs \
+               through the same validation margin." in
+    Arg.(value & flag & info [ "autopilot" ] ~doc)
+  in
+  let research_budget_arg =
+    let doc = "Wall-clock budget per autopilot re-search, in seconds; a \
+               budget-killed search resumes on the next drift alarm." in
+    Arg.(value & opt (some float) None & info [ "research-budget" ] ~docv:"S" ~doc)
+  in
+  let research_evals_arg =
+    let doc = "Strictly-new guided evaluations per autopilot re-search." in
+    Arg.(value & opt int 4 & info [ "research-evals" ] ~docv:"N" ~doc)
+  in
+  let cooldown_arg =
+    let doc = "Monitor hysteresis: swallow further drift alarms for this \
+               many evaluation windows after one is consumed." in
+    Arg.(value & opt int 0 & info [ "cooldown" ] ~docv:"W" ~doc)
+  in
+  let research_journal_arg =
+    let doc = "Directory for the autopilot's generation journals \
+               (research-NNN.jsonl + .done markers); defaults to \
+               TRACE.research." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "research-journal" ] ~docv:"DIR" ~doc)
+  in
+  let faults_arg =
+    let doc = "Fault plan, e.g. drift@3,research-timeout@0,kill@5 \
+               (see compile --faults)." in
+    Arg.(value & opt string "" & info [ "faults" ] ~docv:"PLAN" ~doc)
+  in
   let doc = "Replay a trace through the online serving runtime." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ trace_arg $ seed_arg $ rate_arg $ window_arg
       $ label_delay_arg $ algorithm_arg $ train_frac_arg $ no_update_arg
-      $ quantized_arg $ inject_drift_arg $ jsonl_arg)
+      $ quantized_arg $ inject_drift_arg $ jsonl_arg $ autopilot_arg
+      $ research_budget_arg $ research_evals_arg $ cooldown_arg
+      $ research_journal_arg $ faults_arg $ target_arg)
 
 let loadgen_cmd =
   let payload_arg =

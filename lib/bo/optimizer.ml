@@ -24,6 +24,19 @@ let default_settings =
     refit_threshold = 0;
   }
 
+(* Warm-start arithmetic for replay-then-continue: a re-search that replays
+   [replayed] prior journal records re-derives those proposals as cache hits
+   (same seed, same stream), so extending [n_iter] by the replayed guided
+   tail leaves exactly [fresh] new guided evaluations to run live once the
+   replay prefix is exhausted. When [replayed >= n_init] the whole warm-up
+   phase is cache hits — the "skip n_init" rule costs nothing to honor
+   because the warm-up proposals were already paid for. *)
+let continuation settings ~replayed ~fresh =
+  if fresh < 0 then invalid_arg "Bo.Optimizer.continuation: fresh < 0";
+  let replayed = Stdlib.max 0 replayed in
+  let guided_replayed = Stdlib.max 0 (replayed - settings.n_init) in
+  { settings with n_iter = guided_replayed + fresh }
+
 type evaluation = {
   objective : float;
   feasible : bool;

@@ -32,6 +32,20 @@ val default_settings : settings
 (** 10 warm-up, 40 guided, pool 200, 0.5 local, 30 trees, batch 1, refit
     every round. *)
 
+val continuation : settings -> replayed:int -> fresh:int -> settings
+(** Warm-start entry point for replay-then-continue searches: the settings
+    for a re-search that replays [replayed] previously journaled
+    evaluations (as supervisor cache hits) and then spends [fresh] {e new}
+    guided evaluations. [n_init] is preserved — when [replayed >= n_init]
+    every warm-up proposal is a cache hit, so the random-initialization
+    phase is effectively skipped — and [n_iter] becomes
+    [max 0 (replayed - n_init) + fresh]: the guided prefix the replay
+    covers, plus the fresh budget. Because the re-driven optimizer consumes
+    the same RNG stream, the resulting history is bit-for-bit the one a
+    single longer search would have produced (the warm-start determinism
+    contract tested by the autopilot suite).
+    @raise Invalid_argument when [fresh < 0]. *)
+
 type evaluation = {
   objective : float;  (** value to maximize, e.g. F1 *)
   feasible : bool;

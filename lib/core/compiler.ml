@@ -5,6 +5,7 @@ module Rng = Homunculus_util.Rng
 module Supervisor = Homunculus_resilience.Supervisor
 
 exception No_feasible_model of string
+exception Search_budget_exhausted
 
 let log_src = Logs.Src.create "homunculus.compiler" ~doc:"Homunculus compiler"
 
@@ -18,6 +19,7 @@ type options = {
   prune : Bo.Asha.settings option;
   supervisor : Supervisor.t option;
   cost_model : Bo.Cost_model.settings option;
+  deadline : float option;
   dispatch :
     (scope:string -> (int * Bo.Config.t) array -> Bo.Optimizer.evaluation array)
     option;
@@ -33,6 +35,7 @@ let default_options =
     supervisor = None;
     cost_model = None;
     dispatch = None;
+    deadline = None;
   }
 
 let quick_options =
@@ -78,7 +81,7 @@ let emit_code platform model_ir =
       P4gen.emit model_ir ^ "\n" ^ P4gen.emit_entries model_ir
 
 let search_algorithm rng ~seed ~settings ?prune ?supervisor ?cost_model
-    ?dispatch platform spec algorithm =
+    ?dispatch ?deadline platform spec algorithm =
   let data = Model_spec.load spec in
   let input_dim =
     Homunculus_ml.Dataset.n_features data.Model_spec.train
@@ -145,8 +148,22 @@ let search_algorithm rng ~seed ~settings ?prune ?supervisor ?cost_model
             Evaluator.to_bo_evaluation
               (run_eval ~guard:(Supervisor.epoch_guard ctx) config))
   in
+  (* The whole-search wall-clock deadline is enforced at batch boundaries,
+     on the calling domain, before the batch is dispatched: candidates in
+     flight always finish (and are journaled), so a budget abort leaves the
+     journal holding only completed evaluations — exactly what a warm
+     restart wants to replay. *)
   let on_batch_start =
-    Option.map (fun s () -> Bo.Asha.freeze s) sched
+    match (deadline, sched) with
+    | None, None -> None
+    | _ ->
+        Some
+          (fun () ->
+            (match deadline with
+            | Some d when Unix.gettimeofday () > d ->
+                raise Search_budget_exhausted
+            | Some _ | None -> ());
+            Option.iter Bo.Asha.freeze sched)
   in
   (* Pre-filter plumbing. Replayed candidates bypass the filter entirely —
      the supervisor returns the recorded outcome (exact or predicted)
@@ -265,8 +282,8 @@ let search_model ?(options = default_options) platform spec =
         let best, history, (_ : Bo.Asha.t option), stats =
           search_algorithm rng ~seed:options.seed ~settings
             ?prune:options.prune ?supervisor:options.supervisor
-            ?cost_model:options.cost_model ?dispatch:options.dispatch platform
-            spec algorithm
+            ?cost_model:options.cost_model ?dispatch:options.dispatch
+            ?deadline:options.deadline platform spec algorithm
         in
         (algorithm, best, history, stats))
       candidates
@@ -361,6 +378,44 @@ let worker_eval ~options ~platform ~specs ~scope ~index ~config =
       Supervisor.supervise sup ~scope ~index ~config (fun ctx ->
           Evaluator.to_bo_evaluation
             (run_eval ~guard:(Supervisor.epoch_guard ctx) ()))
+
+(* Incremental re-search: one budgeted search_model run whose failure modes
+   are data, not exceptions — the autopilot's degradation branches key off
+   the outcome constructor. The deadline is absolute wall clock computed
+   here, so replay cache hits (which cost microseconds) effectively extend
+   how much of the budget reaches fresh evaluations: a warm start spends
+   the same seconds on strictly newer candidates. *)
+type research_stats = { wall_s : float; replayed : int }
+
+type research_outcome =
+  | Research_won of model_result
+  | Research_infeasible of string
+  | Research_budget
+
+let research ?(options = default_options) ?budget_s platform spec =
+  let started = Unix.gettimeofday () in
+  let options =
+    match budget_s with
+    | None -> options
+    | Some b -> { options with deadline = Some (started +. b) }
+  in
+  let replayed () =
+    match options.supervisor with
+    | Some s -> Supervisor.replayed_count s
+    | None -> 0
+  in
+  let before = replayed () in
+  let outcome =
+    match search_model ~options platform spec with
+    | r -> Research_won r
+    | exception No_feasible_model msg -> Research_infeasible msg
+    | exception Search_budget_exhausted -> Research_budget
+  in
+  ( outcome,
+    {
+      wall_s = Unix.gettimeofday () -. started;
+      replayed = replayed () - before;
+    } )
 
 type tradeoff_point = {
   artifact : Evaluator.artifact;

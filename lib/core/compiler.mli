@@ -10,6 +10,13 @@ exception No_feasible_model of string
     finishes without one feasible configuration ("... until the final output
     meets the constraints, or no feasible solution exists"). *)
 
+exception Search_budget_exhausted
+(** Raised from inside a search when [options.deadline] passes. Checked at
+    batch boundaries on the calling domain, before the batch is dispatched,
+    so the journal (when a supervisor carries one) holds only completed
+    evaluations — a budget-killed search resumes exactly like a crashed
+    one. *)
+
 type options = {
   seed : int;
   bo_settings : Bo.Optimizer.settings;
@@ -47,6 +54,12 @@ type options = {
           Composes with the supervisor: journal-replayed candidates bypass
           the filter, fresh skips are journaled with kind [predicted].
           [None] evaluates every candidate exactly, as before. *)
+  deadline : float option;
+      (** absolute wall-clock time ([Unix.gettimeofday] scale) after which
+          the search raises {!Search_budget_exhausted} instead of starting
+          another batch. Checked only at batch boundaries: a batch already
+          dispatched runs to completion, so every journaled evaluation is a
+          finished one. [None] (the default) never times out. *)
   dispatch :
     (scope:string -> (int * Bo.Config.t) array -> Bo.Optimizer.evaluation array)
     option;
@@ -114,6 +127,38 @@ val search_model :
 (** Optimize a single spec: filter candidates, run one BO search per
     surviving algorithm, keep the best feasible artifact.
     @raise No_feasible_model when nothing feasible is found. *)
+
+(** {2 Incremental re-search — the autopilot's budgeted search step} *)
+
+type research_stats = {
+  wall_s : float;  (** wall-clock seconds the whole attempt took *)
+  replayed : int;
+      (** evaluations answered from the supervisor's replay cache (0 without
+          a supervisor) — the warm-start discount: replayed proposals cost
+          microseconds, so the budget is spent on strictly new candidates *)
+}
+
+type research_outcome =
+  | Research_won of model_result  (** a feasible winner inside the budget *)
+  | Research_infeasible of string
+      (** the search completed but found nothing feasible
+          ({!No_feasible_model}'s payload) *)
+  | Research_budget  (** the deadline passed first *)
+
+val research :
+  ?options:options ->
+  ?budget_s:float ->
+  Platform.t ->
+  Model_spec.t ->
+  research_outcome * research_stats
+(** One budgeted {!search_model} run whose failure modes are data instead of
+    exceptions, so an unattended caller (the autopilot) can degrade
+    gracefully: on [Research_infeasible] or [Research_budget] the caller
+    keeps its incumbent and records the event. [budget_s], when given,
+    overrides [options.deadline] with [now + budget_s] ([budget_s <= 0.]
+    therefore times out before the first batch — the forced-failure arm).
+    Any other exception (including {!Homunculus_resilience.Faultplan.Killed})
+    propagates: a simulated crash must look like a crash. *)
 
 val generate : ?options:options -> Platform.t -> Schedule.t -> result
 (** The full pipeline: search every distinct model of the schedule (repeated

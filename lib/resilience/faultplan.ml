@@ -33,6 +33,14 @@ type fault =
   | Kill_after of { records : int }
       (** crash the search (raise {!Killed}) once the journal holds
           [records] records *)
+  | Drift_on of { window : int }
+      (** force the serving monitor's drift detector to fire when
+          evaluation window [window] closes — the autopilot's trigger path,
+          exercised without having to degrade the traffic *)
+  | Research_timeout_on of { generation : int }
+      (** make re-search [generation] exhaust its wall-clock budget before
+          evaluating anything, deterministically driving the autopilot's
+          graceful-degradation branch *)
 
 type t = fault list
 
@@ -51,6 +59,9 @@ let fault_to_string = function
       Printf.sprintf "infeasible@%d:%h%s" index objective
         (if pruned then ":pruned" else "")
   | Kill_after { records } -> Printf.sprintf "kill@%d" records
+  | Drift_on { window } -> Printf.sprintf "drift@%d" window
+  | Research_timeout_on { generation } ->
+      Printf.sprintf "research-timeout@%d" generation
 
 let to_string t = String.concat "," (List.map fault_to_string t)
 
@@ -59,7 +70,8 @@ let fault_of_string text =
     invalid_arg
       (Printf.sprintf
          "Faultplan.of_string: %S (expected raise@K[:N], nan@K:E, timeout@K, \
-          infeasible@K[:OBJ[:pruned]], or kill@N)"
+          infeasible@K[:OBJ[:pruned]], drift@W, research-timeout@G, or \
+          kill@N)"
          text)
   in
   let int_of s = match int_of_string_opt s with Some v -> v | None -> fail () in
@@ -87,6 +99,9 @@ let fault_of_string text =
           in
           Infeasible_on { index = int_of k; objective; pruned = true }
       | "kill", [ n ] -> Kill_after { records = int_of n }
+      | "drift", [ w ] -> Drift_on { window = int_of w }
+      | "research-timeout", [ g ] ->
+          Research_timeout_on { generation = int_of g }
       | _ -> fail ())
 
 let of_string text =
@@ -133,4 +148,14 @@ let check_kill t ~records =
     (function
       | Kill_after { records = n } when records >= n -> raise (Killed records)
       | _ -> ())
+    t
+
+let drift_windows t =
+  List.filter_map (function Drift_on { window } -> Some window | _ -> None) t
+
+let research_timeout_at t ~generation =
+  List.exists
+    (function
+      | Research_timeout_on { generation = g } -> g = generation
+      | _ -> false)
     t

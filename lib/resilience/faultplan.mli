@@ -33,6 +33,19 @@ type fault =
   | Kill_after of { records : int }
       (** Crash the search (raise {!Killed}) once the journal holds
           [records] records. *)
+  | Drift_on of { window : int }
+      (** Force the serving monitor's drift detector to fire when
+          evaluation window [window] closes (the autopilot trigger path) —
+          applied by the serving driver via
+          [Homunculus_serve.Monitor.force_drift_at]. *)
+  | Research_timeout_on of { generation : int }
+      (** Make autopilot re-search [generation] (0-based, the [NNN] of its
+          [research-NNN.jsonl] journal) exhaust its wall-clock budget before
+          evaluating a single candidate, driving the
+          incumbent-keeps-serving degradation branch deterministically.
+          Applies on every attempt of that generation — an unfinished
+          generation is retried on the next alarm, so the fault keeps
+          holding it back until the plan changes. *)
 
 type t
 
@@ -44,8 +57,9 @@ val to_string : t -> string
 
 val of_string : string -> t
 (** Parse the [--faults] grammar: comma-separated [raise@K[:N]], [nan@K:E],
-    [timeout@K], [infeasible@K[:OBJ[:pruned]]], [kill@N]. The empty string
-    is the empty plan. @raise Invalid_argument on malformed input. *)
+    [timeout@K], [infeasible@K[:OBJ[:pruned]]], [drift@W],
+    [research-timeout@G], [kill@N]. The empty string is the empty plan.
+    @raise Invalid_argument on malformed input. *)
 
 val check_raise : t -> index:int -> attempt:int -> unit
 (** @raise Injected when a [Raise_on] fault targets this candidate and
@@ -62,3 +76,10 @@ val infeasible_at : t -> index:int -> (float * bool) option
 
 val check_kill : t -> records:int -> unit
 (** @raise Killed when a [Kill_after] threshold is reached. *)
+
+val drift_windows : t -> int list
+(** The window indices of every [Drift_on] fault, in plan order — the
+    serving driver pre-registers each with the monitor. *)
+
+val research_timeout_at : t -> generation:int -> bool
+(** Whether this re-search generation should time out before evaluating. *)

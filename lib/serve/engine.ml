@@ -71,6 +71,17 @@ type trace = {
   xs : float array array;
 }
 
+type reaction =
+  | Keep
+  | Install of {
+      model : Model_ir.t;
+      incumbent_f1 : float;
+      challenger_f1 : float;
+    }
+
+type research_hook =
+  now:float -> drift:Monitor.drift -> incumbent:Model_ir.t -> reaction
+
 type t = {
   config : config;
   mutable model_ir : Model_ir.t;
@@ -79,6 +90,7 @@ type t = {
   mutable ref_mlp : Mlp.t option;  (* Some in Reference mode for DNN IRs *)
   monitor : Monitor.t;
   updater : Updater.t option;
+  research : research_hook option;
   queue : Stream.event Queue.t;
   mutable srv : float;  (* virtual time the server is next free *)
   mutable offered : int;
@@ -117,7 +129,7 @@ let dummy_event =
 let load_runtime config model =
   Runtime.load ~entries_per_feature:config.entries_per_feature model
 
-let create ?(config = default_config) ~model ~monitor ?updater () =
+let create ?(config = default_config) ~model ~monitor ?updater ?research () =
   if config.queue_capacity <= 0 then invalid_arg "Engine.create: queue_capacity <= 0";
   if config.batch_size <= 0 then invalid_arg "Engine.create: batch_size <= 0";
   if config.service_rate_pps <= 0. then
@@ -143,6 +155,7 @@ let create ?(config = default_config) ~model ~monitor ?updater () =
     ref_mlp;
     monitor;
     updater;
+    research;
     queue = Queue.create ();
     srv = 0.;
     offered = 0;
@@ -229,55 +242,77 @@ let absorb_labeled t labeled =
    batch already popped into the drain workspaces always completes against
    the tables it started with, and every packet it serves is stamped with
    the pre-swap epoch. *)
+(* Install a validated challenger between batches: retire the serving
+   model/runtime to the epoch stacks, rebuild the quantized tables when
+   needed, stamp a swap record, and re-baseline the monitor. The queue is
+   untouched. *)
+let install t ~now ~reason ~incumbent_f1 ~challenger_f1 challenger =
+  let drops_before = t.dropped in
+  let queue_len = Queue.length t.queue in
+  t.rev_epoch_models <- t.model_ir :: t.rev_epoch_models;
+  t.model_ir <- challenger;
+  (match t.config.mode with
+  | Reference -> t.ref_mlp <- Inference.mlp_of_ir challenger
+  | Quantized ->
+      (match t.runtime with
+      | Some rt -> t.rev_epoch_runtimes <- rt :: t.rev_epoch_runtimes
+      | None -> ());
+      let rt =
+        match t.updater with
+        | Some u ->
+            let calibration = Updater.calibration_sample u ~n:256 in
+            Runtime.load ~entries_per_feature:t.config.entries_per_feature
+              ~calibration challenger
+        | None ->
+            Runtime.load ~entries_per_feature:t.config.entries_per_feature
+              challenger
+      in
+      t.runtime <- Some rt;
+      t.rt_ws <- Some (Runtime.make_workspace rt));
+  t.epoch <- t.epoch + 1;
+  t.rev_swaps <-
+    {
+      swap_ts = now;
+      swap_reason = reason;
+      queue_preserved = queue_len;
+      dropped_during_swap = t.dropped - drops_before;
+      incumbent_f1;
+      challenger_f1;
+    }
+    :: t.rev_swaps;
+  Monitor.rebaseline t.monitor
+
 let maybe_swap t ~now =
   match Monitor.poll_drift t.monitor with
   | None -> ()
   | Some drift -> (
-      match t.updater with
-      | None -> ()  (* monitoring only: the alarm stays latched/logged *)
-      | Some u -> (
-          let drops_before = t.dropped in
-          let queue_len = Queue.length t.queue in
+      match (t.research, t.updater) with
+      | Some hook, _ -> (
+          (* Autopilot: the re-search hook owns the reaction. The incumbent
+             keeps serving for as long as the hook runs; a [Keep] leaves it
+             installed and just re-arms the detectors — the serving path is
+             never worse off than before the drift. *)
+          match hook ~now ~drift ~incumbent:t.model_ir with
+          | Keep -> Monitor.rearm t.monitor
+          | Install { model; incumbent_f1; challenger_f1 } ->
+              install t ~now ~reason:drift.Monitor.reason ~incumbent_f1
+                ~challenger_f1 model)
+      | None, None -> ()  (* monitoring only: the alarm stays latched/logged *)
+      | None, Some u -> (
           match
             Updater.try_update u ~incumbent:t.model_ir ~ts:now
               ~reason:drift.Monitor.reason
           with
           | None -> Monitor.rearm t.monitor
           | Some challenger ->
-              t.rev_epoch_models <- t.model_ir :: t.rev_epoch_models;
-              t.model_ir <- challenger;
-              (match t.config.mode with
-              | Reference -> t.ref_mlp <- Inference.mlp_of_ir challenger
-              | Quantized ->
-                  (match t.runtime with
-                  | Some rt ->
-                      t.rev_epoch_runtimes <- rt :: t.rev_epoch_runtimes
-                  | None -> ());
-                  let calibration = Updater.calibration_sample u ~n:256 in
-                  let rt =
-                    Runtime.load
-                      ~entries_per_feature:t.config.entries_per_feature
-                      ~calibration challenger
-                  in
-                  t.runtime <- Some rt;
-                  t.rt_ws <- Some (Runtime.make_workspace rt));
-              t.epoch <- t.epoch + 1;
               let last_decision =
                 match List.rev (Updater.decisions u) with
                 | d :: _ -> d
                 | [] -> assert false
               in
-              t.rev_swaps <-
-                {
-                  swap_ts = now;
-                  swap_reason = drift.Monitor.reason;
-                  queue_preserved = queue_len;
-                  dropped_during_swap = t.dropped - drops_before;
-                  incumbent_f1 = last_decision.Updater.incumbent_f1;
-                  challenger_f1 = last_decision.Updater.challenger_f1;
-                }
-                :: t.rev_swaps;
-              Monitor.rebaseline t.monitor))
+              install t ~now ~reason:drift.Monitor.reason
+                ~incumbent_f1:last_decision.Updater.incumbent_f1
+                ~challenger_f1:last_decision.Updater.challenger_f1 challenger))
 
 (* Serve one batch of up to [batch_size] queued packets, advancing virtual
    time by one service slot per packet. *)

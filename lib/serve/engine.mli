@@ -74,6 +74,29 @@ type summary = {
   updater_decisions : Updater.decision list;  (** empty without an updater *)
 }
 
+type reaction =
+  | Keep
+      (** the incumbent stays installed; the monitor is re-armed (its
+          cooldown still applies) *)
+  | Install of {
+      model : Homunculus_backends.Model_ir.t;
+      incumbent_f1 : float;  (** validation scores recorded in the swap *)
+      challenger_f1 : float;
+    }
+      (** hot-swap [model] in between service batches, exactly like an
+          updater-validated challenger *)
+
+type research_hook =
+  now:float -> drift:Monitor.drift -> incumbent:Homunculus_backends.Model_ir.t ->
+  reaction
+(** The autopilot's entry point: called (between service batches, on the
+    serving thread, in virtual time [now]) when a drift alarm is consumed,
+    with the currently serving model. Whatever the hook does — including a
+    long re-search — the incumbent keeps serving until the returned
+    [Install] lands; an exception propagates out of {!step}/{!run} (that is
+    how a simulated {!Homunculus_resilience.Faultplan.Killed} crash reaches
+    the driver). *)
+
 type t
 
 val create :
@@ -81,9 +104,14 @@ val create :
   model:Homunculus_backends.Model_ir.t ->
   monitor:Monitor.t ->
   ?updater:Updater.t ->
+  ?research:research_hook ->
   unit ->
   t
-(** @raise Invalid_argument on a non-positive queue, batch, or rate — or,
+(** When [research] is present it owns the drift reaction: the updater (if
+    any) still buffers labeled traffic and supplies quantization
+    calibration, but {!Updater.try_update} is never called — challengers
+    come from the hook.
+    @raise Invalid_argument on a non-positive queue, batch, or rate — or,
     in [Quantized] mode, on a model {!Homunculus_backends.Runtime.load}
     rejects. *)
 

@@ -5,6 +5,7 @@ type config = {
   acc_drop : float;
   ph_delta : float;
   ph_lambda : float;
+  cooldown_windows : int;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     acc_drop = 0.15;
     ph_delta = 0.005;
     ph_lambda = 25.;
+    cooldown_windows = 0;
   }
 
 type window = {
@@ -64,6 +66,10 @@ type t = {
   mutable armed : bool;
   mutable pending_alarm : drift option;
   mutable rev_drifts : drift list;
+  (* Alarm hysteresis: no alarm may fire for a window below this index.
+     Advanced when a pending alarm is consumed through [poll_drift]. *)
+  mutable cooldown_until : int;
+  mutable forced_windows : int list;  (* injected-drift window indices *)
 }
 
 let create ?(config = default_config) ~n_classes () =
@@ -71,6 +77,8 @@ let create ?(config = default_config) ~n_classes () =
     invalid_arg "Monitor.create: window_events <= 0";
   if config.label_delay_s < 0. then
     invalid_arg "Monitor.create: negative label_delay_s";
+  if config.cooldown_windows < 0 then
+    invalid_arg "Monitor.create: negative cooldown_windows";
   if n_classes <= 0 then invalid_arg "Monitor.create: n_classes <= 0";
   {
     config;
@@ -94,6 +102,8 @@ let create ?(config = default_config) ~n_classes () =
     armed = true;
     pending_alarm = None;
     rev_drifts = [];
+    cooldown_until = 0;
+    forced_windows = [];
   }
 
 let observe t ~ts ~queue_depth ~features ~pred ~truth =
@@ -132,11 +142,17 @@ let f1_of_confusion c =
     !sum /. float_of_int n
   end
 
+(* A fire during the cooldown that follows a consumed alarm is swallowed
+   entirely (not deferred): hysteresis means the reaction to the previous
+   alarm gets [cooldown_windows] windows to show up in the metrics before
+   the detector may demand another one. *)
 let fire t ~ts ~window ~reason ~value =
-  let d = { ts; window; reason; value } in
-  t.armed <- false;
-  t.pending_alarm <- Some d;
-  t.rev_drifts <- d :: t.rev_drifts
+  if window >= t.cooldown_until then begin
+    let d = { ts; window; reason; value } in
+    t.armed <- false;
+    t.pending_alarm <- Some d;
+    t.rev_drifts <- d :: t.rev_drifts
+  end
 
 let close_window t =
   let n = t.w_count in
@@ -176,7 +192,9 @@ let close_window t =
   | Some b ->
       if t.armed && accuracy < b -. t.config.acc_drop then
         fire t ~ts:w.t_end ~window:w.index ~reason:"accuracy_drop"
-          ~value:accuracy)
+          ~value:accuracy);
+  if t.armed && List.mem w.index t.forced_windows then
+    fire t ~ts:w.t_end ~window:w.index ~reason:"injected" ~value:w.accuracy
 
 let fold_labeled t (label_ts, queue_depth, l) =
   if t.w_count = 0 then t.w_t_start <- label_ts;
@@ -229,7 +247,18 @@ let drain t =
 let poll_drift t =
   let d = t.pending_alarm in
   t.pending_alarm <- None;
+  (match d with
+  | Some alarm ->
+      t.cooldown_until <-
+        Stdlib.max t.cooldown_until
+          (alarm.window + t.config.cooldown_windows)
+  | None -> ());
   d
+
+let force_drift_at t ~window =
+  if window < 0 then invalid_arg "Monitor.force_drift_at: negative window";
+  if not (List.mem window t.forced_windows) then
+    t.forced_windows <- window :: t.forced_windows
 
 let reset_ph t =
   t.ph_n <- 0;

@@ -17,7 +17,12 @@
 
     A fired alarm latches: no further alarms until {!rebaseline} (after a
     successful hot-swap) or {!rearm} (after a declined update) — the
-    serving engine, not the detector, owns the reaction policy. *)
+    serving engine, not the detector, owns the reaction policy. On top of
+    the latch, [cooldown_windows] adds hysteresis: once an alarm has been
+    {e consumed} through {!poll_drift}, no new alarm may fire for a window
+    whose index is within [cooldown_windows] of the consumed alarm's, even
+    after a re-arm — the reaction gets that long to show up in the metrics
+    before the detector may demand another one. *)
 
 type config = {
   window_events : int;  (** labeled events per evaluation window *)
@@ -26,11 +31,14 @@ type config = {
   acc_drop : float;  (** accuracy-drop alarm threshold *)
   ph_delta : float;  (** Page–Hinkley insensitivity margin *)
   ph_lambda : float;  (** Page–Hinkley alarm threshold *)
+  cooldown_windows : int;
+      (** alarm hysteresis: after an alarm is consumed via {!poll_drift},
+          no alarm fires for a window within this many windows of it *)
 }
 
 val default_config : config
 (** 250-event windows, 5 s label delay, 3 baseline windows, 0.15 accuracy
-    drop, PH delta 0.005 / lambda 25. *)
+    drop, PH delta 0.005 / lambda 25, no cooldown. *)
 
 type window = {
   index : int;  (** 0-based, over the whole run *)
@@ -49,7 +57,9 @@ type window = {
 type drift = {
   ts : float;  (** label-arrival time of the triggering event *)
   window : int;  (** index of the window being filled when it fired *)
-  reason : string;  (** ["accuracy_drop"] or ["page_hinkley"] *)
+  reason : string;
+      (** ["accuracy_drop"], ["page_hinkley"], or ["injected"] (a forced
+          alarm registered by {!force_drift_at}) *)
   value : float;  (** the statistic that crossed its threshold *)
 }
 
@@ -83,8 +93,18 @@ val drain : t -> labeled list
     partial window if non-empty. *)
 
 val poll_drift : t -> drift option
-(** The alarm raised since the last poll, if any (reading clears the
-    pending alarm but keeps the detector latched). *)
+(** The alarm raised since the last poll, if any. Reading clears the
+    pending alarm but keeps the detector latched — and starts the
+    [cooldown_windows] hysteresis clock from the consumed alarm's
+    window. *)
+
+val force_drift_at : t -> window:int -> unit
+(** Register a forced alarm: when the window with this index closes, an
+    alarm with reason ["injected"] fires regardless of the baseline — but
+    still subject to the latch and the cooldown, exactly like an organic
+    one. This is how a [drift@W] fault-injection entry reaches the
+    detector (the serving layer knows nothing of fault plans).
+    @raise Invalid_argument on a negative window. *)
 
 val rebaseline : t -> unit
 (** Forget baseline and detector state and re-arm — call after a hot-swap

@@ -101,6 +101,10 @@ let calibration_sample t ~n =
   let k = Stdlib.min n t.size in
   Array.init k (fun i -> t.features.(i))
 
+let snapshot t =
+  ( Array.init t.size (fun i -> t.features.(i)),
+    Array.sub t.labels 0 t.size )
+
 let f1_of t ~pred ~truth =
   if t.n_classes = 2 then Metrics.f1 ~pred ~truth ()
   else Metrics.macro_f1 ~n_classes:t.n_classes ~pred ~truth

@@ -64,6 +64,12 @@ val calibration_sample : t -> n:int -> float array array
 (** Up to [n] buffered feature vectors — quantization calibration for
     reloading a {!Homunculus_backends.Runtime} after a swap. *)
 
+val snapshot : t -> float array array * int array
+(** The live reservoir contents, [(features, labels)], in slot order: the
+    recent labeled traffic an autopilot re-search trains and validates
+    against. The feature rows are shared (not copied); the label array is
+    fresh. *)
+
 val accepts :
   min_gain:float -> incumbent_f1:float -> challenger_f1:float -> bool
 (** The swap decision {!try_update} applies: the challenger must clear the

@@ -39,6 +39,7 @@ let suites =
     ("alchemy", Test_alchemy.suite);
     ("core", Test_core.suite);
     ("resilience", Test_resilience.suite);
+    ("autopilot", Test_autopilot.suite);
     ("dist", Test_dist.suite);
     ("serve", Test_serve.suite);
     ("serve_quantized", Test_serve_quantized.suite);

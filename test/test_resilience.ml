@@ -29,16 +29,31 @@ let other_config =
 (* Faultplan *)
 
 let test_faultplan_roundtrip () =
-  let text = "raise@3,raise@4:1,nan@5:2,timeout@7,infeasible@2,kill@4" in
+  let text =
+    "raise@3,raise@4:1,nan@5:2,timeout@7,infeasible@2,drift@6,\
+     research-timeout@1,kill@4"
+  in
   let plan = Faultplan.of_string text in
   Alcotest.(check string) "round trip" text (Faultplan.to_string plan);
-  Alcotest.(check int) "five faults parsed" 6 (List.length (Faultplan.faults plan));
+  Alcotest.(check int) "eight faults parsed" 8 (List.length (Faultplan.faults plan));
   Alcotest.(check bool) "empty plan" true
     (Faultplan.faults (Faultplan.of_string "") = []);
   Alcotest.check_raises "malformed" (Invalid_argument
     "Faultplan.of_string: \"raise\" (expected raise@K[:N], nan@K:E, \
-     timeout@K, infeasible@K[:OBJ[:pruned]], or kill@N)")
+     timeout@K, infeasible@K[:OBJ[:pruned]], drift@W, research-timeout@G, \
+     or kill@N)")
     (fun () -> ignore (Faultplan.of_string "raise"))
+
+let test_faultplan_serving_arms () =
+  let plan = Faultplan.of_string "drift@2,drift@5,research-timeout@1,kill@3" in
+  Alcotest.(check (list int)) "drift windows in plan order" [ 2; 5 ]
+    (Faultplan.drift_windows plan);
+  Alcotest.(check bool) "research timeout at its generation" true
+    (Faultplan.research_timeout_at plan ~generation:1);
+  Alcotest.(check bool) "other generations untouched" false
+    (Faultplan.research_timeout_at plan ~generation:0);
+  Alcotest.(check (list int)) "no drift arms: empty" []
+    (Faultplan.drift_windows (Faultplan.of_string "kill@3"))
 
 let test_faultplan_queries () =
   let plan = Faultplan.of_string "raise@1:1,nan@2:3,timeout@4,kill@5" in
@@ -547,6 +562,8 @@ let suite =
   [
     Alcotest.test_case "faultplan round trip" `Quick test_faultplan_roundtrip;
     Alcotest.test_case "faultplan queries" `Quick test_faultplan_queries;
+    Alcotest.test_case "faultplan serving arms" `Quick
+      test_faultplan_serving_arms;
     Alcotest.test_case "journal round trip" `Quick test_journal_roundtrip;
     Alcotest.test_case "journal corruption tolerance" `Quick
       test_journal_corruption_tolerance;

@@ -169,6 +169,70 @@ let test_monitor_accuracy_drop () =
   | Some d -> Alcotest.(check string) "reason" "accuracy_drop" d.Monitor.reason
   | None -> Alcotest.fail "expected an accuracy-drop alarm"
 
+let test_monitor_forced_drift () =
+  let config =
+    { Monitor.default_config with Monitor.window_events = 10; label_delay_s = 0. }
+  in
+  let monitor = Monitor.create ~config ~n_classes:2 () in
+  Monitor.force_drift_at monitor ~window:1;
+  (match Monitor.force_drift_at monitor ~window:(-1) with
+  | () -> Alcotest.fail "negative window must raise"
+  | exception Invalid_argument _ -> ());
+  (* Window 0 closes clean: the forced alarm waits for its window. *)
+  observe_n monitor ~ts0:0. ~n:10 ~pred:1 ~truth:1;
+  ignore (Monitor.advance monitor ~now:100.);
+  Alcotest.(check bool) "no alarm before its window" true
+    (Monitor.poll_drift monitor = None);
+  observe_n monitor ~ts0:100. ~n:10 ~pred:1 ~truth:1;
+  ignore (Monitor.advance monitor ~now:200.);
+  (match Monitor.poll_drift monitor with
+  | Some d ->
+      Alcotest.(check string) "forced reason" "injected" d.Monitor.reason;
+      Alcotest.(check int) "forced window" 1 d.Monitor.window
+  | None -> Alcotest.fail "forced alarm must fire");
+  (* No baseline needed, and no re-fire: the registration is consumed. *)
+  Monitor.rearm monitor;
+  observe_n monitor ~ts0:200. ~n:10 ~pred:1 ~truth:1;
+  ignore (Monitor.advance monitor ~now:300.);
+  Alcotest.(check bool) "fires once" true (Monitor.poll_drift monitor = None)
+
+let test_monitor_cooldown_hysteresis () =
+  let config =
+    {
+      Monitor.default_config with
+      Monitor.window_events = 10;
+      label_delay_s = 0.;
+      cooldown_windows = 2;
+    }
+  in
+  let monitor = Monitor.create ~config ~n_classes:2 () in
+  List.iter (fun window -> Monitor.force_drift_at monitor ~window) [ 0; 1; 2 ];
+  let next_window ts0 =
+    observe_n monitor ~ts0 ~n:10 ~pred:1 ~truth:1;
+    ignore (Monitor.advance monitor ~now:(ts0 +. 100.))
+  in
+  next_window 0.;
+  (match Monitor.poll_drift monitor with
+  | Some d -> Alcotest.(check int) "window 0 fires" 0 d.Monitor.window
+  | None -> Alcotest.fail "expected the window-0 alarm");
+  Monitor.rearm monitor;
+  (* Consuming the window-0 alarm starts the 2-window cooldown: the forced
+     fire at window 1 is swallowed entirely, not deferred. *)
+  next_window 100.;
+  Alcotest.(check bool) "window 1 swallowed by cooldown" true
+    (Monitor.poll_drift monitor = None);
+  next_window 200.;
+  (match Monitor.poll_drift monitor with
+  | Some d -> Alcotest.(check int) "window 2 fires after cooldown" 2 d.Monitor.window
+  | None -> Alcotest.fail "expected the window-2 alarm");
+  Alcotest.(check int) "swallowed fire never logged" 2
+    (List.length (Monitor.drifts monitor));
+  (match Monitor.create ~config:{ config with Monitor.cooldown_windows = -1 }
+           ~n_classes:2 ()
+   with
+  | (_ : Monitor.t) -> Alcotest.fail "negative cooldown must raise"
+  | exception Invalid_argument _ -> ())
+
 (* Updater *)
 
 let test_updater_reservoir_bounded () =
@@ -566,6 +630,9 @@ let suite =
     Alcotest.test_case "monitor page-hinkley" `Quick
       test_monitor_page_hinkley_fires_and_latches;
     Alcotest.test_case "monitor accuracy drop" `Quick test_monitor_accuracy_drop;
+    Alcotest.test_case "monitor forced drift" `Quick test_monitor_forced_drift;
+    Alcotest.test_case "monitor cooldown hysteresis" `Quick
+      test_monitor_cooldown_hysteresis;
     Alcotest.test_case "updater reservoir" `Quick test_updater_reservoir_bounded;
     Alcotest.test_case "updater declines small buffer" `Quick
       test_updater_declines_small_buffer;
